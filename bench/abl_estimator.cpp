@@ -1,0 +1,88 @@
+// DESIGN.md ESTM — quality of the on-line estimator of §4.2 (an ablation
+// the paper argues qualitatively; we quantify it).
+//
+// On the ring, where the analytic f is available, we feed the estimator
+// growing sample budgets and report: total-variation distance to the
+// truth, the optimal q_r induced by the estimate, and the availability
+// *regret* of acting on the estimate (truth evaluated at the estimated
+// optimum minus truth at the true optimum). Also checks footnote 4's
+// p*A' = A identity relating operational-site-conditioned availability to
+// the unconditioned one.
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/availability.hpp"
+#include "core/component_dist.hpp"
+#include "core/optimize.hpp"
+#include "metrics/collectors.hpp"
+#include "net/builders.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using quora::core::AvailabilityCurve;
+  using quora::core::VotePdf;
+  using quora::report::TextTable;
+
+  const quora::bench::RunScale scale = quora::bench::parse_args(argc, argv);
+  const quora::net::Topology topo = quora::net::make_ring(101);
+  const VotePdf truth = quora::core::ring_site_pdf(101, 0.96, 0.96);
+  const AvailabilityCurve truth_curve(truth);
+  constexpr double kAlpha = 0.75;
+  const auto true_best = quora::core::optimize_exhaustive(truth_curve, kAlpha);
+
+  std::cout << "== On-line estimator ablation (ring n=101, alpha=0.75) ==\n";
+  std::cout << "true optimum: q_r=" << true_best.q_r()
+            << "  A=" << TextTable::fmt(true_best.value, 4) << "\n\n";
+
+  quora::sim::SimConfig config = quora::bench::to_config(scale);
+  quora::sim::AccessSpec spec;
+  quora::sim::Simulator sim(topo, config, spec, scale.seed);
+  sim.run_accesses(config.warmup_accesses);
+
+  quora::metrics::VotesSeenCollector collector(topo);
+  sim.add_access_observer(&collector);
+
+  TextTable table({"samples", "TV to analytic", "est opt q_r", "regret",
+                   "max |p*A' - A|"});
+  std::uint64_t run = 0;
+  for (const std::uint64_t target : {5'000ULL, 20'000ULL, 80'000ULL, 320'000ULL,
+                                     1'280'000ULL}) {
+    sim.run_accesses(target - run);
+    run = target;
+    const VotePdf estimate = collector.combined_pdf();
+
+    double tv = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      tv += std::abs(truth[i] - estimate[i]);
+    }
+    tv *= 0.5;
+
+    const AvailabilityCurve est_curve(estimate);
+    const auto est_best = quora::core::optimize_exhaustive(est_curve, kAlpha);
+    const double regret =
+        true_best.value - truth_curve.availability(kAlpha, est_best.q_r());
+
+    // Footnote 4: with uniform access and site reliability p, the
+    // operational-site-conditioned availability A' satisfies p*A' = A.
+    double max_identity_gap = 0.0;
+    for (quora::net::Vote q = 1; q <= est_curve.max_read_quorum(); ++q) {
+      const double a = est_curve.availability(kAlpha, q);
+      const double a_cond = est_curve.conditional_on_up(kAlpha, q);
+      const double p_up = 1.0 - estimate[0];  // measured P(origin up)
+      max_identity_gap = std::max(max_identity_gap, std::abs(p_up * a_cond - a));
+    }
+
+    table.add_row({std::to_string(target), TextTable::fmt(tv, 4),
+                   std::to_string(est_best.q_r()), TextTable::fmt(regret, 5),
+                   TextTable::fmt(max_identity_gap, 10)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(regret -> 0 long before TV does: the argmax is far easier "
+               "to learn than the density — why the paper's cheap estimator "
+               "suffices. The identity column is exact by construction and "
+               "checks the footnote-4 algebra.)\n";
+  return 0;
+}

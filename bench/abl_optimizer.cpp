@@ -1,0 +1,70 @@
+// DESIGN.md OPTM — §4.1 offers three ways to run step 4 of the algorithm:
+// exhaustive scan, golden-section search, and Brent's method on the
+// continuous extension. This ablation compares them on measured curves
+// from every topology and alpha: do the fast searches find the true
+// argmax, and how many objective evaluations does each spend?
+
+#include <chrono>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/optimize.hpp"
+#include "net/builders.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using quora::core::AvailabilityCurve;
+  using quora::core::OptResult;
+  using quora::report::TextTable;
+
+  const quora::bench::RunScale scale = quora::bench::parse_args(argc, argv);
+
+  std::cout << "== Optimizer ablation: exhaustive vs golden-section vs Brent ==\n\n";
+  TextTable table({"topology", "alpha", "exh q_r", "gold q_r", "brent q_r",
+                   "exh evals", "gold evals", "brent evals", "gold gap",
+                   "brent gap"});
+
+  int golden_exact = 0;
+  int brent_exact = 0;
+  int cells = 0;
+  double worst_golden_gap = 0.0;
+  double worst_brent_gap = 0.0;
+
+  for (const std::uint32_t chords : {0u, 1u, 2u, 4u, 16u, 256u}) {
+    const quora::net::Topology topo = quora::net::make_ring_with_chords(101, chords);
+    const auto curves = quora::metrics::measure_curves(
+        topo, quora::bench::to_config(scale), quora::bench::to_policy(scale));
+    const AvailabilityCurve curve = curves.pooled_curve();
+
+    for (const double alpha : curves.alphas) {
+      const OptResult exh = quora::core::optimize_exhaustive(curve, alpha);
+      const OptResult gold = quora::core::optimize_golden(curve, alpha);
+      const OptResult brent = quora::core::optimize_brent(curve, alpha);
+      const double gold_gap = exh.value - gold.value;
+      const double brent_gap = exh.value - brent.value;
+      golden_exact += gold_gap <= 1e-12;
+      brent_exact += brent_gap <= 1e-12;
+      worst_golden_gap = std::max(worst_golden_gap, gold_gap);
+      worst_brent_gap = std::max(worst_brent_gap, brent_gap);
+      ++cells;
+
+      table.add_row({"topology-" + std::to_string(chords), TextTable::fmt(alpha, 2),
+                     std::to_string(exh.q_r()), std::to_string(gold.q_r()),
+                     std::to_string(brent.q_r()), std::to_string(exh.evaluations),
+                     std::to_string(gold.evaluations),
+                     std::to_string(brent.evaluations), TextTable::fmt(gold_gap, 5),
+                     TextTable::fmt(brent_gap, 5)});
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+
+  std::cout << "\ngolden exact: " << golden_exact << "/" << cells
+            << " (worst availability gap " << TextTable::fmt(worst_golden_gap, 5)
+            << ")   brent exact: " << brent_exact << "/" << cells
+            << " (worst gap " << TextTable::fmt(worst_brent_gap, 5) << ")\n"
+            << "(both probe the endpoints first, which §5.3 shows is where "
+               "optima live; gaps appear only on curves with interior "
+               "structure)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Sensitivity ablations around the paper's fixed stochastic parameters:
+// rho = 1/128 (failure time scale) and component reliability 0.96. The
+// paper holds both fixed; this bench asks how robust its conclusions —
+// endpoint optima, the .96*alpha law, majority-vs-ROWA ordering — are to
+// those choices.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/optimize.hpp"
+#include "net/builders.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using quora::core::AvailabilityCurve;
+  using quora::report::TextTable;
+
+  const quora::bench::RunScale scale = quora::bench::parse_args(argc, argv);
+  const quora::net::Topology topo = quora::net::make_ring_with_chords(101, 4);
+
+  std::cout << "== Sensitivity to rho and component reliability (topology-4) ==\n\n";
+
+  TextTable rho_table({"rho", "alpha", "opt q_r", "A(opt)", "A(q_r=1)",
+                       "A(majority end)"});
+  for (const double rho : {1.0 / 32.0, 1.0 / 128.0, 1.0 / 512.0}) {
+    quora::sim::SimConfig config = quora::bench::to_config(scale);
+    config.rho = rho;
+    const auto curves = quora::metrics::measure_curves(
+        topo, config, quora::bench::to_policy(scale));
+    const AvailabilityCurve curve = curves.pooled_curve();
+    for (const double alpha : {0.25, 0.75}) {
+      const auto best = quora::core::optimize_exhaustive(curve, alpha);
+      rho_table.add_row(
+          {"1/" + std::to_string(static_cast<int>(1.0 / rho)),
+           TextTable::fmt(alpha, 2), std::to_string(best.q_r()),
+           TextTable::fmt(best.value, 4),
+           TextTable::fmt(curve.availability(alpha, 1), 4),
+           TextTable::fmt(curve.availability(alpha, curve.max_read_quorum()), 4)});
+    }
+    rho_table.add_separator();
+  }
+  rho_table.print(std::cout);
+  std::cout << "(rho only sets the event time scale; stationary component "
+               "probabilities — and hence the curves — are unchanged, which "
+               "is why the paper can fix it.)\n\n";
+
+  TextTable rel_table({"reliability", "alpha", "opt q_r", "A(opt)", "A(q_r=1)",
+                       "predicted p*alpha"});
+  for (const double rel : {0.90, 0.96, 0.99}) {
+    quora::sim::SimConfig config = quora::bench::to_config(scale);
+    config.reliability = rel;
+    const auto curves = quora::metrics::measure_curves(
+        topo, config, quora::bench::to_policy(scale));
+    const AvailabilityCurve curve = curves.pooled_curve();
+    for (const double alpha : {0.25, 0.75}) {
+      const auto best = quora::core::optimize_exhaustive(curve, alpha);
+      rel_table.add_row({TextTable::fmt(rel, 2), TextTable::fmt(alpha, 2),
+                         std::to_string(best.q_r()), TextTable::fmt(best.value, 4),
+                         TextTable::fmt(curve.availability(alpha, 1), 4),
+                         TextTable::fmt(rel * alpha, 4)});
+    }
+    rel_table.add_separator();
+  }
+  rel_table.print(std::cout);
+  std::cout << "(the q_r = 1 law generalizes to A(alpha, 1) = p*alpha + "
+               "(1-alpha)*W(T);\nthe write term is negligible at 0.96 but "
+               "grows as reliability -> 1, where\nfull-network connectivity "
+               "becomes likely and even interior optima appear.)\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string_view>
+
+#include "report/curve_report.hpp"
+#include "report/svg_plot.hpp"
+
+namespace quora::bench {
+namespace {
+
+[[noreturn]] void usage(const char* prog, int code) {
+  std::cout
+      << "usage: " << prog << " [options]\n"
+      << "  --paper            full paper protocol (100k warmup, 1M batches, 5-18 to +-0.5% CI)\n"
+      << "  --warmup N         warm-up accesses per batch (default 20000)\n"
+      << "  --batch N          measured accesses per batch (default 150000)\n"
+      << "  --min-batches N    minimum batches (default 5)\n"
+      << "  --max-batches N    maximum batches (default 8)\n"
+      << "  --ci X             target CI half-width (default 0.005)\n"
+      << "  --seed N           root RNG seed (default 0xC0FFEE)\n"
+      << "  --threads N        worker threads (default: hardware)\n"
+      << "  --stride N         q_r row stride in printed tables (default 7)\n"
+      << "  --csv PATH         also write the full series as CSV\n"
+      << "  --svg PATH         also render the figure as an SVG plot\n"
+      << "  --help             this text\n";
+  std::exit(code);
+}
+
+} // namespace
+
+RunScale parse_args(int argc, char** argv) {
+  RunScale scale;
+  const auto need_value = [&](int& i) -> std::string_view {
+    if (i + 1 >= argc) {
+      std::cerr << argv[0] << ": missing value for " << argv[i] << '\n';
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--paper") {
+      scale.paper_scale = true;
+      scale.warmup = 100'000;
+      scale.batch = 1'000'000;
+      scale.min_batches = 5;
+      scale.max_batches = 18;
+      scale.ci_target = 0.005;
+    } else if (arg == "--warmup") {
+      scale.warmup = std::strtoull(need_value(i).data(), nullptr, 10);
+    } else if (arg == "--batch") {
+      scale.batch = std::strtoull(need_value(i).data(), nullptr, 10);
+    } else if (arg == "--min-batches") {
+      scale.min_batches =
+          static_cast<std::uint32_t>(std::strtoul(need_value(i).data(), nullptr, 10));
+    } else if (arg == "--max-batches") {
+      scale.max_batches =
+          static_cast<std::uint32_t>(std::strtoul(need_value(i).data(), nullptr, 10));
+    } else if (arg == "--ci") {
+      scale.ci_target = std::strtod(need_value(i).data(), nullptr);
+    } else if (arg == "--seed") {
+      scale.seed = std::strtoull(need_value(i).data(), nullptr, 0);
+    } else if (arg == "--threads") {
+      scale.threads =
+          static_cast<unsigned>(std::strtoul(need_value(i).data(), nullptr, 10));
+    } else if (arg == "--stride") {
+      scale.stride =
+          static_cast<unsigned>(std::strtoul(need_value(i).data(), nullptr, 10));
+    } else if (arg == "--csv") {
+      scale.csv_path = std::string(need_value(i));
+    } else if (arg == "--svg") {
+      scale.svg_path = std::string(need_value(i));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0], 0);
+    } else {
+      std::cerr << argv[0] << ": unknown option " << arg << '\n';
+      usage(argv[0], 2);
+    }
+  }
+  return scale;
+}
+
+sim::SimConfig to_config(const RunScale& scale) {
+  sim::SimConfig config;
+  config.warmup_accesses = scale.warmup;
+  config.accesses_per_batch = scale.batch;
+  return config;  // stochastic parameters stay at the paper's values
+}
+
+metrics::MeasurePolicy to_policy(const RunScale& scale) {
+  metrics::MeasurePolicy policy;
+  policy.seed = scale.seed;
+  policy.threads = scale.threads;
+  policy.batch.min_batches = scale.min_batches;
+  policy.batch.max_batches = scale.max_batches;
+  policy.batch.target_half_width = scale.ci_target;
+  return policy;
+}
+
+metrics::CurveResult run_figure(const net::Topology& topo, const std::string& title,
+                                const RunScale& scale) {
+  std::cout << "== " << title << " ==\n";
+  const metrics::CurveResult result =
+      metrics::measure_curves(topo, to_config(scale), to_policy(scale));
+  report::print_curve_table(std::cout, result, scale.stride);
+  if (scale.csv_path) {
+    std::ofstream out(*scale.csv_path);
+    report::write_curve_csv(out, result);
+    std::cout << "csv written to " << *scale.csv_path << '\n';
+  }
+  if (scale.svg_path) {
+    report::SvgOptions svg;
+    svg.title = title;
+    report::write_curve_svg_file(*scale.svg_path, result, svg);
+    std::cout << "svg written to " << *scale.svg_path << '\n';
+  }
+  std::cout << '\n';
+  return result;
+}
+
+} // namespace quora::bench

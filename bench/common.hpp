@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "metrics/experiment.hpp"
+#include "net/topology.hpp"
+#include "sim/config.hpp"
+
+namespace quora::bench {
+
+/// Scale knobs shared by every experiment binary.
+///
+/// Defaults are a *reduced* but shape-preserving configuration chosen so
+/// the whole suite runs in minutes on one core; `--paper` restores the
+/// paper's exact protocol (100k warm-up, 1M-access batches, 5-18 batches
+/// to a ±0.5% CI), which is what EXPERIMENTS.md numbers were produced
+/// with where stated.
+struct RunScale {
+  std::uint64_t warmup = 20'000;
+  std::uint64_t batch = 150'000;
+  std::uint32_t min_batches = 5;
+  std::uint32_t max_batches = 8;
+  double ci_target = 0.005;
+  std::uint64_t seed = 0xC0FFEEULL;
+  unsigned threads = 0;  // 0 => hardware
+  unsigned stride = 7;   // q_r row thinning in printed tables
+  std::optional<std::string> csv_path;
+  std::optional<std::string> svg_path;
+  bool paper_scale = false;
+};
+
+/// Parses --paper, --warmup, --batch, --min-batches, --max-batches, --ci,
+/// --seed, --threads, --stride, --csv PATH, --svg PATH, --help. Exits on
+/// --help or a bad flag.
+RunScale parse_args(int argc, char** argv);
+
+sim::SimConfig to_config(const RunScale& scale);
+metrics::MeasurePolicy to_policy(const RunScale& scale);
+
+/// Shared driver for the figure benches: measure the availability curves
+/// of `topo` under the paper's protocol, print the table + optima footer,
+/// optionally dump CSV. Returns the measured curves for extra reporting.
+metrics::CurveResult run_figure(const net::Topology& topo, const std::string& title,
+                                const RunScale& scale);
+
+} // namespace quora::bench

@@ -1,0 +1,12 @@
+// Figure 3: Topology 1 (ring + 1 chord) — availability vs q_r for alpha in {0, .25, .50, .75, 1}
+// on the paper's 101-site topology with 1 chords (DESIGN.md FIG3).
+
+#include "common.hpp"
+#include "net/builders.hpp"
+
+int main(int argc, char** argv) {
+  const quora::bench::RunScale scale = quora::bench::parse_args(argc, argv);
+  const quora::net::Topology topo = quora::net::make_ring_with_chords(101, 1);
+  quora::bench::run_figure(topo, "Figure 3: Topology 1 (ring + 1 chord)", scale);
+  return 0;
+}

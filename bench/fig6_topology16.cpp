@@ -1,0 +1,12 @@
+// Figure 6: Topology 16 (ring + 16 chords) — availability vs q_r for alpha in {0, .25, .50, .75, 1}
+// on the paper's 101-site topology with 16 chords (DESIGN.md FIG6).
+
+#include "common.hpp"
+#include "net/builders.hpp"
+
+int main(int argc, char** argv) {
+  const quora::bench::RunScale scale = quora::bench::parse_args(argc, argv);
+  const quora::net::Topology topo = quora::net::make_ring_with_chords(101, 16);
+  quora::bench::run_figure(topo, "Figure 6: Topology 16 (ring + 16 chords)", scale);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 7: Topology 256 (ring + 256 chords) — availability vs q_r for alpha in {0, .25, .50, .75, 1}
+// on the paper's 101-site topology with 256 chords (DESIGN.md FIG7).
+
+#include "common.hpp"
+#include "net/builders.hpp"
+
+int main(int argc, char** argv) {
+  const quora::bench::RunScale scale = quora::bench::parse_args(argc, argv);
+  const quora::net::Topology topo = quora::net::make_ring_with_chords(101, 256);
+  quora::bench::run_figure(topo, "Figure 7: Topology 256 (ring + 256 chords)", scale);
+  return 0;
+}

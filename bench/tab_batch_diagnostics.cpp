@@ -1,0 +1,92 @@
+// Methodological check behind the paper's §5.2 protocol: batch means must
+// be effectively independent for the Student-t confidence interval to be
+// honest. Each batch here is an independent replication (own RNG stream,
+// reset initial state) — exactly the paper's procedure — so the von
+// Neumann ratio should sit near 2 and lag-1 autocorrelation near 0. For
+// contrast, the same statistics are shown for *sequential* segments of a
+// single long run, where the shared failure state induces correlation at
+// small segment sizes.
+
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "metrics/collectors.hpp"
+#include "net/builders.hpp"
+#include "quorum/protocols.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+#include "stats/diagnostics.hpp"
+
+namespace {
+
+double segment_availability(quora::sim::Simulator& sim,
+                            const quora::quorum::QuorumConsensus& engine,
+                            std::uint64_t accesses) {
+  quora::metrics::ProtocolMeter meter(quora::metrics::static_decider(engine));
+  sim.add_access_observer(&meter);
+  sim.run_accesses(accesses);
+  sim.clear_observers();
+  return meter.availability();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using quora::report::TextTable;
+
+  const quora::bench::RunScale scale = quora::bench::parse_args(argc, argv);
+  const quora::net::Topology topo = quora::net::make_ring_with_chords(101, 4);
+  const quora::quorum::QuorumConsensus engine(
+      topo, quora::quorum::from_read_quorum(topo.total_votes(), 10));
+  quora::sim::SimConfig config = quora::bench::to_config(scale);
+  quora::sim::AccessSpec spec;
+  spec.alpha = 0.5;
+
+  std::cout << "== Batch-means diagnostics (topology-4, q_r=10, alpha=.5) ==\n\n";
+  TextTable table({"scheme", "segment accesses", "n", "von Neumann", "lag-1 ac",
+                   "eff. sample size"});
+
+  constexpr std::uint32_t kBatches = 24;
+  {
+    // The paper's scheme: independent replications.
+    std::vector<double> means;
+    for (std::uint32_t b = 0; b < kBatches; ++b) {
+      quora::sim::Simulator sim(topo, config, spec, scale.seed, b);
+      sim.run_accesses(config.warmup_accesses);
+      means.push_back(segment_availability(sim, engine, config.accesses_per_batch));
+    }
+    table.add_row({"independent replications",
+                   std::to_string(config.accesses_per_batch),
+                   std::to_string(kBatches),
+                   TextTable::fmt(quora::stats::von_neumann_ratio(means), 2),
+                   TextTable::fmt(quora::stats::autocorrelation(means, 1), 3),
+                   TextTable::fmt(quora::stats::effective_sample_size(means), 1)});
+  }
+
+  // Sequential segments of one run, at several segment lengths: short
+  // segments share failure state across boundaries and correlate.
+  for (const std::uint64_t seg :
+       {config.accesses_per_batch / 64, config.accesses_per_batch / 8,
+        config.accesses_per_batch}) {
+    quora::sim::Simulator sim(topo, config, spec, scale.seed + 1);
+    sim.run_accesses(config.warmup_accesses);
+    std::vector<double> means;
+    for (std::uint32_t b = 0; b < kBatches; ++b) {
+      means.push_back(segment_availability(sim, engine, seg));
+    }
+    table.add_row({"sequential segments", std::to_string(seg),
+                   std::to_string(kBatches),
+                   TextTable::fmt(quora::stats::von_neumann_ratio(means), 2),
+                   TextTable::fmt(quora::stats::autocorrelation(means, 1), 3),
+                   TextTable::fmt(quora::stats::effective_sample_size(means), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(von Neumann ~ 2 and lag-1 ~ 0 indicate independence. "
+               "Replications are\nindependent by construction — the paper's "
+               "scheme — while sequential segments\nshare failure state "
+               "across boundaries and can correlate, which would\nunderstate "
+               "the Student-t interval. This is why 5.2 resets the network "
+               "to the\ninitial state before each batch.)\n";
+  return 0;
+}

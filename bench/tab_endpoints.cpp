@@ -1,0 +1,94 @@
+// DESIGN.md ENDP — the three structural claims of §5.3, checked over every
+// topology and alpha:
+//
+//  (1) all alpha-curves of a topology converge at q_r = floor(T/2)
+//      (q_r and q_w nearly equal there, so reads and writes are treated
+//      alike);
+//  (2) availability at q_r = 1 is topology-independent and equals
+//      0.96 * alpha (a read succeeds iff its submitting site is up);
+//  (3) every curve attains its maximum at an endpoint of the q_r range —
+//      with the paper's sole exception, Topology 16 at alpha = .75.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/optimize.hpp"
+#include "net/builders.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using quora::core::AvailabilityCurve;
+  using quora::report::TextTable;
+
+  const quora::bench::RunScale scale = quora::bench::parse_args(argc, argv);
+  const std::vector<std::uint32_t> chord_counts{0, 1, 2, 4, 16, 256};
+
+  std::cout << "== Endpoint structure of the availability curves (paper 5.3) ==\n\n";
+
+  TextTable conv({"topology", "max spread at q_r=50", "spread at q_r=1"});
+  TextTable rowa({"topology", "alpha", "A(q_r=1)", "0.96*alpha", "|diff|"});
+  TextTable ends({"topology", "alpha", "argmax q_r", "interior advantage",
+                  "endpoint max?"});
+
+  int interior_maxima = 0;
+  for (const std::uint32_t chords : chord_counts) {
+    const quora::net::Topology topo = quora::net::make_ring_with_chords(101, chords);
+    const auto curves = quora::metrics::measure_curves(
+        topo, quora::bench::to_config(scale), quora::bench::to_policy(scale));
+    const AvailabilityCurve curve = curves.pooled_curve();
+    const quora::net::Vote max_q = curve.max_read_quorum();
+    const std::string name = "topology-" + std::to_string(chords);
+
+    // (1) convergence: spread of the alpha-curves at the majority end
+    // vs the (maximal) spread at q_r = 1.
+    double lo50 = 1.0;
+    double hi50 = 0.0;
+    double lo1 = 1.0;
+    double hi1 = 0.0;
+    for (const double alpha : curves.alphas) {
+      const double a50 = curve.availability(alpha, max_q);
+      const double a1 = curve.availability(alpha, 1);
+      lo50 = std::min(lo50, a50);
+      hi50 = std::max(hi50, a50);
+      lo1 = std::min(lo1, a1);
+      hi1 = std::max(hi1, a1);
+    }
+    conv.add_row({name, TextTable::fmt(hi50 - lo50, 4), TextTable::fmt(hi1 - lo1, 4)});
+
+    for (const double alpha : curves.alphas) {
+      // (2) the q_r = 1 availability law.
+      const double a1 = curve.availability(alpha, 1);
+      const double predicted = 0.96 * alpha;
+      rowa.add_row({name, TextTable::fmt(alpha, 2), TextTable::fmt(a1, 4),
+                    TextTable::fmt(predicted, 4),
+                    TextTable::fmt(std::abs(a1 - predicted), 4)});
+
+      // (3) endpoint maxima. Dense topologies produce long plateaus, so
+      // an interior argmax that merely *ties* an endpoint (within the
+      // measurement CI) still supports the paper's claim; what matters is
+      // whether the interior strictly beats both endpoints.
+      const auto best = quora::core::optimize_exhaustive(curve, alpha);
+      const double endpoint_best =
+          std::max(curve.availability(alpha, 1), curve.availability(alpha, max_q));
+      const double advantage = best.value - endpoint_best;
+      const bool endpoint_max = advantage <= curves.max_half_width;
+      if (!endpoint_max) ++interior_maxima;
+      ends.add_row({name, TextTable::fmt(alpha, 2), std::to_string(best.q_r()),
+                    TextTable::fmt(advantage, 4),
+                    endpoint_max ? "yes" : "NO (interior)"});
+    }
+  }
+
+  std::cout << "(1) curve convergence at the majority endpoint:\n";
+  conv.print(std::cout);
+  std::cout << "\n(2) A(alpha, q_r=1) = 0.96*alpha, independent of topology:\n";
+  rowa.print(std::cout);
+  std::cout << "\n(3) maxima at endpoints, within the measurement CI "
+               "(paper allows one exception, topology 16 at alpha=.75):\n";
+  ends.print(std::cout);
+  std::cout << "\nstrict interior maxima found: " << interior_maxima
+            << " (paper: 1, at topology 16, alpha=.75)\n";
+  return 0;
+}

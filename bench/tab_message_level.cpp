@@ -1,0 +1,91 @@
+// DESIGN.md MSGV — the message-level reference implementation vs the
+// paper's instantaneous oracle. Same stochastic model (Poisson
+// failures/repairs/accesses at the paper's rates), but accesses are real
+// two-phase coordinations: flooded vote requests, write-vote leases,
+// commits, acks, aborts, timeouts, and messages that die with links.
+//
+// As per-hop latency -> 0 the implementation converges to the oracle for
+// READS; for WRITES an irreducible gap remains — the serialization cost
+// of vote leases, which any correct implementation must pay and the
+// instantaneous abstraction cannot represent. The sweep also shows how
+// fast reality leaves the abstraction as the network slows.
+
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "msg/cluster.hpp"
+#include "net/builders.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using quora::report::TextTable;
+
+  const quora::bench::RunScale scale = quora::bench::parse_args(argc, argv);
+  const quora::net::Topology topo = quora::net::make_ring_with_chords(25, 4);
+
+  std::cout << "== Message-level protocol vs the instantaneous oracle ==\n"
+            << "ring+4 chords, 25 sites, q_r=8/q_w=18, alpha=.5, paper "
+               "failure model\n\n";
+
+  TextTable table({"hop latency", "impl A", "oracle A", "read gap",
+                   "write gap", "msgs/access", "mean decide latency"});
+  const std::uint64_t accesses =
+      std::max<std::uint64_t>(4'000, scale.batch / 25);
+
+  for (const double latency : {0.0005, 0.005, 0.02, 0.1, 0.5}) {
+    quora::msg::Cluster::Params params;
+    params.spec = quora::quorum::from_read_quorum(25, 8);
+    params.mean_hop_latency = latency;
+    params.phase_timeout = std::max(1.0, 30.0 * latency);
+    params.alpha = 0.5;
+    quora::msg::Cluster cluster(topo, params, scale.seed);
+    cluster.run_decided_accesses(accesses);
+
+    double total_latency = 0.0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t r_granted = 0;
+    std::uint64_t w_granted = 0;
+    std::uint64_t r_oracle = 0;
+    std::uint64_t w_oracle = 0;
+    for (const auto& o : cluster.outcomes()) {
+      total_latency += o.decide_time - o.submit_time;
+      if (o.is_read) {
+        ++reads;
+        r_granted += o.granted;
+        r_oracle += o.oracle_granted;
+      } else {
+        ++writes;
+        w_granted += o.granted;
+        w_oracle += o.oracle_granted;
+      }
+    }
+    const auto gap = [](std::uint64_t oracle, std::uint64_t impl,
+                        std::uint64_t n) {
+      return n == 0 ? 0.0
+                    : static_cast<double>(oracle - impl) / static_cast<double>(n);
+    };
+    table.add_row(
+        {TextTable::fmt(latency, 4), TextTable::fmt(cluster.availability(), 4),
+         TextTable::fmt(cluster.oracle_availability(), 4),
+         TextTable::fmt(gap(r_oracle, r_granted, reads), 4),
+         TextTable::fmt(gap(w_oracle, w_granted, writes), 4),
+         TextTable::fmt(static_cast<double>(cluster.messages_sent()) /
+                            static_cast<double>(cluster.outcomes().size()),
+                        1),
+         TextTable::fmt(total_latency /
+                            static_cast<double>(cluster.outcomes().size()),
+                        4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(The READ gap vanishes as latency -> 0: for reads the "
+               "paper's oracle is\nexactly the limit of the real protocol. "
+               "The WRITE gap does not vanish —\nconcurrent writes must "
+               "serialize on vote leases in any correct\nimplementation, a "
+               "mutual-exclusion cost the instantaneous model cannot\nsee. "
+               "At higher latencies both gaps grow with timeouts and "
+               "mid-flight\nmessage loss.)\n";
+  return 0;
+}

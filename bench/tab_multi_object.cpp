@@ -1,0 +1,146 @@
+// Extension experiment (DESIGN.md MOBJ): per-object quorum assignment in a
+// multi-object database. The paper optimizes a single object; with several
+// objects of different read mixes sharing one network, the Figure-1
+// machinery runs once per object on one shared measurement — and the win
+// over a single global assignment is the sum of per-object gaps.
+//
+// Validation: availabilities predicted from the shared curve are checked
+// against a direct simulation of the Database layer under the mixed
+// workload.
+
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/optimize.hpp"
+#include "db/database.hpp"
+#include "net/builders.hpp"
+#include "quorum/quorum_spec.hpp"
+#include "report/table.hpp"
+#include "rng/distributions.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using quora::report::TextTable;
+
+struct Workload {
+  const char* name;
+  double alpha;
+  double share;  // fraction of all accesses touching this object
+};
+
+/// Drives a Database under the mixed workload on a live simulator and
+/// returns per-object measured availability.
+class DbDriver : public quora::sim::AccessObserver {
+public:
+  DbDriver(quora::db::Database& db, const std::vector<Workload>& workloads,
+           std::uint64_t seed)
+      : db_(&db), workloads_(&workloads), gen_(seed) {}
+
+  void on_access(const quora::sim::Simulator& sim,
+                 const quora::sim::AccessEvent& ev) override {
+    // Pick the object by workload share, then read/write by its alpha.
+    double u = gen_.next_double();
+    std::size_t object = workloads_->size() - 1;
+    for (std::size_t i = 0; i < workloads_->size(); ++i) {
+      if (u < (*workloads_)[i].share) {
+        object = i;
+        break;
+      }
+      u -= (*workloads_)[i].share;
+    }
+    const auto id = static_cast<quora::db::ObjectId>(object);
+    if (quora::rng::bernoulli(gen_, (*workloads_)[object].alpha)) {
+      db_->read(sim.tracker(), ev.site, id);
+    } else {
+      db_->write(sim.tracker(), ev.site, id, counter_++);
+    }
+  }
+
+private:
+  quora::db::Database* db_;
+  const std::vector<Workload>* workloads_;
+  quora::rng::Xoshiro256ss gen_;
+  std::uint64_t counter_ = 1;
+};
+
+double measured_availability(const quora::db::Database& db,
+                             quora::db::ObjectId id) {
+  const auto& s = db.stats(id);
+  const std::uint64_t total = s.reads + s.writes;
+  return total == 0 ? 0.0
+                    : static_cast<double>(s.reads_granted + s.writes_granted) /
+                          static_cast<double>(total);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const quora::bench::RunScale scale = quora::bench::parse_args(argc, argv);
+  const quora::net::Topology topo = quora::net::make_ring_with_chords(101, 4);
+  const quora::net::Vote total = topo.total_votes();
+
+  const std::vector<Workload> workloads{
+      {"catalog", 0.95, 0.5}, {"orders", 0.30, 0.3}, {"session", 0.70, 0.2}};
+
+  std::cout << "== Per-object quorum assignment (multi-object extension) ==\n\n";
+
+  // Shared measurement, one optimization per object.
+  quora::metrics::MeasurePolicy policy = quora::bench::to_policy(scale);
+  policy.alphas.clear();
+  for (const Workload& w : workloads) policy.alphas.push_back(w.alpha);
+  const auto curves = quora::metrics::measure_curves(
+      topo, quora::bench::to_config(scale), policy);
+  const auto curve = curves.pooled_curve();
+
+  std::vector<quora::db::Database::ObjectConfig> tuned_configs;
+  std::vector<quora::db::Database::ObjectConfig> majority_configs;
+  std::vector<double> predicted;
+  for (const Workload& w : workloads) {
+    const auto best =
+        quora::core::optimize_write_constrained(curve, w.alpha, 0.10)
+            .value_or(quora::core::optimize_exhaustive(curve, w.alpha));
+    tuned_configs.push_back({w.name, best.spec});
+    majority_configs.push_back({w.name, quora::quorum::majority(total)});
+    predicted.push_back(best.value);
+  }
+
+  // Validate by driving the actual Database layer inside the simulator.
+  quora::db::Database tuned(topo, tuned_configs);
+  quora::db::Database uniform(topo, majority_configs);
+  {
+    quora::sim::Simulator sim(topo, quora::bench::to_config(scale),
+                              quora::sim::AccessSpec{}, scale.seed);
+    sim.run_accesses(quora::bench::to_config(scale).warmup_accesses);
+    DbDriver tuned_driver(tuned, workloads, scale.seed + 100);
+    DbDriver uniform_driver(uniform, workloads, scale.seed + 100);
+    sim.add_access_observer(&tuned_driver);
+    sim.add_access_observer(&uniform_driver);
+    sim.run_accesses(quora::bench::to_config(scale).accesses_per_batch);
+  }
+
+  TextTable table({"object", "alpha", "tuned q_r/q_w", "predicted A",
+                   "simulated A", "majority A", "gain"});
+  double weighted_gain = 0.0;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const auto id = static_cast<quora::db::ObjectId>(i);
+    const double a_tuned = measured_availability(tuned, id);
+    const double a_uniform = measured_availability(uniform, id);
+    weighted_gain += workloads[i].share * (a_tuned - a_uniform);
+    table.add_row({workloads[i].name, TextTable::fmt(workloads[i].alpha, 2),
+                   std::to_string(tuned.object_spec(id).q_r) + "/" +
+                       std::to_string(tuned.object_spec(id).q_w),
+                   TextTable::fmt(predicted[i], 4), TextTable::fmt(a_tuned, 4),
+                   TextTable::fmt(a_uniform, 4),
+                   TextTable::pct(a_tuned - a_uniform, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nworkload-weighted availability gain over one-size-fits-all "
+               "majority: "
+            << TextTable::pct(weighted_gain, 1)
+            << "\n(one measurement pass serves every object — the "
+               "distribution is a network\nproperty; only step 4 of Figure 1 "
+               "is per-object)\n";
+  return 0;
+}

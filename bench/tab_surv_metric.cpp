@@ -1,0 +1,58 @@
+// DESIGN.md SURV — footnote 3: the same Figure-1 optimization run under
+// the *survivability* metric, by substituting the distribution of votes in
+// the largest component for the per-site distribution f_i.
+//
+// SURV asks "does any site retain access?", ACC asks "can a random site
+// access?" — so SURV dominates ACC pointwise, and SURV's optima can sit at
+// different quorums.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/optimize.hpp"
+#include "net/builders.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using quora::core::AvailabilityCurve;
+  using quora::report::TextTable;
+
+  const quora::bench::RunScale scale = quora::bench::parse_args(argc, argv);
+
+  std::cout << "== SURV-metric optimization (paper footnote 3) ==\n\n";
+  TextTable table({"topology", "alpha", "ACC opt q_r", "ACC value", "SURV opt q_r",
+                   "SURV value", "SURV>=ACC everywhere?"});
+
+  for (const std::uint32_t chords : {2u, 16u, 256u}) {
+    const quora::net::Topology topo = quora::net::make_ring_with_chords(101, chords);
+    const auto curves = quora::metrics::measure_curves(
+        topo, quora::bench::to_config(scale), quora::bench::to_policy(scale));
+    const AvailabilityCurve acc = curves.pooled_curve();
+    const AvailabilityCurve surv = curves.surv_curve();
+
+    for (const double alpha : curves.alphas) {
+      const auto acc_best = quora::core::optimize_exhaustive(acc, alpha);
+      const auto surv_best = quora::core::optimize_exhaustive(surv, alpha);
+      // Dominance holds exactly in distribution; the two estimates come
+      // from different histograms of the same run, so compare within the
+      // measurement CI.
+      bool dominates = true;
+      for (quora::net::Vote q = 1; q <= acc.max_read_quorum(); ++q) {
+        if (surv.availability(alpha, q) + curves.max_half_width <
+            acc.availability(alpha, q)) {
+          dominates = false;
+          break;
+        }
+      }
+      table.add_row({"topology-" + std::to_string(chords), TextTable::fmt(alpha, 2),
+                     std::to_string(acc_best.q_r()), TextTable::fmt(acc_best.value, 4),
+                     std::to_string(surv_best.q_r()),
+                     TextTable::fmt(surv_best.value, 4), dominates ? "yes" : "NO"});
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+  std::cout << "\n(single-site reliability 0.96 bounds SURV from below and "
+               "ACC from above — paper section 3)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Optimal vote assignment (paper references [7, 8] — Garcia-Molina &
+// Barbara; Cheung, Ahamad & Ammar): when site reliabilities are
+// heterogeneous, uniform one-vote-per-site is no longer optimal. This
+// bench exhaustively searches vote vectors and quorum pairs on small
+// networks (the literature's own scale: <= 7 sites) and reports the gain
+// over uniform votes with majority quorums.
+
+#include <iostream>
+#include <vector>
+
+#include "core/vote_opt.hpp"
+#include "quorum/quorum_spec.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+std::string votes_string(const std::vector<quora::net::Vote>& votes) {
+  std::string s;
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    s += (i ? "," : "") + std::to_string(votes[i]);
+  }
+  return s;
+}
+
+} // namespace
+
+int main(int, char**) {
+  using quora::report::TextTable;
+
+  std::cout << "== Optimal vote assignments, heterogeneous reliabilities ==\n\n";
+
+  struct Scenario {
+    const char* label;
+    std::vector<double> reliability;
+  };
+  const std::vector<Scenario> scenarios{
+      {"uniform .90 x5", {0.90, 0.90, 0.90, 0.90, 0.90}},
+      {"one strong site", {0.99, 0.85, 0.85, 0.85, 0.85}},
+      {"two tiers", {0.98, 0.98, 0.80, 0.80, 0.80}},
+      {"one weak site", {0.95, 0.95, 0.95, 0.95, 0.50}},
+      {"spread", {0.99, 0.95, 0.90, 0.85, 0.80}},
+  };
+
+  TextTable table({"scenario", "alpha", "best votes", "q_r/q_w", "A(best)",
+                   "A(uniform majority)", "gain"});
+  for (const Scenario& sc : scenarios) {
+    const std::vector<quora::net::Vote> uniform(sc.reliability.size(), 1);
+    const auto total = static_cast<quora::net::Vote>(uniform.size());
+    const quora::quorum::QuorumSpec maj = quora::quorum::majority(total);
+    for (const double alpha : {0.25, 0.75}) {
+      const auto best =
+          quora::core::optimize_vote_assignment(sc.reliability, alpha, 3);
+      const double uniform_a =
+          quora::core::exact_availability(sc.reliability, uniform, alpha, maj);
+      table.add_row({sc.label, TextTable::fmt(alpha, 2), votes_string(best.votes),
+                     std::to_string(best.spec.q_r) + "/" +
+                         std::to_string(best.spec.q_w),
+                     TextTable::fmt(best.availability, 4),
+                     TextTable::fmt(uniform_a, 4),
+                     TextTable::pct(best.availability - uniform_a, 1)});
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+  std::cout << "\n(Exact enumeration in the non-partitionable model; skewed "
+               "reliabilities pull\nvotes onto dependable sites — the "
+               "references' qualitative finding.)\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// A small replicated database with three objects whose read/write mixes
+// differ wildly — and per-object optimal quorum assignments from one
+// shared measurement.
+//
+//   catalog  alpha = 0.98  (almost never written)
+//   orders   alpha = 0.40  (write-heavy)
+//   session  alpha = 0.75  (mixed)
+//
+// The component-size distribution is a property of the *network*, not of
+// any object, so a single measurement pass feeds the Figure-1 optimizer
+// once per object. The table compares each object's availability under
+// its own optimum against a one-size-fits-all majority database.
+
+#include <iostream>
+#include <vector>
+
+#include "core/optimize.hpp"
+#include "db/database.hpp"
+#include "metrics/experiment.hpp"
+#include "net/builders.hpp"
+#include "quorum/quorum_spec.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using quora::report::TextTable;
+
+  const quora::net::Topology topo = quora::net::make_ring_with_chords(31, 3);
+  const quora::net::Vote total = topo.total_votes();
+
+  struct Workload {
+    const char* name;
+    double alpha;
+  };
+  const std::vector<Workload> objects{
+      {"catalog", 0.98}, {"orders", 0.40}, {"session", 0.75}};
+
+  // One measurement serves every object.
+  quora::sim::SimConfig config;
+  config.warmup_accesses = 10'000;
+  config.accesses_per_batch = 80'000;
+  quora::metrics::MeasurePolicy policy;
+  policy.alphas.clear();
+  for (const Workload& w : objects) policy.alphas.push_back(w.alpha);
+  policy.batch.min_batches = 5;
+  policy.batch.max_batches = 8;
+  const auto curves = quora::metrics::measure_curves(topo, config, policy);
+  const quora::core::AvailabilityCurve curve = curves.pooled_curve();
+
+  const quora::quorum::QuorumSpec majority = quora::quorum::majority(total);
+  std::vector<quora::db::Database::ObjectConfig> configs;
+
+  TextTable table({"object", "alpha", "optimal q_r/q_w", "A(optimal)",
+                   "A(majority)", "gain"});
+  for (const Workload& w : objects) {
+    const auto best = quora::core::optimize_write_constrained(curve, w.alpha,
+                                                              /*A_w floor=*/0.10)
+                          .value_or(quora::core::optimize_exhaustive(curve, w.alpha));
+    const double a_majority = curve.value(w.alpha, majority.q_r, majority.q_w);
+    table.add_row({w.name, TextTable::fmt(w.alpha, 2),
+                   std::to_string(best.q_r()) + "/" + std::to_string(best.q_w()),
+                   TextTable::fmt(best.value, 4), TextTable::fmt(a_majority, 4),
+                   TextTable::pct(best.value - a_majority, 1)});
+    configs.push_back({w.name, best.spec});
+  }
+  table.print(std::cout);
+
+  // The assignments drop straight into the database layer.
+  quora::db::Database db(topo, std::move(configs));
+  std::cout << "\ndatabase ready: " << db.object_count()
+            << " objects, per-object assignments installed\n"
+            << "(each object keeps a 10% write-availability floor — 5.4's "
+               "constraint —\nso deploys can still write the catalog during "
+               "partitions)\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The quorum protocol as it actually runs on the wire: a small cluster
+// executing Gifford-style two-phase weighted voting with flooded vote
+// requests, write-vote leases, commits, acks and timeouts (src/msg) —
+// side by side with the paper's instantaneous oracle on the same event
+// stream.
+//
+// Usage: protocol_trace [hop_latency]   (default 0.02 time units)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "msg/cluster.hpp"
+#include "net/builders.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using quora::report::TextTable;
+
+  const double latency = argc > 1 ? std::atof(argv[1]) : 0.02;
+
+  const quora::net::Topology topo = quora::net::make_ring_with_chords(15, 2);
+  quora::msg::Cluster::Params params;
+  params.spec = quora::quorum::from_read_quorum(15, 5);  // q_r=5, q_w=11
+  params.mean_hop_latency = latency;
+  params.phase_timeout = std::max(1.0, 30.0 * latency);
+  params.alpha = 0.6;
+
+  quora::msg::Cluster cluster(topo, params, /*seed=*/2026);
+  cluster.run_decided_accesses(5'000);
+
+  std::cout << "cluster: " << topo.name() << ", q_r=" << params.spec.q_r
+            << " q_w=" << params.spec.q_w << ", hop latency "
+            << TextTable::fmt(latency, 3) << "\n\n";
+
+  // A short trace of individual outcomes.
+  TextTable trace({"t(submit)", "site", "kind", "outcome", "version",
+                   "decide latency"});
+  std::size_t shown = 0;
+  for (const auto& o : cluster.outcomes()) {
+    if (shown >= 12) break;
+    if (o.submit_time < 100.0) continue;  // skip warm start
+    trace.add_row({TextTable::fmt(o.submit_time, 2), std::to_string(o.origin),
+                   o.is_read ? "read" : "write",
+                   o.granted ? "granted" : "denied", std::to_string(o.version),
+                   TextTable::fmt(o.decide_time - o.submit_time, 3)});
+    ++shown;
+  }
+  trace.print(std::cout);
+
+  std::cout << "\ntotals over " << cluster.outcomes().size() << " accesses:\n"
+            << "  implementation availability: "
+            << TextTable::fmt(cluster.availability(), 4) << '\n'
+            << "  instantaneous-oracle availability: "
+            << TextTable::fmt(cluster.oracle_availability(), 4) << '\n'
+            << "  committed writes: " << cluster.commits().size() << '\n'
+            << "  messages: " << cluster.messages_sent() << "  (~"
+            << TextTable::fmt(static_cast<double>(cluster.messages_sent()) /
+                                  static_cast<double>(cluster.outcomes().size()),
+                              1)
+            << " per access)\n"
+            << "\nTry a slower network (protocol_trace 0.2): the oracle "
+               "holds steady while the\nreal protocol pays for timeouts and "
+               "write-lease contention — the gap the\npaper's instantaneous "
+               "model abstracts away.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Topology explorer: how does network shape change the optimal quorum
+// assignment and the availability it buys?
+//
+// Compares ring / ring+chords / grid / tree / star / complete graphs of
+// roughly equal size under the same failure model and read mix, printing
+// each topology's optimal assignment, its availability, and the penalty
+// for running plain majority instead.
+//
+// Usage: topology_explorer [alpha]   (default 0.6)
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/optimize.hpp"
+#include "metrics/experiment.hpp"
+#include "net/builders.hpp"
+#include "quorum/quorum_spec.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using quora::report::TextTable;
+
+  const double alpha = argc > 1 ? std::atof(argv[1]) : 0.6;
+
+  std::vector<quora::net::Topology> topologies;
+  topologies.push_back(quora::net::make_ring(36));
+  topologies.push_back(quora::net::make_ring_with_chords(36, 6));
+  topologies.push_back(quora::net::make_grid(6, 6));
+  topologies.push_back(quora::net::make_binary_tree(36));
+  topologies.push_back(quora::net::make_star(36));
+  topologies.push_back(quora::net::make_fully_connected(36));
+
+  quora::sim::SimConfig config;
+  config.warmup_accesses = 10'000;
+  config.accesses_per_batch = 50'000;
+
+  quora::metrics::MeasurePolicy policy;
+  policy.alphas = {alpha};
+  policy.batch.min_batches = 4;
+  policy.batch.max_batches = 6;
+
+  std::cout << "alpha = " << TextTable::fmt(alpha, 2)
+            << ", site/link reliability 0.96, one vote per site\n\n";
+
+  TextTable table({"topology", "links", "opt q_r", "opt q_w", "A(opt)",
+                   "A(majority)", "majority penalty"});
+  for (const auto& topo : topologies) {
+    const auto curves = quora::metrics::measure_curves(topo, config, policy);
+    const auto curve = curves.pooled_curve();
+    const auto best = quora::core::optimize_exhaustive(curve, alpha);
+    const auto maj = quora::quorum::majority(topo.total_votes());
+    const double a_maj = curve.value(alpha, maj.q_r, maj.q_w);
+    table.add_row({topo.name(), std::to_string(topo.link_count()),
+                   std::to_string(best.q_r()), std::to_string(best.q_w()),
+                   TextTable::fmt(best.value, 4), TextTable::fmt(a_maj, 4),
+                   TextTable::pct(best.value - a_maj, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSparse topologies fragment into small components, so only "
+               "tiny read quorums\nsucceed; dense ones keep a giant component "
+               "alive and majority is near-optimal\n(the paper's 5.3/5.5 "
+               "conclusions, here across six network families).\n";
+  return 0;
+}

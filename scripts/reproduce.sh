@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Reproduce every experiment in DESIGN.md §3 and collect the outputs.
+#
+#   scripts/reproduce.sh            # reduced scale (~1 minute)
+#   scripts/reproduce.sh --paper    # the paper's exact protocol
+#
+# Results land in reproduce-out/: one .txt per experiment plus a combined
+# report. Build first: cmake -B build -G Ninja && cmake --build build
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE_ARGS=("$@")
+BENCH_DIR=build/bench
+OUT_DIR=reproduce-out
+mkdir -p "$OUT_DIR"
+
+FIGURES=(fig2_topology0 fig3_topology1 fig4_topology2 fig5_topology4
+         fig6_topology16 fig7_topology256 fig7x_topology4949)
+TABLES=(tab_endpoints tab_read_write_ratio tab_write_constraint
+        tab_analytic_validation tab_surv_metric tab_ahamad_ammar
+        tab_vote_assignment tab_batch_diagnostics tab_multi_object
+        tab_witnesses tab_access_skew tab_message_level)
+ABLATIONS=(abl_estimator abl_optimizer abl_dynamic_qr abl_graduation
+           abl_sensitivity abl_access_duration abl_protocol_survey)
+
+run() {
+  local name=$1; shift
+  echo "== $name $*"
+  "$BENCH_DIR/$name" "$@" | tee "$OUT_DIR/$name.txt"
+  echo
+}
+
+: > "$OUT_DIR/report.txt"
+{
+  echo "quora reproduction run: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  echo "scale: ${SCALE_ARGS[*]:-default (reduced)}"
+  echo
+} | tee -a "$OUT_DIR/report.txt"
+
+for b in "${FIGURES[@]}" "${TABLES[@]}" "${ABLATIONS[@]}"; do
+  run "$b" "${SCALE_ARGS[@]}" | tee -a "$OUT_DIR/report.txt"
+done
+
+echo "== perf_microbench (fixed small budget)"
+"$BENCH_DIR/perf_microbench" --benchmark_min_time=0.05 \
+  | tee "$OUT_DIR/perf_microbench.txt" | tee -a "$OUT_DIR/report.txt"
+
+echo
+echo "all outputs in $OUT_DIR/ — compare against EXPERIMENTS.md"

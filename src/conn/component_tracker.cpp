@@ -1,0 +1,104 @@
+#include "conn/component_tracker.hpp"
+
+#include <algorithm>
+
+namespace quora::conn {
+
+ComponentTracker::ComponentTracker(const LiveNetwork& live)
+    : live_(&live), cached_version_(live.version() - 1) {
+  const auto n = live.topology().site_count();
+  label_.assign(n, kNoComponent);
+  bfs_stack_.reserve(n);
+  refresh();
+}
+
+void ComponentTracker::refresh() const {
+  if (cached_version_ == live_->version()) return;
+
+  const net::Topology& topo = live_->topology();
+  const std::uint32_t n = topo.site_count();
+
+  label_.assign(n, kNoComponent);
+  comp_votes_.clear();
+  comp_size_.clear();
+  member_storage_.clear();
+  member_storage_.reserve(live_->up_site_count());
+  member_offsets_.assign(1, 0);
+
+  for (net::SiteId root = 0; root < n; ++root) {
+    if (!live_->is_site_up(root) || label_[root] != kNoComponent) continue;
+    const auto comp = static_cast<std::int32_t>(comp_votes_.size());
+    net::Vote votes = 0;
+    std::uint32_t size = 0;
+
+    bfs_stack_.clear();
+    bfs_stack_.push_back(root);
+    label_[root] = comp;
+    while (!bfs_stack_.empty()) {
+      const net::SiteId s = bfs_stack_.back();
+      bfs_stack_.pop_back();
+      votes += topo.votes(s);
+      ++size;
+      member_storage_.push_back(s);
+      for (const net::Topology::Edge& e : topo.neighbors(s)) {
+        if (!live_->is_link_up(e.link)) continue;
+        if (!live_->is_site_up(e.neighbor)) continue;
+        if (label_[e.neighbor] != kNoComponent) continue;
+        label_[e.neighbor] = comp;
+        bfs_stack_.push_back(e.neighbor);
+      }
+    }
+    comp_votes_.push_back(votes);
+    comp_size_.push_back(size);
+    member_offsets_.push_back(member_storage_.size());
+  }
+  cached_version_ = live_->version();
+}
+
+std::int32_t ComponentTracker::component_of(net::SiteId s) const {
+  refresh();
+  return label_.at(s);
+}
+
+net::Vote ComponentTracker::component_votes(net::SiteId s) const {
+  refresh();
+  const std::int32_t c = label_.at(s);
+  return c == kNoComponent ? 0 : comp_votes_[static_cast<std::size_t>(c)];
+}
+
+std::uint32_t ComponentTracker::component_size(net::SiteId s) const {
+  refresh();
+  const std::int32_t c = label_.at(s);
+  return c == kNoComponent ? 0 : comp_size_[static_cast<std::size_t>(c)];
+}
+
+std::uint32_t ComponentTracker::component_count() const {
+  refresh();
+  return static_cast<std::uint32_t>(comp_votes_.size());
+}
+
+net::Vote ComponentTracker::max_component_votes() const {
+  refresh();
+  const auto it = std::max_element(comp_votes_.begin(), comp_votes_.end());
+  return it == comp_votes_.end() ? 0 : *it;
+}
+
+std::span<const net::SiteId> ComponentTracker::members(std::int32_t label) const {
+  refresh();
+  const auto i = static_cast<std::size_t>(label);
+  return {member_storage_.data() + member_offsets_.at(i),
+          member_storage_.data() + member_offsets_.at(i + 1)};
+}
+
+bool ComponentTracker::connected(net::SiteId a, net::SiteId b) const {
+  refresh();
+  const std::int32_t ca = label_.at(a);
+  return ca != kNoComponent && ca == label_.at(b);
+}
+
+std::span<const net::Vote> ComponentTracker::votes_by_label() const {
+  refresh();
+  return comp_votes_;
+}
+
+} // namespace quora::conn

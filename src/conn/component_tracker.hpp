@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "conn/live_network.hpp"
+
+namespace quora::conn {
+
+/// Label given to sites that are currently down. Down sites belong to no
+/// component; the paper regards them "as a member of a component of size
+/// zero" for availability accounting.
+inline constexpr std::int32_t kNoComponent = -1;
+
+/// Partition structure of a `LiveNetwork`: connected components over up
+/// sites and operational links, with per-component vote and size totals.
+///
+/// Recomputation is lazy: the full labeling is rebuilt (one O(V+E) BFS
+/// sweep) only when a query observes that the network version moved. The
+/// simulator's access events are roughly as frequent as failure events in
+/// the paper's parameterization (rho = 1/128 with ~100 sites), so on
+/// average each rebuild serves a handful of queries and no rebuild is ever
+/// wasted on an unqueried state.
+class ComponentTracker {
+public:
+  explicit ComponentTracker(const LiveNetwork& live);
+
+  /// Component label of `s`, or `kNoComponent` if the site is down.
+  std::int32_t component_of(net::SiteId s) const;
+
+  /// Total votes held by sites in s's component; 0 if s is down.
+  net::Vote component_votes(net::SiteId s) const;
+
+  /// Number of sites in s's component; 0 if s is down.
+  std::uint32_t component_size(net::SiteId s) const;
+
+  /// Number of components among up sites.
+  std::uint32_t component_count() const;
+
+  /// Votes held by the component with the most votes (0 if all sites are
+  /// down). This is the quantity the SURV metric optimizes over
+  /// (paper footnote 3).
+  net::Vote max_component_votes() const;
+
+  /// Sites of the component labeled `label`, in discovery order.
+  std::span<const net::SiteId> members(std::int32_t label) const;
+
+  /// True if both sites are up and currently connected.
+  bool connected(net::SiteId a, net::SiteId b) const;
+
+  /// Votes of every component, indexed by label.
+  std::span<const net::Vote> votes_by_label() const;
+
+private:
+  void refresh() const;
+
+  const LiveNetwork* live_;
+  // Cache, rebuilt when live_->version() != cached_version_.
+  mutable std::uint64_t cached_version_;
+  mutable std::vector<std::int32_t> label_;
+  mutable std::vector<net::Vote> comp_votes_;
+  mutable std::vector<std::uint32_t> comp_size_;
+  mutable std::vector<net::SiteId> member_storage_;  // grouped by component
+  mutable std::vector<std::size_t> member_offsets_;  // CSR over member_storage_
+  mutable std::vector<net::SiteId> bfs_stack_;
+};
+
+} // namespace quora::conn

@@ -1,0 +1,49 @@
+#include "conn/live_network.hpp"
+
+namespace quora::conn {
+
+LiveNetwork::LiveNetwork(const net::Topology& topo)
+    : topo_(&topo),
+      site_up_(topo.site_count(), 1),
+      link_up_(topo.link_count(), 1),
+      up_sites_(topo.site_count()),
+      up_links_(topo.link_count()) {}
+
+bool LiveNetwork::set_site_up(net::SiteId s, bool up) {
+  std::uint8_t& flag = site_up_.at(s);
+  if ((flag != 0) == up) return false;
+  flag = up ? 1 : 0;
+  up_sites_ += up ? 1u : -1u;
+  ++version_;
+  return true;
+}
+
+bool LiveNetwork::set_link_up(net::LinkId l, bool up) {
+  std::uint8_t& flag = link_up_.at(l);
+  if ((flag != 0) == up) return false;
+  flag = up ? 1 : 0;
+  up_links_ += up ? 1u : -1u;
+  ++version_;
+  return true;
+}
+
+void LiveNetwork::reset_all_up() {
+  bool changed = false;
+  for (auto& f : site_up_) {
+    if (!f) {
+      f = 1;
+      changed = true;
+    }
+  }
+  for (auto& f : link_up_) {
+    if (!f) {
+      f = 1;
+      changed = true;
+    }
+  }
+  up_sites_ = topo_->site_count();
+  up_links_ = topo_->link_count();
+  if (changed) ++version_;
+}
+
+} // namespace quora::conn

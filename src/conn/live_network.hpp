@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace quora::conn {
+
+/// The dynamic view of a `net::Topology`: which sites and links are
+/// currently operational.
+///
+/// Failure semantics follow the paper's model (§5.1): links fail by failing
+/// to transmit (no partial or byzantine failures), processors are
+/// fail-stop, and all failures are eventually repaired. Every mutation that
+/// actually changes state bumps `version()`, which downstream caches
+/// (`ComponentTracker`) key on.
+class LiveNetwork {
+public:
+  explicit LiveNetwork(const net::Topology& topo);
+
+  const net::Topology& topology() const noexcept { return *topo_; }
+
+  bool is_site_up(net::SiteId s) const { return site_up_.at(s) != 0; }
+  bool is_link_up(net::LinkId l) const { return link_up_.at(l) != 0; }
+
+  /// A link transmits only when it and both endpoints are up.
+  bool link_operational(net::LinkId l) const {
+    const net::Link& e = topo_->link(l);
+    return is_link_up(l) && is_site_up(e.a) && is_site_up(e.b);
+  }
+
+  /// Returns true if the call changed state.
+  bool set_site_up(net::SiteId s, bool up);
+  bool set_link_up(net::LinkId l, bool up);
+
+  /// Restore every component to operational (the paper resets to the
+  /// initial state before each batch).
+  void reset_all_up();
+
+  std::uint32_t up_site_count() const noexcept { return up_sites_; }
+  std::uint32_t up_link_count() const noexcept { return up_links_; }
+
+  /// Monotone counter, bumped by every effective state change.
+  std::uint64_t version() const noexcept { return version_; }
+
+private:
+  const net::Topology* topo_;
+  std::vector<std::uint8_t> site_up_;
+  std::vector<std::uint8_t> link_up_;
+  std::uint32_t up_sites_ = 0;
+  std::uint32_t up_links_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+} // namespace quora::conn

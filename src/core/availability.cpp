@@ -1,0 +1,66 @@
+#include "core/availability.hpp"
+
+#include <stdexcept>
+
+namespace quora::core {
+
+AvailabilityCurve::AvailabilityCurve(VotePdf r, VotePdf w)
+    : r_(std::move(r)), w_(std::move(w)) {
+  if (r_.empty() || r_.size() != w_.size()) {
+    throw std::invalid_argument("AvailabilityCurve: mismatched densities");
+  }
+  total_ = static_cast<net::Vote>(r_.size() - 1);
+  if (total_ < 2) {
+    throw std::invalid_argument("AvailabilityCurve: need at least 2 votes");
+  }
+  build_tails();
+}
+
+AvailabilityCurve::AvailabilityCurve(const VotePdf& both)
+    : AvailabilityCurve(both, both) {}
+
+void AvailabilityCurve::build_tails() {
+  r_tail_.assign(total_ + 2, 0.0);
+  w_tail_.assign(total_ + 2, 0.0);
+  long double r_acc = 0.0L;
+  long double w_acc = 0.0L;
+  for (net::Vote v = total_; v != static_cast<net::Vote>(-1); --v) {
+    r_acc += r_[v];
+    w_acc += w_[v];
+    r_tail_[v] = static_cast<double>(r_acc);
+    w_tail_[v] = static_cast<double>(w_acc);
+    if (v == 0) break;
+  }
+}
+
+double AvailabilityCurve::availability(double alpha, net::Vote q_r) const {
+  return weighted(1.0, alpha, q_r);
+}
+
+double AvailabilityCurve::value(double alpha, net::Vote q_r, net::Vote q_w) const {
+  if (q_r < 1 || q_r > total_ || q_w < 1 || q_w > total_) {
+    throw std::out_of_range("AvailabilityCurve::value: quorum outside [1, T]");
+  }
+  if (!(alpha >= 0.0 && alpha <= 1.0)) {
+    throw std::invalid_argument("AvailabilityCurve: alpha outside [0,1]");
+  }
+  return alpha * read_tail(q_r) + (1.0 - alpha) * write_tail(q_w);
+}
+
+double AvailabilityCurve::weighted(double omega, double alpha, net::Vote q_r) const {
+  if (q_r < 1 || q_r > max_read_quorum()) {
+    throw std::out_of_range("AvailabilityCurve: q_r outside [1, floor(T/2)]");
+  }
+  if (!(alpha >= 0.0 && alpha <= 1.0)) {
+    throw std::invalid_argument("AvailabilityCurve: alpha outside [0,1]");
+  }
+  return alpha * read_tail(q_r) + omega * (1.0 - alpha) * write_tail(total_ - q_r + 1);
+}
+
+double AvailabilityCurve::conditional_on_up(double alpha, net::Vote q_r) const {
+  const double p_up = alpha * (1.0 - r_[0]) + (1.0 - alpha) * (1.0 - w_[0]);
+  if (p_up <= 0.0) return 0.0;
+  return availability(alpha, q_r) / p_up;
+}
+
+} // namespace quora::core

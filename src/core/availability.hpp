@@ -1,0 +1,72 @@
+#pragma once
+
+#include "core/component_dist.hpp"
+#include "net/types.hpp"
+
+namespace quora::core {
+
+/// The availability function of the paper's Figure 1, step 3, precomputed
+/// from the mixtures r(v) and w(v):
+///
+///   A(alpha, q_r) = alpha * R(q_r) + (1 - alpha) * W(T - q_r + 1)
+///
+/// where R(q) = sum_{k >= q} r(k) is the probability an arbitrary read
+/// lands in a component with at least q votes (and W likewise for writes).
+/// Tail sums are materialized once, so each evaluation is O(1).
+class AvailabilityCurve {
+public:
+  /// `r` and `w` are densities over votes 0..T (equal domains).
+  AvailabilityCurve(VotePdf r, VotePdf w);
+
+  /// Both access types drawn from one density (r = w) — the paper's
+  /// uniform-access experiments, and the SURV variant of footnote 3.
+  explicit AvailabilityCurve(const VotePdf& both);
+
+  net::Vote total_votes() const noexcept { return total_; }
+  /// Largest admissible read quorum, floor(T/2).
+  net::Vote max_read_quorum() const noexcept { return total_ / 2; }
+
+  /// R(q): probability a read request sees at least q votes. q may be
+  /// 0..T+1 (R(0) = 1, R(T+1) = 0).
+  double read_tail(net::Vote q) const { return r_tail_.at(q); }
+  /// W(q): probability a write request sees at least q votes.
+  double write_tail(net::Vote q) const { return w_tail_.at(q); }
+
+  /// Probability a read is granted with read quorum q_r.
+  double read_availability(net::Vote q_r) const { return read_tail(q_r); }
+  /// Probability a write is granted when q_w = T - q_r + 1.
+  double write_availability(net::Vote q_r) const {
+    return write_tail(total_ - q_r + 1);
+  }
+
+  /// A(alpha, q_r); q_r must lie in [1, floor(T/2)].
+  double availability(double alpha, net::Vote q_r) const;
+
+  /// A for an arbitrary assignment (q_r, q_w), not necessarily of the
+  /// canonical q_w = T - q_r + 1 family — e.g. strict-majority
+  /// q_r = q_w = floor(T/2)+1. Quorums must lie in [1, T].
+  double value(double alpha, net::Vote q_r, net::Vote q_w) const;
+
+  /// §5.4's weighted objective A(omega, alpha, q_r): writes scaled by
+  /// omega in the linear combination.
+  double weighted(double omega, double alpha, net::Vote q_r) const;
+
+  /// A'(alpha, q_r) = A / P(origin operational): availability conditioned
+  /// on the submitting site being up (footnote 4; pA' = A under uniform
+  /// access with site reliability p).
+  double conditional_on_up(double alpha, net::Vote q_r) const;
+
+  const VotePdf& r_pdf() const noexcept { return r_; }
+  const VotePdf& w_pdf() const noexcept { return w_; }
+
+private:
+  void build_tails();
+
+  VotePdf r_;
+  VotePdf w_;
+  net::Vote total_ = 0;
+  std::vector<double> r_tail_;  // index q in [0, T+1]
+  std::vector<double> w_tail_;
+};
+
+} // namespace quora::core

@@ -1,0 +1,245 @@
+#include "core/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+namespace quora::core {
+namespace {
+
+/// Memoizing objective over the integer lattice [1, floor(T/2)].
+class Evaluator {
+public:
+  Evaluator(const AvailabilityCurve& curve, std::function<double(net::Vote)> objective)
+      : curve_(&curve),
+        objective_(std::move(objective)),
+        cache_(curve.max_read_quorum() + 1, kUnset) {}
+
+  double at(net::Vote q) {
+    double& slot = cache_.at(q);
+    if (slot == kUnset) {
+      slot = objective_(q);
+      ++evaluations_;
+    }
+    return slot;
+  }
+
+  /// Linear interpolation between lattice points, for Brent.
+  double at_continuous(double x) {
+    const double lo = std::floor(x);
+    const double hi = std::ceil(x);
+    const auto qlo = static_cast<net::Vote>(lo);
+    if (lo == hi) return at(qlo);
+    const double t = x - lo;
+    return (1.0 - t) * at(qlo) + t * at(static_cast<net::Vote>(hi));
+  }
+
+  net::Vote max_q() const { return curve_->max_read_quorum(); }
+  std::uint32_t evaluations() const { return evaluations_; }
+
+  OptResult result(net::Vote best_q) {
+    OptResult r;
+    r.spec = quorum::from_read_quorum(curve_->total_votes(), best_q);
+    r.value = at(best_q);
+    r.evaluations = evaluations_;
+    return r;
+  }
+
+private:
+  static constexpr double kUnset = -1.0;  // objectives are probabilities >= 0
+
+  const AvailabilityCurve* curve_;
+  std::function<double(net::Vote)> objective_;
+  std::vector<double> cache_;
+  std::uint32_t evaluations_ = 0;
+};
+
+net::Vote argmax_range(Evaluator& eval, net::Vote lo, net::Vote hi) {
+  net::Vote best = lo;
+  for (net::Vote q = lo; q <= hi; ++q) {
+    if (eval.at(q) > eval.at(best)) best = q;
+  }
+  return best;
+}
+
+OptResult run_exhaustive(Evaluator eval) {
+  const net::Vote best = argmax_range(eval, 1, eval.max_q());
+  return eval.result(best);
+}
+
+OptResult run_golden(Evaluator eval) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  net::Vote best = 1;
+  const net::Vote hi = eval.max_q();
+  if (eval.at(hi) > eval.at(best)) best = hi;  // endpoints first (§5.3)
+
+  double a = 1.0;
+  double b = static_cast<double>(hi);
+  while (b - a > 3.0) {
+    const auto x1 = static_cast<net::Vote>(std::lround(b - (b - a) * kInvPhi));
+    const auto x2 = static_cast<net::Vote>(std::lround(a + (b - a) * kInvPhi));
+    const net::Vote lo_probe = std::min(x1, x2);
+    const net::Vote hi_probe = std::max(x1, x2);
+    if (eval.at(lo_probe) > eval.at(best)) best = lo_probe;
+    if (eval.at(hi_probe) > eval.at(best)) best = hi_probe;
+    if (eval.at(lo_probe) >= eval.at(hi_probe)) {
+      b = static_cast<double>(hi_probe);
+    } else {
+      a = static_cast<double>(lo_probe);
+    }
+  }
+  const net::Vote final_best = argmax_range(eval, static_cast<net::Vote>(a),
+                                            static_cast<net::Vote>(b));
+  if (eval.at(final_best) > eval.at(best)) best = final_best;
+  return eval.result(best);
+}
+
+OptResult run_brent(Evaluator eval) {
+  // Brent's minimization of -f over [1, max_q] on the piecewise-linear
+  // extension; bookkeeping follows Numerical Recipes BRENT.
+  constexpr double kCGold = 0.3819660112501051;
+  constexpr double kTol = 1e-4;
+  constexpr int kMaxIter = 100;
+
+  const double a0 = 1.0;
+  const double b0 = static_cast<double>(eval.max_q());
+  double a = a0;
+  double b = b0;
+  double x = a + kCGold * (b - a);
+  double w = x;
+  double v = x;
+  double fx = -eval.at_continuous(x);
+  double fw = fx;
+  double fv = fx;
+  double d = 0.0;
+  double e = 0.0;
+
+  for (int iter = 0; iter < kMaxIter; ++iter) {
+    const double xm = 0.5 * (a + b);
+    const double tol1 = kTol * std::abs(x) + 1e-10;
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - xm) <= tol2 - 0.5 * (b - a)) break;
+    bool use_golden = true;
+    if (std::abs(e) > tol1) {
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double e_prev = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * e_prev) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u_try = x + d;
+        if (u_try - a < tol2 || b - u_try < tol2) {
+          d = xm >= x ? tol1 : -tol1;
+        }
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = x >= xm ? a - x : b - x;
+      d = kCGold * e;
+    }
+    const double u = std::abs(d) >= tol1 ? x + d : x + (d >= 0 ? tol1 : -tol1);
+    const double fu = -eval.at_continuous(u);
+    if (fu <= fx) {
+      if (u >= x) {
+        a = x;
+      } else {
+        b = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+
+  // Round the continuous optimum to the best nearby lattice point and
+  // always probe the endpoints (§5.3: optima favor the extremes).
+  net::Vote best = 1;
+  const net::Vote hi = eval.max_q();
+  if (eval.at(hi) > eval.at(best)) best = hi;
+  const auto center = static_cast<net::Vote>(
+      std::clamp<long>(std::lround(x), 1L, static_cast<long>(hi)));
+  for (long delta = -1; delta <= 1; ++delta) {
+    const long q = static_cast<long>(center) + delta;
+    if (q < 1 || q > static_cast<long>(hi)) continue;
+    const auto qq = static_cast<net::Vote>(q);
+    if (eval.at(qq) > eval.at(best)) best = qq;
+  }
+  return eval.result(best);
+}
+
+} // namespace
+
+OptResult optimize_exhaustive(const AvailabilityCurve& curve, double alpha) {
+  return run_exhaustive(
+      Evaluator(curve, [&](net::Vote q) { return curve.availability(alpha, q); }));
+}
+
+OptResult optimize_golden(const AvailabilityCurve& curve, double alpha) {
+  return run_golden(
+      Evaluator(curve, [&](net::Vote q) { return curve.availability(alpha, q); }));
+}
+
+OptResult optimize_brent(const AvailabilityCurve& curve, double alpha) {
+  return run_brent(
+      Evaluator(curve, [&](net::Vote q) { return curve.availability(alpha, q); }));
+}
+
+std::optional<net::Vote> min_feasible_q_r(const AvailabilityCurve& curve,
+                                          double min_write_availability) {
+  // W(T-q+1) is nondecreasing in q, so binary-search the first feasible q.
+  net::Vote lo = 1;
+  net::Vote hi = curve.max_read_quorum();
+  if (curve.write_availability(hi) < min_write_availability) return std::nullopt;
+  while (lo < hi) {
+    const net::Vote mid = lo + (hi - lo) / 2;
+    if (curve.write_availability(mid) >= min_write_availability) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::optional<OptResult> optimize_write_constrained(const AvailabilityCurve& curve,
+                                                    double alpha,
+                                                    double min_write_availability) {
+  const auto q_lo = min_feasible_q_r(curve, min_write_availability);
+  if (!q_lo) return std::nullopt;
+  Evaluator eval(curve, [&](net::Vote q) { return curve.availability(alpha, q); });
+  const net::Vote best = argmax_range(eval, *q_lo, eval.max_q());
+  return eval.result(best);
+}
+
+OptResult optimize_weighted(const AvailabilityCurve& curve, double alpha,
+                            double omega) {
+  return run_exhaustive(Evaluator(
+      curve, [&, omega](net::Vote q) { return curve.weighted(omega, alpha, q); }));
+}
+
+} // namespace quora::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+
+#include "core/availability.hpp"
+#include "quorum/quorum_spec.hpp"
+
+namespace quora::core {
+
+/// Result of an optimal-quorum-assignment search (Figure 1, step 4).
+struct OptResult {
+  quorum::QuorumSpec spec;        // q_w = T - q_r + 1 always
+  double value = 0.0;             // objective at the optimum
+  std::uint32_t evaluations = 0;  // objective evaluations performed
+
+  net::Vote q_r() const noexcept { return spec.q_r; }
+  net::Vote q_w() const noexcept { return spec.q_w; }
+};
+
+/// Exhaustive scan of q_r in [1, floor(T/2)] — the paper's "naive, yet
+/// polynomial" baseline. Ties break toward the smaller q_r (cheaper
+/// reads).
+OptResult optimize_exhaustive(const AvailabilityCurve& curve, double alpha);
+
+/// Golden-section search over the integer lattice, exploiting the paper's
+/// empirical finding (§5.3, and Ahamad & Ammar analytically) that optima
+/// fall at the extreme quorum values: endpoints are always probed, then a
+/// golden-section bracket refines the interior. Exact on unimodal curves;
+/// a heuristic otherwise (compared against exhaustive in the ablation
+/// bench).
+OptResult optimize_golden(const AvailabilityCurve& curve, double alpha);
+
+/// Brent's method (Numerical Recipes §10.2) on the piecewise-linear
+/// continuous extension of A, followed by rounding to the best adjacent
+/// lattice point; endpoints also probed. Same caveats as golden-section.
+OptResult optimize_brent(const AvailabilityCurve& curve, double alpha);
+
+/// §5.4: maximize A(alpha, q_r) subject to the write-throughput floor
+/// A(0, q_r) = W(T - q_r + 1) >= min_write_availability. Returns nullopt
+/// when no q_r satisfies the constraint. Since W(T-q+1) is nondecreasing
+/// in q, the feasible set is a suffix [q_lo, floor(T/2)].
+std::optional<OptResult> optimize_write_constrained(const AvailabilityCurve& curve,
+                                                    double alpha,
+                                                    double min_write_availability);
+
+/// Smallest feasible q_r for the write constraint, if any.
+std::optional<net::Vote> min_feasible_q_r(const AvailabilityCurve& curve,
+                                          double min_write_availability);
+
+/// §5.4's first technique: maximize the weighted objective
+/// alpha*R(q) + omega*(1-alpha)*W(T-q+1).
+OptResult optimize_weighted(const AvailabilityCurve& curve, double alpha,
+                            double omega);
+
+} // namespace quora::core

@@ -1,0 +1,85 @@
+#include "core/reassign.hpp"
+
+#include <stdexcept>
+
+namespace quora::core {
+
+QuorumReassignment::QuorumReassignment(const net::Topology& topo,
+                                       quorum::QuorumSpec initial)
+    : topo_(&topo), total_(topo.total_votes()) {
+  if (!initial.valid(total_)) {
+    throw std::invalid_argument("QuorumReassignment: invalid initial assignment");
+  }
+  stored_.assign(topo.site_count(), Assignment{initial, 1});
+}
+
+QuorumReassignment::Assignment QuorumReassignment::effective(
+    const conn::ComponentTracker& tracker, net::SiteId origin) const {
+  const std::int32_t comp = tracker.component_of(origin);
+  if (comp == conn::kNoComponent) return stored_.at(origin);
+  Assignment best = stored_.at(origin);
+  for (const net::SiteId s : tracker.members(comp)) {
+    if (stored_[s].version > best.version) best = stored_[s];
+  }
+  return best;
+}
+
+quorum::Decision QuorumReassignment::request(const conn::ComponentTracker& tracker,
+                                             net::SiteId origin,
+                                             quorum::AccessType type) const {
+  quorum::Decision d;
+  d.votes_collected = tracker.component_votes(origin);
+  const quorum::QuorumSpec spec = effective(tracker, origin).spec;
+  d.granted = type == quorum::AccessType::kRead
+                  ? spec.allows_read(d.votes_collected)
+                  : spec.allows_write(d.votes_collected);
+  return d;
+}
+
+bool QuorumReassignment::try_install(const conn::ComponentTracker& tracker,
+                                     net::SiteId origin, quorum::QuorumSpec next) {
+  if (!next.valid(total_)) return false;
+  const std::int32_t comp = tracker.component_of(origin);
+  if (comp == conn::kNoComponent) return false;
+
+  const Assignment current = effective(tracker, origin);
+  if (next == current.spec) return false;
+  const net::Vote votes = tracker.component_votes(origin);
+  if (!current.spec.allows_write(votes)) return false;
+
+  const Assignment installed{next, current.version + 1};
+  for (const net::SiteId s : tracker.members(comp)) stored_[s] = installed;
+  if (installed.version > latest_version_) latest_version_ = installed.version;
+  return true;
+}
+
+bool install_and_sync(QuorumReassignment& qr, quorum::ReplicatedStore& store,
+                      const conn::ComponentTracker& tracker, net::SiteId origin,
+                      quorum::QuorumSpec next) {
+  if (!qr.try_install(tracker, origin, next)) return false;
+  store.refresh_component(tracker, origin);
+  return true;
+}
+
+void QuorumReassignment::propagate(const conn::ComponentTracker& tracker) {
+  const auto count = static_cast<std::int32_t>(tracker.component_count());
+  for (std::int32_t comp = 0; comp < count; ++comp) {
+    const auto members = tracker.members(comp);
+    Assignment best = stored_.at(members.front());
+    for (const net::SiteId s : members) {
+      if (stored_[s].version > best.version) best = stored_[s];
+    }
+    for (const net::SiteId s : members) stored_[s] = best;
+  }
+}
+
+void propagate_and_sync(QuorumReassignment& qr, quorum::ReplicatedStore& store,
+                        const conn::ComponentTracker& tracker) {
+  qr.propagate(tracker);
+  const auto count = static_cast<std::int32_t>(tracker.component_count());
+  for (std::int32_t comp = 0; comp < count; ++comp) {
+    store.refresh_component(tracker, tracker.members(comp).front());
+  }
+}
+
+} // namespace quora::core

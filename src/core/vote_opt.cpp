@@ -1,0 +1,121 @@
+#include "core/vote_opt.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/component_dist.hpp"
+
+namespace quora::core {
+
+VotePdf ahamad_ammar_site_pdf(std::uint32_t n, double p) {
+  return fully_connected_site_pdf(n, p, 1.0);
+}
+
+double exact_availability(std::span<const double> site_reliability,
+                          std::span<const net::Vote> votes, double alpha,
+                          const quorum::QuorumSpec& spec) {
+  const std::size_t n = site_reliability.size();
+  if (n == 0 || n > 20) {
+    throw std::invalid_argument("exact_availability: need 1..20 sites");
+  }
+  if (votes.size() != n) {
+    throw std::invalid_argument("exact_availability: votes size mismatch");
+  }
+  if (!(alpha >= 0.0 && alpha <= 1.0)) {
+    throw std::invalid_argument("exact_availability: alpha outside [0,1]");
+  }
+  for (const double p : site_reliability) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument("exact_availability: reliability outside [0,1]");
+    }
+  }
+
+  // Sum over all up-sets S: P(S) * (|S|/n) * [alpha*1{v(S)>=q_r} +
+  // (1-alpha)*1{v(S)>=q_w}]. The |S|/n factor is the probability the
+  // access originates at an up site (uniform access; down origins fail).
+  long double total = 0.0L;
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    long double prob = 1.0L;
+    net::Vote vote_sum = 0;
+    std::uint32_t up = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        prob *= site_reliability[i];
+        vote_sum += votes[i];
+        ++up;
+      } else {
+        prob *= 1.0L - static_cast<long double>(site_reliability[i]);
+      }
+    }
+    if (prob == 0.0L || up == 0) continue;
+    const long double origin_up =
+        static_cast<long double>(up) / static_cast<long double>(n);
+    const long double reads = spec.allows_read(vote_sum) ? alpha : 0.0;
+    const long double writes = spec.allows_write(vote_sum) ? 1.0 - alpha : 0.0;
+    total += prob * origin_up * (reads + writes);
+  }
+  return static_cast<double>(total);
+}
+
+VoteOptResult optimize_vote_assignment(std::span<const double> site_reliability,
+                                       double alpha, net::Vote max_votes_per_site) {
+  const std::size_t n = site_reliability.size();
+  if (n == 0 || n > 8) {
+    throw std::invalid_argument("optimize_vote_assignment: need 1..8 sites");
+  }
+  if (max_votes_per_site == 0 || max_votes_per_site > 8) {
+    throw std::invalid_argument(
+        "optimize_vote_assignment: max_votes_per_site in 1..8");
+  }
+
+  VoteOptResult best;
+  net::Vote best_total = 0;
+  std::vector<net::Vote> votes(n, 0);
+
+  const auto consider = [&](const quorum::QuorumSpec& spec, net::Vote total) {
+    const double a = exact_availability(site_reliability, votes, alpha, spec);
+    ++best.configurations_evaluated;
+    const bool first = best.votes.empty();
+    const bool strictly_better = a > best.availability + 1e-15;
+    const bool tie_fewer_votes =
+        std::abs(a - best.availability) <= 1e-15 && total < best_total;
+    if (first || strictly_better || tie_fewer_votes) {
+      best.votes.assign(votes.begin(), votes.end());
+      best.spec = spec;
+      best.availability = a;
+      best_total = total;
+    }
+  };
+
+  // Odometer over all (max+1)^n vote vectors.
+  for (;;) {
+    net::Vote total = 0;
+    for (const net::Vote v : votes) total += v;
+    if (total == 1) {
+      consider(quorum::QuorumSpec{1, 1}, total);  // the only valid pair
+    } else if (total >= 2) {
+      // The non-dominated frontier is q_r + q_w = T + 1 with q_w > T/2;
+      // sweeping q_w covers the strict-majority point (q_r = q_w =
+      // (T+1)/2 for odd T) that the paper's q_r <= floor(T/2) plotting
+      // range stops just short of.
+      for (net::Vote q_w = total / 2 + 1; q_w <= total; ++q_w) {
+        consider(quorum::QuorumSpec{total - q_w + 1, q_w}, total);
+      }
+    }
+    // Advance the odometer.
+    std::size_t i = 0;
+    while (i < n) {
+      if (votes[i] < max_votes_per_site) {
+        ++votes[i];
+        break;
+      }
+      votes[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  return best;
+}
+
+} // namespace quora::core

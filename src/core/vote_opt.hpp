@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/component_dist.hpp"
+#include "net/types.hpp"
+#include "quorum/quorum_spec.hpp"
+
+namespace quora::core {
+
+/// --- The Ahamad & Ammar model (paper reference [1]) -------------------
+///
+/// "If two sites are operational then they can communicate": links are
+/// perfect, so the network never partitions and the component of an up
+/// site is exactly the set of up sites. The paper uses this model's
+/// analytic results (optima at extreme quorum values; majority optimal
+/// over wide parameter ranges) as the baseline its simulation extends to
+/// fallible links.
+
+/// f_i(v) for the Ahamad-Ammar model with uniform one-vote sites:
+/// binomial over the other n-1 sites. Equivalent to
+/// `fully_connected_site_pdf(n, p, 1.0)`, provided as a named model.
+VotePdf ahamad_ammar_site_pdf(std::uint32_t n, double p);
+
+/// Exact availability of an arbitrary (votes, spec) configuration in the
+/// Ahamad-Ammar model with per-site reliabilities, by enumeration over
+/// all 2^n up/down subsets. Uniform access over all sites (accesses to
+/// down sites fail, matching the paper's ACC accounting).
+/// Throws for more than 20 sites.
+double exact_availability(std::span<const double> site_reliability,
+                          std::span<const net::Vote> votes, double alpha,
+                          const quorum::QuorumSpec& spec);
+
+/// --- Optimal vote assignment (paper references [7, 8]) ----------------
+///
+/// Garcia-Molina & Barbara showed vote assignments are a proper subset of
+/// coteries; Cheung, Ahamad & Ammar searched vote+quorum space
+/// exhaustively for up to seven sites. This reproduces that baseline:
+/// exhaustive search over all vote vectors with total at most
+/// `max_total_votes` and all canonical quorum pairs, scoring each with
+/// `exact_availability`. Exponential by nature — intended for small n
+/// exactly as in the literature.
+
+struct VoteOptResult {
+  std::vector<net::Vote> votes;
+  quorum::QuorumSpec spec;
+  double availability = 0.0;
+  std::uint64_t configurations_evaluated = 0;
+};
+
+/// Searches vote vectors (each site 0..max_votes_per_site, zero-vote
+/// sites allowed, at least one vote total) and canonical quorum pairs
+/// q_w = T - q_r + 1. Ties prefer fewer total votes, then smaller q_r.
+/// Throws for n > 8 or max_votes_per_site > 8 (search-space guard).
+VoteOptResult optimize_vote_assignment(std::span<const double> site_reliability,
+                                       double alpha,
+                                       net::Vote max_votes_per_site = 3);
+
+} // namespace quora::core

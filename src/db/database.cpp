@@ -1,0 +1,102 @@
+#include "db/database.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace quora::db {
+
+Database::Database(const net::Topology& topo, std::vector<ObjectConfig> objects)
+    : topo_(&topo) {
+  if (objects.empty()) throw std::invalid_argument("Database: no objects");
+  std::set<std::string> names;
+  objects_.reserve(objects.size());
+  for (ObjectConfig& config : objects) {
+    if (!config.spec.valid(topo.total_votes())) {
+      throw std::invalid_argument("Database: invalid spec for object '" +
+                                  config.name + "'");
+    }
+    if (!names.insert(config.name).second) {
+      throw std::invalid_argument("Database: duplicate object name '" +
+                                  config.name + "'");
+    }
+    objects_.push_back(Object{std::move(config.name), config.spec,
+                              quorum::ReplicatedStore(topo)});
+  }
+  stats_.assign(objects_.size(), ObjectStats{});
+}
+
+ObjectId Database::object_id(const std::string& name) const {
+  for (ObjectId id = 0; id < objects_.size(); ++id) {
+    if (objects_[id].name == name) return id;
+  }
+  throw std::out_of_range("Database: unknown object '" + name + "'");
+}
+
+void Database::set_object_spec(ObjectId id, const quorum::QuorumSpec& spec) {
+  if (!spec.valid(topo_->total_votes())) {
+    throw std::invalid_argument("Database::set_object_spec: invalid spec");
+  }
+  objects_.at(id).spec = spec;
+}
+
+quorum::ReplicatedStore::ReadResult Database::read(
+    const conn::ComponentTracker& tracker, net::SiteId origin, ObjectId id) const {
+  const Object& object = objects_.at(id);
+  const auto result =
+      object.store.read(tracker, object.spec, origin);
+  ++stats_[id].reads;
+  stats_[id].reads_granted += result.granted ? 1 : 0;
+  return result;
+}
+
+quorum::ReplicatedStore::WriteResult Database::write(
+    const conn::ComponentTracker& tracker, net::SiteId origin, ObjectId id,
+    std::uint64_t value) {
+  Object& object = objects_.at(id);
+  const auto result = object.store.write(tracker, object.spec, origin, value);
+  ++stats_[id].writes;
+  stats_[id].writes_granted += result.granted ? 1 : 0;
+  return result;
+}
+
+Database::TxnResult Database::execute(const conn::ComponentTracker& tracker,
+                                      net::SiteId origin,
+                                      std::span<const Op> ops) {
+  TxnResult result;
+  const net::Vote votes = tracker.component_votes(origin);
+
+  // Validation phase: every op's quorum must be met before anything runs.
+  bool all_met = true;
+  for (const Op& op : ops) {
+    const quorum::QuorumSpec& spec = objects_.at(op.object).spec;
+    const bool met =
+        op.is_write ? spec.allows_write(votes) : spec.allows_read(votes);
+    if (!met) all_met = false;
+  }
+  // Account every op against its object, committed or not.
+  for (const Op& op : ops) {
+    if (op.is_write) {
+      ++stats_[op.object].writes;
+      stats_[op.object].writes_granted += all_met ? 1 : 0;
+    } else {
+      ++stats_[op.object].reads;
+      stats_[op.object].reads_granted += all_met ? 1 : 0;
+    }
+  }
+  if (!all_met) return result;
+
+  // Apply phase: quorum checks can no longer fail (same component view).
+  result.committed = true;
+  for (const Op& op : ops) {
+    Object& object = objects_[op.object];
+    if (op.is_write) {
+      object.store.write(tracker, object.spec, origin, op.value);
+    } else {
+      const auto r = object.store.read(tracker, object.spec, origin);
+      result.reads.push_back(r.value);
+    }
+  }
+  return result;
+}
+
+} // namespace quora::db

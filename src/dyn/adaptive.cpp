@@ -1,0 +1,67 @@
+#include "dyn/adaptive.hpp"
+
+#include "core/optimize.hpp"
+
+namespace quora::dyn {
+
+AdaptiveReassigner::AdaptiveReassigner(const net::Topology& topo,
+                                       core::QuorumReassignment& qr, Options options)
+    : topo_(&topo),
+      qr_(&qr),
+      options_(options),
+      votes_seen_(topo.total_votes() + 1, 0.0) {}
+
+double AdaptiveReassigner::estimated_alpha() const {
+  const double total = read_weight_ + write_weight_;
+  return total > 0.0 ? read_weight_ / total : 0.5;
+}
+
+void AdaptiveReassigner::on_access(const sim::Simulator& sim,
+                                   const sim::AccessEvent& ev) {
+  const net::Vote v = sim.tracker().component_votes(ev.site);
+  votes_seen_[v] += 1.0;
+  (ev.is_read ? read_weight_ : write_weight_) += 1.0;
+  ++samples_;
+  ++since_reassess_;
+  if (since_reassess_ >= options_.reassess_every && samples_ >= options_.min_samples) {
+    maybe_reassess(sim, ev.site);
+    since_reassess_ = 0;
+  }
+}
+
+void AdaptiveReassigner::maybe_reassess(const sim::Simulator& sim,
+                                        net::SiteId origin) {
+  // Normalize the decayed histogram into a density; the same samples serve
+  // both mixtures because reads and writes are drawn from one stream here
+  // (uniform access — the paper's setting).
+  double total = 0.0;
+  for (const double x : votes_seen_) total += x;
+  if (total <= 0.0) return;
+  core::VotePdf pdf(votes_seen_.size());
+  for (std::size_t i = 0; i < pdf.size(); ++i) pdf[i] = votes_seen_[i] / total;
+
+  const core::AvailabilityCurve curve(pdf);
+  const double alpha = estimated_alpha();
+  core::OptResult best = core::optimize_exhaustive(curve, alpha);
+  if (options_.min_write_availability > 0.0) {
+    const auto constrained = core::optimize_write_constrained(
+        curve, alpha, options_.min_write_availability);
+    if (constrained) best = *constrained;
+    // Infeasible floor: fall through to the unconstrained optimum rather
+    // than freeze — a degraded network may not admit any write quorum.
+  }
+  const core::QuorumReassignment::Assignment current =
+      qr_->effective(sim.tracker(), origin);
+  const double current_value = curve.value(alpha, current.spec.q_r, current.spec.q_w);
+
+  if (best.value - current_value > options_.improvement_threshold &&
+      !(best.spec == current.spec)) {
+    if (qr_->try_install(sim.tracker(), origin, best.spec)) ++installs_;
+  }
+
+  for (double& x : votes_seen_) x *= options_.decay;
+  read_weight_ *= options_.decay;
+  write_weight_ *= options_.decay;
+}
+
+} // namespace quora::dyn

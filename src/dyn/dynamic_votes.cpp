@@ -1,0 +1,86 @@
+#include "dyn/dynamic_votes.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace quora::dyn {
+
+DynamicVotes::DynamicVotes(const net::Topology& topo) : topo_(&topo) {
+  VoteState initial;
+  initial.votes.assign(topo.site_count(), 0);
+  for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+    initial.votes[s] = topo.votes(s);
+  }
+  initial.version = 1;
+  stored_.assign(topo.site_count(), initial);
+}
+
+net::Vote DynamicVotes::total_of(const std::vector<net::Vote>& votes) {
+  return std::accumulate(votes.begin(), votes.end(), net::Vote{0});
+}
+
+DynamicVotes::VoteState DynamicVotes::effective(
+    const conn::ComponentTracker& tracker, net::SiteId origin) const {
+  const std::int32_t comp = tracker.component_of(origin);
+  if (comp == conn::kNoComponent) return stored_.at(origin);
+  const VoteState* best = &stored_.at(origin);
+  for (const net::SiteId s : tracker.members(comp)) {
+    if (stored_[s].version > best->version) best = &stored_[s];
+  }
+  return *best;
+}
+
+quorum::Decision DynamicVotes::request(const conn::ComponentTracker& tracker,
+                                       net::SiteId origin) const {
+  quorum::Decision d;
+  const std::int32_t comp = tracker.component_of(origin);
+  if (comp == conn::kNoComponent) return d;
+  const VoteState state = effective(tracker, origin);
+  net::Vote collected = 0;
+  for (const net::SiteId s : tracker.members(comp)) collected += state.votes[s];
+  d.votes_collected = collected;
+  d.granted = 2 * collected > total_of(state.votes);  // strict majority
+  return d;
+}
+
+bool DynamicVotes::try_install(const conn::ComponentTracker& tracker,
+                               net::SiteId origin,
+                               std::vector<net::Vote> new_votes) {
+  if (new_votes.size() != topo_->site_count()) return false;
+  if (total_of(new_votes) == 0) return false;
+  const std::int32_t comp = tracker.component_of(origin);
+  if (comp == conn::kNoComponent) return false;
+  if (!request(tracker, origin).granted) return false;  // majority under OLD
+
+  const VoteState current = effective(tracker, origin);
+  if (new_votes == current.votes) return false;
+
+  VoteState installed;
+  installed.votes = std::move(new_votes);
+  installed.version = current.version + 1;
+  for (const net::SiteId s : tracker.members(comp)) stored_[s] = installed;
+  latest_version_ = std::max(latest_version_, installed.version);
+  return true;
+}
+
+std::vector<net::Vote> DynamicVotes::overthrow_votes(
+    const conn::ComponentTracker& tracker, net::SiteId origin) const {
+  const VoteState current = effective(tracker, origin);
+  std::vector<net::Vote> votes(topo_->site_count(), 0);
+  const std::int32_t comp = tracker.component_of(origin);
+  if (comp == conn::kNoComponent) return votes;
+  // Members keep their weight but are never disenfranchised (a recovered
+  // site that was overthrown while down gets a vote back on rejoining);
+  // outsiders are stripped.
+  for (const net::SiteId s : tracker.members(comp)) {
+    votes[s] = std::max<net::Vote>(current.votes[s], 1);
+  }
+  if (total_of(votes) % 2 == 0) {
+    const auto members = tracker.members(comp);
+    const net::SiteId lowest = *std::min_element(members.begin(), members.end());
+    ++votes[lowest];
+  }
+  return votes;
+}
+
+} // namespace quora::dyn

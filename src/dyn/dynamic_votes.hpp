@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "conn/component_tracker.hpp"
+#include "net/topology.hpp"
+#include "quorum/protocols.hpp"
+
+namespace quora::dyn {
+
+/// Dynamic *vote* reassignment in the style of Barbara, Garcia-Molina &
+/// Spauster (paper references [4, 5]): instead of adjusting quorum sizes
+/// (QR) or the electorate (dynamic voting), the protocol reassigns the
+/// vote weights themselves — typically stripping votes from failed sites
+/// so the survivors regain a majority.
+///
+/// A version-numbered vote *vector* is replicated at every site; the
+/// vector in effect for an access is the highest-version one stored at an
+/// up member of the submitting site's component. Accesses need a strict
+/// majority of the effective vector's total (the references' mutual-
+/// exclusion setting — no read/write distinction, like dynamic voting).
+/// A new vector may be installed only from a component holding a strict
+/// majority under the *old* effective vector; the §2.2-style argument
+/// then guarantees no component ever operates under a superseded vector
+/// (see docs/THEORY.md §3 — the proof only uses that each version's vote
+/// totals are fixed, which holds per version here too).
+class DynamicVotes {
+public:
+  explicit DynamicVotes(const net::Topology& topo);
+
+  struct VoteState {
+    std::vector<net::Vote> votes;
+    std::uint64_t version = 1;
+  };
+
+  /// Highest-version state among up members of origin's component; a down
+  /// origin reports its own stored state.
+  VoteState effective(const conn::ComponentTracker& tracker,
+                      net::SiteId origin) const;
+
+  /// Access decision: strict majority of the effective vector's total.
+  quorum::Decision request(const conn::ComponentTracker& tracker,
+                           net::SiteId origin) const;
+
+  /// Install `new_votes` from origin's component. Requires: origin up, a
+  /// strict majority of the old effective vector inside the component, a
+  /// positive new total, and a genuinely different vector. Stamps every
+  /// up member with version+1.
+  bool try_install(const conn::ComponentTracker& tracker, net::SiteId origin,
+                   std::vector<net::Vote> new_votes);
+
+  /// The references' "overthrow" policy with re-enfranchisement: each
+  /// component member keeps its current votes (at least one — recovered
+  /// sites that were stripped while down rejoin the electorate), everyone
+  /// outside goes to zero, and the lowest-id member gets +1 if the total
+  /// would be even (strict majorities of odd totals cannot tie).
+  std::vector<net::Vote> overthrow_votes(const conn::ComponentTracker& tracker,
+                                         net::SiteId origin) const;
+
+  std::uint64_t latest_version() const noexcept { return latest_version_; }
+  const VoteState& stored(net::SiteId s) const { return stored_.at(s); }
+
+  static net::Vote total_of(const std::vector<net::Vote>& votes);
+
+private:
+  const net::Topology* topo_;
+  std::vector<VoteState> stored_;
+  std::uint64_t latest_version_ = 1;
+};
+
+} // namespace quora::dyn

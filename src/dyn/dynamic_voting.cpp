@@ -1,0 +1,38 @@
+#include "dyn/dynamic_voting.hpp"
+
+namespace quora::dyn {
+
+DynamicVoting::DynamicVoting(const net::Topology& topo)
+    : state_(topo.site_count(), CopyState{0, topo.site_count()}) {}
+
+bool DynamicVoting::attempt_update(const conn::ComponentTracker& tracker,
+                                   net::SiteId origin) {
+  const std::int32_t comp = tracker.component_of(origin);
+  if (comp == conn::kNoComponent) return false;
+  const auto members = tracker.members(comp);
+
+  std::uint64_t max_version = 0;
+  for (const net::SiteId s : members) {
+    max_version = std::max(max_version, state_[s].version);
+  }
+  std::uint32_t holders = 0;
+  std::uint32_t last_cardinality = 0;
+  for (const net::SiteId s : members) {
+    if (state_[s].version == max_version) {
+      ++holders;
+      last_cardinality = state_[s].cardinality;
+    }
+  }
+  // Majority of the last update's participants must be present. (The
+  // strict inequality rejects exact halves; we omit the tie-breaking
+  // distinguished-site refinement of the TODS version.)
+  if (2 * holders <= last_cardinality) return false;
+
+  const CopyState next{max_version + 1,
+                       static_cast<std::uint32_t>(members.size())};
+  for (const net::SiteId s : members) state_[s] = next;
+  ++committed_;
+  return true;
+}
+
+} // namespace quora::dyn

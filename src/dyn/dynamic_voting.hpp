@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "conn/component_tracker.hpp"
+#include "net/topology.hpp"
+
+namespace quora::dyn {
+
+/// Dynamic voting in the style of Jajodia & Mutchler (SIGMOD 1987 /
+/// TODS 1990) — paper references [12, 13]. This is the classic *dynamic*
+/// baseline that the quorum reassignment protocol is contrasted with: it
+/// adapts the electorate rather than the quorum sizes, and makes no
+/// read/write distinction.
+///
+/// Each copy stores a version number VN and an update-site cardinality SC
+/// (the number of copies that took part in the last update). A partition
+/// P may perform an update iff it contains strictly more than half of the
+/// copies that participated in the most recent update it knows of:
+/// with M = max VN over P and I = {s in P : VN_s = M}, the update proceeds
+/// iff 2|I| > SC_of_any_member_of_I; afterwards every copy in P gets
+/// VN = M+1 and SC = |P|.
+class DynamicVoting {
+public:
+  explicit DynamicVoting(const net::Topology& topo);
+
+  /// Attempt an update from `origin`; returns whether it committed. A down
+  /// origin always fails.
+  bool attempt_update(const conn::ComponentTracker& tracker, net::SiteId origin);
+
+  struct CopyState {
+    std::uint64_t version = 0;
+    std::uint32_t cardinality = 0;
+  };
+  const CopyState& state(net::SiteId s) const { return state_.at(s); }
+
+  /// Total updates committed, equal to the highest version in the system.
+  std::uint64_t committed_updates() const noexcept { return committed_; }
+
+private:
+  std::vector<CopyState> state_;
+  std::uint64_t committed_ = 0;
+};
+
+} // namespace quora::dyn

@@ -1,0 +1,76 @@
+#include "dyn/ladder.hpp"
+
+#include <algorithm>
+
+namespace quora::dyn {
+
+LadderAgent::LadderAgent(const net::Topology& topo, core::QuorumReassignment& qr,
+                         Options options)
+    : topo_(&topo),
+      qr_(&qr),
+      options_(options),
+      max_q_(quorum::max_read_quorum(topo.total_votes())) {}
+
+void LadderAgent::on_access(const sim::Simulator& sim, const sim::AccessEvent& ev) {
+  const auto type =
+      ev.is_read ? quorum::AccessType::kRead : quorum::AccessType::kWrite;
+  const quorum::Decision d = qr_->request(sim.tracker(), ev.site, type);
+  ++window_accesses_;
+  if (!d.granted && d.votes_collected > 0) {
+    // Denials from down origins carry no quorum signal; skip them.
+    if (ev.is_read) {
+      ++window_read_denials_;
+      ++read_denials_total_;
+    } else {
+      ++window_write_denials_;
+      ++write_denials_total_;
+    }
+  }
+  if (window_accesses_ >= options_.window) {
+    maybe_step(sim, ev.site);
+    window_accesses_ = 0;
+    window_read_denials_ = 0;
+    window_write_denials_ = 0;
+  }
+}
+
+void LadderAgent::maybe_step(const sim::Simulator& sim, net::SiteId origin) {
+  const std::uint64_t denials = window_read_denials_ + window_write_denials_;
+  if (denials == 0) return;
+  const double denial_share =
+      static_cast<double>(denials) / static_cast<double>(window_accesses_);
+  if (denial_share < options_.denial_trigger) return;
+
+  const double read_share =
+      static_cast<double>(window_read_denials_) / static_cast<double>(denials);
+
+  const core::QuorumReassignment::Assignment current =
+      qr_->effective(sim.tracker(), origin);
+  // Non-canonical current assignments (e.g. strict majority) are mapped
+  // onto the nearest rung before stepping.
+  const net::Vote current_rung = std::clamp<net::Vote>(current.spec.q_r, 1, max_q_);
+
+  net::Vote target = current_rung;
+  if (read_share >= options_.dominance) {
+    // Reads starved: step down toward q_r = 1. Scale the step with how
+    // lopsided the window is, up to max_step.
+    const auto step = std::max<net::Vote>(
+        1, static_cast<net::Vote>(static_cast<double>(options_.max_step) *
+                                  denial_share));
+    target = current_rung > step ? current_rung - step : 1;
+  } else if (1.0 - read_share >= options_.dominance) {
+    const auto step = std::max<net::Vote>(
+        1, static_cast<net::Vote>(static_cast<double>(options_.max_step) *
+                                  denial_share));
+    target = std::min<net::Vote>(max_q_, current_rung + step);
+  } else {
+    return;  // mixed signal — stay put
+  }
+  if (target == current_rung && current.spec.q_r == current_rung) return;
+
+  const quorum::QuorumSpec next =
+      quorum::from_read_quorum(topo_->total_votes(), target);
+  if (qr_->try_install(sim.tracker(), origin, next)) ++graduations_;
+}
+
+} // namespace quora::dyn

@@ -1,0 +1,252 @@
+#include "io/topology_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "net/builders.hpp"
+
+namespace quora::io {
+namespace {
+
+struct Builder {
+  std::string name = "topology";
+  std::uint32_t sites = 0;
+  bool sites_seen = false;
+  net::Vote default_vote = 1;
+  std::vector<std::pair<net::SiteId, net::Vote>> explicit_votes;
+  std::vector<net::Link> links;
+  std::set<std::pair<net::SiteId, net::SiteId>> link_set;
+  // Reliability directives, resolved after all links exist.
+  bool any_rel = false;
+  double site_rel_default = 0.96;
+  double link_rel_default = 0.96;
+  std::vector<std::pair<net::SiteId, double>> site_rels;
+  struct LinkRel {
+    net::SiteId a;
+    net::SiteId b;
+    double rel;
+    std::size_t line;
+  };
+  std::vector<LinkRel> link_rels;
+
+  bool add_link(net::SiteId a, net::SiteId b) {
+    const auto key = std::minmax(a, b);
+    if (!link_set.insert(key).second) return false;
+    links.push_back(net::Link{key.first, key.second});
+    return true;
+  }
+};
+
+net::SiteId parse_site(const Builder& b, const std::string& token,
+                       std::size_t line) {
+  std::size_t pos = 0;
+  unsigned long value = 0;
+  try {
+    value = std::stoul(token, &pos);
+  } catch (const std::exception&) {
+    throw ParseError(line, "expected a site id, got '" + token + "'");
+  }
+  if (pos != token.size()) {
+    throw ParseError(line, "trailing junk in site id '" + token + "'");
+  }
+  if (value >= b.sites) {
+    throw ParseError(line, "site " + token + " out of range (sites " +
+                               std::to_string(b.sites) + ")");
+  }
+  return static_cast<net::SiteId>(value);
+}
+
+} // namespace
+
+SystemSpec load_system(std::istream& in) {
+  Builder b;
+  std::string raw;
+  std::size_t line_no = 0;
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    const std::string line = hash == std::string::npos ? raw : raw.substr(0, hash);
+    std::istringstream cells(line);
+    std::string directive;
+    if (!(cells >> directive)) continue;  // blank / comment-only
+
+    if (directive == "sites") {
+      if (b.sites_seen) throw ParseError(line_no, "duplicate 'sites' directive");
+      if (!(cells >> b.sites) || b.sites == 0) {
+        throw ParseError(line_no, "'sites' needs a positive count");
+      }
+      b.sites_seen = true;
+      continue;
+    }
+    if (!b.sites_seen) {
+      throw ParseError(line_no, "'sites N' must precede '" + directive + "'");
+    }
+
+    if (directive == "name") {
+      if (!(cells >> b.name)) throw ParseError(line_no, "'name' needs a value");
+    } else if (directive == "ring") {
+      if (b.sites < 3) throw ParseError(line_no, "'ring' needs at least 3 sites");
+      for (net::SiteId i = 0; i < b.sites; ++i) {
+        b.add_link(i, (i + 1) % b.sites);
+      }
+    } else if (directive == "chords") {
+      std::uint32_t k = 0;
+      if (!(cells >> k)) throw ParseError(line_no, "'chords' needs a count");
+      const auto order = net::chord_order(b.sites);
+      if (k > order.size()) {
+        throw ParseError(line_no, "only " + std::to_string(order.size()) +
+                                      " chords exist for " +
+                                      std::to_string(b.sites) + " sites");
+      }
+      for (std::uint32_t i = 0; i < k; ++i) b.add_link(order[i].a, order[i].b);
+    } else if (directive == "complete") {
+      for (net::SiteId a = 0; a < b.sites; ++a) {
+        for (net::SiteId bb = a + 1; bb < b.sites; ++bb) b.add_link(a, bb);
+      }
+    } else if (directive == "link") {
+      std::string sa;
+      std::string sb;
+      if (!(cells >> sa >> sb)) throw ParseError(line_no, "'link' needs two sites");
+      const net::SiteId a = parse_site(b, sa, line_no);
+      const net::SiteId bb = parse_site(b, sb, line_no);
+      if (a == bb) throw ParseError(line_no, "self-loop link");
+      if (!b.add_link(a, bb)) throw ParseError(line_no, "duplicate link");
+    } else if (directive == "vote") {
+      std::string target;
+      net::Vote v = 0;
+      if (!(cells >> target >> v)) {
+        throw ParseError(line_no, "'vote' needs a site (or 'default') and a count");
+      }
+      if (target == "default") {
+        b.default_vote = v;
+      } else {
+        b.explicit_votes.emplace_back(parse_site(b, target, line_no), v);
+      }
+    } else if (directive == "site_rel") {
+      std::string target;
+      double rel = 0.0;
+      if (!(cells >> target >> rel) || !(rel > 0.0 && rel <= 1.0)) {
+        throw ParseError(line_no,
+                         "'site_rel' needs a site (or 'default') and a "
+                         "reliability in (0,1]");
+      }
+      b.any_rel = true;
+      if (target == "default") {
+        b.site_rel_default = rel;
+      } else {
+        b.site_rels.emplace_back(parse_site(b, target, line_no), rel);
+      }
+    } else if (directive == "link_rel") {
+      std::string sa;
+      double rel = 0.0;
+      if (!(cells >> sa)) {
+        throw ParseError(line_no, "'link_rel' needs endpoints or 'default'");
+      }
+      b.any_rel = true;
+      if (sa == "default") {
+        if (!(cells >> rel) || !(rel > 0.0 && rel <= 1.0)) {
+          throw ParseError(line_no, "'link_rel default' needs a reliability");
+        }
+        b.link_rel_default = rel;
+      } else {
+        std::string sb;
+        if (!(cells >> sb >> rel) || !(rel > 0.0 && rel <= 1.0)) {
+          throw ParseError(line_no,
+                           "'link_rel' needs two sites and a reliability in "
+                           "(0,1]");
+        }
+        b.link_rels.push_back(Builder::LinkRel{parse_site(b, sa, line_no),
+                                               parse_site(b, sb, line_no), rel,
+                                               line_no});
+      }
+    } else {
+      throw ParseError(line_no, "unknown directive '" + directive + "'");
+    }
+
+    std::string extra;
+    if (cells >> extra) {
+      throw ParseError(line_no, "trailing junk '" + extra + "'");
+    }
+  }
+
+  if (!b.sites_seen) throw ParseError(line_no, "missing 'sites' directive");
+  std::vector<net::Vote> votes(b.sites, b.default_vote);
+  for (const auto& [site, v] : b.explicit_votes) votes[site] = v;
+
+  SystemSpec spec{net::Topology(b.name, b.sites, b.links, std::move(votes)),
+                  {},
+                  {}};
+  if (b.any_rel) {
+    spec.site_reliability.assign(b.sites, b.site_rel_default);
+    for (const auto& [site, rel] : b.site_rels) spec.site_reliability[site] = rel;
+    spec.link_reliability.assign(b.links.size(), b.link_rel_default);
+    for (const Builder::LinkRel& lr : b.link_rels) {
+      const auto key = std::minmax(lr.a, lr.b);
+      bool found = false;
+      for (std::size_t i = 0; i < b.links.size(); ++i) {
+        if (std::minmax(b.links[i].a, b.links[i].b) == key) {
+          spec.link_reliability[i] = lr.rel;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw ParseError(lr.line, "'link_rel' names a link that does not exist");
+      }
+    }
+  }
+  return spec;
+}
+
+SystemSpec load_system_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open topology file: " + path);
+  return load_system(in);
+}
+
+net::Topology load_topology(std::istream& in) { return load_system(in).topology; }
+
+net::Topology load_topology_file(const std::string& path) {
+  return load_system_file(path).topology;
+}
+
+void save_topology(std::ostream& out, const net::Topology& topo) {
+  out << "# quora topology\n";
+  out << "sites " << topo.site_count() << '\n';
+  out << "name " << topo.name() << '\n';
+  for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+    if (topo.votes(s) != 1) out << "vote " << s << ' ' << topo.votes(s) << '\n';
+  }
+  for (const net::Link& l : topo.links()) {
+    out << "link " << l.a << ' ' << l.b << '\n';
+  }
+}
+
+void save_system(std::ostream& out, const SystemSpec& spec) {
+  save_topology(out, spec.topology);
+  const auto write_rels = [&out](const std::vector<double>& rels, auto emit) {
+    for (std::size_t i = 0; i < rels.size(); ++i) emit(i, rels[i]);
+  };
+  out << std::setprecision(17);
+  if (!spec.site_reliability.empty()) {
+    write_rels(spec.site_reliability, [&](std::size_t i, double rel) {
+      out << "site_rel " << i << ' ' << rel << '\n';
+    });
+  }
+  if (!spec.link_reliability.empty()) {
+    write_rels(spec.link_reliability, [&](std::size_t i, double rel) {
+      const net::Link& l = spec.topology.link(static_cast<net::LinkId>(i));
+      out << "link_rel " << l.a << ' ' << l.b << ' ' << rel << '\n';
+    });
+  }
+}
+
+} // namespace quora::io

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace quora::io {
+
+/// Parse failure with 1-based line number context.
+class ParseError : public std::runtime_error {
+public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+private:
+  std::size_t line_;
+};
+
+/// A parsed system description: the topology plus optional heterogeneous
+/// reliabilities (empty vectors = the uniform model of SimConfig).
+/// Convert to a simulator profile with
+/// `sim::FailureProfile::from_reliabilities`.
+struct SystemSpec {
+  net::Topology topology;
+  std::vector<double> site_reliability;  // empty or one entry per site
+  std::vector<double> link_reliability;  // empty or one entry per link
+
+  bool has_reliabilities() const noexcept {
+    return !site_reliability.empty() || !link_reliability.empty();
+  }
+};
+
+/// Loads a system from the line-oriented text format:
+///
+/// ```
+/// # comments and blank lines ignored
+/// sites 101            # required, first directive
+/// name my-network      # optional display name
+/// ring                 # add ring links 0-1, 1-2, ..., n-1 - 0
+/// chords 16            # add the first K spread chords (DESIGN.md rule)
+/// complete             # add every missing pair
+/// link 3 77            # one explicit link (duplicate links are errors)
+/// vote 5 3             # site 5 holds 3 votes (default 1)
+/// vote default 2       # change the default for sites not set explicitly
+/// site_rel 0 0.99      # per-site reliability (default 0.96 via SimConfig)
+/// site_rel default 0.9
+/// link_rel 3 77 0.85   # per-link reliability; the link must exist by EOF
+/// link_rel default 0.99
+/// ```
+///
+/// Builder directives (`ring`, `chords`, `complete`) skip links that
+/// already exist; explicit `link` lines must be unique. Reliability
+/// vectors are produced only when at least one `*_rel` directive appears.
+/// Throws `ParseError` on malformed input.
+SystemSpec load_system(std::istream& in);
+SystemSpec load_system_file(const std::string& path);
+
+/// Topology-only convenience wrappers over `load_system`.
+net::Topology load_topology(std::istream& in);
+
+/// Convenience file loader; throws std::runtime_error if unreadable.
+net::Topology load_topology_file(const std::string& path);
+
+/// Writes a topology in the same format (explicit `link` lines only, so
+/// the output round-trips regardless of how the input was built).
+void save_topology(std::ostream& out, const net::Topology& topo);
+
+/// As above, plus `site_rel`/`link_rel` lines when the spec carries
+/// reliabilities. Round-trips through `load_system`.
+void save_system(std::ostream& out, const SystemSpec& spec);
+
+} // namespace quora::io

@@ -1,0 +1,124 @@
+#include "metrics/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "metrics/collectors.hpp"
+#include "sim/batch.hpp"
+#include "sim/simulator.hpp"
+
+namespace quora::metrics {
+namespace {
+
+struct BatchOutput {
+  std::unique_ptr<VotesSeenCollector> collector;
+};
+
+/// One independent replication: fresh simulator on stream `b`, warm-up,
+/// then one measured batch of accesses.
+BatchOutput run_one_batch(const net::Topology& topo, const sim::SimConfig& config,
+                          const MeasurePolicy& policy, std::uint32_t b) {
+  sim::AccessSpec spec;
+  spec.alpha = policy.sampling_alpha;
+  spec.read_weights = policy.read_weights;
+  spec.write_weights = policy.write_weights;
+  sim::Simulator simulator(topo, config, spec, policy.profile, policy.seed, b);
+  simulator.run_accesses(config.warmup_accesses);
+
+  BatchOutput out;
+  out.collector = std::make_unique<VotesSeenCollector>(topo);
+  simulator.add_access_observer(out.collector.get());
+  simulator.run_accesses(config.accesses_per_batch);
+  return out;
+}
+
+} // namespace
+
+CurveResult measure_curves(const net::Topology& topo, const sim::SimConfig& config,
+                           const MeasurePolicy& policy) {
+  if (policy.alphas.empty()) {
+    throw std::invalid_argument("measure_curves: no evaluation alphas");
+  }
+  if (!(policy.sampling_alpha > 0.0 && policy.sampling_alpha < 1.0)) {
+    throw std::invalid_argument("measure_curves: sampling_alpha must be in (0,1)");
+  }
+  config.validate();
+
+  CurveResult result;
+  result.topology_name = topo.name();
+  result.total = topo.total_votes();
+  result.alphas = policy.alphas;
+  const net::Vote max_q = result.total / 2;
+  if (max_q < 1) throw std::invalid_argument("measure_curves: too few votes");
+  for (net::Vote q = 1; q <= max_q; ++q) result.q_values.push_back(q);
+
+  const std::size_t n_alpha = policy.alphas.size();
+  const std::size_t n_q = result.q_values.size();
+  std::vector<std::vector<stats::BatchMeansController>> grid(n_alpha);
+  for (auto& row : grid) {
+    row.assign(n_q, stats::BatchMeansController(policy.batch));
+  }
+
+  VotesSeenCollector pooled(topo);
+  const unsigned threads =
+      policy.threads == 0 ? sim::default_thread_count() : policy.threads;
+
+  std::uint32_t done = 0;
+  const std::uint32_t min_b = policy.batch.min_batches;
+  const std::uint32_t max_b = std::max(policy.batch.max_batches, min_b);
+
+  const auto any_needs_more = [&] {
+    for (const auto& row : grid) {
+      for (const auto& cell : row) {
+        if (cell.needs_more()) return true;
+      }
+    }
+    return false;
+  };
+
+  while (done < max_b) {
+    // First wave fills the minimum batch count; later waves add one
+    // thread-width at a time until every cell's CI is tight enough.
+    const std::uint32_t target =
+        done == 0 ? min_b : std::min<std::uint32_t>(max_b, done + std::max(1u, threads));
+    const std::uint32_t wave = target - done;
+
+    std::vector<BatchOutput> outputs(wave);
+    sim::for_each_batch(wave, threads, [&](std::uint32_t i) {
+      outputs[i] = run_one_batch(topo, config, policy, done + i);
+    });
+
+    for (const BatchOutput& out : outputs) {
+      const core::AvailabilityCurve curve(out.collector->read_pdf(),
+                                          out.collector->write_pdf());
+      for (std::size_t a = 0; a < n_alpha; ++a) {
+        for (std::size_t qi = 0; qi < n_q; ++qi) {
+          grid[a][qi].add_batch(curve.availability(policy.alphas[a],
+                                                   result.q_values[qi]));
+        }
+      }
+      pooled.merge(*out.collector);
+    }
+    done = target;
+    if (!any_needs_more()) break;
+  }
+
+  result.batches = done;
+  result.mean.assign(n_alpha, std::vector<double>(n_q, 0.0));
+  result.half_width.assign(n_alpha, std::vector<double>(n_q, 0.0));
+  for (std::size_t a = 0; a < n_alpha; ++a) {
+    for (std::size_t qi = 0; qi < n_q; ++qi) {
+      const stats::ConfidenceInterval ci = grid[a][qi].interval();
+      result.mean[a][qi] = ci.mean;
+      result.half_width[a][qi] = ci.half_width;
+      result.max_half_width = std::max(result.max_half_width, ci.half_width);
+    }
+  }
+  result.r_pdf = pooled.read_pdf();
+  result.w_pdf = pooled.write_pdf();
+  result.surv_pdf = pooled.max_component_pdf();
+  return result;
+}
+
+} // namespace quora::metrics

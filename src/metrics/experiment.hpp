@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/availability.hpp"
+#include "net/topology.hpp"
+#include "sim/config.hpp"
+#include "stats/batch_means.hpp"
+
+namespace quora::metrics {
+
+/// How to run one availability-curve experiment (one paper figure).
+struct MeasurePolicy {
+  /// Evaluation read-rates — the figures use {0, .25, .50, .75, 1}.
+  std::vector<double> alphas{0.0, 0.25, 0.5, 0.75, 1.0};
+  /// Read/write labeling used while *sampling*; must be inside (0,1) so
+  /// both the r and w histograms fill. (Evaluation alphas are applied
+  /// afterwards through the Figure-1 decomposition, so this choice only
+  /// affects estimator variance, not the estimate.)
+  double sampling_alpha = 0.5;
+  std::uint64_t seed = 0xC0FFEEULL;
+  unsigned threads = 0;  // 0 => sim::default_thread_count()
+  stats::BatchMeansController::Policy batch{};
+  /// Optional heterogeneous reliabilities (empty = the uniform paper
+  /// model from SimConfig).
+  sim::FailureProfile profile{};
+  /// Optional non-uniform submission distributions — the r_i / w_i of
+  /// Figure 1 step 1. Empty vectors mean uniform (the paper's
+  /// experiments); when set, the measured mixtures converge to
+  /// r(v) = sum_i r_i f_i(v) and w(v) = sum_i w_i f_i(v) automatically.
+  std::vector<double> read_weights;
+  std::vector<double> write_weights;
+};
+
+/// Availability as a function of (alpha, q_r) with batch-means confidence
+/// intervals — the data behind one of the paper's Figures 2-7.
+struct CurveResult {
+  std::string topology_name;
+  net::Vote total = 0;
+  std::vector<double> alphas;
+  std::vector<net::Vote> q_values;              // 1..floor(T/2)
+  std::vector<std::vector<double>> mean;        // [alpha index][q index]
+  std::vector<std::vector<double>> half_width;  // [alpha index][q index]
+  std::uint32_t batches = 0;
+  double max_half_width = 0.0;
+
+  // Pooled distribution estimates across all batches.
+  core::VotePdf r_pdf;
+  core::VotePdf w_pdf;
+  core::VotePdf surv_pdf;  // votes in the largest component
+
+  /// Availability curve built from the pooled estimates; feed this to the
+  /// optimizers of core/optimize.hpp.
+  core::AvailabilityCurve pooled_curve() const {
+    return core::AvailabilityCurve(r_pdf, w_pdf);
+  }
+
+  /// SURV-metric curve (footnote 3): the same machinery applied to the
+  /// largest-component distribution.
+  core::AvailabilityCurve surv_curve() const {
+    return core::AvailabilityCurve(surv_pdf);
+  }
+};
+
+/// Runs the paper's full measurement protocol for one topology: warm up,
+/// run batches (in parallel, one RNG stream each), compute per-batch
+/// A(alpha, q_r) for the whole grid, and keep adding batches until every
+/// grid cell's CI half-width meets the policy or the batch cap is hit.
+CurveResult measure_curves(const net::Topology& topo, const sim::SimConfig& config,
+                           const MeasurePolicy& policy);
+
+} // namespace quora::metrics

@@ -1,0 +1,72 @@
+#include "metrics/timed_meter.hpp"
+
+#include <stdexcept>
+
+namespace quora::metrics {
+
+TimedProtocolMeter::TimedProtocolMeter(quorum::QuorumSpec spec, double duration)
+    : spec_(spec), duration_(duration) {
+  if (!(duration >= 0.0)) {
+    throw std::invalid_argument("TimedProtocolMeter: negative duration");
+  }
+}
+
+std::uint64_t TimedProtocolMeter::fingerprint_component(const sim::Simulator& sim,
+                                                        net::SiteId site) {
+  const std::int32_t comp = sim.tracker().component_of(site);
+  if (comp == conn::kNoComponent) return 0;
+  // FNV-1a over the sorted (discovery-ordered, deterministic) member list.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const net::SiteId s : sim.tracker().members(comp)) {
+    h ^= s + 1;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void TimedProtocolMeter::settle_until(double now) {
+  while (!pending_.empty() && pending_.front().deadline <= now) {
+    const Pending& p = pending_.front();
+    if (p.quorum_met && !p.disturbed) {
+      ++granted_;
+    } else {
+      ++denied_;
+      if (p.quorum_met && p.disturbed) ++disturbed_;
+    }
+    pending_.pop_front();
+  }
+}
+
+void TimedProtocolMeter::on_access(const sim::Simulator& sim,
+                                   const sim::AccessEvent& ev) {
+  settle_until(ev.time);
+
+  Pending p;
+  p.deadline = ev.time + duration_;
+  p.site = ev.site;
+  p.is_read = ev.is_read;
+  const net::Vote votes = sim.tracker().component_votes(ev.site);
+  p.quorum_met =
+      ev.is_read ? spec_.allows_read(votes) : spec_.allows_write(votes);
+  p.fingerprint = fingerprint_component(sim, ev.site);
+  if (duration_ == 0.0) {
+    // Instantaneous: settle immediately (the paper's model).
+    p.quorum_met ? ++granted_ : ++denied_;
+    return;
+  }
+  pending_.push_back(p);
+}
+
+void TimedProtocolMeter::on_network_change(const sim::Simulator& sim,
+                                           sim::EventKind /*kind*/,
+                                           std::uint32_t /*index*/) {
+  settle_until(sim.now());
+  for (Pending& p : pending_) {
+    if (!p.disturbed &&
+        fingerprint_component(sim, p.site) != p.fingerprint) {
+      p.disturbed = true;
+    }
+  }
+}
+
+} // namespace quora::metrics

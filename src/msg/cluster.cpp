@@ -1,0 +1,430 @@
+#include "msg/cluster.hpp"
+
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace quora::msg {
+
+Cluster::Cluster(const net::Topology& topo, Params params, std::uint64_t seed)
+    : topo_(&topo),
+      params_(params),
+      live_(topo),
+      tracker_(live_),
+      gen_(seed) {
+  params_.config.validate();
+  if (!params_.spec.valid(topo.total_votes())) {
+    throw std::invalid_argument("Cluster: invalid quorum assignment");
+  }
+  if (!(params_.mean_hop_latency > 0.0) || !(params_.phase_timeout > 0.0)) {
+    throw std::invalid_argument("Cluster: latency and timeout must be positive");
+  }
+  if (!(params_.alpha >= 0.0 && params_.alpha <= 1.0)) {
+    throw std::invalid_argument("Cluster: alpha outside [0,1]");
+  }
+
+  if (params_.lease_timeout <= 0.0) {
+    params_.lease_timeout = 2.5 * params_.phase_timeout;
+  }
+  copies_.assign(topo.site_count(), Copy{});
+  leases_.assign(topo.site_count(), Lease{});
+  pending_.resize(topo.site_count());
+  floods_.resize(topo.site_count());
+  fifo_clock_.assign(2 * static_cast<std::size_t>(topo.link_count()), 0.0);
+
+  const double mu_f = params_.config.mu_fail();
+  for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+    push(Event{now_ + rng::exponential(gen_, mu_f), 0, Kind::kSiteFail, s, {}, 0,
+               0, 0});
+  }
+  for (net::LinkId l = 0; l < topo.link_count(); ++l) {
+    push(Event{now_ + rng::exponential(gen_, mu_f), 0, Kind::kLinkFail, l, {}, 0,
+               0, 0});
+  }
+  const double interarrival =
+      params_.config.mu_access / static_cast<double>(topo.site_count());
+  push(Event{now_ + rng::exponential(gen_, interarrival), 0, Kind::kAccess, 0, {},
+             0, 0, 0});
+}
+
+void Cluster::push(Event e) {
+  e.seq = next_seq_++;
+  queue_.push(e);
+}
+
+void Cluster::send(net::SiteId from, net::LinkId link, const Message& m) {
+  const net::Link& edge = topo_->link(link);
+  const net::SiteId to = edge.a == from ? edge.b : edge.a;
+  const std::size_t dir =
+      2 * static_cast<std::size_t>(link) + (edge.a == from ? 0 : 1);
+  const double arrival = std::max(fifo_clock_[dir],
+                                  now_ + rng::exponential(gen_, params_.mean_hop_latency));
+  fifo_clock_[dir] = arrival;  // FIFO per direction
+  ++messages_sent_;
+
+  Event e;
+  e.time = arrival;
+  e.kind = Kind::kDelivery;
+  e.index = link;
+  e.target = to;
+  e.message = m;
+  e.message.sender = from;
+  push(e);
+}
+
+void Cluster::flood(net::SiteId from, std::uint64_t flood_id, const Message& m,
+                    net::LinkId except_link, bool has_except) {
+  (void)flood_id;
+  for (const net::Topology::Edge& edge : topo_->neighbors(from)) {
+    if (has_except && edge.link == except_link) continue;
+    send(from, edge.link, m);
+  }
+}
+
+void Cluster::relay_toward_coordinator(net::SiteId at, const Message& m) {
+  const int phase = (m.kind == Message::Kind::kVoteReply ||
+                     m.kind == Message::Kind::kVoteDeny)
+                        ? 1
+                        : 2;
+  const auto it = floods_[at].find(flood_key(m.request, phase));
+  if (it == floods_[at].end() || !it->second.has_parent) return;  // path lost
+  send(at, it->second.parent_link, m);
+}
+
+void Cluster::handle_access(net::SiteId origin) {
+  const std::uint64_t request = next_request_++;
+  const bool is_read = rng::bernoulli(gen_, params_.alpha);
+
+  // Oracle: the paper's instantaneous decision from global state.
+  const net::Vote oracle_votes = tracker_.component_votes(origin);
+  const bool oracle = is_read ? params_.spec.allows_read(oracle_votes)
+                              : params_.spec.allows_write(oracle_votes);
+
+  if (!live_.is_site_up(origin)) {
+    AccessOutcome out;
+    out.submit_time = now_;
+    out.decide_time = now_;
+    out.origin = origin;
+    out.is_read = is_read;
+    out.granted = false;
+    out.oracle_granted = oracle;
+    outcomes_.push_back(out);
+    ++decided_;
+    return;
+  }
+
+  Pending p;
+  p.is_read = is_read;
+  p.submit_time = now_;
+  p.oracle_granted = oracle;
+  p.votes = topo_->votes(origin);
+  p.repliers.insert(origin);
+  p.best_version = copies_[origin].version;
+  p.best_value = copies_[origin].value;
+  p.write_value = request;  // written payload: the request id (test-visible)
+  pending_[origin][request] = p;
+  floods_[origin][flood_key(request, 1)] = FloodState{0, false};
+
+  if (!is_read) {
+    Lease& lease = leases_[origin];
+    if (lease.held(now_)) {
+      // Our own vote is leased to another in-flight write: this write
+      // cannot proceed from here right now.
+      decide(origin, request, false);
+      return;
+    }
+    lease = Lease{request, now_ + params_.lease_timeout};
+  }
+
+  Message m;
+  m.kind = Message::Kind::kVoteRequest;
+  m.is_write = !is_read;
+  m.request = request;
+  m.coordinator = origin;
+  flood(origin, flood_key(request, 1), m, 0, false);
+
+  Event timer;
+  timer.time = now_ + params_.phase_timeout;
+  timer.kind = Kind::kTimer;
+  timer.target = origin;
+  timer.request = request;
+  timer.phase = 1;
+  push(timer);
+
+  // Single-site quorums decide immediately.
+  Pending& live_p = pending_[origin][request];
+  if (is_read && params_.spec.allows_read(live_p.votes)) {
+    decide(origin, request, true);
+  } else if (!is_read && params_.spec.allows_write(live_p.votes)) {
+    // Degenerate write quorum: apply locally, done.
+    live_p.phase = 2;
+    live_p.best_version = live_p.best_version + 1;
+    copies_[origin] = Copy{live_p.write_value, live_p.best_version};
+    if (leases_[origin].request == request) leases_[origin] = Lease{};
+    live_p.acked = topo_->votes(origin);
+    live_p.ackers.insert(origin);
+    decide(origin, request, true);
+  }
+}
+
+void Cluster::decide(net::SiteId coordinator, std::uint64_t request, bool granted) {
+  const auto it = pending_[coordinator].find(request);
+  if (it == pending_[coordinator].end()) return;
+  const Pending& p = it->second;
+
+  AccessOutcome out;
+  out.submit_time = p.submit_time;
+  out.decide_time = now_;
+  out.origin = coordinator;
+  out.is_read = p.is_read;
+  out.granted = granted;
+  out.oracle_granted = p.oracle_granted;
+  out.version = p.best_version;
+  out.value = p.is_read ? p.best_value : p.write_value;
+  outcomes_.push_back(out);
+  if (!p.is_read && granted) {
+    commits_.push_back(CommitRecord{p.best_version, now_});
+  }
+  const bool abort_write = !p.is_read && !granted;
+  pending_[coordinator].erase(it);
+  ++decided_;
+
+  if (abort_write && live_.is_site_up(coordinator)) {
+    // Release leased votes proactively; lease expiry covers the sites an
+    // abort cannot reach.
+    if (leases_[coordinator].request == request) leases_[coordinator] = Lease{};
+    Message abort;
+    abort.kind = Message::Kind::kAbort;
+    abort.request = request;
+    abort.coordinator = coordinator;
+    floods_[coordinator][flood_key(request, 3)] = FloodState{0, false};
+    flood(coordinator, flood_key(request, 3), abort, 0, false);
+  }
+}
+
+void Cluster::handle_delivery(const Event& e) {
+  // In-flight messages die with the link or the destination.
+  if (!live_.is_link_up(e.index) || !live_.is_site_up(e.target)) return;
+  const Message& m = e.message;
+  const net::SiteId here = e.target;
+
+  switch (m.kind) {
+    case Message::Kind::kVoteRequest: {
+      const std::uint64_t fk = flood_key(m.request, 1);
+      if (floods_[here].count(fk)) return;  // already participated
+      floods_[here][fk] = FloodState{e.index, true};
+
+      bool vote_granted = true;
+      if (m.is_write) {
+        Lease& lease = leases_[here];
+        if (lease.held(now_) && lease.request != m.request) {
+          vote_granted = false;  // vote already leased to another write
+        } else {
+          lease = Lease{m.request, now_ + params_.lease_timeout};
+        }
+      }
+      Message reply;
+      reply.kind = vote_granted ? Message::Kind::kVoteReply
+                                : Message::Kind::kVoteDeny;
+      reply.request = m.request;
+      reply.coordinator = m.coordinator;
+      reply.replier = here;
+      reply.votes = topo_->votes(here);
+      reply.version = copies_[here].version;
+      reply.value = copies_[here].value;
+      send(here, e.index, reply);
+      flood(here, fk, m, e.index, true);  // the flood continues regardless
+      return;
+    }
+    case Message::Kind::kCommitRequest: {
+      const std::uint64_t fk = flood_key(m.request, 2);
+      if (floods_[here].count(fk)) return;
+      floods_[here][fk] = FloodState{e.index, true};
+
+      if (m.version > copies_[here].version) {
+        copies_[here] = Copy{m.value, m.version};
+      }
+      if (leases_[here].request == m.request) leases_[here] = Lease{};
+      Message ack;
+      ack.kind = Message::Kind::kCommitAck;
+      ack.request = m.request;
+      ack.coordinator = m.coordinator;
+      ack.replier = here;
+      ack.votes = topo_->votes(here);
+      ack.version = m.version;
+      send(here, e.index, ack);
+      flood(here, fk, m, e.index, true);
+      return;
+    }
+    case Message::Kind::kVoteDeny: {
+      if (here != m.coordinator) {
+        relay_toward_coordinator(here, m);
+        return;
+      }
+      const auto it = pending_[here].find(m.request);
+      if (it == pending_[here].end() || it->second.phase != 1) return;
+      Pending& p = it->second;
+      if (!p.repliers.insert(m.replier).second) return;
+      p.denied += m.votes;
+      // Fast abort: a write quorum is no longer reachable.
+      if (!p.is_read &&
+          topo_->total_votes() - p.denied < params_.spec.q_w) {
+        decide(here, m.request, false);
+      }
+      return;
+    }
+    case Message::Kind::kVoteReply: {
+      if (here != m.coordinator) {
+        relay_toward_coordinator(here, m);
+        return;
+      }
+      const auto it = pending_[here].find(m.request);
+      if (it == pending_[here].end() || it->second.phase != 1) return;
+      Pending& p = it->second;
+      if (!p.repliers.insert(m.replier).second) return;
+      p.votes += m.votes;
+      if (m.version > p.best_version) {
+        p.best_version = m.version;
+        p.best_value = m.value;
+      }
+      if (p.is_read) {
+        if (params_.spec.allows_read(p.votes)) decide(here, m.request, true);
+        return;
+      }
+      if (params_.spec.allows_write(p.votes)) {
+        // Phase 2: install the new version everywhere reachable.
+        p.phase = 2;
+        p.best_version = p.best_version + 1;
+        copies_[here] = Copy{p.write_value, p.best_version};
+        if (leases_[here].request == m.request) leases_[here] = Lease{};
+        p.acked = topo_->votes(here);
+        p.ackers.insert(here);
+        floods_[here][flood_key(m.request, 2)] = FloodState{0, false};
+
+        Message commit;
+        commit.kind = Message::Kind::kCommitRequest;
+        commit.request = m.request;
+        commit.coordinator = here;
+        commit.version = p.best_version;
+        commit.value = p.write_value;
+        flood(here, flood_key(m.request, 2), commit, 0, false);
+
+        Event timer;
+        timer.time = now_ + params_.phase_timeout;
+        timer.kind = Kind::kTimer;
+        timer.target = here;
+        timer.request = m.request;
+        timer.phase = 2;
+        push(timer);
+
+        if (params_.spec.allows_write(p.acked)) decide(here, m.request, true);
+      }
+      return;
+    }
+    case Message::Kind::kAbort: {
+      const std::uint64_t fk = flood_key(m.request, 3);
+      if (floods_[here].count(fk)) return;
+      floods_[here][fk] = FloodState{e.index, true};
+      if (leases_[here].request == m.request) leases_[here] = Lease{};
+      flood(here, fk, m, e.index, true);
+      return;
+    }
+    case Message::Kind::kCommitAck: {
+      if (here != m.coordinator) {
+        relay_toward_coordinator(here, m);
+        return;
+      }
+      const auto it = pending_[here].find(m.request);
+      if (it == pending_[here].end() || it->second.phase != 2) return;
+      Pending& p = it->second;
+      if (!p.ackers.insert(m.replier).second) return;
+      p.acked += m.votes;
+      if (params_.spec.allows_write(p.acked)) decide(here, m.request, true);
+      return;
+    }
+  }
+}
+
+void Cluster::handle_timer(const Event& e) {
+  const auto it = pending_[e.target].find(e.request);
+  if (it == pending_[e.target].end()) return;    // already decided
+  if (it->second.phase != e.phase) return;       // superseded by phase 2
+  decide(e.target, e.request, false);
+}
+
+void Cluster::on_site_failed(net::SiteId s) {
+  // Fail-stop: volatile coordination state is lost; every in-progress
+  // coordination this site led resolves as denied right now.
+  while (!pending_[s].empty()) {
+    decide(s, pending_[s].begin()->first, false);
+  }
+  floods_[s].clear();
+  leases_[s] = Lease{};  // volatile
+}
+
+void Cluster::run_decided_accesses(std::uint64_t count) {
+  const std::uint64_t target = decided_ + count;
+  const double mu_f = params_.config.mu_fail();
+  const double mu_r = params_.config.mu_repair();
+  const double interarrival =
+      params_.config.mu_access / static_cast<double>(topo_->site_count());
+
+  while (decided_ < target) {
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    switch (e.kind) {
+      case Kind::kSiteFail:
+        live_.set_site_up(e.index, false);
+        on_site_failed(e.index);
+        push(Event{now_ + rng::exponential(gen_, mu_r), 0, Kind::kSiteRecover,
+                   e.index, {}, 0, 0, 0});
+        break;
+      case Kind::kSiteRecover:
+        live_.set_site_up(e.index, true);
+        push(Event{now_ + rng::exponential(gen_, mu_f), 0, Kind::kSiteFail,
+                   e.index, {}, 0, 0, 0});
+        break;
+      case Kind::kLinkFail:
+        live_.set_link_up(e.index, false);
+        push(Event{now_ + rng::exponential(gen_, mu_r), 0, Kind::kLinkRecover,
+                   e.index, {}, 0, 0, 0});
+        break;
+      case Kind::kLinkRecover:
+        live_.set_link_up(e.index, true);
+        push(Event{now_ + rng::exponential(gen_, mu_f), 0, Kind::kLinkFail,
+                   e.index, {}, 0, 0, 0});
+        break;
+      case Kind::kAccess: {
+        const auto origin = static_cast<net::SiteId>(
+            rng::uniform_index(gen_, topo_->site_count()));
+        handle_access(origin);
+        push(Event{now_ + rng::exponential(gen_, interarrival), 0, Kind::kAccess,
+                   0, {}, 0, 0, 0});
+        break;
+      }
+      case Kind::kDelivery:
+        handle_delivery(e);
+        break;
+      case Kind::kTimer:
+        handle_timer(e);
+        break;
+    }
+  }
+}
+
+double Cluster::availability() const {
+  if (outcomes_.empty()) return 0.0;
+  std::uint64_t granted = 0;
+  for (const AccessOutcome& o : outcomes_) granted += o.granted ? 1 : 0;
+  return static_cast<double>(granted) / static_cast<double>(outcomes_.size());
+}
+
+double Cluster::oracle_availability() const {
+  if (outcomes_.empty()) return 0.0;
+  std::uint64_t granted = 0;
+  for (const AccessOutcome& o : outcomes_) granted += o.oracle_granted ? 1 : 0;
+  return static_cast<double>(granted) / static_cast<double>(outcomes_.size());
+}
+
+} // namespace quora::msg

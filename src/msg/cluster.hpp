@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "conn/component_tracker.hpp"
+#include "conn/live_network.hpp"
+#include "msg/message.hpp"
+#include "net/topology.hpp"
+#include "quorum/quorum_spec.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "sim/config.hpp"
+#include "sim/event.hpp"
+
+namespace quora::msg {
+
+/// One access as the coordinator finally resolved it.
+struct AccessOutcome {
+  double submit_time = 0.0;
+  double decide_time = 0.0;
+  net::SiteId origin = 0;
+  bool is_read = false;
+  bool granted = false;
+  std::uint64_t version = 0;  // read: version returned; write: version written
+  std::uint64_t value = 0;    // read result
+  /// What the paper's instantaneous oracle (component votes at submit
+  /// time) would have decided — for paired comparison.
+  bool oracle_granted = false;
+};
+
+/// A message-level simulation of the quorum consensus protocol: fail-stop
+/// sites exchanging the Message protocol over FIFO links with exponential
+/// per-hop latencies, under the paper's Poisson failure/repair/access
+/// model. This is the §5.1 system model *without* the instantaneous-event
+/// simplification — accesses take real rounds, races with failures and
+/// all.
+///
+/// Semantics:
+///  - links are FIFO per direction and silently drop messages that are in
+///    flight when the link or an endpoint is down at delivery time;
+///  - a failed site loses all volatile coordination state but keeps its
+///    copy (persistent storage); recovering sites resume with stale
+///    volatile state cleared;
+///  - accesses submitted at down sites fail immediately (the paper's ACC
+///    accounting);
+///  - every phase runs against a timeout; no quorum by the deadline means
+///    denial. Partial writes (commit flooded, ack quorum missed) are
+///    possible and deliberately not rolled back — version numbers carry
+///    the usual weighted-voting semantics.
+///
+/// Real-time consistency guarantee (asserted by the tests): a granted
+/// read returns a version at least as new as every write whose commit
+/// *decision* preceded the read's submission.
+class Cluster {
+public:
+  struct Params {
+    quorum::QuorumSpec spec;
+    double mean_hop_latency = 0.005;  // per link traversal
+    double phase_timeout = 0.5;       // per coordination phase
+    /// Write-vote lease lifetime; must exceed the coordinator's total
+    /// window so a vote is never granted twice while still countable.
+    /// 0 = auto (2.5 x phase_timeout).
+    double lease_timeout = 0.0;
+    double alpha = 0.5;
+    sim::SimConfig config;            // mu_access, rho, reliability
+  };
+
+  Cluster(const net::Topology& topo, Params params, std::uint64_t seed);
+
+  /// Run until `count` further accesses have been *decided* (granted,
+  /// denied, or aborted by coordinator failure).
+  void run_decided_accesses(std::uint64_t count);
+
+  const std::vector<AccessOutcome>& outcomes() const noexcept { return outcomes_; }
+
+  /// Fraction granted among decided accesses / among oracle decisions.
+  double availability() const;
+  double oracle_availability() const;
+
+  /// Highest version whose write decision has been recorded, and the
+  /// decision log for real-time consistency checks.
+  struct CommitRecord {
+    std::uint64_t version = 0;
+    double decide_time = 0.0;
+  };
+  const std::vector<CommitRecord>& commits() const noexcept { return commits_; }
+
+  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  double now() const noexcept { return now_; }
+  const conn::LiveNetwork& network() const noexcept { return live_; }
+
+private:
+  struct Pending {  // coordinator-side state
+    bool is_read = false;
+    int phase = 1;
+    double submit_time = 0.0;
+    bool oracle_granted = false;
+    net::Vote votes = 0;        // phase-1 votes collected
+    net::Vote denied = 0;       // phase-1 votes refused (leased elsewhere)
+    net::Vote acked = 0;        // phase-2 votes acked
+    std::set<net::SiteId> repliers;
+    std::set<net::SiteId> ackers;
+    std::uint64_t best_version = 0;
+    std::uint64_t best_value = 0;
+    std::uint64_t write_value = 0;
+  };
+
+  struct FloodState {  // per (site, flood id): dedup + reverse path
+    net::LinkId parent_link = 0;
+    bool has_parent = false;
+  };
+
+  struct Copy {
+    std::uint64_t value = 0;
+    std::uint64_t version = 0;
+  };
+
+  struct Lease {  // write-vote lease: one in-flight write per site
+    std::uint64_t request = 0;
+    double expiry = 0.0;
+    bool held(double now) const { return request != 0 && now < expiry; }
+  };
+
+  // Event plumbing (kinds beyond sim::EventKind: deliveries and timers).
+  enum class Kind : std::uint8_t {
+    kSiteFail,
+    kSiteRecover,
+    kLinkFail,
+    kLinkRecover,
+    kAccess,
+    kDelivery,
+    kTimer,
+  };
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    Kind kind = Kind::kAccess;
+    std::uint32_t index = 0;      // site/link
+    Message message{};            // kDelivery
+    net::SiteId target = 0;       // kDelivery destination, kTimer owner
+    std::uint64_t request = 0;    // kTimer
+    int phase = 0;                // kTimer
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push(Event e);
+  void send(net::SiteId from, net::LinkId link, const Message& m);
+  void flood(net::SiteId from, std::uint64_t flood_id, const Message& m,
+             net::LinkId except_link, bool has_except);
+  void relay_toward_coordinator(net::SiteId at, const Message& m);
+  void handle_delivery(const Event& e);
+  void handle_timer(const Event& e);
+  void handle_access(net::SiteId origin);
+  void decide(net::SiteId coordinator, std::uint64_t request, bool granted);
+  void on_site_failed(net::SiteId s);
+  std::uint64_t flood_key(std::uint64_t request, int phase) const {
+    return request * 4 + static_cast<std::uint64_t>(phase - 1);  // phases 1..3
+  }
+
+  const net::Topology* topo_;
+  Params params_;
+  conn::LiveNetwork live_;
+  conn::ComponentTracker tracker_;
+  rng::Xoshiro256ss gen_;
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+
+  std::vector<Copy> copies_;
+  std::vector<Lease> leases_;
+  std::vector<std::map<std::uint64_t, Pending>> pending_;     // per site
+  std::vector<std::map<std::uint64_t, FloodState>> floods_;   // per site
+  std::vector<double> fifo_clock_;                            // per directed link
+  std::uint64_t next_request_ = 1;
+  std::uint64_t decided_ = 0;
+
+  std::vector<AccessOutcome> outcomes_;
+  std::vector<CommitRecord> commits_;
+  std::uint64_t messages_sent_ = 0;
+};
+
+} // namespace quora::msg

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.hpp"
+
+namespace quora::msg {
+
+/// Coordination-protocol messages. The paper's model decides accesses
+/// instantaneously from global state; this layer implements what a real
+/// site actually does — Gifford's two-phase weighted voting over the
+/// network:
+///
+///   phase 1 (both kinds): flood kVoteRequest through the component;
+///     every reachable site answers with its votes and its copy's
+///     version (kVoteReply, relayed hop-by-hop back along the flood's
+///     parent pointers). A site grants its vote to at most one in-flight
+///     WRITE at a time (a lease, released when the commit applies or the
+///     lease expires) — without this, two concurrent writes in one
+///     component could both assemble q_w votes and mint duplicate
+///     versions, the race the paper's instantaneous-access model hides;
+///   reads decide as soon as q_r votes have replied (value = the
+///     highest-version copy among repliers);
+///   phase 2 (writes): flood kCommitRequest carrying the new value and
+///     version = highest seen + 1; sites apply and answer kCommitAck;
+///     the write succeeds when acked votes reach q_w;
+///   abort (writes): a coordination that times out floods kAbort so its
+///     leased votes are released immediately instead of lingering until
+///     lease expiry and starving subsequent writes.
+///
+/// Messages carry full provenance so intermediate sites can relay without
+/// own state beyond the flood parent.
+struct Message {
+  enum class Kind : std::uint8_t {
+    kVoteRequest,
+    kVoteReply,
+    kVoteDeny,  // write vote refused (leased elsewhere): enables fast abort
+    kCommitRequest,
+    kCommitAck,
+    kAbort,  // failed write coordination: release leased votes
+  };
+
+  Kind kind = Kind::kVoteRequest;
+  bool is_write = false;            // kVoteRequest: write requests lease votes
+  std::uint64_t request = 0;        // coordination id, globally unique
+  net::SiteId coordinator = 0;      // where replies/acks must end up
+  net::SiteId sender = 0;           // immediate hop sender
+  net::SiteId replier = 0;          // original author of a reply/ack
+  net::Vote votes = 0;              // replier's votes
+  std::uint64_t version = 0;        // replier's copy / commit version
+  std::uint64_t value = 0;          // replier's copy / commit value
+};
+
+} // namespace quora::msg

@@ -1,0 +1,132 @@
+#include "net/builders.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "rng/xoshiro256ss.hpp"
+
+namespace quora::net {
+namespace {
+
+std::vector<Link> ring_links(std::uint32_t n) {
+  std::vector<Link> links;
+  links.reserve(n);
+  for (SiteId i = 0; i < n; ++i) links.push_back(Link{i, (i + 1) % n});
+  return links;
+}
+
+} // namespace
+
+std::vector<std::uint32_t> spread_order(std::uint32_t n) {
+  if (n == 0) return {};
+  const std::uint32_t bits = n <= 1 ? 1 : std::bit_width(n - 1);
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  for (std::uint32_t i = 0; i < (1u << bits); ++i) {
+    std::uint32_t rev = 0;
+    for (std::uint32_t b = 0; b < bits; ++b) {
+      if (i & (1u << b)) rev |= 1u << (bits - 1 - b);
+    }
+    if (rev < n) order.push_back(rev);
+  }
+  return order;
+}
+
+std::vector<Link> chord_order(std::uint32_t n) {
+  if (n < 4) return {}; // a ring on 3 sites is already complete
+  const std::vector<std::uint32_t> offsets = spread_order(n);
+  std::set<std::pair<SiteId, SiteId>> seen;
+  for (SiteId i = 0; i < n; ++i) {
+    seen.insert(std::minmax<SiteId>(i, (i + 1) % n)); // ring edges excluded
+  }
+  std::vector<Link> chords;
+  chords.reserve(static_cast<std::size_t>(n) * (n - 1) / 2 - n);
+  for (std::uint32_t skip = n / 2; skip >= 2; --skip) {
+    for (const std::uint32_t start : offsets) {
+      const SiteId a = start;
+      const SiteId b = (start + skip) % n;
+      const auto key = std::minmax(a, b);
+      if (seen.insert(key).second) chords.push_back(Link{key.first, key.second});
+    }
+  }
+  return chords;
+}
+
+Topology make_ring(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("make_ring: need at least 3 sites");
+  return Topology("ring-" + std::to_string(n), n, ring_links(n));
+}
+
+Topology make_ring_with_chords(std::uint32_t n, std::uint32_t chords) {
+  if (n < 3) throw std::invalid_argument("make_ring_with_chords: need at least 3 sites");
+  const std::vector<Link> all_chords = chord_order(n);
+  if (chords > all_chords.size()) {
+    throw std::invalid_argument("make_ring_with_chords: more chords than available");
+  }
+  std::vector<Link> links = ring_links(n);
+  links.insert(links.end(), all_chords.begin(), all_chords.begin() + chords);
+  return Topology("topology-" + std::to_string(chords) + "-n" + std::to_string(n), n,
+                  std::move(links));
+}
+
+Topology make_fully_connected(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("make_fully_connected: need at least 2 sites");
+  std::vector<Link> links;
+  links.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (SiteId a = 0; a < n; ++a) {
+    for (SiteId b = a + 1; b < n; ++b) links.push_back(Link{a, b});
+  }
+  return Topology("complete-" + std::to_string(n), n, std::move(links));
+}
+
+Topology make_star(std::uint32_t n, Vote hub_votes, Vote leaf_votes) {
+  if (n < 2) throw std::invalid_argument("make_star: need at least 2 sites");
+  std::vector<Link> links;
+  links.reserve(n - 1);
+  for (SiteId leaf = 1; leaf < n; ++leaf) links.push_back(Link{0, leaf});
+  std::vector<Vote> votes(n, leaf_votes);
+  votes[0] = hub_votes;
+  return Topology("star-" + std::to_string(n), n, std::move(links), std::move(votes));
+}
+
+Topology make_grid(std::uint32_t width, std::uint32_t height) {
+  if (width == 0 || height == 0) throw std::invalid_argument("make_grid: empty grid");
+  const std::uint32_t n = width * height;
+  std::vector<Link> links;
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const SiteId s = y * width + x;
+      if (x + 1 < width) links.push_back(Link{s, s + 1});
+      if (y + 1 < height) links.push_back(Link{s, s + width});
+    }
+  }
+  return Topology("grid-" + std::to_string(width) + "x" + std::to_string(height), n,
+                  std::move(links));
+}
+
+Topology make_binary_tree(std::uint32_t n) {
+  if (n == 0) throw std::invalid_argument("make_binary_tree: no sites");
+  std::vector<Link> links;
+  links.reserve(n - 1);
+  for (SiteId i = 1; i < n; ++i) links.push_back(Link{(i - 1) / 2, i});
+  return Topology("tree-" + std::to_string(n), n, std::move(links));
+}
+
+Topology make_erdos_renyi(std::uint32_t n, double p, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("make_erdos_renyi: no sites");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("make_erdos_renyi: bad p");
+  rng::Xoshiro256ss gen(seed);
+  std::vector<Link> links;
+  for (SiteId a = 0; a < n; ++a) {
+    for (SiteId b = a + 1; b < n; ++b) {
+      if (gen.next_double() < p) links.push_back(Link{a, b});
+    }
+  }
+  return Topology("gnp-" + std::to_string(n), n, std::move(links));
+}
+
+} // namespace quora::net

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace quora::net {
+
+/// Ring of n sites (n >= 3): site i linked to (i+1) mod n.
+/// The paper's Topology 0.
+Topology make_ring(std::uint32_t n);
+
+/// Ring of n sites plus `chords` additional links — the paper's
+/// "Topology k" family (§5.1): k ∈ {0, 1, 2, 4, 16, 256, 4949} for n = 101.
+///
+/// The paper defers exact chord placement to its companion report [14],
+/// which is not available; we substitute a deterministic, maximally-spread
+/// rule (see DESIGN.md §4): chords are enumerated by decreasing skip length
+/// starting at floor(n/2), and within each skip the starting offsets follow
+/// a bit-reversal (van der Corput) order so that any prefix of the sequence
+/// is evenly spread around the ring. `chords` may run all the way to
+/// n(n-1)/2 - n, at which point the graph is complete.
+Topology make_ring_with_chords(std::uint32_t n, std::uint32_t chords);
+
+/// Complete graph on n sites — the paper's Topology 4949 for n = 101.
+Topology make_fully_connected(std::uint32_t n);
+
+/// Star: hub = site 0, leaves 1..n-1. With `hub_votes` = 0 this is the
+/// simulable stand-in for a single-bus network in which the bus itself
+/// holds no copy (paper §4.2's bus density functions).
+Topology make_star(std::uint32_t n, Vote hub_votes = 1, Vote leaf_votes = 1);
+
+/// w×h grid with 4-neighborhood.
+Topology make_grid(std::uint32_t width, std::uint32_t height);
+
+/// Complete binary tree on n sites (site 0 the root; children of i are
+/// 2i+1, 2i+2).
+Topology make_binary_tree(std::uint32_t n);
+
+/// G(n, p) Erdős–Rényi graph, deterministic in `seed`. Isolated vertices
+/// are allowed; callers wanting connectivity should test for it.
+Topology make_erdos_renyi(std::uint32_t n, double p, std::uint64_t seed);
+
+/// The deterministic chord enumeration used by `make_ring_with_chords`,
+/// exposed for tests and for documenting the exact placement: returns the
+/// full candidate order (all n(n-1)/2 - n chords for odd n).
+std::vector<Link> chord_order(std::uint32_t n);
+
+/// Bit-reversal permutation of 0..n-1 (smallest power of two >= n, values
+/// >= n dropped): any prefix is near-evenly spread over [0, n).
+std::vector<std::uint32_t> spread_order(std::uint32_t n);
+
+} // namespace quora::net

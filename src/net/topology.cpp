@@ -1,0 +1,64 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace quora::net {
+
+Topology::Topology(std::string name, std::uint32_t site_count, std::vector<Link> links,
+                   std::vector<Vote> votes)
+    : name_(std::move(name)),
+      site_count_(site_count),
+      links_(std::move(links)),
+      votes_(std::move(votes)) {
+  if (site_count_ == 0) throw std::invalid_argument("Topology: no sites");
+  if (votes_.size() != site_count_) {
+    throw std::invalid_argument("Topology: votes size != site count");
+  }
+
+  std::set<std::pair<SiteId, SiteId>> seen;
+  for (const Link& l : links_) {
+    if (l.a >= site_count_ || l.b >= site_count_) {
+      throw std::invalid_argument("Topology: link references unknown site");
+    }
+    if (l.a == l.b) throw std::invalid_argument("Topology: self-loop link");
+    const auto key = std::minmax(l.a, l.b);
+    if (!seen.insert(key).second) {
+      throw std::invalid_argument("Topology: duplicate link");
+    }
+  }
+
+  total_votes_ = std::accumulate(votes_.begin(), votes_.end(), Vote{0});
+
+  // CSR construction: count degrees, prefix-sum, fill.
+  offsets_.assign(site_count_ + 1, 0);
+  for (const Link& l : links_) {
+    ++offsets_[l.a + 1];
+    ++offsets_[l.b + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+
+  adjacency_.resize(links_.size() * 2);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (LinkId id = 0; id < links_.size(); ++id) {
+    const Link& l = links_[id];
+    adjacency_[cursor[l.a]++] = Edge{l.b, id};
+    adjacency_[cursor[l.b]++] = Edge{l.a, id};
+  }
+}
+
+Topology::Topology(std::string name, std::uint32_t site_count, std::vector<Link> links)
+    : Topology(std::move(name), site_count, std::move(links),
+               std::vector<Vote>(site_count, Vote{1})) {}
+
+bool Topology::has_link(SiteId a, SiteId b) const {
+  if (a >= site_count_ || b >= site_count_) return false;
+  const auto adj = neighbors(a);
+  return std::any_of(adj.begin(), adj.end(),
+                     [b](const Edge& e) { return e.neighbor == b; });
+}
+
+} // namespace quora::net

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace quora::net {
+
+/// Immutable network structure: sites, undirected links, and the vote
+/// assignment of the (single, fully replicated) data object.
+///
+/// This is the paper's system model (§5.1): sites and bi-directional links,
+/// either of which may be down at any instant; the up/down state lives in
+/// the simulator (`sim::NetworkState`), not here.
+///
+/// Adjacency is stored in CSR form so component searches touch contiguous
+/// memory — the connectivity tracker walks this on every topology-changing
+/// event.
+class Topology {
+public:
+  /// Builds a topology; validates that links reference existing distinct
+  /// sites and contain no duplicates (throws std::invalid_argument).
+  /// `votes` must have one entry per site.
+  Topology(std::string name, std::uint32_t site_count, std::vector<Link> links,
+           std::vector<Vote> votes);
+
+  /// Convenience: uniform one-vote-per-site assignment (the paper's setup).
+  Topology(std::string name, std::uint32_t site_count, std::vector<Link> links);
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint32_t site_count() const noexcept { return site_count_; }
+  std::uint32_t link_count() const noexcept {
+    return static_cast<std::uint32_t>(links_.size());
+  }
+  std::span<const Link> links() const noexcept { return links_; }
+  const Link& link(LinkId id) const { return links_.at(id); }
+
+  Vote votes(SiteId s) const { return votes_.at(s); }
+  std::span<const Vote> vote_assignment() const noexcept { return votes_; }
+  /// Total votes T in the system.
+  Vote total_votes() const noexcept { return total_votes_; }
+
+  /// Neighbors of `s` as (neighbor site, connecting link) pairs.
+  struct Edge {
+    SiteId neighbor;
+    LinkId link;
+  };
+  std::span<const Edge> neighbors(SiteId s) const {
+    return {adjacency_.data() + offsets_.at(s),
+            adjacency_.data() + offsets_.at(s + 1)};
+  }
+
+  std::uint32_t degree(SiteId s) const {
+    return static_cast<std::uint32_t>(offsets_.at(s + 1) - offsets_.at(s));
+  }
+
+  /// True if an undirected link {a, b} exists.
+  bool has_link(SiteId a, SiteId b) const;
+
+private:
+  std::string name_;
+  std::uint32_t site_count_;
+  std::vector<Link> links_;
+  std::vector<Vote> votes_;
+  Vote total_votes_ = 0;
+  std::vector<std::size_t> offsets_;  // CSR row offsets, size site_count+1
+  std::vector<Edge> adjacency_;       // CSR payload, size 2*link_count
+};
+
+} // namespace quora::net

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace quora::net {
+
+/// Index of a site (node) in a topology; dense in [0, site_count).
+using SiteId = std::uint32_t;
+
+/// Index of a link (undirected edge) in a topology; dense in [0, link_count).
+using LinkId = std::uint32_t;
+
+/// Number of votes held by a copy (Gifford weighted voting). The paper's
+/// experiments use one vote per site; the library supports arbitrary
+/// non-negative weights.
+using Vote = std::uint32_t;
+
+/// An undirected link between two distinct sites.
+struct Link {
+  SiteId a = 0;
+  SiteId b = 0;
+
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+} // namespace quora::net

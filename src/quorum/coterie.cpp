@@ -1,0 +1,179 @@
+#include "quorum/coterie.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace quora::quorum {
+
+Coterie::Coterie(std::vector<SiteSet> quorums) : quorums_(std::move(quorums)) {
+  std::sort(quorums_.begin(), quorums_.end());
+  quorums_.erase(std::unique(quorums_.begin(), quorums_.end()), quorums_.end());
+}
+
+bool Coterie::has_intersection_property() const {
+  for (std::size_t i = 0; i < quorums_.size(); ++i) {
+    for (std::size_t j = i + 1; j < quorums_.size(); ++j) {
+      if (!intersects(quorums_[i], quorums_[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool Coterie::is_minimal() const {
+  for (std::size_t i = 0; i < quorums_.size(); ++i) {
+    for (std::size_t j = 0; j < quorums_.size(); ++j) {
+      if (i != j && subset_of(quorums_[i], quorums_[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool Coterie::is_coterie() const {
+  if (quorums_.empty()) return false;
+  if (std::any_of(quorums_.begin(), quorums_.end(),
+                  [](SiteSet q) { return q == 0; })) {
+    return false;
+  }
+  return has_intersection_property() && is_minimal();
+}
+
+bool Coterie::can_operate(SiteSet available) const {
+  return std::any_of(quorums_.begin(), quorums_.end(),
+                     [available](SiteSet q) { return subset_of(q, available); });
+}
+
+bool Coterie::dominates(const Coterie& other) const {
+  if (*this == other) return false;
+  return std::all_of(other.quorums_.begin(), other.quorums_.end(),
+                     [this](SiteSet d) {
+                       return std::any_of(
+                           quorums_.begin(), quorums_.end(),
+                           [d](SiteSet c) { return subset_of(c, d); });
+                     });
+}
+
+Coterie coterie_from_votes(std::span<const net::Vote> votes, net::Vote threshold) {
+  const std::size_t n = votes.size();
+  if (n > 24) {
+    throw std::invalid_argument("coterie_from_votes: too many sites (max 24)");
+  }
+  if (threshold == 0) throw std::invalid_argument("coterie_from_votes: zero threshold");
+
+  std::vector<SiteSet> groups;
+  const SiteSet limit = SiteSet{1} << n;
+  for (SiteSet mask = 1; mask < limit; ++mask) {
+    net::Vote sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (SiteSet{1} << i)) sum += votes[i];
+    }
+    if (sum < threshold) continue;
+    // Minimal iff dropping any single member falls below the threshold.
+    bool minimal = true;
+    for (std::size_t i = 0; i < n && minimal; ++i) {
+      if ((mask & (SiteSet{1} << i)) && sum - votes[i] >= threshold) minimal = false;
+    }
+    if (minimal) groups.push_back(mask);
+  }
+  return Coterie(std::move(groups));
+}
+
+namespace {
+
+/// Recursive tree-quorum enumeration for the subtree rooted at `node`
+/// within a heap-numbered complete binary tree of `n` sites.
+std::vector<SiteSet> tree_quorums(std::uint32_t node, std::uint32_t n) {
+  const std::uint32_t left = 2 * node + 1;
+  const std::uint32_t right = 2 * node + 2;
+  const SiteSet self = SiteSet{1} << node;
+  if (left >= n) return {self};  // leaf
+
+  const std::vector<SiteSet> l = tree_quorums(left, n);
+  const std::vector<SiteSet> r = tree_quorums(right, n);
+  std::vector<SiteSet> out;
+  // Root plus a quorum of one child subtree...
+  for (const SiteSet q : l) out.push_back(self | q);
+  for (const SiteSet q : r) out.push_back(self | q);
+  // ...or quorums of both subtrees (root may be down).
+  for (const SiteSet a : l) {
+    for (const SiteSet b : r) out.push_back(a | b);
+  }
+  return out;
+}
+
+/// Drops supersets so the family is minimal.
+std::vector<SiteSet> minimize(std::vector<SiteSet> groups) {
+  std::vector<SiteSet> minimal;
+  for (const SiteSet g : groups) {
+    bool dominated = false;
+    for (const SiteSet other : groups) {
+      if (other != g && subset_of(other, g)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(g);
+  }
+  return minimal;
+}
+
+} // namespace
+
+Coterie tree_coterie(std::uint32_t depth) {
+  if (depth < 1 || depth > 4) {
+    throw std::invalid_argument("tree_coterie: depth must be in [1, 4]");
+  }
+  const std::uint32_t n = (1u << depth) - 1;
+  return Coterie(minimize(tree_quorums(0, n)));
+}
+
+GridBicoterie grid_bicoterie(std::uint32_t rows, std::uint32_t cols) {
+  if (rows == 0 || cols == 0 || rows * cols > 64) {
+    throw std::invalid_argument("grid_bicoterie: grid must fit in 64 sites");
+  }
+  // Column covers: one site from each column -> rows^cols groups.
+  double cover_count = 1.0;
+  for (std::uint32_t c = 0; c < cols; ++c) cover_count *= rows;
+  if (cover_count > 4096.0) {
+    throw std::invalid_argument("grid_bicoterie: too many cover groups");
+  }
+  const auto site = [cols](std::uint32_t r, std::uint32_t c) {
+    return SiteSet{1} << (r * cols + c);
+  };
+
+  std::vector<SiteSet> covers;
+  std::vector<std::uint32_t> pick(cols, 0);
+  for (;;) {
+    SiteSet s = 0;
+    for (std::uint32_t c = 0; c < cols; ++c) s |= site(pick[c], c);
+    covers.push_back(s);
+    std::uint32_t c = 0;
+    while (c < cols) {
+      if (++pick[c] < rows) break;
+      pick[c] = 0;
+      ++c;
+    }
+    if (c == cols) break;
+  }
+
+  std::vector<SiteSet> writes;
+  for (std::uint32_t full = 0; full < cols; ++full) {
+    SiteSet column = 0;
+    for (std::uint32_t r = 0; r < rows; ++r) column |= site(r, full);
+    for (const SiteSet cover : covers) writes.push_back(column | cover);
+  }
+
+  return GridBicoterie{Coterie(minimize(covers)), Coterie(minimize(writes))};
+}
+
+bool bicoterie_consistent(const Coterie& read, const Coterie& write) {
+  if (write.quorums().empty()) return false;
+  if (!write.has_intersection_property()) return false;
+  for (const SiteSet r : read.quorums()) {
+    for (const SiteSet w : write.quorums()) {
+      if (!intersects(r, w)) return false;
+    }
+  }
+  return true;
+}
+
+} // namespace quora::quorum

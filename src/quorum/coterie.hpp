@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace quora::quorum {
+
+/// A set of sites as a bitmask; the coterie machinery is an analysis tool
+/// for systems of at most 64 sites (paper footnote 1 credits coteries,
+/// Garcia-Molina & Barbara JACM 1985, as the general mechanism subsuming
+/// vote/quorum assignments).
+using SiteSet = std::uint64_t;
+
+inline bool subset_of(SiteSet a, SiteSet b) noexcept { return (a & ~b) == 0; }
+inline bool intersects(SiteSet a, SiteSet b) noexcept { return (a & b) != 0; }
+inline int popcount(SiteSet s) noexcept { return __builtin_popcountll(s); }
+
+/// A coterie: a family of pairwise-intersecting, minimal site groups.
+class Coterie {
+public:
+  Coterie() = default;
+
+  /// Sorts and deduplicates; does not validate — use `is_coterie()`.
+  explicit Coterie(std::vector<SiteSet> quorums);
+
+  std::span<const SiteSet> quorums() const noexcept { return quorums_; }
+  bool empty() const noexcept { return quorums_.empty(); }
+
+  /// Every pair of quorums intersects.
+  bool has_intersection_property() const;
+
+  /// No quorum contains another.
+  bool is_minimal() const;
+
+  /// Non-empty, no empty quorum, intersection property and minimality —
+  /// the full Garcia-Molina & Barbara definition.
+  bool is_coterie() const;
+
+  /// True iff some quorum is contained in `available` — i.e. the group of
+  /// currently reachable sites can act.
+  bool can_operate(SiteSet available) const;
+
+  /// Garcia-Molina & Barbara domination: C dominates D iff C != D and
+  /// every quorum of D contains some quorum of C (so C can operate
+  /// whenever D can, and strictly more often).
+  bool dominates(const Coterie& other) const;
+
+  friend bool operator==(const Coterie&, const Coterie&) = default;
+
+private:
+  std::vector<SiteSet> quorums_;
+};
+
+/// All minimal vote-quorum groups: subsets whose votes reach `threshold`
+/// and which are minimal with that property. Throws for more than 24
+/// sites (the enumeration is exponential by nature — the paper cites this
+/// as the reason exhaustive coterie search stops at ~7 sites).
+Coterie coterie_from_votes(std::span<const net::Vote> votes, net::Vote threshold);
+
+/// A read/write bicoterie is consistent iff every read group intersects
+/// every write group and write groups pairwise intersect — the set-system
+/// form of conditions 1 and 2 of §2.1.
+bool bicoterie_consistent(const Coterie& read, const Coterie& write);
+
+/// --- Classic non-vote coteries ----------------------------------------
+/// Garcia-Molina & Barbara prove vote assignments generate only a strict
+/// subset of coteries; these two classics live outside it (for most
+/// sizes), demonstrating what the general mechanism buys.
+
+/// Tree quorums (Agrawal & El Abbadi): over a complete binary tree of
+/// n = 2^depth - 1 sites (heap numbering: root 0, children 2i+1, 2i+2), a
+/// quorum is — recursively — the root plus a quorum of ONE child subtree,
+/// or quorums of BOTH child subtrees (tolerating a dead root). Leaves:
+/// the leaf itself. Quorum sizes range from depth (root-to-leaf path,
+/// all-up case) to about n/2. Throws for depth outside [1, 4].
+Coterie tree_coterie(std::uint32_t depth);
+
+/// Grid bicoterie (Cheung, Ammar & Ahamad): sites arranged rows x cols
+/// (site = r*cols + c). A read quorum covers every column with one site;
+/// a write quorum is one full column plus a cover of the others. Reads
+/// cost cols sites, writes rows + cols - 1 — both o(n). Throws when the
+/// grid exceeds 64 sites or 4096 generated groups.
+struct GridBicoterie {
+  Coterie read;
+  Coterie write;
+};
+GridBicoterie grid_bicoterie(std::uint32_t rows, std::uint32_t cols);
+
+} // namespace quora::quorum

@@ -1,0 +1,47 @@
+#include "quorum/coterie_protocol.hpp"
+
+#include <stdexcept>
+
+namespace quora::quorum {
+
+CoterieProtocol::CoterieProtocol(const net::Topology& topo, Coterie read,
+                                 Coterie write)
+    : topo_(&topo), read_(std::move(read)), write_(std::move(write)) {
+  if (topo.site_count() > 64) {
+    throw std::invalid_argument("CoterieProtocol: more than 64 sites");
+  }
+  if (!bicoterie_consistent(read_, write_)) {
+    throw std::invalid_argument("CoterieProtocol: inconsistent bicoterie");
+  }
+}
+
+SiteSet CoterieProtocol::component_set(const conn::ComponentTracker& tracker,
+                                       net::SiteId origin) const {
+  const std::int32_t comp = tracker.component_of(origin);
+  if (comp == conn::kNoComponent) return 0;
+  SiteSet set = 0;
+  for (const net::SiteId s : tracker.members(comp)) set |= SiteSet{1} << s;
+  return set;
+}
+
+Decision CoterieProtocol::request(const conn::ComponentTracker& tracker,
+                                  net::SiteId origin, AccessType type) const {
+  Decision d;
+  const SiteSet available = component_set(tracker, origin);
+  d.votes_collected = static_cast<net::Vote>(popcount(available));
+  const Coterie& coterie = type == AccessType::kRead ? read_ : write_;
+  d.granted = coterie.can_operate(available);
+  return d;
+}
+
+CoterieProtocol make_vote_coterie_protocol(const net::Topology& topo,
+                                           const QuorumSpec& spec) {
+  if (!spec.valid(topo.total_votes())) {
+    throw std::invalid_argument("make_vote_coterie_protocol: invalid spec");
+  }
+  return CoterieProtocol(
+      topo, coterie_from_votes(topo.vote_assignment(), spec.q_r),
+      coterie_from_votes(topo.vote_assignment(), spec.q_w));
+}
+
+} // namespace quora::quorum

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "conn/component_tracker.hpp"
+#include "net/topology.hpp"
+#include "quorum/coterie.hpp"
+#include "quorum/protocols.hpp"
+
+namespace quora::quorum {
+
+/// Consistency control driven directly by a read/write bicoterie rather
+/// than votes — the strictly more general mechanism of Garcia-Molina &
+/// Barbara that the paper's footnote 1 points to. An access is granted
+/// iff some quorum group of the relevant coterie lies entirely inside the
+/// submitting site's component.
+///
+/// Vote-derived coteries reproduce `QuorumConsensus` decisions exactly
+/// (asserted by the test suite); non-vote coteries (e.g. tree quorums,
+/// grids) express protocols weighted voting cannot.
+///
+/// Site count is limited to 64 (bitmask representation).
+class CoterieProtocol {
+public:
+  /// Validates `bicoterie_consistent(read, write)` and the site-count
+  /// limit; throws std::invalid_argument otherwise.
+  CoterieProtocol(const net::Topology& topo, Coterie read, Coterie write);
+
+  /// Decision for an access at `origin`. `Decision::votes_collected`
+  /// reports the component's up-site count (there are no votes here).
+  Decision request(const conn::ComponentTracker& tracker, net::SiteId origin,
+                   AccessType type) const;
+
+  const Coterie& read_coterie() const noexcept { return read_; }
+  const Coterie& write_coterie() const noexcept { return write_; }
+
+  /// The up-members of origin's component as a bitmask (0 if origin is
+  /// down) — the "available" set the coteries are tested against.
+  SiteSet component_set(const conn::ComponentTracker& tracker,
+                        net::SiteId origin) const;
+
+private:
+  const net::Topology* topo_;
+  Coterie read_;
+  Coterie write_;
+};
+
+/// The bicoterie induced by a vote assignment and quorum pair: minimal
+/// site groups whose votes reach q_r (reads) and q_w (writes).
+CoterieProtocol make_vote_coterie_protocol(const net::Topology& topo,
+                                           const QuorumSpec& spec);
+
+} // namespace quora::quorum

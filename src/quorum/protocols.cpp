@@ -1,0 +1,40 @@
+#include "quorum/protocols.hpp"
+
+#include <stdexcept>
+
+namespace quora::quorum {
+
+QuorumConsensus::QuorumConsensus(const net::Topology& topo, QuorumSpec spec)
+    : topo_(&topo), spec_(spec), total_(topo.total_votes()) {
+  if (!spec_.valid(total_)) {
+    throw std::invalid_argument("QuorumConsensus: invalid quorum assignment");
+  }
+}
+
+Decision QuorumConsensus::request(const conn::ComponentTracker& tracker,
+                                  net::SiteId origin, AccessType type) const {
+  Decision d;
+  d.votes_collected = tracker.component_votes(origin);
+  d.granted = type == AccessType::kRead ? spec_.allows_read(d.votes_collected)
+                                        : spec_.allows_write(d.votes_collected);
+  return d;
+}
+
+void QuorumConsensus::set_spec(QuorumSpec spec) {
+  if (!spec.valid(total_)) {
+    throw std::invalid_argument("QuorumConsensus::set_spec: invalid assignment");
+  }
+  spec_ = spec;
+}
+
+std::vector<net::Vote> primary_copy_votes(std::uint32_t site_count,
+                                          net::SiteId primary) {
+  if (primary >= site_count) {
+    throw std::invalid_argument("primary_copy_votes: primary out of range");
+  }
+  std::vector<net::Vote> votes(site_count, 0);
+  votes[primary] = 1;
+  return votes;
+}
+
+} // namespace quora::quorum

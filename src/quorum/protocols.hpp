@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "conn/component_tracker.hpp"
+#include "net/topology.hpp"
+#include "quorum/quorum_spec.hpp"
+
+namespace quora::quorum {
+
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+/// Outcome of one access request under quorum consensus.
+struct Decision {
+  bool granted = false;
+  net::Vote votes_collected = 0;
+};
+
+/// The static quorum consensus protocol (§2.1): an access submitted at a
+/// site collects the votes of every site in its current component and is
+/// granted iff they meet the relevant quorum. A down origin site collects
+/// zero votes and is always denied.
+class QuorumConsensus {
+public:
+  QuorumConsensus(const net::Topology& topo, QuorumSpec spec);
+
+  Decision request(const conn::ComponentTracker& tracker, net::SiteId origin,
+                   AccessType type) const;
+
+  const QuorumSpec& spec() const noexcept { return spec_; }
+  net::Vote total_votes() const noexcept { return total_; }
+
+  /// Install a new assignment (used by the dynamic reassignment driver;
+  /// validates against T).
+  void set_spec(QuorumSpec spec);
+
+private:
+  const net::Topology* topo_;
+  QuorumSpec spec_;
+  net::Vote total_;
+};
+
+/// Vote vector realizing the primary copy protocol (§2.1): all votes at
+/// `primary`, so with q_r = q_w = 1 accesses succeed exactly in the
+/// component containing the primary site.
+std::vector<net::Vote> primary_copy_votes(std::uint32_t site_count,
+                                          net::SiteId primary);
+
+} // namespace quora::quorum

@@ -1,0 +1,27 @@
+#include "quorum/quorum_spec.hpp"
+
+#include <stdexcept>
+
+namespace quora::quorum {
+
+QuorumSpec from_read_quorum(net::Vote total, net::Vote q_r) {
+  if (total == 0) throw std::invalid_argument("from_read_quorum: zero total votes");
+  if (q_r < 1 || q_r > max_read_quorum(total)) {
+    throw std::invalid_argument("from_read_quorum: q_r outside [1, floor(T/2)]");
+  }
+  return QuorumSpec{q_r, total - q_r + 1};
+}
+
+QuorumSpec majority(net::Vote total) {
+  if (total < 2) throw std::invalid_argument("majority: need at least 2 votes");
+  return QuorumSpec{total / 2 + 1, total / 2 + 1};
+}
+
+QuorumSpec read_one_write_all(net::Vote total) {
+  if (total == 0) throw std::invalid_argument("read_one_write_all: zero total votes");
+  return QuorumSpec{1, total};
+}
+
+net::Vote max_read_quorum(net::Vote total) { return total / 2; }
+
+} // namespace quora::quorum

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.hpp"
+
+namespace quora::quorum {
+
+/// A quorum assignment (q_r, q_w) for a system with T total votes
+/// (Gifford's weighted voting, paper §2.1).
+///
+/// Consistency requires
+///   1. q_r + q_w > T   (reads see the most recent write), and
+///   2. q_w > T/2       (writes see the most recent write; no two
+///                       simultaneous writes).
+struct QuorumSpec {
+  net::Vote q_r = 0;
+  net::Vote q_w = 0;
+
+  friend bool operator==(const QuorumSpec&, const QuorumSpec&) = default;
+
+  /// Both consistency conditions against total votes T, plus basic range
+  /// sanity (quorums positive and at most T).
+  bool valid(net::Vote total) const noexcept {
+    return q_r >= 1 && q_w >= 1 && q_r <= total && q_w <= total &&
+           q_r + q_w > total && 2 * q_w > total;
+  }
+
+  bool allows_read(net::Vote votes_collected) const noexcept {
+    return votes_collected >= q_r;
+  }
+  bool allows_write(net::Vote votes_collected) const noexcept {
+    return votes_collected >= q_w;
+  }
+};
+
+/// The paper's canonical parameterization: q_r is the free variable in
+/// [1, floor(T/2)] and q_w = T - q_r + 1 saturates condition 1.
+QuorumSpec from_read_quorum(net::Vote total, net::Vote q_r);
+
+/// Majority consensus (Thomas 1979): every access needs a strict majority,
+/// q_r = q_w = floor(T/2) + 1. (The paper's §2.1 equivalence
+/// "q_r = floor(T/2), q_w = floor(T/2)+1" satisfies condition 1 only for
+/// even T — for odd T those quorums sum to exactly T and two disjoint
+/// components could hold them simultaneously — so the factory returns the
+/// always-valid strict-majority form.)
+QuorumSpec majority(net::Vote total);
+
+/// Read-one/write-all: q_r = 1, q_w = T.
+QuorumSpec read_one_write_all(net::Vote total);
+
+/// Largest valid read quorum for T total votes: floor(T/2). Requiring more
+/// than T/2 votes for reads is never useful (paper §2.1).
+net::Vote max_read_quorum(net::Vote total);
+
+} // namespace quora::quorum

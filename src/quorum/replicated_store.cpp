@@ -1,0 +1,55 @@
+#include "quorum/replicated_store.hpp"
+
+namespace quora::quorum {
+
+ReplicatedStore::ReplicatedStore(const net::Topology& topo)
+    : topo_(&topo), copies_(topo.site_count()) {}
+
+ReplicatedStore::WriteResult ReplicatedStore::write(
+    const conn::ComponentTracker& tracker, const QuorumSpec& spec,
+    net::SiteId origin, std::uint64_t value) {
+  WriteResult result;
+  const net::Vote votes = tracker.component_votes(origin);
+  if (!spec.allows_write(votes)) return result;
+
+  result.granted = true;
+  result.version = ++committed_version_;
+  const std::int32_t comp = tracker.component_of(origin);
+  for (const net::SiteId s : tracker.members(comp)) {
+    copies_[s] = Copy{value, result.version};
+  }
+  return result;
+}
+
+void ReplicatedStore::refresh_component(const conn::ComponentTracker& tracker,
+                                        net::SiteId origin) {
+  const std::int32_t comp = tracker.component_of(origin);
+  if (comp == conn::kNoComponent) return;
+  const auto members = tracker.members(comp);
+  Copy best = copies_[members.front()];
+  for (const net::SiteId s : members) {
+    if (copies_[s].version > best.version) best = copies_[s];
+  }
+  for (const net::SiteId s : members) copies_[s] = best;
+}
+
+ReplicatedStore::ReadResult ReplicatedStore::read(
+    const conn::ComponentTracker& tracker, const QuorumSpec& spec,
+    net::SiteId origin) const {
+  ReadResult result;
+  const net::Vote votes = tracker.component_votes(origin);
+  if (!spec.allows_read(votes)) return result;
+
+  result.granted = true;
+  const std::int32_t comp = tracker.component_of(origin);
+  for (const net::SiteId s : tracker.members(comp)) {
+    if (copies_[s].version >= result.version) {
+      result.version = copies_[s].version;
+      result.value = copies_[s].value;
+    }
+  }
+  result.current = result.version == committed_version_;
+  return result;
+}
+
+} // namespace quora::quorum

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "conn/component_tracker.hpp"
+#include "net/topology.hpp"
+#include "quorum/quorum_spec.hpp"
+
+namespace quora::quorum {
+
+/// A single replicated data object with one copy per site, each carrying a
+/// value and a version number.
+///
+/// This is the substrate on which one-copy serializability is *checked*
+/// rather than assumed: a granted write installs a new version at every
+/// site of the writer's component; a granted read returns the
+/// highest-version copy in the reader's component and reports whether that
+/// version is the globally most recent committed one. Under a valid
+/// quorum assignment (q_r + q_w > T, q_w > T/2) `ReadResult::current` must
+/// always be true — the test suite asserts this over long random
+/// fail/recover histories.
+class ReplicatedStore {
+public:
+  explicit ReplicatedStore(const net::Topology& topo);
+
+  struct WriteResult {
+    bool granted = false;
+    std::uint64_t version = 0;  // version installed (when granted)
+  };
+
+  struct ReadResult {
+    bool granted = false;
+    std::uint64_t value = 0;
+    std::uint64_t version = 0;
+    bool current = false;  // version == latest committed version
+  };
+
+  /// Attempt a write of `value` from `origin` under `spec`.
+  WriteResult write(const conn::ComponentTracker& tracker, const QuorumSpec& spec,
+                    net::SiteId origin, std::uint64_t value);
+
+  /// Attempt a read from `origin` under `spec`.
+  ReadResult read(const conn::ComponentTracker& tracker, const QuorumSpec& spec,
+                  net::SiteId origin) const;
+
+  /// Copy the highest-version replica in origin's component onto every
+  /// member — the data synchronization that must accompany a quorum
+  /// reassignment install (see core::install_and_sync). No quorum check
+  /// is made here; callers gate the operation. No-op for a down origin.
+  void refresh_component(const conn::ComponentTracker& tracker, net::SiteId origin);
+
+  std::uint64_t committed_version() const noexcept { return committed_version_; }
+
+  struct Copy {
+    std::uint64_t value = 0;
+    std::uint64_t version = 0;
+  };
+  const Copy& copy_at(net::SiteId s) const { return copies_.at(s); }
+
+private:
+  const net::Topology* topo_;
+  std::vector<Copy> copies_;
+  std::uint64_t committed_version_ = 0;
+};
+
+} // namespace quora::quorum

@@ -1,0 +1,94 @@
+#include "quorum/witness_store.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace quora::quorum {
+
+WitnessStore::WitnessStore(const net::Topology& topo, std::vector<bool> is_witness)
+    : topo_(&topo),
+      is_witness_(std::move(is_witness)),
+      version_(topo.site_count(), 0),
+      value_(topo.site_count(), 0) {
+  if (is_witness_.size() != topo.site_count()) {
+    throw std::invalid_argument("WitnessStore: witness mask size mismatch");
+  }
+  for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+    if (!is_witness_[s]) ++data_copies_;
+  }
+  if (data_copies_ == 0) {
+    throw std::invalid_argument("WitnessStore: at least one data copy required");
+  }
+}
+
+WitnessStore::WriteResult WitnessStore::write(const conn::ComponentTracker& tracker,
+                                              const QuorumSpec& spec,
+                                              net::SiteId origin,
+                                              std::uint64_t value) {
+  WriteResult result;
+  const net::Vote votes = tracker.component_votes(origin);
+  if (!spec.allows_write(votes)) return result;
+
+  // A write must land on at least one data copy, or the value would be
+  // stored nowhere (witnesses cannot hold it).
+  const std::int32_t comp = tracker.component_of(origin);
+  const auto members = tracker.members(comp);
+  const bool any_data = std::any_of(members.begin(), members.end(),
+                                    [&](net::SiteId s) { return !is_witness_[s]; });
+  if (!any_data) return result;
+
+  result.granted = true;
+  result.version = ++committed_version_;
+  for (const net::SiteId s : members) {
+    version_[s] = result.version;
+    if (!is_witness_[s]) value_[s] = value;
+  }
+  return result;
+}
+
+WitnessStore::ReadResult WitnessStore::read(const conn::ComponentTracker& tracker,
+                                            const QuorumSpec& spec,
+                                            net::SiteId origin) const {
+  ReadResult result;
+  const net::Vote votes = tracker.component_votes(origin);
+  if (!spec.allows_read(votes)) return result;
+  result.granted = true;
+
+  const std::int32_t comp = tracker.component_of(origin);
+  std::uint64_t newest = 0;
+  for (const net::SiteId s : tracker.members(comp)) {
+    newest = std::max(newest, version_[s]);
+  }
+  for (const net::SiteId s : tracker.members(comp)) {
+    if (!is_witness_[s] && version_[s] == newest) {
+      result.data_accessible = true;
+      result.value = value_[s];
+      result.version = newest;
+      break;
+    }
+  }
+  // granted && !data_accessible: votes sufficed but every copy carrying
+  // the newest known version is a witness — refuse rather than serve a
+  // possibly stale copy.
+  result.current = result.data_accessible && newest == committed_version_;
+  return result;
+}
+
+std::vector<bool> witness_mask_lowest_degree(const net::Topology& topo,
+                                             std::uint32_t witnesses) {
+  if (witnesses >= topo.site_count()) {
+    throw std::invalid_argument(
+        "witness_mask_lowest_degree: need at least one data copy");
+  }
+  std::vector<net::SiteId> order(topo.site_count());
+  std::iota(order.begin(), order.end(), net::SiteId{0});
+  std::stable_sort(order.begin(), order.end(), [&](net::SiteId a, net::SiteId b) {
+    return topo.degree(a) < topo.degree(b);
+  });
+  std::vector<bool> mask(topo.site_count(), false);
+  for (std::uint32_t i = 0; i < witnesses; ++i) mask[order[i]] = true;
+  return mask;
+}
+
+} // namespace quora::quorum

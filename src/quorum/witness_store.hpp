@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "conn/component_tracker.hpp"
+#include "net/topology.hpp"
+#include "quorum/quorum_spec.hpp"
+
+namespace quora::quorum {
+
+/// Replicated object with *witnesses* (Pâris; the lineage of the paper's
+/// reference [17]): some sites hold votes and a version number but **no
+/// data**. Witnesses are cheap — no storage, no update bandwidth — yet
+/// their votes count toward quorums, raising the probability that a
+/// component can act.
+///
+/// Correctness changes subtly versus `ReplicatedStore`: a component can
+/// reach a read quorum *through witnesses* while holding only stale data
+/// copies. The witness version numbers make that situation detectable —
+/// the read is granted by votes but must then find a data copy carrying
+/// the newest version known to the component; otherwise it is refused
+/// ("data inaccessible"). One-copy serializability is preserved: a stale
+/// value is never returned; the price is paid in availability, which the
+/// witness-placement bench quantifies.
+class WitnessStore {
+public:
+  /// `is_witness[s]` marks vote-holding, data-less sites. At least one
+  /// site must hold data.
+  WitnessStore(const net::Topology& topo, std::vector<bool> is_witness);
+
+  bool is_witness(net::SiteId s) const { return is_witness_.at(s); }
+  std::uint32_t data_copy_count() const noexcept { return data_copies_; }
+
+  struct WriteResult {
+    bool granted = false;
+    std::uint64_t version = 0;
+  };
+
+  /// Quorum-checked write: updates data at every non-witness member and
+  /// version numbers everywhere in the component.
+  WriteResult write(const conn::ComponentTracker& tracker, const QuorumSpec& spec,
+                    net::SiteId origin, std::uint64_t value);
+
+  struct ReadResult {
+    bool granted = false;         // quorum reached
+    bool data_accessible = false; // a copy with the newest known version
+    std::uint64_t value = 0;
+    std::uint64_t version = 0;
+    bool current = false;         // version == globally latest commit
+  };
+
+  /// Quorum-checked read. `granted && !data_accessible` is the
+  /// witness-specific refusal: enough votes, but every current copy is
+  /// outside the component.
+  ReadResult read(const conn::ComponentTracker& tracker, const QuorumSpec& spec,
+                  net::SiteId origin) const;
+
+  std::uint64_t committed_version() const noexcept { return committed_version_; }
+
+private:
+  const net::Topology* topo_;
+  std::vector<bool> is_witness_;
+  std::uint32_t data_copies_ = 0;
+  std::vector<std::uint64_t> version_;  // all sites
+  std::vector<std::uint64_t> value_;    // meaningful at data sites only
+  std::uint64_t committed_version_ = 0;
+};
+
+/// Vote assignment and witness mask for "replace the `witnesses` lowest-
+/// degree sites' data with witnesses" — the placement heuristic used by
+/// the bench (witnesses are cheapest where data would be least useful).
+std::vector<bool> witness_mask_lowest_degree(const net::Topology& topo,
+                                             std::uint32_t witnesses);
+
+} // namespace quora::quorum

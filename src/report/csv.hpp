@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace quora::report {
+
+/// Minimal RFC-4180 CSV emitter, for piping bench series into plotting
+/// tools to redraw the paper's figures.
+class CsvWriter {
+public:
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  void row(const std::vector<std::string>& cells);
+
+  /// Quotes a cell iff it contains a comma, quote or newline.
+  static std::string escape(const std::string& cell);
+
+private:
+  std::ostream* os_;
+};
+
+} // namespace quora::report

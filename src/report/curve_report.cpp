@@ -1,0 +1,68 @@
+#include "report/curve_report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "core/optimize.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace quora::report {
+
+void print_curve_table(std::ostream& os, const metrics::CurveResult& result,
+                       unsigned stride) {
+  if (stride == 0) stride = 1;
+  std::vector<std::string> header{"q_r", "q_w"};
+  for (const double a : result.alphas) {
+    header.push_back("alpha=" + TextTable::fmt(a, 2));
+  }
+  TextTable table(std::move(header));
+
+  for (std::size_t qi = 0; qi < result.q_values.size(); ++qi) {
+    const bool last = qi + 1 == result.q_values.size();
+    if (qi % stride != 0 && !last) continue;
+    const net::Vote q = result.q_values[qi];
+    std::vector<std::string> row{std::to_string(q),
+                                 std::to_string(result.total - q + 1)};
+    for (std::size_t a = 0; a < result.alphas.size(); ++a) {
+      row.push_back(TextTable::fmt(result.mean[a][qi], 4));
+    }
+    table.add_row(std::move(row));
+  }
+  os << result.topology_name << "  (T=" << result.total
+     << ", batches=" << result.batches
+     << ", max CI half-width=" << TextTable::fmt(result.max_half_width, 4) << ")\n";
+  table.print(os);
+  for (const double a : result.alphas) os << optimum_line(result, a) << '\n';
+}
+
+void write_curve_csv(std::ostream& os, const metrics::CurveResult& result) {
+  CsvWriter csv(os);
+  std::vector<std::string> header{"q_r", "q_w"};
+  for (const double a : result.alphas) {
+    header.push_back("alpha_" + TextTable::fmt(a, 2));
+    header.push_back("ci_" + TextTable::fmt(a, 2));
+  }
+  csv.row(header);
+  for (std::size_t qi = 0; qi < result.q_values.size(); ++qi) {
+    const net::Vote q = result.q_values[qi];
+    std::vector<std::string> row{std::to_string(q),
+                                 std::to_string(result.total - q + 1)};
+    for (std::size_t a = 0; a < result.alphas.size(); ++a) {
+      row.push_back(TextTable::fmt(result.mean[a][qi], 6));
+      row.push_back(TextTable::fmt(result.half_width[a][qi], 6));
+    }
+    csv.row(row);
+  }
+}
+
+std::string optimum_line(const metrics::CurveResult& result, double alpha) {
+  const core::AvailabilityCurve curve = result.pooled_curve();
+  const core::OptResult best = core::optimize_exhaustive(curve, alpha);
+  std::ostringstream ss;
+  ss << "optimal @ alpha=" << TextTable::fmt(alpha, 2) << ": q_r=" << best.q_r()
+     << " q_w=" << best.q_w() << "  A=" << TextTable::fmt(best.value, 4);
+  return ss.str();
+}
+
+} // namespace quora::report

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/experiment.hpp"
+
+namespace quora::report {
+
+/// Renders one measured figure (availability vs q_r, one column per
+/// alpha) exactly in the shape the paper plots, plus a footer giving each
+/// alpha's optimal assignment — what Figure-1's step 4 selects from the
+/// measured data.
+///
+/// `stride` thins the q_r rows for terminal readability (every point is
+/// still used for the optima); stride 1 prints all rows.
+void print_curve_table(std::ostream& os, const metrics::CurveResult& result,
+                       unsigned stride = 1);
+
+/// Same series as CSV: header `q_r,alpha_...` then one row per q_r.
+void write_curve_csv(std::ostream& os, const metrics::CurveResult& result);
+
+/// One-line summary of the optimum for a given alpha from the pooled
+/// curve, e.g. "alpha=0.75: q_r=1 q_w=101 A=0.7213".
+std::string optimum_line(const metrics::CurveResult& result, double alpha);
+
+} // namespace quora::report

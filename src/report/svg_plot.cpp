@@ -1,0 +1,141 @@
+#include "report/svg_plot.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace quora::report {
+namespace {
+
+constexpr unsigned kMarginLeft = 64;
+constexpr unsigned kMarginRight = 150;  // legend gutter
+constexpr unsigned kMarginTop = 40;
+constexpr unsigned kMarginBottom = 48;
+
+// Colorblind-safe series palette (Okabe-Ito), bottom-to-top curves.
+constexpr const char* kColors[] = {"#0072B2", "#E69F00", "#009E73",
+                                   "#D55E00", "#CC79A7", "#56B4E9",
+                                   "#F0E442", "#000000"};
+
+std::string fmt(double x, int precision = 2) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << x;
+  return ss.str();
+}
+
+} // namespace
+
+void write_curve_svg(std::ostream& os, const metrics::CurveResult& result,
+                     const SvgOptions& options) {
+  if (result.q_values.empty() || result.alphas.empty()) {
+    throw std::invalid_argument("write_curve_svg: empty result");
+  }
+  const double plot_w =
+      static_cast<double>(options.width - kMarginLeft - kMarginRight);
+  const double plot_h =
+      static_cast<double>(options.height - kMarginTop - kMarginBottom);
+  const double x_min = result.q_values.front();
+  const double x_max = result.q_values.back();
+
+  const auto x_of = [&](double q) {
+    return kMarginLeft + (q - x_min) / std::max(1.0, x_max - x_min) * plot_w;
+  };
+  const auto y_of = [&](double a) {
+    return kMarginTop + (1.0 - std::clamp(a, 0.0, 1.0)) * plot_h;
+  };
+
+  const std::string title =
+      options.title.empty() ? result.topology_name : options.title;
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+     << "\" height=\"" << options.height << "\" viewBox=\"0 0 " << options.width
+     << ' ' << options.height << "\">\n"
+     << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+     << "<text x=\"" << kMarginLeft << "\" y=\"24\" font-family=\"sans-serif\""
+     << " font-size=\"15\" font-weight=\"bold\">" << title << "</text>\n"
+     << "<text x=\"" << kMarginLeft << "\" y=\"" << options.height - 12
+     << "\" font-family=\"sans-serif\" font-size=\"12\">read quorum q_r"
+     << "  (q_w = T - q_r + 1, T = " << result.total << ")</text>\n";
+
+  // Horizontal gridlines + y labels at 0, .25, .5, .75, 1.
+  for (int i = 0; i <= 4; ++i) {
+    const double a = 0.25 * i;
+    const double y = y_of(a);
+    os << "<line x1=\"" << kMarginLeft << "\" y1=\"" << y << "\" x2=\""
+       << kMarginLeft + plot_w << "\" y2=\"" << y
+       << "\" stroke=\"#dddddd\" stroke-width=\"1\"/>\n"
+       << "<text x=\"" << kMarginLeft - 8 << "\" y=\"" << y + 4
+       << "\" text-anchor=\"end\" font-family=\"sans-serif\" font-size=\"11\">"
+       << fmt(a) << "</text>\n";
+  }
+  // X ticks: first, quarters, last.
+  for (int i = 0; i <= 4; ++i) {
+    const double q = x_min + (x_max - x_min) * i / 4.0;
+    const double x = x_of(q);
+    os << "<line x1=\"" << x << "\" y1=\"" << kMarginTop + plot_h << "\" x2=\""
+       << x << "\" y2=\"" << kMarginTop + plot_h + 5
+       << "\" stroke=\"#333333\"/>\n"
+       << "<text x=\"" << x << "\" y=\"" << kMarginTop + plot_h + 18
+       << "\" text-anchor=\"middle\" font-family=\"sans-serif\""
+       << " font-size=\"11\">" << static_cast<int>(q + 0.5) << "</text>\n";
+  }
+  // Axes.
+  os << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop << "\" width=\""
+     << plot_w << "\" height=\"" << plot_h
+     << "\" fill=\"none\" stroke=\"#333333\" stroke-width=\"1\"/>\n"
+     << "<text x=\"16\" y=\"" << kMarginTop + plot_h / 2
+     << "\" font-family=\"sans-serif\" font-size=\"12\" transform=\"rotate(-90 16 "
+     << kMarginTop + plot_h / 2 << ")\" text-anchor=\"middle\">availability"
+     << "</text>\n";
+
+  // Series (one polyline per alpha) + optional CI whiskers + legend.
+  for (std::size_t a = 0; a < result.alphas.size(); ++a) {
+    const char* color = kColors[a % std::size(kColors)];
+    os << "<polyline fill=\"none\" stroke=\"" << color
+       << "\" stroke-width=\"1.8\" points=\"";
+    for (std::size_t qi = 0; qi < result.q_values.size(); ++qi) {
+      os << fmt(x_of(result.q_values[qi]), 1) << ','
+         << fmt(y_of(result.mean[a][qi]), 1) << ' ';
+    }
+    os << "\"/>\n";
+
+    if (options.whisker_stride > 0) {
+      for (std::size_t qi = 0; qi < result.q_values.size();
+           qi += options.whisker_stride) {
+        const double x = x_of(result.q_values[qi]);
+        const double lo = y_of(result.mean[a][qi] - result.half_width[a][qi]);
+        const double hi = y_of(result.mean[a][qi] + result.half_width[a][qi]);
+        os << "<line x1=\"" << fmt(x, 1) << "\" y1=\"" << fmt(lo, 1)
+           << "\" x2=\"" << fmt(x, 1) << "\" y2=\"" << fmt(hi, 1)
+           << "\" stroke=\"" << color << "\" stroke-width=\"1\"/>\n";
+      }
+    }
+
+    const double ly = kMarginTop + 16.0 * static_cast<double>(a);
+    os << "<line x1=\"" << kMarginLeft + plot_w + 12 << "\" y1=\"" << ly
+       << "\" x2=\"" << kMarginLeft + plot_w + 34 << "\" y2=\"" << ly
+       << "\" stroke=\"" << color << "\" stroke-width=\"2\"/>\n"
+       << "<text x=\"" << kMarginLeft + plot_w + 40 << "\" y=\"" << ly + 4
+       << "\" font-family=\"sans-serif\" font-size=\"11\">alpha = "
+       << fmt(result.alphas[a]) << "</text>\n";
+  }
+
+  os << "<text x=\"" << kMarginLeft + plot_w << "\" y=\"24\" text-anchor=\"end\""
+     << " font-family=\"sans-serif\" font-size=\"10\" fill=\"#666666\">"
+     << result.batches << " batches, max CI half-width "
+     << fmt(result.max_half_width, 4) << "</text>\n"
+     << "</svg>\n";
+}
+
+void write_curve_svg_file(const std::string& path,
+                          const metrics::CurveResult& result,
+                          const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_curve_svg_file: cannot open " + path);
+  write_curve_svg(out, result, options);
+}
+
+} // namespace quora::report

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/experiment.hpp"
+
+namespace quora::report {
+
+/// Renders a measured figure as a standalone SVG — the literal
+/// regeneration of the paper's Figures 2-7: availability (y, 0..1)
+/// against read quorum q_r (x, 1..floor(T/2)), one polyline per alpha,
+/// labeled like the paper ("the curves ... represent, from bottom to top,
+/// alpha = 0, .25, .50, .75, and 1").
+///
+/// Dependency-free output: axes, gridlines, series, legend, CI whiskers
+/// at every `whisker_stride`-th point (0 disables whiskers).
+struct SvgOptions {
+  unsigned width = 720;
+  unsigned height = 480;
+  unsigned whisker_stride = 7;
+  std::string title;  // defaults to the topology name
+};
+
+void write_curve_svg(std::ostream& os, const metrics::CurveResult& result,
+                     const SvgOptions& options = {});
+
+/// Convenience: write to `path`; throws std::runtime_error on I/O failure.
+void write_curve_svg_file(const std::string& path,
+                          const metrics::CurveResult& result,
+                          const SvgOptions& options = {});
+
+} // namespace quora::report

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace quora::report {
+
+/// Fixed-width text table with automatic column sizing — the output format
+/// of every bench binary, so regenerated paper rows line up readably in a
+/// terminal and in EXPERIMENTS.md code blocks.
+class TextTable {
+public:
+  /// Column headers define the column count; subsequent rows must match.
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// A full-width separator line is drawn before the next row added.
+  void add_separator();
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Fixed-precision float formatting helpers.
+  static std::string fmt(double value, int precision = 4);
+  static std::string pct(double fraction, int precision = 1);
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+} // namespace quora::report

@@ -1,0 +1,56 @@
+#include "rng/alias_table.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace quora::rng {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("AliasTable: empty weights");
+  for (const double w : weights) {
+    if (!(w >= 0.0)) throw std::invalid_argument("AliasTable: negative or NaN weight");
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (!(total > 0.0)) throw std::invalid_argument("AliasTable: zero total weight");
+
+  const std::size_t n = weights.size();
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  // Vose's stable construction: scale to mean 1, split into small/large,
+  // pair each small slot with mass borrowed from a large one.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  std::iota(alias_.begin(), alias_.end(), std::size_t{0});
+
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (either list) get probability 1 — pure float residue.
+  for (const std::size_t i : small) prob_[i] = 1.0;
+  for (const std::size_t i : large) prob_[i] = 1.0;
+}
+
+} // namespace quora::rng

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/xoshiro256ss.hpp"
+
+namespace quora::rng {
+
+/// Walker/Vose alias table: O(n) construction, O(1) sampling from an
+/// arbitrary discrete distribution.
+///
+/// The simulator draws the submitting site of every access request from the
+/// per-site distributions r_i / w_i (paper §4, step 1). With up to millions
+/// of accesses per batch this must be constant-time; the alias method makes
+/// non-uniform access patterns exactly as cheap as uniform ones.
+class AliasTable {
+public:
+  /// Builds from non-negative weights (need not be normalized).
+  /// Throws std::invalid_argument if empty or if the total weight is zero.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draws an index proportional to its weight.
+  std::size_t sample(Xoshiro256ss& gen) const {
+    const std::size_t slot = static_cast<std::size_t>(
+        gen.next_double() * static_cast<double>(prob_.size()));
+    const std::size_t i = slot < prob_.size() ? slot : prob_.size() - 1;
+    return gen.next_double() < prob_[i] ? i : alias_[i];
+  }
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// The normalized probability of index i (recomputed from the inputs;
+  /// for testing and introspection).
+  double probability(std::size_t i) const { return normalized_[i]; }
+
+private:
+  std::vector<double> prob_;        // acceptance threshold per slot
+  std::vector<std::size_t> alias_;  // fallback index per slot
+  std::vector<double> normalized_;  // input weights / total
+};
+
+} // namespace quora::rng

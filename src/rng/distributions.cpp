@@ -1,0 +1,19 @@
+#include "rng/distributions.hpp"
+
+#include <numeric>
+
+namespace quora::rng {
+
+std::size_t weighted_index_linear(Xoshiro256ss& gen, std::span<const double> weights) {
+  assert(!weights.empty());
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  double u = gen.next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return weights.size() - 1; // numerical slack: u consumed the whole mass
+}
+
+} // namespace quora::rng

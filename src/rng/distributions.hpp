@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "rng/xoshiro256ss.hpp"
+
+namespace quora::rng {
+
+/// Exponential variate with the given mean (inverse-CDF method).
+///
+/// Every stochastic process in the paper's model — access submission,
+/// component failure, component repair — is Poisson, i.e. has exponential
+/// inter-event times, so this is the workhorse sampler of the simulator.
+inline double exponential(Xoshiro256ss& gen, double mean) {
+  assert(mean > 0.0);
+  return -mean * std::log(gen.next_double_open_zero());
+}
+
+/// Uniform real in [lo, hi).
+inline double uniform_real(Xoshiro256ss& gen, double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * gen.next_double();
+}
+
+/// Uniform integer in [0, bound) by Lemire's multiply-shift with rejection
+/// (unbiased for every bound, branch-light for the common case).
+inline std::uint64_t uniform_index(Xoshiro256ss& gen, std::uint64_t bound) {
+  assert(bound > 0);
+  std::uint64_t x = gen();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = gen();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// Bernoulli trial with success probability p.
+inline bool bernoulli(Xoshiro256ss& gen, double p) {
+  return gen.next_double() < p;
+}
+
+/// Sample an index in [0, weights.size()) proportional to `weights` by
+/// linear scan. O(n) per draw — fine for one-off draws; for hot paths use
+/// `AliasTable`.
+std::size_t weighted_index_linear(Xoshiro256ss& gen, std::span<const double> weights);
+
+} // namespace quora::rng

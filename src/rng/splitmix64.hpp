@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+namespace quora::rng {
+
+/// SplitMix64 (Steele, Lea & Flood 2014) — a tiny, high-quality 64-bit mixer.
+///
+/// Used only to expand a user seed into the 256-bit state of
+/// `Xoshiro256ss` and to derive decorrelated sub-seeds for named streams.
+/// Never used as the simulation generator itself.
+class SplitMix64 {
+public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value; advances the state.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of two 64-bit values into one, for deriving stream seeds
+/// from (seed, stream-id) pairs without constructing a generator.
+constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  SplitMix64 sm(seed ^ (0x632be59bd9b4e019ULL * (stream + 1)));
+  sm.next();
+  return sm.next();
+}
+
+} // namespace quora::rng

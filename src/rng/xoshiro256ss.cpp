@@ -1,0 +1,18 @@
+#include "rng/xoshiro256ss.hpp"
+
+namespace quora::rng {
+
+void Xoshiro256ss::apply_polynomial(const std::array<std::uint64_t, 4>& poly) noexcept {
+  std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+  for (const std::uint64_t word : poly) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (std::uint64_t{1} << bit)) {
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+      }
+      (*this)();
+    }
+  }
+  state_ = acc;
+}
+
+} // namespace quora::rng

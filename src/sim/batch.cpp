@@ -1,0 +1,53 @@
+#include "sim/batch.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace quora::sim {
+
+unsigned default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void for_each_batch(std::uint32_t batches, unsigned threads,
+                    const std::function<void(std::uint32_t)>& body) {
+  if (batches == 0) return;
+  const unsigned workers = std::min<unsigned>(threads == 0 ? 1 : threads, batches);
+
+  if (workers <= 1) {
+    for (std::uint32_t b = 0; b < batches; ++b) body(b);
+    return;
+  }
+
+  std::atomic<std::uint32_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::uint32_t b = next.fetch_add(1, std::memory_order_relaxed);
+          if (b >= batches) return;
+          try {
+            body(b);
+          } catch (...) {
+            const std::scoped_lock lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+        }
+      });
+    }
+  } // jthreads join here
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+} // namespace quora::sim

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace quora::sim {
+
+/// Number of worker threads to use by default: hardware concurrency,
+/// at least 1.
+unsigned default_thread_count();
+
+/// Runs `body(batch_index)` for every index in [0, batches), fanning out
+/// over at most `threads` workers.
+///
+/// This is the library's parallelism idiom (see the HPC guides): batches
+/// are statistically independent replications, each with its own RNG
+/// stream, simulator and collector — zero shared mutable state — so the
+/// fan-out is embarrassingly parallel and results are identical to a
+/// serial loop. Exceptions thrown by `body` are rethrown on the caller's
+/// thread (first one wins).
+void for_each_batch(std::uint32_t batches, unsigned threads,
+                    const std::function<void(std::uint32_t)>& body);
+
+} // namespace quora::sim

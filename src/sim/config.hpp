@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace quora::sim {
+
+/// Stochastic parameters of the paper's simulation study (§5.2).
+///
+/// Defaults reproduce the paper exactly:
+///  - per-site access submission is Poisson with mean inter-access time
+///    mu_access = 1;
+///  - rho = mu_access / mu_fail = 1/128 relates access and failure time
+///    scales, so mu_fail = 128;
+///  - every component (site or link alike) is 96% reliable:
+///    mu_fail / (mu_fail + mu_repair) = 0.96, so mu_repair = mu_fail / 24;
+///  - 100,000 warm-up accesses precede measurement, batches are 1,000,000
+///    accesses.
+struct SimConfig {
+  double mu_access = 1.0;
+  double rho = 1.0 / 128.0;
+  double reliability = 0.96;
+  std::uint64_t warmup_accesses = 100'000;
+  std::uint64_t accesses_per_batch = 1'000'000;
+
+  /// Mean up-time of a site or link: mu_access / rho.
+  double mu_fail() const { return mu_access / rho; }
+
+  /// Mean down-time, from reliability = mu_fail / (mu_fail + mu_repair).
+  double mu_repair() const { return mu_fail() * (1.0 - reliability) / reliability; }
+
+  /// Throws std::invalid_argument when parameters are out of range.
+  void validate() const;
+};
+
+/// Optional per-component overrides of the uniform failure model —
+/// heterogeneous reliabilities (e.g. the §4.2 bus network: a fallible bus
+/// hub, perfectly reliable taps). Empty vectors mean "uniform from
+/// SimConfig"; an infinite mu_fail entry means the component never fails.
+struct FailureProfile {
+  std::vector<double> site_mu_fail;
+  std::vector<double> site_mu_repair;
+  std::vector<double> link_mu_fail;
+  std::vector<double> link_mu_repair;
+
+  bool empty() const noexcept {
+    return site_mu_fail.empty() && site_mu_repair.empty() &&
+           link_mu_fail.empty() && link_mu_repair.empty();
+  }
+
+  /// Throws std::invalid_argument on inconsistent sizes or non-positive
+  /// rates. Each vector must be empty or match its component count, and
+  /// fail/repair vectors must be provided together.
+  void validate(std::uint32_t site_count, std::uint32_t link_count) const;
+
+  /// Convenience: a profile where the given reliability fractions are met
+  /// with the same repair time scale as `config`.
+  static FailureProfile from_reliabilities(const SimConfig& config,
+                                           const std::vector<double>& site_rel,
+                                           const std::vector<double>& link_rel);
+};
+
+/// Who submits accesses, and how reads mix with writes (§4 step 1).
+///
+/// `alpha` is the fraction of accesses that are reads. `read_weights` /
+/// `write_weights` are the paper's r_i / w_i: the distribution of read
+/// (write) submissions over sites. Empty weight vectors mean uniform —
+/// the paper's experimental setting, where r(v) = w(v).
+struct AccessSpec {
+  double alpha = 0.5;
+  std::vector<double> read_weights;   // empty => uniform
+  std::vector<double> write_weights;  // empty => uniform
+
+  /// Throws std::invalid_argument on bad alpha or mismatched weight sizes.
+  void validate(std::uint32_t site_count) const;
+};
+
+} // namespace quora::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace quora::sim {
+
+/// The five event kinds of the paper's model (§5.2): component failures and
+/// recoveries plus data access requests. All events are instantaneous; no
+/// component changes state while an access is processing (guaranteed here
+/// by construction — each event is handled atomically).
+enum class EventKind : std::uint8_t {
+  kSiteFail,
+  kSiteRecover,
+  kLinkFail,
+  kLinkRecover,
+  kAccess,
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  // insertion order; deterministic tie-break
+  EventKind kind = EventKind::kAccess;
+  std::uint32_t index = 0;  // site or link id; unused for kAccess
+};
+
+/// Min-heap of events ordered by (time, seq). The seq tie-break makes event
+/// processing a total order, so simulations are bitwise reproducible.
+class EventQueue {
+public:
+  void push(double time, EventKind kind, std::uint32_t index) {
+    heap_.push(Event{time, next_seq_++, kind, index});
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  void clear() {
+    heap_ = {};
+    next_seq_ = 0;
+  }
+
+private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+} // namespace quora::sim

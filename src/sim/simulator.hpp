@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "conn/component_tracker.hpp"
+#include "conn/live_network.hpp"
+#include "net/topology.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "sim/config.hpp"
+#include "sim/event.hpp"
+
+namespace quora::sim {
+
+class Simulator;
+
+/// One access request, as delivered to observers. Votes reachable from the
+/// submitting site are queried through `Simulator::tracker()`; a down
+/// submitting site yields zero votes (the paper's "component of size zero").
+struct AccessEvent {
+  double time = 0.0;
+  net::SiteId site = 0;
+  bool is_read = false;
+};
+
+/// Receives every access event during measured simulation.
+class AccessObserver {
+public:
+  virtual ~AccessObserver() = default;
+  virtual void on_access(const Simulator& sim, const AccessEvent& ev) = 0;
+};
+
+/// Receives a notification after every site/link failure or recovery.
+/// Dynamic protocols (quorum reassignment, dynamic voting) react here.
+class NetworkObserver {
+public:
+  virtual ~NetworkObserver() = default;
+  virtual void on_network_change(const Simulator& sim, EventKind kind,
+                                 std::uint32_t index) = 0;
+};
+
+/// Steady-state discrete event simulator of the paper's system model
+/// (§5.1–5.2): fail-stop sites, bidirectional fallible links, Poisson
+/// failure/repair/access processes, instantaneous events.
+///
+/// Deterministic: one RNG stream drives everything, event ties break by
+/// insertion order, so a (seed, stream) pair fully determines a run.
+class Simulator {
+public:
+  Simulator(const net::Topology& topo, SimConfig config, AccessSpec spec,
+            std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// As above, with heterogeneous per-component failure parameters. Sites
+  /// or links whose mu_fail is infinite never fail.
+  Simulator(const net::Topology& topo, SimConfig config, AccessSpec spec,
+            FailureProfile profile, std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// Process events until `count` further access events have occurred.
+  void run_accesses(std::uint64_t count);
+
+  /// Restore the initial all-up state, clear the clock, reschedule, and
+  /// rewind the RNG — a subsequent run replays this simulator's history
+  /// exactly. Observers stay attached. (The paper resets before each
+  /// batch; independent batches come from distinct streams, not reset.)
+  void reset();
+
+  /// Observers are notified in registration order; they are borrowed, not
+  /// owned, and must outlive the simulator or be removed first.
+  void add_access_observer(AccessObserver* obs) { access_obs_.push_back(obs); }
+  void add_network_observer(NetworkObserver* obs) { network_obs_.push_back(obs); }
+  void clear_observers() noexcept {
+    access_obs_.clear();
+    network_obs_.clear();
+  }
+
+  /// Change the read fraction for subsequent accesses — lets experiments
+  /// model a shifting read/write mix mid-run (§4.3's motivating scenario).
+  void set_access_alpha(double alpha);
+
+  double now() const noexcept { return now_; }
+  const net::Topology& topology() const noexcept { return *topo_; }
+  const conn::LiveNetwork& network() const noexcept { return live_; }
+  const conn::ComponentTracker& tracker() const noexcept { return tracker_; }
+  const SimConfig& config() const noexcept { return config_; }
+  const AccessSpec& access_spec() const noexcept { return spec_; }
+
+  struct Counters {
+    std::uint64_t accesses = 0;
+    std::uint64_t site_failures = 0;
+    std::uint64_t site_recoveries = 0;
+    std::uint64_t link_failures = 0;
+    std::uint64_t link_recoveries = 0;
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+private:
+  void schedule_initial_events();
+  void handle(const Event& e);
+
+  double site_mu_fail(net::SiteId s) const;
+  double site_mu_repair(net::SiteId s) const;
+  double link_mu_fail(net::LinkId l) const;
+  double link_mu_repair(net::LinkId l) const;
+
+  const net::Topology* topo_;
+  SimConfig config_;
+  AccessSpec spec_;
+  FailureProfile profile_;
+  std::uint64_t seed_;
+  std::uint64_t stream_;
+
+  conn::LiveNetwork live_;
+  conn::ComponentTracker tracker_;
+  rng::Xoshiro256ss gen_;
+  EventQueue queue_;
+  double now_ = 0.0;
+  double access_interarrival_ = 0.0;  // mu_access / n: merged process mean
+
+  // Site choice per access: uniform unless weights were given.
+  std::optional<rng::AliasTable> read_sites_;
+  std::optional<rng::AliasTable> write_sites_;
+
+  Counters counters_;
+  std::vector<AccessObserver*> access_obs_;
+  std::vector<NetworkObserver*> network_obs_;
+};
+
+} // namespace quora::sim

@@ -1,0 +1,25 @@
+#include "stats/batch_means.hpp"
+
+#include "stats/student_t.hpp"
+
+namespace quora::stats {
+
+bool BatchMeansController::needs_more() const {
+  const std::uint32_t n = batch_count();
+  if (n < policy_.min_batches) return true;
+  if (n >= policy_.max_batches) return false;
+  return interval().half_width > policy_.target_half_width;
+}
+
+ConfidenceInterval BatchMeansController::interval() const {
+  ConfidenceInterval ci;
+  ci.confidence = policy_.confidence;
+  ci.batches = batch_count();
+  ci.mean = stat_.mean();
+  if (ci.batches >= 2) {
+    ci.half_width = t_critical(ci.batches - 1, policy_.confidence) * stat_.sem();
+  }
+  return ci;
+}
+
+} // namespace quora::stats

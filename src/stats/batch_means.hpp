@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/running_stat.hpp"
+
+namespace quora::stats {
+
+/// A mean with a symmetric confidence interval.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double confidence = 0.95;
+  std::uint32_t batches = 0;
+
+  double lo() const noexcept { return mean - half_width; }
+  double hi() const noexcept { return mean + half_width; }
+  bool contains(double x) const noexcept { return lo() <= x && x <= hi(); }
+};
+
+/// The paper's replication protocol (§5.2): independent batches of the
+/// simulation, each restarted from the initial state, averaged until the
+/// 95% Student-t confidence interval has half-width at most 0.5%
+/// (absolute, availability is a fraction in [0,1]); between 5 and 18
+/// batches are used.
+class BatchMeansController {
+public:
+  struct Policy {
+    std::uint32_t min_batches = 5;
+    std::uint32_t max_batches = 18;
+    double confidence = 0.95;
+    double target_half_width = 0.005;
+  };
+
+  BatchMeansController() = default;
+  explicit BatchMeansController(Policy policy) : policy_(policy) {}
+
+  void add_batch(double batch_mean) {
+    batches_.push_back(batch_mean);
+    stat_.add(batch_mean);
+  }
+
+  std::uint32_t batch_count() const noexcept {
+    return static_cast<std::uint32_t>(batches_.size());
+  }
+
+  /// True when another batch is required under the paper's stopping rule.
+  bool needs_more() const;
+
+  /// The interval over the batch means collected so far.
+  ConfidenceInterval interval() const;
+
+  const Policy& policy() const noexcept { return policy_; }
+  const std::vector<double>& batch_means() const noexcept { return batches_; }
+
+private:
+  Policy policy_{};
+  std::vector<double> batches_;
+  RunningStat stat_;
+};
+
+} // namespace quora::stats

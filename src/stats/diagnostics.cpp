@@ -1,0 +1,55 @@
+#include "stats/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quora::stats {
+namespace {
+
+double series_mean(std::span<const double> series) {
+  double sum = 0.0;
+  for (const double x : series) sum += x;
+  return sum / static_cast<double>(series.size());
+}
+
+} // namespace
+
+double autocorrelation(std::span<const double> series, std::uint32_t lag) {
+  const std::size_t n = series.size();
+  if (n < 2 || lag == 0 || lag >= n) return 0.0;
+  const double mean = series_mean(series);
+  double denom = 0.0;
+  for (const double x : series) denom += (x - mean) * (x - mean);
+  if (denom == 0.0) return 0.0;
+  double numer = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    numer += (series[i] - mean) * (series[i + lag] - mean);
+  }
+  return numer / denom;
+}
+
+double von_neumann_ratio(std::span<const double> series) {
+  const std::size_t n = series.size();
+  if (n < 2) return 2.0;
+  const double mean = series_mean(series);
+  double variance = 0.0;
+  for (const double x : series) variance += (x - mean) * (x - mean);
+  variance /= static_cast<double>(n);
+  if (variance == 0.0) return 2.0;
+  double msd = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double d = series[i + 1] - series[i];
+    msd += d * d;
+  }
+  msd /= static_cast<double>(n - 1);
+  return msd / variance;
+}
+
+double effective_sample_size(std::span<const double> series) {
+  const std::size_t n = series.size();
+  if (n < 2) return static_cast<double>(n);
+  const double rho1 = std::clamp(autocorrelation(series, 1), 0.0, 0.999999);
+  return static_cast<double>(n) * (1.0 - rho1) / (1.0 + rho1);
+}
+
+} // namespace quora::stats

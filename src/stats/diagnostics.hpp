@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace quora::stats {
+
+/// Diagnostics justifying the batch-means methodology the paper relies
+/// on: batch means must be effectively independent and identically
+/// distributed for the Student-t interval to be honest.
+
+/// Sample autocorrelation of `series` at the given lag, using the
+/// standard biased (1/n) normalization. Returns 0 for lags outside
+/// [1, n-1] or a constant series.
+double autocorrelation(std::span<const double> series, std::uint32_t lag);
+
+/// Von Neumann ratio: mean squared successive difference over the
+/// variance. For i.i.d. data it concentrates near 2; values well below 2
+/// indicate positive serial correlation (batches too short), values well
+/// above 2 negative correlation. Returns 2 for degenerate inputs
+/// (fewer than 2 points or zero variance) — the "no evidence against
+/// independence" value.
+double von_neumann_ratio(std::span<const double> series);
+
+/// Effective sample size implied by an AR(1) fit to the series:
+/// n * (1 - rho1) / (1 + rho1) with rho1 clamped to [0, 1). Equals n for
+/// uncorrelated batches.
+double effective_sample_size(std::span<const double> series);
+
+} // namespace quora::stats

@@ -1,0 +1,49 @@
+#include "stats/histogram.hpp"
+
+#include <stdexcept>
+
+namespace quora::stats {
+
+void IntHistogram::add(std::uint32_t value, std::uint64_t weight) {
+  if (value >= counts_.size()) {
+    throw std::out_of_range("IntHistogram::add: value beyond domain");
+  }
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+void IntHistogram::merge(const IntHistogram& other) {
+  if (other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("IntHistogram::merge: domain mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+std::vector<double> IntHistogram::pdf() const {
+  std::vector<double> p(counts_.size(), 0.0);
+  if (total_ == 0) return p;
+  const double inv = 1.0 / static_cast<double>(total_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    p[i] = static_cast<double>(counts_[i]) * inv;
+  }
+  return p;
+}
+
+double IntHistogram::tail_mass(std::uint32_t k) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (std::size_t v = k; v < counts_.size(); ++v) acc += counts_[v];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double IntHistogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    acc += static_cast<double>(v) * static_cast<double>(counts_[v]);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+} // namespace quora::stats

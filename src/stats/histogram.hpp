@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace quora::stats {
+
+/// Dense histogram over the integer domain [0, max_value].
+///
+/// The central data structure of the on-line estimator (paper §4.2): each
+/// access samples the number of votes in the submitting site's component —
+/// an integer in [0, T] — and the normalized histogram converges to the
+/// component-size density f_i(v).
+class IntHistogram {
+public:
+  IntHistogram() = default;
+  explicit IntHistogram(std::uint32_t max_value) : counts_(max_value + 1, 0) {}
+
+  void add(std::uint32_t value, std::uint64_t weight = 1);
+
+  /// Elementwise sum; the other histogram must have the same domain.
+  void merge(const IntHistogram& other);
+
+  std::uint32_t max_value() const noexcept {
+    return counts_.empty() ? 0 : static_cast<std::uint32_t>(counts_.size() - 1);
+  }
+  std::uint64_t count(std::uint32_t value) const { return counts_.at(value); }
+  std::uint64_t total() const noexcept { return total_; }
+  std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+
+  /// Normalized density: pdf()[v] = count(v) / total(). Empty total yields
+  /// the all-zero vector.
+  std::vector<double> pdf() const;
+
+  /// Upper-tail mass sum_{v >= k} pdf(v). k beyond the domain yields 0;
+  /// k == 0 yields 1 (for non-empty histograms).
+  double tail_mass(std::uint32_t k) const;
+
+  double mean() const;
+
+private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+} // namespace quora::stats

@@ -1,0 +1,64 @@
+#include "stats/student_t.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace quora::stats {
+namespace {
+
+struct TableRow {
+  double t90;
+  double t95;
+  double t99;
+};
+
+// Two-sided critical values t_{df, 1 - alpha/2} for df = 1..30.
+constexpr std::array<TableRow, 30> kTable = {{
+    {6.314, 12.706, 63.657}, {2.920, 4.303, 9.925},  {2.353, 3.182, 5.841},
+    {2.132, 2.776, 4.604},   {2.015, 2.571, 4.032},  {1.943, 2.447, 3.707},
+    {1.895, 2.365, 3.499},   {1.860, 2.306, 3.355},  {1.833, 2.262, 3.250},
+    {1.812, 2.228, 3.169},   {1.796, 2.201, 3.106},  {1.782, 2.179, 3.055},
+    {1.771, 2.160, 3.012},   {1.761, 2.145, 2.977},  {1.753, 2.131, 2.947},
+    {1.746, 2.120, 2.921},   {1.740, 2.110, 2.898},  {1.734, 2.101, 2.878},
+    {1.729, 2.093, 2.861},   {1.725, 2.086, 2.845},  {1.721, 2.080, 2.831},
+    {1.717, 2.074, 2.819},   {1.714, 2.069, 2.807},  {1.711, 2.064, 2.797},
+    {1.708, 2.060, 2.787},   {1.706, 2.056, 2.779},  {1.703, 2.052, 2.771},
+    {1.701, 2.048, 2.763},   {1.699, 2.045, 2.756},  {1.697, 2.042, 2.750},
+}};
+
+// Anchors above df=30 for linear interpolation in 1/df, the standard trick
+// for the slowly varying tail of the t table.
+constexpr TableRow kRow40 = {1.684, 2.021, 2.704};
+constexpr TableRow kRow60 = {1.671, 2.000, 2.660};
+constexpr TableRow kRow120 = {1.658, 1.980, 2.617};
+constexpr TableRow kRowInf = {1.645, 1.960, 2.576};
+
+double pick(const TableRow& row, double confidence) {
+  if (confidence == 0.90) return row.t90;
+  if (confidence == 0.95) return row.t95;
+  if (confidence == 0.99) return row.t99;
+  throw std::invalid_argument("t_critical: confidence must be 0.90, 0.95 or 0.99");
+}
+
+double interpolate(const TableRow& lo, double dfLo, const TableRow& hi, double dfHi,
+                   double df, double confidence) {
+  const double a = pick(lo, confidence);
+  const double b = pick(hi, confidence);
+  const double x = (1.0 / df - 1.0 / dfLo) / (1.0 / dfHi - 1.0 / dfLo);
+  return a + (b - a) * x;
+}
+
+} // namespace
+
+double t_critical(std::uint32_t df, double confidence) {
+  if (df == 0) throw std::invalid_argument("t_critical: df must be positive");
+  if (df <= kTable.size()) return pick(kTable[df - 1], confidence);
+  const auto d = static_cast<double>(df);
+  if (df <= 40) return interpolate(kTable.back(), 30, kRow40, 40, d, confidence);
+  if (df <= 60) return interpolate(kRow40, 40, kRow60, 60, d, confidence);
+  if (df <= 120) return interpolate(kRow60, 60, kRow120, 120, d, confidence);
+  return pick(kRowInf, confidence);
+}
+
+} // namespace quora::stats

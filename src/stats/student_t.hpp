@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+namespace quora::stats {
+
+/// Two-sided Student-t critical value t_{df, 1-conf/2}.
+///
+/// The paper reports "95% confidence interval with an interval half-size of
+/// at most ±0.5%", computed from 5–18 batch means — i.e. 4–17 degrees of
+/// freedom, squarely in the regime where the t correction over the normal
+/// quantile matters.
+///
+/// Supports confidence in {0.90, 0.95, 0.99}; exact table for df <= 30,
+/// interpolated for 30 < df <= 120, normal quantile beyond.
+double t_critical(std::uint32_t df, double confidence = 0.95);
+
+} // namespace quora::stats

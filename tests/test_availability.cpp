@@ -1,0 +1,131 @@
+// Tests for the availability function A(alpha, q_r) — Figure 1 steps 2-3 —
+// built from hand-computable densities.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/availability.hpp"
+#include "core/component_dist.hpp"
+
+namespace quora::core {
+namespace {
+
+// T = 4; masses chosen for easy mental arithmetic.
+VotePdf simple_pdf() { return VotePdf{0.1, 0.2, 0.3, 0.25, 0.15}; }
+
+TEST(AvailabilityCurve, TailsAreSuffixSums) {
+  const AvailabilityCurve curve(simple_pdf());
+  EXPECT_EQ(curve.total_votes(), 4u);
+  EXPECT_EQ(curve.max_read_quorum(), 2u);
+  EXPECT_NEAR(curve.read_tail(0), 1.0, 1e-12);
+  EXPECT_NEAR(curve.read_tail(1), 0.9, 1e-12);
+  EXPECT_NEAR(curve.read_tail(2), 0.7, 1e-12);
+  EXPECT_NEAR(curve.read_tail(3), 0.4, 1e-12);
+  EXPECT_NEAR(curve.read_tail(4), 0.15, 1e-12);
+  EXPECT_NEAR(curve.read_tail(5), 0.0, 1e-12);
+}
+
+TEST(AvailabilityCurve, AvailabilityFormulaByHand) {
+  const AvailabilityCurve curve(simple_pdf());
+  // q_r = 1 -> q_w = 4: A = a*R(1) + (1-a)*W(4) = a*0.9 + (1-a)*0.15.
+  EXPECT_NEAR(curve.availability(0.0, 1), 0.15, 1e-12);
+  EXPECT_NEAR(curve.availability(1.0, 1), 0.90, 1e-12);
+  EXPECT_NEAR(curve.availability(0.5, 1), 0.525, 1e-12);
+  // q_r = 2 -> q_w = 3: A = a*0.7 + (1-a)*0.4.
+  EXPECT_NEAR(curve.availability(0.25, 2), 0.25 * 0.7 + 0.75 * 0.4, 1e-12);
+}
+
+TEST(AvailabilityCurve, ReadAndWriteViews) {
+  const AvailabilityCurve curve(simple_pdf());
+  EXPECT_NEAR(curve.read_availability(2), 0.7, 1e-12);
+  EXPECT_NEAR(curve.write_availability(2), 0.4, 1e-12);  // q_w = 3
+  EXPECT_NEAR(curve.availability(1.0, 2), curve.read_availability(2), 1e-12);
+  EXPECT_NEAR(curve.availability(0.0, 2), curve.write_availability(2), 1e-12);
+}
+
+TEST(AvailabilityCurve, DistinctReadWriteDensities) {
+  const VotePdf r{0.0, 0.0, 0.0, 0.0, 1.0};  // reads always see all 4 votes
+  const VotePdf w{0.5, 0.5, 0.0, 0.0, 0.0};  // writes see 0 or 1
+  const AvailabilityCurve curve(r, w);
+  EXPECT_NEAR(curve.availability(0.5, 2), 0.5 * 1.0 + 0.5 * 0.0, 1e-12);
+  EXPECT_NEAR(curve.availability(0.5, 1), 0.5 * 1.0 + 0.5 * 0.0, 1e-12);
+}
+
+TEST(AvailabilityCurve, ValueHandlesNonCanonicalAssignments) {
+  const AvailabilityCurve curve(simple_pdf());
+  // Strict majority on T=4: q_r = q_w = 3.
+  EXPECT_NEAR(curve.value(0.5, 3, 3), 0.5 * 0.4 + 0.5 * 0.4, 1e-12);
+  // Canonical assignments agree with availability().
+  EXPECT_NEAR(curve.value(0.25, 2, 3), curve.availability(0.25, 2), 1e-12);
+  EXPECT_THROW(curve.value(0.5, 0, 3), std::out_of_range);
+  EXPECT_THROW(curve.value(0.5, 3, 5), std::out_of_range);
+}
+
+TEST(AvailabilityCurve, WeightedObjective) {
+  const AvailabilityCurve curve(simple_pdf());
+  // omega = 0 strips the write term entirely.
+  EXPECT_NEAR(curve.weighted(0.0, 0.5, 1), 0.5 * 0.9, 1e-12);
+  // omega = 2 doubles it.
+  EXPECT_NEAR(curve.weighted(2.0, 0.5, 1), 0.5 * 0.9 + 2.0 * 0.5 * 0.15, 1e-12);
+  // omega = 1 is plain availability.
+  EXPECT_NEAR(curve.weighted(1.0, 0.3, 2), curve.availability(0.3, 2), 1e-12);
+}
+
+TEST(AvailabilityCurve, ConditionalOnUpIdentity) {
+  // Footnote 4: p * A' = A with uniform access; here P(up) = 1 - pdf[0].
+  const AvailabilityCurve curve(simple_pdf());
+  const double p_up = 0.9;
+  for (net::Vote q = 1; q <= curve.max_read_quorum(); ++q) {
+    for (const double alpha : {0.0, 0.3, 1.0}) {
+      EXPECT_NEAR(p_up * curve.conditional_on_up(alpha, q),
+                  curve.availability(alpha, q), 1e-12);
+    }
+  }
+}
+
+TEST(AvailabilityCurve, MonotoneStructure) {
+  const AvailabilityCurve curve(ring_site_pdf(15, 0.9, 0.9));
+  for (net::Vote q = 1; q < curve.max_read_quorum(); ++q) {
+    // Reads only get harder as q_r grows...
+    EXPECT_GE(curve.read_availability(q), curve.read_availability(q + 1));
+    // ...and writes easier (q_w shrinks).
+    EXPECT_LE(curve.write_availability(q), curve.write_availability(q + 1));
+    // So A(1, .) is nonincreasing and A(0, .) nondecreasing.
+    EXPECT_GE(curve.availability(1.0, q), curve.availability(1.0, q + 1));
+    EXPECT_LE(curve.availability(0.0, q), curve.availability(0.0, q + 1));
+  }
+}
+
+TEST(AvailabilityCurve, InputValidation) {
+  EXPECT_THROW(AvailabilityCurve(VotePdf{}), std::invalid_argument);
+  EXPECT_THROW(AvailabilityCurve(VotePdf{0.5, 0.5}), std::invalid_argument);  // T=1
+  EXPECT_THROW(AvailabilityCurve(VotePdf{1.0, 0.0, 0.0}, VotePdf{1.0, 0.0}),
+               std::invalid_argument);
+  const AvailabilityCurve curve(simple_pdf());
+  EXPECT_THROW(curve.availability(0.5, 0), std::out_of_range);
+  EXPECT_THROW(curve.availability(0.5, 3), std::out_of_range);  // > floor(T/2)
+  EXPECT_THROW(curve.availability(1.5, 1), std::invalid_argument);
+}
+
+TEST(AvailabilityCurve, PaperQrOneLaw) {
+  // With the analytic ring density at p = r = 0.96: A(alpha, 1) =
+  // alpha*0.96 + (1-alpha)*W(T) and W(T) is negligible for a ring.
+  const AvailabilityCurve curve(ring_site_pdf(101, 0.96, 0.96));
+  for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_NEAR(curve.availability(alpha, 1), 0.96 * alpha, 2e-3);
+  }
+}
+
+TEST(AvailabilityCurve, CurvesConvergeAtMajorityEndpoint) {
+  // §5.3: at q_r = floor(T/2), q_r and q_w are nearly equal, so the
+  // alpha-curves collapse (R(50) ~ W(52)).
+  const AvailabilityCurve curve(ring_site_pdf(101, 0.96, 0.96));
+  const net::Vote q = curve.max_read_quorum();
+  const double a0 = curve.availability(0.0, q);
+  const double a1 = curve.availability(1.0, q);
+  EXPECT_NEAR(a0, a1, 0.02);
+}
+
+} // namespace
+} // namespace quora::core

@@ -1,0 +1,229 @@
+// Tests for the dynamic network view and the component tracker, including
+// a randomized cross-check against a naive reference implementation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "conn/component_tracker.hpp"
+#include "conn/live_network.hpp"
+#include "net/builders.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace quora::conn {
+namespace {
+
+TEST(LiveNetwork, StartsAllUp) {
+  const net::Topology topo = net::make_ring(5);
+  const LiveNetwork live(topo);
+  EXPECT_EQ(live.up_site_count(), 5u);
+  EXPECT_EQ(live.up_link_count(), 5u);
+  for (net::SiteId s = 0; s < 5; ++s) EXPECT_TRUE(live.is_site_up(s));
+  for (net::LinkId l = 0; l < 5; ++l) EXPECT_TRUE(live.is_link_up(l));
+}
+
+TEST(LiveNetwork, VersionBumpsOnlyOnChange) {
+  const net::Topology topo = net::make_ring(5);
+  LiveNetwork live(topo);
+  const std::uint64_t v0 = live.version();
+  EXPECT_FALSE(live.set_site_up(0, true));  // no-op
+  EXPECT_EQ(live.version(), v0);
+  EXPECT_TRUE(live.set_site_up(0, false));
+  EXPECT_EQ(live.version(), v0 + 1);
+  EXPECT_FALSE(live.set_site_up(0, false));  // no-op again
+  EXPECT_EQ(live.version(), v0 + 1);
+  EXPECT_TRUE(live.set_link_up(2, false));
+  EXPECT_EQ(live.version(), v0 + 2);
+}
+
+TEST(LiveNetwork, CountsTrackState) {
+  const net::Topology topo = net::make_ring(5);
+  LiveNetwork live(topo);
+  live.set_site_up(1, false);
+  live.set_site_up(3, false);
+  live.set_link_up(0, false);
+  EXPECT_EQ(live.up_site_count(), 3u);
+  EXPECT_EQ(live.up_link_count(), 4u);
+  live.reset_all_up();
+  EXPECT_EQ(live.up_site_count(), 5u);
+  EXPECT_EQ(live.up_link_count(), 5u);
+}
+
+TEST(LiveNetwork, LinkOperationalNeedsEndpoints) {
+  const net::Topology topo = net::make_ring(4);
+  LiveNetwork live(topo);
+  EXPECT_TRUE(live.link_operational(0));  // link {0,1}
+  live.set_site_up(1, false);
+  EXPECT_FALSE(live.link_operational(0));
+  EXPECT_TRUE(live.is_link_up(0));  // the link itself is still up
+}
+
+TEST(ComponentTracker, AllUpIsOneComponent) {
+  const net::Topology topo = net::make_ring(8);
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  EXPECT_EQ(tracker.component_count(), 1u);
+  EXPECT_EQ(tracker.component_votes(3), 8u);
+  EXPECT_EQ(tracker.component_size(3), 8u);
+  EXPECT_EQ(tracker.max_component_votes(), 8u);
+  EXPECT_TRUE(tracker.connected(0, 7));
+}
+
+TEST(ComponentTracker, DownSiteHasNoComponent) {
+  const net::Topology topo = net::make_ring(5);
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  live.set_site_up(2, false);
+  EXPECT_EQ(tracker.component_of(2), kNoComponent);
+  EXPECT_EQ(tracker.component_votes(2), 0u);
+  EXPECT_EQ(tracker.component_size(2), 0u);
+  EXPECT_FALSE(tracker.connected(2, 0));
+  // The others form a chain (the ring is cut at the dead site).
+  EXPECT_EQ(tracker.component_count(), 1u);
+  EXPECT_EQ(tracker.component_votes(0), 4u);
+}
+
+TEST(ComponentTracker, TwoLinkCutsSplitARing) {
+  const net::Topology topo = net::make_ring(6);  // links i -- i+1
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  live.set_link_up(0, false);  // cut {0,1}
+  EXPECT_EQ(tracker.component_count(), 1u);  // one cut: still connected
+  live.set_link_up(3, false);  // cut {3,4}
+  EXPECT_EQ(tracker.component_count(), 2u);
+  EXPECT_TRUE(tracker.connected(1, 3));
+  EXPECT_TRUE(tracker.connected(4, 0));
+  EXPECT_FALSE(tracker.connected(1, 4));
+  EXPECT_EQ(tracker.component_votes(1), 3u);  // {1,2,3}
+  EXPECT_EQ(tracker.component_votes(4), 3u);  // {4,5,0}
+}
+
+TEST(ComponentTracker, VotesUseAssignment) {
+  const net::Topology topo("t", 4, {net::Link{0, 1}, net::Link{2, 3}},
+                           std::vector<net::Vote>{5, 1, 2, 0});
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  EXPECT_EQ(tracker.component_count(), 2u);
+  EXPECT_EQ(tracker.component_votes(0), 6u);
+  EXPECT_EQ(tracker.component_votes(3), 2u);
+  EXPECT_EQ(tracker.max_component_votes(), 6u);
+}
+
+TEST(ComponentTracker, MembersMatchLabels) {
+  const net::Topology topo = net::make_ring(6);
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  live.set_link_up(1, false);
+  live.set_link_up(4, false);
+  for (net::SiteId s = 0; s < 6; ++s) {
+    const std::int32_t comp = tracker.component_of(s);
+    ASSERT_NE(comp, kNoComponent);
+    const auto members = tracker.members(comp);
+    EXPECT_NE(std::find(members.begin(), members.end(), s), members.end());
+    EXPECT_EQ(members.size(), tracker.component_size(s));
+  }
+}
+
+TEST(ComponentTracker, AllSitesDown) {
+  const net::Topology topo = net::make_ring(4);
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  for (net::SiteId s = 0; s < 4; ++s) live.set_site_up(s, false);
+  EXPECT_EQ(tracker.component_count(), 0u);
+  EXPECT_EQ(tracker.max_component_votes(), 0u);
+}
+
+TEST(ComponentTracker, RecoveryMergesComponents) {
+  const net::Topology topo = net::make_ring(6);
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  live.set_site_up(0, false);
+  live.set_site_up(3, false);
+  EXPECT_EQ(tracker.component_count(), 2u);
+  live.set_site_up(0, true);
+  EXPECT_EQ(tracker.component_count(), 1u);
+  EXPECT_EQ(tracker.component_votes(1), 5u);
+}
+
+/// Brute-force reference: label components by repeated BFS over a fresh
+/// adjacency scan.
+std::vector<int> reference_labels(const LiveNetwork& live) {
+  const net::Topology& topo = live.topology();
+  std::vector<int> label(topo.site_count(), -1);
+  int next = 0;
+  for (net::SiteId root = 0; root < topo.site_count(); ++root) {
+    if (!live.is_site_up(root) || label[root] != -1) continue;
+    std::vector<net::SiteId> stack{root};
+    label[root] = next;
+    while (!stack.empty()) {
+      const net::SiteId s = stack.back();
+      stack.pop_back();
+      for (net::LinkId l = 0; l < topo.link_count(); ++l) {
+        const net::Link& e = topo.link(l);
+        if (!live.link_operational(l)) continue;
+        net::SiteId other;
+        if (e.a == s) {
+          other = e.b;
+        } else if (e.b == s) {
+          other = e.a;
+        } else {
+          continue;
+        }
+        if (label[other] == -1) {
+          label[other] = next;
+          stack.push_back(other);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+TEST(ComponentTracker, RandomizedAgreesWithReference) {
+  const net::Topology topo = net::make_erdos_renyi(14, 0.25, 99);
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  rng::Xoshiro256ss gen(4242);
+
+  for (int step = 0; step < 2000; ++step) {
+    // Random toggle of a random site or link.
+    if (rng::bernoulli(gen, 0.5)) {
+      const auto s =
+          static_cast<net::SiteId>(rng::uniform_index(gen, topo.site_count()));
+      live.set_site_up(s, !live.is_site_up(s));
+    } else if (topo.link_count() > 0) {
+      const auto l =
+          static_cast<net::LinkId>(rng::uniform_index(gen, topo.link_count()));
+      live.set_link_up(l, !live.is_link_up(l));
+    }
+
+    const std::vector<int> ref = reference_labels(live);
+    // Same partition (labels may be permuted): check pairwise equivalence
+    // through a bijection map, and per-site vote/size totals.
+    std::map<int, std::int32_t> forward;
+    std::map<std::int32_t, int> backward;
+    for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+      const std::int32_t mine = tracker.component_of(s);
+      ASSERT_EQ(ref[s] == -1, mine == kNoComponent) << "site " << s;
+      if (ref[s] == -1) continue;
+      auto [fit, finserted] = forward.try_emplace(ref[s], mine);
+      EXPECT_EQ(fit->second, mine);
+      auto [bit, binserted] = backward.try_emplace(mine, ref[s]);
+      EXPECT_EQ(bit->second, ref[s]);
+
+      // Vote total = component size here (uniform single votes).
+      std::uint32_t ref_size = 0;
+      for (net::SiteId x = 0; x < topo.site_count(); ++x) {
+        ref_size += ref[x] == ref[s] ? 1u : 0u;
+      }
+      EXPECT_EQ(tracker.component_size(s), ref_size);
+      EXPECT_EQ(tracker.component_votes(s), ref_size);
+    }
+  }
+}
+
+} // namespace
+} // namespace quora::conn

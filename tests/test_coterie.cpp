@@ -1,0 +1,188 @@
+// Tests for the coterie library (Garcia-Molina & Barbara's framework,
+// which the paper's footnote 1 credits as the general mechanism behind
+// vote/quorum assignments).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "quorum/coterie.hpp"
+#include "quorum/quorum_spec.hpp"
+
+namespace quora::quorum {
+namespace {
+
+constexpr SiteSet set_of(std::initializer_list<int> sites) {
+  SiteSet s = 0;
+  for (const int i : sites) s |= SiteSet{1} << i;
+  return s;
+}
+
+TEST(SiteSetOps, Basics) {
+  EXPECT_TRUE(subset_of(set_of({0, 2}), set_of({0, 1, 2})));
+  EXPECT_FALSE(subset_of(set_of({0, 3}), set_of({0, 1, 2})));
+  EXPECT_TRUE(intersects(set_of({0, 1}), set_of({1, 2})));
+  EXPECT_FALSE(intersects(set_of({0, 1}), set_of({2, 3})));
+  EXPECT_EQ(popcount(set_of({0, 5, 9})), 3);
+}
+
+TEST(Coterie, MajorityOfThreeIsACoterie) {
+  const Coterie c({set_of({0, 1}), set_of({0, 2}), set_of({1, 2})});
+  EXPECT_TRUE(c.has_intersection_property());
+  EXPECT_TRUE(c.is_minimal());
+  EXPECT_TRUE(c.is_coterie());
+}
+
+TEST(Coterie, NonIntersectingIsNotACoterie) {
+  const Coterie c({set_of({0}), set_of({1})});
+  EXPECT_FALSE(c.has_intersection_property());
+  EXPECT_FALSE(c.is_coterie());
+}
+
+TEST(Coterie, NonMinimalIsNotACoterie) {
+  const Coterie c({set_of({0}), set_of({0, 1})});
+  EXPECT_TRUE(c.has_intersection_property());
+  EXPECT_FALSE(c.is_minimal());
+  EXPECT_FALSE(c.is_coterie());
+}
+
+TEST(Coterie, EmptyAndDegenerate) {
+  EXPECT_FALSE(Coterie{}.is_coterie());
+  EXPECT_FALSE(Coterie({SiteSet{0}}).is_coterie());  // empty quorum
+  // A singleton quorum is the primary-copy coterie.
+  EXPECT_TRUE(Coterie({set_of({3})}).is_coterie());
+}
+
+TEST(Coterie, DeduplicatesOnConstruction) {
+  const Coterie c({set_of({0, 1}), set_of({0, 1})});
+  EXPECT_EQ(c.quorums().size(), 1u);
+}
+
+TEST(Coterie, CanOperate) {
+  const Coterie c({set_of({0, 1}), set_of({0, 2}), set_of({1, 2})});
+  EXPECT_TRUE(c.can_operate(set_of({0, 1})));
+  EXPECT_TRUE(c.can_operate(set_of({0, 1, 2})));
+  EXPECT_FALSE(c.can_operate(set_of({0})));
+  EXPECT_FALSE(c.can_operate(set_of({3, 4})));
+}
+
+TEST(Coterie, DominationClassicExample) {
+  // GM&B: the primary-copy coterie {{0}} dominates the majority coterie
+  // on {0,1,2}? No — {1,2} does not contain {0}. But {{0}} dominates
+  // {{0,1},{0,2}} since every quorum there contains {0}.
+  const Coterie primary({set_of({0})});
+  const Coterie pairs_through_0({set_of({0, 1}), set_of({0, 2})});
+  const Coterie majority3({set_of({0, 1}), set_of({0, 2}), set_of({1, 2})});
+
+  EXPECT_TRUE(primary.dominates(pairs_through_0));
+  EXPECT_FALSE(primary.dominates(majority3));
+  EXPECT_FALSE(pairs_through_0.dominates(primary));
+  EXPECT_FALSE(majority3.dominates(majority3));  // never self-dominates
+}
+
+TEST(Coterie, DominatorOperatesWheneverDominatedCan) {
+  const Coterie dominator({set_of({0})});
+  const Coterie dominated({set_of({0, 1}), set_of({0, 2})});
+  ASSERT_TRUE(dominator.dominates(dominated));
+  for (SiteSet avail = 0; avail < 8; ++avail) {
+    if (dominated.can_operate(avail)) {
+      EXPECT_TRUE(dominator.can_operate(avail)) << "avail=" << avail;
+    }
+  }
+}
+
+TEST(CoterieFromVotes, UniformMajorityOfFive) {
+  const std::vector<net::Vote> votes(5, 1);
+  const Coterie c = coterie_from_votes(votes, 3);
+  EXPECT_TRUE(c.is_coterie());
+  EXPECT_EQ(c.quorums().size(), 10u);  // C(5,3)
+  for (const SiteSet q : c.quorums()) EXPECT_EQ(popcount(q), 3);
+}
+
+TEST(CoterieFromVotes, WeightedVotes) {
+  // Votes {3,1,1}: threshold 3 -> {0} alone, or {1,2} together... 1+1=2<3,
+  // so the only minimal groups are {0} (3 votes) and none without site 0.
+  const std::vector<net::Vote> votes{3, 1, 1};
+  const Coterie c = coterie_from_votes(votes, 3);
+  ASSERT_EQ(c.quorums().size(), 1u);
+  EXPECT_EQ(c.quorums()[0], set_of({0}));
+}
+
+TEST(CoterieFromVotes, MinimalityHoldsEverywhere) {
+  const std::vector<net::Vote> votes{4, 3, 2, 2, 1};
+  const Coterie c = coterie_from_votes(votes, 7);  // majority of 12
+  EXPECT_TRUE(c.is_minimal());
+  // Every quorum truly reaches the threshold; every proper subset misses.
+  for (const SiteSet q : c.quorums()) {
+    net::Vote sum = 0;
+    for (std::size_t i = 0; i < votes.size(); ++i) {
+      if (q & (SiteSet{1} << i)) sum += votes[i];
+    }
+    EXPECT_GE(sum, 7u);
+    for (std::size_t i = 0; i < votes.size(); ++i) {
+      if (q & (SiteSet{1} << i)) {
+        EXPECT_LT(sum - votes[i], 7u);
+      }
+    }
+  }
+}
+
+TEST(CoterieFromVotes, MajorityThresholdYieldsCoterie) {
+  // Any threshold above half the total votes produces a valid coterie.
+  const std::vector<net::Vote> votes{2, 2, 1, 1, 1};
+  const Coterie c = coterie_from_votes(votes, 4);  // total 7, 4 > 3.5
+  EXPECT_TRUE(c.is_coterie());
+}
+
+TEST(CoterieFromVotes, UnreachableThresholdIsEmpty) {
+  const std::vector<net::Vote> votes{1, 1};
+  const Coterie c = coterie_from_votes(votes, 5);
+  EXPECT_TRUE(c.empty());
+  EXPECT_FALSE(c.is_coterie());
+}
+
+TEST(CoterieFromVotes, Guards) {
+  const std::vector<net::Vote> too_many(25, 1);
+  EXPECT_THROW(coterie_from_votes(too_many, 13), std::invalid_argument);
+  const std::vector<net::Vote> votes{1, 1};
+  EXPECT_THROW(coterie_from_votes(votes, 0), std::invalid_argument);
+}
+
+TEST(Bicoterie, QuorumConditionsMapToSetIntersections) {
+  const std::vector<net::Vote> votes(5, 1);
+  const net::Vote total = 5;
+  // Valid assignment: q_r = 2, q_w = 4 (2 + 4 > 5, 2*4 > 5).
+  const Coterie reads = coterie_from_votes(votes, 2);
+  const Coterie writes = coterie_from_votes(votes, 4);
+  EXPECT_TRUE((QuorumSpec{2, 4}.valid(total)));
+  EXPECT_TRUE(bicoterie_consistent(reads, writes));
+
+  // Invalid assignment: q_r = 1, q_w = 4 (1 + 4 = T): a singleton read
+  // group misses a 4-site write group.
+  const Coterie reads1 = coterie_from_votes(votes, 1);
+  EXPECT_FALSE((QuorumSpec{1, 4}.valid(total)));
+  EXPECT_FALSE(bicoterie_consistent(reads1, writes));
+
+  // Invalid writes: q_w = 2 (2*2 < 5): write groups don't all intersect.
+  const Coterie writes2 = coterie_from_votes(votes, 2);
+  EXPECT_FALSE(bicoterie_consistent(reads, writes2));
+}
+
+TEST(Bicoterie, EveryCanonicalAssignmentIsConsistent) {
+  const std::vector<net::Vote> votes(7, 1);
+  for (net::Vote q_r = 1; q_r <= max_read_quorum(7); ++q_r) {
+    const QuorumSpec spec = from_read_quorum(7, q_r);
+    const Coterie reads = coterie_from_votes(votes, spec.q_r);
+    const Coterie writes = coterie_from_votes(votes, spec.q_w);
+    EXPECT_TRUE(bicoterie_consistent(reads, writes)) << "q_r=" << q_r;
+  }
+}
+
+TEST(Bicoterie, EmptyWritesInconsistent) {
+  const Coterie reads({set_of({0})});
+  EXPECT_FALSE(bicoterie_consistent(reads, Coterie{}));
+}
+
+} // namespace
+} // namespace quora::quorum

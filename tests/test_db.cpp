@@ -1,0 +1,232 @@
+// Tests for the multi-object database layer: per-object quorum
+// assignments, transaction atomicity, per-object one-copy
+// serializability, and the access statistics feeding per-object
+// optimization.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "conn/component_tracker.hpp"
+#include "conn/live_network.hpp"
+#include "db/database.hpp"
+#include "net/builders.hpp"
+#include "quorum/quorum_spec.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace quora::db {
+namespace {
+
+using quorum::QuorumSpec;
+
+Database make_db(const net::Topology& topo) {
+  return Database(topo, {{"catalog", QuorumSpec{1, 10}},   // read-one
+                         {"orders", QuorumSpec{5, 6}},     // balanced
+                         {"config", QuorumSpec{4, 7}}});
+}
+
+TEST(Database, ValidatesConstruction) {
+  const net::Topology topo = net::make_ring(10);
+  EXPECT_THROW(Database(topo, {}), std::invalid_argument);
+  EXPECT_THROW(Database(topo, {{"x", QuorumSpec{4, 6}}}), std::invalid_argument);
+  EXPECT_THROW(Database(topo, {{"x", QuorumSpec{5, 6}}, {"x", QuorumSpec{5, 6}}}),
+               std::invalid_argument);
+}
+
+TEST(Database, ObjectLookup) {
+  const net::Topology topo = net::make_ring(10);
+  const Database db = make_db(topo);
+  EXPECT_EQ(db.object_count(), 3u);
+  EXPECT_EQ(db.object_id("orders"), 1u);
+  EXPECT_EQ(db.object_name(2), "config");
+  EXPECT_THROW(db.object_id("missing"), std::out_of_range);
+}
+
+TEST(Database, ObjectsAreIndependent) {
+  const net::Topology topo = net::make_ring(10);
+  Database db = make_db(topo);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+
+  ASSERT_TRUE(db.write(tracker, 0, db.object_id("catalog"), 100).granted);
+  ASSERT_TRUE(db.write(tracker, 0, db.object_id("orders"), 200).granted);
+  const auto catalog = db.read(tracker, 3, db.object_id("catalog"));
+  const auto orders = db.read(tracker, 3, db.object_id("orders"));
+  EXPECT_EQ(catalog.value, 100u);
+  EXPECT_EQ(orders.value, 200u);
+
+  // Versions advance per object, not globally.
+  ASSERT_TRUE(db.write(tracker, 1, db.object_id("catalog"), 101).granted);
+  EXPECT_EQ(db.read(tracker, 2, db.object_id("catalog")).version, 2u);
+  EXPECT_EQ(db.read(tracker, 2, db.object_id("orders")).version, 1u);
+}
+
+TEST(Database, PerObjectSpecsGateIndependently) {
+  const net::Topology topo = net::make_ring(10);
+  Database db = make_db(topo);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+
+  // Partition into {1..4} (4 votes) and {5..9,0} (6 votes).
+  live.set_link_up(0, false);
+  live.set_link_up(4, false);
+
+  // catalog (q_r = 1) reads anywhere; orders (q_r = 5) only majority side.
+  EXPECT_TRUE(db.read(tracker, 2, db.object_id("catalog")).granted);
+  EXPECT_FALSE(db.read(tracker, 2, db.object_id("orders")).granted);
+  EXPECT_TRUE(db.read(tracker, 7, db.object_id("orders")).granted);
+  // catalog writes (q_w = 10) fail everywhere under this partition.
+  EXPECT_FALSE(db.write(tracker, 7, db.object_id("catalog"), 7).granted);
+  EXPECT_TRUE(db.write(tracker, 7, db.object_id("orders"), 7).granted);
+}
+
+TEST(Database, SetObjectSpecTakesEffect) {
+  const net::Topology topo = net::make_ring(10);
+  Database db = make_db(topo);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  live.set_link_up(0, false);
+  live.set_link_up(4, false);
+
+  const ObjectId catalog = db.object_id("catalog");
+  EXPECT_FALSE(db.write(tracker, 7, catalog, 1).granted);  // q_w = 10
+  db.set_object_spec(catalog, QuorumSpec{5, 6});
+  EXPECT_TRUE(db.write(tracker, 7, catalog, 1).granted);  // q_w = 6 now
+  EXPECT_THROW(db.set_object_spec(catalog, QuorumSpec{4, 6}),
+               std::invalid_argument);
+}
+
+TEST(Database, TransactionCommitsAtomically) {
+  const net::Topology topo = net::make_ring(10);
+  Database db = make_db(topo);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+
+  const std::vector<Database::Op> ops{
+      {db.object_id("catalog"), true, 11},
+      {db.object_id("orders"), true, 22},
+  };
+  const auto result = db.execute(tracker, 0, ops);
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(db.read(tracker, 5, db.object_id("catalog")).value, 11u);
+  EXPECT_EQ(db.read(tracker, 5, db.object_id("orders")).value, 22u);
+}
+
+TEST(Database, TransactionAbortsWholesale) {
+  const net::Topology topo = net::make_ring(10);
+  Database db = make_db(topo);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+
+  ASSERT_TRUE(db.write(tracker, 0, db.object_id("orders"), 1).granted);
+
+  live.set_link_up(0, false);
+  live.set_link_up(4, false);  // majority side = {5..9,0}, 6 votes
+
+  // catalog write needs q_w = 10: unsatisfiable -> the WHOLE transaction
+  // aborts, including the orders write that alone would have succeeded.
+  const std::vector<Database::Op> ops{
+      {db.object_id("orders"), true, 99},
+      {db.object_id("catalog"), true, 99},
+  };
+  const auto result = db.execute(tracker, 7, ops);
+  EXPECT_FALSE(result.committed);
+  EXPECT_TRUE(result.reads.empty());
+  EXPECT_EQ(db.read(tracker, 7, db.object_id("orders")).value, 1u)
+      << "aborted transaction must leave no partial effects";
+}
+
+TEST(Database, TransactionReadsReturnInOrder) {
+  const net::Topology topo = net::make_ring(10);
+  Database db = make_db(topo);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  ASSERT_TRUE(db.write(tracker, 0, 0, 10).granted);
+  ASSERT_TRUE(db.write(tracker, 0, 1, 20).granted);
+
+  const std::vector<Database::Op> ops{
+      {1, false, 0}, {0, false, 0}, {1, true, 21}, {1, false, 0}};
+  const auto result = db.execute(tracker, 3, ops);
+  ASSERT_TRUE(result.committed);
+  ASSERT_EQ(result.reads.size(), 3u);
+  EXPECT_EQ(result.reads[0], 20u);
+  EXPECT_EQ(result.reads[1], 10u);
+  EXPECT_EQ(result.reads[2], 21u);  // sees the write earlier in the txn
+}
+
+TEST(Database, StatsTrackPerObjectMix) {
+  const net::Topology topo = net::make_ring(10);
+  Database db = make_db(topo);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+
+  const ObjectId catalog = db.object_id("catalog");
+  for (int i = 0; i < 9; ++i) db.read(tracker, 0, catalog);
+  db.write(tracker, 0, catalog, 1);
+  EXPECT_EQ(db.stats(catalog).reads, 9u);
+  EXPECT_EQ(db.stats(catalog).writes, 1u);
+  EXPECT_NEAR(db.stats(catalog).alpha_estimate(), 0.9, 1e-12);
+  EXPECT_EQ(db.stats(db.object_id("orders")).reads, 0u);
+}
+
+TEST(Database, PerObjectOneCopySerializabilityUnderFuzz) {
+  rng::Xoshiro256ss gen(31337);
+  const net::Topology topo = net::make_ring_with_chords(11, 2);
+  Database db(topo, {{"a", QuorumSpec{2, 10}},
+                     {"b", QuorumSpec{5, 7}},
+                     {"c", QuorumSpec{5, 7}}});
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  std::uint64_t value = 1;
+  std::uint64_t granted_reads = 0;
+  std::uint64_t committed_txns = 0;
+
+  for (int step = 0; step < 20'000; ++step) {
+    const double u = gen.next_double();
+    const auto origin =
+        static_cast<net::SiteId>(rng::uniform_index(gen, topo.site_count()));
+    const auto object =
+        static_cast<ObjectId>(rng::uniform_index(gen, db.object_count()));
+    // Failure/recovery biased 1:2 so about two thirds of the network
+    // stays up and quorums remain frequently reachable.
+    if (u < 0.05) {
+      const auto s =
+          static_cast<net::SiteId>(rng::uniform_index(gen, topo.site_count()));
+      live.set_site_up(s, false);
+    } else if (u < 0.15) {
+      const auto s =
+          static_cast<net::SiteId>(rng::uniform_index(gen, topo.site_count()));
+      live.set_site_up(s, true);
+    } else if (u < 0.20) {
+      const auto l =
+          static_cast<net::LinkId>(rng::uniform_index(gen, topo.link_count()));
+      live.set_link_up(l, false);
+    } else if (u < 0.30) {
+      const auto l =
+          static_cast<net::LinkId>(rng::uniform_index(gen, topo.link_count()));
+      live.set_link_up(l, true);
+    } else if (u < 0.55) {
+      db.write(tracker, origin, object, value++);
+    } else if (u < 0.75) {
+      // A read-modify-write transaction across two objects.
+      const auto other =
+          static_cast<ObjectId>(rng::uniform_index(gen, db.object_count()));
+      const std::vector<Database::Op> ops{{object, false, 0},
+                                          {other, true, value++}};
+      committed_txns += db.execute(tracker, origin, ops).committed ? 1u : 0u;
+    } else {
+      const auto r = db.read(tracker, origin, object);
+      if (r.granted) {
+        ++granted_reads;
+        EXPECT_TRUE(r.current) << "stale read of object " << object << " at step "
+                               << step;
+      }
+    }
+  }
+  EXPECT_GT(granted_reads, 1'000u);
+  EXPECT_GT(committed_txns, 200u);
+}
+
+} // namespace
+} // namespace quora::db

@@ -1,0 +1,104 @@
+// Tests for the batch-means diagnostics (autocorrelation, von Neumann
+// ratio, effective sample size).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/xoshiro256ss.hpp"
+#include "stats/diagnostics.hpp"
+
+namespace quora::stats {
+namespace {
+
+std::vector<double> iid_series(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256ss gen(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = gen.next_double();
+  return xs;
+}
+
+std::vector<double> ar1_series(std::size_t n, double rho, std::uint64_t seed) {
+  rng::Xoshiro256ss gen(seed);
+  std::vector<double> xs(n);
+  double state = 0.0;
+  for (double& x : xs) {
+    state = rho * state + (gen.next_double() - 0.5);
+    x = state;
+  }
+  return xs;
+}
+
+TEST(Autocorrelation, IidIsNearZero) {
+  const auto xs = iid_series(4000, 1);
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.05);
+  EXPECT_NEAR(autocorrelation(xs, 5), 0.0, 0.05);
+}
+
+TEST(Autocorrelation, Ar1MatchesItsCoefficient) {
+  for (const double rho : {0.3, 0.7, 0.9}) {
+    const auto xs = ar1_series(20000, rho, 2);
+    EXPECT_NEAR(autocorrelation(xs, 1), rho, 0.05) << "rho=" << rho;
+    EXPECT_NEAR(autocorrelation(xs, 2), rho * rho, 0.06) << "rho=" << rho;
+  }
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegative) {
+  std::vector<double> xs(100);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = i % 2 ? 1.0 : -1.0;
+  EXPECT_NEAR(autocorrelation(xs, 1), -1.0, 0.05);
+}
+
+TEST(Autocorrelation, DegenerateInputs) {
+  const std::vector<double> constant(10, 3.0);
+  EXPECT_EQ(autocorrelation(constant, 1), 0.0);
+  const std::vector<double> tiny{1.0};
+  EXPECT_EQ(autocorrelation(tiny, 1), 0.0);
+  const auto xs = iid_series(10, 3);
+  EXPECT_EQ(autocorrelation(xs, 0), 0.0);
+  EXPECT_EQ(autocorrelation(xs, 10), 0.0);
+}
+
+TEST(VonNeumann, IidIsNearTwo) {
+  EXPECT_NEAR(von_neumann_ratio(iid_series(4000, 4)), 2.0, 0.15);
+}
+
+TEST(VonNeumann, PositiveCorrelationBelowTwo) {
+  EXPECT_LT(von_neumann_ratio(ar1_series(4000, 0.8, 5)), 1.0);
+}
+
+TEST(VonNeumann, NegativeCorrelationAboveTwo) {
+  std::vector<double> xs(200);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = i % 2 ? 1.0 : -1.0;
+  EXPECT_GT(von_neumann_ratio(xs), 3.5);
+}
+
+TEST(VonNeumann, DegenerateInputs) {
+  EXPECT_EQ(von_neumann_ratio(std::vector<double>{}), 2.0);
+  EXPECT_EQ(von_neumann_ratio(std::vector<double>{1.0}), 2.0);
+  EXPECT_EQ(von_neumann_ratio(std::vector<double>(5, 7.0)), 2.0);
+}
+
+TEST(EffectiveSampleSize, IidKeepsN) {
+  const auto xs = iid_series(2000, 6);
+  EXPECT_NEAR(effective_sample_size(xs), 2000.0, 2000.0 * 0.1);
+}
+
+TEST(EffectiveSampleSize, CorrelationShrinksIt) {
+  const auto xs = ar1_series(2000, 0.8, 7);
+  // AR(1) with rho = .8: ESS ~ n/9.
+  const double ess = effective_sample_size(xs);
+  EXPECT_LT(ess, 2000.0 * 0.25);
+  EXPECT_GT(ess, 2000.0 * 0.03);
+}
+
+TEST(EffectiveSampleSize, NegativeCorrelationClampedToN) {
+  std::vector<double> xs(100);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = i % 2 ? 1.0 : -1.0;
+  // rho1 < 0 is clamped to 0: we never *inflate* the sample size.
+  EXPECT_DOUBLE_EQ(effective_sample_size(xs), 100.0);
+}
+
+} // namespace
+} // namespace quora::stats

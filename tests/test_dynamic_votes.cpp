@@ -1,0 +1,160 @@
+// Tests for dynamic vote reassignment (Barbara/Garcia-Molina/Spauster
+// style — paper references [4, 5]).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "conn/component_tracker.hpp"
+#include "conn/live_network.hpp"
+#include "dyn/dynamic_votes.hpp"
+#include "net/builders.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace quora::dyn {
+namespace {
+
+TEST(DynamicVotes, InitialStateMirrorsTopologyVotes) {
+  const net::Topology topo("w", 4, {net::Link{0, 1}, net::Link{1, 2},
+                                    net::Link{2, 3}},
+                           std::vector<net::Vote>{2, 1, 1, 1});
+  const DynamicVotes dv(topo);
+  EXPECT_EQ(dv.latest_version(), 1u);
+  EXPECT_EQ(dv.stored(0).votes[0], 2u);
+  EXPECT_EQ(DynamicVotes::total_of(dv.stored(0).votes), 5u);
+}
+
+TEST(DynamicVotes, MajorityRuleDecides) {
+  const net::Topology topo = net::make_ring(5);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  DynamicVotes dv(topo);
+
+  EXPECT_TRUE(dv.request(tracker, 0).granted);  // 5 of 5
+  // {1,2} vs {3,4,0}.
+  live.set_link_up(0, false);
+  live.set_link_up(2, false);
+  EXPECT_FALSE(dv.request(tracker, 1).granted);  // 2 of 5
+  EXPECT_TRUE(dv.request(tracker, 3).granted);   // 3 of 5
+  live.set_site_up(2, false);
+  EXPECT_FALSE(dv.request(tracker, 2).granted);  // down origin
+}
+
+TEST(DynamicVotes, OverthrowRestoresAvailabilityAfterFailures) {
+  const net::Topology topo = net::make_ring(7);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  DynamicVotes dv(topo);
+
+  // Three of seven sites die: the survivors {0,1,2,3} keep a majority and
+  // overthrow the dead sites' votes.
+  live.set_site_up(4, false);
+  live.set_site_up(5, false);
+  live.set_site_up(6, false);
+  ASSERT_TRUE(dv.request(tracker, 0).granted);  // 4 of 7
+  const auto votes = dv.overthrow_votes(tracker, 0);
+  EXPECT_EQ(votes[4], 0u);
+  EXPECT_EQ(DynamicVotes::total_of(votes) % 2, 1u);  // odd by construction
+  ASSERT_TRUE(dv.try_install(tracker, 0, votes));
+  EXPECT_EQ(dv.latest_version(), 2u);
+
+  // Now two MORE sites die; {0,1} would be 2 of 7 under static votes, but
+  // under the new vector (total 5, members hold >= 3) they still act.
+  live.set_site_up(2, false);
+  live.set_site_up(3, false);
+  const auto d = dv.request(tracker, 0);
+  EXPECT_TRUE(d.granted) << "votes collected: " << d.votes_collected;
+}
+
+TEST(DynamicVotes, MinorityCannotInstall) {
+  const net::Topology topo = net::make_ring(5);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  DynamicVotes dv(topo);
+  live.set_link_up(0, false);
+  live.set_link_up(2, false);  // {1,2} minority
+  EXPECT_FALSE(dv.try_install(tracker, 1, dv.overthrow_votes(tracker, 1)));
+  EXPECT_EQ(dv.latest_version(), 1u);
+}
+
+TEST(DynamicVotes, RejectsDegenerateInstalls) {
+  const net::Topology topo = net::make_ring(5);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  DynamicVotes dv(topo);
+  EXPECT_FALSE(dv.try_install(tracker, 0, std::vector<net::Vote>(4, 1)));  // size
+  EXPECT_FALSE(dv.try_install(tracker, 0, std::vector<net::Vote>(5, 0)));  // zero
+  EXPECT_FALSE(dv.try_install(tracker, 0, dv.stored(0).votes));            // no-op
+}
+
+TEST(DynamicVotes, StaleVectorSideStaysBlocked) {
+  const net::Topology topo = net::make_ring(7);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  DynamicVotes dv(topo);
+
+  // {2,3} separates BEFORE the overthrow; it still holds the version-1
+  // vector under which 2 of 7 is no majority — and the installing side's
+  // new vector is unknown to it. It must stay blocked.
+  live.set_link_up(1, false);  // cut {1,2}
+  live.set_link_up(3, false);  // cut {3,4}
+  ASSERT_TRUE(dv.request(tracker, 5).granted);  // {4,5,6,0,1}: 5 of 7
+  ASSERT_TRUE(dv.try_install(tracker, 5, dv.overthrow_votes(tracker, 5)));
+  EXPECT_FALSE(dv.request(tracker, 2).granted);
+  EXPECT_EQ(dv.effective(tracker, 2).version, 1u);
+}
+
+/// Mutual exclusion under arbitrary histories: at any instant, at most one
+/// component may be granted (the guarantee vote reassignment must never
+/// break while chasing availability).
+TEST(DynamicVotes, NeverTwoConcurrentWriteCapableComponents) {
+  rng::Xoshiro256ss gen(0x5151);
+  const net::Topology topo = net::make_ring_with_chords(11, 2);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  DynamicVotes dv(topo);
+  std::uint64_t installs = 0;
+  std::uint64_t granted_checks = 0;
+
+  for (int step = 0; step < 20'000; ++step) {
+    const double u = gen.next_double();
+    if (u < 0.08) {
+      live.set_site_up(
+          static_cast<net::SiteId>(rng::uniform_index(gen, topo.site_count())),
+          false);
+    } else if (u < 0.24) {
+      live.set_site_up(
+          static_cast<net::SiteId>(rng::uniform_index(gen, topo.site_count())),
+          true);
+    } else if (u < 0.32) {
+      live.set_link_up(
+          static_cast<net::LinkId>(rng::uniform_index(gen, topo.link_count())),
+          false);
+    } else if (u < 0.48) {
+      live.set_link_up(
+          static_cast<net::LinkId>(rng::uniform_index(gen, topo.link_count())),
+          true);
+    } else if (u < 0.58) {
+      const auto origin =
+          static_cast<net::SiteId>(rng::uniform_index(gen, topo.site_count()));
+      installs += dv.try_install(tracker, origin,
+                                 dv.overthrow_votes(tracker, origin));
+    } else {
+      // Safety sweep: count distinct components whose request is granted.
+      std::set<std::int32_t> granted_components;
+      for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+        if (dv.request(tracker, s).granted) {
+          granted_components.insert(tracker.component_of(s));
+          ++granted_checks;
+        }
+      }
+      ASSERT_LE(granted_components.size(), 1u) << "split brain at step " << step;
+    }
+  }
+  EXPECT_GT(installs, 50u);
+  EXPECT_GT(granted_checks, 1'000u);
+}
+
+} // namespace
+} // namespace quora::dyn

@@ -1,0 +1,281 @@
+// Cross-module integration tests: the simulator against the closed forms,
+// the Figure-1 histogram decomposition against direct protocol metering,
+// one-copy serializability under live quorum reassignment, and the
+// section-3 bounds relating ACC, SURV and single-site reliability.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/availability.hpp"
+#include "core/component_dist.hpp"
+#include "core/optimize.hpp"
+#include "core/reassign.hpp"
+#include "metrics/collectors.hpp"
+#include "metrics/experiment.hpp"
+#include "net/builders.hpp"
+#include "quorum/protocols.hpp"
+#include "quorum/replicated_store.hpp"
+#include "rng/distributions.hpp"
+#include "sim/simulator.hpp"
+
+namespace quora {
+namespace {
+
+TEST(Integration, MeasuredRingMatchesAnalyticCurve) {
+  const std::uint32_t n = 15;
+  const net::Topology topo = net::make_ring(n);
+  sim::SimConfig config;
+  config.warmup_accesses = 5'000;
+  config.accesses_per_batch = 120'000;
+  metrics::MeasurePolicy policy;
+  policy.batch.min_batches = 4;
+  policy.batch.max_batches = 4;
+  policy.seed = 202607;
+
+  const metrics::CurveResult measured = metrics::measure_curves(topo, config, policy);
+  const core::AvailabilityCurve analytic(core::ring_site_pdf(n, 0.96, 0.96));
+
+  for (std::size_t a = 0; a < measured.alphas.size(); ++a) {
+    for (std::size_t qi = 0; qi < measured.q_values.size(); ++qi) {
+      EXPECT_NEAR(measured.mean[a][qi],
+                  analytic.availability(measured.alphas[a], measured.q_values[qi]),
+                  0.02)
+          << "alpha=" << measured.alphas[a] << " q=" << measured.q_values[qi];
+    }
+  }
+  // And the induced optimal assignments agree in value.
+  const auto measured_curve = measured.pooled_curve();
+  for (const double alpha : measured.alphas) {
+    const auto m = core::optimize_exhaustive(measured_curve, alpha);
+    const auto t = core::optimize_exhaustive(analytic, alpha);
+    EXPECT_NEAR(m.value, t.value, 0.02) << "alpha=" << alpha;
+  }
+}
+
+TEST(Integration, HistogramDecompositionMatchesDirectMetering) {
+  // The library's central shortcut (DESIGN.md §6): one pass collecting the
+  // votes-seen histograms predicts A(alpha, q_r) for every configuration.
+  // Check it against brute-force per-configuration metering on an
+  // *independent* event stream.
+  const net::Topology topo = net::make_ring_with_chords(21, 3);
+  sim::SimConfig config;
+  config.warmup_accesses = 5'000;
+  config.accesses_per_batch = 150'000;
+
+  metrics::MeasurePolicy policy;
+  policy.alphas = {0.3, 0.7};
+  policy.batch.min_batches = 3;
+  policy.batch.max_batches = 3;
+  policy.seed = 11;
+  const auto predicted = metrics::measure_curves(topo, config, policy);
+
+  for (const double alpha : policy.alphas) {
+    for (const net::Vote q_r : {net::Vote{1}, net::Vote{5}, net::Vote{10}}) {
+      const quorum::QuorumConsensus engine(
+          topo, quorum::from_read_quorum(topo.total_votes(), q_r));
+      sim::AccessSpec spec;
+      spec.alpha = alpha;
+      sim::Simulator sim(topo, config, spec, /*seed=*/4711, /*stream=*/q_r);
+      sim.run_accesses(config.warmup_accesses);
+      metrics::ProtocolMeter meter(metrics::static_decider(engine));
+      sim.add_access_observer(&meter);
+      sim.run_accesses(config.accesses_per_batch);
+
+      const std::size_t ai = alpha == 0.3 ? 0 : 1;
+      // Two independent streams, each with ~1% estimation error.
+      const double predicted_a = predicted.mean[ai][q_r - 1];
+      EXPECT_NEAR(meter.availability(), predicted_a, 0.03)
+          << "alpha=" << alpha << " q_r=" << q_r;
+    }
+  }
+}
+
+TEST(Integration, OneCopySerializabilityUnderLiveReassignment) {
+  // The replicated store driven through QR's *changing* effective
+  // assignments: even as quorum specs are swapped mid-history, every
+  // granted read must return the latest committed version. This requires
+  // install_and_sync (assignment install + data synchronization); the
+  // companion test below shows a bare install breaks 1SR.
+  rng::Xoshiro256ss gen(606);
+  const net::Topology topo = net::make_ring_with_chords(13, 3);
+  const net::Vote total = topo.total_votes();
+
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  core::QuorumReassignment qr(topo, quorum::majority(total));
+  quorum::ReplicatedStore store(topo);
+  std::uint64_t value = 1'000;
+  std::uint64_t granted_reads = 0;
+  std::uint64_t installs = 0;
+
+  for (int step = 0; step < 50'000; ++step) {
+    const double u = gen.next_double();
+    if (u < 0.08) {
+      const auto s = static_cast<net::SiteId>(
+          rng::uniform_index(gen, topo.site_count()));
+      live.set_site_up(s, false);
+    } else if (u < 0.24) {
+      const auto s = static_cast<net::SiteId>(
+          rng::uniform_index(gen, topo.site_count()));
+      live.set_site_up(s, true);
+    } else if (u < 0.32) {
+      const auto l = static_cast<net::LinkId>(
+          rng::uniform_index(gen, topo.link_count()));
+      live.set_link_up(l, false);
+    } else if (u < 0.48) {
+      const auto l = static_cast<net::LinkId>(
+          rng::uniform_index(gen, topo.link_count()));
+      live.set_link_up(l, true);
+    } else if (u < 0.58) {
+      const auto q_r = static_cast<net::Vote>(
+          1 + rng::uniform_index(gen, quorum::max_read_quorum(total)));
+      const auto origin = static_cast<net::SiteId>(
+          rng::uniform_index(gen, topo.site_count()));
+      installs += core::install_and_sync(qr, store, tracker, origin,
+                                         quorum::from_read_quorum(total, q_r));
+    } else if (u < 0.80) {
+      const auto origin = static_cast<net::SiteId>(
+          rng::uniform_index(gen, topo.site_count()));
+      store.write(tracker, qr.effective(tracker, origin).spec, origin, value++);
+    } else {
+      const auto origin = static_cast<net::SiteId>(
+          rng::uniform_index(gen, topo.site_count()));
+      const auto r = store.read(tracker, qr.effective(tracker, origin).spec, origin);
+      if (r.granted) {
+        ++granted_reads;
+        EXPECT_TRUE(r.current)
+            << "stale read at step " << step << ": saw " << r.version
+            << ", latest " << store.committed_version();
+      }
+    }
+  }
+  EXPECT_GT(granted_reads, 2'000u);
+  // Reassignment is self-limiting: once a high-q_w assignment lands,
+  // further installs need that many votes connected at once.
+  EXPECT_GT(installs, 5u);
+}
+
+TEST(Integration, BareInstallWithoutDataSyncBreaksOneCopySerializability) {
+  // A deterministic witness for the anomaly the sync discipline prevents.
+  // T = 10, initial assignment {5, 6}:
+  //
+  //   1. write v1 everywhere; partition into {1..4} and {5..9,0}; write
+  //      v2 on the 6-vote side (the 4-vote side keeps v1);
+  //   2. install read-one/write-all {1, 10} from the 6-vote side WITHOUT
+  //      syncing data — legal for QR (6 >= q_w(old) = 6);
+  //   3. heal and propagate assignments (but, crucially, not data), then
+  //      isolate {2,3}: they are assignment-aware yet hold only v1, and
+  //      the new q_r = 1 grants their read — which returns stale data.
+  const net::Topology topo = net::make_ring(10);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  core::QuorumReassignment qr(topo, quorum::QuorumSpec{5, 6});
+  quorum::ReplicatedStore store(topo);
+
+  ASSERT_TRUE(store.write(tracker, qr.effective(tracker, 0).spec, 0, 1).granted);
+  live.set_link_up(0, false);   // cut {0,1}
+  live.set_link_up(4, false);   // cut {4,5}: {1..4} vs {5..9,0}
+  ASSERT_TRUE(store.write(tracker, qr.effective(tracker, 7).spec, 7, 2).granted);
+
+  // Bare install (deliberately NOT install_and_sync).
+  ASSERT_TRUE(qr.try_install(tracker, 7, quorum::QuorumSpec{1, 10}));
+
+  // Heal; propagate assignments (merge-time state update) but the *data*
+  // on {1..4} is still version 1.
+  live.set_link_up(0, true);
+  live.set_link_up(4, true);
+  qr.propagate(tracker);
+
+  // Isolate {2,3}: both are assignment-aware (version 2 via propagate)
+  // but hold stale data; under the new q_r = 1 their read is granted...
+  live.set_link_up(1, false);  // cut {1,2}
+  live.set_link_up(3, false);  // cut {3,4}
+  const auto stale = store.read(tracker, qr.effective(tracker, 2).spec, 2);
+  ASSERT_TRUE(stale.granted);
+  EXPECT_FALSE(stale.current);  // ...and returns version 1: the anomaly.
+  EXPECT_EQ(stale.version, 1u);
+
+  // The same history with the data sync cannot go stale: rerun with
+  // refresh at install time.
+  quorum::ReplicatedStore synced(topo);
+  live.reset_all_up();
+  core::QuorumReassignment qr2(topo, quorum::QuorumSpec{5, 6});
+  ASSERT_TRUE(synced.write(tracker, qr2.effective(tracker, 0).spec, 0, 1).granted);
+  live.set_link_up(0, false);
+  live.set_link_up(4, false);
+  ASSERT_TRUE(synced.write(tracker, qr2.effective(tracker, 7).spec, 7, 2).granted);
+  ASSERT_TRUE(core::install_and_sync(qr2, synced, tracker, 7,
+                                     quorum::QuorumSpec{1, 10}));
+  live.set_link_up(0, true);
+  live.set_link_up(4, true);
+  // Merge-time propagation must carry the data with the assignment —
+  // propagate_and_sync rather than bare propagate.
+  core::propagate_and_sync(qr2, synced, tracker);
+  live.set_link_up(1, false);
+  live.set_link_up(3, false);
+  const auto fresh = synced.read(tracker, qr2.effective(tracker, 2).spec, 2);
+  ASSERT_TRUE(fresh.granted);
+  EXPECT_TRUE(fresh.current);
+  EXPECT_EQ(fresh.version, 2u);
+}
+
+TEST(Integration, SectionThreeBounds) {
+  // §3: single-site reliability (0.96) is an upper bound for ACC — the
+  // submitting site must at least be up — and SURV at threshold 1 is
+  // essentially P(any site up) ~ 1.
+  const net::Topology topo = net::make_ring_with_chords(21, 4);
+  sim::SimConfig config;
+  config.warmup_accesses = 5'000;
+  config.accesses_per_batch = 100'000;
+  metrics::MeasurePolicy policy;
+  policy.batch.min_batches = 3;
+  policy.batch.max_batches = 3;
+  const auto curves = metrics::measure_curves(topo, config, policy);
+  const auto acc = curves.pooled_curve();
+  const auto surv = curves.surv_curve();
+
+  for (const double alpha : curves.alphas) {
+    for (const net::Vote q : curves.q_values) {
+      EXPECT_LE(acc.availability(alpha, q), 0.96 + 0.01)
+          << "alpha=" << alpha << " q=" << q;
+    }
+  }
+  EXPECT_GT(surv.availability(1.0, 1), 0.99);
+}
+
+TEST(Integration, WriteConstrainedWalkthroughEndToEnd) {
+  // The §5.4 pipeline on real measured data: measure, find the
+  // unconstrained optimum, constrain, verify the constrained assignment
+  // actually delivers the promised write availability when metered
+  // directly.
+  const net::Topology topo = net::make_ring_with_chords(21, 1);
+  sim::SimConfig config;
+  config.warmup_accesses = 5'000;
+  config.accesses_per_batch = 120'000;
+  metrics::MeasurePolicy policy;
+  policy.alphas = {0.75};
+  policy.batch.min_batches = 3;
+  policy.batch.max_batches = 3;
+  const auto curves = metrics::measure_curves(topo, config, policy);
+  const auto curve = curves.pooled_curve();
+
+  const double floor = 0.3;
+  const auto best = core::optimize_write_constrained(curve, 0.75, floor);
+  ASSERT_TRUE(best.has_value());
+
+  const quorum::QuorumConsensus engine(topo, best->spec);
+  sim::AccessSpec spec;
+  spec.alpha = 0.75;
+  sim::Simulator sim(topo, config, spec, /*seed=*/31337);
+  sim.run_accesses(config.warmup_accesses);
+  metrics::ProtocolMeter meter(metrics::static_decider(engine));
+  sim.add_access_observer(&meter);
+  sim.run_accesses(config.accesses_per_batch);
+
+  EXPECT_GE(meter.write_availability(), floor - 0.03);
+  EXPECT_NEAR(meter.availability(), best->value, 0.02);
+}
+
+} // namespace
+} // namespace quora

@@ -1,0 +1,103 @@
+// Tests for the demand-driven graduation agent (our instantiation of
+// Herlihy-style quorum adjustment on top of the QR protocol).
+
+#include <gtest/gtest.h>
+
+#include "core/reassign.hpp"
+#include "dyn/ladder.hpp"
+#include "net/builders.hpp"
+#include "quorum/quorum_spec.hpp"
+#include "sim/simulator.hpp"
+
+namespace quora::dyn {
+namespace {
+
+TEST(LadderAgent, NoDenialsNoSteps) {
+  // A fully reliable network denies nothing, so the agent never moves.
+  const net::Topology topo = net::make_ring(15);
+  core::QuorumReassignment qr(topo, quorum::majority(15));
+  LadderAgent agent(topo, qr);
+
+  sim::SimConfig config;
+  config.reliability = 0.999999;  // effectively no failures
+  config.rho = 1e-9;
+  sim::AccessSpec spec;
+  sim::Simulator sim(topo, config, spec, 1);
+  sim.add_access_observer(&agent);
+  sim.run_accesses(10'000);
+  EXPECT_EQ(agent.graduations(), 0u);
+  EXPECT_EQ(qr.latest_version(), 1u);
+}
+
+TEST(LadderAgent, ReadStarvationStepsTowardReadOne) {
+  // Read-heavy workload on a fragmenting ring: read denials dominate, so
+  // the ladder must step q_r downward.
+  const net::Topology topo = net::make_ring(25);
+  core::QuorumReassignment qr(topo, quorum::majority(25));
+  LadderAgent agent(topo, qr);
+
+  sim::AccessSpec spec;
+  spec.alpha = 0.95;
+  sim::Simulator sim(topo, sim::SimConfig{}, spec, 2);
+  sim.add_access_observer(&agent);
+  sim.run_accesses(60'000);
+
+  EXPECT_GT(agent.graduations(), 0u);
+  EXPECT_GT(agent.read_denials(), 0u);
+  const auto eff = qr.effective(sim.tracker(), 0);
+  EXPECT_LT(eff.spec.q_r, 13u);
+}
+
+TEST(LadderAgent, WriteStarvationStepsBack) {
+  // Start from a read-one/write-heavy rung under a write-heavy workload:
+  // write denials dominate and the agent climbs q_r back up.
+  const net::Topology topo = net::make_ring_with_chords(25, 4);
+  core::QuorumReassignment qr(topo, quorum::from_read_quorum(25, 2));
+  LadderAgent agent(topo, qr);
+
+  sim::AccessSpec spec;
+  spec.alpha = 0.05;
+  sim::Simulator sim(topo, sim::SimConfig{}, spec, 3);
+  sim.add_access_observer(&agent);
+  sim.run_accesses(80'000);
+
+  EXPECT_GT(agent.graduations(), 0u);
+  EXPECT_GT(agent.write_denials(), agent.read_denials());
+  const auto eff = qr.effective(sim.tracker(), 0);
+  EXPECT_GT(eff.spec.q_r, 2u);
+}
+
+TEST(LadderAgent, StepsRideTheQrProtocol) {
+  // Every graduation increments the QR version — no out-of-band changes.
+  const net::Topology topo = net::make_ring(25);
+  core::QuorumReassignment qr(topo, quorum::majority(25));
+  LadderAgent agent(topo, qr);
+
+  sim::AccessSpec spec;
+  spec.alpha = 0.95;
+  sim::Simulator sim(topo, sim::SimConfig{}, spec, 4);
+  sim.add_access_observer(&agent);
+  sim.run_accesses(60'000);
+  EXPECT_EQ(qr.latest_version(), 1u + agent.graduations());
+}
+
+TEST(LadderAgent, MixedDenialsHoldPosition) {
+  // With alpha = .5 and a moderately partitioned ring, read and write
+  // denials are comparable, so the dominance gate should mostly hold the
+  // rung near the start.
+  const net::Topology topo = net::make_ring(25);
+  core::QuorumReassignment qr(topo, quorum::from_read_quorum(25, 8));
+  LadderAgent::Options options;
+  options.dominance = 0.9;  // very strict: only act on lopsided windows
+  LadderAgent agent(topo, qr, options);
+
+  sim::AccessSpec spec;
+  spec.alpha = 0.5;
+  sim::Simulator sim(topo, sim::SimConfig{}, spec, 5);
+  sim.add_access_observer(&agent);
+  sim.run_accesses(60'000);
+  EXPECT_LE(agent.graduations(), 2u);
+}
+
+} // namespace
+} // namespace quora::dyn

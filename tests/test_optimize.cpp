@@ -1,0 +1,180 @@
+// Tests for step 4 of the Figure-1 algorithm: the exhaustive, golden-
+// section and Brent searches, the §5.4 write-constrained variant, and the
+// weighted objective.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/availability.hpp"
+#include "core/component_dist.hpp"
+#include "core/optimize.hpp"
+
+namespace quora::core {
+namespace {
+
+AvailabilityCurve ring_curve(std::uint32_t n = 101) {
+  return AvailabilityCurve(ring_site_pdf(n, 0.96, 0.96));
+}
+
+AvailabilityCurve dense_curve(std::uint32_t n = 101) {
+  return AvailabilityCurve(fully_connected_site_pdf(n, 0.96, 0.96));
+}
+
+TEST(Exhaustive, FindsTheTrueArgmax) {
+  const AvailabilityCurve curve = ring_curve();
+  for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const OptResult best = optimize_exhaustive(curve, alpha);
+    for (net::Vote q = 1; q <= curve.max_read_quorum(); ++q) {
+      EXPECT_LE(curve.availability(alpha, q), best.value + 1e-15)
+          << "alpha=" << alpha << " q=" << q;
+    }
+    EXPECT_EQ(best.spec.q_w, curve.total_votes() - best.spec.q_r + 1);
+    EXPECT_TRUE(best.spec.valid(curve.total_votes()));
+  }
+}
+
+TEST(Exhaustive, EvaluationCountIsTheWholeRange) {
+  const AvailabilityCurve curve = ring_curve(21);
+  const OptResult best = optimize_exhaustive(curve, 0.5);
+  EXPECT_EQ(best.evaluations, curve.max_read_quorum());
+}
+
+TEST(Exhaustive, TieBreaksTowardSmallQr) {
+  // A flat curve ties everywhere; the scan must return q_r = 1.
+  const VotePdf flat{1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};  // all mass at 0
+  const AvailabilityCurve curve(flat);
+  EXPECT_EQ(optimize_exhaustive(curve, 0.5).q_r(), 1u);
+}
+
+TEST(Exhaustive, PaperEndpointBehaviour) {
+  // Ring at high read rate: optimum is read-one/write-all.
+  EXPECT_EQ(optimize_exhaustive(ring_curve(), 0.75).q_r(), 1u);
+  EXPECT_EQ(optimize_exhaustive(ring_curve(), 1.0).q_r(), 1u);
+  // Ring all-writes: optimum is at the majority end.
+  EXPECT_EQ(optimize_exhaustive(ring_curve(), 0.0).q_r(), 50u);
+}
+
+TEST(GoldenAndBrent, AgreeWithExhaustiveOnPaperCurves) {
+  for (const auto& curve : {ring_curve(), dense_curve(), ring_curve(31)}) {
+    for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const OptResult exh = optimize_exhaustive(curve, alpha);
+      const OptResult gold = optimize_golden(curve, alpha);
+      const OptResult brent = optimize_brent(curve, alpha);
+      // Value-level agreement (argmax may differ across plateaus).
+      EXPECT_NEAR(gold.value, exh.value, 1e-9) << "alpha=" << alpha;
+      EXPECT_NEAR(brent.value, exh.value, 1e-9) << "alpha=" << alpha;
+    }
+  }
+}
+
+TEST(GoldenAndBrent, UseFewerEvaluationsOnLargeSystems) {
+  const AvailabilityCurve curve = ring_curve(101);
+  const OptResult exh = optimize_exhaustive(curve, 0.6);
+  const OptResult gold = optimize_golden(curve, 0.6);
+  const OptResult brent = optimize_brent(curve, 0.6);
+  EXPECT_EQ(exh.evaluations, 50u);
+  EXPECT_LT(gold.evaluations, exh.evaluations);
+  EXPECT_LT(brent.evaluations, exh.evaluations);
+}
+
+TEST(GoldenAndBrent, AlwaysProbeEndpoints) {
+  // A curve whose maximum is exactly at an endpoint must be found even if
+  // the interior slopes away (paper 5.3's reason for favoring endpoints).
+  const AvailabilityCurve curve = ring_curve();
+  EXPECT_EQ(optimize_golden(curve, 1.0).q_r(), 1u);
+  EXPECT_EQ(optimize_brent(curve, 1.0).q_r(), 1u);
+  EXPECT_NEAR(optimize_golden(curve, 0.0).value,
+              curve.availability(0.0, 50), 1e-12);
+}
+
+TEST(WriteConstrained, MinFeasibleMatchesLinearScan) {
+  const AvailabilityCurve curve = ring_curve();
+  for (const double floor : {0.0001, 0.01, 0.05, 0.2}) {
+    const auto fast = min_feasible_q_r(curve, floor);
+    std::optional<net::Vote> slow;
+    for (net::Vote q = 1; q <= curve.max_read_quorum(); ++q) {
+      if (curve.write_availability(q) >= floor) {
+        slow = q;
+        break;
+      }
+    }
+    ASSERT_EQ(fast.has_value(), slow.has_value()) << "floor=" << floor;
+    if (fast) {
+      EXPECT_EQ(*fast, *slow) << "floor=" << floor;
+    }
+  }
+}
+
+TEST(WriteConstrained, InfeasibleFloorReturnsNullopt) {
+  const AvailabilityCurve curve = ring_curve();
+  // The ring's best write availability (at q_r = 50) is far below 0.9.
+  ASSERT_LT(curve.write_availability(50), 0.9);
+  EXPECT_FALSE(optimize_write_constrained(curve, 0.75, 0.9).has_value());
+  EXPECT_FALSE(min_feasible_q_r(curve, 0.9).has_value());
+}
+
+TEST(WriteConstrained, RespectsTheFloorAndOptimality) {
+  const AvailabilityCurve curve = ring_curve();
+  const double floor = 0.05;
+  const auto best = optimize_write_constrained(curve, 0.75, floor);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_GE(curve.write_availability(best->q_r()), floor);
+  // Optimal among feasible: no feasible q does better.
+  for (net::Vote q = 1; q <= curve.max_read_quorum(); ++q) {
+    if (curve.write_availability(q) >= floor) {
+      EXPECT_LE(curve.availability(0.75, q), best->value + 1e-15);
+    }
+  }
+  // And it costs availability relative to the unconstrained optimum.
+  const OptResult unconstrained = optimize_exhaustive(curve, 0.75);
+  EXPECT_LE(best->value, unconstrained.value + 1e-15);
+  EXPECT_GT(best->q_r(), unconstrained.q_r());
+}
+
+TEST(WriteConstrained, ZeroFloorEqualsUnconstrained) {
+  const AvailabilityCurve curve = ring_curve();
+  const auto constrained = optimize_write_constrained(curve, 0.6, 0.0);
+  ASSERT_TRUE(constrained.has_value());
+  EXPECT_NEAR(constrained->value, optimize_exhaustive(curve, 0.6).value, 1e-15);
+}
+
+TEST(WriteConstrained, MonotoneInTheFloor) {
+  const AvailabilityCurve curve = ring_curve();
+  // Ring write availability peaks ~0.07 (at q_r = 50), so stay below it.
+  double prev = 1.0;
+  for (const double floor : {0.005, 0.01, 0.03, 0.06}) {
+    const auto best = optimize_write_constrained(curve, 0.75, floor);
+    ASSERT_TRUE(best.has_value()) << floor;
+    EXPECT_LE(best->value, prev + 1e-15);  // tighter floor, no better A
+    prev = best->value;
+  }
+}
+
+TEST(Weighted, OmegaOneIsPlainAvailability) {
+  const AvailabilityCurve curve = ring_curve();
+  const OptResult weighted = optimize_weighted(curve, 0.75, 1.0);
+  const OptResult plain = optimize_exhaustive(curve, 0.75);
+  EXPECT_EQ(weighted.q_r(), plain.q_r());
+}
+
+TEST(Weighted, LargeOmegaPushesTowardWrites) {
+  const AvailabilityCurve curve = ring_curve();
+  const OptResult light = optimize_weighted(curve, 0.75, 0.1);
+  const OptResult heavy = optimize_weighted(curve, 0.75, 50.0);
+  // Heavier write weight can only move q_r upward (toward easier writes).
+  EXPECT_GE(heavy.q_r(), light.q_r());
+  EXPECT_EQ(heavy.q_r(), 50u);
+  EXPECT_EQ(light.q_r(), 1u);
+}
+
+TEST(OptResult, ReportsConsistentSpec) {
+  const AvailabilityCurve curve = ring_curve(11);
+  const OptResult best = optimize_exhaustive(curve, 0.4);
+  EXPECT_EQ(best.q_r(), best.spec.q_r);
+  EXPECT_EQ(best.q_w(), best.spec.q_w);
+  EXPECT_NEAR(best.value, curve.availability(0.4, best.q_r()), 1e-15);
+}
+
+} // namespace
+} // namespace quora::core

@@ -1,0 +1,220 @@
+// Property-based suites (parameterized gtest): invariants swept over
+// parameter grids rather than spot-checked.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/availability.hpp"
+#include "core/component_dist.hpp"
+#include "core/optimize.hpp"
+#include "net/builders.hpp"
+#include "quorum/quorum_spec.hpp"
+#include "sim/simulator.hpp"
+
+namespace quora {
+namespace {
+
+// ---------------------------------------------------------------- densities
+
+using DensityParam = std::tuple<std::uint32_t, double, double>;  // n, p, r
+
+class AnalyticDensity : public ::testing::TestWithParam<DensityParam> {};
+
+TEST_P(AnalyticDensity, RingIsValidAndMassCapsAtN) {
+  const auto [n, p, r] = GetParam();
+  const core::VotePdf pdf = core::ring_site_pdf(n, p, r);
+  EXPECT_TRUE(core::is_valid_pdf(pdf, 1e-9)) << core::pdf_total(pdf);
+  EXPECT_NEAR(pdf[0], 1.0 - p, 1e-12);
+  EXPECT_LE(core::pdf_mean(pdf), static_cast<double>(n));
+}
+
+TEST_P(AnalyticDensity, FullyConnectedIsValidAndDominatesRingInMean) {
+  const auto [n, p, r] = GetParam();
+  const core::VotePdf ring = core::ring_site_pdf(n, p, r);
+  const core::VotePdf complete = core::fully_connected_site_pdf(n, p, r);
+  EXPECT_TRUE(core::is_valid_pdf(complete, 1e-9)) << core::pdf_total(complete);
+  // More links can only enlarge the component a site sees, on average.
+  EXPECT_GE(core::pdf_mean(complete) + 1e-9, core::pdf_mean(ring));
+}
+
+TEST_P(AnalyticDensity, BusArchitecturesOrdered) {
+  const auto [n, p, r] = GetParam();
+  const core::VotePdf die =
+      core::bus_site_pdf(n, p, r, core::BusArchitecture::kSitesDieWithBus);
+  const core::VotePdf survive =
+      core::bus_site_pdf(n, p, r, core::BusArchitecture::kSitesSurviveBus);
+  EXPECT_TRUE(core::is_valid_pdf(die, 1e-9));
+  EXPECT_TRUE(core::is_valid_pdf(survive, 1e-9));
+  // Surviving sites strictly reduce the zero-vote mass when the bus can
+  // fail (r < 1) and sites can be up (p > 0).
+  if (r < 1.0 && p > 0.0) {
+    EXPECT_LT(survive[0], die[0]);
+  }
+  // Above v=1 the two architectures agree exactly.
+  for (std::uint32_t v = 2; v <= n; ++v) {
+    EXPECT_NEAR(die[v], survive[v], 1e-12) << "v=" << v;
+  }
+}
+
+std::string density_param_name(const ::testing::TestParamInfo<DensityParam>& info) {
+  return "n" + std::to_string(std::get<0>(info.param)) + "_p" +
+         std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) + "_r" +
+         std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AnalyticDensity,
+    ::testing::Combine(::testing::Values(3u, 8u, 25u, 101u),
+                       ::testing::Values(0.5, 0.9, 0.96, 1.0),
+                       ::testing::Values(0.5, 0.9, 0.96, 1.0)),
+    density_param_name);
+
+// ------------------------------------------------------------- assignments
+
+class CanonicalAssignments : public ::testing::TestWithParam<net::Vote> {};
+
+TEST_P(CanonicalAssignments, WholeFamilyIsValidAndCoversTheRange) {
+  const net::Vote total = GetParam();
+  for (net::Vote q = 1; q <= quorum::max_read_quorum(total); ++q) {
+    const quorum::QuorumSpec spec = quorum::from_read_quorum(total, q);
+    EXPECT_TRUE(spec.valid(total)) << "T=" << total << " q=" << q;
+    EXPECT_EQ(spec.q_r + spec.q_w, total + 1);
+  }
+  EXPECT_TRUE(quorum::majority(total).valid(total));
+  EXPECT_TRUE(quorum::read_one_write_all(total).valid(total));
+}
+
+INSTANTIATE_TEST_SUITE_P(TotalsSweep, CanonicalAssignments,
+                         ::testing::Values(2u, 3u, 4u, 5u, 7u, 10u, 11u, 16u,
+                                           31u, 100u, 101u));
+
+// ------------------------------------------------------------- optimizers
+
+class OptimizerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OptimizerSweep, FastSearchesNeverBeatNorBadlyTrailExhaustive) {
+  const double alpha = GetParam();
+  for (const std::uint32_t n : {11u, 31u, 101u}) {
+    const core::AvailabilityCurve curve(core::ring_site_pdf(n, 0.96, 0.96));
+    const auto exh = core::optimize_exhaustive(curve, alpha);
+    const auto gold = core::optimize_golden(curve, alpha);
+    const auto brent = core::optimize_brent(curve, alpha);
+    // Sound: never report a value above the true optimum.
+    EXPECT_LE(gold.value, exh.value + 1e-15);
+    EXPECT_LE(brent.value, exh.value + 1e-15);
+    // Never below the better endpoint (both probe the extremes first).
+    const double endpoints = std::max(curve.availability(alpha, 1),
+                                      curve.availability(alpha, n / 2));
+    EXPECT_GE(gold.value + 1e-15, endpoints);
+    EXPECT_GE(brent.value + 1e-15, endpoints);
+    // On the paper's unimodal-ish analytic ring curves: exact agreement.
+    EXPECT_NEAR(gold.value, exh.value, 1e-9) << "n=" << n << " alpha=" << alpha;
+    EXPECT_NEAR(brent.value, exh.value, 1e-9) << "n=" << n << " alpha=" << alpha;
+  }
+}
+
+TEST_P(OptimizerSweep, WriteConstraintBindsExactlyWhenItShould) {
+  const double alpha = GetParam();
+  const core::AvailabilityCurve curve(
+      core::fully_connected_site_pdf(31, 0.96, 0.96));
+  const auto unconstrained = core::optimize_exhaustive(curve, alpha);
+  const double w_at_opt = curve.write_availability(unconstrained.q_r());
+
+  // A floor below the optimum's own write availability changes nothing.
+  const auto loose = core::optimize_write_constrained(curve, alpha, w_at_opt / 2);
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_NEAR(loose->value, unconstrained.value, 1e-15);
+
+  // A floor just above it forces a strictly different (or equal-value
+  // plateau) assignment with write availability meeting the floor.
+  const double tighter = std::min(w_at_opt + 0.05, 0.95);
+  const auto tight = core::optimize_write_constrained(curve, alpha, tighter);
+  if (tight) {
+    EXPECT_GE(curve.write_availability(tight->q_r()), tighter);
+    EXPECT_LE(tight->value, unconstrained.value + 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, OptimizerSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0));
+
+// ------------------------------------------------------------ determinism
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, SimulationIsAPureFunctionOfSeedAndStream) {
+  const std::uint64_t seed = GetParam();
+  const net::Topology topo = net::make_ring_with_chords(17, 2);
+  const auto signature = [&](std::uint64_t stream) {
+    sim::Simulator sim(topo, sim::SimConfig{}, sim::AccessSpec{}, seed, stream);
+    sim.run_accesses(4'000);
+    return std::tuple{sim.now(), sim.counters().site_failures,
+                      sim.counters().link_failures};
+  };
+  EXPECT_EQ(signature(0), signature(0));
+  EXPECT_EQ(signature(3), signature(3));
+  EXPECT_NE(signature(0), signature(3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 42u, 1337u, 0xDEADBEEFu));
+
+// ----------------------------------------------------- topology invariants
+
+class TopologySweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TopologySweep, RingChordFamilyInvariants) {
+  const std::uint32_t chords = GetParam();
+  const net::Topology topo = net::make_ring_with_chords(101, chords);
+  EXPECT_EQ(topo.link_count(), 101u + chords);
+
+  // All-up network is connected: a single component holding all votes.
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  EXPECT_EQ(tracker.component_count(), 1u);
+  EXPECT_EQ(tracker.component_votes(0), 101u);
+
+  // Chord degrees are near-uniform: the spread placement never loads one
+  // site with more than a proportional share of chords.
+  std::uint32_t max_degree = 0;
+  for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+    max_degree = std::max(max_degree, topo.degree(s));
+  }
+  const std::uint32_t chord_avg = 2 + 2 * chords / 101;
+  EXPECT_LE(max_degree, chord_avg + 3) << "chords=" << chords;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperFamily, TopologySweep,
+                         ::testing::Values(0u, 1u, 2u, 4u, 16u, 256u, 1024u,
+                                           4949u));
+
+// --------------------------------------------------- availability algebra
+
+class AvailabilityAlgebra
+    : public ::testing::TestWithParam<std::tuple<double, net::Vote>> {};
+
+TEST_P(AvailabilityAlgebra, LinearInAlphaAndBoundedByTails) {
+  const auto [alpha, q] = GetParam();
+  const core::AvailabilityCurve curve(
+      core::fully_connected_site_pdf(25, 0.96, 0.96));
+  if (q > curve.max_read_quorum()) GTEST_SKIP();
+
+  // A(alpha, q) interpolates linearly between A(0, q) and A(1, q).
+  const double a0 = curve.availability(0.0, q);
+  const double a1 = curve.availability(1.0, q);
+  EXPECT_NEAR(curve.availability(alpha, q), (1 - alpha) * a0 + alpha * a1, 1e-12);
+  // And is always a probability bounded by the easier tail.
+  EXPECT_GE(curve.availability(alpha, q), 0.0);
+  EXPECT_LE(curve.availability(alpha, q), std::max(a0, a1) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AvailabilityAlgebra,
+    ::testing::Combine(::testing::Values(0.0, 0.33, 0.5, 0.66, 1.0),
+                       ::testing::Values(net::Vote{1}, net::Vote{5},
+                                         net::Vote{12})));
+
+} // namespace
+} // namespace quora

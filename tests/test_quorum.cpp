@@ -1,0 +1,259 @@
+// Tests for the quorum consensus protocol: assignment validity (the §2.1
+// consistency conditions), the decision engine over partitioned networks,
+// and the replicated store's one-copy-serializability invariant under
+// randomized failure histories.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "conn/component_tracker.hpp"
+#include "conn/live_network.hpp"
+#include "net/builders.hpp"
+#include "quorum/protocols.hpp"
+#include "quorum/quorum_spec.hpp"
+#include "quorum/replicated_store.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace quora::quorum {
+namespace {
+
+TEST(QuorumSpec, ConsistencyConditions) {
+  // T = 10. Condition 1: q_r + q_w > 10; condition 2: q_w > 5.
+  EXPECT_TRUE((QuorumSpec{1, 10}.valid(10)));
+  EXPECT_TRUE((QuorumSpec{5, 6}.valid(10)));
+  EXPECT_TRUE((QuorumSpec{6, 6}.valid(10)));   // valid, just restrictive
+  EXPECT_FALSE((QuorumSpec{4, 6}.valid(10)));  // 4+6 = T, reads may miss writes
+  EXPECT_FALSE((QuorumSpec{6, 5}.valid(10)));  // q_w = T/2, split-brain writes
+  EXPECT_FALSE((QuorumSpec{0, 10}.valid(10)));
+  EXPECT_FALSE((QuorumSpec{1, 11}.valid(10)));
+  EXPECT_FALSE((QuorumSpec{11, 10}.valid(10)));
+}
+
+TEST(QuorumSpec, GrantPredicates) {
+  const QuorumSpec spec{3, 8};
+  EXPECT_FALSE(spec.allows_read(2));
+  EXPECT_TRUE(spec.allows_read(3));
+  EXPECT_TRUE(spec.allows_read(10));
+  EXPECT_FALSE(spec.allows_write(7));
+  EXPECT_TRUE(spec.allows_write(8));
+}
+
+TEST(QuorumSpec, FromReadQuorumComplement) {
+  for (net::Vote t : {2u, 7u, 100u, 101u}) {
+    for (net::Vote q = 1; q <= max_read_quorum(t); ++q) {
+      const QuorumSpec spec = from_read_quorum(t, q);
+      EXPECT_EQ(spec.q_r + spec.q_w, t + 1);  // condition 1 saturated
+      EXPECT_TRUE(spec.valid(t)) << "t=" << t << " q=" << q;
+    }
+  }
+  EXPECT_THROW(from_read_quorum(10, 0), std::invalid_argument);
+  EXPECT_THROW(from_read_quorum(10, 6), std::invalid_argument);
+  EXPECT_THROW(from_read_quorum(0, 1), std::invalid_argument);
+}
+
+TEST(QuorumSpec, NamedInstances) {
+  // Strict majority is valid for both parities (see the header note on
+  // why the paper's floor/floor+1 form fails condition 1 for odd T).
+  EXPECT_EQ(majority(101), (QuorumSpec{51, 51}));
+  EXPECT_TRUE(majority(101).valid(101));
+  EXPECT_EQ(majority(100), (QuorumSpec{51, 51}));
+  EXPECT_TRUE(majority(100).valid(100));
+  EXPECT_FALSE((QuorumSpec{50, 51}.valid(101)));  // the odd-T pitfall
+
+  EXPECT_EQ(read_one_write_all(101), (QuorumSpec{1, 101}));
+  EXPECT_TRUE(read_one_write_all(101).valid(101));
+  EXPECT_EQ(max_read_quorum(101), 50u);
+  EXPECT_EQ(max_read_quorum(100), 50u);
+  EXPECT_THROW(majority(1), std::invalid_argument);
+}
+
+class PartitionedRing : public ::testing::Test {
+protected:
+  PartitionedRing()
+      : topo_(net::make_ring(10)), live_(topo_), tracker_(live_) {
+    // Cut links {0,1} and {4,5}: components {1,2,3,4} and {5,...,9,0}.
+    live_.set_link_up(0, false);
+    live_.set_link_up(4, false);
+  }
+  net::Topology topo_;
+  conn::LiveNetwork live_;
+  conn::ComponentTracker tracker_;
+};
+
+TEST_F(PartitionedRing, MajoritySideCanWriteMinorityCannot) {
+  const QuorumConsensus qc(topo_, QuorumSpec{5, 6});
+  // {5..9,0} has 6 votes; {1..4} has 4.
+  EXPECT_TRUE(qc.request(tracker_, 7, AccessType::kWrite).granted);
+  EXPECT_FALSE(qc.request(tracker_, 2, AccessType::kWrite).granted);
+  EXPECT_TRUE(qc.request(tracker_, 7, AccessType::kRead).granted);
+  EXPECT_FALSE(qc.request(tracker_, 2, AccessType::kRead).granted);
+  EXPECT_EQ(qc.request(tracker_, 2, AccessType::kRead).votes_collected, 4u);
+}
+
+TEST_F(PartitionedRing, SmallReadQuorumServesBothSides) {
+  const QuorumConsensus qc(topo_, QuorumSpec{3, 8});
+  EXPECT_TRUE(qc.request(tracker_, 2, AccessType::kRead).granted);
+  EXPECT_TRUE(qc.request(tracker_, 7, AccessType::kRead).granted);
+  // Neither side reaches q_w = 8.
+  EXPECT_FALSE(qc.request(tracker_, 2, AccessType::kWrite).granted);
+  EXPECT_FALSE(qc.request(tracker_, 7, AccessType::kWrite).granted);
+}
+
+TEST_F(PartitionedRing, DownOriginIsDenied) {
+  const QuorumConsensus qc(topo_, QuorumSpec{1, 10});
+  live_.set_site_up(7, false);
+  const Decision d = qc.request(tracker_, 7, AccessType::kRead);
+  EXPECT_FALSE(d.granted);
+  EXPECT_EQ(d.votes_collected, 0u);
+}
+
+TEST(QuorumConsensus, RejectsInvalidSpec) {
+  const net::Topology topo = net::make_ring(10);
+  EXPECT_THROW(QuorumConsensus(topo, QuorumSpec{4, 6}), std::invalid_argument);
+  QuorumConsensus qc(topo, QuorumSpec{5, 6});
+  EXPECT_THROW(qc.set_spec(QuorumSpec{5, 5}), std::invalid_argument);
+  EXPECT_NO_THROW(qc.set_spec(QuorumSpec{1, 10}));
+  EXPECT_EQ(qc.spec().q_w, 10u);
+}
+
+TEST(PrimaryCopy, VotesConcentrateAtPrimary) {
+  const auto votes = primary_copy_votes(6, 2);
+  const net::Topology topo("pc", 6,
+                           {net::Link{0, 1}, net::Link{1, 2}, net::Link{2, 3},
+                            net::Link{3, 4}, net::Link{4, 5}},
+                           votes);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  const QuorumConsensus qc(topo, QuorumSpec{1, 1});
+
+  // Any site connected to the primary may access...
+  EXPECT_TRUE(qc.request(tracker, 5, AccessType::kWrite).granted);
+  // ...but a component without the primary cannot, even if large.
+  live.set_link_up(2, false);  // cut {2,3}: primary side is {0,1,2}
+  EXPECT_TRUE(qc.request(tracker, 0, AccessType::kWrite).granted);
+  EXPECT_FALSE(qc.request(tracker, 4, AccessType::kWrite).granted);
+  EXPECT_THROW(primary_copy_votes(6, 6), std::invalid_argument);
+}
+
+TEST(ReplicatedStore, WriteInstallsEverywhereInComponent) {
+  const net::Topology topo = net::make_ring(5);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  ReplicatedStore store(topo);
+  const QuorumSpec spec{2, 4};
+
+  const auto w = store.write(tracker, spec, 0, 42);
+  EXPECT_TRUE(w.granted);
+  EXPECT_EQ(w.version, 1u);
+  for (net::SiteId s = 0; s < 5; ++s) {
+    EXPECT_EQ(store.copy_at(s).value, 42u);
+    EXPECT_EQ(store.copy_at(s).version, 1u);
+  }
+}
+
+TEST(ReplicatedStore, MinorityWriteDenied) {
+  const net::Topology topo = net::make_ring(5);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  ReplicatedStore store(topo);
+  const QuorumSpec spec{2, 4};
+
+  live.set_link_up(0, false);  // cut {0,1}
+  live.set_link_up(2, false);  // cut {2,3}: components {1,2} and {3,4,0}
+  EXPECT_FALSE(store.write(tracker, spec, 1, 7).granted);
+  EXPECT_EQ(store.committed_version(), 0u);
+}
+
+TEST(ReplicatedStore, PartitionDeniesTheWriteThatWouldGoStale) {
+  // Condition 1 at work: after cutting the ring into {1,2} and {3,4,0},
+  // the larger side holds only 3 of 5 votes — short of q_w = 4 — so the
+  // write that a stale {1,2}-side read could otherwise miss is denied.
+  const net::Topology topo = net::make_ring(5);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  ReplicatedStore store(topo);
+  const QuorumSpec spec{2, 4};
+  ASSERT_TRUE(store.write(tracker, spec, 0, 1).granted);
+  live.set_link_up(0, false);
+  live.set_link_up(2, false);
+  EXPECT_FALSE(store.write(tracker, spec, 3, 2).granted);
+  // And the small side's granted read correctly sees version 1.
+  const auto r = store.read(tracker, spec, 1);
+  ASSERT_TRUE(r.granted);
+  EXPECT_TRUE(r.current);
+  EXPECT_EQ(r.version, 1u);
+}
+
+/// The crown-jewel invariant: under ANY valid (q_r, q_w) and ANY sequence
+/// of failures/recoveries, every granted read returns the most recently
+/// committed version (one-copy serializability, §2.1's conditions at
+/// work).
+TEST(ReplicatedStore, OneCopySerializabilityUnderRandomHistories) {
+  rng::Xoshiro256ss gen(20260707);
+  const net::Topology topo = net::make_ring_with_chords(11, 3);
+  const net::Vote total = topo.total_votes();
+
+  for (net::Vote q_r = 1; q_r <= max_read_quorum(total); ++q_r) {
+    const QuorumSpec spec = from_read_quorum(total, q_r);
+    conn::LiveNetwork live(topo);
+    const conn::ComponentTracker tracker(live);
+    ReplicatedStore store(topo);
+    std::uint64_t next_value = 100;
+    std::uint64_t granted_reads = 0;
+
+    for (int step = 0; step < 4000; ++step) {
+      const double u = gen.next_double();
+      if (u < 0.35) {
+        // Toggle a random site.
+        const auto s =
+            static_cast<net::SiteId>(rng::uniform_index(gen, topo.site_count()));
+        live.set_site_up(s, !live.is_site_up(s));
+      } else if (u < 0.60) {
+        const auto l =
+            static_cast<net::LinkId>(rng::uniform_index(gen, topo.link_count()));
+        live.set_link_up(l, !live.is_link_up(l));
+      } else if (u < 0.80) {
+        const auto origin =
+            static_cast<net::SiteId>(rng::uniform_index(gen, topo.site_count()));
+        store.write(tracker, spec, origin, next_value++);
+      } else {
+        const auto origin =
+            static_cast<net::SiteId>(rng::uniform_index(gen, topo.site_count()));
+        const auto r = store.read(tracker, spec, origin);
+        if (r.granted) {
+          ++granted_reads;
+          EXPECT_TRUE(r.current)
+              << "STALE READ: q_r=" << q_r << " step=" << step << " saw version "
+              << r.version << " latest " << store.committed_version();
+        }
+      }
+    }
+    EXPECT_GT(granted_reads, 0u) << "q_r=" << q_r << ": vacuous run";
+  }
+}
+
+/// Sanity-check the checker: an INVALID assignment (q_r + q_w = T) must
+/// actually produce stale reads under partition — otherwise the invariant
+/// test above proves nothing.
+TEST(ReplicatedStore, InvalidAssignmentProducesStaleReads) {
+  const net::Topology topo = net::make_ring(10);
+  conn::LiveNetwork live(topo);
+  const conn::ComponentTracker tracker(live);
+  ReplicatedStore store(topo);
+  const QuorumSpec bad{4, 6};  // q_r + q_w = T: breaks condition 1
+  ASSERT_FALSE(bad.valid(10));
+
+  ASSERT_TRUE(store.write(tracker, bad, 0, 1).granted);
+  live.set_link_up(0, false);
+  live.set_link_up(4, false);  // {1..4} (4 votes) vs {5..9,0} (6 votes)
+  ASSERT_TRUE(store.write(tracker, bad, 7, 2).granted);  // 6 >= q_w
+  const auto r = store.read(tracker, bad, 2);            // 4 >= q_r
+  ASSERT_TRUE(r.granted);
+  EXPECT_FALSE(r.current);  // misses version 2 — the guaranteed anomaly
+  EXPECT_EQ(r.version, 1u);
+}
+
+} // namespace
+} // namespace quora::quorum

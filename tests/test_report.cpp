@@ -1,0 +1,156 @@
+// Tests for the reporting layer: table formatting, CSV escaping, and the
+// shared figure renderer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/experiment.hpp"
+#include "net/builders.hpp"
+#include "report/csv.hpp"
+#include "report/curve_report.hpp"
+#include "report/table.hpp"
+
+namespace quora::report {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header, rule, two rows.
+  EXPECT_NE(text.find("  name  value"), std::string::npos);
+  EXPECT_NE(text.find("     a      1"), std::string::npos);
+  EXPECT_NE(text.find("longer     22"), std::string::npos);
+  EXPECT_NE(text.find("------"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorDrawsRule) {
+  TextTable table({"x"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  std::ostringstream out;
+  table.print(out);
+  // Two rules: one under the header, one mid-table.
+  std::size_t rules = 0;
+  std::istringstream in(out.str());
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line.find_first_not_of('-') == std::string::npos) ++rules;
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(TextTable, RejectsBadShape) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, Formatting) {
+  EXPECT_EQ(TextTable::fmt(0.12345, 2), "0.12");
+  EXPECT_EQ(TextTable::fmt(1.0, 4), "1.0000");
+  EXPECT_EQ(TextTable::fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(TextTable::pct(0.256, 1), "25.6%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(CsvWriter, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(CsvWriter::escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b,c", "d"});
+  csv.row({"1", "2", "3"});
+  EXPECT_EQ(out.str(), "a,\"b,c\",d\n1,2,3\n");
+}
+
+class RenderedCurves : public ::testing::Test {
+protected:
+  static const metrics::CurveResult& result() {
+    static const metrics::CurveResult r = [] {
+      sim::SimConfig config;
+      config.warmup_accesses = 1'000;
+      config.accesses_per_batch = 8'000;
+      metrics::MeasurePolicy policy;
+      policy.alphas = {0.0, 1.0};
+      policy.batch.min_batches = 3;
+      policy.batch.max_batches = 3;
+      const net::Topology topo = net::make_ring(13);
+      return metrics::measure_curves(topo, config, policy);
+    }();
+    return r;
+  }
+};
+
+TEST_F(RenderedCurves, TablePrintsEveryRowAtStrideOne) {
+  std::ostringstream out;
+  print_curve_table(out, result(), 1);
+  const std::string text = out.str();
+  // One data line per q_r value: count lines starting with a digit.
+  std::size_t data_lines = 0;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    const auto first = line.find_first_not_of(' ');
+    if (first != std::string::npos && std::isdigit(line[first]) &&
+        line.find("optimal") == std::string::npos) {
+      ++data_lines;
+    }
+  }
+  EXPECT_EQ(data_lines, result().q_values.size());
+  // Header carries the topology name and batch count.
+  EXPECT_NE(text.find("ring-13"), std::string::npos);
+  EXPECT_NE(text.find("batches=3"), std::string::npos);
+  // One optimum line per alpha.
+  EXPECT_NE(text.find("optimal @ alpha=0.00"), std::string::npos);
+  EXPECT_NE(text.find("optimal @ alpha=1.00"), std::string::npos);
+}
+
+TEST_F(RenderedCurves, StrideThinsButKeepsEndpoints) {
+  std::ostringstream wide;
+  print_curve_table(wide, result(), 100);  // stride beyond range
+  // First and last q_r rows always survive thinning.
+  std::vector<std::string> first_tokens;
+  std::istringstream in(wide.str());
+  for (std::string line; std::getline(in, line);) {
+    std::istringstream cells(line);
+    std::string tok;
+    if (cells >> tok && !tok.empty() && std::isdigit(tok[0]) &&
+        line.find("optimal") == std::string::npos) {
+      first_tokens.push_back(tok);
+    }
+  }
+  ASSERT_GE(first_tokens.size(), 1u);
+  EXPECT_EQ(first_tokens.front(), "1");
+  EXPECT_EQ(first_tokens.back(), std::to_string(result().q_values.back()));
+}
+
+TEST_F(RenderedCurves, CsvRoundTripsValues) {
+  std::ostringstream out;
+  write_curve_csv(out, result());
+  std::istringstream in(out.str());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "q_r,q_w,alpha_0.00,ci_0.00,alpha_1.00,ci_1.00");
+  std::size_t rows = 0;
+  for (std::string line; std::getline(in, line);) ++rows;
+  EXPECT_EQ(rows, result().q_values.size());
+}
+
+TEST_F(RenderedCurves, OptimumLineNamesTheArgmax) {
+  const std::string line = optimum_line(result(), 1.0);
+  EXPECT_NE(line.find("alpha=1.00"), std::string::npos);
+  EXPECT_NE(line.find("q_r=1 "), std::string::npos);  // ring, all reads
+}
+
+} // namespace
+} // namespace quora::report

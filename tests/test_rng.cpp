@@ -1,0 +1,228 @@
+// Tests for the rng substrate: generator determinism, stream disjointness,
+// distribution correctness.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "rng/alias_table.hpp"
+#include "rng/distributions.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace quora::rng {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, MixSeedSeparatesStreams) {
+  EXPECT_NE(mix_seed(7, 0), mix_seed(7, 1));
+  EXPECT_NE(mix_seed(7, 0), mix_seed(8, 0));
+  EXPECT_EQ(mix_seed(7, 3), mix_seed(7, 3));
+}
+
+TEST(Xoshiro256ss, Deterministic) {
+  Xoshiro256ss a(123);
+  Xoshiro256ss b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256ss, SeedZeroStillWorks) {
+  Xoshiro256ss g(0);
+  // SplitMix64 expansion guarantees a non-degenerate state even for seed 0.
+  std::uint64_t x = 0;
+  for (int i = 0; i < 16; ++i) x |= g();
+  EXPECT_NE(x, 0u);
+}
+
+TEST(Xoshiro256ss, JumpDecorrelatesStreams) {
+  Xoshiro256ss base(99);
+  Xoshiro256ss jumped(99);
+  jumped.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (base() == jumped()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256ss, StreamConstructorMatchesManualJumps) {
+  Xoshiro256ss manual(5);
+  manual.jump();
+  manual.jump();
+  Xoshiro256ss stream(5, 2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(manual(), stream());
+}
+
+TEST(Xoshiro256ss, NextDoubleInHalfOpenUnitInterval) {
+  Xoshiro256ss g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = g.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256ss, NextDoubleOpenZeroNeverReturnsZero) {
+  Xoshiro256ss g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = g.next_double_open_zero();
+    EXPECT_GT(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256ss, MeanOfUniformsIsNearHalf) {
+  Xoshiro256ss g(2024);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += g.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Distributions, ExponentialHasRequestedMean) {
+  Xoshiro256ss g(11);
+  const double mean = 128.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += exponential(g, mean);
+  EXPECT_NEAR(sum / n, mean, mean * 0.02);
+}
+
+TEST(Distributions, ExponentialIsNonNegative) {
+  Xoshiro256ss g(12);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(exponential(g, 0.01), 0.0);
+}
+
+TEST(Distributions, ExponentialMemorylessTailRatio) {
+  // P(X > 2m) / P(X > m) should equal P(X > m) for an exponential.
+  Xoshiro256ss g(13);
+  const double mean = 1.0;
+  int beyond_m = 0;
+  int beyond_2m = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double x = exponential(g, mean);
+    if (x > mean) ++beyond_m;
+    if (x > 2 * mean) ++beyond_2m;
+  }
+  const double p_m = static_cast<double>(beyond_m) / n;
+  const double p_2m = static_cast<double>(beyond_2m) / n;
+  EXPECT_NEAR(p_2m / p_m, p_m, 0.01);
+}
+
+TEST(Distributions, UniformIndexCoversRangeUniformly) {
+  Xoshiro256ss g(21);
+  constexpr std::uint64_t bound = 7;
+  std::array<int, bound> counts{};
+  const int n = 140000;
+  for (int i = 0; i < n; ++i) ++counts[uniform_index(g, bound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / bound, 0.01);
+  }
+}
+
+TEST(Distributions, UniformIndexBoundOne) {
+  Xoshiro256ss g(22);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(uniform_index(g, 1), 0u);
+}
+
+TEST(Distributions, BernoulliMatchesProbability) {
+  Xoshiro256ss g(23);
+  const double p = 0.25;
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (bernoulli(g, p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.005);
+}
+
+TEST(Distributions, BernoulliExtremes) {
+  Xoshiro256ss g(24);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(bernoulli(g, 0.0));
+    EXPECT_TRUE(bernoulli(g, 1.0));
+  }
+}
+
+TEST(Distributions, WeightedIndexLinearRespectsWeights) {
+  Xoshiro256ss g(25);
+  const std::vector<double> w{1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[weighted_index_linear(g, w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(AliasTable, RejectsBadInput) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(AliasTable, NormalizesProbabilities) {
+  const AliasTable t(std::vector<double>{2.0, 6.0});
+  EXPECT_NEAR(t.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(t.probability(1), 0.75, 1e-12);
+}
+
+TEST(AliasTable, SamplesMatchWeights) {
+  Xoshiro256ss g(31);
+  const std::vector<double> w{5.0, 1.0, 2.0, 2.0};
+  const AliasTable t(w);
+  std::array<int, 4> counts{};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[t.sample(g)];
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), w[i] / total, 0.01);
+  }
+}
+
+TEST(AliasTable, SingleEntryAlwaysSamplesZero) {
+  Xoshiro256ss g(32);
+  const AliasTable t(std::vector<double>{42.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(t.sample(g), 0u);
+}
+
+TEST(AliasTable, ZeroWeightEntryNeverSampled) {
+  Xoshiro256ss g(33);
+  const AliasTable t(std::vector<double>{1.0, 0.0, 1.0});
+  for (int i = 0; i < 50000; ++i) EXPECT_NE(t.sample(g), 1u);
+}
+
+TEST(AliasTable, UniformWeightsStayUniformLargeN) {
+  Xoshiro256ss g(34);
+  const std::vector<double> w(101, 1.0);  // the paper's site count
+  const AliasTable t(w);
+  std::vector<int> counts(101, 0);
+  const int n = 505000;
+  for (int i = 0; i < n; ++i) ++counts[t.sample(g)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 1.0 / 101.0, 0.002);
+  }
+}
+
+} // namespace
+} // namespace quora::rng

@@ -1,0 +1,216 @@
+// Tests for the stats substrate: Welford accumulation, Student-t critical
+// values, the paper's batch-means stopping rule, integer histograms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/batch_means.hpp"
+#include "stats/histogram.hpp"
+#include "stats/running_stat.hpp"
+#include "stats/student_t.hpp"
+
+namespace quora::stats {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  const RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset: sum sq dev = 32, / (n-1) = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(s.sem(), std::sqrt(32.0 / 7.0 / 8.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i < 20 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStat b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(StudentT, ExactTableValues) {
+  EXPECT_DOUBLE_EQ(t_critical(1, 0.95), 12.706);
+  EXPECT_DOUBLE_EQ(t_critical(4, 0.95), 2.776);   // 5 batches
+  EXPECT_DOUBLE_EQ(t_critical(17, 0.95), 2.110);  // 18 batches
+  EXPECT_DOUBLE_EQ(t_critical(10, 0.90), 1.812);
+  EXPECT_DOUBLE_EQ(t_critical(10, 0.99), 3.169);
+  EXPECT_DOUBLE_EQ(t_critical(30, 0.95), 2.042);
+}
+
+TEST(StudentT, InterpolatedRegionIsMonotoneAndBracketed) {
+  const double t35 = t_critical(35, 0.95);
+  EXPECT_LT(t35, t_critical(30, 0.95));
+  EXPECT_GT(t35, t_critical(40, 0.95));
+  const double t80 = t_critical(80, 0.95);
+  EXPECT_LT(t80, t_critical(60, 0.95));
+  EXPECT_GT(t80, t_critical(120, 0.95));
+}
+
+TEST(StudentT, LargeDfApproachesNormal) {
+  EXPECT_DOUBLE_EQ(t_critical(10000, 0.95), 1.960);
+  EXPECT_DOUBLE_EQ(t_critical(10000, 0.99), 2.576);
+}
+
+TEST(StudentT, Errors) {
+  EXPECT_THROW(t_critical(0, 0.95), std::invalid_argument);
+  EXPECT_THROW(t_critical(5, 0.80), std::invalid_argument);
+}
+
+TEST(BatchMeans, NeedsMinimumBatches) {
+  BatchMeansController c;  // paper policy: 5..18, 95%, 0.5%
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(c.needs_more());
+    c.add_batch(0.5);  // zero variance — precision is already perfect
+  }
+  EXPECT_TRUE(c.needs_more());  // still under 5 batches
+  c.add_batch(0.5);
+  EXPECT_FALSE(c.needs_more());  // 5 batches and half-width 0
+}
+
+TEST(BatchMeans, StopsAtMaxEvenIfWide) {
+  BatchMeansController::Policy policy;
+  policy.min_batches = 2;
+  policy.max_batches = 4;
+  policy.target_half_width = 1e-9;
+  BatchMeansController c(policy);
+  double v = 0.0;
+  for (int i = 0; i < 4; ++i) c.add_batch(v += 0.1);  // high variance
+  EXPECT_FALSE(c.needs_more());
+  EXPECT_EQ(c.interval().batches, 4u);
+  EXPECT_GT(c.interval().half_width, 1e-9);
+}
+
+TEST(BatchMeans, IntervalMatchesHandComputation) {
+  BatchMeansController c;
+  const std::vector<double> means{0.50, 0.52, 0.48, 0.51, 0.49};
+  for (const double m : means) c.add_batch(m);
+  const ConfidenceInterval ci = c.interval();
+  EXPECT_NEAR(ci.mean, 0.50, 1e-12);
+  // s = sqrt(sum dev^2 / 4) = sqrt(0.001/4); hw = t(4) * s / sqrt(5).
+  const double s = std::sqrt(0.001 / 4.0);
+  EXPECT_NEAR(ci.half_width, 2.776 * s / std::sqrt(5.0), 1e-9);
+  EXPECT_TRUE(ci.contains(0.50));
+  EXPECT_FALSE(ci.contains(0.60));
+  EXPECT_DOUBLE_EQ(ci.lo(), ci.mean - ci.half_width);
+  EXPECT_DOUBLE_EQ(ci.hi(), ci.mean + ci.half_width);
+}
+
+TEST(BatchMeans, ContinuesWhileWide) {
+  BatchMeansController c;  // target 0.005
+  c.add_batch(0.40);
+  c.add_batch(0.60);
+  c.add_batch(0.50);
+  c.add_batch(0.45);
+  c.add_batch(0.55);
+  EXPECT_TRUE(c.needs_more());  // spread way beyond 0.5%
+}
+
+TEST(IntHistogram, AddAndQuery) {
+  IntHistogram h(10);
+  h.add(0);
+  h.add(5, 3);
+  h.add(10);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(5), 3u);
+  EXPECT_EQ(h.max_value(), 10u);
+  EXPECT_THROW(h.add(11), std::out_of_range);
+}
+
+TEST(IntHistogram, PdfNormalizes) {
+  IntHistogram h(4);
+  h.add(1);
+  h.add(1);
+  h.add(3);
+  h.add(4);
+  const auto pdf = h.pdf();
+  EXPECT_EQ(pdf.size(), 5u);
+  EXPECT_DOUBLE_EQ(pdf[1], 0.5);
+  EXPECT_DOUBLE_EQ(pdf[3], 0.25);
+  double total = 0.0;
+  for (const double p : pdf) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(IntHistogram, EmptyPdfIsZero) {
+  const IntHistogram h(3);
+  for (const double p : h.pdf()) EXPECT_EQ(p, 0.0);
+  EXPECT_EQ(h.tail_mass(0), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(IntHistogram, TailMass) {
+  IntHistogram h(5);
+  for (std::uint32_t v = 0; v <= 5; ++v) h.add(v);  // uniform over 0..5
+  EXPECT_DOUBLE_EQ(h.tail_mass(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.tail_mass(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.tail_mass(5), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(h.tail_mass(6), 0.0);  // beyond domain
+}
+
+TEST(IntHistogram, Mean) {
+  IntHistogram h(10);
+  h.add(2, 2);
+  h.add(8, 2);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(IntHistogram, MergeAndDomainMismatch) {
+  IntHistogram a(3);
+  IntHistogram b(3);
+  a.add(1);
+  b.add(2, 4);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(a.count(2), 4u);
+  IntHistogram c(4);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+} // namespace
+} // namespace quora::stats

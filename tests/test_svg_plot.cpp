@@ -1,0 +1,109 @@
+// Tests for the SVG figure renderer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/experiment.hpp"
+#include "net/builders.hpp"
+#include "report/svg_plot.hpp"
+
+namespace quora::report {
+namespace {
+
+const metrics::CurveResult& small_result() {
+  static const metrics::CurveResult r = [] {
+    sim::SimConfig config;
+    config.warmup_accesses = 1'000;
+    config.accesses_per_batch = 6'000;
+    metrics::MeasurePolicy policy;
+    policy.alphas = {0.0, 0.5, 1.0};
+    policy.batch.min_batches = 3;
+    policy.batch.max_batches = 3;
+    const net::Topology topo = net::make_ring(11);
+    return metrics::measure_curves(topo, config, policy);
+  }();
+  return r;
+}
+
+std::string render(const SvgOptions& options = {}) {
+  std::ostringstream out;
+  write_curve_svg(out, small_result(), options);
+  return out.str();
+}
+
+std::size_t count(const std::string& text, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(SvgPlot, WellFormedDocument) {
+  const std::string svg = render();
+  EXPECT_EQ(svg.rfind("<svg xmlns=\"http://www.w3.org/2000/svg\"", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Every opened text/line/polyline/rect is self-closed or closed.
+  EXPECT_EQ(count(svg, "<text"), count(svg, "</text>"));
+}
+
+TEST(SvgPlot, OnePolylinePerAlpha) {
+  const std::string svg = render();
+  EXPECT_EQ(count(svg, "<polyline"), small_result().alphas.size());
+  EXPECT_EQ(count(svg, "alpha = "), small_result().alphas.size());
+}
+
+TEST(SvgPlot, TitleDefaultsToTopologyAndCanBeOverridden) {
+  EXPECT_NE(render().find("ring-11"), std::string::npos);
+  SvgOptions options;
+  options.title = "Custom Title";
+  EXPECT_NE(render(options).find("Custom Title"), std::string::npos);
+}
+
+TEST(SvgPlot, WhiskersCanBeDisabled) {
+  SvgOptions none;
+  none.whisker_stride = 0;
+  SvgOptions dense;
+  dense.whisker_stride = 1;
+  EXPECT_GT(count(render(dense), "<line"), count(render(none), "<line"));
+}
+
+TEST(SvgPlot, CoordinatesStayInsideTheViewBox) {
+  const std::string svg = render();
+  std::istringstream in(svg);
+  // All polyline points must lie in [0, width] x [0, height].
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto start = line.find("points=\"");
+    if (start == std::string::npos) continue;
+    std::istringstream points(line.substr(start + 8));
+    std::string pair;
+    while (points >> pair && pair.find('"') == std::string::npos) {
+      const auto comma = pair.find(',');
+      ASSERT_NE(comma, std::string::npos);
+      const double x = std::stod(pair.substr(0, comma));
+      const double y = std::stod(pair.substr(comma + 1));
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 720.0);
+      EXPECT_GE(y, 0.0);
+      EXPECT_LE(y, 480.0);
+    }
+  }
+}
+
+TEST(SvgPlot, RejectsEmptyResult) {
+  const metrics::CurveResult empty;
+  std::ostringstream out;
+  EXPECT_THROW(write_curve_svg(out, empty), std::invalid_argument);
+}
+
+TEST(SvgPlot, FileWriterFailsOnBadPath) {
+  EXPECT_THROW(write_curve_svg_file("/nonexistent/dir/x.svg", small_result()),
+               std::runtime_error);
+}
+
+} // namespace
+} // namespace quora::report

@@ -1,0 +1,98 @@
+// Tests for the non-instantaneous access model (TimedProtocolMeter).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "metrics/collectors.hpp"
+#include "metrics/timed_meter.hpp"
+#include "net/builders.hpp"
+#include "quorum/protocols.hpp"
+#include "sim/simulator.hpp"
+
+namespace quora::metrics {
+namespace {
+
+using quorum::QuorumSpec;
+
+TEST(TimedProtocolMeter, RejectsNegativeDuration) {
+  EXPECT_THROW(TimedProtocolMeter(QuorumSpec{5, 6}, -1.0), std::invalid_argument);
+}
+
+TEST(TimedProtocolMeter, ZeroDurationMatchesInstantaneousMeter) {
+  const net::Topology topo = net::make_ring_with_chords(21, 2);
+  const QuorumSpec spec = quorum::from_read_quorum(21, 5);
+  const quorum::QuorumConsensus engine(topo, spec);
+
+  sim::SimConfig config;
+  config.warmup_accesses = 2'000;
+  sim::Simulator sim(topo, config, sim::AccessSpec{}, 7);
+  sim.run_accesses(config.warmup_accesses);
+
+  ProtocolMeter instantaneous(static_decider(engine));
+  TimedProtocolMeter timed(spec, 0.0);
+  sim.add_access_observer(&instantaneous);
+  sim.add_access_observer(&timed);
+  sim.add_network_observer(&timed);
+  sim.run_accesses(30'000);
+  timed.settle_until(sim.now() + 1.0);
+
+  EXPECT_EQ(timed.completed(), 30'000u);
+  EXPECT_EQ(timed.granted(),
+            instantaneous.reads_granted() + instantaneous.writes_granted());
+  EXPECT_EQ(timed.aborted_by_disturbance(), 0u);
+}
+
+TEST(TimedProtocolMeter, AvailabilityDecreasesWithDuration) {
+  const net::Topology topo = net::make_ring_with_chords(31, 3);
+  const QuorumSpec spec = quorum::from_read_quorum(31, 10);
+
+  double prev = 1.1;
+  for (const double d : {0.0, 0.1, 1.0, 8.0}) {
+    sim::SimConfig config;
+    config.warmup_accesses = 2'000;
+    sim::Simulator sim(topo, config, sim::AccessSpec{}, 9);
+    sim.run_accesses(config.warmup_accesses);
+    TimedProtocolMeter meter(spec, d);
+    sim.add_access_observer(&meter);
+    sim.add_network_observer(&meter);
+    sim.run_accesses(60'000);
+    meter.settle_until(sim.now() + 2 * d + 1.0);
+    EXPECT_LT(meter.availability(), prev) << "d=" << d;
+    prev = meter.availability();
+  }
+}
+
+TEST(TimedProtocolMeter, EveryAccessEventuallySettles) {
+  const net::Topology topo = net::make_ring(15);
+  sim::SimConfig config;
+  sim::Simulator sim(topo, config, sim::AccessSpec{}, 10);
+  TimedProtocolMeter meter(quorum::from_read_quorum(15, 4), 2.0);
+  sim.add_access_observer(&meter);
+  sim.add_network_observer(&meter);
+  sim.run_accesses(10'000);
+  meter.settle_until(sim.now() + 10.0);
+  EXPECT_EQ(meter.completed(), 10'000u);
+  EXPECT_EQ(meter.granted() + (meter.completed() - meter.granted()),
+            meter.completed());
+}
+
+TEST(TimedProtocolMeter, DisturbanceAbortsAreCounted) {
+  // A fragmenting ring with long windows must abort some quorum-met
+  // accesses through membership churn.
+  const net::Topology topo = net::make_ring(31);
+  sim::SimConfig config;
+  config.warmup_accesses = 2'000;
+  sim::Simulator sim(topo, config, sim::AccessSpec{}, 11);
+  sim.run_accesses(config.warmup_accesses);
+  TimedProtocolMeter meter(quorum::from_read_quorum(31, 2), 4.0);
+  sim.add_access_observer(&meter);
+  sim.add_network_observer(&meter);
+  sim.run_accesses(60'000);
+  meter.settle_until(sim.now() + 10.0);
+  EXPECT_GT(meter.aborted_by_disturbance(), 0u);
+  EXPECT_LT(meter.granted(), meter.completed());
+}
+
+} // namespace
+} // namespace quora::metrics

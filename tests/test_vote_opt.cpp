@@ -1,0 +1,156 @@
+// Tests for the Ahamad-Ammar analytic model and the exhaustive
+// vote+quorum search (paper references [1, 7, 8]).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/availability.hpp"
+#include "core/optimize.hpp"
+#include "core/vote_opt.hpp"
+
+namespace quora::core {
+namespace {
+
+TEST(AhamadAmmar, PdfIsBinomialOverOtherSites) {
+  // Perfect links: component of an up site = all up sites, so
+  // f(v) = C(n-1, v-1) p^(v) (1-p)^(n-v) for v >= 1.
+  const std::uint32_t n = 6;
+  const double p = 0.8;
+  const VotePdf pdf = ahamad_ammar_site_pdf(n, p);
+  EXPECT_NEAR(pdf[0], 0.2, 1e-12);
+  double check = 0.0;
+  for (std::uint32_t v = 1; v <= n; ++v) {
+    double binom = 1.0;
+    for (std::uint32_t i = 0; i < v - 1; ++i) {
+      binom *= static_cast<double>(n - 1 - i) / static_cast<double>(i + 1);
+    }
+    const double expected = binom * std::pow(p, v) * std::pow(1 - p, n - v);
+    EXPECT_NEAR(pdf[v], expected, 1e-10) << "v=" << v;
+    check += expected;
+  }
+  EXPECT_NEAR(check + pdf[0], 1.0, 1e-10);
+}
+
+TEST(ExactAvailability, MatchesCurveForUniformVotes) {
+  // With uniform single votes, the subset enumeration must agree with the
+  // tail-sum formulation through the analytic density.
+  const std::uint32_t n = 7;
+  const double p = 0.85;
+  const std::vector<double> rel(n, p);
+  const std::vector<net::Vote> votes(n, 1);
+  const AvailabilityCurve curve(ahamad_ammar_site_pdf(n, p));
+  for (net::Vote q_r = 1; q_r <= curve.max_read_quorum(); ++q_r) {
+    const quorum::QuorumSpec spec = quorum::from_read_quorum(n, q_r);
+    for (const double alpha : {0.0, 0.5, 1.0}) {
+      EXPECT_NEAR(exact_availability(rel, votes, alpha, spec),
+                  curve.availability(alpha, q_r), 1e-10)
+          << "q_r=" << q_r << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(ExactAvailability, HandComputedTwoSites) {
+  // Two sites, reliabilities p0, p1, one vote each, spec {1, 2} (ROWA).
+  // Reads: origin up suffices -> P = (p0 + p1)/2.
+  // Writes: both up -> p0 * p1 (origin necessarily up then).
+  const std::array<double, 2> rel{0.9, 0.6};
+  const std::array<net::Vote, 2> votes{1, 1};
+  const quorum::QuorumSpec rowa{1, 2};
+  EXPECT_NEAR(exact_availability(rel, votes, 1.0, rowa), (0.9 + 0.6) / 2, 1e-12);
+  EXPECT_NEAR(exact_availability(rel, votes, 0.0, rowa), 0.9 * 0.6, 1e-12);
+  EXPECT_NEAR(exact_availability(rel, votes, 0.5, rowa),
+              0.5 * 0.75 + 0.5 * 0.54, 1e-12);
+}
+
+TEST(ExactAvailability, ZeroVoteSitesCannotHelp) {
+  // A zero-vote site contributes origin-up mass but no votes.
+  const std::array<double, 3> rel{0.9, 0.9, 0.9};
+  const std::array<net::Vote, 3> votes{1, 1, 0};
+  const quorum::QuorumSpec spec{1, 2};
+  // Writes need both voting sites up; any up origin then counts.
+  // P(w granted) = sum_S P(S) (|S|/3) [votes(S) >= 2].
+  const double p = 0.9;
+  const double expected = p * p * ((1 - p) * (2.0 / 3.0) + p * 1.0);
+  EXPECT_NEAR(exact_availability(rel, votes, 0.0, spec), expected, 1e-12);
+}
+
+TEST(ExactAvailability, Guards) {
+  const std::vector<double> rel(3, 0.9);
+  const std::vector<net::Vote> votes(3, 1);
+  EXPECT_THROW(exact_availability(rel, std::vector<net::Vote>(2, 1), 0.5, {1, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(exact_availability(rel, votes, 1.5, {1, 3}), std::invalid_argument);
+  EXPECT_THROW(exact_availability(std::vector<double>(21, 0.9),
+                                  std::vector<net::Vote>(21, 1), 0.5, {1, 21}),
+               std::invalid_argument);
+}
+
+TEST(VoteOpt, UniformReliabilityPrefersUniformMajority) {
+  // The Ahamad-Ammar result the paper leans on in 5.5: for uniform
+  // reliabilities, uniform votes with strict majority quorums win.
+  const std::vector<double> rel(5, 0.9);
+  const auto best = optimize_vote_assignment(rel, 0.5, 2);
+  EXPECT_EQ(best.votes, std::vector<net::Vote>(5, 1));
+  EXPECT_EQ(best.spec, (quorum::QuorumSpec{3, 3}));
+  EXPECT_GT(best.configurations_evaluated, 100u);
+}
+
+TEST(VoteOpt, BestIsNeverWorseThanAnyUniformConfiguration) {
+  const std::vector<double> rel{0.99, 0.9, 0.8, 0.7, 0.6};
+  const auto best = optimize_vote_assignment(rel, 0.5, 3);
+  const std::vector<net::Vote> uniform(5, 1);
+  for (net::Vote q_w = 3; q_w <= 5; ++q_w) {
+    const quorum::QuorumSpec spec{static_cast<net::Vote>(5 - q_w + 1), q_w};
+    EXPECT_GE(best.availability + 1e-12,
+              exact_availability(rel, uniform, 0.5, spec));
+  }
+}
+
+TEST(VoteOpt, VotesFollowReliability) {
+  // One nearly-perfect site among flaky ones should carry extra weight.
+  const std::vector<double> rel{0.999, 0.7, 0.7, 0.7};
+  const auto best = optimize_vote_assignment(rel, 0.5, 3);
+  EXPECT_GE(best.votes[0], best.votes[1]);
+  EXPECT_GE(best.votes[0], best.votes[2]);
+  EXPECT_GE(best.votes[0], best.votes[3]);
+  EXPECT_GT(best.votes[0], 0u);
+}
+
+TEST(VoteOpt, DegenerateSingleSite) {
+  const std::vector<double> rel{0.9};
+  const auto best = optimize_vote_assignment(rel, 0.5, 2);
+  // Primary copy: all structure collapses to "is the site up".
+  EXPECT_NEAR(best.availability, 0.9, 1e-12);
+  EXPECT_EQ(best.spec.q_r, best.spec.q_w);
+}
+
+TEST(VoteOpt, Guards) {
+  EXPECT_THROW(optimize_vote_assignment(std::vector<double>{}, 0.5, 2),
+               std::invalid_argument);
+  EXPECT_THROW(optimize_vote_assignment(std::vector<double>(9, 0.9), 0.5, 2),
+               std::invalid_argument);
+  EXPECT_THROW(optimize_vote_assignment(std::vector<double>(3, 0.9), 0.5, 0),
+               std::invalid_argument);
+}
+
+TEST(VoteOpt, EndpointTheoremHoldsInTheModel) {
+  // Ahamad & Ammar prove extrema occur at extreme quorum values; verify
+  // across a reliability sweep via the analytic curve.
+  for (const double p : {0.6, 0.8, 0.95}) {
+    const AvailabilityCurve curve(ahamad_ammar_site_pdf(15, p));
+    for (const double alpha : {0.0, 0.3, 0.7, 1.0}) {
+      const auto best = optimize_exhaustive(curve, alpha);
+      const double at_ends = std::max(
+          curve.availability(alpha, 1),
+          curve.availability(alpha, curve.max_read_quorum()));
+      EXPECT_NEAR(best.value, at_ends, 1e-12) << "p=" << p << " alpha=" << alpha;
+    }
+  }
+}
+
+} // namespace
+} // namespace quora::core
