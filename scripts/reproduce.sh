@@ -10,8 +10,33 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+if [[ "${1:-}" == "--help" || "${1:-}" == "-h" ]]; then
+  cat <<'USAGE'
+usage: scripts/reproduce.sh [--paper] [BENCH_ARGS...]
+
+Runs every experiment in DESIGN.md §3 and collects the outputs in
+reproduce-out/. With no arguments a reduced-scale configuration runs in
+about a minute; --paper restores the paper's exact measurement protocol.
+Any extra arguments are forwarded verbatim to each bench binary.
+
+Build first (CMakePresets.json defines the presets):
+  cmake --preset release && cmake --build --preset release
+
+To reproduce under sanitizers (contracts + ASan/UBSan active, slower):
+  cmake --preset asan-ubsan && cmake --build --preset asan-ubsan
+  BENCH_DIR=build/asan-ubsan/bench scripts/reproduce.sh
+
+Validate configuration files without running anything:
+  ./build/release/tools/quora_check examples/configs/*.quora
+
+See docs/STATIC_ANALYSIS.md for the sanitizer presets, the contract
+macro policy, and the quora-check audit reference.
+USAGE
+  exit 0
+fi
+
 SCALE_ARGS=("$@")
-BENCH_DIR=build/bench
+BENCH_DIR=${BENCH_DIR:-build/bench}
 OUT_DIR=reproduce-out
 mkdir -p "$OUT_DIR"
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/contracts.hpp"
+
 namespace quora::conn {
 
 ComponentTracker::ComponentTracker(const LiveNetwork& live)
@@ -51,6 +53,22 @@ void ComponentTracker::refresh() const {
     comp_votes_.push_back(votes);
     comp_size_.push_back(size);
     member_offsets_.push_back(member_storage_.size());
+  }
+  // Vote and membership conservation under partitioning: components are
+  // disjoint, cover exactly the up sites, and their vote totals never
+  // exceed the system total T — the property every quorum decision and
+  // the paper's availability accounting lean on.
+  if constexpr (contracts::kActive) {
+    std::uint64_t up_sites = 0;
+    net::Vote partition_votes = 0;
+    for (const std::uint32_t size : comp_size_) up_sites += size;
+    for (const net::Vote v : comp_votes_) partition_votes += v;
+    QUORA_INVARIANT(up_sites == live_->up_site_count(),
+                    "components must partition exactly the up sites");
+    QUORA_INVARIANT(member_storage_.size() == up_sites,
+                    "member lists must cover each up site exactly once");
+    QUORA_INVARIANT(partition_votes <= topo.total_votes(),
+                    "partition components hold more votes than the system");
   }
   cached_version_ = live_->version();
 }

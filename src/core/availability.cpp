@@ -1,6 +1,9 @@
 #include "core/availability.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "core/contracts.hpp"
 
 namespace quora::core {
 
@@ -31,6 +34,14 @@ void AvailabilityCurve::build_tails() {
     w_tail_[v] = static_cast<double>(w_acc);
     if (v == 0) break;
   }
+  // R(0) and W(0) are the total probability mass of the input mixtures —
+  // the f_i(v) densities of Figure 1 step 2 must each sum to ~1, so a
+  // drifted estimator or a bad hand-built pdf is caught here rather than
+  // silently skewing every availability value downstream.
+  QUORA_INVARIANT(std::abs(r_tail_[0] - 1.0) < 1e-6,
+                  "read mixture r(v) must be a probability density");
+  QUORA_INVARIANT(std::abs(w_tail_[0] - 1.0) < 1e-6,
+                  "write mixture w(v) must be a probability density");
 }
 
 double AvailabilityCurve::availability(double alpha, net::Vote q_r) const {

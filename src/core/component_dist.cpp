@@ -5,6 +5,8 @@
 #include <string>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace quora::core {
 namespace {
 
@@ -65,6 +67,15 @@ VotePdf mix_pdfs(const std::vector<VotePdf>& pdfs, const std::vector<double>& we
       throw std::invalid_argument("mix_pdfs: domain mismatch");
     }
     for (std::size_t v = 0; v < domain; ++v) out[v] += weights[i] * pdfs[i][v];
+  }
+  // Step 2 of Figure 1: r(v) = sum_i r_i f_i(v) stays a density exactly
+  // when every f_i is one. Callers feed estimator output here, so a
+  // drifted histogram normalization surfaces immediately.
+  if constexpr (contracts::kActive) {
+    bool all_unit = true;
+    for (const VotePdf& pdf : pdfs) all_unit = all_unit && is_valid_pdf(pdf, 1e-6);
+    QUORA_INVARIANT(!all_unit || is_valid_pdf(out, 1e-6),
+                    "mixture of unit-mass densities lost probability mass");
   }
   return out;
 }
@@ -135,6 +146,8 @@ VotePdf ring_site_pdf(std::uint32_t n, double p, double r) {
     }
     pdf[v] = static_cast<double>(value);
   }
+  QUORA_INVARIANT(is_valid_pdf(pdf, 1e-6),
+                  "ring closed form must produce a probability density");
   return pdf;
 }
 
@@ -160,6 +173,8 @@ VotePdf fully_connected_site_pdf(std::uint32_t n, double p, double r) {
                               static_cast<long double>(rel[v]);
     pdf[v] = static_cast<double>(value);
   }
+  QUORA_INVARIANT(is_valid_pdf(pdf, 1e-6),
+                  "fully-connected closed form must produce a density");
   return pdf;
 }
 
@@ -201,6 +216,10 @@ VotePdf bus_site_pdf(std::uint32_t n, double p, double r, BusArchitecture arch) 
       break;
     }
   }
+  // This is precisely the f(1) discrepancy noted in the header: the exact
+  // expression sums to 1 where the paper's printed form does not.
+  QUORA_INVARIANT(is_valid_pdf(pdf, 1e-6),
+                  "bus closed form must produce a probability density");
   return pdf;
 }
 

@@ -5,6 +5,8 @@
 #include <functional>
 #include <vector>
 
+#include "core/contracts.hpp"
+
 namespace quora::core {
 namespace {
 
@@ -17,6 +19,8 @@ public:
         cache_(curve.max_read_quorum() + 1, kUnset) {}
 
   double at(net::Vote q) {
+    QUORA_PRECONDITION(q >= 1 && q <= max_q(),
+                       "optimizers may only probe q_r in [1, floor(T/2)]");
     double& slot = cache_.at(q);
     if (slot == kUnset) {
       slot = objective_(q);
@@ -43,6 +47,12 @@ public:
     r.spec = quorum::from_read_quorum(curve_->total_votes(), best_q);
     r.value = at(best_q);
     r.evaluations = evaluations_;
+    // The Figure-1 search must hand back an assignment the protocol can
+    // actually run: canonical (q_w saturates condition 1) and intersecting.
+    QUORA_INVARIANT(r.spec.valid(curve_->total_votes()),
+                    "optimizer returned a non-intersecting assignment");
+    QUORA_INVARIANT(r.spec.q_w == curve_->total_votes() - r.spec.q_r + 1,
+                    "optimizer left the canonical q_w = T - q_r + 1 family");
     return r;
   }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace quora::core {
 
 QuorumReassignment::QuorumReassignment(const net::Topology& topo,
@@ -21,6 +23,12 @@ QuorumReassignment::Assignment QuorumReassignment::effective(
   for (const net::SiteId s : tracker.members(comp)) {
     if (stored_[s].version > best.version) best = stored_[s];
   }
+  // §2.2: a component always operates on the newest assignment any member
+  // knows — never older than the origin's own view.
+  QUORA_INVARIANT(best.version >= stored_.at(origin).version,
+                  "effective assignment regressed below the origin's version");
+  QUORA_INVARIANT(best.spec.valid(total_),
+                  "stored QR assignment lost quorum intersection");
   return best;
 }
 
@@ -48,7 +56,15 @@ bool QuorumReassignment::try_install(const conn::ComponentTracker& tracker,
   if (!current.spec.allows_write(votes)) return false;
 
   const Assignment installed{next, current.version + 1};
-  for (const net::SiteId s : tracker.members(comp)) stored_[s] = installed;
+  QUORA_INVARIANT(installed.version > current.version,
+                  "QR install must strictly advance the version number");
+  for (const net::SiteId s : tracker.members(comp)) {
+    // Monotonicity across the component: `current` already holds the max
+    // member version, so no member can be ahead of the install.
+    QUORA_ASSERT(stored_[s].version <= current.version,
+                 "a component member was ahead of the effective assignment");
+    stored_[s] = installed;
+  }
   if (installed.version > latest_version_) latest_version_ = installed.version;
   return true;
 }
@@ -69,7 +85,12 @@ void QuorumReassignment::propagate(const conn::ComponentTracker& tracker) {
     for (const net::SiteId s : members) {
       if (stored_[s].version > best.version) best = stored_[s];
     }
-    for (const net::SiteId s : members) stored_[s] = best;
+    for (const net::SiteId s : members) {
+      // Propagation only ever moves versions forward (§2.2 monotonicity).
+      QUORA_ASSERT(best.version >= stored_[s].version,
+                   "propagate would overwrite a newer assignment");
+      stored_[s] = best;
+    }
   }
 }
 

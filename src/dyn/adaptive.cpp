@@ -1,5 +1,6 @@
 #include "dyn/adaptive.hpp"
 
+#include "core/contracts.hpp"
 #include "core/optimize.hpp"
 
 namespace quora::dyn {
@@ -39,9 +40,13 @@ void AdaptiveReassigner::maybe_reassess(const sim::Simulator& sim,
   if (total <= 0.0) return;
   core::VotePdf pdf(votes_seen_.size());
   for (std::size_t i = 0; i < pdf.size(); ++i) pdf[i] = votes_seen_[i] / total;
+  QUORA_INVARIANT(core::is_valid_pdf(pdf, 1e-9),
+                  "normalized votes-seen histogram must be a density");
 
   const core::AvailabilityCurve curve(pdf);
   const double alpha = estimated_alpha();
+  QUORA_ASSERT(alpha >= 0.0 && alpha <= 1.0,
+               "estimated read fraction escaped [0, 1]");
   core::OptResult best = core::optimize_exhaustive(curve, alpha);
   if (options_.min_write_availability > 0.0) {
     const auto constrained = core::optimize_write_constrained(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/contracts.hpp"
+
 namespace quora::dyn {
 
 DynamicVotes::DynamicVotes(const net::Topology& topo) : topo_(&topo) {
@@ -38,6 +40,11 @@ quorum::Decision DynamicVotes::request(const conn::ComponentTracker& tracker,
   const VoteState state = effective(tracker, origin);
   net::Vote collected = 0;
   for (const net::SiteId s : tracker.members(comp)) collected += state.votes[s];
+  // Vote conservation: one component can never gather more votes than the
+  // whole epoch holds, so two disjoint components can never both reach a
+  // majority of the same vote state.
+  QUORA_INVARIANT(collected <= total_of(state.votes),
+                  "component collected more votes than the epoch total");
   d.votes_collected = collected;
   d.granted = 2 * collected > total_of(state.votes);  // strict majority
   return d;
@@ -58,7 +65,13 @@ bool DynamicVotes::try_install(const conn::ComponentTracker& tracker,
   VoteState installed;
   installed.votes = std::move(new_votes);
   installed.version = current.version + 1;
-  for (const net::SiteId s : tracker.members(comp)) stored_[s] = installed;
+  QUORA_INVARIANT(installed.version > current.version,
+                  "vote reassignment must strictly advance the epoch");
+  for (const net::SiteId s : tracker.members(comp)) {
+    QUORA_ASSERT(stored_[s].version <= current.version,
+                 "a component member was ahead of the effective vote state");
+    stored_[s] = installed;
+  }
   latest_version_ = std::max(latest_version_, installed.version);
   return true;
 }
@@ -80,6 +93,10 @@ std::vector<net::Vote> DynamicVotes::overthrow_votes(
     const net::SiteId lowest = *std::min_element(members.begin(), members.end());
     ++votes[lowest];
   }
+  // An odd total means no future partition can split the votes into two
+  // exact halves — overthrow must never manufacture a tie.
+  QUORA_INVARIANT(total_of(votes) % 2 == 1,
+                  "overthrow votes must total an odd number");
   return votes;
 }
 

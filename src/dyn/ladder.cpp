@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/contracts.hpp"
+
 namespace quora::dyn {
 
 LadderAgent::LadderAgent(const net::Topology& topo, core::QuorumReassignment& qr,
@@ -68,8 +70,12 @@ void LadderAgent::maybe_step(const sim::Simulator& sim, net::SiteId origin) {
   }
   if (target == current_rung && current.spec.q_r == current_rung) return;
 
+  QUORA_ASSERT(target >= 1 && target <= max_q_,
+               "ladder stepped outside the admissible rung range");
   const quorum::QuorumSpec next =
       quorum::from_read_quorum(topo_->total_votes(), target);
+  QUORA_INVARIANT(next.valid(topo_->total_votes()),
+                  "ladder would install a non-intersecting assignment");
   if (qr_->try_install(sim.tracker(), origin, next)) ++graduations_;
 }
 

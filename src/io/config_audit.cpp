@@ -1,0 +1,374 @@
+#include "io/config_audit.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "quorum/coterie.hpp"
+
+namespace quora::io {
+namespace {
+
+/// Checker-only directives peeled off before `load_system` sees the rest.
+struct CheckDirectives {
+  std::optional<quorum::QuorumSpec> quorum;
+  std::optional<net::Vote> declared_total;
+  std::optional<std::uint64_t> version_default;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> versions;  // site, v
+  std::string system_text;  // remainder, for load_system
+};
+
+[[noreturn]] void parse_fail(std::size_t line, const std::string& what) {
+  throw ParseError(line, what);
+}
+
+CheckDirectives split_directives(std::istream& in) {
+  CheckDirectives d;
+  std::ostringstream rest;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    const std::string line = hash == std::string::npos ? raw : raw.substr(0, hash);
+    std::istringstream cells(line);
+    std::string directive;
+    if (!(cells >> directive)) {
+      rest << raw << '\n';
+      continue;
+    }
+    if (directive == "quorum") {
+      net::Vote q_r = 0;
+      net::Vote q_w = 0;
+      if (!(cells >> q_r >> q_w)) parse_fail(line_no, "'quorum' needs q_r and q_w");
+      d.quorum = quorum::QuorumSpec{q_r, q_w};
+    } else if (directive == "total_votes") {
+      net::Vote t = 0;
+      if (!(cells >> t)) parse_fail(line_no, "'total_votes' needs a count");
+      d.declared_total = t;
+    } else if (directive == "qr_version") {
+      std::string target;
+      std::uint64_t v = 0;
+      if (!(cells >> target >> v)) {
+        parse_fail(line_no, "'qr_version' needs a site (or 'default') and a version");
+      }
+      if (target == "default") {
+        d.version_default = v;
+      } else {
+        std::uint64_t site = 0;
+        try {
+          site = std::stoull(target);
+        } catch (const std::exception&) {
+          parse_fail(line_no, "'qr_version' site must be numeric or 'default'");
+        }
+        d.versions.emplace_back(site, v);
+      }
+    } else {
+      rest << raw << '\n';
+      continue;
+    }
+    std::string extra;
+    if (cells >> extra) parse_fail(line_no, "trailing junk '" + extra + "'");
+  }
+  d.system_text = rest.str();
+  return d;
+}
+
+class Auditor {
+public:
+  AuditReport run(std::istream& in) {
+    CheckDirectives d;
+    std::optional<SystemSpec> spec;
+    try {
+      d = split_directives(in);
+      std::istringstream system_in(d.system_text);
+      spec = load_system(system_in);
+    } catch (const std::exception& e) {
+      error(AuditCode::kParseError, e.what());
+      return std::move(report_);
+    }
+    const net::Topology& topo = spec->topology;
+    const net::Vote total = topo.total_votes();
+
+    audit_votes(topo, d);
+    audit_static_components(topo, d);
+    audit_quorum(topo, d);
+    audit_versions(topo, d);
+    if (d.quorum && d.quorum->valid(total)) audit_coteries(topo, *d.quorum);
+    return std::move(report_);
+  }
+
+private:
+  void add(AuditCode code, AuditSeverity severity, std::string message) {
+    report_.findings.push_back(AuditFinding{code, severity, std::move(message)});
+  }
+  void error(AuditCode code, std::string message) {
+    add(code, AuditSeverity::kError, std::move(message));
+  }
+  void warn(AuditCode code, std::string message) {
+    add(code, AuditSeverity::kWarning, std::move(message));
+  }
+
+  void audit_votes(const net::Topology& topo, const CheckDirectives& d) {
+    const net::Vote total = topo.total_votes();
+    if (d.declared_total && *d.declared_total != total) {
+      error(AuditCode::kVoteSumMismatch,
+            "declared total_votes " + std::to_string(*d.declared_total) +
+                " but site votes sum to " + std::to_string(total));
+    }
+    std::uint32_t zero_vote_sites = 0;
+    for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+      if (topo.votes(s) == 0) ++zero_vote_sites;
+    }
+    if (zero_vote_sites > 0) {
+      warn(AuditCode::kZeroVoteSite,
+           std::to_string(zero_vote_sites) +
+               " site(s) hold zero votes (witness-style copies: they can "
+               "store data but never contribute to a quorum)");
+    }
+    if (total % 2 == 0) {
+      warn(AuditCode::kEvenVoteTotal,
+           "total votes T = " + std::to_string(total) +
+               " is even: every vote assignment with an even total is "
+               "dominated (an odd-total assignment operates strictly more "
+               "often; Garcia-Molina & Barbara)");
+    }
+  }
+
+  /// Static connectivity of the topology graph itself — everything up.
+  /// Votes stranded outside the largest static component can never merge
+  /// with it, so quorums above that component's vote total are dead.
+  void audit_static_components(const net::Topology& topo,
+                               const CheckDirectives& d) {
+    const std::uint32_t n = topo.site_count();
+    std::vector<std::int32_t> label(n, -1);
+    std::vector<net::SiteId> stack;
+    std::vector<net::Vote> comp_votes;
+    for (net::SiteId root = 0; root < n; ++root) {
+      if (label[root] != -1) continue;
+      const auto comp = static_cast<std::int32_t>(comp_votes.size());
+      net::Vote votes = 0;
+      stack.assign(1, root);
+      label[root] = comp;
+      while (!stack.empty()) {
+        const net::SiteId s = stack.back();
+        stack.pop_back();
+        votes += topo.votes(s);
+        for (const net::Topology::Edge& e : topo.neighbors(s)) {
+          if (label[e.neighbor] != -1) continue;
+          label[e.neighbor] = comp;
+          stack.push_back(e.neighbor);
+        }
+      }
+      comp_votes.push_back(votes);
+    }
+    max_static_votes_ = *std::max_element(comp_votes.begin(), comp_votes.end());
+    if (comp_votes.size() > 1) {
+      const net::Vote stranded =
+          topo.total_votes() - max_static_votes_;
+      error(AuditCode::kUnreachableVotes,
+            "topology splits into " + std::to_string(comp_votes.size()) +
+                " static components; " + std::to_string(stranded) +
+                " vote(s) can never join the largest component (" +
+                std::to_string(max_static_votes_) + " of " +
+                std::to_string(topo.total_votes()) + " votes)");
+    }
+    // A quorum that exceeds what the best-connected component can ever
+    // assemble is unreachable even with zero failures.
+    if (d.quorum &&
+        (d.quorum->q_r > max_static_votes_ || d.quorum->q_w > max_static_votes_)) {
+      error(AuditCode::kUnreachableQuorum,
+            "q_r=" + std::to_string(d.quorum->q_r) + ", q_w=" +
+                std::to_string(d.quorum->q_w) +
+                " but no static component can assemble more than " +
+                std::to_string(max_static_votes_) + " vote(s)");
+    }
+  }
+
+  void audit_quorum(const net::Topology& topo, const CheckDirectives& d) {
+    if (!d.quorum) return;
+    const net::Vote total = topo.total_votes();
+    const quorum::QuorumSpec spec = *d.quorum;
+    if (spec.q_r < 1 || spec.q_w < 1 || spec.q_r > total || spec.q_w > total) {
+      error(AuditCode::kQuorumRange,
+            "quorum (" + std::to_string(spec.q_r) + ", " +
+                std::to_string(spec.q_w) + ") outside [1, T=" +
+                std::to_string(total) + "]");
+      return;  // the remaining conditions are meaningless out of range
+    }
+    if (spec.q_r + spec.q_w <= total) {
+      error(AuditCode::kQuorumIntersection,
+            "q_r + q_w = " + std::to_string(spec.q_r + spec.q_w) +
+                " <= T = " + std::to_string(total) +
+                ": a read quorum and a write quorum can be disjoint, so a "
+                "read may miss the latest write (condition 1 of §2.1)");
+    }
+    if (2 * spec.q_w <= total) {
+      error(AuditCode::kWriteWriteIntersection,
+            "2*q_w = " + std::to_string(2 * spec.q_w) + " <= T = " +
+                std::to_string(total) +
+                ": two components could write simultaneously (condition 2 "
+                "of §2.1)");
+    }
+    if (spec.q_r + spec.q_w > total + 1) {
+      warn(AuditCode::kDominatedAssignment,
+           "q_w = " + std::to_string(spec.q_w) + " exceeds T - q_r + 1 = " +
+               std::to_string(total - spec.q_r + 1) +
+               ": the canonical assignment with the same q_r intersects "
+               "identically and operates strictly more often");
+    }
+  }
+
+  void audit_versions(const net::Topology& topo, const CheckDirectives& d) {
+    if (!d.version_default && d.versions.empty()) return;
+    const std::uint64_t fallback = d.version_default.value_or(1);
+    std::vector<std::uint64_t> version(topo.site_count(), fallback);
+    for (const auto& [site, v] : d.versions) {
+      if (site >= topo.site_count()) {
+        error(AuditCode::kParseError,
+              "qr_version names site " + std::to_string(site) +
+                  " but the topology has " + std::to_string(topo.site_count()) +
+                  " sites");
+        return;
+      }
+      version[site] = v;
+    }
+    const std::uint64_t newest = *std::max_element(version.begin(), version.end());
+    std::uint32_t stale = 0;
+    for (const std::uint64_t v : version) {
+      if (v < newest) ++stale;
+    }
+    if (stale > 0) {
+      error(AuditCode::kStaleQrVersion,
+            std::to_string(stale) +
+                " site(s) hold a QR version older than " +
+                std::to_string(newest) +
+                ": the §2.2 monotonicity discipline requires every merge "
+                "to adopt the newest assignment before serving accesses");
+    }
+  }
+
+  /// Set-system cross-check for small systems: enumerate the minimal vote
+  /// groups and verify the Garcia-Molina & Barbara properties directly.
+  void audit_coteries(const net::Topology& topo, const quorum::QuorumSpec& spec) {
+    constexpr std::uint32_t kMaxSites = 20;
+    constexpr std::size_t kMaxGroups = 4096;
+    if (topo.site_count() > kMaxSites) return;
+    const quorum::Coterie read =
+        quorum::coterie_from_votes(topo.vote_assignment(), spec.q_r);
+    const quorum::Coterie write =
+        quorum::coterie_from_votes(topo.vote_assignment(), spec.q_w);
+    if (read.quorums().size() > kMaxGroups || write.quorums().size() > kMaxGroups) {
+      return;
+    }
+    if (!write.has_intersection_property()) {
+      error(AuditCode::kCoterieIntersection,
+            "enumerated write groups are not pairwise intersecting "
+            "(set-system witness of the 2*q_w > T violation)");
+    }
+    if (!read.is_minimal() || !write.is_minimal()) {
+      error(AuditCode::kCoterieMinimality,
+            "enumerated quorum groups are not an antichain");
+    }
+    if (!quorum::bicoterie_consistent(read, write)) {
+      // Distinct from the vote-level check: this is the enumerated witness
+      // that some concrete read group misses some concrete write group.
+      error(AuditCode::kCoterieIntersection,
+            "a concrete read group and write group fail to intersect");
+    }
+  }
+
+  AuditReport report_;
+  net::Vote max_static_votes_ = 0;
+};
+
+const char* severity_name(AuditSeverity severity) {
+  return severity == AuditSeverity::kError ? "error" : "warning";
+}
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+} // namespace
+
+const char* audit_code_name(AuditCode code) {
+  switch (code) {
+    case AuditCode::kParseError: return "parse-error";
+    case AuditCode::kQuorumRange: return "quorum-range";
+    case AuditCode::kQuorumIntersection: return "quorum-intersection";
+    case AuditCode::kWriteWriteIntersection: return "write-write-intersection";
+    case AuditCode::kDominatedAssignment: return "dominated-assignment";
+    case AuditCode::kVoteSumMismatch: return "vote-sum-mismatch";
+    case AuditCode::kStaleQrVersion: return "stale-qr-version";
+    case AuditCode::kUnreachableQuorum: return "unreachable-quorum";
+    case AuditCode::kUnreachableVotes: return "unreachable-votes";
+    case AuditCode::kZeroVoteSite: return "zero-vote-site";
+    case AuditCode::kEvenVoteTotal: return "even-vote-total";
+    case AuditCode::kCoterieIntersection: return "coterie-intersection";
+    case AuditCode::kCoterieMinimality: return "coterie-minimality";
+  }
+  return "unknown";
+}
+
+std::size_t AuditReport::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [](const AuditFinding& f) {
+        return f.severity == AuditSeverity::kError;
+      }));
+}
+
+std::size_t AuditReport::warning_count() const {
+  return findings.size() - error_count();
+}
+
+bool AuditReport::has(AuditCode code) const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [code](const AuditFinding& f) { return f.code == code; });
+}
+
+AuditReport audit_config(std::istream& in) { return Auditor().run(in); }
+
+AuditReport audit_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file: " + path);
+  return audit_config(in);
+}
+
+void write_report(std::ostream& out, const AuditReport& report) {
+  for (const AuditFinding& f : report.findings) {
+    out << severity_name(f.severity) << '\t' << audit_code_name(f.code) << '\t'
+        << f.message << '\n';
+  }
+}
+
+void write_report_json(std::ostream& out, const AuditReport& report) {
+  out << "[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const AuditFinding& f = report.findings[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"severity\": ";
+    write_json_string(out, severity_name(f.severity));
+    out << ", \"code\": ";
+    write_json_string(out, audit_code_name(f.code));
+    out << ", \"message\": ";
+    write_json_string(out, f.message);
+    out << "}";
+  }
+  out << (report.findings.empty() ? "]\n" : "\n]\n");
+}
+
+} // namespace quora::io

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/topology_io.hpp"
+#include "quorum/quorum_spec.hpp"
+
+namespace quora::io {
+
+/// Machine-readable finding codes for `audit_config` / quora-check. Each
+/// distinct failure mode gets its own code so CI and tests can assert on
+/// the *reason* a configuration was rejected, not just the rejection.
+enum class AuditCode {
+  kParseError,            // the file does not parse at all
+  kQuorumRange,           // q_r or q_w outside [1, T]
+  kQuorumIntersection,    // q_r + q_w <= T: a read and a write can miss
+  kWriteWriteIntersection,// 2*q_w <= T: two disjoint writes possible
+  kDominatedAssignment,   // q_w > T - q_r + 1: a strictly better q_w exists
+  kVoteSumMismatch,       // declared `total_votes` != sum of site votes
+  kStaleQrVersion,        // some site still holds an old QR version
+  kUnreachableQuorum,     // no static component can ever assemble a quorum
+  kUnreachableVotes,      // votes stranded outside the main static component
+  kZeroVoteSite,          // a site holds no votes (witness-style; warning)
+  kEvenVoteTotal,         // even T: vote-assignment coteries are dominated
+  kCoterieIntersection,   // enumerated write groups fail pairwise intersection
+  kCoterieMinimality,     // enumerated quorum groups are not an antichain
+};
+
+/// Stable kebab-case slug for a code (what the report prints).
+const char* audit_code_name(AuditCode code);
+
+enum class AuditSeverity { kWarning, kError };
+
+struct AuditFinding {
+  AuditCode code;
+  AuditSeverity severity;
+  std::string message;
+};
+
+/// Result of statically auditing one configuration file.
+struct AuditReport {
+  std::vector<AuditFinding> findings;
+
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  /// True when nothing rose to error severity.
+  bool ok() const { return error_count() == 0; }
+  bool has(AuditCode code) const;
+};
+
+/// Audits the extended check-configuration format: everything
+/// `load_system` accepts (see topology_io.hpp) plus three checker-only
+/// directives that describe the quorum state to validate:
+///
+/// ```
+/// quorum 3 5            # audit this (q_r, q_w) assignment
+/// total_votes 7         # declared vote total, cross-checked against sum
+/// qr_version 2 4        # site 2 believes QR version 4
+/// qr_version default 5
+/// ```
+///
+/// Without a `quorum` directive the canonical family q_w = T - q_r + 1 is
+/// assumed and only the structural audits run. Checker directives are
+/// stripped before the remainder is handed to `io::load_system`, so every
+/// topology/vote/reliability feature keeps its one parser.
+AuditReport audit_config(std::istream& in);
+AuditReport audit_config_file(const std::string& path);
+
+/// Writes the report, one finding per line:
+/// `error\tquorum-intersection\tmessage...` — stable, grep- and
+/// machine-friendly (this is what quora-check emits and CI parses).
+void write_report(std::ostream& out, const AuditReport& report);
+
+/// Same content as a JSON array of {code, severity, message} objects.
+void write_report_json(std::ostream& out, const AuditReport& report);
+
+} // namespace quora::io

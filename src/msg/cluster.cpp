@@ -211,7 +211,7 @@ void Cluster::handle_delivery(const Event& e) {
   switch (m.kind) {
     case Message::Kind::kVoteRequest: {
       const std::uint64_t fk = flood_key(m.request, 1);
-      if (floods_[here].count(fk)) return;  // already participated
+      if (floods_[here].contains(fk)) return;  // already participated
       floods_[here][fk] = FloodState{e.index, true};
 
       bool vote_granted = true;
@@ -238,7 +238,7 @@ void Cluster::handle_delivery(const Event& e) {
     }
     case Message::Kind::kCommitRequest: {
       const std::uint64_t fk = flood_key(m.request, 2);
-      if (floods_[here].count(fk)) return;
+      if (floods_[here].contains(fk)) return;
       floods_[here][fk] = FloodState{e.index, true};
 
       if (m.version > copies_[here].version) {
@@ -323,7 +323,7 @@ void Cluster::handle_delivery(const Event& e) {
     }
     case Message::Kind::kAbort: {
       const std::uint64_t fk = flood_key(m.request, 3);
-      if (floods_[here].count(fk)) return;
+      if (floods_[here].contains(fk)) return;
       floods_[here][fk] = FloodState{e.index, true};
       if (leases_[here].request == m.request) leases_[here] = Lease{};
       flood(here, fk, m, e.index, true);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace quora::quorum {
 
 Coterie::Coterie(std::vector<SiteSet> quorums) : quorums_(std::move(quorums)) {
@@ -74,7 +76,23 @@ Coterie coterie_from_votes(std::span<const net::Vote> votes, net::Vote threshold
     }
     if (minimal) groups.push_back(mask);
   }
-  return Coterie(std::move(groups));
+  Coterie result(std::move(groups));
+  // Vote groups at a common threshold are minimal by construction; pairwise
+  // intersection additionally holds whenever the threshold is a write-style
+  // majority (2*threshold > T). Both checks are O(k^2), so they are guarded
+  // for the huge families near threshold = T/2.
+  if constexpr (contracts::kActive) {
+    if (result.quorums().size() < 512) {
+      QUORA_INVARIANT(result.is_minimal(),
+                      "coterie_from_votes produced a non-minimal family");
+      net::Vote total = 0;
+      for (const net::Vote v : votes) total += v;
+      QUORA_INVARIANT(2 * threshold <= total ||
+                          result.has_intersection_property(),
+                      "majority-threshold vote groups must pairwise intersect");
+    }
+  }
+  return result;
 }
 
 namespace {
@@ -123,7 +141,10 @@ Coterie tree_coterie(std::uint32_t depth) {
     throw std::invalid_argument("tree_coterie: depth must be in [1, 4]");
   }
   const std::uint32_t n = (1u << depth) - 1;
-  return Coterie(minimize(tree_quorums(0, n)));
+  Coterie result(minimize(tree_quorums(0, n)));
+  QUORA_INVARIANT(result.is_coterie(),
+                  "tree quorums must form a coterie after minimization");
+  return result;
 }
 
 GridBicoterie grid_bicoterie(std::uint32_t rows, std::uint32_t cols) {
@@ -162,7 +183,17 @@ GridBicoterie grid_bicoterie(std::uint32_t rows, std::uint32_t cols) {
     for (const SiteSet cover : covers) writes.push_back(column | cover);
   }
 
-  return GridBicoterie{Coterie(minimize(covers)), Coterie(minimize(writes))};
+  GridBicoterie grid{Coterie(minimize(covers)), Coterie(minimize(writes))};
+  // The set-system form of §2.1's conditions: every read cover meets every
+  // write group, and write groups pairwise intersect. O(k^2) — guard the
+  // largest grids.
+  if constexpr (contracts::kActive) {
+    if (grid.read.quorums().size() * grid.write.quorums().size() < 1u << 18) {
+      QUORA_INVARIANT(bicoterie_consistent(grid.read, grid.write),
+                      "grid read/write bicoterie lost consistency");
+    }
+  }
+  return grid;
 }
 
 bool bicoterie_consistent(const Coterie& read, const Coterie& write) {

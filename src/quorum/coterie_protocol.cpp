@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace quora::quorum {
 
 CoterieProtocol::CoterieProtocol(const net::Topology& topo, Coterie read,
@@ -21,6 +23,9 @@ SiteSet CoterieProtocol::component_set(const conn::ComponentTracker& tracker,
   if (comp == conn::kNoComponent) return 0;
   SiteSet set = 0;
   for (const net::SiteId s : tracker.members(comp)) set |= SiteSet{1} << s;
+  QUORA_INVARIANT(static_cast<std::uint32_t>(popcount(set)) ==
+                      tracker.component_size(origin),
+                  "component bitmask must contain exactly the tracked members");
   return set;
 }
 

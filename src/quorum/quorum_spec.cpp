@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace quora::quorum {
 
 QuorumSpec from_read_quorum(net::Vote total, net::Vote q_r) {
@@ -9,12 +11,19 @@ QuorumSpec from_read_quorum(net::Vote total, net::Vote q_r) {
   if (q_r < 1 || q_r > max_read_quorum(total)) {
     throw std::invalid_argument("from_read_quorum: q_r outside [1, floor(T/2)]");
   }
-  return QuorumSpec{q_r, total - q_r + 1};
+  const QuorumSpec spec{q_r, total - q_r + 1};
+  QUORA_INVARIANT(spec.valid(total),
+                  "canonical q_w = T - q_r + 1 must satisfy both consistency "
+                  "conditions for q_r in [1, floor(T/2)]");
+  return spec;
 }
 
 QuorumSpec majority(net::Vote total) {
   if (total < 2) throw std::invalid_argument("majority: need at least 2 votes");
-  return QuorumSpec{total / 2 + 1, total / 2 + 1};
+  const QuorumSpec spec{total / 2 + 1, total / 2 + 1};
+  QUORA_INVARIANT(spec.valid(total),
+                  "strict-majority quorums must intersect for any T >= 2");
+  return spec;
 }
 
 QuorumSpec read_one_write_all(net::Vote total) {

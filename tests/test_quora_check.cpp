@@ -1,0 +1,208 @@
+// The quora-check static audit engine (io/config_audit): valid
+// configurations pass, and each class of breakage is rejected with its own
+// machine-readable code — so CI failures name the violated invariant, not
+// just "bad config".
+
+#include "io/config_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <set>
+#include <sstream>
+
+namespace {
+
+using quora::io::audit_code_name;
+using quora::io::audit_config;
+using quora::io::AuditCode;
+using quora::io::AuditReport;
+using quora::io::AuditSeverity;
+
+AuditReport audit(const std::string& text) {
+  std::istringstream in(text);
+  return audit_config(in);
+}
+
+TEST(QuoraCheck, ValidCanonicalConfigPasses) {
+  const AuditReport report = audit(
+      "sites 7\n"
+      "complete\n"
+      "vote 0 3\n"
+      "vote 1 2\n"
+      "vote 2 2\n"
+      "total_votes 11\n"
+      "quorum 4 8\n"
+      "qr_version default 2\n");
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_EQ(report.warning_count(), 0u);
+}
+
+TEST(QuoraCheck, TopologyOnlyConfigPasses) {
+  // No checker directives at all: the structural audits still run.
+  const AuditReport report = audit("sites 5\nring\n");
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(QuoraCheck, NonIntersectingQuorumRejected) {
+  const AuditReport report = audit(
+      "sites 6\n"
+      "complete\n"
+      "quorum 2 4\n");  // 2 + 4 = 6 = T
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(AuditCode::kQuorumIntersection));
+  EXPECT_FALSE(report.has(AuditCode::kWriteWriteIntersection));
+}
+
+TEST(QuoraCheck, SplitBrainWriteQuorumRejected) {
+  const AuditReport report = audit(
+      "sites 9\n"
+      "complete\n"
+      "quorum 6 4\n");  // condition 1 holds, 2*4 <= 9 does not
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(AuditCode::kWriteWriteIntersection));
+  EXPECT_FALSE(report.has(AuditCode::kQuorumIntersection));
+}
+
+TEST(QuoraCheck, VoteSumMismatchRejected) {
+  const AuditReport report = audit(
+      "sites 5\n"
+      "complete\n"
+      "vote 0 3\n"
+      "total_votes 5\n"  // actual sum is 7
+      "quorum 3 5\n");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(AuditCode::kVoteSumMismatch));
+}
+
+TEST(QuoraCheck, StaleQrVersionRejected) {
+  const AuditReport report = audit(
+      "sites 5\n"
+      "ring\n"
+      "quorum 2 4\n"
+      "qr_version default 4\n"
+      "qr_version 3 1\n");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(AuditCode::kStaleQrVersion));
+}
+
+TEST(QuoraCheck, UniformVersionsPass) {
+  const AuditReport report = audit(
+      "sites 5\n"
+      "ring\n"
+      "quorum 2 4\n"
+      "qr_version default 7\n"
+      "qr_version 3 7\n");
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(QuoraCheck, ThreeFailureModesCarryDistinctCodes) {
+  // The acceptance contract: broken intersection, vote-sum mismatch and a
+  // stale QR version are not just all "rejected" — each carries its own
+  // code, so CI output names the violated invariant.
+  const AuditReport intersection = audit("sites 6\ncomplete\nquorum 2 4\n");
+  const AuditReport votes =
+      audit("sites 5\ncomplete\nvote 0 3\ntotal_votes 5\nquorum 3 5\n");
+  const AuditReport stale = audit(
+      "sites 5\nring\nquorum 2 4\nqr_version default 4\nqr_version 3 1\n");
+  std::set<AuditCode> first_error_codes;
+  for (const AuditReport* r : {&intersection, &votes, &stale}) {
+    ASSERT_FALSE(r->ok());
+    for (const auto& f : r->findings) {
+      if (f.severity == AuditSeverity::kError) {
+        first_error_codes.insert(f.code);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(first_error_codes.size(), 3u);
+}
+
+TEST(QuoraCheck, StrandedVotesAndUnreachableQuorumRejected) {
+  const AuditReport report = audit(
+      "sites 7\n"
+      "link 0 1\nlink 1 2\nlink 2 3\nlink 3 0\n"
+      "link 4 5\nlink 5 6\n"
+      "quorum 3 5\n");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(AuditCode::kUnreachableVotes));
+  EXPECT_TRUE(report.has(AuditCode::kUnreachableQuorum));
+}
+
+TEST(QuoraCheck, DominatedAssignmentIsAWarning) {
+  const AuditReport report = audit(
+      "sites 7\n"
+      "complete\n"
+      "quorum 4 6\n");  // canonical q_w would be 7 - 4 + 1 = 4
+  EXPECT_TRUE(report.ok());  // still operable, just wasteful
+  EXPECT_TRUE(report.has(AuditCode::kDominatedAssignment));
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(QuoraCheck, ZeroVoteWitnessAndEvenTotalAreWarnings) {
+  const AuditReport report = audit(
+      "sites 4\n"
+      "complete\n"
+      "vote 3 0\n"  // witness-style copy, total drops to 3... make it even
+      "vote 0 2\n"  // total = 2 + 1 + 1 + 0 = 4
+      "quorum 2 3\n");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.has(AuditCode::kZeroVoteSite));
+  EXPECT_TRUE(report.has(AuditCode::kEvenVoteTotal));
+}
+
+TEST(QuoraCheck, OutOfRangeQuorumRejected) {
+  const AuditReport report = audit("sites 5\ncomplete\nquorum 3 9\n");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(AuditCode::kQuorumRange));
+}
+
+TEST(QuoraCheck, ParseErrorsAreReportedNotThrown) {
+  EXPECT_TRUE(audit("sites 5\nbogus_directive 1\n").has(AuditCode::kParseError));
+  EXPECT_TRUE(audit("").has(AuditCode::kParseError));
+  EXPECT_TRUE(audit("sites 5\nquorum 1\n").has(AuditCode::kParseError));
+  EXPECT_TRUE(
+      audit("sites 5\nring\nqr_version 9 1\n").has(AuditCode::kParseError));
+}
+
+TEST(QuoraCheck, SmallSystemCoterieCrossCheckStaysClean) {
+  // For <= 20 sites the audit also enumerates the vote coteries; a valid
+  // assignment must never trip the set-system checks.
+  const AuditReport report = audit(
+      "sites 9\n"
+      "complete\n"
+      "quorum 4 6\n");
+  EXPECT_FALSE(report.has(AuditCode::kCoterieIntersection));
+  EXPECT_FALSE(report.has(AuditCode::kCoterieMinimality));
+}
+
+TEST(QuoraCheck, ReportFormatsAreMachineReadable) {
+  const AuditReport report = audit("sites 6\ncomplete\nquorum 2 4\n");
+  std::ostringstream tsv;
+  quora::io::write_report(tsv, report);
+  EXPECT_NE(tsv.str().find("error\tquorum-intersection\t"), std::string::npos);
+
+  std::ostringstream json;
+  quora::io::write_report_json(json, report);
+  EXPECT_NE(json.str().find("\"code\": \"quorum-intersection\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"severity\": \"error\""), std::string::npos);
+}
+
+TEST(QuoraCheck, AuditCodeNamesAreUniqueSlugs) {
+  const AuditCode all[] = {
+      AuditCode::kParseError,           AuditCode::kQuorumRange,
+      AuditCode::kQuorumIntersection,   AuditCode::kWriteWriteIntersection,
+      AuditCode::kDominatedAssignment,  AuditCode::kVoteSumMismatch,
+      AuditCode::kStaleQrVersion,       AuditCode::kUnreachableQuorum,
+      AuditCode::kUnreachableVotes,     AuditCode::kZeroVoteSite,
+      AuditCode::kEvenVoteTotal,        AuditCode::kCoterieIntersection,
+      AuditCode::kCoterieMinimality,
+  };
+  std::set<std::string> names;
+  for (const AuditCode code : all) names.insert(audit_code_name(code));
+  EXPECT_EQ(names.size(), std::size(all));
+}
+
+} // namespace

@@ -1,0 +1,85 @@
+// quora-check — static audit of topology/vote/quorum configurations.
+//
+//   quora_check [--json] [--strict] [--quiet] FILE...
+//
+// Loads each configuration (the topology text format of io/topology_io
+// plus the checker directives `quorum`, `total_votes`, `qr_version` — see
+// io/config_audit.hpp) and audits it without running anything: quorum
+// intersection and write-write intersection, read/write complementarity,
+// vote-sum consistency, QR version staleness, statically unreachable
+// votes/quorums, dominated assignments, and (for small systems) the
+// enumerated coterie properties.
+//
+// Output is one finding per line, `severity<TAB>code<TAB>message`, or a
+// JSON array with --json. Exit status: 0 when every file passes (no
+// errors; with --strict, no warnings either), 1 when any file fails,
+// 2 on usage or I/O problems — so CI can gate on it directly.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/config_audit.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: quora_check [--json] [--strict] [--quiet] FILE...\n"
+               "  --json    emit findings as a JSON array per file\n"
+               "  --strict  treat warnings as failures\n"
+               "  --quiet   suppress per-file PASS lines\n";
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool strict = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "quora_check: unknown option " << arg << '\n';
+      usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) usage();
+
+  bool any_failed = false;
+  for (const std::string& file : files) {
+    quora::io::AuditReport report;
+    try {
+      report = quora::io::audit_config_file(file);
+    } catch (const std::exception& e) {
+      std::cerr << "quora_check: " << e.what() << '\n';
+      return 2;
+    }
+    const bool failed = !report.ok() || (strict && report.warning_count() > 0);
+    any_failed = any_failed || failed;
+    if (files.size() > 1 || json) std::cout << "== " << file << '\n';
+    if (json) {
+      quora::io::write_report_json(std::cout, report);
+    } else {
+      quora::io::write_report(std::cout, report);
+    }
+    if (!quiet && !json) {
+      std::cout << (failed ? "FAIL " : "PASS ") << file << " ("
+                << report.error_count() << " error(s), "
+                << report.warning_count() << " warning(s))\n";
+    }
+  }
+  return any_failed ? 1 : 0;
+}
