@@ -10,7 +10,9 @@
 // instantaneous abstraction cannot represent. The sweep also shows how
 // fast reality leaves the abstraction as the network slows.
 
+#include <array>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
@@ -30,6 +32,10 @@ int main(int argc, char** argv) {
 
   TextTable table({"hop latency", "impl A", "oracle A", "read gap",
                    "write gap", "msgs/access", "mean decide latency"});
+  // Denial breakdown by reason, one row per latency point: WHY the
+  // implementation fell short of the oracle, not just by how much.
+  TextTable denials({"hop latency", "origin-down", "timeout", "no-quorum",
+                     "coordinator-crash", "abandoned"});
   const std::uint64_t accesses =
       std::max<std::uint64_t>(4'000, scale.batch / 25);
 
@@ -49,8 +55,10 @@ int main(int argc, char** argv) {
     std::uint64_t w_granted = 0;
     std::uint64_t r_oracle = 0;
     std::uint64_t w_oracle = 0;
+    std::array<std::uint64_t, quora::msg::kDenyReasonCount> by_reason{};
     for (const auto& o : cluster.outcomes()) {
       total_latency += o.decide_time - o.submit_time;
+      if (!o.granted) ++by_reason[static_cast<std::size_t>(o.deny_reason)];
       if (o.is_read) {
         ++reads;
         r_granted += o.granted;
@@ -77,8 +85,19 @@ int main(int argc, char** argv) {
          TextTable::fmt(total_latency /
                             static_cast<double>(cluster.outcomes().size()),
                         4)});
+    using quora::msg::DenyReason;
+    const auto count = [&](DenyReason r) {
+      return std::to_string(by_reason[static_cast<std::size_t>(r)]);
+    };
+    denials.add_row({TextTable::fmt(latency, 4), count(DenyReason::kOriginDown),
+                     count(DenyReason::kTimeout), count(DenyReason::kNoQuorum),
+                     count(DenyReason::kCoordinatorCrash),
+                     count(DenyReason::kAbandoned)});
   }
   table.print(std::cout);
+  std::cout << "\nDenials by reason (counts over " << accesses
+            << " decided accesses per row):\n";
+  denials.print(std::cout);
 
   std::cout << "\n(The READ gap vanishes as latency -> 0: for reads the "
                "paper's oracle is\nexactly the limit of the real protocol. "

@@ -77,6 +77,18 @@ bool install_and_sync(QuorumReassignment& qr, quorum::ReplicatedStore& store,
   return true;
 }
 
+bool QuorumReassignment::adopt(net::SiteId s, const Assignment& a) {
+  if (!a.spec.valid(total_)) return false;
+  Assignment& mine = stored_.at(s);
+  if (a.version <= mine.version) return false;
+  mine = a;
+  // Gossip can only redistribute installed assignments, never mint one, so
+  // the system-wide latest version is untouched by construction.
+  QUORA_INVARIANT(a.version <= latest_version_,
+                  "adopted a QR version newer than any install");
+  return true;
+}
+
 void QuorumReassignment::propagate(const conn::ComponentTracker& tracker) {
   const auto count = static_cast<std::int32_t>(tracker.component_count());
   for (std::int32_t comp = 0; comp < count; ++comp) {

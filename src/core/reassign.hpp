@@ -61,6 +61,13 @@ public:
   bool try_install(const conn::ComponentTracker& tracker, net::SiteId origin,
                    quorum::QuorumSpec next);
 
+  /// Adopt `a` at site `s` if it is strictly newer than what `s` stores —
+  /// the per-message gossip path of §2.2's merge rule, used by the
+  /// message-level cluster when a protocol message carries a newer
+  /// assignment than the receiver's. Never regresses a version and ignores
+  /// assignments that are invalid for T. Returns true if `s` changed.
+  bool adopt(net::SiteId s, const Assignment& a);
+
   /// Copy the max-version assignment of each component to all its up
   /// members — the state update the paper performs when components merge.
   /// `effective()` already looks through to the max version, so this only

@@ -1,0 +1,190 @@
+#include "fault/chaos_audit.hpp"
+
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+
+namespace quora::fault {
+namespace {
+
+using io::AuditCode;
+using io::AuditFinding;
+using io::AuditReport;
+using io::AuditSeverity;
+
+class ChaosAuditor {
+public:
+  AuditReport run(std::istream& in) {
+    std::optional<ChaosSpec> spec;
+    try {
+      spec = load_chaos(in);
+    } catch (const std::exception& e) {
+      error(AuditCode::kParseError, e.what());
+      return std::move(report_);
+    }
+    const net::Topology& topo = spec->system->topology;
+    const net::Vote total = topo.total_votes();
+
+    if (!(spec->horizon > 0.0)) {
+      error(AuditCode::kChaosBadSchedule,
+            "plan declares no positive 'horizon': the soak runner cannot "
+            "know when the scenario ends");
+    }
+    if (spec->has_quorum) audit_spec("initial quorum", spec->quorum, total);
+
+    for (const Action& a : spec->plan.actions()) audit_action(a, topo, *spec);
+    for (const MessageRule& r : spec->plan.rules()) audit_rule(r, topo, *spec);
+    return std::move(report_);
+  }
+
+private:
+  void error(AuditCode code, std::string message) {
+    report_.findings.push_back(
+        AuditFinding{code, AuditSeverity::kError, std::move(message)});
+  }
+  void warn(AuditCode code, std::string message) {
+    report_.findings.push_back(
+        AuditFinding{code, AuditSeverity::kWarning, std::move(message)});
+  }
+
+  void audit_spec(const std::string& label, const quorum::QuorumSpec& spec,
+                  net::Vote total) {
+    if (spec.q_r < 1 || spec.q_w < 1 || spec.q_r > total || spec.q_w > total) {
+      error(AuditCode::kQuorumRange,
+            label + " (" + std::to_string(spec.q_r) + ", " +
+                std::to_string(spec.q_w) + ") outside [1, T=" +
+                std::to_string(total) + "]");
+      return;
+    }
+    if (spec.q_r + spec.q_w <= total) {
+      error(AuditCode::kQuorumIntersection,
+            label + ": q_r + q_w = " + std::to_string(spec.q_r + spec.q_w) +
+                " <= T = " + std::to_string(total));
+    }
+    if (2 * spec.q_w <= total) {
+      error(AuditCode::kWriteWriteIntersection,
+            label + ": 2*q_w = " + std::to_string(2 * spec.q_w) +
+                " <= T = " + std::to_string(total));
+    }
+  }
+
+  void check_site(const char* what, double t, net::SiteId s,
+                  const net::Topology& topo) {
+    if (s >= topo.site_count()) {
+      error(AuditCode::kChaosUnknownTarget,
+            std::string(what) + " at t=" + std::to_string(t) +
+                " names site " + std::to_string(s) + " but the topology has " +
+                std::to_string(topo.site_count()) + " sites");
+    }
+  }
+
+  void check_link(const char* what, double t, net::LinkId l,
+                  const net::Topology& topo) {
+    if (l >= topo.link_count()) {
+      error(AuditCode::kChaosUnknownTarget,
+            std::string(what) + " at t=" + std::to_string(t) +
+                " names link " + std::to_string(l) + " but the topology has " +
+                std::to_string(topo.link_count()) + " links");
+    }
+  }
+
+  void audit_action(const Action& a, const net::Topology& topo,
+                    const ChaosSpec& spec) {
+    if (!(a.time >= 0.0)) {
+      error(AuditCode::kChaosBadSchedule,
+            "action scheduled at negative time " + std::to_string(a.time));
+    }
+    if (spec.horizon > 0.0 && a.time > spec.horizon) {
+      warn(AuditCode::kChaosBadSchedule,
+           "action at t=" + std::to_string(a.time) +
+               " lies beyond the horizon (" + std::to_string(spec.horizon) +
+               ") and will never fire");
+    }
+    switch (a.kind) {
+      case Action::Kind::kSiteDown:
+      case Action::Kind::kSiteUp:
+        check_site("site action", a.time, a.site, topo);
+        break;
+      case Action::Kind::kLinkDown:
+      case Action::Kind::kLinkUp:
+        check_link("link action", a.time, a.link, topo);
+        break;
+      case Action::Kind::kPartition: {
+        std::set<net::SiteId> seen;
+        for (const auto& group : a.groups) {
+          for (const net::SiteId s : group) {
+            check_site("partition", a.time, s, topo);
+            if (!seen.insert(s).second) {
+              error(AuditCode::kChaosBadSchedule,
+                    "partition at t=" + std::to_string(a.time) +
+                        " lists site " + std::to_string(s) +
+                        " in more than one group");
+            }
+          }
+        }
+        break;
+      }
+      case Action::Kind::kHeal:
+      case Action::Kind::kHealLinks:
+        break;
+      case Action::Kind::kReassign:
+        check_site("reassign", a.time, a.site, topo);
+        audit_spec("reassign at t=" + std::to_string(a.time), a.next,
+                   topo.total_votes());
+        break;
+      case Action::Kind::kArmCrashOnCommit:
+        if (a.site != kAnySite) {
+          check_site("crash-on-commit", a.time, a.site, topo);
+        }
+        if (!(a.duration > 0.0)) {
+          error(AuditCode::kChaosBadSchedule,
+                "crash-on-commit at t=" + std::to_string(a.time) +
+                    " needs a positive down-time");
+        }
+        break;
+    }
+  }
+
+  void audit_rule(const MessageRule& r, const net::Topology& topo,
+                  const ChaosSpec& spec) {
+    if (!(r.until > r.from) || !(r.from >= 0.0)) {
+      error(AuditCode::kChaosBadSchedule,
+            "window [" + std::to_string(r.from) + ", " +
+                std::to_string(r.until) + ") is inverted, empty, or starts "
+                "before t=0");
+    }
+    if (!(r.probability >= 0.0 && r.probability <= 1.0)) {
+      error(AuditCode::kChaosBadSchedule,
+            "window probability " + std::to_string(r.probability) +
+                " outside [0, 1]");
+    }
+    if (r.kind == MessageRule::Kind::kDelay && !(r.mean_extra > 0.0)) {
+      error(AuditCode::kChaosBadSchedule,
+            "delay window needs a positive mean extra latency");
+    }
+    if (r.link != kAllLinks) check_link("window", r.from, r.link, topo);
+    if (spec.horizon > 0.0 && r.from > spec.horizon) {
+      warn(AuditCode::kChaosBadSchedule,
+           "window starting at t=" + std::to_string(r.from) +
+               " lies beyond the horizon and will never apply");
+    }
+  }
+
+  AuditReport report_;
+};
+
+} // namespace
+
+io::AuditReport audit_chaos(std::istream& in) { return ChaosAuditor().run(in); }
+
+io::AuditReport audit_chaos_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open chaos plan: " + path);
+  return audit_chaos(in);
+}
+
+} // namespace quora::fault

@@ -1,0 +1,40 @@
+#include "fault/event_log.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace quora::fault {
+
+void EventLog::record(double t, std::string_view line) {
+  char prefix[40];
+  std::snprintf(prefix, sizeof prefix, "t=%.6f ", t);
+  std::string entry(prefix);
+  entry.append(line);
+  lines_.push_back(std::move(entry));
+}
+
+bool EventLog::contains(std::string_view needle) const {
+  for (const std::string& line : lines_) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void EventLog::write(std::ostream& out) const {
+  for (const std::string& line : lines_) out << line << '\n';
+}
+
+std::uint64_t EventLog::hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const std::string& line : lines_) {
+    for (const char c : line) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= static_cast<std::uint8_t>('\n');
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+} // namespace quora::fault

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quora::fault {
+
+/// Append-only, deterministically formatted record of what a chaos run
+/// did: fault actions applied, accesses decided, QR installs, stale
+/// rejections, crash triggers. Two same-seed runs must produce
+/// byte-identical logs — `hash()` gives CI a cheap equality witness, and
+/// `lines()` gives tests the exact transcript to diff.
+class EventLog {
+public:
+  /// Records one event at simulated time `t`. The time prefix is printed
+  /// with a fixed `%.6f` format so identical doubles always produce
+  /// identical bytes.
+  void record(double t, std::string_view line);
+
+  const std::vector<std::string>& lines() const noexcept { return lines_; }
+  std::size_t size() const noexcept { return lines_.size(); }
+  bool contains(std::string_view needle) const;
+
+  void write(std::ostream& out) const;
+
+  /// FNV-1a over every line including terminators.
+  std::uint64_t hash() const noexcept;
+
+private:
+  std::vector<std::string> lines_;
+};
+
+} // namespace quora::fault

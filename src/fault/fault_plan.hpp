@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/topology_io.hpp"
+#include "net/types.hpp"
+#include "quorum/quorum_spec.hpp"
+
+namespace quora::fault {
+
+/// Wildcards for rule and trigger targets.
+inline constexpr net::SiteId kAnySite = 0xFFFFFFFFu;
+inline constexpr net::LinkId kAllLinks = 0xFFFFFFFFu;
+
+/// One scheduled action on a plan's timeline, applied by the cluster's
+/// event loop exactly at `time` (simulated clock). Actions are the
+/// *deterministic* half of a plan; `MessageRule` is the stochastic half.
+struct Action {
+  enum class Kind : std::uint8_t {
+    kSiteDown,
+    kSiteUp,
+    kLinkDown,
+    kLinkUp,
+    kPartition,        // cut every link whose endpoints fall in different groups
+    kHeal,             // bring every site and link back up
+    kHealLinks,        // bring every link back up, leave site states alone
+    kReassign,         // attempt a QR install (§2.2) from `site`
+    kArmCrashOnCommit, // crash the next matching coordinator entering phase 2
+  };
+  double time = 0.0;
+  Kind kind = Kind::kSiteDown;
+  net::SiteId site = 0;        // kSite*, kReassign origin, kArmCrashOnCommit filter
+  net::LinkId link = 0;        // kLink*
+  quorum::QuorumSpec next{};   // kReassign: the assignment to install
+  double duration = 0.0;       // kArmCrashOnCommit: down-time after the crash
+  std::vector<std::vector<net::SiteId>> groups;  // kPartition
+};
+
+/// A stochastic message-fault window. While the simulated clock is inside
+/// [from, until), every message departing on a matching link runs the
+/// rule: drop with probability p, add exponential extra latency, or
+/// deliver a duplicate. All randomness comes from the injector's own RNG
+/// stream, so the cluster's draw sequence is untouched and every run with
+/// the same seed replays bit-identically.
+struct MessageRule {
+  enum class Kind : std::uint8_t { kDrop, kDelay, kDuplicate };
+  Kind kind = Kind::kDrop;
+  double from = 0.0;
+  double until = 0.0;
+  double probability = 0.0;
+  double mean_extra = 0.0;     // kDelay: mean of the exponential extra latency
+  net::LinkId link = kAllLinks;
+};
+
+/// A composable fault scenario: a timeline of scheduled actions plus
+/// stochastic message-fault windows. Build in C++ through the fluent
+/// methods, or parse from a `.chaos` file via `load_chaos`.
+class FaultPlan {
+public:
+  FaultPlan& site_down(double t, net::SiteId s);
+  FaultPlan& site_up(double t, net::SiteId s);
+  FaultPlan& link_down(double t, net::LinkId l);
+  FaultPlan& link_up(double t, net::LinkId l);
+  /// Sugar: site down at `t`, back up at `t + down_for`.
+  FaultPlan& crash(double t, net::SiteId s, double down_for);
+  FaultPlan& partition(double t, std::vector<std::vector<net::SiteId>> groups);
+  FaultPlan& heal(double t);
+  FaultPlan& heal_links(double t);
+  /// Toggle a link down/up every `period` from `from` until `until`;
+  /// guarantees the link ends up in the `up` state at `until`.
+  FaultPlan& flap_link(net::LinkId l, double from, double until, double period);
+  FaultPlan& reassign(double t, net::SiteId origin, quorum::QuorumSpec next);
+  /// Arm a one-shot trigger: the next coordinator matching `site` (or any,
+  /// with kAnySite) that floods a commit crashes immediately afterwards —
+  /// the canonical partial-write scenario — and stays down for `down_for`.
+  FaultPlan& arm_crash_on_commit(double t, net::SiteId site = kAnySite,
+                                 double down_for = 10.0);
+
+  FaultPlan& drop(double from, double until, double p,
+                  net::LinkId link = kAllLinks);
+  FaultPlan& delay(double from, double until, double p, double mean_extra,
+                   net::LinkId link = kAllLinks);
+  FaultPlan& duplicate(double from, double until, double p,
+                       net::LinkId link = kAllLinks);
+
+  const std::vector<Action>& actions() const noexcept { return actions_; }
+  const std::vector<MessageRule>& rules() const noexcept { return rules_; }
+  bool empty() const noexcept { return actions_.empty() && rules_.empty(); }
+
+private:
+  std::vector<Action> actions_;
+  std::vector<MessageRule> rules_;
+};
+
+/// A fully parsed `.chaos` scenario: plan + the system it runs against.
+/// The file format embeds the topology text format of `io::load_system`
+/// (sites/ring/chords/link/vote/... lines pass through untouched) and adds
+/// the chaos directives documented in docs/FAULT_INJECTION.md:
+///
+/// ```
+/// name clean-partition
+/// seed 101
+/// horizon 240
+/// quorum 8 18
+/// sites 25
+/// ring
+/// chords 4
+///
+/// at 60 partition 0-12 | 13-24
+/// at 90 reassign 11 15 from 4
+/// at 120 site 3 down
+/// at 130 site 3 up
+/// at 140 crash 5 for 20
+/// at 150 crash-on-commit any for 20
+/// at 160 heal
+/// flap link 7 from 40 until 120 period 6
+/// window 40 160 drop 0.15
+/// window 40 160 delay 0.3 0.05
+/// window 40 160 duplicate 0.1 link 3
+/// ```
+struct ChaosSpec {
+  std::string name = "unnamed";
+  std::uint64_t seed = 1;
+  bool has_seed = false;
+  double horizon = 0.0;         // 0 = not declared; the runner must supply one
+  quorum::QuorumSpec quorum{};  // initial assignment
+  bool has_quorum = false;
+  std::optional<io::SystemSpec> system;  // always set on successful parse
+  FaultPlan plan;
+};
+
+/// Parses a `.chaos` scenario; throws `io::ParseError` on malformed input.
+/// Range validation against the topology (site/link ids, probabilities,
+/// schedule sanity) is the job of `audit_chaos`, not the parser.
+ChaosSpec load_chaos(std::istream& in);
+ChaosSpec load_chaos_file(const std::string& path);
+
+} // namespace quora::fault

@@ -1,0 +1,100 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace quora::fault {
+namespace {
+
+void validate(const FaultPlan& plan) {
+  for (const Action& a : plan.actions()) {
+    if (!(a.time >= 0.0) || !std::isfinite(a.time)) {
+      throw std::invalid_argument("FaultInjector: action scheduled at a "
+                                  "negative or non-finite time");
+    }
+    if (a.kind == Action::Kind::kArmCrashOnCommit && !(a.duration > 0.0)) {
+      throw std::invalid_argument(
+          "FaultInjector: crash-on-commit needs a positive down-time");
+    }
+    if (a.kind == Action::Kind::kPartition && a.groups.size() < 2) {
+      throw std::invalid_argument(
+          "FaultInjector: a partition needs at least two groups");
+    }
+  }
+  for (const MessageRule& r : plan.rules()) {
+    if (!(r.probability >= 0.0 && r.probability <= 1.0)) {
+      throw std::invalid_argument(
+          "FaultInjector: rule probability outside [0, 1]");
+    }
+    if (!(r.until > r.from) || !(r.from >= 0.0)) {
+      throw std::invalid_argument("FaultInjector: rule window is inverted, "
+                                  "empty, or starts before t=0");
+    }
+    if (r.kind == MessageRule::Kind::kDelay && !(r.mean_extra > 0.0)) {
+      throw std::invalid_argument(
+          "FaultInjector: delay rule needs a positive mean extra latency");
+    }
+  }
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : timeline_(plan.actions()),
+      rules_(plan.rules()),
+      // Stream 1: one jump (2^128 steps) past the cluster's stream 0, so a
+      // shared root seed never correlates the two draw sequences.
+      gen_(seed, 1) {
+  validate(plan);
+  std::stable_sort(timeline_.begin(), timeline_.end(),
+                   [](const Action& a, const Action& b) {
+                     return a.time < b.time;
+                   });
+}
+
+MessageFault FaultInjector::on_send(net::LinkId link, double now,
+                                    double mean_hop_latency) {
+  MessageFault fault;
+  for (const MessageRule& r : rules_) {
+    if (now < r.from || now >= r.until) continue;
+    if (r.link != kAllLinks && r.link != link) continue;
+    switch (r.kind) {
+      case MessageRule::Kind::kDrop:
+        if (rng::bernoulli(gen_, r.probability)) fault.drop = true;
+        break;
+      case MessageRule::Kind::kDelay:
+        if (rng::bernoulli(gen_, r.probability)) {
+          fault.extra_delay += rng::exponential(gen_, r.mean_extra);
+        }
+        break;
+      case MessageRule::Kind::kDuplicate:
+        if (!fault.duplicate && rng::bernoulli(gen_, r.probability)) {
+          fault.duplicate = true;
+          fault.dup_extra = rng::exponential(gen_, mean_hop_latency);
+        }
+        break;
+    }
+  }
+  return fault;
+}
+
+void FaultInjector::arm_crash_on_commit(net::SiteId filter, double down_for) {
+  armed_.push_back(Armed{filter, down_for});
+}
+
+std::optional<double> FaultInjector::take_crash_on_commit(
+    net::SiteId coordinator) {
+  for (std::size_t i = 0; i < armed_.size(); ++i) {
+    if (armed_[i].filter == kAnySite || armed_[i].filter == coordinator) {
+      const double down_for = armed_[i].down_for;
+      armed_.erase(armed_.begin() + static_cast<std::ptrdiff_t>(i));
+      return down_for;
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace quora::fault

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace quora::fault {
+
+/// What the injector decided for one departing message.
+struct MessageFault {
+  bool drop = false;
+  bool duplicate = false;
+  double extra_delay = 0.0;  // added to the primary copy's latency
+  double dup_extra = 0.0;    // extra latency of the duplicate copy
+};
+
+/// The runtime half of a `FaultPlan`: a sorted timeline the cluster's
+/// event loop replays, plus the per-message stochastic rules.
+///
+/// Determinism contract: the injector draws every random number from its
+/// own xoshiro stream (one `jump()` away from the cluster's, so the two
+/// can share a root seed without overlapping), and draws only as a pure
+/// function of the (link, time) query sequence — which is itself
+/// deterministic per seed. Two runs with the same plan, seed, and cluster
+/// parameters therefore replay byte-identical event logs.
+class FaultInjector {
+public:
+  /// Validates and compiles the plan; throws std::invalid_argument on
+  /// negative times, probabilities outside [0,1], or inverted windows.
+  /// (Range checks against a concrete topology are `audit_chaos`'s job.)
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  /// Scheduled actions, stably sorted by time.
+  const std::vector<Action>& timeline() const noexcept { return timeline_; }
+
+  /// Consult the stochastic rules for one message departing on `link` at
+  /// simulated time `now`. `mean_hop_latency` parameterizes the latency
+  /// draw of a duplicate copy.
+  MessageFault on_send(net::LinkId link, double now, double mean_hop_latency);
+
+  /// Arm a crash-on-commit trigger (the cluster calls this when it applies
+  /// a kArmCrashOnCommit timeline action).
+  void arm_crash_on_commit(net::SiteId filter, double down_for);
+
+  /// If an armed trigger matches `coordinator`, consume it and return the
+  /// down-time the crashed site should stay failed for.
+  std::optional<double> take_crash_on_commit(net::SiteId coordinator);
+
+  bool has_rules() const noexcept { return !rules_.empty(); }
+  std::size_t armed_crash_count() const noexcept { return armed_.size(); }
+
+private:
+  std::vector<Action> timeline_;
+  std::vector<MessageRule> rules_;
+  rng::Xoshiro256ss gen_;
+  struct Armed {
+    net::SiteId filter = kAnySite;
+    double down_for = 0.0;
+  };
+  std::vector<Armed> armed_;
+};
+
+} // namespace quora::fault

@@ -321,6 +321,8 @@ const char* audit_code_name(AuditCode code) {
     case AuditCode::kEvenVoteTotal: return "even-vote-total";
     case AuditCode::kCoterieIntersection: return "coterie-intersection";
     case AuditCode::kCoterieMinimality: return "coterie-minimality";
+    case AuditCode::kChaosBadSchedule: return "chaos-bad-schedule";
+    case AuditCode::kChaosUnknownTarget: return "chaos-unknown-target";
   }
   return "unknown";
 }

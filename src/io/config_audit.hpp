@@ -26,6 +26,9 @@ enum class AuditCode {
   kEvenVoteTotal,         // even T: vote-assignment coteries are dominated
   kCoterieIntersection,   // enumerated write groups fail pairwise intersection
   kCoterieMinimality,     // enumerated quorum groups are not an antichain
+  kChaosBadSchedule,      // .chaos plan: inverted window, bad probability,
+                          // missing horizon, overlapping partition groups
+  kChaosUnknownTarget,    // .chaos plan names a site/link the topology lacks
 };
 
 /// Stable kebab-case slug for a code (what the report prints).

@@ -1,16 +1,44 @@
 #include "msg/cluster.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "rng/distributions.hpp"
 
 namespace quora::msg {
+namespace {
+
+/// Deterministic formatting helper for event-log lines.
+template <std::size_t N, typename... Args>
+void logf(fault::EventLog* log, double t, char (&buf)[N], const char* fmt,
+          Args... args) {
+  if (log == nullptr) return;
+  std::snprintf(buf, N, fmt, args...);
+  log->record(t, buf);
+}
+
+} // namespace
+
+const char* deny_reason_name(DenyReason reason) {
+  switch (reason) {
+    case DenyReason::kNone: return "none";
+    case DenyReason::kOriginDown: return "origin-down";
+    case DenyReason::kTimeout: return "timeout";
+    case DenyReason::kNoQuorum: return "no-quorum";
+    case DenyReason::kCoordinatorCrash: return "coordinator-crash";
+    case DenyReason::kStaleAssignment: return "stale-assignment";
+    case DenyReason::kAbandoned: return "abandoned";
+  }
+  return "unknown";
+}
 
 Cluster::Cluster(const net::Topology& topo, Params params, std::uint64_t seed)
     : topo_(&topo),
       params_(params),
       live_(topo),
       tracker_(live_),
+      qr_(topo, params.spec),
       gen_(seed) {
   params_.config.validate();
   if (!params_.spec.valid(topo.total_votes())) {
@@ -22,9 +50,17 @@ Cluster::Cluster(const net::Topology& topo, Params params, std::uint64_t seed)
   if (!(params_.alpha >= 0.0 && params_.alpha <= 1.0)) {
     throw std::invalid_argument("Cluster: alpha outside [0,1]");
   }
+  if (params_.commit_timeout < 0.0 || params_.backoff_base < 0.0 ||
+      params_.access_budget < 0.0 ||
+      !(params_.backoff_jitter >= 0.0 && params_.backoff_jitter <= 1.0)) {
+    throw std::invalid_argument("Cluster: negative retry/timeout parameter");
+  }
 
   if (params_.lease_timeout <= 0.0) {
-    params_.lease_timeout = 2.5 * params_.phase_timeout;
+    // One attempt's worst-case window: phase 1 plus the commit deadline,
+    // with slack. Retries abort the old request id first, so the lease
+    // only ever has to cover a single attempt.
+    params_.lease_timeout = 1.5 * params_.phase_timeout + commit_deadline();
   }
   copies_.assign(topo.site_count(), Copy{});
   leases_.assign(topo.site_count(), Lease{});
@@ -47,9 +83,37 @@ Cluster::Cluster(const net::Topology& topo, Params params, std::uint64_t seed)
              0, 0, 0});
 }
 
+void Cluster::attach_injector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  const auto& timeline = injector->timeline();
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    Event e;
+    e.time = timeline[i].time;
+    e.kind = Kind::kFault;
+    e.index = static_cast<std::uint32_t>(i);
+    push(e);
+  }
+}
+
+void Cluster::attach_log(fault::EventLog* log) { log_ = log; }
+
 void Cluster::push(Event e) {
   e.seq = next_seq_++;
   queue_.push(e);
+}
+
+void Cluster::stamp(Message& m, net::SiteId author) const {
+  const core::QuorumReassignment::Assignment& a = qr_.stored(author);
+  m.qr_version = a.version;
+  m.qr_r = a.spec.q_r;
+  m.qr_w = a.spec.q_w;
+}
+
+void Cluster::maybe_adopt(net::SiteId here, const Message& m) {
+  if (m.qr_version > qr_.stored(here).version) {
+    qr_.adopt(here, core::QuorumReassignment::Assignment{
+                        quorum::QuorumSpec{m.qr_r, m.qr_w}, m.qr_version});
+  }
 }
 
 void Cluster::send(net::SiteId from, net::LinkId link, const Message& m) {
@@ -57,8 +121,16 @@ void Cluster::send(net::SiteId from, net::LinkId link, const Message& m) {
   const net::SiteId to = edge.a == from ? edge.b : edge.a;
   const std::size_t dir =
       2 * static_cast<std::size_t>(link) + (edge.a == from ? 0 : 1);
-  const double arrival = std::max(fifo_clock_[dir],
-                                  now_ + rng::exponential(gen_, params_.mean_hop_latency));
+
+  fault::MessageFault fate;
+  if (injector_ != nullptr && injector_->has_rules()) {
+    fate = injector_->on_send(link, now_, params_.mean_hop_latency);
+  }
+
+  const double arrival =
+      std::max(fifo_clock_[dir], now_ +
+                                     rng::exponential(gen_, params_.mean_hop_latency) +
+                                     fate.extra_delay);
   fifo_clock_[dir] = arrival;  // FIFO per direction
   ++messages_sent_;
 
@@ -69,7 +141,22 @@ void Cluster::send(net::SiteId from, net::LinkId link, const Message& m) {
   e.target = to;
   e.message = m;
   e.message.sender = from;
-  push(e);
+  if (fate.drop) {
+    // Lost mid-flight. The FIFO clock already advanced past its would-be
+    // arrival, so later messages keep their ordering.
+    ++messages_dropped_;
+  } else {
+    push(e);
+  }
+  if (fate.duplicate) {
+    ++messages_sent_;
+    ++messages_duplicated_;
+    const double dup_arrival = std::max(fifo_clock_[dir], arrival + fate.dup_extra);
+    fifo_clock_[dir] = dup_arrival;
+    Event dup = e;
+    dup.time = dup_arrival;
+    push(dup);
+  }
 }
 
 void Cluster::flood(net::SiteId from, std::uint64_t flood_id, const Message& m,
@@ -95,10 +182,12 @@ void Cluster::handle_access(net::SiteId origin) {
   const std::uint64_t request = next_request_++;
   const bool is_read = rng::bernoulli(gen_, params_.alpha);
 
-  // Oracle: the paper's instantaneous decision from global state.
+  // Oracle: the paper's instantaneous decision from global state, under
+  // the assignment in effect for origin's component (§2.2).
   const net::Vote oracle_votes = tracker_.component_votes(origin);
-  const bool oracle = is_read ? params_.spec.allows_read(oracle_votes)
-                              : params_.spec.allows_write(oracle_votes);
+  const quorum::QuorumSpec oracle_spec = qr_.effective(tracker_, origin).spec;
+  const bool oracle = is_read ? oracle_spec.allows_read(oracle_votes)
+                              : oracle_spec.allows_write(oracle_votes);
 
   if (!live_.is_site_up(origin)) {
     AccessOutcome out;
@@ -107,9 +196,15 @@ void Cluster::handle_access(net::SiteId origin) {
     out.origin = origin;
     out.is_read = is_read;
     out.granted = false;
+    out.deny_reason = DenyReason::kOriginDown;
+    out.qr_version = qr_.stored(origin).version;
     out.oracle_granted = oracle;
     outcomes_.push_back(out);
     ++decided_;
+    char buf[160];
+    logf(log_, now_, buf, "decide id=%llu origin=%u %s denied reason=%s",
+         static_cast<unsigned long long>(request), origin,
+         is_read ? "read" : "write", deny_reason_name(out.deny_reason));
     return;
   }
 
@@ -117,30 +212,48 @@ void Cluster::handle_access(net::SiteId origin) {
   p.is_read = is_read;
   p.submit_time = now_;
   p.oracle_granted = oracle;
-  p.votes = topo_->votes(origin);
-  p.repliers.insert(origin);
-  p.best_version = copies_[origin].version;
-  p.best_value = copies_[origin].value;
   p.write_value = request;  // written payload: the request id (test-visible)
   pending_[origin][request] = p;
-  floods_[origin][flood_key(request, 1)] = FloodState{0, false};
+  start_coordination(origin, request);
+}
 
-  if (!is_read) {
+void Cluster::start_coordination(net::SiteId origin, std::uint64_t request) {
+  Pending& p = pending_[origin][request];
+  // Fresh attempt: snapshot the locally stored assignment and copy. A
+  // retry re-reads both — the previous attempt may have adopted a newer
+  // QR assignment from a stale-deny, or seen a commit land locally.
+  const core::QuorumReassignment::Assignment assign = qr_.stored(origin);
+  p.spec = assign.spec;
+  p.qr_version = assign.version;
+  p.phase = 1;
+  p.votes = topo_->votes(origin);
+  p.denied = 0;
+  p.acked = 0;
+  p.repliers.clear();
+  p.repliers.insert(origin);
+  p.ackers.clear();
+  p.best_version = copies_[origin].version;
+  p.best_value = copies_[origin].value;
+
+  if (!p.is_read) {
     Lease& lease = leases_[origin];
-    if (lease.held(now_)) {
+    if (lease.held(now_) && lease.request != request) {
       // Our own vote is leased to another in-flight write: this write
       // cannot proceed from here right now.
-      decide(origin, request, false);
+      decide(origin, request, false, DenyReason::kNoQuorum);
       return;
     }
     lease = Lease{request, now_ + params_.lease_timeout};
   }
 
+  floods_[origin][flood_key(request, 1)] = FloodState{0, false};
+
   Message m;
   m.kind = Message::Kind::kVoteRequest;
-  m.is_write = !is_read;
+  m.is_write = !p.is_read;
   m.request = request;
   m.coordinator = origin;
+  stamp(m, origin);
   flood(origin, flood_key(request, 1), m, 0, false);
 
   Event timer;
@@ -153,9 +266,9 @@ void Cluster::handle_access(net::SiteId origin) {
 
   // Single-site quorums decide immediately.
   Pending& live_p = pending_[origin][request];
-  if (is_read && params_.spec.allows_read(live_p.votes)) {
+  if (live_p.is_read && live_p.spec.allows_read(live_p.votes)) {
     decide(origin, request, true);
-  } else if (!is_read && params_.spec.allows_write(live_p.votes)) {
+  } else if (!live_p.is_read && live_p.spec.allows_write(live_p.votes)) {
     // Degenerate write quorum: apply locally, done.
     live_p.phase = 2;
     live_p.best_version = live_p.best_version + 1;
@@ -163,11 +276,53 @@ void Cluster::handle_access(net::SiteId origin) {
     if (leases_[origin].request == request) leases_[origin] = Lease{};
     live_p.acked = topo_->votes(origin);
     live_p.ackers.insert(origin);
+    if (maybe_crash_on_commit(origin, request)) return;
     decide(origin, request, true);
   }
 }
 
-void Cluster::decide(net::SiteId coordinator, std::uint64_t request, bool granted) {
+void Cluster::retry(net::SiteId coordinator, std::uint64_t old_request) {
+  const auto it = pending_[coordinator].find(old_request);
+  Pending p = std::move(it->second);
+  pending_[coordinator].erase(it);
+  if (!p.is_read) {
+    // Release our own lease and flood an abort so remote leases for the
+    // dead attempt free up instead of starving the retry.
+    if (leases_[coordinator].request == old_request) {
+      leases_[coordinator] = Lease{};
+    }
+    abort_flood(coordinator, old_request);
+  }
+
+  ++p.attempt;
+  ++retries_;
+  const std::uint64_t request = next_request_++;
+  const double base = params_.backoff_base > 0.0 ? params_.backoff_base
+                                                 : 0.25 * params_.phase_timeout;
+  double backoff =
+      base * std::pow(2.0, static_cast<double>(p.attempt) - 1.0);
+  if (params_.backoff_jitter > 0.0) {
+    // Jitter around the nominal value, in [1 - j/2, 1 + j/2).
+    backoff *= 1.0 - 0.5 * params_.backoff_jitter +
+               params_.backoff_jitter * gen_.next_double();
+  }
+
+  char buf[160];
+  logf(log_, now_, buf, "retry id=%llu origin=%u attempt=%u next=%llu",
+       static_cast<unsigned long long>(old_request), coordinator, p.attempt,
+       static_cast<unsigned long long>(request));
+
+  pending_[coordinator].emplace(request, std::move(p));
+  Event e;
+  e.time = now_ + backoff;
+  e.kind = Kind::kRetry;
+  e.target = coordinator;
+  e.request = request;
+  push(e);
+}
+
+void Cluster::decide(net::SiteId coordinator, std::uint64_t request,
+                     bool granted, DenyReason reason) {
   const auto it = pending_[coordinator].find(request);
   if (it == pending_[coordinator].end()) return;
   const Pending& p = it->second;
@@ -178,6 +333,11 @@ void Cluster::decide(net::SiteId coordinator, std::uint64_t request, bool grante
   out.origin = coordinator;
   out.is_read = p.is_read;
   out.granted = granted;
+  out.deny_reason =
+      granted ? DenyReason::kNone
+              : (reason == DenyReason::kNone ? DenyReason::kTimeout : reason);
+  out.attempts = p.attempt;
+  out.qr_version = p.qr_version;
   out.oracle_granted = p.oracle_granted;
   out.version = p.best_version;
   out.value = p.is_read ? p.best_value : p.write_value;
@@ -185,21 +345,35 @@ void Cluster::decide(net::SiteId coordinator, std::uint64_t request, bool grante
   if (!p.is_read && granted) {
     commits_.push_back(CommitRecord{p.best_version, now_});
   }
+
+  char buf[200];
+  logf(log_, now_, buf,
+       "decide id=%llu origin=%u %s %s reason=%s qrv=%llu v=%llu attempt=%u",
+       static_cast<unsigned long long>(request), coordinator,
+       p.is_read ? "read" : "write", granted ? "granted" : "denied",
+       deny_reason_name(out.deny_reason),
+       static_cast<unsigned long long>(out.qr_version),
+       static_cast<unsigned long long>(out.version), p.attempt);
+
   const bool abort_write = !p.is_read && !granted;
   pending_[coordinator].erase(it);
   ++decided_;
 
-  if (abort_write && live_.is_site_up(coordinator)) {
-    // Release leased votes proactively; lease expiry covers the sites an
-    // abort cannot reach.
-    if (leases_[coordinator].request == request) leases_[coordinator] = Lease{};
-    Message abort;
-    abort.kind = Message::Kind::kAbort;
-    abort.request = request;
-    abort.coordinator = coordinator;
-    floods_[coordinator][flood_key(request, 3)] = FloodState{0, false};
-    flood(coordinator, flood_key(request, 3), abort, 0, false);
-  }
+  if (abort_write) abort_flood(coordinator, request);
+}
+
+void Cluster::abort_flood(net::SiteId coordinator, std::uint64_t request) {
+  if (!live_.is_site_up(coordinator)) return;
+  // Release leased votes proactively; lease expiry covers the sites an
+  // abort cannot reach.
+  if (leases_[coordinator].request == request) leases_[coordinator] = Lease{};
+  Message abort;
+  abort.kind = Message::Kind::kAbort;
+  abort.request = request;
+  abort.coordinator = coordinator;
+  stamp(abort, coordinator);
+  floods_[coordinator][flood_key(request, 3)] = FloodState{0, false};
+  flood(coordinator, flood_key(request, 3), abort, 0, false);
 }
 
 void Cluster::handle_delivery(const Event& e) {
@@ -208,11 +382,34 @@ void Cluster::handle_delivery(const Event& e) {
   const Message& m = e.message;
   const net::SiteId here = e.target;
 
+  // §2.2 gossip: every message carries its author's assignment; any
+  // receiver behind it adopts before acting.
+  maybe_adopt(here, m);
+
   switch (m.kind) {
     case Message::Kind::kVoteRequest: {
       const std::uint64_t fk = flood_key(m.request, 1);
       if (floods_[here].contains(fk)) return;  // already participated
       floods_[here][fk] = FloodState{e.index, true};
+
+      const std::uint64_t my_version = qr_.stored(here).version;
+      if (m.qr_version < my_version) {
+        // Stale-version rejection (§2.2): the coordinator is running a
+        // superseded assignment. Refuse the vote and carry the newer
+        // assignment back so it can adopt.
+        Message reply;
+        reply.kind = Message::Kind::kVoteDeny;
+        reply.request = m.request;
+        reply.coordinator = m.coordinator;
+        reply.replier = here;
+        reply.votes = topo_->votes(here);
+        reply.version = copies_[here].version;
+        reply.value = copies_[here].value;
+        stamp(reply, here);
+        send(here, e.index, reply);
+        flood(here, fk, m, e.index, true);
+        return;
+      }
 
       bool vote_granted = true;
       if (m.is_write) {
@@ -232,6 +429,7 @@ void Cluster::handle_delivery(const Event& e) {
       reply.votes = topo_->votes(here);
       reply.version = copies_[here].version;
       reply.value = copies_[here].value;
+      stamp(reply, here);
       send(here, e.index, reply);
       flood(here, fk, m, e.index, true);  // the flood continues regardless
       return;
@@ -252,6 +450,7 @@ void Cluster::handle_delivery(const Event& e) {
       ack.replier = here;
       ack.votes = topo_->votes(here);
       ack.version = m.version;
+      stamp(ack, here);
       send(here, e.index, ack);
       flood(here, fk, m, e.index, true);
       return;
@@ -265,11 +464,24 @@ void Cluster::handle_delivery(const Event& e) {
       if (it == pending_[here].end() || it->second.phase != 1) return;
       Pending& p = it->second;
       if (!p.repliers.insert(m.replier).second) return;
+      if (m.qr_version > p.qr_version) {
+        // The replier holds a newer QR assignment than this coordination
+        // ran under: the access must not proceed. (We already adopted the
+        // newer assignment above; fresh accesses use it.)
+        ++stale_rejections_;
+        char buf[160];
+        logf(log_, now_, buf,
+             "stale-reject id=%llu coord=%u coord_qrv=%llu seen_qrv=%llu",
+             static_cast<unsigned long long>(m.request), here,
+             static_cast<unsigned long long>(p.qr_version),
+             static_cast<unsigned long long>(m.qr_version));
+        decide(here, m.request, false, DenyReason::kStaleAssignment);
+        return;
+      }
       p.denied += m.votes;
       // Fast abort: a write quorum is no longer reachable.
-      if (!p.is_read &&
-          topo_->total_votes() - p.denied < params_.spec.q_w) {
-        decide(here, m.request, false);
+      if (!p.is_read && topo_->total_votes() - p.denied < p.spec.q_w) {
+        decide(here, m.request, false, DenyReason::kNoQuorum);
       }
       return;
     }
@@ -288,10 +500,10 @@ void Cluster::handle_delivery(const Event& e) {
         p.best_value = m.value;
       }
       if (p.is_read) {
-        if (params_.spec.allows_read(p.votes)) decide(here, m.request, true);
+        if (p.spec.allows_read(p.votes)) decide(here, m.request, true);
         return;
       }
-      if (params_.spec.allows_write(p.votes)) {
+      if (p.spec.allows_write(p.votes)) {
         // Phase 2: install the new version everywhere reachable.
         p.phase = 2;
         p.best_version = p.best_version + 1;
@@ -307,17 +519,23 @@ void Cluster::handle_delivery(const Event& e) {
         commit.coordinator = here;
         commit.version = p.best_version;
         commit.value = p.write_value;
+        stamp(commit, here);
         flood(here, flood_key(m.request, 2), commit, 0, false);
 
         Event timer;
-        timer.time = now_ + params_.phase_timeout;
+        timer.time = now_ + commit_deadline();
         timer.kind = Kind::kTimer;
         timer.target = here;
         timer.request = m.request;
         timer.phase = 2;
         push(timer);
 
-        if (params_.spec.allows_write(p.acked)) decide(here, m.request, true);
+        // The partial-write scenario: the commit flood has departed, the
+        // ack quorum has not assembled — a scripted crash lands exactly in
+        // the gap.
+        if (maybe_crash_on_commit(here, m.request)) return;
+
+        if (p.spec.allows_write(p.acked)) decide(here, m.request, true);
       }
       return;
     }
@@ -339,7 +557,7 @@ void Cluster::handle_delivery(const Event& e) {
       Pending& p = it->second;
       if (!p.ackers.insert(m.replier).second) return;
       p.acked += m.votes;
-      if (params_.spec.allows_write(p.acked)) decide(here, m.request, true);
+      if (p.spec.allows_write(p.acked)) decide(here, m.request, true);
       return;
     }
   }
@@ -349,68 +567,207 @@ void Cluster::handle_timer(const Event& e) {
   const auto it = pending_[e.target].find(e.request);
   if (it == pending_[e.target].end()) return;    // already decided
   if (it->second.phase != e.phase) return;       // superseded by phase 2
-  decide(e.target, e.request, false);
+  const Pending& p = it->second;
+  const bool budget_ok =
+      params_.access_budget <= 0.0 ||
+      now_ - p.submit_time < params_.access_budget;
+  if (e.phase == 1 && p.attempt < params_.max_retries && budget_ok &&
+      live_.is_site_up(e.target)) {
+    retry(e.target, e.request);
+    return;
+  }
+  decide(e.target, e.request, false,
+         p.attempt > 0 ? DenyReason::kAbandoned : DenyReason::kTimeout);
+}
+
+bool Cluster::maybe_crash_on_commit(net::SiteId coordinator,
+                                    std::uint64_t request) {
+  if (injector_ == nullptr) return false;
+  const std::optional<double> down_for =
+      injector_->take_crash_on_commit(coordinator);
+  if (!down_for) return false;
+  char buf[120];
+  logf(log_, now_, buf, "crash-on-commit coord=%u id=%llu down_for=%.6f",
+       coordinator, static_cast<unsigned long long>(request), *down_for);
+  live_.set_site_up(coordinator, false);
+  on_site_failed(coordinator);
+  push(Event{now_ + *down_for, 0, Kind::kSiteRecover, coordinator, {}, 0, 0, 0});
+  return true;
 }
 
 void Cluster::on_site_failed(net::SiteId s) {
   // Fail-stop: volatile coordination state is lost; every in-progress
   // coordination this site led resolves as denied right now.
   while (!pending_[s].empty()) {
-    decide(s, pending_[s].begin()->first, false);
+    decide(s, pending_[s].begin()->first, false, DenyReason::kCoordinatorCrash);
   }
   floods_[s].clear();
   leases_[s] = Lease{};  // volatile
 }
 
-void Cluster::run_decided_accesses(std::uint64_t count) {
-  const std::uint64_t target = decided_ + count;
+void Cluster::sync_component_copies(net::SiteId origin) {
+  const std::int32_t comp = tracker_.component_of(origin);
+  if (comp == conn::kNoComponent) return;
+  const auto members = tracker_.members(comp);
+  Copy best = copies_[origin];
+  for (const net::SiteId s : members) {
+    if (copies_[s].version > best.version) best = copies_[s];
+  }
+  for (const net::SiteId s : members) copies_[s] = best;
+}
+
+void Cluster::apply_fault(const fault::Action& action) {
+  using K = fault::Action::Kind;
+  char buf[160];
+  switch (action.kind) {
+    case K::kSiteDown:
+      if (live_.set_site_up(action.site, false)) on_site_failed(action.site);
+      logf(log_, now_, buf, "fault site-down %u", action.site);
+      break;
+    case K::kSiteUp:
+      live_.set_site_up(action.site, true);
+      logf(log_, now_, buf, "fault site-up %u", action.site);
+      break;
+    case K::kLinkDown:
+      live_.set_link_up(action.link, false);
+      logf(log_, now_, buf, "fault link-down %u", action.link);
+      break;
+    case K::kLinkUp:
+      live_.set_link_up(action.link, true);
+      logf(log_, now_, buf, "fault link-up %u", action.link);
+      break;
+    case K::kPartition: {
+      std::vector<std::int32_t> group(topo_->site_count(), -1);
+      for (std::size_t g = 0; g < action.groups.size(); ++g) {
+        for (const net::SiteId s : action.groups[g]) {
+          if (s < topo_->site_count()) group[s] = static_cast<std::int32_t>(g);
+        }
+      }
+      std::uint32_t cut = 0;
+      for (net::LinkId l = 0; l < topo_->link_count(); ++l) {
+        const net::Link& edge = topo_->link(l);
+        if (group[edge.a] != -1 && group[edge.b] != -1 &&
+            group[edge.a] != group[edge.b]) {
+          if (live_.set_link_up(l, false)) ++cut;
+        }
+      }
+      logf(log_, now_, buf, "fault partition groups=%u cut=%u",
+           static_cast<std::uint32_t>(action.groups.size()), cut);
+      break;
+    }
+    case K::kHeal:
+      live_.reset_all_up();
+      logf(log_, now_, buf, "fault heal");
+      break;
+    case K::kHealLinks:
+      for (net::LinkId l = 0; l < topo_->link_count(); ++l) {
+        live_.set_link_up(l, true);
+      }
+      logf(log_, now_, buf, "fault heal-links");
+      break;
+    case K::kReassign: {
+      const bool installed = live_.is_site_up(action.site) &&
+                             qr_.try_install(tracker_, action.site, action.next);
+      if (installed) {
+        // §2.2 one-copy serializability: the installing component holds a
+        // write quorum under the old assignment, so it contains the newest
+        // copy — spread it alongside the assignment, or a read quorum
+        // under the new assignment could miss it (see core/reassign.hpp).
+        sync_component_copies(action.site);
+        const std::uint64_t version = qr_.stored(action.site).version;
+        installs_.push_back(
+            InstallRecord{version, now_, action.site, action.next});
+        logf(log_, now_, buf, "fault reassign origin=%u qr=(%u,%u) v=%llu installed",
+             action.site, action.next.q_r, action.next.q_w,
+             static_cast<unsigned long long>(version));
+      } else {
+        logf(log_, now_, buf, "fault reassign origin=%u qr=(%u,%u) refused",
+             action.site, action.next.q_r, action.next.q_w);
+      }
+      break;
+    }
+    case K::kArmCrashOnCommit:
+      injector_->arm_crash_on_commit(action.site, action.duration);
+      logf(log_, now_, buf, "fault arm-crash-on-commit site=%u",
+           action.site);
+      break;
+  }
+}
+
+void Cluster::step(const Event& e) {
   const double mu_f = params_.config.mu_fail();
   const double mu_r = params_.config.mu_repair();
-  const double interarrival =
-      params_.config.mu_access / static_cast<double>(topo_->site_count());
+  switch (e.kind) {
+    case Kind::kSiteFail:
+      live_.set_site_up(e.index, false);
+      on_site_failed(e.index);
+      push(Event{now_ + rng::exponential(gen_, mu_r), 0, Kind::kSiteRecover,
+                 e.index, {}, 0, 0, 0});
+      break;
+    case Kind::kSiteRecover:
+      live_.set_site_up(e.index, true);
+      push(Event{now_ + rng::exponential(gen_, mu_f), 0, Kind::kSiteFail,
+                 e.index, {}, 0, 0, 0});
+      break;
+    case Kind::kLinkFail:
+      live_.set_link_up(e.index, false);
+      push(Event{now_ + rng::exponential(gen_, mu_r), 0, Kind::kLinkRecover,
+                 e.index, {}, 0, 0, 0});
+      break;
+    case Kind::kLinkRecover:
+      live_.set_link_up(e.index, true);
+      push(Event{now_ + rng::exponential(gen_, mu_f), 0, Kind::kLinkFail,
+                 e.index, {}, 0, 0, 0});
+      break;
+    case Kind::kAccess: {
+      const auto origin = static_cast<net::SiteId>(
+          rng::uniform_index(gen_, topo_->site_count()));
+      handle_access(origin);
+      const double interarrival =
+          params_.config.mu_access / static_cast<double>(topo_->site_count());
+      push(Event{now_ + rng::exponential(gen_, interarrival), 0, Kind::kAccess,
+                 0, {}, 0, 0, 0});
+      break;
+    }
+    case Kind::kDelivery:
+      handle_delivery(e);
+      break;
+    case Kind::kTimer:
+      handle_timer(e);
+      break;
+    case Kind::kFault:
+      apply_fault(injector_->timeline()[e.index]);
+      break;
+    case Kind::kRetry: {
+      const auto it = pending_[e.target].find(e.request);
+      // The coordinator may have crashed while backing off (the pending
+      // entry resolves as coordinator-crash when the site fails).
+      if (it == pending_[e.target].end()) break;
+      if (!live_.is_site_up(e.target)) break;
+      start_coordination(e.target, e.request);
+      break;
+    }
+  }
+}
 
+void Cluster::run_decided_accesses(std::uint64_t count) {
+  const std::uint64_t target = decided_ + count;
   while (decided_ < target) {
     Event e = queue_.top();
     queue_.pop();
     now_ = e.time;
-    switch (e.kind) {
-      case Kind::kSiteFail:
-        live_.set_site_up(e.index, false);
-        on_site_failed(e.index);
-        push(Event{now_ + rng::exponential(gen_, mu_r), 0, Kind::kSiteRecover,
-                   e.index, {}, 0, 0, 0});
-        break;
-      case Kind::kSiteRecover:
-        live_.set_site_up(e.index, true);
-        push(Event{now_ + rng::exponential(gen_, mu_f), 0, Kind::kSiteFail,
-                   e.index, {}, 0, 0, 0});
-        break;
-      case Kind::kLinkFail:
-        live_.set_link_up(e.index, false);
-        push(Event{now_ + rng::exponential(gen_, mu_r), 0, Kind::kLinkRecover,
-                   e.index, {}, 0, 0, 0});
-        break;
-      case Kind::kLinkRecover:
-        live_.set_link_up(e.index, true);
-        push(Event{now_ + rng::exponential(gen_, mu_f), 0, Kind::kLinkFail,
-                   e.index, {}, 0, 0, 0});
-        break;
-      case Kind::kAccess: {
-        const auto origin = static_cast<net::SiteId>(
-            rng::uniform_index(gen_, topo_->site_count()));
-        handle_access(origin);
-        push(Event{now_ + rng::exponential(gen_, interarrival), 0, Kind::kAccess,
-                   0, {}, 0, 0, 0});
-        break;
-      }
-      case Kind::kDelivery:
-        handle_delivery(e);
-        break;
-      case Kind::kTimer:
-        handle_timer(e);
-        break;
-    }
+    step(e);
   }
+}
+
+void Cluster::run_until(double t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    step(e);
+  }
+  now_ = t_end;
 }
 
 double Cluster::availability() const {

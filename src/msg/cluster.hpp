@@ -7,6 +7,9 @@
 
 #include "conn/component_tracker.hpp"
 #include "conn/live_network.hpp"
+#include "core/reassign.hpp"
+#include "fault/event_log.hpp"
+#include "fault/injector.hpp"
 #include "msg/message.hpp"
 #include "net/topology.hpp"
 #include "quorum/quorum_spec.hpp"
@@ -16,6 +19,23 @@
 
 namespace quora::msg {
 
+/// Why an access was denied; `kNone` on grants. Distinct codes let the
+/// chaos harness and the message-level benchmarks report *which* failure
+/// mode ate an access instead of a bare denial count.
+enum class DenyReason : std::uint8_t {
+  kNone,              // granted
+  kOriginDown,        // submitted at a failed site (the paper's ACC rule)
+  kTimeout,           // a phase deadline passed with no retry budget used
+  kNoQuorum,          // provably unreachable: vote-deny mass or lease conflict
+  kCoordinatorCrash,  // the coordinating site failed mid-protocol
+  kStaleAssignment,   // a voter held a newer QR assignment version (§2.2)
+  kAbandoned,         // retries exhausted or the access budget ran out
+};
+inline constexpr std::size_t kDenyReasonCount = 7;
+
+/// Stable kebab-case slug for reports and event logs.
+const char* deny_reason_name(DenyReason reason);
+
 /// One access as the coordinator finally resolved it.
 struct AccessOutcome {
   double submit_time = 0.0;
@@ -23,8 +43,12 @@ struct AccessOutcome {
   net::SiteId origin = 0;
   bool is_read = false;
   bool granted = false;
+  DenyReason deny_reason = DenyReason::kNone;
+  std::uint32_t attempts = 0;         // retries consumed (0 = first try decided)
   std::uint64_t version = 0;  // read: version returned; write: version written
   std::uint64_t value = 0;    // read result
+  /// QR assignment version the coordination ran under.
+  std::uint64_t qr_version = 1;
   /// What the paper's instantaneous oracle (component votes at submit
   /// time) would have decided — for paired comparison.
   bool oracle_granted = false;
@@ -45,10 +69,20 @@ struct AccessOutcome {
 ///    volatile state cleared;
 ///  - accesses submitted at down sites fail immediately (the paper's ACC
 ///    accounting);
-///  - every phase runs against a timeout; no quorum by the deadline means
-///    denial. Partial writes (commit flooded, ack quorum missed) are
-///    possible and deliberately not rolled back — version numbers carry
-///    the usual weighted-voting semantics.
+///  - every phase runs against a timeout; with a retry budget the
+///    coordinator re-floods under jittered exponential backoff, else the
+///    access resolves denied with a reason code. Partial writes (commit
+///    flooded, ack quorum missed) are possible and deliberately not rolled
+///    back — version numbers carry the usual weighted-voting semantics;
+///  - every site stores a QR assignment (spec, version); messages gossip
+///    the newest known assignment, and a voter that is ahead of a request's
+///    version denies it (stale-version rejection, §2.2).
+///
+/// Deterministic fault injection: attach a `fault::FaultInjector` to
+/// script partitions, flaps, crashes, message drop/delay/duplication, and
+/// QR reassignments against the run, and a `fault::EventLog` to capture a
+/// byte-stable transcript. Same topology, params, seed, and plan replay
+/// identically.
 ///
 /// Real-time consistency guarantee (asserted by the tests): a granted
 /// read returns a version at least as new as every write whose commit
@@ -58,20 +92,44 @@ public:
   struct Params {
     quorum::QuorumSpec spec;
     double mean_hop_latency = 0.005;  // per link traversal
-    double phase_timeout = 0.5;       // per coordination phase
-    /// Write-vote lease lifetime; must exceed the coordinator's total
-    /// window so a vote is never granted twice while still countable.
-    /// 0 = auto (2.5 x phase_timeout).
+    double phase_timeout = 0.5;       // per coordination phase (phase 1)
+    /// Phase-2 (commit/ack) deadline; 0 = same as phase_timeout.
+    double commit_timeout = 0.0;
+    /// Write-vote lease lifetime; must exceed one attempt's total window
+    /// so a vote is never granted twice while still countable. 0 = auto
+    /// (1.5 x phase_timeout + commit deadline).
     double lease_timeout = 0.0;
+    /// Phase-1 retries after a timeout before the access is abandoned.
+    /// 0 preserves the classic deny-on-first-timeout behaviour.
+    std::uint32_t max_retries = 0;
+    /// First backoff delay; doubles per retry. 0 = auto (phase_timeout/4).
+    double backoff_base = 0.0;
+    /// Fraction of each backoff randomized around its nominal value.
+    double backoff_jitter = 0.5;
+    /// Wall-clock budget per access across all retries; a retry is never
+    /// scheduled past submit + budget. 0 = unlimited.
+    double access_budget = 0.0;
     double alpha = 0.5;
     sim::SimConfig config;            // mu_access, rho, reliability
   };
 
   Cluster(const net::Topology& topo, Params params, std::uint64_t seed);
 
+  /// Attach a fault injector (non-owning; must outlive the run). Pushes
+  /// the plan's timeline into the event queue — call before running.
+  void attach_injector(fault::FaultInjector* injector);
+
+  /// Attach an event log (non-owning) capturing decisions, fault actions,
+  /// installs, and stale rejections.
+  void attach_log(fault::EventLog* log);
+
   /// Run until `count` further accesses have been *decided* (granted,
   /// denied, or aborted by coordinator failure).
   void run_decided_accesses(std::uint64_t count);
+
+  /// Run until the simulated clock reaches `t_end` (the soak-harness
+  /// driver: fault plans are scheduled in absolute time).
+  void run_until(double t_end);
 
   const std::vector<AccessOutcome>& outcomes() const noexcept { return outcomes_; }
 
@@ -87,7 +145,21 @@ public:
   };
   const std::vector<CommitRecord>& commits() const noexcept { return commits_; }
 
+  /// QR installs performed by fault-plan reassign actions.
+  struct InstallRecord {
+    std::uint64_t version = 0;
+    double decide_time = 0.0;
+    net::SiteId origin = 0;
+    quorum::QuorumSpec spec{};
+  };
+  const std::vector<InstallRecord>& installs() const noexcept { return installs_; }
+  const core::QuorumReassignment& reassignment() const noexcept { return qr_; }
+
   std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+  std::uint64_t messages_duplicated() const noexcept { return messages_duplicated_; }
+  std::uint64_t retries() const noexcept { return retries_; }
+  std::uint64_t stale_rejections() const noexcept { return stale_rejections_; }
   double now() const noexcept { return now_; }
   const conn::LiveNetwork& network() const noexcept { return live_; }
 
@@ -97,6 +169,9 @@ private:
     int phase = 1;
     double submit_time = 0.0;
     bool oracle_granted = false;
+    std::uint32_t attempt = 0;  // retries consumed so far
+    quorum::QuorumSpec spec{};  // assignment snapshot for this attempt
+    std::uint64_t qr_version = 1;
     net::Vote votes = 0;        // phase-1 votes collected
     net::Vote denied = 0;       // phase-1 votes refused (leased elsewhere)
     net::Vote acked = 0;        // phase-2 votes acked
@@ -132,15 +207,17 @@ private:
     kAccess,
     kDelivery,
     kTimer,
+    kFault,   // a fault-plan timeline action (index into the timeline)
+    kRetry,   // backoff expired: restart phase 1 for a pending request
   };
   struct Event {
     double time = 0.0;
     std::uint64_t seq = 0;
     Kind kind = Kind::kAccess;
-    std::uint32_t index = 0;      // site/link
+    std::uint32_t index = 0;      // site/link/timeline entry
     Message message{};            // kDelivery
-    net::SiteId target = 0;       // kDelivery destination, kTimer owner
-    std::uint64_t request = 0;    // kTimer
+    net::SiteId target = 0;       // kDelivery destination, kTimer/kRetry owner
+    std::uint64_t request = 0;    // kTimer/kRetry
     int phase = 0;                // kTimer
   };
   struct Later {
@@ -151,6 +228,7 @@ private:
   };
 
   void push(Event e);
+  void step(const Event& e);
   void send(net::SiteId from, net::LinkId link, const Message& m);
   void flood(net::SiteId from, std::uint64_t flood_id, const Message& m,
              net::LinkId except_link, bool has_except);
@@ -158,8 +236,22 @@ private:
   void handle_delivery(const Event& e);
   void handle_timer(const Event& e);
   void handle_access(net::SiteId origin);
-  void decide(net::SiteId coordinator, std::uint64_t request, bool granted);
+  void start_coordination(net::SiteId origin, std::uint64_t request);
+  void retry(net::SiteId coordinator, std::uint64_t old_request);
+  void decide(net::SiteId coordinator, std::uint64_t request, bool granted,
+              DenyReason reason = DenyReason::kNone);
+  void abort_flood(net::SiteId coordinator, std::uint64_t request);
   void on_site_failed(net::SiteId s);
+  void apply_fault(const fault::Action& action);
+  void sync_component_copies(net::SiteId origin);
+  /// True if a crash-on-commit trigger fired and crashed `coordinator`.
+  bool maybe_crash_on_commit(net::SiteId coordinator, std::uint64_t request);
+  void stamp(Message& m, net::SiteId author) const;
+  void maybe_adopt(net::SiteId here, const Message& m);
+  double commit_deadline() const {
+    return params_.commit_timeout > 0.0 ? params_.commit_timeout
+                                        : params_.phase_timeout;
+  }
   std::uint64_t flood_key(std::uint64_t request, int phase) const {
     return request * 4 + static_cast<std::uint64_t>(phase - 1);  // phases 1..3
   }
@@ -168,7 +260,10 @@ private:
   Params params_;
   conn::LiveNetwork live_;
   conn::ComponentTracker tracker_;
+  core::QuorumReassignment qr_;
   rng::Xoshiro256ss gen_;
+  fault::FaultInjector* injector_ = nullptr;
+  fault::EventLog* log_ = nullptr;
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::uint64_t next_seq_ = 0;
@@ -184,7 +279,12 @@ private:
 
   std::vector<AccessOutcome> outcomes_;
   std::vector<CommitRecord> commits_;
+  std::vector<InstallRecord> installs_;
   std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t messages_duplicated_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t stale_rejections_ = 0;
 };
 
 } // namespace quora::msg

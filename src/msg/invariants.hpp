@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "msg/cluster.hpp"
+
+namespace quora::msg {
+
+/// Result of a post-run safety audit: every violated invariant, as one
+/// human-readable line each. Empty == the run was safe.
+struct SafetyReport {
+  std::vector<std::string> violations;
+  std::uint64_t reads_checked = 0;
+  std::uint64_t writes_checked = 0;
+  bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Audit a finished (or paused) run of `cluster` against the protocol's
+/// safety invariants. These must hold under ANY fault plan — partitions,
+/// flaps, message drop/duplication, crash-during-commit:
+///
+///  1. Real-time read consistency: a granted read returns a version at
+///     least as new as every write whose commit was *decided* before the
+///     read was submitted.
+///  2. Unique versions: no two granted writes commit the same version
+///     number (the write-lease + quorum-intersection guarantee).
+///  3. No stale-assignment operation: no access is granted under a QR
+///     assignment version older than an assignment whose installation was
+///     decided before the access was submitted (§2.2 safety).
+///  4. Causal decision times: every outcome decides at or after its
+///     submission, and times are finite.
+///
+/// Liveness (availability) is deliberately NOT checked here — fault plans
+/// are free to make the system unavailable; they must never make it wrong.
+SafetyReport check_safety(const Cluster& cluster);
+
+} // namespace quora::msg

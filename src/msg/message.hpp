@@ -49,6 +49,15 @@ struct Message {
   net::Vote votes = 0;              // replier's votes
   std::uint64_t version = 0;        // replier's copy / commit version
   std::uint64_t value = 0;          // replier's copy / commit value
+
+  /// QR reassignment piggyback (§2.2): every message carries its author's
+  /// stored assignment. Receivers adopt strictly newer versions (gossip
+  /// anti-entropy); a voter whose stored version exceeds a request's
+  /// denies it — the stale-version rejection that keeps a superseded
+  /// assignment from ever assembling a quorum.
+  std::uint64_t qr_version = 0;
+  net::Vote qr_r = 0;
+  net::Vote qr_w = 0;
 };
 
 } // namespace quora::msg

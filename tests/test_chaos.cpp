@@ -1,0 +1,285 @@
+// Chaos scenarios against the message-level cluster: scripted partitions,
+// crash-during-commit partial writes, retry/backoff behaviour, QR
+// reassignment under partitions with stale-version rejection, and the
+// byte-identical determinism contract of the fault-injection engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/event_log.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "msg/cluster.hpp"
+#include "msg/invariants.hpp"
+#include "net/builders.hpp"
+
+namespace quora::msg {
+namespace {
+
+/// Failure-free background model: the fault plan is the only source of
+/// faults, so every effect in a test is the scripted one.
+Cluster::Params chaos_params(net::Vote q_r, net::Vote q_w) {
+  Cluster::Params params;
+  params.spec = quorum::QuorumSpec{q_r, q_w};
+  params.config.reliability = 0.999999;
+  params.config.rho = 1e-9;
+  return params;
+}
+
+struct ChaosRun {
+  fault::EventLog log;
+  std::vector<AccessOutcome> outcomes;
+  std::vector<Cluster::CommitRecord> commits;
+  SafetyReport safety;
+  std::uint64_t retries = 0;
+  std::uint64_t stale_rejections = 0;
+  std::uint64_t installs = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+};
+
+ChaosRun run_chaos(const net::Topology& topo, Cluster::Params params,
+                   const fault::FaultPlan& plan, std::uint64_t seed,
+                   double horizon) {
+  Cluster cluster(topo, params, seed);
+  fault::FaultInjector injector(plan, seed);
+  ChaosRun run;
+  cluster.attach_injector(&injector);
+  cluster.attach_log(&run.log);
+  cluster.run_until(horizon);
+  run.outcomes = cluster.outcomes();
+  run.commits = cluster.commits();
+  run.safety = check_safety(cluster);
+  run.retries = cluster.retries();
+  run.stale_rejections = cluster.stale_rejections();
+  run.installs = cluster.installs().size();
+  run.dropped = cluster.messages_dropped();
+  run.duplicated = cluster.messages_duplicated();
+  return run;
+}
+
+std::uint64_t count_reason(const ChaosRun& run, DenyReason reason) {
+  std::uint64_t n = 0;
+  for (const AccessOutcome& o : run.outcomes) n += o.deny_reason == reason;
+  return n;
+}
+
+/// One-copy check on the visible history: every granted outcome that
+/// exposes (version, value) must agree — a version number names exactly
+/// one value, even when partial writes float around after a coordinator
+/// crash.
+void expect_versions_name_unique_values(const ChaosRun& run) {
+  std::map<std::uint64_t, std::uint64_t> value_of;
+  for (const AccessOutcome& o : run.outcomes) {
+    if (!o.granted || o.version == 0) continue;
+    const auto [it, inserted] = value_of.emplace(o.version, o.value);
+    EXPECT_EQ(it->second, o.value)
+        << "version " << o.version << " observed with two values";
+  }
+}
+
+TEST(Chaos, CleanPartitionDegradesAvailabilityNotSafety) {
+  const net::Topology topo = net::make_ring_with_chords(10, 2);
+  fault::FaultPlan plan;
+  plan.partition(30.0, {{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9}}).heal(80.0);
+  const ChaosRun run =
+      run_chaos(topo, chaos_params(4, 7), plan, 17, 120.0);
+
+  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front();
+  expect_versions_name_unique_values(run);
+  // The 4-site side can never reach q_r=4... it holds exactly 4 votes, so
+  // reads survive there; writes (q_w=7) die on both metrics during the
+  // partition: expect a visible pile of no-quorum denials.
+  EXPECT_GT(count_reason(run, DenyReason::kNoQuorum), 0u);
+  // After the heal the system must still decide accesses.
+  std::uint64_t granted_after_heal = 0;
+  for (const AccessOutcome& o : run.outcomes) {
+    granted_after_heal += o.granted && o.submit_time > 85.0;
+  }
+  EXPECT_GT(granted_after_heal, 0u);
+}
+
+TEST(Chaos, CrashDuringCommitLeavesConsistentVersions) {
+  const net::Topology topo = net::make_ring_with_chords(10, 2);
+  fault::FaultPlan plan;
+  plan.arm_crash_on_commit(10.0, fault::kAnySite, 15.0)
+      .arm_crash_on_commit(50.0, fault::kAnySite, 15.0);
+  const ChaosRun run =
+      run_chaos(topo, chaos_params(4, 7), plan, 23, 120.0);
+
+  // Both triggers must have fired: the coordinator died after flooding
+  // its commit but before assembling the ack quorum.
+  EXPECT_EQ(count_reason(run, DenyReason::kCoordinatorCrash), 2u);
+  ASSERT_EQ(2, std::count_if(run.log.lines().begin(), run.log.lines().end(),
+                             [](const std::string& l) {
+                               return l.find("crash-on-commit coord=") !=
+                                      std::string::npos;
+                             }));
+
+  // The partial write is deliberately not rolled back. Version-number
+  // semantics must absorb it: later writes pick strictly newer versions
+  // (no duplicate commit), later reads never go backwards, and any site
+  // that applied the orphaned commit agrees on its value.
+  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front();
+  expect_versions_name_unique_values(run);
+
+  // The system keeps committing after both crashes.
+  std::uint64_t commits_after = 0;
+  for (const Cluster::CommitRecord& c : run.commits) {
+    commits_after += c.decide_time > 60.0;
+  }
+  EXPECT_GT(commits_after, 0u);
+}
+
+TEST(Chaos, RetriesRecoverTimeoutsOnALossyNetwork) {
+  const net::Topology topo = net::make_ring_with_chords(10, 2);
+  fault::FaultPlan plan;
+  plan.drop(0.0, 120.0, 0.3);
+
+  Cluster::Params no_retries = chaos_params(4, 7);
+  Cluster::Params with_retries = chaos_params(4, 7);
+  with_retries.max_retries = 3;
+
+  const ChaosRun baseline = run_chaos(topo, no_retries, plan, 31, 120.0);
+  const ChaosRun retried = run_chaos(topo, with_retries, plan, 31, 120.0);
+
+  EXPECT_EQ(baseline.retries, 0u);
+  EXPECT_GT(retried.retries, 0u);
+  EXPECT_GT(baseline.dropped, 0u);
+
+  const auto availability = [](const ChaosRun& run) {
+    std::uint64_t granted = 0;
+    for (const AccessOutcome& o : run.outcomes) granted += o.granted;
+    return static_cast<double>(granted) /
+           static_cast<double>(run.outcomes.size());
+  };
+  // Retries must buy real availability on a 30%-loss network.
+  EXPECT_GT(availability(retried), availability(baseline) + 0.05);
+
+  // Without a retry budget a lost phase ends in kTimeout; with one,
+  // unrecoverable accesses surface as kAbandoned with attempts consumed.
+  EXPECT_GT(count_reason(baseline, DenyReason::kTimeout), 0u);
+  EXPECT_EQ(count_reason(baseline, DenyReason::kAbandoned), 0u);
+  EXPECT_GT(count_reason(retried, DenyReason::kAbandoned), 0u);
+  for (const AccessOutcome& o : retried.outcomes) {
+    if (o.deny_reason == DenyReason::kAbandoned) {
+      EXPECT_GT(o.attempts, 0u);
+    }
+    if (o.deny_reason == DenyReason::kTimeout) {
+      EXPECT_EQ(o.attempts, 0u);
+    }
+  }
+  EXPECT_TRUE(retried.safety.ok()) << retried.safety.violations.front();
+  expect_versions_name_unique_values(retried);
+}
+
+TEST(Chaos, ReassignmentMidPartitionRejectsStaleCoordinators) {
+  const net::Topology topo = net::make_ring_with_chords(10, 2);
+  // {0..7} holds exactly q_w=8 votes: it may install (5,6) mid-partition.
+  // The partition then shifts so site 7 carries version 2 into the
+  // version-1 group {7,8,9}, which holds exactly q_r(v1)=3 votes — its
+  // coordinators keep trying and must hit site 7's stale-version denial.
+  fault::FaultPlan plan;
+  plan.partition(20.0, {{0, 1, 2, 3, 4, 5, 6, 7}, {8, 9}})
+      .reassign(40.0, 2, quorum::QuorumSpec{5, 6})
+      .heal_links(60.0)
+      .partition(60.0, {{0, 1, 2, 3, 4, 5, 6}, {7, 8, 9}})
+      .heal(100.0);
+  const ChaosRun run =
+      run_chaos(topo, chaos_params(3, 8), plan, 5, 140.0);
+
+  EXPECT_EQ(run.installs, 1u);
+  EXPECT_TRUE(run.log.contains("fault reassign origin=2 qr=(5,6) v=2 installed"));
+  EXPECT_GT(run.stale_rejections, 0u);
+  EXPECT_TRUE(run.log.contains("stale-reject"));
+  EXPECT_GT(count_reason(run, DenyReason::kStaleAssignment), 0u);
+  // §2.2 safety: nothing was ever *granted* under the superseded
+  // assignment after the install decided, and reads stayed consistent.
+  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front();
+  expect_versions_name_unique_values(run);
+  // After the full heal everyone converges on version 2.
+  std::uint64_t granted_v2_after_heal = 0;
+  for (const AccessOutcome& o : run.outcomes) {
+    if (o.granted && o.submit_time > 105.0) {
+      EXPECT_EQ(o.qr_version, 2u);
+      ++granted_v2_after_heal;
+    }
+  }
+  EXPECT_GT(granted_v2_after_heal, 0u);
+}
+
+TEST(Chaos, OriginDownAccessesGetTheirOwnReason) {
+  const net::Topology topo = net::make_ring_with_chords(10, 2);
+  fault::FaultPlan plan;
+  plan.site_down(10.0, 2).heal(70.0);
+  const ChaosRun run =
+      run_chaos(topo, chaos_params(4, 7), plan, 41, 100.0);
+  EXPECT_GT(count_reason(run, DenyReason::kOriginDown), 0u);
+  for (const AccessOutcome& o : run.outcomes) {
+    if (o.deny_reason == DenyReason::kOriginDown) {
+      EXPECT_EQ(o.origin, 2u);
+      EXPECT_GT(o.submit_time, 10.0);
+      EXPECT_LT(o.submit_time, 70.0);
+    }
+  }
+  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front();
+}
+
+TEST(Chaos, SameSeedRunsReplayByteIdenticalLogs) {
+  const net::Topology topo = net::make_ring_with_chords(10, 2);
+  fault::FaultPlan plan;
+  plan.partition(20.0, {{0, 1, 2, 3, 4, 5, 6, 7}, {8, 9}})
+      .reassign(40.0, 2, quorum::QuorumSpec{5, 6})
+      .heal(60.0)
+      .drop(10.0, 90.0, 0.2)
+      .delay(10.0, 90.0, 0.3, 0.01)
+      .duplicate(10.0, 90.0, 0.15)
+      .arm_crash_on_commit(70.0, fault::kAnySite, 10.0);
+
+  Cluster::Params params = chaos_params(3, 8);
+  params.max_retries = 2;
+  const ChaosRun a = run_chaos(topo, params, plan, 777, 120.0);
+  const ChaosRun b = run_chaos(topo, params, plan, 777, 120.0);
+  EXPECT_EQ(a.log.lines(), b.log.lines());
+  EXPECT_EQ(a.log.hash(), b.log.hash());
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  EXPECT_GT(a.log.size(), 0u);
+  EXPECT_GT(a.duplicated, 0u);
+
+  // A different seed must actually change the run (the logs carry times).
+  const ChaosRun c = run_chaos(topo, params, plan, 778, 120.0);
+  EXPECT_NE(a.log.hash(), c.log.hash());
+}
+
+TEST(Chaos, InjectorDoesNotPerturbTheBaselineRun) {
+  // An attached injector whose plan is empty must leave the simulation
+  // byte-identical to no injector at all: the engine only consumes
+  // cluster randomness for its own events.
+  const net::Topology topo = net::make_ring_with_chords(10, 2);
+  Cluster::Params params = chaos_params(4, 7);
+
+  Cluster bare(topo, params, 11);
+  bare.run_until(80.0);
+
+  Cluster injected(topo, params, 11);
+  fault::FaultInjector empty(fault::FaultPlan{}, 11);
+  injected.attach_injector(&empty);
+  injected.run_until(80.0);
+
+  ASSERT_EQ(bare.outcomes().size(), injected.outcomes().size());
+  for (std::size_t i = 0; i < bare.outcomes().size(); ++i) {
+    EXPECT_DOUBLE_EQ(bare.outcomes()[i].submit_time,
+                     injected.outcomes()[i].submit_time);
+    EXPECT_DOUBLE_EQ(bare.outcomes()[i].decide_time,
+                     injected.outcomes()[i].decide_time);
+    EXPECT_EQ(bare.outcomes()[i].granted, injected.outcomes()[i].granted);
+  }
+  EXPECT_EQ(bare.messages_sent(), injected.messages_sent());
+}
+
+} // namespace
+} // namespace quora::msg

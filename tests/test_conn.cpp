@@ -38,6 +38,41 @@ TEST(LiveNetwork, VersionBumpsOnlyOnChange) {
   EXPECT_EQ(live.version(), v0 + 2);
 }
 
+TEST(LiveNetwork, ResetAllUpBumpsVersionIffStateChanged) {
+  const net::Topology topo = net::make_ring(5);
+  LiveNetwork live(topo);
+  // Everything is already up: reset must be a no-op for the version, or
+  // downstream caches (ComponentTracker) would rebuild for nothing.
+  const std::uint64_t v0 = live.version();
+  live.reset_all_up();
+  EXPECT_EQ(live.version(), v0);
+  live.reset_all_up();
+  EXPECT_EQ(live.version(), v0);
+
+  // Any real change must bump it exactly once per reset, no matter how
+  // many components it restores.
+  live.set_site_up(1, false);
+  live.set_site_up(3, false);
+  live.set_link_up(2, false);
+  const std::uint64_t v1 = live.version();
+  live.reset_all_up();
+  EXPECT_EQ(live.version(), v1 + 1);
+  live.reset_all_up();  // idempotent: back to the no-op case
+  EXPECT_EQ(live.version(), v1 + 1);
+}
+
+TEST(ComponentTracker, CacheRefreshesAcrossResetAllUp) {
+  const net::Topology topo = net::make_ring(6);
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  live.set_site_up(2, false);
+  live.set_site_up(5, false);
+  EXPECT_EQ(tracker.component_count(), 2u);
+  live.reset_all_up();
+  EXPECT_EQ(tracker.component_count(), 1u);
+  EXPECT_EQ(tracker.component_votes(0), topo.total_votes());
+}
+
 TEST(LiveNetwork, CountsTrackState) {
   const net::Topology topo = net::make_ring(5);
   LiveNetwork live(topo);

@@ -1,0 +1,329 @@
+// Tests for the fault-injection engine's offline half: the .chaos DSL
+// parser, the fluent FaultPlan builder, the FaultInjector's validation
+// and determinism contract, the EventLog, and the chaos static audit.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/chaos_audit.hpp"
+#include "fault/event_log.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "io/config_audit.hpp"
+
+namespace quora::fault {
+namespace {
+
+constexpr const char* kFullPlan = R"(# every directive once
+name kitchen-sink
+seed 42
+horizon 300
+quorum 8 18
+
+sites 25
+ring
+chords 4
+
+at 10 site 3 down
+at 20 site 3 up
+at 30 link 7 down
+at 40 link 7 up
+at 50 crash 5 for 15
+at 60 partition 0-12 | 13-24
+at 90 reassign 11 15 from 4
+at 120 heal-links
+at 150 heal
+at 160 crash-on-commit any for 20
+at 170 crash-on-commit 9
+flap link 2 from 180 until 200 period 4
+window 10 100 drop 0.25
+window 10 100 delay 0.5 0.01
+window 10 100 duplicate 0.1 link 3
+)";
+
+TEST(ChaosParser, ParsesEveryDirective) {
+  std::istringstream in(kFullPlan);
+  const ChaosSpec spec = load_chaos(in);
+  EXPECT_EQ(spec.name, "kitchen-sink");
+  EXPECT_TRUE(spec.has_seed);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_DOUBLE_EQ(spec.horizon, 300.0);
+  ASSERT_TRUE(spec.has_quorum);
+  EXPECT_EQ(spec.quorum.q_r, 8u);
+  EXPECT_EQ(spec.quorum.q_w, 18u);
+  ASSERT_TRUE(spec.system.has_value());
+  EXPECT_EQ(spec.system->topology.site_count(), 25u);
+  EXPECT_EQ(spec.system->topology.link_count(), 29u);  // ring + 4 chords
+  EXPECT_EQ(spec.plan.rules().size(), 3u);
+
+  // crash expands to down+up, flap to a toggle train ending in link-up.
+  std::size_t partitions = 0;
+  std::size_t reassigns = 0;
+  std::size_t crash_arms = 0;
+  for (const Action& a : spec.plan.actions()) {
+    partitions += a.kind == Action::Kind::kPartition;
+    reassigns += a.kind == Action::Kind::kReassign;
+    crash_arms += a.kind == Action::Kind::kArmCrashOnCommit;
+  }
+  EXPECT_EQ(partitions, 1u);
+  EXPECT_EQ(reassigns, 1u);
+  EXPECT_EQ(crash_arms, 2u);
+}
+
+TEST(ChaosParser, PartitionGroupsExpandRangesAndCommas) {
+  std::istringstream in("sites 10\nring\nat 5 partition 0-2,7 | 3-6,8,9\n");
+  const ChaosSpec spec = load_chaos(in);
+  const Action* partition = nullptr;
+  for (const Action& a : spec.plan.actions()) {
+    if (a.kind == Action::Kind::kPartition) partition = &a;
+  }
+  ASSERT_NE(partition, nullptr);
+  ASSERT_EQ(partition->groups.size(), 2u);
+  EXPECT_EQ(partition->groups[0], (std::vector<net::SiteId>{0, 1, 2, 7}));
+  EXPECT_EQ(partition->groups[1], (std::vector<net::SiteId>{3, 4, 5, 6, 8, 9}));
+}
+
+TEST(ChaosParser, FlapAlwaysHandsTheLinkBack) {
+  std::istringstream in("sites 5\nring\nflap link 1 from 0 until 10 period 3\n");
+  const ChaosSpec spec = load_chaos(in);
+  const auto& actions = spec.plan.actions();
+  ASSERT_FALSE(actions.empty());
+  // Toggles at 0 (down), 3 (up), 6 (down), 9 (up), then the guaranteed
+  // link-up at the window end.
+  EXPECT_EQ(actions.size(), 5u);
+  EXPECT_EQ(actions.back().kind, Action::Kind::kLinkUp);
+  EXPECT_DOUBLE_EQ(actions.back().time, 10.0);
+}
+
+TEST(ChaosParser, RejectsMalformedLinesWithLineNumbers) {
+  const char* bad[] = {
+      "at ten site 0 down\n",                 // non-numeric time
+      "at 5 site 0 sideways\n",               // bad state
+      "at 5 partition 0-4\n",                 // one group only
+      "at 5 reassign 3 from 0\n",             // missing q_w
+      "window 5 10 teleport 0.5\n",           // unknown rule kind
+      "flap link 0 from 10 until 5 period 1\n",  // inverted window
+      "at 5 site 0 down extra\n",             // trailing junk
+  };
+  for (const char* text : bad) {
+    std::istringstream in(std::string("sites 5\nring\n") + text);
+    EXPECT_THROW(load_chaos(in), io::ParseError) << text;
+  }
+}
+
+TEST(ChaosParser, SystemLinesPassThroughToLoadSystem) {
+  std::istringstream in(
+      "sites 4\nlink 0 1\nlink 1 2\nlink 2 3\nvote 2 3\nat 1 heal\n");
+  const ChaosSpec spec = load_chaos(in);
+  EXPECT_EQ(spec.system->topology.votes(2), 3u);
+  EXPECT_EQ(spec.system->topology.link_count(), 3u);
+}
+
+TEST(FaultPlanBuilder, MatchesParsedEquivalent) {
+  FaultPlan built;
+  built.partition(60.0, {{0, 1, 2}, {3, 4}})
+      .reassign(90.0, 0, quorum::QuorumSpec{3, 3})
+      .heal(150.0)
+      .drop(10.0, 100.0, 0.25);
+  std::istringstream in(
+      "sites 5\nring\nat 60 partition 0-2 | 3-4\n"
+      "at 90 reassign 3 3 from 0\nat 150 heal\nwindow 10 100 drop 0.25\n");
+  const ChaosSpec parsed = load_chaos(in);
+  ASSERT_EQ(built.actions().size(), parsed.plan.actions().size());
+  for (std::size_t i = 0; i < built.actions().size(); ++i) {
+    EXPECT_EQ(built.actions()[i].kind, parsed.plan.actions()[i].kind) << i;
+    EXPECT_DOUBLE_EQ(built.actions()[i].time, parsed.plan.actions()[i].time);
+  }
+  ASSERT_EQ(parsed.plan.rules().size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.plan.rules()[0].probability, 0.25);
+}
+
+TEST(FaultInjector, ValidatesThePlan) {
+  {
+    FaultPlan p;
+    p.site_down(-1.0, 0);
+    EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.drop(0.0, 10.0, 1.5);
+    EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.drop(10.0, 5.0, 0.5);
+    EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.partition(5.0, {{0, 1, 2}});
+    EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.arm_crash_on_commit(5.0, kAnySite, 0.0);
+    EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
+  }
+}
+
+TEST(FaultInjector, TimelineIsStablySortedByTime) {
+  FaultPlan p;
+  p.heal(50.0).site_down(10.0, 1).heal_links(50.0).site_up(20.0, 1);
+  const FaultInjector injector(p, 1);
+  const auto& timeline = injector.timeline();
+  ASSERT_EQ(timeline.size(), 4u);
+  EXPECT_EQ(timeline[0].kind, Action::Kind::kSiteDown);
+  EXPECT_EQ(timeline[1].kind, Action::Kind::kSiteUp);
+  // Equal times keep plan order: heal before heal-links.
+  EXPECT_EQ(timeline[2].kind, Action::Kind::kHeal);
+  EXPECT_EQ(timeline[3].kind, Action::Kind::kHealLinks);
+}
+
+TEST(FaultInjector, SameSeedSameQuerySequenceIsDeterministic) {
+  FaultPlan p;
+  p.drop(0.0, 100.0, 0.3).delay(0.0, 100.0, 0.4, 0.02).duplicate(0.0, 100.0, 0.2);
+  FaultInjector a(p, 99);
+  FaultInjector b(p, 99);
+  for (int i = 0; i < 500; ++i) {
+    const net::LinkId link = static_cast<net::LinkId>(i % 7);
+    const double t = 0.2 * i;
+    const MessageFault fa = a.on_send(link, t, 0.005);
+    const MessageFault fb = b.on_send(link, t, 0.005);
+    EXPECT_EQ(fa.drop, fb.drop);
+    EXPECT_EQ(fa.duplicate, fb.duplicate);
+    EXPECT_DOUBLE_EQ(fa.extra_delay, fb.extra_delay);
+    EXPECT_DOUBLE_EQ(fa.dup_extra, fb.dup_extra);
+  }
+}
+
+TEST(FaultInjector, RulesApplyOnlyInsideTheirWindowAndLink) {
+  FaultPlan p;
+  p.drop(10.0, 20.0, 1.0, 3);  // certain drop, link 3 only
+  FaultInjector injector(p, 7);
+  EXPECT_FALSE(injector.on_send(3, 5.0, 0.005).drop);    // before the window
+  EXPECT_TRUE(injector.on_send(3, 15.0, 0.005).drop);    // inside
+  EXPECT_FALSE(injector.on_send(2, 15.0, 0.005).drop);   // other link
+  EXPECT_FALSE(injector.on_send(3, 20.0, 0.005).drop);   // half-open end
+}
+
+TEST(FaultInjector, DelayAndDuplicateProducePositiveExtras) {
+  FaultPlan p;
+  p.delay(0.0, 10.0, 1.0, 0.05).duplicate(0.0, 10.0, 1.0);
+  FaultInjector injector(p, 11);
+  const MessageFault f = injector.on_send(0, 1.0, 0.005);
+  EXPECT_GT(f.extra_delay, 0.0);
+  ASSERT_TRUE(f.duplicate);
+  EXPECT_GT(f.dup_extra, 0.0);
+}
+
+TEST(FaultInjector, CrashOnCommitTriggersAreOneShotAndFiltered) {
+  FaultPlan p;
+  FaultInjector injector(p, 1);
+  injector.arm_crash_on_commit(4, 12.0);
+  injector.arm_crash_on_commit(kAnySite, 7.0);
+  // Site 3 matches only the wildcard trigger.
+  const auto any = injector.take_crash_on_commit(3);
+  ASSERT_TRUE(any.has_value());
+  EXPECT_DOUBLE_EQ(*any, 7.0);
+  // Site 4's dedicated trigger is still armed; a second take finds nothing.
+  const auto dedicated = injector.take_crash_on_commit(4);
+  ASSERT_TRUE(dedicated.has_value());
+  EXPECT_DOUBLE_EQ(*dedicated, 12.0);
+  EXPECT_FALSE(injector.take_crash_on_commit(4).has_value());
+  EXPECT_EQ(injector.armed_crash_count(), 0u);
+}
+
+TEST(EventLog, DeterministicBytesAndHash) {
+  EventLog a;
+  EventLog b;
+  a.record(1.0 / 3.0, "decide id=1");
+  a.record(2.5, "fault heal");
+  b.record(1.0 / 3.0, "decide id=1");
+  b.record(2.5, "fault heal");
+  EXPECT_EQ(a.lines(), b.lines());
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.lines()[0], "t=0.333333 decide id=1");
+  EXPECT_TRUE(a.contains("fault heal"));
+  EXPECT_FALSE(a.contains("partition"));
+  b.record(3.0, "one more");
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(ChaosAudit, AcceptsTheShippedStylePlan) {
+  std::istringstream in(kFullPlan);
+  const io::AuditReport report = audit_chaos(in);
+  EXPECT_TRUE(report.ok()) << "unexpected findings";
+}
+
+TEST(ChaosAudit, FlagsScheduleProblems) {
+  {
+    std::istringstream in("sites 5\nring\nquorum 3 3\nwindow 80 40 drop 0.5\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(io::AuditCode::kChaosBadSchedule));
+  }
+  {
+    // Overlapping partition groups.
+    std::istringstream in(
+        "horizon 100\nsites 5\nring\nquorum 3 3\nat 10 partition 0-2 | 2-4\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_TRUE(report.has(io::AuditCode::kChaosBadSchedule));
+  }
+  {
+    // Missing horizon is an error: the soak harness needs a duration.
+    std::istringstream in("sites 5\nring\nquorum 3 3\nat 10 heal\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_TRUE(report.has(io::AuditCode::kChaosBadSchedule));
+  }
+  {
+    // Actions beyond the horizon only warn.
+    std::istringstream in("horizon 50\nsites 5\nring\nquorum 3 3\nat 60 heal\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(report.has(io::AuditCode::kChaosBadSchedule));
+  }
+}
+
+TEST(ChaosAudit, FlagsUnknownTargets) {
+  {
+    std::istringstream in("horizon 100\nsites 5\nring\nquorum 3 3\nat 10 site 9 down\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(io::AuditCode::kChaosUnknownTarget));
+  }
+  {
+    std::istringstream in(
+        "horizon 100\nsites 5\nring\nquorum 3 3\nwindow 0 10 drop 0.5 link 99\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_TRUE(report.has(io::AuditCode::kChaosUnknownTarget));
+  }
+}
+
+TEST(ChaosAudit, ReusesQuorumCodesForAssignments) {
+  {
+    // Initial assignment lacks read-write intersection: 2+2 <= 5.
+    std::istringstream in("horizon 100\nsites 5\nring\nquorum 2 2\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(io::AuditCode::kQuorumIntersection));
+  }
+  {
+    // A reassign target is audited like the initial assignment.
+    std::istringstream in(
+        "horizon 100\nsites 5\nring\nquorum 3 3\nat 10 reassign 1 2 from 0\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_FALSE(report.ok());
+  }
+}
+
+TEST(ChaosAudit, ParseFailureIsAFinding) {
+  std::istringstream in("sites 5\nring\nat nonsense\n");
+  const io::AuditReport report = audit_chaos(in);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(io::AuditCode::kParseError));
+}
+
+} // namespace
+} // namespace quora::fault

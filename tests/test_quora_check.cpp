@@ -198,7 +198,8 @@ TEST(QuoraCheck, AuditCodeNamesAreUniqueSlugs) {
       AuditCode::kStaleQrVersion,       AuditCode::kUnreachableQuorum,
       AuditCode::kUnreachableVotes,     AuditCode::kZeroVoteSite,
       AuditCode::kEvenVoteTotal,        AuditCode::kCoterieIntersection,
-      AuditCode::kCoterieMinimality,
+      AuditCode::kCoterieMinimality,    AuditCode::kChaosBadSchedule,
+      AuditCode::kChaosUnknownTarget,
   };
   std::set<std::string> names;
   for (const AuditCode code : all) names.insert(audit_code_name(code));

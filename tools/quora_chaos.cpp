@@ -1,0 +1,253 @@
+// quora-chaos — deterministic chaos soak harness for the message-level
+// protocol.
+//
+//   quora_chaos [--seed N] [--horizon T] [--max-retries K] [--log FILE]
+//               [--verify-determinism] [--quiet] PLAN.chaos...
+//
+// Each plan file (grammar: docs/FAULT_INJECTION.md) carries its own
+// topology, initial quorum assignment, seed, and horizon; the flags
+// override the file. The harness audits the plan statically (quora_check's
+// chaos rules), replays it against a `msg::Cluster` with the fault
+// injector attached, and then audits the run against the protocol's
+// safety invariants (msg/invariants.hpp):
+//
+//   1. granted reads observe every previously decided write;
+//   2. no two writes commit the same version;
+//   3. nothing is granted under a superseded QR assignment;
+//   4. decision times are causal.
+//
+// Fault plans may tank availability — they must never produce a safety
+// violation. With --verify-determinism every plan is replayed twice and
+// the two event logs compared byte for byte.
+//
+// Exit status: 0 all plans safe (and deterministic, if requested);
+// 1 a safety-invariant violation or determinism mismatch; 2 usage,
+// I/O, or plan-audit errors.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/chaos_audit.hpp"
+#include "fault/event_log.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "io/config_audit.hpp"
+#include "msg/cluster.hpp"
+#include "msg/invariants.hpp"
+
+namespace {
+
+using namespace quora;
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: quora_chaos [options] PLAN.chaos...\n"
+         "  --seed N              override the plan's seed\n"
+         "  --horizon T           override the plan's horizon (simulated time)\n"
+         "  --max-retries K       coordinator retry budget (default 2)\n"
+         "  --log FILE            append every run's event log to FILE\n"
+         "  --verify-determinism  run each plan twice, diff the event logs\n"
+         "  --quiet               only print per-plan verdict lines\n";
+  std::exit(2);
+}
+
+struct Options {
+  std::optional<std::uint64_t> seed;
+  std::optional<double> horizon;
+  std::uint32_t max_retries = 2;
+  std::string log_path;
+  bool verify_determinism = false;
+  bool quiet = false;
+  std::vector<std::string> plans;
+};
+
+struct RunResult {
+  fault::EventLog log;
+  msg::SafetyReport safety;
+  std::uint64_t decided = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t denied_by[msg::kDenyReasonCount] = {};
+  std::uint64_t retries = 0;
+  std::uint64_t stale_rejections = 0;
+  std::uint64_t installs = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+};
+
+RunResult run_plan(const fault::ChaosSpec& spec, std::uint64_t seed,
+                   double horizon, std::uint32_t max_retries) {
+  const net::Topology& topo = spec.system->topology;
+
+  msg::Cluster::Params params;
+  if (spec.has_quorum) {
+    params.spec = spec.quorum;
+  } else {
+    const net::Vote majority =
+        static_cast<net::Vote>(topo.total_votes() / 2 + 1);
+    params.spec = quorum::QuorumSpec{majority, majority};
+  }
+  params.max_retries = max_retries;
+  // The plan is the failure source: background Poisson failures are pushed
+  // out past the horizon so every fault in the log is a scripted one.
+  params.config.reliability = 0.999999;
+  params.config.rho = 1e-9;
+
+  msg::Cluster cluster(topo, params, seed);
+  fault::FaultInjector injector(spec.plan, seed);
+  RunResult result;
+  cluster.attach_injector(&injector);
+  cluster.attach_log(&result.log);
+  cluster.run_until(horizon);
+
+  result.safety = msg::check_safety(cluster);
+  for (const msg::AccessOutcome& o : cluster.outcomes()) {
+    ++result.decided;
+    if (o.granted) {
+      ++result.granted;
+    } else {
+      ++result.denied_by[static_cast<std::size_t>(o.deny_reason)];
+    }
+  }
+  result.retries = cluster.retries();
+  result.stale_rejections = cluster.stale_rejections();
+  result.installs = cluster.installs().size();
+  result.messages_sent = cluster.messages_sent();
+  result.messages_dropped = cluster.messages_dropped();
+  result.messages_duplicated = cluster.messages_duplicated();
+  return result;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "quora_chaos: " << arg << " needs a value\n";
+        usage();
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--seed") {
+        opt.seed = std::stoull(value());
+      } else if (arg == "--horizon") {
+        opt.horizon = std::stod(value());
+      } else if (arg == "--max-retries") {
+        opt.max_retries = static_cast<std::uint32_t>(std::stoul(value()));
+      } else if (arg == "--log") {
+        opt.log_path = value();
+      } else if (arg == "--verify-determinism") {
+        opt.verify_determinism = true;
+      } else if (arg == "--quiet") {
+        opt.quiet = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::cerr << "quora_chaos: unknown option " << arg << '\n';
+        usage();
+      } else {
+        opt.plans.push_back(arg);
+      }
+    } catch (const std::exception&) {
+      std::cerr << "quora_chaos: bad value for " << arg << '\n';
+      usage();
+    }
+  }
+  if (opt.plans.empty()) usage();
+
+  std::ofstream log_out;
+  if (!opt.log_path.empty()) {
+    log_out.open(opt.log_path, std::ios::app);
+    if (!log_out) {
+      std::cerr << "quora_chaos: cannot open " << opt.log_path << '\n';
+      return 2;
+    }
+  }
+
+  bool any_unsafe = false;
+  for (const std::string& path : opt.plans) {
+    // Static audit first: a plan that fails its own sanity checks is a
+    // usage error, not a chaos finding.
+    io::AuditReport audit;
+    fault::ChaosSpec spec;
+    try {
+      audit = fault::audit_chaos_file(path);
+      if (audit.ok()) spec = fault::load_chaos_file(path);
+    } catch (const std::exception& e) {
+      std::cerr << "quora_chaos: " << path << ": " << e.what() << '\n';
+      return 2;
+    }
+    if (!audit.ok()) {
+      std::cerr << "quora_chaos: " << path << " fails static audit:\n";
+      io::write_report(std::cerr, audit);
+      return 2;
+    }
+
+    const std::uint64_t seed = opt.seed.value_or(spec.seed);
+    const double horizon = opt.horizon.value_or(spec.horizon);
+    if (!(horizon > 0.0)) {
+      std::cerr << "quora_chaos: " << path
+                << ": no horizon in the plan and none on the command line\n";
+      return 2;
+    }
+
+    RunResult run = run_plan(spec, seed, horizon, opt.max_retries);
+    bool deterministic = true;
+    if (opt.verify_determinism) {
+      const RunResult replay = run_plan(spec, seed, horizon, opt.max_retries);
+      deterministic = replay.log.lines() == run.log.lines();
+    }
+
+    if (log_out.is_open()) {
+      log_out << "== " << spec.name << " seed=" << seed << '\n';
+      run.log.write(log_out);
+    }
+
+    if (!opt.quiet) {
+      std::cout << "plan " << spec.name << " (" << path << ")\n"
+                << "  seed=" << seed << " horizon=" << horizon
+                << " accesses=" << run.decided << " granted=" << run.granted
+                << '\n'
+                << "  retries=" << run.retries
+                << " stale-rejections=" << run.stale_rejections
+                << " qr-installs=" << run.installs << '\n'
+                << "  messages sent=" << run.messages_sent
+                << " dropped=" << run.messages_dropped
+                << " duplicated=" << run.messages_duplicated << '\n'
+                << "  denials:";
+      for (std::size_t r = 1; r < msg::kDenyReasonCount; ++r) {
+        if (run.denied_by[r] == 0) continue;
+        std::cout << ' '
+                  << msg::deny_reason_name(static_cast<msg::DenyReason>(r))
+                  << '=' << run.denied_by[r];
+      }
+      std::cout << "\n  log lines=" << run.log.size() << " hash=" << std::hex
+                << run.log.hash() << std::dec << '\n';
+    }
+
+    const bool safe = run.safety.ok() && deterministic;
+    any_unsafe = any_unsafe || !safe;
+    if (!run.safety.ok()) {
+      std::cout << "  SAFETY VIOLATIONS (" << run.safety.violations.size()
+                << "):\n";
+      for (const std::string& v : run.safety.violations) {
+        std::cout << "    " << v << '\n';
+      }
+    }
+    if (!deterministic) {
+      std::cout << "  DETERMINISM MISMATCH: two same-seed runs diverged\n";
+    }
+    std::cout << (safe ? "SAFE " : "UNSAFE ") << spec.name << " ("
+              << run.safety.reads_checked << " reads, "
+              << run.safety.writes_checked << " writes checked)\n";
+  }
+  return any_unsafe ? 1 : 0;
+}

@@ -1,4 +1,5 @@
-// quora-check — static audit of topology/vote/quorum configurations.
+// quora-check — static audit of topology/vote/quorum configurations and
+// .chaos fault-plan scenarios.
 //
 //   quora_check [--json] [--strict] [--quiet] FILE...
 //
@@ -20,9 +21,16 @@
 #include <string>
 #include <vector>
 
+#include "fault/chaos_audit.hpp"
 #include "io/config_audit.hpp"
 
 namespace {
+
+bool is_chaos_file(const std::string& path) {
+  const std::string suffix = ".chaos";
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
 
 [[noreturn]] void usage() {
   std::cerr << "usage: quora_check [--json] [--strict] [--quiet] FILE...\n"
@@ -62,7 +70,10 @@ int main(int argc, char** argv) {
   for (const std::string& file : files) {
     quora::io::AuditReport report;
     try {
-      report = quora::io::audit_config_file(file);
+      // .chaos scenarios get the fault-plan audit (schedule sanity plus
+      // topology range checks); everything else is a plain configuration.
+      report = is_chaos_file(file) ? quora::fault::audit_chaos_file(file)
+                                   : quora::io::audit_config_file(file);
     } catch (const std::exception& e) {
       std::cerr << "quora_check: " << e.what() << '\n';
       return 2;
