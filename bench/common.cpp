@@ -1,5 +1,8 @@
 #include "common.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -25,14 +28,102 @@ namespace {
       << "  --stride N         q_r row stride in printed tables (default 7)\n"
       << "  --csv PATH         also write the full series as CSV\n"
       << "  --svg PATH         also render the figure as an SVG plot\n"
+      << "  --json PATH        also write figure timings (quora-bench/1 schema)\n"
       << "  --help             this text\n";
   std::exit(code);
+}
+
+[[noreturn]] void bad_value(const char* prog, std::string_view flag,
+                            std::string_view value, const char* expected) {
+  std::cerr << prog << ": " << flag << " expects " << expected << ", got \""
+            << value << "\"\n";
+  std::exit(2);
+}
+
+/// Strict unsigned parse: the whole token must be a decimal (or, with
+/// base 0, 0x-prefixed) integer inside [min, max].
+std::uint64_t parse_uint(const char* prog, std::string_view flag,
+                         std::string_view value, std::uint64_t min,
+                         std::uint64_t max, const char* expected,
+                         int base = 10) {
+  const std::string token(value);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(token.c_str(), &end, base);
+  if (token.empty() || end != token.c_str() + token.size() || errno == ERANGE ||
+      token.front() == '-') {
+    bad_value(prog, flag, value, expected);
+  }
+  if (parsed < min || parsed > max) bad_value(prog, flag, value, expected);
+  return parsed;
+}
+
+double parse_fraction(const char* prog, std::string_view flag,
+                      std::string_view value, const char* expected) {
+  const std::string token(value);
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size() || errno == ERANGE ||
+      !(parsed > 0.0 && parsed <= 1.0)) {
+    bad_value(prog, flag, value, expected);
+  }
+  return parsed;
+}
+
+/// Append one case to a quora-bench/1 JSON report, creating the file (and
+/// re-writing prior cases) on each call so partially-finished multi-figure
+/// runs still leave a valid document behind.
+struct JsonReport {
+  struct Case {
+    std::string name;
+    std::uint64_t items = 0;
+    double wall_s = 0.0;
+  };
+  std::vector<Case> cases;
+
+  void write(const std::string& path, std::uint64_t seed) const {
+    std::ofstream out(path);
+    out << "{\n  \"schema\": \"quora-bench/1\",\n"
+        << "  \"revision\": \"\",\n  \"mode\": \"figure\",\n"
+        << "  \"seed\": " << seed << ",\n  \"cases\": [";
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const Case& c = cases[i];
+      const double ns =
+          c.items > 0 ? c.wall_s * 1e9 / static_cast<double>(c.items) : 0.0;
+      const double ops = c.wall_s > 0.0
+                             ? static_cast<double>(c.items) / c.wall_s
+                             : 0.0;
+      out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << c.name
+          << "\", \"items\": " << c.items << ", \"wall_s\": " << c.wall_s
+          << ", \"ns_per_op\": " << ns << ", \"ops_per_sec\": " << ops << "}";
+    }
+    out << "\n  ]\n}\n";
+  }
+};
+
+JsonReport g_json_report;
+
+/// Figure titles become case names: lowercase, punctuation to '-'.
+std::string slugify(const std::string& title) {
+  std::string slug;
+  for (const char ch : title) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      slug.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug.push_back('-');
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug;
 }
 
 } // namespace
 
 RunScale parse_args(int argc, char** argv) {
   RunScale scale;
+  bool min_batches_set = false;
   const auto need_value = [&](int& i) -> std::string_view {
     if (i + 1 >= argc) {
       std::cerr << argv[0] << ": missing value for " << argv[i] << '\n';
@@ -51,35 +142,54 @@ RunScale parse_args(int argc, char** argv) {
       scale.max_batches = 18;
       scale.ci_target = 0.005;
     } else if (arg == "--warmup") {
-      scale.warmup = std::strtoull(need_value(i).data(), nullptr, 10);
+      scale.warmup = parse_uint(argv[0], arg, need_value(i), 0, 1'000'000'000,
+                                "an access count in [0, 1e9]");
     } else if (arg == "--batch") {
-      scale.batch = std::strtoull(need_value(i).data(), nullptr, 10);
+      scale.batch = parse_uint(argv[0], arg, need_value(i), 1, 1'000'000'000,
+                               "an access count in [1, 1e9]");
     } else if (arg == "--min-batches") {
-      scale.min_batches =
-          static_cast<std::uint32_t>(std::strtoul(need_value(i).data(), nullptr, 10));
+      scale.min_batches = static_cast<std::uint32_t>(parse_uint(
+          argv[0], arg, need_value(i), 1, 100'000, "a batch count in [1, 1e5]"));
+      min_batches_set = true;
     } else if (arg == "--max-batches") {
-      scale.max_batches =
-          static_cast<std::uint32_t>(std::strtoul(need_value(i).data(), nullptr, 10));
+      scale.max_batches = static_cast<std::uint32_t>(parse_uint(
+          argv[0], arg, need_value(i), 1, 100'000, "a batch count in [1, 1e5]"));
     } else if (arg == "--ci") {
-      scale.ci_target = std::strtod(need_value(i).data(), nullptr);
+      scale.ci_target = parse_fraction(argv[0], arg, need_value(i),
+                                       "a half-width in (0, 1]");
     } else if (arg == "--seed") {
-      scale.seed = std::strtoull(need_value(i).data(), nullptr, 0);
+      scale.seed = parse_uint(argv[0], arg, need_value(i), 0,
+                              ~std::uint64_t{0}, "a 64-bit seed", 0);
     } else if (arg == "--threads") {
-      scale.threads =
-          static_cast<unsigned>(std::strtoul(need_value(i).data(), nullptr, 10));
+      // 0 means "use the hardware count"; cap guards absurd fan-out from
+      // a typo'd value reaching std::thread.
+      scale.threads = static_cast<unsigned>(parse_uint(
+          argv[0], arg, need_value(i), 0, 4096, "a thread count in [0, 4096]"));
     } else if (arg == "--stride") {
-      scale.stride =
-          static_cast<unsigned>(std::strtoul(need_value(i).data(), nullptr, 10));
+      scale.stride = static_cast<unsigned>(parse_uint(
+          argv[0], arg, need_value(i), 1, 1000, "a row stride in [1, 1000]"));
     } else if (arg == "--csv") {
       scale.csv_path = std::string(need_value(i));
     } else if (arg == "--svg") {
       scale.svg_path = std::string(need_value(i));
+    } else if (arg == "--json") {
+      scale.json_path = std::string(need_value(i));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
     } else {
       std::cerr << argv[0] << ": unknown option " << arg << '\n';
       usage(argv[0], 2);
     }
+  }
+  if (scale.max_batches < scale.min_batches) {
+    if (min_batches_set) {
+      std::cerr << argv[0] << ": --max-batches (" << scale.max_batches
+                << ") must be >= --min-batches (" << scale.min_batches << ")\n";
+      std::exit(2);
+    }
+    // Only the cap was given: shrink the default floor to meet it, as the
+    // pre-validation parser effectively did.
+    scale.min_batches = scale.max_batches;
   }
   return scale;
 }
@@ -104,8 +214,21 @@ metrics::MeasurePolicy to_policy(const RunScale& scale) {
 metrics::CurveResult run_figure(const net::Topology& topo, const std::string& title,
                                 const RunScale& scale) {
   std::cout << "== " << title << " ==\n";
+  const auto t0 = std::chrono::steady_clock::now();
   const metrics::CurveResult result =
       metrics::measure_curves(topo, to_config(scale), to_policy(scale));
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (scale.json_path) {
+    // One case per figure; items = measured accesses (warm-up excluded),
+    // so ns_per_op is directly comparable across scale settings.
+    g_json_report.cases.push_back(JsonReport::Case{
+        slugify(title),
+        static_cast<std::uint64_t>(result.batches) * scale.batch, wall_s});
+    g_json_report.write(*scale.json_path, scale.seed);
+    std::cout << "json written to " << *scale.json_path << '\n';
+  }
   report::print_curve_table(std::cout, result, scale.stride);
   if (scale.csv_path) {
     std::ofstream out(*scale.csv_path);

@@ -28,12 +28,18 @@ struct RunScale {
   unsigned stride = 7;   // q_r row thinning in printed tables
   std::optional<std::string> csv_path;
   std::optional<std::string> svg_path;
+  /// When set, run_figure also appends a timing record for the figure to
+  /// this file, in the same "quora-bench/1" JSON schema tools/quora_bench
+  /// emits, so scripts/bench_compare.py can diff experiment runs too.
+  std::optional<std::string> json_path;
   bool paper_scale = false;
 };
 
 /// Parses --paper, --warmup, --batch, --min-batches, --max-batches, --ci,
-/// --seed, --threads, --stride, --csv PATH, --svg PATH, --help. Exits on
-/// --help or a bad flag.
+/// --seed, --threads, --stride, --csv PATH, --svg PATH, --json PATH,
+/// --help. Exits on --help or a bad flag. Numeric flags are validated
+/// strictly (full-string parse, range checks) with a clear diagnostic —
+/// a typo'd `--batch 40k` aborts instead of silently truncating.
 RunScale parse_args(int argc, char** argv);
 
 sim::SimConfig to_config(const RunScale& scale);

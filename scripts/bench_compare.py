@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare two quora-bench JSON reports and flag perf regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+                     [--warn-only] [--require-same-mode]
+
+For every case present in both reports, the primary metric is ns_per_op
+(lower is better).  A case regresses when
+
+    current.ns_per_op > baseline.ns_per_op * (1 + threshold)
+
+Exit status: 0 when no case regresses (or --warn-only), 1 when at least
+one does, 2 on usage or schema errors.
+
+The reports come from `quora_bench --json` (and `bench/* --json`, which
+emits the same "quora-bench/1" schema); see docs/PERFORMANCE.md.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "quora-bench/1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if report.get("schema") != SCHEMA:
+        print(
+            f"bench_compare: {path}: expected schema {SCHEMA!r}, "
+            f"got {report.get('schema')!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed ns/op growth fraction before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0",
+    )
+    parser.add_argument(
+        "--require-same-mode",
+        action="store_true",
+        help="fail if the reports were produced in different modes "
+        "(quick vs full numbers are not comparable)",
+    )
+    args = parser.parse_args()
+    if args.threshold < 0:
+        parser.error("--threshold must be non-negative")
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    mode_note = ""
+    if base.get("mode") != cur.get("mode"):
+        msg = (
+            f"modes differ (baseline={base.get('mode')}, "
+            f"current={cur.get('mode')}): deltas are indicative only"
+        )
+        if args.require_same_mode:
+            print(f"bench_compare: {msg}", file=sys.stderr)
+            sys.exit(2)
+        mode_note = f"  [note: {msg}]"
+
+    base_cases = {c["name"]: c for c in base.get("cases", [])}
+    cur_cases = {c["name"]: c for c in cur.get("cases", [])}
+
+    regressions = []
+    width = max((len(n) for n in base_cases), default=12)
+    print(
+        f"{'case':<{width}}  {'base ns/op':>12}  {'cur ns/op':>12}  "
+        f"{'delta':>8}  verdict"
+    )
+    for name in sorted(set(base_cases) | set(cur_cases)):
+        b, c = base_cases.get(name), cur_cases.get(name)
+        if b is None or c is None:
+            side = "baseline" if b is None else "current"
+            print(f"{name:<{width}}  {'-':>12}  {'-':>12}  {'-':>8}  "
+                  f"MISSING in {side}")
+            continue
+        b_ns, c_ns = b["ns_per_op"], c["ns_per_op"]
+        delta = (c_ns - b_ns) / b_ns if b_ns > 0 else 0.0
+        regressed = delta > args.threshold
+        verdict = "REGRESSED" if regressed else ("improved" if delta < 0 else "ok")
+        print(
+            f"{name:<{width}}  {b_ns:>12.2f}  {c_ns:>12.2f}  "
+            f"{delta:>+7.1%}  {verdict}"
+        )
+        if regressed:
+            regressions.append((name, delta))
+
+    if mode_note:
+        print(mode_note)
+    if regressions:
+        names = ", ".join(f"{n} ({d:+.1%})" for n, d in regressions)
+        print(f"bench_compare: regression beyond {args.threshold:.0%}: {names}")
+        if not args.warn_only:
+            return 1
+        print("bench_compare: --warn-only set, exiting 0")
+    else:
+        print(f"bench_compare: no case regressed beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

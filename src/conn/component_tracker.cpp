@@ -6,29 +6,132 @@
 
 namespace quora::conn {
 
-ComponentTracker::ComponentTracker(const LiveNetwork& live)
-    : live_(&live), cached_version_(live.version() - 1) {
+ComponentTracker::ComponentTracker(const LiveNetwork& live) : live_(&live) {
   const auto n = live.topology().site_count();
-  label_.assign(n, kNoComponent);
+  // Reserve once so steady-state refreshes never touch the allocator.
+  // Incremental site recoveries append fresh labels, at most one per
+  // journal slot between rebuilds, hence the extra headroom.
+  const std::size_t max_labels = n + LiveNetwork::kJournalCapacity;
+  label_.reserve(n);
+  parent_.reserve(max_labels);
+  comp_votes_.reserve(max_labels);
+  comp_size_.reserve(max_labels);
+  member_storage_.reserve(n);
+  member_offsets_.reserve(n + 1);
   bfs_stack_.reserve(n);
-  refresh();
+  remap_.reserve(max_labels);
+  votes_scratch_.reserve(n);
+  size_scratch_.reserve(n);
+  cursor_scratch_.reserve(n);
+  rebuild();
 }
 
-void ComponentTracker::refresh() const {
-  if (cached_version_ == live_->version()) return;
+std::int32_t ComponentTracker::find(std::int32_t label) const {
+  std::int32_t root = label;
+  while (parent_[static_cast<std::size_t>(root)] != root)
+    root = parent_[static_cast<std::size_t>(root)];
+  while (parent_[static_cast<std::size_t>(label)] != root) {
+    const std::int32_t next = parent_[static_cast<std::size_t>(label)];
+    parent_[static_cast<std::size_t>(label)] = root;
+    label = next;
+  }
+  return root;
+}
+
+void ComponentTracker::unite(std::int32_t a, std::int32_t b) const {
+  std::int32_t ra = find(a);
+  std::int32_t rb = find(b);
+  if (ra == rb) return;
+  if (comp_size_[static_cast<std::size_t>(ra)] <
+      comp_size_[static_cast<std::size_t>(rb)])
+    std::swap(ra, rb);
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  comp_votes_[static_cast<std::size_t>(ra)] +=
+      comp_votes_[static_cast<std::size_t>(rb)];
+  comp_size_[static_cast<std::size_t>(ra)] +=
+      comp_size_[static_cast<std::size_t>(rb)];
+  max_votes_ = std::max(max_votes_, comp_votes_[static_cast<std::size_t>(ra)]);
+  --root_count_;
+}
+
+void ComponentTracker::apply_site_up(net::SiteId s) const {
+  const net::Topology& topo = live_->topology();
+  const auto lbl = static_cast<std::int32_t>(parent_.size());
+  parent_.push_back(lbl);
+  comp_votes_.push_back(topo.votes(s));
+  comp_size_.push_back(1);
+  label_[s] = lbl;
+  ++root_count_;
+  max_votes_ = std::max(max_votes_, comp_votes_.back());
+  // Neighbor-up is judged by *our* labeling, not the live flags: a
+  // neighbor that recovers later in the replay window still carries
+  // kNoComponent here, and its own delta performs the union when we reach
+  // it. Link state may be read from the live network because a link that
+  // has gone down since this delta forces a full rebuild before the
+  // replay commits, and early unions are erased by that rebuild.
+  const std::uint8_t* link_up = live_->link_up_flags().data();
+  for (const net::Topology::Edge& e : topo.neighbors(s)) {
+    if (!link_up[e.link]) continue;
+    if (label_[e.neighbor] == kNoComponent) continue;
+    unite(lbl, label_[e.neighbor]);
+  }
+  compact_ = false;
+}
+
+void ComponentTracker::apply_link_up(net::LinkId l) const {
+  const net::Link& e = live_->topology().link(l);
+  const std::int32_t la = label_[e.a];
+  const std::int32_t lb = label_[e.b];
+  if (la == kNoComponent || lb == kNoComponent) return;
+  unite(la, lb);
+  compact_ = false;
+}
+
+void ComponentTracker::sync_slow() const {
+  const std::uint64_t target = live_->version();
+  if (target - cached_version_ > LiveNetwork::kJournalCapacity) {
+    // Fell behind the ring journal; the missed deltas are gone.
+    rebuild();
+    return;
+  }
+  for (std::uint64_t v = cached_version_ + 1; v <= target; ++v) {
+    const LiveNetwork::Delta d = live_->delta(v);
+    switch (d.kind) {
+      case LiveNetwork::DeltaKind::kSiteUp:
+        apply_site_up(d.index);
+        break;
+      case LiveNetwork::DeltaKind::kLinkUp:
+        apply_link_up(d.index);
+        break;
+      default:
+        // Failures (and bulk resets) can split components; unions cannot
+        // express that, so recompute the labeling outright.
+        rebuild();
+        return;
+    }
+  }
+  cached_version_ = target;
+  ++stats_.incremental_applies;
+}
+
+void ComponentTracker::rebuild() const {
+  ++stats_.full_rebuilds;
 
   const net::Topology& topo = live_->topology();
   const std::uint32_t n = topo.site_count();
+  const std::uint8_t* site_up = live_->site_up_flags().data();
+  const std::uint8_t* link_up = live_->link_up_flags().data();
 
   label_.assign(n, kNoComponent);
+  parent_.clear();
   comp_votes_.clear();
   comp_size_.clear();
   member_storage_.clear();
-  member_storage_.reserve(live_->up_site_count());
   member_offsets_.assign(1, 0);
+  max_votes_ = 0;
 
   for (net::SiteId root = 0; root < n; ++root) {
-    if (!live_->is_site_up(root) || label_[root] != kNoComponent) continue;
+    if (!site_up[root] || label_[root] != kNoComponent) continue;
     const auto comp = static_cast<std::int32_t>(comp_votes_.size());
     net::Vote votes = 0;
     std::uint32_t size = 0;
@@ -43,17 +146,21 @@ void ComponentTracker::refresh() const {
       ++size;
       member_storage_.push_back(s);
       for (const net::Topology::Edge& e : topo.neighbors(s)) {
-        if (!live_->is_link_up(e.link)) continue;
-        if (!live_->is_site_up(e.neighbor)) continue;
+        if (!link_up[e.link]) continue;
+        if (!site_up[e.neighbor]) continue;
         if (label_[e.neighbor] != kNoComponent) continue;
         label_[e.neighbor] = comp;
         bfs_stack_.push_back(e.neighbor);
       }
     }
+    parent_.push_back(comp);
     comp_votes_.push_back(votes);
     comp_size_.push_back(size);
     member_offsets_.push_back(member_storage_.size());
+    max_votes_ = std::max(max_votes_, votes);
   }
+  root_count_ = static_cast<std::uint32_t>(comp_votes_.size());
+  compact_ = true;
   // Vote and membership conservation under partitioning: components are
   // disjoint, cover exactly the up sites, and their vote totals never
   // exceed the system total T — the property every quorum decision and
@@ -73,49 +180,107 @@ void ComponentTracker::refresh() const {
   cached_version_ = live_->version();
 }
 
+void ComponentTracker::compact() const {
+  if (compact_) return;
+  ++stats_.compactions;
+
+  const std::uint32_t n = live_->topology().site_count();
+  remap_.assign(parent_.size(), kNoComponent);
+  votes_scratch_.clear();
+  size_scratch_.clear();
+
+  // Dense labels, numbered by each component's lowest site id; a full
+  // rebuild produces exactly this numbering, so labels do not depend on
+  // which path (incremental or BFS) produced the partition.
+  for (net::SiteId s = 0; s < n; ++s) {
+    const std::int32_t l = label_[s];
+    if (l == kNoComponent) continue;
+    const auto r = static_cast<std::size_t>(find(l));
+    if (remap_[r] == kNoComponent) {
+      remap_[r] = static_cast<std::int32_t>(votes_scratch_.size());
+      votes_scratch_.push_back(comp_votes_[r]);
+      size_scratch_.push_back(comp_size_[r]);
+    }
+    label_[s] = remap_[r];
+  }
+  const std::size_t comp_count = votes_scratch_.size();
+  comp_votes_.assign(votes_scratch_.begin(), votes_scratch_.end());
+  comp_size_.assign(size_scratch_.begin(), size_scratch_.end());
+  parent_.resize(comp_count);
+  for (std::size_t i = 0; i < comp_count; ++i)
+    parent_[i] = static_cast<std::int32_t>(i);
+
+  // Member CSR via counting sort; members come out in ascending site id.
+  member_offsets_.assign(comp_count + 1, 0);
+  for (net::SiteId s = 0; s < n; ++s) {
+    const std::int32_t l = label_[s];
+    if (l != kNoComponent) ++member_offsets_[static_cast<std::size_t>(l) + 1];
+  }
+  for (std::size_t i = 1; i <= comp_count; ++i)
+    member_offsets_[i] += member_offsets_[i - 1];
+  member_storage_.resize(member_offsets_[comp_count]);
+  cursor_scratch_.assign(member_offsets_.begin(), member_offsets_.end() - 1);
+  for (net::SiteId s = 0; s < n; ++s) {
+    const std::int32_t l = label_[s];
+    if (l == kNoComponent) continue;
+    member_storage_[cursor_scratch_[static_cast<std::size_t>(l)]++] = s;
+  }
+  compact_ = true;
+
+  if constexpr (contracts::kActive) {
+    QUORA_INVARIANT(comp_count == root_count_,
+                    "compaction must preserve the component count");
+    QUORA_INVARIANT(member_storage_.size() == live_->up_site_count(),
+                    "member lists must cover each up site exactly once");
+  }
+}
+
 std::int32_t ComponentTracker::component_of(net::SiteId s) const {
-  refresh();
+  sync();
+  compact();
   return label_.at(s);
 }
 
 net::Vote ComponentTracker::component_votes(net::SiteId s) const {
-  refresh();
+  sync();
   const std::int32_t c = label_.at(s);
-  return c == kNoComponent ? 0 : comp_votes_[static_cast<std::size_t>(c)];
+  return c == kNoComponent ? 0 : comp_votes_[static_cast<std::size_t>(find(c))];
 }
 
 std::uint32_t ComponentTracker::component_size(net::SiteId s) const {
-  refresh();
+  sync();
   const std::int32_t c = label_.at(s);
-  return c == kNoComponent ? 0 : comp_size_[static_cast<std::size_t>(c)];
+  return c == kNoComponent ? 0 : comp_size_[static_cast<std::size_t>(find(c))];
 }
 
 std::uint32_t ComponentTracker::component_count() const {
-  refresh();
-  return static_cast<std::uint32_t>(comp_votes_.size());
+  sync();
+  return root_count_;
 }
 
 net::Vote ComponentTracker::max_component_votes() const {
-  refresh();
-  const auto it = std::max_element(comp_votes_.begin(), comp_votes_.end());
-  return it == comp_votes_.end() ? 0 : *it;
+  sync();
+  return max_votes_;
 }
 
 std::span<const net::SiteId> ComponentTracker::members(std::int32_t label) const {
-  refresh();
+  sync();
+  compact();
   const auto i = static_cast<std::size_t>(label);
   return {member_storage_.data() + member_offsets_.at(i),
           member_storage_.data() + member_offsets_.at(i + 1)};
 }
 
 bool ComponentTracker::connected(net::SiteId a, net::SiteId b) const {
-  refresh();
+  sync();
   const std::int32_t ca = label_.at(a);
-  return ca != kNoComponent && ca == label_.at(b);
+  const std::int32_t cb = label_.at(b);
+  return ca != kNoComponent && cb != kNoComponent && find(ca) == find(cb);
 }
 
 std::span<const net::Vote> ComponentTracker::votes_by_label() const {
-  refresh();
+  sync();
+  compact();
   return comp_votes_;
 }
 

@@ -14,7 +14,7 @@ bool LiveNetwork::set_site_up(net::SiteId s, bool up) {
   if ((flag != 0) == up) return false;
   flag = up ? 1 : 0;
   up_sites_ += up ? 1u : -1u;
-  ++version_;
+  journal(up ? DeltaKind::kSiteUp : DeltaKind::kSiteDown, s);
   return true;
 }
 
@@ -23,7 +23,7 @@ bool LiveNetwork::set_link_up(net::LinkId l, bool up) {
   if ((flag != 0) == up) return false;
   flag = up ? 1 : 0;
   up_links_ += up ? 1u : -1u;
-  ++version_;
+  journal(up ? DeltaKind::kLinkUp : DeltaKind::kLinkDown, l);
   return true;
 }
 
@@ -43,7 +43,9 @@ void LiveNetwork::reset_all_up() {
   }
   up_sites_ = topo_->site_count();
   up_links_ = topo_->link_count();
-  if (changed) ++version_;
+  // One version bump for the whole compound change, exactly as before the
+  // journal existed; kBulk tells replayers to re-derive rather than merge.
+  if (changed) journal(DeltaKind::kBulk, 0);
 }
 
 } // namespace quora::conn

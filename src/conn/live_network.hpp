@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -15,14 +17,45 @@ namespace quora::conn {
 /// fail-stop, and all failures are eventually repaired. Every mutation that
 /// actually changes state bumps `version()`, which downstream caches
 /// (`ComponentTracker`) key on.
+///
+/// Alongside the version counter, a small ring journal records *what* each
+/// version bump changed. Consumers that fell at most `kJournalCapacity`
+/// versions behind can replay the deltas instead of re-deriving state from
+/// scratch — this is what lets the component tracker absorb recovery
+/// events incrementally and rebuild only on failures.
 class LiveNetwork {
 public:
+  /// One effective state change. `kBulk` marks a compound mutation
+  /// (`reset_all_up`) that is deliberately not itemized; replayers must
+  /// fall back to a full re-derivation when they meet one.
+  enum class DeltaKind : std::uint8_t {
+    kSiteUp,
+    kSiteDown,
+    kLinkUp,
+    kLinkDown,
+    kBulk,
+  };
+  struct Delta {
+    DeltaKind kind = DeltaKind::kBulk;
+    std::uint32_t index = 0;  // site or link id; unused for kBulk
+  };
+  /// Ring capacity of the delta journal (power of two). Must comfortably
+  /// exceed the number of network events a consumer can fall behind by
+  /// between queries; the simulator queries at access frequency, which the
+  /// paper's rho = 1/128 keeps within a handful of events.
+  static constexpr std::uint64_t kJournalCapacity = 256;
+
   explicit LiveNetwork(const net::Topology& topo);
 
   const net::Topology& topology() const noexcept { return *topo_; }
 
   bool is_site_up(net::SiteId s) const { return site_up_.at(s) != 0; }
   bool is_link_up(net::LinkId l) const { return link_up_.at(l) != 0; }
+
+  /// Raw up/down flags (1 = up), for consumers that walk the whole
+  /// topology and cannot afford per-element bounds checks.
+  std::span<const std::uint8_t> site_up_flags() const noexcept { return site_up_; }
+  std::span<const std::uint8_t> link_up_flags() const noexcept { return link_up_; }
 
   /// A link transmits only when it and both endpoints are up.
   bool link_operational(net::LinkId l) const {
@@ -35,7 +68,7 @@ public:
   bool set_link_up(net::LinkId l, bool up);
 
   /// Restore every component to operational (the paper resets to the
-  /// initial state before each batch).
+  /// initial state before each batch). Journaled as one `kBulk` delta.
   void reset_all_up();
 
   std::uint32_t up_site_count() const noexcept { return up_sites_; }
@@ -44,13 +77,26 @@ public:
   /// Monotone counter, bumped by every effective state change.
   std::uint64_t version() const noexcept { return version_; }
 
+  /// The delta that moved `version - 1` to `version`. Only meaningful for
+  /// versions in (version() - kJournalCapacity, version()]; older slots
+  /// have been overwritten.
+  Delta delta(std::uint64_t version) const noexcept {
+    return journal_[version & (kJournalCapacity - 1)];
+  }
+
 private:
+  void journal(DeltaKind kind, std::uint32_t index) noexcept {
+    ++version_;
+    journal_[version_ & (kJournalCapacity - 1)] = Delta{kind, index};
+  }
+
   const net::Topology* topo_;
   std::vector<std::uint8_t> site_up_;
   std::vector<std::uint8_t> link_up_;
   std::uint32_t up_sites_ = 0;
   std::uint32_t up_links_ = 0;
   std::uint64_t version_ = 0;
+  std::array<Delta, kJournalCapacity> journal_{};
 };
 
 } // namespace quora::conn

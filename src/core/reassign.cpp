@@ -66,6 +66,7 @@ bool QuorumReassignment::try_install(const conn::ComponentTracker& tracker,
     stored_[s] = installed;
   }
   if (installed.version > latest_version_) latest_version_ = installed.version;
+  ++epoch_;
   return true;
 }
 
@@ -86,10 +87,12 @@ bool QuorumReassignment::adopt(net::SiteId s, const Assignment& a) {
   // the system-wide latest version is untouched by construction.
   QUORA_INVARIANT(a.version <= latest_version_,
                   "adopted a QR version newer than any install");
+  ++epoch_;
   return true;
 }
 
 void QuorumReassignment::propagate(const conn::ComponentTracker& tracker) {
+  bool changed = false;
   const auto count = static_cast<std::int32_t>(tracker.component_count());
   for (std::int32_t comp = 0; comp < count; ++comp) {
     const auto members = tracker.members(comp);
@@ -101,9 +104,13 @@ void QuorumReassignment::propagate(const conn::ComponentTracker& tracker) {
       // Propagation only ever moves versions forward (§2.2 monotonicity).
       QUORA_ASSERT(best.version >= stored_[s].version,
                    "propagate would overwrite a newer assignment");
-      stored_[s] = best;
+      if (stored_[s].version != best.version) {
+        stored_[s] = best;
+        changed = true;
+      }
     }
   }
+  if (changed) ++epoch_;
 }
 
 void propagate_and_sync(QuorumReassignment& qr, quorum::ReplicatedStore& store,

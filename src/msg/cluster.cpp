@@ -64,6 +64,7 @@ Cluster::Cluster(const net::Topology& topo, Params params, std::uint64_t seed)
   }
   copies_.assign(topo.site_count(), Copy{});
   leases_.assign(topo.site_count(), Lease{});
+  oracle_cache_.assign(topo.site_count(), OracleEntry{});
   pending_.resize(topo.site_count());
   floods_.resize(topo.site_count());
   fifo_clock_.assign(2 * static_cast<std::size_t>(topo.link_count()), 0.0);
@@ -183,9 +184,17 @@ void Cluster::handle_access(net::SiteId origin) {
   const bool is_read = rng::bernoulli(gen_, params_.alpha);
 
   // Oracle: the paper's instantaneous decision from global state, under
-  // the assignment in effect for origin's component (§2.2).
-  const net::Vote oracle_votes = tracker_.component_votes(origin);
-  const quorum::QuorumSpec oracle_spec = qr_.effective(tracker_, origin).spec;
+  // the assignment in effect for origin's component (§2.2). Memoized per
+  // site against the (network version, QR epoch) pair — see OracleEntry.
+  OracleEntry& oc = oracle_cache_[origin];
+  if (oc.net_version != live_.version() || oc.qr_epoch != qr_.epoch()) {
+    oc.votes = tracker_.component_votes(origin);
+    oc.assign = qr_.effective(tracker_, origin);
+    oc.net_version = live_.version();
+    oc.qr_epoch = qr_.epoch();
+  }
+  const net::Vote oracle_votes = oc.votes;
+  const quorum::QuorumSpec oracle_spec = oc.assign.spec;
   const bool oracle = is_read ? oracle_spec.allows_read(oracle_votes)
                               : oracle_spec.allows_write(oracle_votes);
 

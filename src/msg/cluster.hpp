@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <queue>
 #include <set>
 #include <vector>
 
@@ -198,6 +199,18 @@ private:
     bool held(double now) const { return request != 0 && now < expiry; }
   };
 
+  // Per-site cache of the oracle inputs (reachable votes + effective QR
+  // assignment). `effective()` walks the whole component, so recomputing
+  // it for every access dominates the access path on dense topologies;
+  // the pair (network version, QR epoch) keys precisely the state the
+  // answer depends on, making this a behaviour-preserving memo.
+  struct OracleEntry {
+    std::uint64_t net_version = ~std::uint64_t{0};  // miss on first use
+    std::uint64_t qr_epoch = ~std::uint64_t{0};
+    net::Vote votes = 0;
+    core::QuorumReassignment::Assignment assign{};
+  };
+
   // Event plumbing (kinds beyond sim::EventKind: deliveries and timers).
   enum class Kind : std::uint8_t {
     kSiteFail,
@@ -271,6 +284,7 @@ private:
 
   std::vector<Copy> copies_;
   std::vector<Lease> leases_;
+  std::vector<OracleEntry> oracle_cache_;                     // per site
   std::vector<std::map<std::uint64_t, Pending>> pending_;     // per site
   std::vector<std::map<std::uint64_t, FloodState>> floods_;   // per site
   std::vector<double> fifo_clock_;                            // per directed link

@@ -95,7 +95,7 @@ void Simulator::handle(const Event& e) {
       ++counters_.site_failures;
       queue_.push(now_ + rng::exponential(gen_, site_mu_repair(e.index)),
                   EventKind::kSiteRecover, e.index);
-      for (NetworkObserver* obs : network_obs_) obs->on_network_change(*this, e.kind, e.index);
+      notify_network(e.kind, e.index);
       break;
     }
     case EventKind::kSiteRecover: {
@@ -103,7 +103,7 @@ void Simulator::handle(const Event& e) {
       ++counters_.site_recoveries;
       queue_.push(now_ + rng::exponential(gen_, site_mu_fail(e.index)),
                   EventKind::kSiteFail, e.index);
-      for (NetworkObserver* obs : network_obs_) obs->on_network_change(*this, e.kind, e.index);
+      notify_network(e.kind, e.index);
       break;
     }
     case EventKind::kLinkFail: {
@@ -111,7 +111,7 @@ void Simulator::handle(const Event& e) {
       ++counters_.link_failures;
       queue_.push(now_ + rng::exponential(gen_, link_mu_repair(e.index)),
                   EventKind::kLinkRecover, e.index);
-      for (NetworkObserver* obs : network_obs_) obs->on_network_change(*this, e.kind, e.index);
+      notify_network(e.kind, e.index);
       break;
     }
     case EventKind::kLinkRecover: {
@@ -119,7 +119,7 @@ void Simulator::handle(const Event& e) {
       ++counters_.link_recoveries;
       queue_.push(now_ + rng::exponential(gen_, link_mu_fail(e.index)),
                   EventKind::kLinkFail, e.index);
-      for (NetworkObserver* obs : network_obs_) obs->on_network_change(*this, e.kind, e.index);
+      notify_network(e.kind, e.index);
       break;
     }
     case EventKind::kAccess: {
@@ -136,7 +136,7 @@ void Simulator::handle(const Event& e) {
                                : static_cast<net::SiteId>(rng::uniform_index(
                                      gen_, topo_->site_count()));
       }
-      for (AccessObserver* obs : access_obs_) obs->on_access(*this, ev);
+      notify_access(ev);
       queue_.push(now_ + rng::exponential(gen_, access_interarrival_),
                   EventKind::kAccess, 0);
       break;

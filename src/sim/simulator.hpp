@@ -69,11 +69,19 @@ public:
 
   /// Observers are notified in registration order; they are borrowed, not
   /// owned, and must outlive the simulator or be removed first.
-  void add_access_observer(AccessObserver* obs) { access_obs_.push_back(obs); }
-  void add_network_observer(NetworkObserver* obs) { network_obs_.push_back(obs); }
+  void add_access_observer(AccessObserver* obs) {
+    access_obs_.push_back(obs);
+    solo_access_obs_ = access_obs_.size() == 1 ? obs : nullptr;
+  }
+  void add_network_observer(NetworkObserver* obs) {
+    network_obs_.push_back(obs);
+    solo_network_obs_ = network_obs_.size() == 1 ? obs : nullptr;
+  }
   void clear_observers() noexcept {
     access_obs_.clear();
     network_obs_.clear();
+    solo_access_obs_ = nullptr;
+    solo_network_obs_ = nullptr;
   }
 
   /// Change the read fraction for subsequent accesses — lets experiments
@@ -99,6 +107,25 @@ public:
 private:
   void schedule_initial_events();
   void handle(const Event& e);
+
+  // The measurement loop almost always runs exactly one observer of each
+  // kind; dispatching through a cached pointer skips the vector iteration
+  // (load, bounds, increment) that would otherwise precede every virtual
+  // call on the hot path.
+  void notify_network(EventKind kind, std::uint32_t index) {
+    if (solo_network_obs_ != nullptr) {
+      solo_network_obs_->on_network_change(*this, kind, index);
+      return;
+    }
+    for (NetworkObserver* obs : network_obs_) obs->on_network_change(*this, kind, index);
+  }
+  void notify_access(const AccessEvent& ev) {
+    if (solo_access_obs_ != nullptr) {
+      solo_access_obs_->on_access(*this, ev);
+      return;
+    }
+    for (AccessObserver* obs : access_obs_) obs->on_access(*this, ev);
+  }
 
   double site_mu_fail(net::SiteId s) const;
   double site_mu_repair(net::SiteId s) const;
@@ -126,6 +153,8 @@ private:
   Counters counters_;
   std::vector<AccessObserver*> access_obs_;
   std::vector<NetworkObserver*> network_obs_;
+  AccessObserver* solo_access_obs_ = nullptr;    // set iff exactly one registered
+  NetworkObserver* solo_network_obs_ = nullptr;  // set iff exactly one registered
 };
 
 } // namespace quora::sim

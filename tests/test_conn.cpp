@@ -182,6 +182,72 @@ TEST(ComponentTracker, RecoveryMergesComponents) {
   EXPECT_EQ(tracker.component_votes(1), 5u);
 }
 
+TEST(ComponentTracker, RecoveriesAbsorbWithoutRebuild) {
+  const net::Topology topo = net::make_ring(8);
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  const auto base = tracker.stats();  // construction performs one rebuild
+
+  live.set_link_up(0, false);
+  live.set_link_up(4, false);
+  EXPECT_EQ(tracker.component_count(), 2u);  // failures: one lazy rebuild
+  EXPECT_EQ(tracker.stats().full_rebuilds, base.full_rebuilds + 1);
+
+  // Link recoveries merge via union-find; the rebuild count must not move.
+  live.set_link_up(0, true);
+  EXPECT_EQ(tracker.component_count(), 1u);
+  live.set_link_up(4, true);
+  EXPECT_EQ(tracker.component_count(), 1u);
+  EXPECT_EQ(tracker.component_votes(0), 8u);
+  EXPECT_EQ(tracker.max_component_votes(), 8u);
+  EXPECT_EQ(tracker.stats().full_rebuilds, base.full_rebuilds + 1);
+  EXPECT_EQ(tracker.stats().incremental_applies, base.incremental_applies + 2);
+}
+
+TEST(ComponentTracker, SiteRecoveryMergesIncrementally) {
+  const net::Topology topo = net::make_ring(6);
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  live.set_site_up(0, false);
+  live.set_site_up(3, false);
+  EXPECT_EQ(tracker.component_count(), 2u);  // chains {1,2} and {4,5}
+  const auto after_fail = tracker.stats();
+
+  // Site 0 coming back bridges the two chains through links {5,0},{0,1}.
+  live.set_site_up(0, true);
+  EXPECT_EQ(tracker.component_count(), 1u);
+  EXPECT_EQ(tracker.component_votes(1), 5u);
+  EXPECT_TRUE(tracker.connected(2, 4));
+  EXPECT_EQ(tracker.stats().full_rebuilds, after_fail.full_rebuilds);
+  EXPECT_EQ(tracker.stats().incremental_applies,
+            after_fail.incremental_applies + 1);
+
+  // Structural queries after an incremental merge force a compaction and
+  // must agree with the scalar ones.
+  const std::int32_t comp = tracker.component_of(1);
+  ASSERT_NE(comp, kNoComponent);
+  EXPECT_EQ(tracker.members(comp).size(), 5u);
+  EXPECT_GT(tracker.stats().compactions, after_fail.compactions);
+}
+
+TEST(ComponentTracker, MixedDeltaBatchRebuildsOnce) {
+  const net::Topology topo = net::make_ring(10);
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  const auto base = tracker.stats();
+
+  // A burst of changes between queries — including failures — costs
+  // exactly one rebuild when the next query lands, however long the burst.
+  live.set_link_up(0, false);
+  live.set_link_up(0, true);
+  live.set_site_up(2, false);
+  live.set_site_up(7, false);
+  live.set_site_up(2, true);
+  live.set_link_up(5, false);
+  EXPECT_EQ(tracker.component_count(), 2u);  // site 7 down + link 5 cut
+  EXPECT_EQ(tracker.stats().full_rebuilds, base.full_rebuilds + 1);
+}
+
 /// Brute-force reference: label components by repeated BFS over a fresh
 /// adjacency scan.
 std::vector<int> reference_labels(const LiveNetwork& live) {

@@ -1,0 +1,191 @@
+// Golden-seed determinism: the simulation core must reproduce checked-in
+// event/access transcripts byte for byte. The fixtures under
+// tests/golden/ were recorded before the incremental-tracker /
+// 4-ary-heap overhaul, so these tests pin the overhauled hot path to the
+// original semantics: same event order, same tracker answers, same
+// chaos-run decisions.
+//
+// To refresh a fixture intentionally (never silently), run the suite
+// with QUORA_REGEN_GOLDEN=1 and commit the diff:
+//
+//   QUORA_REGEN_GOLDEN=1 ./tests/quora_tests --gtest_filter='GoldenDeterminism.*'
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/event_log.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "msg/cluster.hpp"
+#include "net/builders.hpp"
+#include "sim/simulator.hpp"
+
+#ifndef QUORA_GOLDEN_DIR
+#error "QUORA_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
+#endif
+#ifndef QUORA_EXAMPLES_DIR
+#error "QUORA_EXAMPLES_DIR must point at examples/ (set by tests/CMakeLists.txt)"
+#endif
+
+namespace quora {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(QUORA_GOLDEN_DIR) + "/" + name;
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("QUORA_REGEN_GOLDEN");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+/// Compares `actual` against the checked-in fixture, or rewrites the
+/// fixture when QUORA_REGEN_GOLDEN is set.
+void expect_matches_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (regen_requested()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    SUCCEED() << "regenerated " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing fixture " << path
+                  << " (run with QUORA_REGEN_GOLDEN=1 to record it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  // Compare sizes first for a readable failure, then find the first
+  // diverging line so the diff is actionable.
+  if (expected.str() == actual) {
+    SUCCEED();
+    return;
+  }
+  std::istringstream a(expected.str()), b(actual);
+  std::string la, lb;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool ga = static_cast<bool>(std::getline(a, la));
+    const bool gb = static_cast<bool>(std::getline(b, lb));
+    if (!ga && !gb) break;
+    if (!ga || !gb || la != lb) {
+      FAIL() << "transcript diverges from " << path << " at line " << line
+             << "\n  golden: " << (ga ? la : "<eof>")
+             << "\n  actual: " << (gb ? lb : "<eof>");
+    }
+  }
+  FAIL() << "transcript differs from " << path << " (same lines, different bytes?)";
+}
+
+/// Records every simulator event through the two observer interfaces,
+/// with tracker answers baked into each line: a divergence in event
+/// order, RNG consumption, *or* component labeling shows up as a byte
+/// diff.
+class GoldenRecorder : public sim::AccessObserver, public sim::NetworkObserver {
+public:
+  void on_access(const sim::Simulator& sim, const sim::AccessEvent& ev) override {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "a %.17g %u %c votes=%u max=%u\n", ev.time,
+                  ev.site, ev.is_read ? 'r' : 'w',
+                  sim.tracker().component_votes(ev.site),
+                  sim.tracker().max_component_votes());
+    transcript += buf;
+  }
+
+  void on_network_change(const sim::Simulator& sim, sim::EventKind kind,
+                         std::uint32_t index) override {
+    const char* name = "?";
+    switch (kind) {
+      case sim::EventKind::kSiteFail: name = "site-fail"; break;
+      case sim::EventKind::kSiteRecover: name = "site-recover"; break;
+      case sim::EventKind::kLinkFail: name = "link-fail"; break;
+      case sim::EventKind::kLinkRecover: name = "link-recover"; break;
+      case sim::EventKind::kAccess: name = "access"; break;
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "n %.17g %s %u comps=%u\n", sim.now(), name,
+                  index, sim.tracker().component_count());
+    transcript += buf;
+  }
+
+  std::string transcript;
+};
+
+std::string record_simulator_run(const net::Topology& topo, std::uint64_t seed,
+                                 std::uint64_t accesses) {
+  sim::SimConfig config;
+  sim::AccessSpec spec;
+  sim::Simulator sim(topo, config, spec, seed);
+  GoldenRecorder recorder;
+  sim.add_access_observer(&recorder);
+  sim.add_network_observer(&recorder);
+  sim.run_accesses(accesses);
+  const auto& c = sim.counters();
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "end accesses=%llu sf=%llu sr=%llu lf=%llu lr=%llu t=%.17g\n",
+                static_cast<unsigned long long>(c.accesses),
+                static_cast<unsigned long long>(c.site_failures),
+                static_cast<unsigned long long>(c.site_recoveries),
+                static_cast<unsigned long long>(c.link_failures),
+                static_cast<unsigned long long>(c.link_recoveries), sim.now());
+  recorder.transcript += buf;
+  return recorder.transcript;
+}
+
+TEST(GoldenDeterminism, SimulatorRing101) {
+  const net::Topology topo = net::make_ring(101);
+  expect_matches_golden("sim_ring101_seed42.log",
+                        record_simulator_run(topo, 42, 3000));
+}
+
+TEST(GoldenDeterminism, SimulatorComplete101) {
+  const net::Topology topo = net::make_fully_connected(101);
+  expect_matches_golden("sim_complete101_seed7.log",
+                        record_simulator_run(topo, 7, 1200));
+}
+
+// Replays a shipped chaos plan exactly the way tools/quora_chaos does and
+// pins its byte-stable event log — the message-level cluster (tracker
+// queries, QR gossip, retry RNG) rides the same overhauled core.
+TEST(GoldenDeterminism, ChaosReassignMidPartition) {
+  const std::string plan_path =
+      std::string(QUORA_EXAMPLES_DIR) + "/chaos/reassign_mid_partition.chaos";
+  const fault::ChaosSpec spec = fault::load_chaos_file(plan_path);
+  ASSERT_TRUE(spec.system.has_value());
+  const net::Topology& topo = spec.system->topology;
+
+  msg::Cluster::Params params;
+  ASSERT_TRUE(spec.has_quorum);
+  params.spec = spec.quorum;
+  params.max_retries = 2;
+  params.config.reliability = 0.999999;
+  params.config.rho = 1e-9;
+
+  msg::Cluster cluster(topo, params, spec.seed);
+  fault::FaultInjector injector(spec.plan, spec.seed);
+  fault::EventLog log;
+  cluster.attach_injector(&injector);
+  cluster.attach_log(&log);
+  cluster.run_until(spec.horizon);
+
+  std::ostringstream out;
+  log.write(out);
+  char tail[120];
+  std::snprintf(tail, sizeof(tail),
+                "end decided=%zu sent=%llu retries=%llu stale=%llu\n",
+                cluster.outcomes().size(),
+                static_cast<unsigned long long>(cluster.messages_sent()),
+                static_cast<unsigned long long>(cluster.retries()),
+                static_cast<unsigned long long>(cluster.stale_rejections()));
+  expect_matches_golden("chaos_reassign_mid_partition.log", out.str() + tail);
+}
+
+} // namespace
+} // namespace quora

@@ -1,0 +1,304 @@
+// quora-bench — the pinned performance harness behind BENCH_*.json.
+//
+//   quora_bench [--quick] [--json PATH] [--rev NAME] [--seed N]
+//
+// Runs a fixed-seed subset of the perf surface that the ROADMAP cares
+// about — event-queue churn, component-tracker refresh under link flips,
+// and two end-to-end simulation workloads (topology 256 and topology
+// 4949) — and emits machine-readable numbers: ns/op, accesses/sec,
+// tracker rebuilds/sec, and heap allocations observed by a global
+// counting hook. scripts/bench_compare.py diffs two of these JSONs with
+// a regression threshold; docs/PERFORMANCE.md describes the schema and
+// how to refresh the checked-in baseline.
+//
+// The workloads are pinned (fixed seeds, fixed iteration counts per
+// mode) so two runs of the same binary do identical work and two
+// binaries at different revisions are comparable op-for-op. `--quick`
+// shrinks every case ~10-20x for CI smoke use; quick and full numbers
+// are not comparable to each other (the JSON records the mode).
+//
+// Exit status: 0 on success, 2 on usage or I/O errors.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "conn/component_tracker.hpp"
+#include "conn/live_network.hpp"
+#include "net/builders.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "sim/event.hpp"
+#include "sim/simulator.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counting hook. Counts every operator new in the
+// process; cases snapshot the counter around their measured region, so
+// steady-state hot paths can be asserted allocation-free.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+} // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace quora;
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void usage(int code) {
+  std::cerr << "usage: quora_bench [--quick] [--json PATH] [--rev NAME] [--seed N]\n"
+               "  --quick      ~10-20x smaller pinned workloads (CI smoke)\n"
+               "  --json PATH  write the machine-readable report to PATH\n"
+               "  --rev NAME   revision label recorded in the report\n"
+               "  --seed N     root seed (default 42; changes the workload!)\n";
+  std::exit(code);
+}
+
+struct Options {
+  bool quick = false;
+  std::string json_path;
+  std::string revision = "unknown";
+  std::uint64_t seed = 42;
+};
+
+struct CaseResult {
+  std::string name;
+  std::uint64_t items = 0;   // measured operations (pops, flips, accesses)
+  double wall_s = 0.0;
+  std::uint64_t allocations = 0;
+  std::uint64_t alloc_bytes = 0;
+  // Optional extras; negative = not applicable.
+  double accesses_per_sec = -1.0;
+  double rebuilds = -1.0;
+  double rebuilds_per_sec = -1.0;
+
+  double ns_per_op() const {
+    return items == 0 ? 0.0 : wall_s * 1e9 / static_cast<double>(items);
+  }
+  double ops_per_sec() const {
+    return wall_s <= 0.0 ? 0.0 : static_cast<double>(items) / wall_s;
+  }
+};
+
+/// Measures `body(items)` with the allocation counter snapshotted around it.
+template <typename Body>
+CaseResult run_case(const std::string& name, std::uint64_t items, Body body) {
+  CaseResult r;
+  r.name = name;
+  r.items = items;
+  const std::uint64_t a0 = g_alloc_count.load(std::memory_order_relaxed);
+  const std::uint64_t b0 = g_alloc_bytes.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  body(items, r);
+  const auto t1 = Clock::now();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.allocations = g_alloc_count.load(std::memory_order_relaxed) - a0;
+  r.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - b0;
+  std::cout << "  " << name << ": " << r.items << " ops in " << r.wall_s
+            << " s (" << r.ns_per_op() << " ns/op, " << r.allocations
+            << " allocs)";
+  if (r.rebuilds >= 0.0) std::cout << ", rebuilds=" << r.rebuilds;
+  std::cout << '\n';
+  return r;
+}
+
+CaseResult bench_event_queue(const Options& opt) {
+  const std::uint64_t n = opt.quick ? 1'000'000 : 20'000'000;
+  return run_case("event_queue_churn", n, [&](std::uint64_t items, CaseResult&) {
+    sim::EventQueue queue;
+    rng::Xoshiro256ss gen(opt.seed);
+    for (int i = 0; i < 4096; ++i) {
+      queue.push(gen.next_double(), sim::EventKind::kAccess, 0);
+    }
+    double sink = 0.0;
+    for (std::uint64_t i = 0; i < items; ++i) {
+      const sim::Event e = queue.pop();
+      sink += e.time;
+      queue.push(e.time + rng::exponential(gen, 1.0), sim::EventKind::kAccess,
+                 static_cast<std::uint32_t>(i & 0xff));
+    }
+    if (sink < 0.0) std::abort();  // defeat dead-code elimination
+  });
+}
+
+CaseResult bench_tracker(const Options& opt, const std::string& name,
+                         const net::Topology& topo) {
+  const std::uint64_t n = opt.quick ? 100'000 : 2'000'000;
+  return run_case("tracker_" + name, n, [&](std::uint64_t items, CaseResult& r) {
+    conn::LiveNetwork live(topo);
+    conn::ComponentTracker tracker(live);
+    rng::Xoshiro256ss gen(opt.seed ^ 7);
+    const std::uint64_t rebuilds0 = tracker.stats().full_rebuilds;
+    net::Vote sink = 0;
+    for (std::uint64_t i = 0; i < items; ++i) {
+      const auto link =
+          static_cast<net::LinkId>(rng::uniform_index(gen, topo.link_count()));
+      live.set_link_up(link, !live.is_link_up(link));
+      sink += tracker.component_votes(0);
+    }
+    if (sink == 0xffffffff) std::abort();
+    r.rebuilds = static_cast<double>(tracker.stats().full_rebuilds - rebuilds0);
+    r.rebuilds_per_sec = 0.0;  // filled after wall_s is known, below
+  });
+}
+
+/// Mirrors the measurement loop of the real experiments: per access, the
+/// observer queries the votes reachable from the submitting site.
+class VotesProbe : public sim::AccessObserver {
+public:
+  void on_access(const sim::Simulator& sim, const sim::AccessEvent& ev) override {
+    votes_seen += sim.tracker().component_votes(ev.site);
+  }
+  std::uint64_t votes_seen = 0;
+};
+
+CaseResult bench_sim_e2e(const Options& opt, const std::string& name,
+                         const net::Topology& topo, std::uint64_t accesses_full,
+                         std::uint64_t accesses_quick) {
+  const std::uint64_t n = opt.quick ? accesses_quick : accesses_full;
+  return run_case("sim_e2e_" + name, n, [&](std::uint64_t items, CaseResult& r) {
+    sim::SimConfig config;
+    sim::AccessSpec spec;
+    sim::Simulator sim(topo, config, spec, opt.seed);
+    VotesProbe probe;
+    sim.add_access_observer(&probe);
+    // Warm up outside nothing: the warm-up is part of the pinned work so
+    // the trajectory is identical across revisions.
+    const std::uint64_t rebuilds0 = sim.tracker().stats().full_rebuilds;
+    sim.run_accesses(items);
+    if (probe.votes_seen == 0xffffffff) std::abort();
+    r.rebuilds = static_cast<double>(sim.tracker().stats().full_rebuilds - rebuilds0);
+  });
+}
+
+void finish_rates(CaseResult& r) {
+  if (r.rebuilds >= 0.0 && r.wall_s > 0.0) {
+    r.rebuilds_per_sec = r.rebuilds / r.wall_s;
+  }
+}
+
+void write_json(std::ostream& out, const Options& opt,
+                const std::vector<CaseResult>& cases) {
+  out.precision(17);
+  out << "{\n"
+      << "  \"schema\": \"quora-bench/1\",\n"
+      << "  \"revision\": \"" << opt.revision << "\",\n"
+      << "  \"mode\": \"" << (opt.quick ? "quick" : "full") << "\",\n"
+      << "  \"seed\": " << opt.seed << ",\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& r = cases[i];
+    out << "    {\"name\": \"" << r.name << "\", \"items\": " << r.items
+        << ", \"wall_s\": " << r.wall_s << ", \"ns_per_op\": " << r.ns_per_op()
+        << ", \"ops_per_sec\": " << r.ops_per_sec()
+        << ", \"allocations\": " << r.allocations
+        << ", \"alloc_bytes\": " << r.alloc_bytes;
+    if (r.accesses_per_sec >= 0.0) {
+      out << ", \"accesses_per_sec\": " << r.accesses_per_sec;
+    }
+    if (r.rebuilds >= 0.0) {
+      out << ", \"rebuilds\": " << r.rebuilds
+          << ", \"rebuilds_per_sec\": " << r.rebuilds_per_sec;
+    }
+    out << '}' << (i + 1 < cases.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "quora_bench: missing value for " << arg << '\n';
+        usage(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--json") {
+      opt.json_path = need_value();
+    } else if (arg == "--rev") {
+      opt.revision = need_value();
+    } else if (arg == "--seed") {
+      char* end = nullptr;
+      opt.seed = std::strtoull(need_value(), &end, 0);
+      if (end == nullptr || *end != '\0') {
+        std::cerr << "quora_bench: --seed expects an integer\n";
+        usage(2);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "quora_bench: unknown option " << arg << '\n';
+      usage(2);
+    }
+  }
+
+  std::cout << "quora_bench (" << (opt.quick ? "quick" : "full")
+            << " mode, seed " << opt.seed << ")\n";
+
+  std::vector<CaseResult> cases;
+  cases.push_back(bench_event_queue(opt));
+
+  {
+    const auto ring = net::make_ring(101);
+    cases.push_back(bench_tracker(opt, "ring101", ring));
+  }
+  {
+    const auto complete = net::make_fully_connected(101);
+    cases.push_back(bench_tracker(opt, "complete101", complete));
+  }
+  {
+    const auto t4949 = net::make_ring_with_chords(101, 4949);
+    cases.push_back(bench_tracker(opt, "topology4949", t4949));
+  }
+  {
+    const auto t256 = net::make_ring_with_chords(101, 256);
+    cases.push_back(bench_sim_e2e(opt, "topology256", t256, 400'000, 30'000));
+  }
+  {
+    const auto t4949 = net::make_fully_connected(101);
+    cases.push_back(bench_sim_e2e(opt, "topology4949", t4949, 150'000, 10'000));
+  }
+  for (CaseResult& r : cases) {
+    finish_rates(r);
+    if (r.name.rfind("sim_e2e_", 0) == 0) r.accesses_per_sec = r.ops_per_sec();
+  }
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "quora_bench: cannot open " << opt.json_path << '\n';
+      return 2;
+    }
+    write_json(out, opt, cases);
+    std::cout << "json written to " << opt.json_path << '\n';
+  }
+  return 0;
+}
