@@ -6,8 +6,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string_view>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/curve_report.hpp"
 #include "report/svg_plot.hpp"
 
@@ -29,6 +32,9 @@ namespace {
       << "  --csv PATH         also write the full series as CSV\n"
       << "  --svg PATH         also render the figure as an SVG plot\n"
       << "  --json PATH        also write figure timings (quora-bench/1 schema)\n"
+      << "  --trace PATH       record a structured event trace of the stream-0 batch\n"
+      << "                     (.json => Chrome trace_event, else compact text)\n"
+      << "  --metrics PATH     dump the metrics registry (all batches, all figures)\n"
       << "  --help             this text\n";
   std::exit(code);
 }
@@ -104,6 +110,12 @@ struct JsonReport {
 
 JsonReport g_json_report;
 
+// Observability sinks shared across every figure a binary runs: the
+// registry accumulates, the trace ring keeps the most recent window.
+// Created on first use so unflagged runs pay nothing.
+std::optional<obs::Registry> g_obs_registry;
+std::optional<obs::TraceRecorder> g_obs_trace;
+
 /// Figure titles become case names: lowercase, punctuation to '-'.
 std::string slugify(const std::string& title) {
   std::string slug;
@@ -174,6 +186,10 @@ RunScale parse_args(int argc, char** argv) {
       scale.svg_path = std::string(need_value(i));
     } else if (arg == "--json") {
       scale.json_path = std::string(need_value(i));
+    } else if (arg == "--trace") {
+      scale.trace_path = std::string(need_value(i));
+    } else if (arg == "--metrics") {
+      scale.metrics_path = std::string(need_value(i));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
     } else {
@@ -214,9 +230,22 @@ metrics::MeasurePolicy to_policy(const RunScale& scale) {
 metrics::CurveResult run_figure(const net::Topology& topo, const std::string& title,
                                 const RunScale& scale) {
   std::cout << "== " << title << " ==\n";
+  metrics::MeasurePolicy policy = to_policy(scale);
+  if ((scale.trace_path || scale.metrics_path) && !obs::kEnabled) {
+    std::cerr << "note: built with QUORA_OBS=OFF; --trace/--metrics output "
+                 "will be empty\n";
+  }
+  if (scale.metrics_path) {
+    if (!g_obs_registry) g_obs_registry.emplace();
+    policy.metrics = &*g_obs_registry;
+  }
+  if (scale.trace_path) {
+    if (!g_obs_trace) g_obs_trace.emplace();
+    policy.trace = &*g_obs_trace;
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const metrics::CurveResult result =
-      metrics::measure_curves(topo, to_config(scale), to_policy(scale));
+      metrics::measure_curves(topo, to_config(scale), policy);
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -240,6 +269,16 @@ metrics::CurveResult run_figure(const net::Topology& topo, const std::string& ti
     svg.title = title;
     report::write_curve_svg_file(*scale.svg_path, result, svg);
     std::cout << "svg written to " << *scale.svg_path << '\n';
+  }
+  // Rewritten after every figure, like the JSON report, so an interrupted
+  // multi-figure run still leaves valid files behind.
+  if (scale.metrics_path) {
+    obs::write_metrics_file(*g_obs_registry, *scale.metrics_path);
+    std::cout << "metrics written to " << *scale.metrics_path << '\n';
+  }
+  if (scale.trace_path) {
+    obs::write_trace_file(*g_obs_trace, *scale.trace_path);
+    std::cout << "trace written to " << *scale.trace_path << '\n';
   }
   std::cout << '\n';
   return result;

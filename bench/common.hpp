@@ -32,14 +32,22 @@ struct RunScale {
   /// this file, in the same "quora-bench/1" JSON schema tools/quora_bench
   /// emits, so scripts/bench_compare.py can diff experiment runs too.
   std::optional<std::string> json_path;
+  /// Observability outputs (docs/OBSERVABILITY.md). `--trace PATH`
+  /// records the stream-0 batch simulator's structured event trace
+  /// (Chrome trace_event JSON when PATH ends in .json, the compact text
+  /// transcript otherwise); `--metrics PATH` dumps the shared metrics
+  /// registry, accumulated across every figure the binary ran.
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
   bool paper_scale = false;
 };
 
 /// Parses --paper, --warmup, --batch, --min-batches, --max-batches, --ci,
 /// --seed, --threads, --stride, --csv PATH, --svg PATH, --json PATH,
-/// --help. Exits on --help or a bad flag. Numeric flags are validated
-/// strictly (full-string parse, range checks) with a clear diagnostic —
-/// a typo'd `--batch 40k` aborts instead of silently truncating.
+/// --trace PATH, --metrics PATH, --help. Exits on --help or a bad flag.
+/// Numeric flags are validated strictly (full-string parse, range checks)
+/// with a clear diagnostic — a typo'd `--batch 40k` aborts instead of
+/// silently truncating.
 RunScale parse_args(int argc, char** argv);
 
 sim::SimConfig to_config(const RunScale& scale);

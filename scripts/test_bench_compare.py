@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Tests for bench_compare.py: regression, improvement, and malformed
+reports, driven through the real CLI with subprocess (ctest runs this via
+the bench-compare-py test; see tests/CMakeLists.txt).
+
+Standalone:  python3 scripts/test_bench_compare.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def report(cases, mode="quick", schema="quora-bench/1"):
+    return {
+        "schema": schema,
+        "mode": mode,
+        "cases": [{"name": n, "ns_per_op": ns} for n, ns in cases],
+    }
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_compare(self, *argv):
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, *argv],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        return proc.returncode, proc.stdout, proc.stderr
+
+    def test_no_change_passes(self):
+        base = self.write("base.json", report([("heap", 100.0)]))
+        cur = self.write("cur.json", report([("heap", 100.0)]))
+        code, out, _ = self.run_compare(base, cur)
+        self.assertEqual(code, 0)
+        self.assertIn("no case regressed", out)
+
+    def test_regression_beyond_threshold_fails(self):
+        base = self.write("base.json", report([("heap", 100.0), ("qr", 50.0)]))
+        cur = self.write("cur.json", report([("heap", 140.0), ("qr", 50.0)]))
+        code, out, _ = self.run_compare(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSED", out)
+        self.assertIn("heap", out)
+
+    def test_growth_within_threshold_passes(self):
+        base = self.write("base.json", report([("heap", 100.0)]))
+        cur = self.write("cur.json", report([("heap", 120.0)]))
+        code, out, _ = self.run_compare(base, cur)  # default threshold 0.25
+        self.assertEqual(code, 0)
+        self.assertIn("ok", out)
+
+    def test_custom_threshold(self):
+        base = self.write("base.json", report([("heap", 100.0)]))
+        cur = self.write("cur.json", report([("heap", 120.0)]))
+        code, out, _ = self.run_compare(base, cur, "--threshold", "0.1")
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSED", out)
+
+    def test_improvement_passes_and_is_labeled(self):
+        base = self.write("base.json", report([("heap", 100.0)]))
+        cur = self.write("cur.json", report([("heap", 60.0)]))
+        code, out, _ = self.run_compare(base, cur)
+        self.assertEqual(code, 0)
+        self.assertIn("improved", out)
+
+    def test_warn_only_masks_regression(self):
+        base = self.write("base.json", report([("heap", 100.0)]))
+        cur = self.write("cur.json", report([("heap", 1000.0)]))
+        code, out, _ = self.run_compare(base, cur, "--warn-only")
+        self.assertEqual(code, 0)
+        self.assertIn("REGRESSED", out)
+        self.assertIn("--warn-only", out)
+
+    def test_missing_case_is_reported_not_fatal(self):
+        base = self.write("base.json", report([("heap", 100.0), ("old", 10.0)]))
+        cur = self.write("cur.json", report([("heap", 100.0), ("new", 10.0)]))
+        code, out, _ = self.run_compare(base, cur)
+        self.assertEqual(code, 0)
+        self.assertIn("MISSING in current", out)
+        self.assertIn("MISSING in baseline", out)
+
+    def test_malformed_json_exits_2(self):
+        base = self.write("base.json", report([("heap", 100.0)]))
+        cur = self.write("cur.json", "{not json")
+        code, _, err = self.run_compare(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("cannot read", err)
+
+    def test_missing_file_exits_2(self):
+        base = self.write("base.json", report([("heap", 100.0)]))
+        code, _, err = self.run_compare(base,
+                                        os.path.join(self._dir.name, "no.json"))
+        self.assertEqual(code, 2)
+        self.assertIn("cannot read", err)
+
+    def test_wrong_schema_exits_2(self):
+        base = self.write("base.json", report([("heap", 100.0)]))
+        cur = self.write("cur.json", report([("heap", 100.0)],
+                                            schema="other-schema/9"))
+        code, _, err = self.run_compare(base, cur)
+        self.assertEqual(code, 2)
+        self.assertIn("expected schema", err)
+
+    def test_mode_mismatch_warns_by_default(self):
+        base = self.write("base.json", report([("heap", 100.0)], mode="quick"))
+        cur = self.write("cur.json", report([("heap", 100.0)], mode="full"))
+        code, out, _ = self.run_compare(base, cur)
+        self.assertEqual(code, 0)
+        self.assertIn("modes differ", out)
+
+    def test_require_same_mode_exits_2(self):
+        base = self.write("base.json", report([("heap", 100.0)], mode="quick"))
+        cur = self.write("cur.json", report([("heap", 100.0)], mode="full"))
+        code, _, err = self.run_compare(base, cur, "--require-same-mode")
+        self.assertEqual(code, 2)
+        self.assertIn("modes differ", err)
+
+    def test_negative_threshold_rejected(self):
+        base = self.write("base.json", report([("heap", 100.0)]))
+        cur = self.write("cur.json", report([("heap", 100.0)]))
+        code, _, err = self.run_compare(base, cur, "--threshold", "-0.5")
+        self.assertEqual(code, 2)
+        self.assertIn("non-negative", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

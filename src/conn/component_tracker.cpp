@@ -87,6 +87,18 @@ void ComponentTracker::apply_link_up(net::LinkId l) const {
   compact_ = false;
 }
 
+void ComponentTracker::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    obs_full_rebuilds_ = obs::Counter{};
+    obs_incremental_applies_ = obs::Counter{};
+    obs_compactions_ = obs::Counter{};
+    return;
+  }
+  obs_full_rebuilds_ = registry->counter("tracker.full_rebuilds");
+  obs_incremental_applies_ = registry->counter("tracker.incremental_applies");
+  obs_compactions_ = registry->counter("tracker.compactions");
+}
+
 void ComponentTracker::sync_slow() const {
   const std::uint64_t target = live_->version();
   if (target - cached_version_ > LiveNetwork::kJournalCapacity) {
@@ -112,6 +124,9 @@ void ComponentTracker::sync_slow() const {
   }
   cached_version_ = target;
   ++stats_.incremental_applies;
+  QUORA_METRIC_ADD(obs_incremental_applies_, 1);
+  QUORA_TRACE(trace_, obs::EventKind::kTrackerRebuild, 0, target, 0,
+              /*full=*/0);
 }
 
 void ComponentTracker::rebuild() const {
@@ -178,11 +193,15 @@ void ComponentTracker::rebuild() const {
                     "partition components hold more votes than the system");
   }
   cached_version_ = live_->version();
+  QUORA_METRIC_ADD(obs_full_rebuilds_, 1);
+  QUORA_TRACE(trace_, obs::EventKind::kTrackerRebuild, 0, cached_version_,
+              member_storage_.size(), /*full=*/1);
 }
 
 void ComponentTracker::compact() const {
   if (compact_) return;
   ++stats_.compactions;
+  QUORA_METRIC_ADD(obs_compactions_, 1);
 
   const std::uint32_t n = live_->topology().site_count();
   remap_.assign(parent_.size(), kNoComponent);

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "conn/live_network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace quora::conn {
 
@@ -81,6 +83,14 @@ public:
   };
   const Stats& stats() const noexcept { return stats_; }
 
+  /// Observability (optional, pure recording — queries and labels are
+  /// unaffected). The recorder's clock should be the owning simulation's;
+  /// rebuilds emit kTrackerRebuild with the network version and the number
+  /// of sites relabeled. Metrics mirror the Stats counters under
+  /// `tracker.*`. Pass nullptr to detach.
+  void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
+  void set_metrics(obs::Registry* registry);
+
 private:
   /// Hot-path refresh gate: no-op unless the network version moved.
   void sync() const {
@@ -112,6 +122,10 @@ private:
   mutable std::vector<std::uint32_t> size_scratch_;
   mutable std::vector<std::size_t> cursor_scratch_;
   mutable Stats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Counter obs_full_rebuilds_;
+  obs::Counter obs_incremental_applies_;
+  obs::Counter obs_compactions_;
 };
 
 } // namespace quora::conn

@@ -5,6 +5,25 @@
 #include "core/contracts.hpp"
 
 namespace quora::core {
+namespace {
+
+/// Packed (q_r, q_w) payload for qr-install / qr-adopt trace events.
+[[maybe_unused]] std::uint64_t pack_spec(const quorum::QuorumSpec& spec) {
+  return (static_cast<std::uint64_t>(spec.q_r) << 16) |
+         static_cast<std::uint64_t>(spec.q_w);
+}
+
+} // namespace
+
+void QuorumReassignment::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    obs_installs_ = obs::Counter{};
+    obs_adopts_ = obs::Counter{};
+    return;
+  }
+  obs_installs_ = registry->counter("qr.installs");
+  obs_adopts_ = registry->counter("qr.adopts");
+}
 
 QuorumReassignment::QuorumReassignment(const net::Topology& topo,
                                        quorum::QuorumSpec initial)
@@ -67,6 +86,9 @@ bool QuorumReassignment::try_install(const conn::ComponentTracker& tracker,
   }
   if (installed.version > latest_version_) latest_version_ = installed.version;
   ++epoch_;
+  QUORA_METRIC_ADD(obs_installs_, 1);
+  QUORA_TRACE(trace_, obs::EventKind::kQrInstall, origin, installed.version,
+              pack_spec(next));
   return true;
 }
 
@@ -88,6 +110,9 @@ bool QuorumReassignment::adopt(net::SiteId s, const Assignment& a) {
   QUORA_INVARIANT(a.version <= latest_version_,
                   "adopted a QR version newer than any install");
   ++epoch_;
+  QUORA_METRIC_ADD(obs_adopts_, 1);
+  QUORA_TRACE(trace_, obs::EventKind::kQrAdopt, s, a.version,
+              pack_spec(a.spec));
   return true;
 }
 

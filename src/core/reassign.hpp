@@ -5,6 +5,8 @@
 
 #include "conn/component_tracker.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quorum/protocols.hpp"
 #include "quorum/quorum_spec.hpp"
 #include "quorum/replicated_store.hpp"
@@ -87,12 +89,22 @@ public:
   const Assignment& stored(net::SiteId s) const { return stored_.at(s); }
   net::Vote total_votes() const noexcept { return total_; }
 
+  /// Observability: successful installs emit kQrInstall and successful
+  /// adoptions kQrAdopt (pure recording — protocol decisions unchanged).
+  /// The recorder must share the owning simulation's clock. Metrics land
+  /// under `qr.installs` / `qr.adopts`. Pass nullptr to detach.
+  void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
+  void set_metrics(obs::Registry* registry);
+
 private:
   const net::Topology* topo_;
   net::Vote total_;
   std::vector<Assignment> stored_;
   std::uint64_t latest_version_ = 1;
   std::uint64_t epoch_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Counter obs_installs_;
+  obs::Counter obs_adopts_;
 };
 
 /// Install `next` through `qr` and, on success, synchronize `store`'s

@@ -55,6 +55,18 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
                    });
 }
 
+void FaultInjector::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    obs_drops_ = obs::Counter{};
+    obs_duplicates_ = obs::Counter{};
+    obs_delays_ = obs::Counter{};
+    return;
+  }
+  obs_drops_ = registry->counter("fault.msg_drops");
+  obs_duplicates_ = registry->counter("fault.msg_duplicates");
+  obs_delays_ = registry->counter("fault.msg_delays");
+}
+
 MessageFault FaultInjector::on_send(net::LinkId link, double now,
                                     double mean_hop_latency) {
   MessageFault fault;
@@ -68,16 +80,19 @@ MessageFault FaultInjector::on_send(net::LinkId link, double now,
       case MessageRule::Kind::kDelay:
         if (rng::bernoulli(gen_, r.probability)) {
           fault.extra_delay += rng::exponential(gen_, r.mean_extra);
+          QUORA_METRIC_ADD(obs_delays_, 1);
         }
         break;
       case MessageRule::Kind::kDuplicate:
         if (!fault.duplicate && rng::bernoulli(gen_, r.probability)) {
           fault.duplicate = true;
           fault.dup_extra = rng::exponential(gen_, mean_hop_latency);
+          QUORA_METRIC_ADD(obs_duplicates_, 1);
         }
         break;
     }
   }
+  if (fault.drop) QUORA_METRIC_ADD(obs_drops_, 1);
   return fault;
 }
 

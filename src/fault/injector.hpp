@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fault/fault_plan.hpp"
+#include "obs/metrics.hpp"
 #include "rng/xoshiro256ss.hpp"
 
 namespace quora::fault {
@@ -52,6 +53,12 @@ public:
   bool has_rules() const noexcept { return !rules_.empty(); }
   std::size_t armed_crash_count() const noexcept { return armed_.size(); }
 
+  /// Observability: count what the stochastic rules actually did to the
+  /// message stream (`fault.msg_drops` / `fault.msg_duplicates` /
+  /// `fault.msg_delays`). Pure recording — the draw sequence is untouched.
+  /// Pass nullptr to detach.
+  void set_metrics(obs::Registry* registry);
+
 private:
   std::vector<Action> timeline_;
   std::vector<MessageRule> rules_;
@@ -61,6 +68,9 @@ private:
     double down_for = 0.0;
   };
   std::vector<Armed> armed_;
+  obs::Counter obs_drops_;
+  obs::Counter obs_duplicates_;
+  obs::Counter obs_delays_;
 };
 
 } // namespace quora::fault

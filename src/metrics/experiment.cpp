@@ -24,6 +24,10 @@ BatchOutput run_one_batch(const net::Topology& topo, const sim::SimConfig& confi
   spec.read_weights = policy.read_weights;
   spec.write_weights = policy.write_weights;
   sim::Simulator simulator(topo, config, spec, policy.profile, policy.seed, b);
+  if (policy.metrics != nullptr) simulator.set_metrics(policy.metrics);
+  // The recorder is single-threaded: only stream 0 carries it, and that
+  // batch always runs (streams are the batch index, wave after wave).
+  if (policy.trace != nullptr && b == 0) simulator.set_trace(policy.trace);
   simulator.run_accesses(config.warmup_accesses);
 
   BatchOutput out;

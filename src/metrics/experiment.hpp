@@ -5,6 +5,8 @@
 
 #include "core/availability.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/config.hpp"
 #include "stats/batch_means.hpp"
 
@@ -31,6 +33,13 @@ struct MeasurePolicy {
   /// r(v) = sum_i r_i f_i(v) and w(v) = sum_i w_i f_i(v) automatically.
   std::vector<double> read_weights;
   std::vector<double> write_weights;
+  /// Optional observability sinks (borrowed; may be nullptr). The
+  /// registry is thread-safe and attaches to every parallel batch
+  /// simulator; the trace recorder is single-threaded and attaches to
+  /// the stream-0 batch simulator only — one representative replication,
+  /// enough for event forensics without cross-thread racing.
+  obs::Registry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Availability as a function of (alpha, q_r) with batch-means confidence

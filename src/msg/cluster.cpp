@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "rng/distributions.hpp"
 
@@ -84,8 +85,51 @@ Cluster::Cluster(const net::Topology& topo, Params params, std::uint64_t seed)
              0, 0, 0});
 }
 
+void Cluster::set_trace(obs::TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace != nullptr) trace->set_clock(&now_);
+  qr_.set_trace(trace);
+  tracker_.set_trace(trace);
+}
+
+void Cluster::set_metrics(obs::Registry* registry) {
+  registry_ = registry;
+  if (registry == nullptr) {
+    obs_accesses_ = obs::Counter{};
+    obs_grants_ = obs::Counter{};
+    obs_retries_ = obs::Counter{};
+    obs_denies_.fill(obs::Counter{});
+    obs_access_latency_ = obs::Histogram{};
+    obs_phase1_latency_ = obs::Histogram{};
+    obs_commit_latency_ = obs::Histogram{};
+  } else {
+    obs_accesses_ = registry->counter("cluster.accesses");
+    obs_grants_ = registry->counter("cluster.grants");
+    obs_retries_ = registry->counter("cluster.retries");
+    // One deny counter per reason code; index 0 (kNone) stays detached.
+    for (std::size_t r = 1; r < kDenyReasonCount; ++r) {
+      obs_denies_[r] = registry->counter(
+          std::string("cluster.denies.") +
+          deny_reason_name(static_cast<DenyReason>(r)));
+    }
+    const std::vector<double> latency_buckets{0.001, 0.002, 0.005, 0.01,
+                                              0.02,  0.05,  0.1,   0.2,
+                                              0.5,   1.0,   2.0,   5.0};
+    obs_access_latency_ =
+        registry->histogram("cluster.access_latency_seconds", latency_buckets);
+    obs_phase1_latency_ =
+        registry->histogram("cluster.phase1_seconds", latency_buckets);
+    obs_commit_latency_ =
+        registry->histogram("cluster.commit_seconds", latency_buckets);
+  }
+  qr_.set_metrics(registry);
+  tracker_.set_metrics(registry);
+  if (injector_ != nullptr) injector_->set_metrics(registry);
+}
+
 void Cluster::attach_injector(fault::FaultInjector* injector) {
   injector_ = injector;
+  if (registry_ != nullptr) injector->set_metrics(registry_);
   const auto& timeline = injector->timeline();
   for (std::size_t i = 0; i < timeline.size(); ++i) {
     Event e;
@@ -182,6 +226,9 @@ void Cluster::relay_toward_coordinator(net::SiteId at, const Message& m) {
 void Cluster::handle_access(net::SiteId origin) {
   const std::uint64_t request = next_request_++;
   const bool is_read = rng::bernoulli(gen_, params_.alpha);
+  QUORA_METRIC_ADD(obs_accesses_, 1);
+  QUORA_TRACE(trace_, obs::EventKind::kAccessSubmit, origin, request, 0,
+              is_read ? std::uint8_t{1} : std::uint8_t{0});
 
   // Oracle: the paper's instantaneous decision from global state, under
   // the assignment in effect for origin's component (§2.2). Memoized per
@@ -210,6 +257,11 @@ void Cluster::handle_access(net::SiteId origin) {
     out.oracle_granted = oracle;
     outcomes_.push_back(out);
     ++decided_;
+    QUORA_METRIC_ADD(
+        obs_denies_[static_cast<std::size_t>(DenyReason::kOriginDown)], 1);
+    QUORA_METRIC_RECORD(obs_access_latency_, 0.0);
+    QUORA_TRACE(trace_, obs::EventKind::kAccessDeny, origin, request, 0,
+                static_cast<std::uint8_t>(DenyReason::kOriginDown));
     char buf[160];
     logf(log_, now_, buf, "decide id=%llu origin=%u %s denied reason=%s",
          static_cast<unsigned long long>(request), origin,
@@ -243,6 +295,9 @@ void Cluster::start_coordination(net::SiteId origin, std::uint64_t request) {
   p.ackers.clear();
   p.best_version = copies_[origin].version;
   p.best_value = copies_[origin].value;
+  QUORA_OBS_ONLY(p.obs_attempt_start = now_;)
+  QUORA_TRACE(trace_, obs::EventKind::kRoundStart, origin, request,
+              p.obs_prev_request, static_cast<std::uint8_t>(p.attempt));
 
   if (!p.is_read) {
     Lease& lease = leases_[origin];
@@ -280,6 +335,8 @@ void Cluster::start_coordination(net::SiteId origin, std::uint64_t request) {
   } else if (!live_p.is_read && live_p.spec.allows_write(live_p.votes)) {
     // Degenerate write quorum: apply locally, done.
     live_p.phase = 2;
+    QUORA_METRIC_RECORD(obs_phase1_latency_, now_ - live_p.obs_attempt_start);
+    QUORA_OBS_ONLY(live_p.obs_phase2_start = now_;)
     live_p.best_version = live_p.best_version + 1;
     copies_[origin] = Copy{live_p.write_value, live_p.best_version};
     if (leases_[origin].request == request) leases_[origin] = Lease{};
@@ -305,6 +362,8 @@ void Cluster::retry(net::SiteId coordinator, std::uint64_t old_request) {
 
   ++p.attempt;
   ++retries_;
+  QUORA_METRIC_ADD(obs_retries_, 1);
+  QUORA_OBS_ONLY(p.obs_prev_request = old_request;)
   const std::uint64_t request = next_request_++;
   const double base = params_.backoff_base > 0.0 ? params_.backoff_base
                                                  : 0.25 * params_.phase_timeout;
@@ -354,6 +413,25 @@ void Cluster::decide(net::SiteId coordinator, std::uint64_t request,
   if (!p.is_read && granted) {
     commits_.push_back(CommitRecord{p.best_version, now_});
   }
+
+  QUORA_TRACE(trace_, obs::EventKind::kRoundFinish, coordinator, request, 0,
+              static_cast<std::uint8_t>(p.phase));
+  if (granted) {
+    QUORA_METRIC_ADD(obs_grants_, 1);
+    QUORA_TRACE(trace_, obs::EventKind::kAccessGrant, coordinator, request,
+                out.version, static_cast<std::uint8_t>(p.attempt));
+  } else {
+    QUORA_METRIC_ADD(
+        obs_denies_[static_cast<std::size_t>(out.deny_reason)], 1);
+    QUORA_TRACE(trace_, obs::EventKind::kAccessDeny, coordinator, request,
+                out.version, static_cast<std::uint8_t>(out.deny_reason));
+  }
+  QUORA_METRIC_RECORD(obs_access_latency_, now_ - p.submit_time);
+  QUORA_OBS_ONLY(if (p.phase == 2) {
+    QUORA_METRIC_RECORD(obs_commit_latency_, now_ - p.obs_phase2_start);
+  } else {
+    QUORA_METRIC_RECORD(obs_phase1_latency_, now_ - p.obs_attempt_start);
+  })
 
   char buf[200];
   logf(log_, now_, buf,
@@ -515,6 +593,8 @@ void Cluster::handle_delivery(const Event& e) {
       if (p.spec.allows_write(p.votes)) {
         // Phase 2: install the new version everywhere reachable.
         p.phase = 2;
+        QUORA_METRIC_RECORD(obs_phase1_latency_, now_ - p.obs_attempt_start);
+        QUORA_OBS_ONLY(p.obs_phase2_start = now_;)
         p.best_version = p.best_version + 1;
         copies_[here] = Copy{p.write_value, p.best_version};
         if (leases_[here].request == m.request) leases_[here] = Lease{};
@@ -598,6 +678,8 @@ bool Cluster::maybe_crash_on_commit(net::SiteId coordinator,
   char buf[120];
   logf(log_, now_, buf, "crash-on-commit coord=%u id=%llu down_for=%.6f",
        coordinator, static_cast<unsigned long long>(request), *down_for);
+  QUORA_TRACE(trace_, obs::EventKind::kFaultInject, coordinator, request, 0,
+              obs::kFaultSite);
   live_.set_site_up(coordinator, false);
   on_site_failed(coordinator);
   push(Event{now_ + *down_for, 0, Kind::kSiteRecover, coordinator, {}, 0, 0, 0});
@@ -632,18 +714,26 @@ void Cluster::apply_fault(const fault::Action& action) {
     case K::kSiteDown:
       if (live_.set_site_up(action.site, false)) on_site_failed(action.site);
       logf(log_, now_, buf, "fault site-down %u", action.site);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultInject, action.site, 0, 0,
+                  obs::kFaultSite);
       break;
     case K::kSiteUp:
       live_.set_site_up(action.site, true);
       logf(log_, now_, buf, "fault site-up %u", action.site);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultHeal, action.site, 0, 0,
+                  obs::kFaultSite);
       break;
     case K::kLinkDown:
       live_.set_link_up(action.link, false);
       logf(log_, now_, buf, "fault link-down %u", action.link);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultInject, action.link, 0, 0,
+                  obs::kFaultLink);
       break;
     case K::kLinkUp:
       live_.set_link_up(action.link, true);
       logf(log_, now_, buf, "fault link-up %u", action.link);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultHeal, action.link, 0, 0,
+                  obs::kFaultLink);
       break;
     case K::kPartition: {
       std::vector<std::int32_t> group(topo_->site_count(), -1);
@@ -662,17 +752,23 @@ void Cluster::apply_fault(const fault::Action& action) {
       }
       logf(log_, now_, buf, "fault partition groups=%u cut=%u",
            static_cast<std::uint32_t>(action.groups.size()), cut);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultInject, 0, 0, cut,
+                  obs::kFaultPartition);
       break;
     }
     case K::kHeal:
       live_.reset_all_up();
       logf(log_, now_, buf, "fault heal");
+      QUORA_TRACE(trace_, obs::EventKind::kFaultHeal, 0, 0, 0,
+                  obs::kFaultHealAll);
       break;
     case K::kHealLinks:
       for (net::LinkId l = 0; l < topo_->link_count(); ++l) {
         live_.set_link_up(l, true);
       }
       logf(log_, now_, buf, "fault heal-links");
+      QUORA_TRACE(trace_, obs::EventKind::kFaultHeal, 0, 0, 1,
+                  obs::kFaultHealAll);
       break;
     case K::kReassign: {
       const bool installed = live_.is_site_up(action.site) &&
@@ -710,21 +806,29 @@ void Cluster::step(const Event& e) {
     case Kind::kSiteFail:
       live_.set_site_up(e.index, false);
       on_site_failed(e.index);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultInject, e.index, 0, 0,
+                  obs::kFaultSite);
       push(Event{now_ + rng::exponential(gen_, mu_r), 0, Kind::kSiteRecover,
                  e.index, {}, 0, 0, 0});
       break;
     case Kind::kSiteRecover:
       live_.set_site_up(e.index, true);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultHeal, e.index, 0, 0,
+                  obs::kFaultSite);
       push(Event{now_ + rng::exponential(gen_, mu_f), 0, Kind::kSiteFail,
                  e.index, {}, 0, 0, 0});
       break;
     case Kind::kLinkFail:
       live_.set_link_up(e.index, false);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultInject, e.index, 0, 0,
+                  obs::kFaultLink);
       push(Event{now_ + rng::exponential(gen_, mu_r), 0, Kind::kLinkRecover,
                  e.index, {}, 0, 0, 0});
       break;
     case Kind::kLinkRecover:
       live_.set_link_up(e.index, true);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultHeal, e.index, 0, 0,
+                  obs::kFaultLink);
       push(Event{now_ + rng::exponential(gen_, mu_f), 0, Kind::kLinkFail,
                  e.index, {}, 0, 0, 0});
       break;

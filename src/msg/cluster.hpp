@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <queue>
@@ -13,6 +14,8 @@
 #include "fault/injector.hpp"
 #include "msg/message.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quorum/quorum_spec.hpp"
 #include "rng/xoshiro256ss.hpp"
 #include "sim/config.hpp"
@@ -164,6 +167,17 @@ public:
   double now() const noexcept { return now_; }
   const conn::LiveNetwork& network() const noexcept { return live_; }
 
+  /// Observability: pure recording — protocol decisions, message fates,
+  /// and every RNG draw are untouched (the golden chaos transcript is
+  /// replayed with both attached to prove it). The recorder is clocked on
+  /// this cluster's simulated time and shared with the QR protocol and
+  /// the component tracker; one recorder per cluster (recorders are not
+  /// thread-safe). The registry is thread-safe and is also forwarded to
+  /// an attached fault injector, in either attach order. Pass nullptr to
+  /// detach.
+  void set_trace(obs::TraceRecorder* trace);
+  void set_metrics(obs::Registry* registry);
+
 private:
   struct Pending {  // coordinator-side state
     bool is_read = false;
@@ -181,6 +195,11 @@ private:
     std::uint64_t best_version = 0;
     std::uint64_t best_value = 0;
     std::uint64_t write_value = 0;
+    // Observability-only state; absent from a QUORA_OBS=OFF build.
+    QUORA_OBS_ONLY(
+        double obs_attempt_start = 0.0;   // this attempt's phase 1 began
+        double obs_phase2_start = 0.0;    // the commit flood departed
+        std::uint64_t obs_prev_request = 0;)  // id this retry superseded
   };
 
   struct FloodState {  // per (site, flood id): dedup + reverse path
@@ -299,6 +318,16 @@ private:
   std::uint64_t messages_duplicated_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t stale_rejections_ = 0;
+
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Registry* registry_ = nullptr;  // kept to forward to a late injector
+  obs::Counter obs_accesses_;
+  obs::Counter obs_grants_;
+  obs::Counter obs_retries_;
+  std::array<obs::Counter, kDenyReasonCount> obs_denies_;  // by DenyReason
+  obs::Histogram obs_access_latency_;
+  obs::Histogram obs_phase1_latency_;
+  obs::Histogram obs_commit_latency_;
 };
 
 } // namespace quora::msg

@@ -1,0 +1,29 @@
+#pragma once
+
+/// Compile-time gate for the observability layer.
+///
+/// The build system defines QUORA_OBS_ENABLED=1 when the layer is
+/// compiled in (cmake -DQUORA_OBS=ON, the default). The obs *library* —
+/// Registry, TraceRecorder, the exporters — is always built so tools can
+/// link it in either mode; what the gate removes is every instrumentation
+/// call site in the hot paths (the QUORA_TRACE / QUORA_METRIC macros in
+/// trace.hpp and metrics.hpp expand to nothing), so a QUORA_OBS=OFF build
+/// pays literally zero instructions for observability.
+
+namespace quora::obs {
+
+#if defined(QUORA_OBS_ENABLED)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+} // namespace quora::obs
+
+/// Wraps statements that should only exist in instrumented builds
+/// (e.g. stashing a phase-start timestamp that only a histogram reads).
+#if defined(QUORA_OBS_ENABLED)
+#define QUORA_OBS_ONLY(...) __VA_ARGS__
+#else
+#define QUORA_OBS_ONLY(...)
+#endif

@@ -1,0 +1,116 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace quora::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAccessSubmit: return "access-submit";
+    case EventKind::kAccessGrant: return "access-grant";
+    case EventKind::kAccessDeny: return "access-deny";
+    case EventKind::kRoundStart: return "round-start";
+    case EventKind::kRoundFinish: return "round-finish";
+    case EventKind::kQrInstall: return "qr-install";
+    case EventKind::kQrAdopt: return "qr-adopt";
+    case EventKind::kFaultInject: return "fault-inject";
+    case EventKind::kFaultHeal: return "fault-heal";
+    case EventKind::kTrackerRebuild: return "tracker-rebuild";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRecorder::record_at(double t, EventKind kind, std::uint32_t site,
+                              std::uint64_t request, std::uint64_t a,
+                              std::uint8_t x) {
+  TraceEvent& e = ring_[head_];
+  e.time = t;
+  e.kind = kind;
+  e.site = site;
+  e.request = request;
+  e.a = a;
+  e.x = x;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (held_ < ring_.size()) ++held_;
+  ++recorded_;
+}
+
+const TraceEvent& TraceRecorder::at(std::size_t i) const {
+  // Oldest event sits at head_ when the ring has wrapped, at 0 otherwise.
+  const std::size_t oldest = held_ == ring_.size() ? head_ : 0;
+  std::size_t idx = oldest + i;
+  if (idx >= ring_.size()) idx -= ring_.size();
+  return ring_[idx];
+}
+
+void TraceRecorder::clear() {
+  head_ = 0;
+  held_ = 0;
+  recorded_ = 0;
+}
+
+void TraceRecorder::write_text(std::ostream& out) const {
+  char buf[160];
+  for (std::size_t i = 0; i < held_; ++i) {
+    const TraceEvent& e = at(i);
+    std::snprintf(buf, sizeof(buf), "%.9f %s %u %llu %llu %u\n", e.time,
+                  event_kind_name(e.kind), e.site,
+                  static_cast<unsigned long long>(e.request),
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned>(e.x));
+    out << buf;
+  }
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& out) const {
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[256];
+  for (std::size_t i = 0; i < held_; ++i) {
+    const TraceEvent& e = at(i);
+    const double ts_us = e.time * 1e6;  // simulated seconds -> microseconds
+    const char* name = event_kind_name(e.kind);
+    out << (i == 0 ? "\n" : ",\n");
+    if (e.kind == EventKind::kRoundStart || e.kind == EventKind::kRoundFinish) {
+      // Async begin/end keyed by request id: rounds at one coordinator
+      // may overlap, so thread-scoped B/E nesting would be invalid.
+      std::snprintf(buf, sizeof(buf),
+                    "  {\"name\": \"round\", \"cat\": \"quorum\", \"ph\": "
+                    "\"%s\", \"id\": %llu, \"ts\": %.3f, \"pid\": 0, \"tid\": "
+                    "%u, \"args\": {\"x\": %u}}",
+                    e.kind == EventKind::kRoundStart ? "b" : "e",
+                    static_cast<unsigned long long>(e.request), ts_us, e.site,
+                    static_cast<unsigned>(e.x));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  {\"name\": \"%s\", \"ph\": \"i\", \"s\": \"t\", \"ts\": "
+                    "%.3f, \"pid\": 0, \"tid\": %u, \"args\": {\"request\": "
+                    "%llu, \"a\": %llu, \"x\": %u}}",
+                    name, ts_us, e.site,
+                    static_cast<unsigned long long>(e.request),
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned>(e.x));
+    }
+    out << buf;
+  }
+  out << "\n]}\n";
+}
+
+void write_trace_file(const TraceRecorder& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file " + path);
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    trace.write_chrome_json(out);
+  } else {
+    trace.write_text(out);
+  }
+}
+
+} // namespace quora::obs

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace quora::obs {
+
+/// Event taxonomy of the structured trace (docs/OBSERVABILITY.md).
+/// Payload field meaning varies per kind; the table below is normative.
+///
+///   kind             site          request        a              x
+///   ---------------- ------------- -------------- -------------- -----------
+///   access-submit    origin        request id     0              1 if read
+///   access-grant     coordinator   request id     version        attempts
+///   access-deny      coordinator   request id     version        DenyReason
+///   round-start      coordinator   request id     prev id or 0   attempt
+///   round-finish     coordinator   request id     0              phase ended
+///
+/// Retries re-coordinate under a fresh request id; round-start's `a`
+/// carries the superseded attempt's id (0 on first attempts) so readers
+/// can chain an access's whole retry lineage back to its submit event.
+///   qr-install       origin        new version    q_r<<16|q_w    0
+///   qr-adopt         adopter       new version    q_r<<16|q_w    0
+///   fault-inject     site/link     action index   0              FaultKind
+///   fault-heal       site/link     action index   0              FaultKind
+///   tracker-rebuild  0             network ver    sites visited  1 if full
+enum class EventKind : std::uint8_t {
+  kAccessSubmit,
+  kAccessGrant,
+  kAccessDeny,
+  kRoundStart,
+  kRoundFinish,
+  kQrInstall,
+  kQrAdopt,
+  kFaultInject,
+  kFaultHeal,
+  kTrackerRebuild,
+};
+inline constexpr std::size_t kEventKindCount = 10;
+
+/// Stable kebab-case slug, mirrored by tools/quora_trace's parser.
+const char* event_kind_name(EventKind kind);
+
+/// `x` payload of fault-inject / fault-heal events: what failed or healed.
+inline constexpr std::uint8_t kFaultSite = 0;
+inline constexpr std::uint8_t kFaultLink = 1;
+inline constexpr std::uint8_t kFaultPartition = 2;
+inline constexpr std::uint8_t kFaultHealAll = 3;
+
+/// One trace record. Fixed-size POD so the ring is a flat array.
+struct TraceEvent {
+  double time = 0.0;
+  std::uint64_t request = 0;
+  std::uint64_t a = 0;
+  std::uint32_t site = 0;
+  EventKind kind = EventKind::kAccessSubmit;
+  std::uint8_t x = 0;
+};
+
+/// Bounded ring of typed events with sim-time timestamps.
+///
+/// Overflow policy: the ring overwrites the *oldest* event and counts the
+/// overwrite in `dropped()` — a trace that survived a long soak keeps the
+/// most recent window, which is where the interesting failure usually is.
+///
+/// Timestamps come from an external clock (`set_clock` with a pointer to
+/// the owner's simulated-time variable), so one recorder can be shared by
+/// a simulator and the trackers/protocols hanging off it. Not thread-safe:
+/// one recorder per simulation, like the simulations themselves.
+class TraceRecorder {
+public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  /// `now` must outlive the recorder (or be reset); nullptr reverts to
+  /// explicit `record_at` times only.
+  void set_clock(const double* now) noexcept { clock_ = now; }
+
+  void record(EventKind kind, std::uint32_t site, std::uint64_t request,
+              std::uint64_t a = 0, std::uint8_t x = 0) {
+    record_at(clock_ != nullptr ? *clock_ : 0.0, kind, site, request, a, x);
+  }
+  void record_at(double t, EventKind kind, std::uint32_t site,
+                 std::uint64_t request, std::uint64_t a = 0, std::uint8_t x = 0);
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Events currently held (<= capacity).
+  std::size_t size() const noexcept { return held_; }
+  /// Events ever recorded, including overwritten ones.
+  std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Events lost to ring overflow.
+  std::uint64_t dropped() const noexcept { return recorded_ - held_; }
+
+  /// i-th oldest retained event, i in [0, size()).
+  const TraceEvent& at(std::size_t i) const;
+
+  void clear();
+
+  /// Chrome trace_event JSON (open in ui.perfetto.dev or
+  /// chrome://tracing). Round start/finish become async "b"/"e" pairs
+  /// keyed by request id; everything else is an instant event. Timestamps
+  /// are exported in microseconds of simulated time.
+  void write_chrome_json(std::ostream& out) const;
+
+  /// Compact text transcript, one event per line:
+  ///   <time %.9f> <kind> <site> <request> <a> <x>
+  /// This is what tools/quora_trace summarizes.
+  void write_text(std::ostream& out) const;
+
+private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;   // next write position
+  std::size_t held_ = 0;
+  std::uint64_t recorded_ = 0;
+  const double* clock_ = nullptr;
+};
+
+/// Writes the trace to `path`: Chrome JSON when the path ends in ".json",
+/// the compact text transcript otherwise. Throws std::runtime_error on
+/// I/O failure.
+void write_trace_file(const TraceRecorder& trace, const std::string& path);
+
+// --- hot-path macro --------------------------------------------------
+//
+// `rec` is a TraceRecorder*; the whole call site vanishes in a
+// QUORA_OBS=OFF build.
+#if defined(QUORA_OBS_ENABLED)
+#define QUORA_TRACE(rec, ...) \
+  do {                        \
+    if ((rec) != nullptr) (rec)->record(__VA_ARGS__); \
+  } while (0)
+#else
+#define QUORA_TRACE(rec, ...) ((void)0)
+#endif
+
+} // namespace quora::obs

@@ -62,6 +62,29 @@ void Simulator::schedule_initial_events() {
   queue_.push(now_ + rng::exponential(gen_, access_interarrival_), EventKind::kAccess, 0);
 }
 
+void Simulator::set_trace(obs::TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace != nullptr) trace->set_clock(&now_);
+  tracker_.set_trace(trace);
+}
+
+void Simulator::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    obs_accesses_ = obs::Counter{};
+    obs_site_failures_ = obs::Counter{};
+    obs_site_recoveries_ = obs::Counter{};
+    obs_link_failures_ = obs::Counter{};
+    obs_link_recoveries_ = obs::Counter{};
+  } else {
+    obs_accesses_ = registry->counter("sim.accesses");
+    obs_site_failures_ = registry->counter("sim.site_failures");
+    obs_site_recoveries_ = registry->counter("sim.site_recoveries");
+    obs_link_failures_ = registry->counter("sim.link_failures");
+    obs_link_recoveries_ = registry->counter("sim.link_recoveries");
+  }
+  tracker_.set_metrics(registry);
+}
+
 void Simulator::set_access_alpha(double alpha) {
   if (!(alpha >= 0.0 && alpha <= 1.0)) {
     throw std::invalid_argument("set_access_alpha: alpha must be in [0,1]");
@@ -93,6 +116,9 @@ void Simulator::handle(const Event& e) {
     case EventKind::kSiteFail: {
       live_.set_site_up(e.index, false);
       ++counters_.site_failures;
+      QUORA_METRIC_ADD(obs_site_failures_, 1);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultInject, e.index, 0, 0,
+                  obs::kFaultSite);
       queue_.push(now_ + rng::exponential(gen_, site_mu_repair(e.index)),
                   EventKind::kSiteRecover, e.index);
       notify_network(e.kind, e.index);
@@ -101,6 +127,9 @@ void Simulator::handle(const Event& e) {
     case EventKind::kSiteRecover: {
       live_.set_site_up(e.index, true);
       ++counters_.site_recoveries;
+      QUORA_METRIC_ADD(obs_site_recoveries_, 1);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultHeal, e.index, 0, 0,
+                  obs::kFaultSite);
       queue_.push(now_ + rng::exponential(gen_, site_mu_fail(e.index)),
                   EventKind::kSiteFail, e.index);
       notify_network(e.kind, e.index);
@@ -109,6 +138,9 @@ void Simulator::handle(const Event& e) {
     case EventKind::kLinkFail: {
       live_.set_link_up(e.index, false);
       ++counters_.link_failures;
+      QUORA_METRIC_ADD(obs_link_failures_, 1);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultInject, e.index, 0, 0,
+                  obs::kFaultLink);
       queue_.push(now_ + rng::exponential(gen_, link_mu_repair(e.index)),
                   EventKind::kLinkRecover, e.index);
       notify_network(e.kind, e.index);
@@ -117,6 +149,9 @@ void Simulator::handle(const Event& e) {
     case EventKind::kLinkRecover: {
       live_.set_link_up(e.index, true);
       ++counters_.link_recoveries;
+      QUORA_METRIC_ADD(obs_link_recoveries_, 1);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultHeal, e.index, 0, 0,
+                  obs::kFaultLink);
       queue_.push(now_ + rng::exponential(gen_, link_mu_fail(e.index)),
                   EventKind::kLinkFail, e.index);
       notify_network(e.kind, e.index);
@@ -136,6 +171,9 @@ void Simulator::handle(const Event& e) {
                                : static_cast<net::SiteId>(rng::uniform_index(
                                      gen_, topo_->site_count()));
       }
+      QUORA_METRIC_ADD(obs_accesses_, 1);
+      QUORA_TRACE(trace_, obs::EventKind::kAccessSubmit, ev.site,
+                  counters_.accesses, 0, ev.is_read ? 1 : 0);
       notify_access(ev);
       queue_.push(now_ + rng::exponential(gen_, access_interarrival_),
                   EventKind::kAccess, 0);

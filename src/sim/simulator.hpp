@@ -8,6 +8,8 @@
 #include "conn/component_tracker.hpp"
 #include "conn/live_network.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rng/alias_table.hpp"
 #include "rng/xoshiro256ss.hpp"
 #include "sim/config.hpp"
@@ -104,6 +106,16 @@ public:
   };
   const Counters& counters() const noexcept { return counters_; }
 
+  /// Observability: pure recording, provably inert (the golden
+  /// determinism suite replays with these attached and asserts
+  /// byte-identical transcripts). The recorder is clocked on this
+  /// simulator's simulated time and shared with the component tracker;
+  /// one recorder per simulator — recorders are not thread-safe. The
+  /// registry IS thread-safe and may be shared across parallel batch
+  /// simulators. Pass nullptr to detach.
+  void set_trace(obs::TraceRecorder* trace);
+  void set_metrics(obs::Registry* registry);
+
 private:
   void schedule_initial_events();
   void handle(const Event& e);
@@ -151,6 +163,12 @@ private:
   std::optional<rng::AliasTable> write_sites_;
 
   Counters counters_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Counter obs_accesses_;
+  obs::Counter obs_site_failures_;
+  obs::Counter obs_site_recoveries_;
+  obs::Counter obs_link_failures_;
+  obs::Counter obs_link_recoveries_;
   std::vector<AccessObserver*> access_obs_;
   std::vector<NetworkObserver*> network_obs_;
   AccessObserver* solo_access_obs_ = nullptr;    // set iff exactly one registered

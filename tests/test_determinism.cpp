@@ -23,6 +23,8 @@
 #include "fault/injector.hpp"
 #include "msg/cluster.hpp"
 #include "net/builders.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 #ifndef QUORA_GOLDEN_DIR
@@ -118,10 +120,14 @@ public:
 };
 
 std::string record_simulator_run(const net::Topology& topo, std::uint64_t seed,
-                                 std::uint64_t accesses) {
+                                 std::uint64_t accesses,
+                                 obs::Registry* registry = nullptr,
+                                 obs::TraceRecorder* trace = nullptr) {
   sim::SimConfig config;
   sim::AccessSpec spec;
   sim::Simulator sim(topo, config, spec, seed);
+  if (registry != nullptr) sim.set_metrics(registry);
+  if (trace != nullptr) sim.set_trace(trace);
   GoldenRecorder recorder;
   sim.add_access_observer(&recorder);
   sim.add_network_observer(&recorder);
@@ -151,18 +157,63 @@ TEST(GoldenDeterminism, SimulatorComplete101) {
                         record_simulator_run(topo, 7, 1200));
 }
 
-// Replays a shipped chaos plan exactly the way tools/quora_chaos does and
-// pins its byte-stable event log — the message-level cluster (tracker
-// queries, QR gossip, retry RNG) rides the same overhauled core.
-TEST(GoldenDeterminism, ChaosReassignMidPartition) {
+// --- observability inertness ------------------------------------------
+//
+// The same golden fixtures, replayed with the full observability stack
+// attached (trace recorder at a capacity that never overflows, metrics
+// registry with every handle live). The transcripts must stay
+// byte-identical: instrumentation is pure recording and may not perturb
+// RNG draws, event order, or tracker answers. Skipped under
+// QUORA_REGEN_GOLDEN — fixtures are always recorded unobserved.
+
+TEST(GoldenDeterminism, SimulatorRing101Observed) {
+  if (regen_requested()) GTEST_SKIP() << "fixtures regenerate unobserved";
+  const net::Topology topo = net::make_ring(101);
+  obs::Registry registry;
+  obs::TraceRecorder trace(1 << 20);
+  expect_matches_golden("sim_ring101_seed42.log",
+                        record_simulator_run(topo, 42, 3000, &registry, &trace));
+  if (obs::kEnabled) {
+    // Vacuity guard: the run must actually have been observed.
+    EXPECT_GT(trace.recorded(), 0u);
+    EXPECT_EQ(trace.dropped(), 0u);
+    const obs::Registry::Snapshot snap = registry.snapshot();
+    ASSERT_FALSE(snap.counters.empty());
+    std::uint64_t accesses = 0;
+    for (const auto& [name, value] : snap.counters) {
+      if (name == "sim.accesses") accesses = value;
+    }
+    EXPECT_EQ(accesses, 3000u);
+  } else {
+    EXPECT_EQ(trace.recorded(), 0u);
+  }
+}
+
+TEST(GoldenDeterminism, SimulatorComplete101Observed) {
+  if (regen_requested()) GTEST_SKIP() << "fixtures regenerate unobserved";
+  const net::Topology topo = net::make_fully_connected(101);
+  obs::Registry registry;
+  obs::TraceRecorder trace(1 << 20);
+  expect_matches_golden("sim_complete101_seed7.log",
+                        record_simulator_run(topo, 7, 1200, &registry, &trace));
+  if (obs::kEnabled) {
+    EXPECT_GT(trace.recorded(), 0u);
+  }
+}
+
+/// Replays the shipped chaos plan exactly the way tools/quora_chaos
+/// does and returns its byte-stable event log (plus end-state tail).
+/// Optional observability sinks attach the full stack to the run.
+std::string record_chaos_run(obs::Registry* registry = nullptr,
+                             obs::TraceRecorder* trace = nullptr) {
   const std::string plan_path =
       std::string(QUORA_EXAMPLES_DIR) + "/chaos/reassign_mid_partition.chaos";
   const fault::ChaosSpec spec = fault::load_chaos_file(plan_path);
-  ASSERT_TRUE(spec.system.has_value());
+  EXPECT_TRUE(spec.system.has_value());
   const net::Topology& topo = spec.system->topology;
 
   msg::Cluster::Params params;
-  ASSERT_TRUE(spec.has_quorum);
+  EXPECT_TRUE(spec.has_quorum);
   params.spec = spec.quorum;
   params.max_retries = 2;
   params.config.reliability = 0.999999;
@@ -173,6 +224,8 @@ TEST(GoldenDeterminism, ChaosReassignMidPartition) {
   fault::EventLog log;
   cluster.attach_injector(&injector);
   cluster.attach_log(&log);
+  if (registry != nullptr) cluster.set_metrics(registry);
+  if (trace != nullptr) cluster.set_trace(trace);
   cluster.run_until(spec.horizon);
 
   std::ostringstream out;
@@ -184,7 +237,42 @@ TEST(GoldenDeterminism, ChaosReassignMidPartition) {
                 static_cast<unsigned long long>(cluster.messages_sent()),
                 static_cast<unsigned long long>(cluster.retries()),
                 static_cast<unsigned long long>(cluster.stale_rejections()));
-  expect_matches_golden("chaos_reassign_mid_partition.log", out.str() + tail);
+  return out.str() + tail;
+}
+
+// Replays a shipped chaos plan exactly the way tools/quora_chaos does and
+// pins its byte-stable event log — the message-level cluster (tracker
+// queries, QR gossip, retry RNG) rides the same overhauled core.
+TEST(GoldenDeterminism, ChaosReassignMidPartition) {
+  expect_matches_golden("chaos_reassign_mid_partition.log", record_chaos_run());
+}
+
+// The chaos half of the inertness proof: the message-level cluster with
+// tracing and metrics at full verbosity (access/round/QR/fault events,
+// latency histograms, injector counters) must replay the identical log.
+TEST(GoldenDeterminism, ChaosReassignMidPartitionObserved) {
+  if (regen_requested()) GTEST_SKIP() << "fixtures regenerate unobserved";
+  obs::Registry registry;
+  obs::TraceRecorder trace(1 << 20);
+  expect_matches_golden("chaos_reassign_mid_partition.log",
+                        record_chaos_run(&registry, &trace));
+  if (obs::kEnabled) {
+    EXPECT_GT(trace.recorded(), 0u);
+    EXPECT_EQ(trace.dropped(), 0u);
+    // The registry's view must agree with the cluster's own accounting
+    // (spot-checked through the access counter).
+    const obs::Registry::Snapshot snap = registry.snapshot();
+    std::uint64_t grants = 0, denies = 0, accesses = 0;
+    for (const auto& [name, value] : snap.counters) {
+      if (name == "cluster.accesses") accesses = value;
+      if (name == "cluster.grants") grants = value;
+      if (name.rfind("cluster.denies.", 0) == 0) denies += value;
+    }
+    EXPECT_GT(accesses, 0u);
+    EXPECT_GT(grants, 0u);
+    // Undecided accesses at the horizon keep this <= rather than ==.
+    EXPECT_LE(grants + denies, accesses);
+  }
 }
 
 } // namespace

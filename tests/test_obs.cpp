@@ -1,0 +1,346 @@
+// Observability-layer unit tests: registry registration semantics,
+// histogram bucket edges, cross-thread flush-merge, trace-ring overflow
+// policy, and exporter output (compact text + Chrome trace_event JSON).
+//
+// These exercise the obs *library*, which is built in both QUORA_OBS
+// modes — only the instrumentation macros vanish when OFF — so nothing
+// here is gated on obs::kEnabled.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace quora {
+namespace {
+
+// --- registry registration semantics ----------------------------------
+
+TEST(ObsRegistry, DuplicateCounterRegistrationIsIdempotent) {
+  obs::Registry registry;
+  const obs::Counter a = registry.counter("dup");
+  const obs::Counter b = registry.counter("dup");
+  a.add(2);
+  b.add(3);
+  const obs::Registry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "dup");
+  EXPECT_EQ(snap.counters[0].second, 5u);
+}
+
+TEST(ObsRegistry, DuplicateHistogramRegistrationIsIdempotent) {
+  obs::Registry registry;
+  const std::vector<double> bounds{1.0, 2.0};
+  const obs::Histogram a = registry.histogram("h", bounds);
+  const obs::Histogram b = registry.histogram("h", bounds);
+  a.record(0.5);
+  b.record(1.5);
+  const obs::Registry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].total, 2u);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  obs::Registry registry;
+  registry.counter("name");
+  EXPECT_THROW(registry.histogram("name", {1.0}), std::invalid_argument);
+
+  obs::Registry other;
+  other.histogram("name", {1.0});
+  EXPECT_THROW(other.counter("name"), std::invalid_argument);
+}
+
+TEST(ObsRegistry, HistogramBoundsMismatchThrows) {
+  obs::Registry registry;
+  registry.histogram("h", {1.0, 2.0});
+  EXPECT_THROW(registry.histogram("h", {1.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("h", {1.0}), std::invalid_argument);
+  // Same bounds re-resolve fine.
+  EXPECT_NO_THROW(registry.histogram("h", {1.0, 2.0}));
+}
+
+TEST(ObsRegistry, HistogramRejectsBadBounds) {
+  obs::Registry registry;
+  EXPECT_THROW(registry.histogram("empty", {}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("unsorted", {2.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(ObsRegistry, DefaultConstructedHandlesAreInert) {
+  const obs::Counter counter;
+  const obs::Gauge gauge;
+  const obs::Histogram histogram;
+  EXPECT_FALSE(counter.valid());
+  EXPECT_FALSE(gauge.valid());
+  EXPECT_FALSE(histogram.valid());
+  // Must be safe no-ops, not crashes.
+  counter.add(1);
+  gauge.set(7);
+  histogram.record(0.5);
+}
+
+// --- histogram bucket edges -------------------------------------------
+
+TEST(ObsRegistry, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  obs::Registry registry;
+  const obs::Histogram h = registry.histogram("edges", {1.0, 2.0, 5.0});
+  h.record(0.0);   // bucket 0 (le=1)
+  h.record(1.0);   // bucket 0 — bounds are inclusive
+  h.record(1.000001);  // bucket 1 (le=2)
+  h.record(2.0);   // bucket 1
+  h.record(5.0);   // bucket 2 (le=5)
+  h.record(5.1);   // overflow
+  h.record(1e9);   // overflow
+  const obs::Registry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const obs::Registry::HistogramValue& hv = snap.histograms[0];
+  ASSERT_EQ(hv.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(hv.counts[0], 2u);
+  EXPECT_EQ(hv.counts[1], 2u);
+  EXPECT_EQ(hv.counts[2], 1u);
+  EXPECT_EQ(hv.counts[3], 2u);
+  EXPECT_EQ(hv.total, 7u);
+}
+
+// --- gauges ------------------------------------------------------------
+
+TEST(ObsRegistry, GaugeIsLastWriteWins) {
+  obs::Registry registry;
+  const obs::Gauge g = registry.gauge("depth");
+  g.set(10);
+  g.set(-3);
+  const obs::Registry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "depth");
+  EXPECT_EQ(snap.gauges[0].second, -3);
+}
+
+// --- cross-thread flush-merge -----------------------------------------
+
+TEST(ObsRegistry, FlushMergesThreadLocalBuffers) {
+  obs::Registry registry;
+  const obs::Counter counter = registry.counter("hits");
+  const obs::Histogram h = registry.histogram("lat", {0.5});
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kAddsPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter, &h] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) {
+        counter.add(1);
+        h.record(i % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const obs::Registry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].second, kThreads * kAddsPerThread);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].total, kThreads * kAddsPerThread);
+  EXPECT_EQ(snap.histograms[0].counts[0], kThreads * kAddsPerThread / 2);
+  EXPECT_EQ(snap.histograms[0].counts[1], kThreads * kAddsPerThread / 2);
+}
+
+TEST(ObsRegistry, SnapshotIsCumulativeAcrossFlushes) {
+  obs::Registry registry;
+  const obs::Counter counter = registry.counter("c");
+  counter.add(2);
+  EXPECT_EQ(registry.snapshot().counters[0].second, 2u);
+  counter.add(3);
+  registry.flush();
+  EXPECT_EQ(registry.snapshot().counters[0].second, 5u);
+}
+
+TEST(ObsRegistry, LateRegistrationFallsBackToCentralTotals) {
+  obs::Registry registry;
+  const obs::Counter early = registry.counter("early");
+  early.add(1);  // sizes this thread's buffer at one slot
+  const obs::Counter late = registry.counter("late");
+  late.add(7);   // slot is past the buffer; folds into totals directly
+  early.add(1);
+  const obs::Registry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].second, 2u);  // "early" (sorted by name)
+  EXPECT_EQ(snap.counters[1].second, 7u);  // "late"
+}
+
+// --- metrics text export ----------------------------------------------
+
+TEST(ObsRegistry, WriteTextIsSortedAndComplete) {
+  obs::Registry registry;
+  registry.counter("b.counter").add(2);
+  registry.counter("a.counter").add(1);
+  registry.gauge("g").set(4);
+  registry.histogram("h", {1.0}).record(0.5);
+  std::ostringstream out;
+  registry.write_text(out);
+  EXPECT_EQ(out.str(),
+            "counter a.counter 1\n"
+            "counter b.counter 2\n"
+            "gauge g 4\n"
+            "histogram h total=1\n"
+            "  le=1 1\n"
+            "  le=+inf 0\n");
+}
+
+// --- trace ring --------------------------------------------------------
+
+TEST(ObsTrace, RecordsTypedEventsInOrder) {
+  obs::TraceRecorder trace(8);
+  trace.record_at(0.5, obs::EventKind::kAccessSubmit, 3, 100, 0, 1);
+  trace.record_at(0.75, obs::EventKind::kAccessGrant, 4, 100, 9, 2);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.recorded(), 2u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  const obs::TraceEvent& first = trace.at(0);
+  EXPECT_DOUBLE_EQ(first.time, 0.5);
+  EXPECT_EQ(first.kind, obs::EventKind::kAccessSubmit);
+  EXPECT_EQ(first.site, 3u);
+  EXPECT_EQ(first.request, 100u);
+  EXPECT_EQ(first.a, 0u);
+  EXPECT_EQ(first.x, 1u);
+  EXPECT_EQ(trace.at(1).kind, obs::EventKind::kAccessGrant);
+}
+
+TEST(ObsTrace, OverflowOverwritesOldestAndCountsDrops) {
+  constexpr std::size_t kCapacity = 4;
+  obs::TraceRecorder trace(kCapacity);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    trace.record_at(static_cast<double>(i), obs::EventKind::kRoundStart, 0, i);
+  }
+  EXPECT_EQ(trace.capacity(), kCapacity);
+  EXPECT_EQ(trace.size(), kCapacity);
+  EXPECT_EQ(trace.recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 10u - kCapacity);
+  // The retained window is the most recent events, oldest first.
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    EXPECT_EQ(trace.at(i).request, 10u - kCapacity + i) << "at(" << i << ")";
+  }
+}
+
+TEST(ObsTrace, ClockPointerStampsRecords) {
+  double now = 1.25;
+  obs::TraceRecorder trace(4);
+  trace.set_clock(&now);
+  trace.record(obs::EventKind::kFaultInject, 1, 0);
+  now = 2.5;
+  trace.record(obs::EventKind::kFaultHeal, 1, 0);
+  EXPECT_DOUBLE_EQ(trace.at(0).time, 1.25);
+  EXPECT_DOUBLE_EQ(trace.at(1).time, 2.5);
+  trace.set_clock(nullptr);
+  trace.record(obs::EventKind::kFaultHeal, 2, 0);
+  EXPECT_DOUBLE_EQ(trace.at(2).time, 0.0);
+}
+
+TEST(ObsTrace, ClearResetsEverything) {
+  obs::TraceRecorder trace(2);
+  trace.record_at(1.0, obs::EventKind::kQrInstall, 0, 1);
+  trace.record_at(2.0, obs::EventKind::kQrAdopt, 1, 1);
+  trace.record_at(3.0, obs::EventKind::kQrAdopt, 2, 1);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+// --- trace text export -------------------------------------------------
+
+TEST(ObsTrace, WriteTextMatchesDocumentedFormat) {
+  obs::TraceRecorder trace(4);
+  trace.record_at(0.125, obs::EventKind::kAccessDeny, 7, 42, 3, 4);
+  std::ostringstream out;
+  trace.write_text(out);
+  EXPECT_EQ(out.str(), "0.125000000 access-deny 7 42 3 4\n");
+}
+
+TEST(ObsTrace, EveryEventKindHasAStableSlug) {
+  for (std::size_t k = 0; k < obs::kEventKindCount; ++k) {
+    const char* name = obs::event_kind_name(static_cast<obs::EventKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "unknown") << "kind " << k;
+  }
+}
+
+// --- Chrome trace_event JSON export ------------------------------------
+
+/// Minimal structural validator: balanced {}/[] outside strings and a
+/// rough token scan. Not a full JSON parser, but enough to catch broken
+/// quoting or truncation in the exporter.
+bool json_balanced(const std::string& text) {
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+std::size_t count_occurrences(const std::string& text, const std::string& sub) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(sub); pos != std::string::npos;
+       pos = text.find(sub, pos + sub.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ObsTrace, ChromeJsonIsStructurallyValid) {
+  obs::TraceRecorder trace(16);
+  trace.record_at(0.001, obs::EventKind::kAccessSubmit, 1, 10, 0, 1);
+  trace.record_at(0.002, obs::EventKind::kRoundStart, 1, 10, 0, 1);
+  trace.record_at(0.004, obs::EventKind::kRoundFinish, 1, 10, 0, 2);
+  trace.record_at(0.004, obs::EventKind::kAccessGrant, 1, 10, 3, 1);
+  trace.record_at(0.005, obs::EventKind::kTrackerRebuild, 0, 2, 31, 1);
+  std::ostringstream out;
+  trace.write_chrome_json(out);
+  const std::string json = out.str();
+
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // Rounds export as async begin/end pairs keyed by request id; the
+  // other three events are thread-scoped instants.
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"b\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"e\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"i\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"id\": 10"), 2u);
+  // Timestamps are microseconds of simulated time: 0.001s -> 1000us.
+  EXPECT_NE(json.find("\"ts\": 1000.000"), std::string::npos);
+}
+
+TEST(ObsTrace, ChromeJsonEmptyTraceIsValid) {
+  obs::TraceRecorder trace(4);
+  std::ostringstream out;
+  trace.write_chrome_json(out);
+  EXPECT_TRUE(json_balanced(out.str()));
+  EXPECT_NE(out.str().find("\"traceEvents\""), std::string::npos);
+}
+
+} // namespace
+} // namespace quora

@@ -2,6 +2,7 @@
 // protocol.
 //
 //   quora_chaos [--seed N] [--horizon T] [--max-retries K] [--log FILE]
+//               [--trace FILE] [--metrics FILE]
 //               [--verify-determinism] [--quiet] PLAN.chaos...
 //
 // Each plan file (grammar: docs/FAULT_INJECTION.md) carries its own
@@ -38,6 +39,8 @@
 #include "io/config_audit.hpp"
 #include "msg/cluster.hpp"
 #include "msg/invariants.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -50,6 +53,9 @@ using namespace quora;
          "  --horizon T           override the plan's horizon (simulated time)\n"
          "  --max-retries K       coordinator retry budget (default 2)\n"
          "  --log FILE            append every run's event log to FILE\n"
+         "  --trace FILE          record a structured event trace of each plan's\n"
+         "                        primary run (.json => Chrome trace_event)\n"
+         "  --metrics FILE        dump the metrics registry (all plans pooled)\n"
          "  --verify-determinism  run each plan twice, diff the event logs\n"
          "  --quiet               only print per-plan verdict lines\n";
   std::exit(2);
@@ -60,6 +66,8 @@ struct Options {
   std::optional<double> horizon;
   std::uint32_t max_retries = 2;
   std::string log_path;
+  std::string trace_path;
+  std::string metrics_path;
   bool verify_determinism = false;
   bool quiet = false;
   std::vector<std::string> plans;
@@ -80,7 +88,9 @@ struct RunResult {
 };
 
 RunResult run_plan(const fault::ChaosSpec& spec, std::uint64_t seed,
-                   double horizon, std::uint32_t max_retries) {
+                   double horizon, std::uint32_t max_retries,
+                   obs::Registry* registry = nullptr,
+                   obs::TraceRecorder* trace = nullptr) {
   const net::Topology& topo = spec.system->topology;
 
   msg::Cluster::Params params;
@@ -102,6 +112,8 @@ RunResult run_plan(const fault::ChaosSpec& spec, std::uint64_t seed,
   RunResult result;
   cluster.attach_injector(&injector);
   cluster.attach_log(&result.log);
+  if (registry != nullptr) cluster.set_metrics(registry);
+  if (trace != nullptr) cluster.set_trace(trace);
   cluster.run_until(horizon);
 
   result.safety = msg::check_safety(cluster);
@@ -144,6 +156,10 @@ int main(int argc, char** argv) {
         opt.max_retries = static_cast<std::uint32_t>(std::stoul(value()));
       } else if (arg == "--log") {
         opt.log_path = value();
+      } else if (arg == "--trace") {
+        opt.trace_path = value();
+      } else if (arg == "--metrics") {
+        opt.metrics_path = value();
       } else if (arg == "--verify-determinism") {
         opt.verify_determinism = true;
       } else if (arg == "--quiet") {
@@ -172,6 +188,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  if ((!opt.trace_path.empty() || !opt.metrics_path.empty()) &&
+      !obs::kEnabled) {
+    std::cerr << "quora_chaos: note: built with QUORA_OBS=OFF; "
+                 "--trace/--metrics output will be empty\n";
+  }
+  // Shared across plans: the registry pools, the trace ring keeps the
+  // most recent window. Only each plan's primary run records — the
+  // --verify-determinism replay stays bare, so a determinism mismatch
+  // can never be *caused* by the recorder (its inertness is proven
+  // separately by the golden suite).
+  std::optional<obs::Registry> obs_registry;
+  std::optional<obs::TraceRecorder> obs_trace;
+  if (!opt.metrics_path.empty()) obs_registry.emplace();
+  if (!opt.trace_path.empty()) obs_trace.emplace();
+
   bool any_unsafe = false;
   for (const std::string& path : opt.plans) {
     // Static audit first: a plan that fails its own sanity checks is a
@@ -199,7 +230,10 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    RunResult run = run_plan(spec, seed, horizon, opt.max_retries);
+    RunResult run =
+        run_plan(spec, seed, horizon, opt.max_retries,
+                 obs_registry ? &*obs_registry : nullptr,
+                 obs_trace ? &*obs_trace : nullptr);
     bool deterministic = true;
     if (opt.verify_determinism) {
       const RunResult replay = run_plan(spec, seed, horizon, opt.max_retries);
@@ -209,6 +243,17 @@ int main(int argc, char** argv) {
     if (log_out.is_open()) {
       log_out << "== " << spec.name << " seed=" << seed << '\n';
       run.log.write(log_out);
+    }
+    // Rewritten after every plan so an interrupted multi-plan soak still
+    // leaves valid observability files behind.
+    try {
+      if (obs_registry) {
+        obs::write_metrics_file(*obs_registry, opt.metrics_path);
+      }
+      if (obs_trace) obs::write_trace_file(*obs_trace, opt.trace_path);
+    } catch (const std::exception& e) {
+      std::cerr << "quora_chaos: " << e.what() << '\n';
+      return 2;
     }
 
     if (!opt.quiet) {

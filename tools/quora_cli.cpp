@@ -10,10 +10,12 @@
 // `measure`/`optimize` options: --alpha A (repeatable for measure),
 //   --batch N, --warmup N, --min-batches N, --max-batches N, --seed N,
 //   --write-floor X (optimize), --surv (optimize on the SURV metric),
-//   --stride N, --csv PATH, --svg PATH (measure)
+//   --stride N, --csv PATH, --svg PATH (measure),
+//   --trace PATH, --metrics PATH (observability, docs/OBSERVABILITY.md)
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,8 @@
 #include "io/topology_io.hpp"
 #include "metrics/experiment.hpp"
 #include "net/builders.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/curve_report.hpp"
 #include "report/svg_plot.hpp"
 #include "report/table.hpp"
@@ -43,8 +47,10 @@ using quora::report::TextTable;
       "  quora_cli measure <topology-file> [--alpha A]... [--batch N]\n"
       "            [--warmup N] [--min-batches N] [--max-batches N]\n"
       "            [--seed N] [--stride N] [--csv PATH] [--svg PATH]\n"
+      "            [--trace PATH] [--metrics PATH]\n"
       "  quora_cli optimize <topology-file> --alpha A [--write-floor X]\n"
-      "            [--surv] [--batch N] [--warmup N] [--seed N]\n";
+      "            [--surv] [--batch N] [--warmup N] [--seed N]\n"
+      "            [--trace PATH] [--metrics PATH]\n";
   std::exit(2);
 }
 
@@ -60,6 +66,8 @@ struct Options {
   bool surv = false;
   std::string csv;
   std::string svg;
+  std::string trace;
+  std::string metrics;
 };
 
 Options parse_options(int argc, char** argv, int first) {
@@ -92,6 +100,10 @@ Options parse_options(int argc, char** argv, int first) {
       opt.csv = value();
     } else if (arg == "--svg") {
       opt.svg = value();
+    } else if (arg == "--trace") {
+      opt.trace = value();
+    } else if (arg == "--metrics") {
+      opt.metrics = value();
     } else {
       fail("unknown option " + arg);
     }
@@ -113,7 +125,26 @@ quora::metrics::CurveResult run_measurement(const quora::io::SystemSpec& spec,
     policy.profile = quora::sim::FailureProfile::from_reliabilities(
         config, spec.site_reliability, spec.link_reliability);
   }
-  return quora::metrics::measure_curves(spec.topology, config, policy);
+
+  if ((!opt.trace.empty() || !opt.metrics.empty()) && !quora::obs::kEnabled) {
+    std::cerr << "quora_cli: note: built with QUORA_OBS=OFF; --trace/--metrics "
+                 "output will be empty\n";
+  }
+  std::optional<quora::obs::Registry> registry;
+  std::optional<quora::obs::TraceRecorder> trace;
+  if (!opt.metrics.empty()) policy.metrics = &registry.emplace();
+  if (!opt.trace.empty()) policy.trace = &trace.emplace();
+
+  auto result = quora::metrics::measure_curves(spec.topology, config, policy);
+  if (!opt.metrics.empty()) {
+    quora::obs::write_metrics_file(*registry, opt.metrics);
+    std::cout << "metrics written to " << opt.metrics << '\n';
+  }
+  if (!opt.trace.empty()) {
+    quora::obs::write_trace_file(*trace, opt.trace);
+    std::cout << "trace written to " << opt.trace << '\n';
+  }
+  return result;
 }
 
 int cmd_generate(int argc, char** argv) {
