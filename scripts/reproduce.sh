@@ -37,6 +37,23 @@ fi
 
 SCALE_ARGS=("$@")
 BENCH_DIR=${BENCH_DIR:-build/bench}
+if [[ ! -d "$BENCH_DIR" ]]; then
+  if [[ -d build/release/bench ]]; then
+    BENCH_DIR=build/release/bench
+  else
+    cat >&2 <<'HINT'
+reproduce.sh: no bench binaries found (looked in $BENCH_DIR, build/bench,
+build/release/bench). Build the release preset first:
+
+  cmake --preset release && cmake --build --preset release
+
+or point BENCH_DIR at an existing build, e.g.:
+
+  BENCH_DIR=build/asan-ubsan/bench scripts/reproduce.sh
+HINT
+    exit 2
+  fi
+fi
 OUT_DIR=reproduce-out
 mkdir -p "$OUT_DIR"
 

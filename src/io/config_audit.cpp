@@ -358,17 +358,27 @@ void write_report(std::ostream& out, const AuditReport& report) {
   }
 }
 
-void write_report_json(std::ostream& out, const AuditReport& report) {
+void write_finding_json(std::ostream& out, const AuditFinding& finding,
+                        std::string_view path) {
+  out << "{\"code\": ";
+  write_json_string(out, audit_code_name(finding.code));
+  out << ", \"severity\": ";
+  write_json_string(out, severity_name(finding.severity));
+  if (!path.empty()) {
+    out << ", \"path\": ";
+    write_json_string(out, std::string(path));
+  }
+  out << ", \"message\": ";
+  write_json_string(out, finding.message);
+  out << "}";
+}
+
+void write_report_json(std::ostream& out, const AuditReport& report,
+                       std::string_view path) {
   out << "[";
   for (std::size_t i = 0; i < report.findings.size(); ++i) {
-    const AuditFinding& f = report.findings[i];
-    out << (i == 0 ? "\n" : ",\n") << "  {\"severity\": ";
-    write_json_string(out, severity_name(f.severity));
-    out << ", \"code\": ";
-    write_json_string(out, audit_code_name(f.code));
-    out << ", \"message\": ";
-    write_json_string(out, f.message);
-    out << "}";
+    out << (i == 0 ? "\n  " : ",\n  ");
+    write_finding_json(out, report.findings[i], path);
   }
   out << (report.findings.empty() ? "]\n" : "\n]\n");
 }

@@ -2,6 +2,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "io/topology_io.hpp"
@@ -76,7 +77,18 @@ AuditReport audit_config_file(const std::string& path);
 /// machine-friendly (this is what quora-check emits and CI parses).
 void write_report(std::ostream& out, const AuditReport& report);
 
-/// Same content as a JSON array of {code, severity, message} objects.
-void write_report_json(std::ostream& out, const AuditReport& report);
+/// Same content as a JSON array of {code, severity, path, message}
+/// objects — the shared CI artifact schema also emitted by `quora_lint
+/// --json` (which adds tag/line/column; consumers must treat fields as
+/// optional). `path` names the audited file in every object; when empty
+/// the field is omitted (stream-based audits have no file).
+void write_report_json(std::ostream& out, const AuditReport& report,
+                       std::string_view path = {});
+
+/// One finding as a JSON object (no surrounding array), for callers that
+/// assemble a combined array across several reports — quora_check emits
+/// a single array covering every FILE argument this way.
+void write_finding_json(std::ostream& out, const AuditFinding& finding,
+                        std::string_view path);
 
 } // namespace quora::io

@@ -1,0 +1,21 @@
+// Baseline acceptance: the findings below are listed in
+// baseline_accepted.baseline, so linting with --baseline exits 0 while
+// linting without it exits 1.
+#include "fixture_support.hpp"
+
+namespace {
+
+quora::obs::Counter obs_grants_;
+unsigned long long attempts = 0;
+
+void legacy_cases() {
+  QUORA_METRIC_ADD(obs_grants_, attempts++);  // expect: L001
+  obs_grants_.add(2);                         // expect: L005
+}
+
+} // namespace
+
+int main() {
+  legacy_cases();
+  return 0;
+}

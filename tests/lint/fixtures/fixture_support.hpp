@@ -1,0 +1,62 @@
+#pragma once
+
+// Mini mirror of the repo's obs layer, contract macros, and rng streams —
+// just enough for the lint fixtures to compile standalone when the AST
+// engine (QUORA_LINT=ON) parses them. The token engine never reads this
+// file: it skips preprocessor lines, so only the fixtures' macro *uses*
+// are analyzed, exactly as in the real tree.
+
+#include <cstdint>
+
+namespace quora::obs {
+
+class TraceRecorder {
+public:
+  void record(int kind, unsigned site, unsigned long long request,
+              unsigned long long a = 0, unsigned char x = 0);
+  void record_at(double t, int kind, unsigned site,
+                 unsigned long long request);
+  void set_clock(const double* now);
+};
+
+class Counter {
+public:
+  void add(unsigned long long n = 1) const;
+};
+
+class Histogram {
+public:
+  void record(double value) const;
+};
+
+class Gauge {
+public:
+  void set(long long value) const;
+};
+
+} // namespace quora::obs
+
+namespace rng {
+
+struct Stream {
+  unsigned long long next_u64();
+  double next_double();
+};
+
+double exponential(Stream& s, double mu);
+bool bernoulli(Stream& s, double p);
+
+} // namespace rng
+
+#define QUORA_TRACE(rec, ...) \
+  do {                        \
+    if ((rec) != nullptr) (rec)->record(__VA_ARGS__); \
+  } while (0)
+#define QUORA_METRIC_ADD(handle, n) (handle).add(n)
+#define QUORA_METRIC_RECORD(handle, v) (handle).record(v)
+#define QUORA_METRIC_SET(handle, v) (handle).set(v)
+#define QUORA_OBS_ONLY(...) __VA_ARGS__
+
+#define QUORA_ASSERT(expr, msg) ((void)(expr))
+#define QUORA_INVARIANT(expr, msg) ((void)(expr))
+#define QUORA_PRECONDITION(expr, msg) ((void)(expr))

@@ -1,0 +1,47 @@
+// L001: side-effectful arguments to the QUORA_OBS-gated macros. Every
+// line carrying an expect marker must be reported; untagged macro uses
+// are the sanctioned spellings and must stay clean.
+#include "fixture_support.hpp"
+
+namespace {
+
+quora::obs::TraceRecorder* trace_ = nullptr;
+quora::obs::Counter obs_grants_;
+quora::obs::Histogram obs_latency_;
+quora::obs::Gauge obs_depth_;
+rng::Stream gen_;
+
+unsigned long long attempts = 0;
+unsigned long long obs_window_start = 0;
+double now_ = 0.0;
+long long depth = 0;
+
+void bad_cases() {
+  QUORA_TRACE(trace_, 1, 2, attempts++);                 // expect: L001
+  QUORA_TRACE(trace_, 1, 2, ++attempts);                 // expect: L001
+  QUORA_METRIC_ADD(obs_grants_, attempts += 1);          // expect: L001
+  QUORA_METRIC_RECORD(obs_latency_, gen_.next_double()); // expect: L001
+  QUORA_METRIC_RECORD(obs_latency_, rng::exponential(gen_, 2.0)); // expect: L001
+  QUORA_METRIC_SET(obs_depth_, depth = 3);               // expect: L001
+  QUORA_OBS_ONLY(attempts = 7;)                          // expect: L001
+}
+
+void good_cases() {
+  QUORA_TRACE(trace_, 1, 2, attempts);
+  QUORA_TRACE(trace_, 1, 2, attempts + 1);
+  QUORA_METRIC_ADD(obs_grants_, 1);
+  QUORA_METRIC_RECORD(obs_latency_, now_ - 0.5);
+  QUORA_METRIC_SET(obs_depth_, depth);
+  // Comparisons and compound conditions are not mutations.
+  QUORA_TRACE(trace_, 1, 2, attempts == 3 ? 1u : 0u);
+  // QUORA_OBS_ONLY may mutate obs-only state (obs_* naming convention).
+  QUORA_OBS_ONLY(obs_window_start = attempts;)
+}
+
+} // namespace
+
+int main() {
+  bad_cases();
+  good_cases();
+  return 0;
+}

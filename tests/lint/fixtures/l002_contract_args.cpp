@@ -1,0 +1,37 @@
+// L002: side-effectful arguments to the contract macros, which compile
+// out in Release builds.
+#include "fixture_support.hpp"
+
+#include <set>
+
+namespace {
+
+std::set<int> votes;
+rng::Stream gen_;
+long total = 0;
+long steps = 0;
+long limit = 100;
+
+long compute() { return 42; }
+
+void bad_cases() {
+  QUORA_ASSERT(++steps < limit, "step budget");             // expect: L002
+  QUORA_PRECONDITION(total = compute(), "typo for ==");     // expect: L002
+  QUORA_INVARIANT((votes.insert(3), true), "inserts!");     // expect: L002
+  QUORA_ASSERT(gen_.next_u64() != 0, "draws a stream");     // expect: L002
+}
+
+void good_cases() {
+  QUORA_ASSERT(steps + 1 < limit, "pure arithmetic");
+  QUORA_PRECONDITION(total == compute(), "comparison, not assignment");
+  QUORA_INVARIANT(votes.count(3) <= 1, "const query");
+  QUORA_ASSERT(total >= 0 && steps != limit, "operators >=, !=, && are pure");
+}
+
+} // namespace
+
+int main() {
+  bad_cases();
+  good_cases();
+  return 0;
+}

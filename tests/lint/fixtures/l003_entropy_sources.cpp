@@ -1,0 +1,45 @@
+// L003: nondeterminism sources forbidden in the deterministic layers
+// (src/{sim,msg,core,conn,fault,dyn}). The fixture runner forces scope
+// with --all-scopes. Lines tagged `expect-ast: L003` need type/decl
+// resolution and are only found by the AST engine (QUORA_LINT=ON).
+#include "fixture_support.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace {
+
+rng::Stream gen_;
+
+double bad_cases() {
+  std::random_device rd;                                     // expect: L003
+  std::mt19937 mt(12345);                                    // expect: L003
+  int r = std::rand();                                       // expect: L003
+  std::srand(7);                                             // expect: L003
+  auto t0 = std::chrono::steady_clock::now();                // expect: L003
+  auto t1 = std::chrono::system_clock::now();                // expect: L003
+  auto t2 = std::chrono::high_resolution_clock::now();       // expect: L003
+  std::time_t wall = std::time(nullptr);                     // expect: L003
+  double sum = static_cast<double>(rd() + mt() + r);
+  sum += static_cast<double>(wall);
+  sum += std::chrono::duration<double>(t0.time_since_epoch()).count();
+  sum += std::chrono::duration<double>(t2 - t1).count();
+  return sum;
+}
+
+double good_cases() {
+  // The sanctioned sources: seeded xoshiro streams and simulated time.
+  double sum = rng::exponential(gen_, 2.0);
+  sum += static_cast<double>(gen_.next_u64() & 0xff);
+  if (rng::bernoulli(gen_, 0.5)) sum += 1.0;
+  // Plain identifiers named like the forbidden calls are fine.
+  double time = sum;
+  const double clock = time * 2.0;
+  return clock;
+}
+
+} // namespace
+
+int main() { return static_cast<int>(bad_cases() + good_cases()) == 0; }

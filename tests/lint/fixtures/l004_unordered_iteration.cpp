@@ -1,0 +1,44 @@
+// L004: iterating unordered containers in transcript-feeding code.
+// Iteration order is unspecified, so anything it feeds into a transcript
+// diverges between runs/platforms. Lookups are fine; iteration is not.
+// The alias case needs type resolution: AST engine only (expect-ast).
+#include "fixture_support.hpp"
+
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace {
+
+std::unordered_map<int, long> table;
+std::unordered_set<int> members;
+using Alias = std::unordered_map<int, long>;
+Alias aliased;
+
+long bad_cases() {
+  long sum = 0;
+  for (const auto& [site, votes] : table) sum += votes;        // expect: L004
+  for (int m : members) sum += m;                              // expect: L004
+  const long acc = std::accumulate(table.begin(), table.end(), 0L,  // expect: L004
+                                   [](long a, const auto& kv) { return a + kv.second; });
+  for (const auto& [site, votes] : aliased) sum += votes;      // expect-ast: L004
+  return sum + acc;
+}
+
+long good_cases() {
+  // Point lookups and size queries do not depend on iteration order.
+  long sum = static_cast<long>(table.size() + members.size());
+  const auto it = table.find(3);
+  if (it != table.end()) sum += it->second;
+  if (members.count(5) != 0) sum += 5;
+  // Ordered containers iterate deterministically.
+  std::vector<long> ordered{1, 2, 3};
+  for (const long v : ordered) sum += v;
+  sum += std::accumulate(ordered.begin(), ordered.end(), 0L);
+  return sum;
+}
+
+} // namespace
+
+int main() { return bad_cases() + good_cases() > 0 ? 0 : 1; }

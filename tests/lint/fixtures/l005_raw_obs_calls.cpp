@@ -1,0 +1,41 @@
+// L005: raw TraceRecorder / metric-handle calls that bypass the
+// QUORA_OBS gating macros — they survive QUORA_OBS=OFF builds, so the
+// "observability is free when off" guarantee silently breaks. The token
+// engine matches the repo naming conventions (*trace* recorders, obs_*
+// handles); the AST engine resolves the real types (expect-ast).
+#include "fixture_support.hpp"
+
+namespace {
+
+quora::obs::TraceRecorder* trace_ = nullptr;
+quora::obs::TraceRecorder* recorder = nullptr;  // name defeats the convention
+quora::obs::Counter obs_grants_;
+quora::obs::Histogram obs_latency_;
+quora::obs::Gauge obs_depth_;
+double now_ = 0.0;
+
+void bad_cases() {
+  trace_->record(1, 2, 3);                  // expect: L005
+  trace_->record_at(now_, 1, 2, 3);         // expect: L005
+  obs_grants_.add(1);                       // expect: L005
+  obs_latency_.record(now_);                // expect: L005
+  obs_depth_.set(4);                        // expect: L005
+  recorder->record(1, 2, 3);                // expect-ast: L005
+}
+
+void good_cases() {
+  QUORA_TRACE(trace_, 1, 2, 3);
+  QUORA_METRIC_ADD(obs_grants_, 1);
+  QUORA_METRIC_RECORD(obs_latency_, now_);
+  QUORA_METRIC_SET(obs_depth_, 4);
+  // Wiring (clock injection, registration) is cold-path and sanctioned.
+  trace_->set_clock(&now_);
+}
+
+} // namespace
+
+int main() {
+  bad_cases();
+  good_cases();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Inline suppression directives: every finding here carries an
+// allow-comment, so the file must lint clean (exit 0) while
+// --show-suppressed still reports the findings as suppressed.
+#include "fixture_support.hpp"
+
+#include <unordered_map>
+
+namespace {
+
+quora::obs::TraceRecorder* trace_ = nullptr;
+quora::obs::Counter obs_grants_;
+std::unordered_map<int, long> table;
+unsigned long long attempts = 0;
+
+long covered_cases() {
+  // Same-line form.
+  QUORA_TRACE(trace_, 1, 2, attempts++);  // quora-lint: allow(L001) fixture exercises same-line allow
+  // Previous-line form covers the next source line.
+  // quora-lint: allow(L005) fixture exercises previous-line allow
+  obs_grants_.add(1);
+  // One directive may allow several codes at once.
+  long sum = 0;
+  // quora-lint: allow(L004,L005) multi-code directive fixture
+  for (const auto& [site, votes] : table) sum += votes;
+  return sum;
+}
+
+} // namespace
+
+int main() { return covered_cases() >= 0 ? 0 : 1; }

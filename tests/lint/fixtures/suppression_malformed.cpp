@@ -1,0 +1,23 @@
+// Malformed suppression directives are hard errors (exit 2): a typo in
+// an allow-comment must never silently stop suppressing.
+#include "fixture_support.hpp"
+
+namespace {
+
+unsigned long long attempts = 0;
+
+void cases() {
+  // quora-lint: allow(L001)
+  attempts += 1;  // missing reason above: malformed
+  // quora-lint: allow(L999) unknown code tag
+  attempts += 1;
+  // quora-lint: allowed(L001) wrong keyword
+  attempts += 1;
+}
+
+} // namespace
+
+int main() {
+  cases();
+  return 0;
+}

@@ -1,0 +1,283 @@
+// End-to-end tests for the quora_lint binary: each fixture under
+// tests/lint/fixtures/ marks its expected findings with trailing
+//   `// expect: L00x`      — found by both engines
+//   `// expect-ast: L00x`  — needs type resolution; AST engine only
+// markers, and this runner asserts the binary reports exactly that set
+// (as (line, tag) pairs), with the documented exit codes:
+//   0 clean / everything suppressed-or-baselined
+//   1 unsuppressed findings
+//   2 usage, I/O, or malformed suppression directives
+//
+// The token-engine cases run in every build. The AST cases run only when
+// the binary was built with -DQUORA_LINT=ON (QUORA_LINT_HAS_AST below);
+// otherwise they GTEST_SKIP, so `ctest -L lint` stays green without LLVM.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef QUORA_LINT_BIN
+#error "QUORA_LINT_BIN must point at the quora_lint executable"
+#endif
+#ifndef QUORA_LINT_FIXTURE_DIR
+#error "QUORA_LINT_FIXTURE_DIR must point at tests/lint/fixtures"
+#endif
+#ifndef QUORA_REPO_ROOT
+#error "QUORA_REPO_ROOT must point at the repository root"
+#endif
+#ifndef QUORA_LINT_HAS_AST
+#define QUORA_LINT_HAS_AST 0
+#endif
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;  // stdout only; stderr goes to /dev/null
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string cmd =
+      std::string(QUORA_LINT_BIN) + " --quiet " + args + " 2>/dev/null";
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return run;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) run.output.append(buf, n);
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(QUORA_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+using LineTag = std::pair<unsigned, std::string>;  // (line, "L00x")
+
+/// Reads the `// expect:` / `// expect-ast:` markers out of a fixture.
+void read_expectations(const std::string& name, std::set<LineTag>* token,
+                       std::set<LineTag>* ast_extra) {
+  std::ifstream in(fixture(name));
+  ASSERT_TRUE(in) << "missing fixture " << name;
+  std::string line;
+  unsigned line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto grab = [&](const char* tag_marker, std::set<LineTag>* out) {
+      const std::size_t pos = line.find(tag_marker);
+      if (pos == std::string::npos) return;
+      const std::string tag =
+          line.substr(pos + std::string(tag_marker).size(), 4);
+      out->insert({line_no, tag});
+    };
+    grab("expect-ast: ", ast_extra);
+    if (line.find("expect-ast: ") == std::string::npos) {
+      grab("expect: ", token);
+    }
+  }
+}
+
+struct JsonFinding {
+  std::string tag;
+  std::string path;
+  unsigned line = 0;
+  bool suppressed = false;
+  bool baselined = false;
+};
+
+/// Pulls the fields this suite asserts on out of the findings array. The
+/// writer emits one object per line, which keeps this honest without a
+/// JSON library.
+std::vector<JsonFinding> parse_findings(const std::string& json) {
+  std::vector<JsonFinding> out;
+  std::istringstream in(json);
+  std::string line;
+  const auto field = [&line](const std::string& key) -> std::string {
+    const std::string probe = "\"" + key + "\": ";
+    const std::size_t pos = line.find(probe);
+    if (pos == std::string::npos) return "";
+    std::size_t start = pos + probe.size();
+    std::size_t end = start;
+    if (line[start] == '"') {
+      ++start;
+      end = line.find('"', start);
+    } else {
+      end = line.find_first_of(",}", start);
+    }
+    return line.substr(start, end - start);
+  };
+  while (std::getline(in, line)) {
+    if (line.find("\"tag\"") == std::string::npos) continue;
+    JsonFinding f;
+    f.tag = field("tag");
+    f.path = field("path");
+    f.line = static_cast<unsigned>(std::strtoul(field("line").c_str(), nullptr, 10));
+    f.suppressed = field("suppressed") == "true";
+    f.baselined = field("baselined") == "true";
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::set<LineTag> line_tags(const std::vector<JsonFinding>& findings) {
+  std::set<LineTag> out;
+  for (const JsonFinding& f : findings) out.insert({f.line, f.tag});
+  return out;
+}
+
+/// Runs one per-check fixture through an engine and compares the reported
+/// (line, tag) set against the fixture's markers.
+void check_fixture(const std::string& name, const std::string& engine,
+                   const std::set<LineTag>& expected) {
+  std::string args = "--engine=" + engine + " --all-scopes --json --root " +
+                     std::string(QUORA_LINT_FIXTURE_DIR) + " " + fixture(name);
+#if QUORA_LINT_HAS_AST
+  if (engine == "ast") {
+    args += " --compdb " + std::string(QUORA_LINT_COMPDB_DIR);
+  }
+#endif
+  const LintRun run = run_lint(args);
+  EXPECT_EQ(run.exit_code, 1) << name << ": " << run.output;
+  const auto findings = parse_findings(run.output);
+  EXPECT_EQ(line_tags(findings), expected) << name << ": " << run.output;
+  for (const JsonFinding& f : findings) {
+    EXPECT_EQ(f.path, name) << "paths must be --root-relative";
+  }
+}
+
+class LintFixture : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LintFixture, TokenEngineReportsExactlyTheMarkedLines) {
+  std::set<LineTag> token, ast_extra;
+  read_expectations(GetParam(), &token, &ast_extra);
+  ASSERT_FALSE(token.empty()) << "fixture has no expect markers";
+  check_fixture(GetParam(), "token", token);
+}
+
+TEST_P(LintFixture, AstEngineAddsTypeResolvedFindings) {
+#if QUORA_LINT_HAS_AST
+  std::set<LineTag> expected, ast_extra;
+  read_expectations(GetParam(), &expected, &ast_extra);
+  expected.insert(ast_extra.begin(), ast_extra.end());
+  check_fixture(GetParam(), "ast", expected);
+#else
+  GTEST_SKIP() << "built without -DQUORA_LINT=ON; AST engine unavailable";
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChecks, LintFixture,
+                         ::testing::Values("l001_obs_macro_args.cpp",
+                                           "l002_contract_args.cpp",
+                                           "l003_entropy_sources.cpp",
+                                           "l004_unordered_iteration.cpp",
+                                           "l005_raw_obs_calls.cpp"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           return name.substr(0, name.find('_'));
+                         });
+
+TEST(LintSuppression, AllowCommentsSilenceFindingsAndExitZero) {
+  const std::string base = "--engine=token --all-scopes --json --root " +
+                           std::string(QUORA_LINT_FIXTURE_DIR) + " " +
+                           fixture("suppression_inline.cpp");
+  const LintRun clean = run_lint(base);
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+  EXPECT_TRUE(parse_findings(clean.output).empty()) << clean.output;
+
+  // --show-suppressed surfaces them, still exit 0.
+  const LintRun shown = run_lint(base + " --show-suppressed");
+  EXPECT_EQ(shown.exit_code, 0) << shown.output;
+  const auto findings = parse_findings(shown.output);
+  ASSERT_EQ(findings.size(), 3u) << shown.output;
+  for (const JsonFinding& f : findings) EXPECT_TRUE(f.suppressed);
+}
+
+TEST(LintSuppression, MalformedDirectivesAreHardErrors) {
+  const LintRun run = run_lint("--engine=token --all-scopes --root " +
+                               std::string(QUORA_LINT_FIXTURE_DIR) + " " +
+                               fixture("suppression_malformed.cpp"));
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+TEST(LintBaseline, BaselinedFindingsPassOnlyWithTheBaseline) {
+  const std::string base = "--engine=token --all-scopes --json --root " +
+                           std::string(QUORA_LINT_FIXTURE_DIR) + " " +
+                           fixture("baseline_accepted.cpp");
+  const LintRun without = run_lint(base);
+  EXPECT_EQ(without.exit_code, 1) << without.output;
+  EXPECT_EQ(parse_findings(without.output).size(), 2u) << without.output;
+
+  const std::string with_baseline =
+      base + " --baseline " + fixture("baseline_accepted.baseline");
+  const LintRun with = run_lint(with_baseline);
+  EXPECT_EQ(with.exit_code, 0) << with.output;
+  EXPECT_TRUE(parse_findings(with.output).empty()) << with.output;
+
+  const LintRun shown = run_lint(with_baseline + " --show-suppressed");
+  EXPECT_EQ(shown.exit_code, 0);
+  const auto findings = parse_findings(shown.output);
+  ASSERT_EQ(findings.size(), 2u) << shown.output;
+  for (const JsonFinding& f : findings) EXPECT_TRUE(f.baselined);
+}
+
+TEST(LintBaseline, WriteBaselineRoundTrips) {
+  const std::string out_path =
+      ::testing::TempDir() + "/quora_lint_roundtrip.baseline";
+  const std::string target = " --all-scopes --root " +
+                             std::string(QUORA_LINT_FIXTURE_DIR) + " " +
+                             fixture("baseline_accepted.cpp");
+  const LintRun wrote = run_lint("--engine=token --write-baseline " + out_path +
+                                 target);
+  EXPECT_EQ(wrote.exit_code, 0) << wrote.output;
+
+  std::ifstream in(out_path);
+  ASSERT_TRUE(in);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("L001\tbaseline_accepted.cpp\t"), std::string::npos)
+      << buf.str();
+  EXPECT_NE(buf.str().find("L005\tbaseline_accepted.cpp\t"), std::string::npos)
+      << buf.str();
+
+  const LintRun replay =
+      run_lint("--engine=token --baseline " + out_path + target);
+  EXPECT_EQ(replay.exit_code, 0) << replay.output;
+  std::remove(out_path.c_str());
+}
+
+TEST(LintCli, ListChecksNamesTheWholeTaxonomy) {
+  const LintRun run = run_lint("--list-checks");
+  EXPECT_EQ(run.exit_code, 0);
+  for (const char* tag : {"L001", "L002", "L003", "L004", "L005"}) {
+    EXPECT_NE(run.output.find(tag), std::string::npos) << run.output;
+  }
+}
+
+TEST(LintCli, UnknownFlagsAndMissingPathsAreUsageErrors) {
+  EXPECT_EQ(run_lint("--no-such-flag").exit_code, 2);
+  EXPECT_EQ(run_lint("--engine=token --root " +
+                     std::string(QUORA_LINT_FIXTURE_DIR) +
+                     " does_not_exist.cpp")
+                .exit_code,
+            2);
+}
+
+// The acceptance gate: the repo's own sources must lint clean. This is
+// the same sweep CI's lint-semantic job runs (there with the AST engine
+// layered on top).
+TEST(LintSweep, RepoSourcesAreCleanUnderTheTokenEngine) {
+  const LintRun run =
+      run_lint("--engine=token --root " + std::string(QUORA_REPO_ROOT));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+} // namespace

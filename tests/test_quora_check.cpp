@@ -188,6 +188,15 @@ TEST(QuoraCheck, ReportFormatsAreMachineReadable) {
   EXPECT_NE(json.str().find("\"code\": \"quorum-intersection\""),
             std::string::npos);
   EXPECT_NE(json.str().find("\"severity\": \"error\""), std::string::npos);
+  // Stream-based audits have no file, so no path field appears...
+  EXPECT_EQ(json.str().find("\"path\""), std::string::npos);
+
+  // ...while a named source tags every finding (the quora_check CLI
+  // passes each FILE argument through and emits one combined array).
+  std::ostringstream json_with_path;
+  quora::io::write_report_json(json_with_path, report, "examples/c.quora");
+  EXPECT_NE(json_with_path.str().find("\"path\": \"examples/c.quora\""),
+            std::string::npos);
 }
 
 TEST(QuoraCheck, AuditCodeNamesAreUniqueSlugs) {

@@ -11,10 +11,12 @@
 // votes/quorums, dominated assignments, and (for small systems) the
 // enumerated coterie properties.
 //
-// Output is one finding per line, `severity<TAB>code<TAB>message`, or a
-// JSON array with --json. Exit status: 0 when every file passes (no
-// errors; with --strict, no warnings either), 1 when any file fails,
-// 2 on usage or I/O problems — so CI can gate on it directly.
+// Output is one finding per line, `severity<TAB>code<TAB>message`, or —
+// with --json — a single JSON array of {code, severity, path, message}
+// objects covering every FILE (the same artifact schema quora_lint
+// emits, so CI dashboards consume one format). Exit status: 0 when every
+// file passes (no errors; with --strict, no warnings either), 1 when any
+// file fails, 2 on usage or I/O problems — so CI can gate on it directly.
 
 #include <fstream>
 #include <iostream>
@@ -34,7 +36,8 @@ bool is_chaos_file(const std::string& path) {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: quora_check [--json] [--strict] [--quiet] FILE...\n"
-               "  --json    emit findings as a JSON array per file\n"
+               "  --json    one JSON array of {code, severity, path, message}\n"
+               "            findings across all FILEs\n"
                "  --strict  treat warnings as failures\n"
                "  --quiet   suppress per-file PASS lines\n";
   std::exit(2);
@@ -67,6 +70,8 @@ int main(int argc, char** argv) {
   if (files.empty()) usage();
 
   bool any_failed = false;
+  bool first_json_finding = true;
+  if (json) std::cout << "[";
   for (const std::string& file : files) {
     quora::io::AuditReport report;
     try {
@@ -80,17 +85,22 @@ int main(int argc, char** argv) {
     }
     const bool failed = !report.ok() || (strict && report.warning_count() > 0);
     any_failed = any_failed || failed;
-    if (files.size() > 1 || json) std::cout << "== " << file << '\n';
     if (json) {
-      quora::io::write_report_json(std::cout, report);
+      for (const quora::io::AuditFinding& f : report.findings) {
+        std::cout << (first_json_finding ? "\n  " : ",\n  ");
+        quora::io::write_finding_json(std::cout, f, file);
+        first_json_finding = false;
+      }
     } else {
+      if (files.size() > 1) std::cout << "== " << file << '\n';
       quora::io::write_report(std::cout, report);
-    }
-    if (!quiet && !json) {
-      std::cout << (failed ? "FAIL " : "PASS ") << file << " ("
-                << report.error_count() << " error(s), "
-                << report.warning_count() << " warning(s))\n";
+      if (!quiet) {
+        std::cout << (failed ? "FAIL " : "PASS ") << file << " ("
+                  << report.error_count() << " error(s), "
+                  << report.warning_count() << " warning(s))\n";
+      }
     }
   }
+  if (json) std::cout << (first_json_finding ? "]\n" : "\n]\n");
   return any_failed ? 1 : 0;
 }

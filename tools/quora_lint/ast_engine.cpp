@@ -1,0 +1,299 @@
+// Clang LibTooling frontend, compiled only with -DQUORA_LINT=ON.
+//
+// The token engine (checks_token.cpp) implements every check lexically;
+// this engine re-runs L003/L004/L005 with real type information so that
+// aliases (`using Map = std::unordered_map<...>`), members declared in a
+// different file, and handle types the naming convention misses are all
+// caught. Findings overlap with the token engine's by design; the driver
+// dedupes on (code, path, line).
+
+#include "ast_engine.hpp"
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/AST/StmtCXX.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Lex/Lexer.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+
+namespace quora::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool contains(llvm::StringRef haystack, llvm::StringRef needle) {
+  return haystack.find(needle) != llvm::StringRef::npos;
+}
+
+class LintVisitor : public clang::RecursiveASTVisitor<LintVisitor> {
+public:
+  LintVisitor(clang::ASTContext& ctx, const DriverOptions& opts,
+              std::vector<Finding>* out)
+      : ctx_(ctx), opts_(opts), out_(out) {}
+
+  bool VisitVarDecl(clang::VarDecl* d) {
+    Location where;
+    if (!locate(d->getLocation(), &where)) return true;
+    if (!scope_for_path(where.path, opts_.all_scopes).entropy) return true;
+    const std::string ty = d->getType().getCanonicalType().getAsString();
+    for (const char* bad :
+         {"random_device", "mersenne_twister_engine",
+          "linear_congruential_engine", "subtract_with_carry_engine"}) {
+      if (ty.find(bad) != std::string::npos) {
+        report(LintCode::kL003ForbiddenEntropy, where,
+               "declaration of '" + d->getNameAsString() + "' has type std::" +
+                   bad +
+                   " in a deterministic layer; all randomness must come from "
+                   "the seeded rng:: xoshiro streams (src/rng)");
+        break;
+      }
+    }
+    return true;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* e) {
+    const clang::FunctionDecl* callee = e->getDirectCallee();
+    if (callee == nullptr) return true;
+    Location where;
+    if (!locate(e->getBeginLoc(), &where)) return true;
+    const CheckScope scope = scope_for_path(where.path, opts_.all_scopes);
+    const std::string name = callee->getQualifiedNameAsString();
+    if (scope.entropy) {
+      const bool clock_now = name.rfind("std::chrono", 0) == 0 &&
+                             name.find("clock::now") != std::string::npos;
+      const bool c_entropy = name == "rand" || name == "srand" ||
+                             name == "std::rand" || name == "std::srand" ||
+                             name == "time" || name == "std::time" ||
+                             name == "clock" || name == "std::clock";
+      if (clock_now || c_entropy) {
+        report(LintCode::kL003ForbiddenEntropy, where,
+               "call to '" + name +
+                   "' in a deterministic layer; all randomness and time must "
+                   "come from the seeded rng:: streams and simulated clocks");
+      }
+    }
+    if (scope.unordered && (name == "std::accumulate" ||
+                            name == "std::reduce") &&
+        e->getNumArgs() >= 1) {
+      const clang::Expr* arg = e->getArg(0)->IgnoreImplicit();
+      if (const auto* call = llvm::dyn_cast<clang::CXXMemberCallExpr>(arg)) {
+        const clang::CXXMethodDecl* m = call->getMethodDecl();
+        if (m != nullptr &&
+            (m->getNameAsString() == "begin" ||
+             m->getNameAsString() == "cbegin") &&
+            is_unordered(call->getImplicitObjectArgument()->getType())) {
+          report(LintCode::kL004UnorderedIteration, where,
+                 "'" + name +
+                     "' over an unordered container in transcript-feeding "
+                     "code; iteration order is unspecified and breaks "
+                     "byte-stable replays");
+        }
+      }
+    }
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* e) {
+    const clang::CXXMethodDecl* m = e->getMethodDecl();
+    if (m == nullptr) return true;
+    const std::string name = m->getQualifiedNameAsString();
+    const bool is_raw_obs = name == "quora::obs::TraceRecorder::record" ||
+                            name == "quora::obs::TraceRecorder::record_at" ||
+                            name == "quora::obs::Counter::add" ||
+                            name == "quora::obs::Histogram::record" ||
+                            name == "quora::obs::Gauge::set";
+    if (!is_raw_obs) return true;
+    const clang::SourceLocation loc = e->getExprLoc();
+    // Calls written through the gating macros expand from QUORA_TRACE /
+    // QUORA_METRIC_* / QUORA_OBS_ONLY; those are the sanctioned spellings.
+    if (loc.isMacroID()) {
+      const llvm::StringRef macro = clang::Lexer::getImmediateMacroName(
+          loc, ctx_.getSourceManager(), ctx_.getLangOpts());
+      if (macro.startswith("QUORA_")) return true;
+    }
+    Location where;
+    if (!locate(loc, &where)) return true;
+    if (!scope_for_path(where.path, opts_.all_scopes).raw_obs) return true;
+    report(LintCode::kL005RawObsCall, where,
+           "raw call to '" + name +
+               "' bypasses the QUORA_OBS gate — use the QUORA_TRACE / "
+               "QUORA_METRIC_* macros so the call vanishes in "
+               "QUORA_OBS=OFF builds");
+    return true;
+  }
+
+  bool VisitCXXForRangeStmt(clang::CXXForRangeStmt* s) {
+    const clang::Expr* range = s->getRangeInit();
+    if (range == nullptr) return true;
+    Location where;
+    if (!locate(s->getForLoc(), &where)) return true;
+    if (!scope_for_path(where.path, opts_.all_scopes).unordered) return true;
+    if (is_unordered(range->getType())) {
+      report(LintCode::kL004UnorderedIteration, where,
+             "range-for over an unordered container in transcript-feeding "
+             "code; iteration order is unspecified and breaks byte-stable "
+             "replays — use a sorted copy or an ordered container");
+    }
+    return true;
+  }
+
+private:
+  struct Location {
+    std::string path;
+    unsigned line = 0;
+    unsigned column = 0;
+  };
+
+  bool is_unordered(clang::QualType ty) const {
+    const std::string s = ty.getNonReferenceType()
+                              .getCanonicalType()
+                              .getUnqualifiedType()
+                              .getAsString();
+    return s.find("unordered_map") != std::string::npos ||
+           s.find("unordered_set") != std::string::npos ||
+           s.find("unordered_multimap") != std::string::npos ||
+           s.find("unordered_multiset") != std::string::npos;
+  }
+
+  /// Resolves a location to a repo-relative path; returns false for
+  /// system headers and files outside the repo root.
+  bool locate(clang::SourceLocation loc, Location* out) const {
+    const clang::SourceManager& sm = ctx_.getSourceManager();
+    const clang::SourceLocation exp = sm.getExpansionLoc(loc);
+    if (exp.isInvalid() || sm.isInSystemHeader(exp)) return false;
+    const clang::PresumedLoc p = sm.getPresumedLoc(exp);
+    if (p.isInvalid()) return false;
+    std::error_code ec;
+    const fs::path abs = fs::weakly_canonical(fs::path(p.getFilename()), ec);
+    const fs::path root = fs::weakly_canonical(fs::path(opts_.root), ec);
+    fs::path rel = abs.lexically_relative(root);
+    if (rel.empty() || *rel.begin() == "..") return false;
+    out->path = rel.generic_string();
+    out->line = p.getLine();
+    out->column = p.getColumn();
+    return true;
+  }
+
+  void report(LintCode code, const Location& where, std::string message) {
+    Finding f;
+    f.code = code;
+    f.severity = LintSeverity::kError;
+    f.path = where.path;
+    f.line = where.line;
+    f.column = where.column;
+    f.message = std::move(message);
+    out_->push_back(std::move(f));
+  }
+
+  clang::ASTContext& ctx_;
+  const DriverOptions& opts_;
+  std::vector<Finding>* out_;
+};
+
+class LintConsumer : public clang::ASTConsumer {
+public:
+  LintConsumer(const DriverOptions& opts, std::vector<Finding>* out)
+      : opts_(opts), out_(out) {}
+  void HandleTranslationUnit(clang::ASTContext& ctx) override {
+    LintVisitor visitor(ctx, opts_, out_);
+    visitor.TraverseDecl(ctx.getTranslationUnitDecl());
+  }
+
+private:
+  const DriverOptions& opts_;
+  std::vector<Finding>* out_;
+};
+
+class LintAction : public clang::ASTFrontendAction {
+public:
+  LintAction(const DriverOptions& opts, std::vector<Finding>* out)
+      : opts_(opts), out_(out) {}
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance&, llvm::StringRef) override {
+    return std::make_unique<LintConsumer>(opts_, out_);
+  }
+
+private:
+  const DriverOptions& opts_;
+  std::vector<Finding>* out_;
+};
+
+class LintActionFactory : public clang::tooling::FrontendActionFactory {
+public:
+  LintActionFactory(const DriverOptions& opts, std::vector<Finding>* out)
+      : opts_(opts), out_(out) {}
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<LintAction>(opts_, out_);
+  }
+
+private:
+  const DriverOptions& opts_;
+  std::vector<Finding>* out_;
+};
+
+} // namespace
+
+bool ast_engine_available() { return true; }
+
+bool run_ast_engine(const DriverOptions& opts,
+                    const std::vector<std::string>& files,
+                    std::vector<Finding>* out, std::string* error) {
+  const std::string dir = opts.compdb_dir.empty() ? "." : opts.compdb_dir;
+  std::string db_error;
+  std::unique_ptr<clang::tooling::CompilationDatabase> db =
+      clang::tooling::CompilationDatabase::autoDetectFromDirectory(dir,
+                                                                   db_error);
+  if (db == nullptr) {
+    if (error != nullptr) {
+      *error = "no compilation database in '" + dir + "': " + db_error +
+               " (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON, e.g. "
+               "the 'lint' preset)";
+    }
+    return false;
+  }
+  // Run over the intersection of the requested sweep and the TUs the
+  // database knows; headers are analyzed through the TUs including them.
+  std::error_code ec;
+  const fs::path root = fs::weakly_canonical(fs::path(opts.root), ec);
+  std::vector<std::string> sources;
+  for (const std::string& abs : db->getAllFiles()) {
+    const fs::path rel =
+        fs::weakly_canonical(fs::path(abs), ec).lexically_relative(root);
+    if (rel.empty() || *rel.begin() == "..") continue;
+    const std::string rel_str = rel.generic_string();
+    bool wanted = false;
+    for (const std::string& f : files) {
+      if (f == rel_str) wanted = true;
+    }
+    if (wanted) sources.push_back(abs);
+  }
+  if (sources.empty()) {
+    if (error != nullptr) {
+      *error = "compilation database in '" + dir +
+               "' has no entries for the requested paths";
+    }
+    return false;
+  }
+  clang::tooling::ClangTool tool(*db, sources);
+  LintActionFactory factory(opts, out);
+  const int rc = tool.run(&factory);
+  if (rc != 0) {
+    if (error != nullptr) {
+      *error = "one or more translation units failed to parse (see "
+               "diagnostics above)";
+    }
+    return false;
+  }
+  return true;
+}
+
+} // namespace quora::lint

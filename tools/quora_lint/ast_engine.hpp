@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint_driver.hpp"
+#include "lint_types.hpp"
+
+namespace quora::lint {
+
+/// True when this binary was built with the Clang LibTooling frontend
+/// (cmake -DQUORA_LINT=ON, needs the LLVM/Clang dev packages). Without
+/// it the token engine still implements every check lexically; the AST
+/// engine adds type resolution — unordered aliases/members (L004), real
+/// obs handle types instead of naming conventions (L005), and
+/// declaration-resolved entropy calls (L003).
+bool ast_engine_available();
+
+/// Runs the AST checks over `files` using the compilation database in
+/// `opts.compdb_dir` (compile_commands.json). Appends raw findings —
+/// the caller applies suppressions/baseline and dedupes against the
+/// token engine's overlapping results. Returns false on setup failure
+/// (no database, not compiled in) with `error` set; per-file parse
+/// diagnostics are findings-independent and reported on stderr by Clang.
+bool run_ast_engine(const DriverOptions& opts,
+                    const std::vector<std::string>& files,
+                    std::vector<Finding>* out, std::string* error);
+
+} // namespace quora::lint

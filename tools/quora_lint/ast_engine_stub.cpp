@@ -1,0 +1,22 @@
+// Stub compiled when QUORA_LINT=OFF: the binary still ships every check
+// through the token engine, but --engine=ast reports that the LibTooling
+// frontend is not in this build.
+
+#include "ast_engine.hpp"
+
+namespace quora::lint {
+
+bool ast_engine_available() { return false; }
+
+bool run_ast_engine(const DriverOptions&, const std::vector<std::string>&,
+                    std::vector<Finding>*, std::string* error) {
+  if (error != nullptr) {
+    *error =
+        "this quora_lint was built without the Clang frontend; reconfigure "
+        "with -DQUORA_LINT=ON (needs llvm-dev + libclang-dev) or use "
+        "--engine=token";
+  }
+  return false;
+}
+
+} // namespace quora::lint

@@ -1,0 +1,399 @@
+#include "checks_token.hpp"
+
+#include <array>
+#include <set>
+#include <string>
+
+#include "source_scan.hpp"
+
+namespace quora::lint {
+
+namespace {
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kPunct && t.text == s;
+}
+bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kIdent && t.text == s;
+}
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Index one past the `)` matching the `(` at `open` (or tokens.size()).
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "(")) ++depth;
+    if (is_punct(toks[i], ")") && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+/// Skips balanced template arguments: `i` points at `<`; returns the index
+/// one past the matching `>`. Treats `>>` as closing two levels (C++11
+/// rules). Gives up (returns `i`) if nothing closes within the file.
+std::size_t match_angle(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (is_punct(toks[j], "<")) ++depth;
+    if (is_punct(toks[j], ">") && --depth == 0) return j + 1;
+    if (is_punct(toks[j], ">>")) {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    }
+    // A statement boundary means this `<` was a comparison after all.
+    if (is_punct(toks[j], ";") || is_punct(toks[j], "{")) return i;
+  }
+  return i;
+}
+
+constexpr std::array<std::string_view, 11> kAssignOps = {
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+
+constexpr std::array<std::string_view, 17> kMutatingMembers = {
+    "push_back", "pop_back",      "push",       "pop",   "insert",
+    "erase",     "clear",         "emplace",    "emplace_back",
+    "emplace_front", "push_front", "pop_front", "reset", "release",
+    "swap",      "next_u64",      "next_double"};
+
+struct SideEffect {
+  std::size_t index;        // token that constitutes the side effect
+  std::string description;  // e.g. "increment of 'attempts'"
+};
+
+/// Identifier adjacent to a mutation token, used both for diagnostics and
+/// for the QUORA_OBS_ONLY obs_* exemption. For `x++`/`x +=` that is the
+/// identifier before the operator; for `++x` the one after.
+std::string_view mutation_target(const std::vector<Token>& toks,
+                                 std::size_t op, std::size_t begin,
+                                 std::size_t end) {
+  if (op > begin && toks[op - 1].kind == Token::Kind::kIdent)
+    return toks[op - 1].text;
+  if (op + 1 < end && toks[op + 1].kind == Token::Kind::kIdent)
+    return toks[op + 1].text;
+  return {};
+}
+
+/// Scans the token range [begin, end) — the argument list of one macro
+/// invocation — for expressions with side effects.
+std::vector<SideEffect> scan_side_effects(const std::vector<Token>& toks,
+                                          std::size_t begin, std::size_t end,
+                                          bool allow_obs_targets) {
+  std::vector<SideEffect> out;
+  auto target_is_obs = [&](std::size_t op) {
+    return starts_with(mutation_target(toks, op, begin, end), "obs_");
+  };
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Token::Kind::kPunct) {
+      if (t.text == "++" || t.text == "--") {
+        if (allow_obs_targets && target_is_obs(i)) continue;
+        out.push_back({i, (t.text == "++" ? "increment of '" : "decrement of '") +
+                              std::string(mutation_target(toks, i, begin, end)) +
+                              "'"});
+        continue;
+      }
+      bool is_assign = false;
+      for (std::string_view op : kAssignOps) is_assign = is_assign || t.text == op;
+      if (is_assign) {
+        // `[=]` / `[&x = y]` lambda captures are not mutations; neither is
+        // a designated initializer `{.field = v}` (fresh object, no state).
+        if (t.text == "=") {
+          if (i > begin && is_punct(toks[i - 1], "[")) continue;
+          if (i + 1 < end && is_punct(toks[i + 1], "]")) continue;
+          if (i >= begin + 2 && toks[i - 1].kind == Token::Kind::kIdent &&
+              is_punct(toks[i - 2], ".") &&
+              (i < begin + 3 || is_punct(toks[i - 3], "{") ||
+               is_punct(toks[i - 3], ","))) {
+            continue;
+          }
+        }
+        if (allow_obs_targets && target_is_obs(i)) continue;
+        out.push_back({i, "assignment ('" + t.text + "') to '" +
+                              std::string(mutation_target(toks, i, begin, end)) +
+                              "'"});
+        continue;
+      }
+      continue;
+    }
+    if (t.kind != Token::Kind::kIdent) continue;
+    if (t.text == "new" || t.text == "delete") {
+      out.push_back({i, "'" + t.text + "' expression"});
+      continue;
+    }
+    // gen_.next_u64(), votes.push_back(...) — known-mutating member call.
+    if (i > begin && i + 1 < end && is_punct(toks[i + 1], "(") &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+      for (std::string_view m : kMutatingMembers) {
+        if (t.text == m) {
+          out.push_back({i, "call to mutating member '" + t.text + "'"});
+          break;
+        }
+      }
+      continue;
+    }
+    // rng::exponential(gen_, ...) — every draw advances a seeded stream,
+    // so a draw inside a compiled-out macro diverges the RNG sequence.
+    if (i >= begin + 2 && is_punct(toks[i - 1], "::") &&
+        is_ident(toks[i - 2], "rng") && i + 1 < end &&
+        is_punct(toks[i + 1], "(")) {
+      out.push_back({i, "rng:: draw ('rng::" + t.text + "') advances a stream"});
+      continue;
+    }
+  }
+  return out;
+}
+
+struct MacroRule {
+  std::string_view name;
+  LintCode code;
+  bool allow_obs_targets;  // QUORA_OBS_ONLY: obs_* state may mutate
+};
+
+constexpr std::array<MacroRule, 8> kMacroRules = {{
+    {"QUORA_TRACE", LintCode::kL001SideEffectObsArg, false},
+    {"QUORA_METRIC_ADD", LintCode::kL001SideEffectObsArg, false},
+    {"QUORA_METRIC_RECORD", LintCode::kL001SideEffectObsArg, false},
+    {"QUORA_METRIC_SET", LintCode::kL001SideEffectObsArg, false},
+    {"QUORA_OBS_ONLY", LintCode::kL001SideEffectObsArg, true},
+    {"QUORA_ASSERT", LintCode::kL002SideEffectContractArg, false},
+    {"QUORA_INVARIANT", LintCode::kL002SideEffectContractArg, false},
+    {"QUORA_PRECONDITION", LintCode::kL002SideEffectContractArg, false},
+}};
+
+void check_macro_args(std::string_view path, const std::vector<Token>& toks,
+                      std::vector<Finding>* out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || !is_punct(toks[i + 1], "("))
+      continue;
+    const MacroRule* rule = nullptr;
+    for (const MacroRule& r : kMacroRules) {
+      if (toks[i].text == r.name) {
+        rule = &r;
+        break;
+      }
+    }
+    if (rule == nullptr) continue;
+    const std::size_t close = match_paren(toks, i + 1);
+    for (const SideEffect& se :
+         scan_side_effects(toks, i + 2, close - 1, rule->allow_obs_targets)) {
+      const Token& at = toks[se.index];
+      Finding f;
+      f.code = rule->code;
+      f.severity = LintSeverity::kError;
+      f.path = std::string(path);
+      f.line = at.line;
+      f.column = at.column;
+      f.message = se.description + " inside " + std::string(rule->name) +
+                  " argument; " +
+                  (rule->code == LintCode::kL001SideEffectObsArg
+                       ? "the expression is removed when QUORA_OBS=OFF — "
+                         "hoist the side effect out of the macro"
+                       : "contracts compile out in Release — hoist the side "
+                         "effect out of the macro");
+      out->push_back(std::move(f));
+    }
+    i = close > i ? close - 1 : i;
+  }
+}
+
+constexpr std::array<std::string_view, 3> kForbiddenClocks = {
+    "system_clock", "steady_clock", "high_resolution_clock"};
+constexpr std::array<std::string_view, 5> kForbiddenEngines = {
+    "mt19937", "mt19937_64", "default_random_engine", "minstd_rand",
+    "minstd_rand0"};
+
+void check_entropy(std::string_view path, const std::vector<Token>& toks,
+                   std::vector<Finding>* out) {
+  auto report = [&](const Token& at, const std::string& what) {
+    Finding f;
+    f.code = LintCode::kL003ForbiddenEntropy;
+    f.severity = LintSeverity::kError;
+    f.path = std::string(path);
+    f.line = at.line;
+    f.column = at.column;
+    f.message = what +
+                " in a deterministic layer; all randomness must come from "
+                "the seeded rng:: xoshiro streams (src/rng)";
+    out->push_back(std::move(f));
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    const bool next_is_call = i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+    const bool prev_member =
+        i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+    if (t.text == "random_device") {
+      report(t, "std::random_device");
+      continue;
+    }
+    for (std::string_view e : kForbiddenEngines) {
+      if (t.text == e) report(t, "std::" + t.text + " (unseeded-by-policy engine)");
+    }
+    if ((t.text == "rand" || t.text == "srand") && next_is_call && !prev_member) {
+      report(t, "'" + t.text + "()'");
+      continue;
+    }
+    if ((t.text == "time" || t.text == "clock") && next_is_call &&
+        i > 0 && is_punct(toks[i - 1], "::")) {
+      report(t, "'" + t.text + "()' wall-clock call");
+      continue;
+    }
+    for (std::string_view c : kForbiddenClocks) {
+      if (t.text == c && i + 2 < toks.size() && is_punct(toks[i + 1], "::") &&
+          is_ident(toks[i + 2], "now")) {
+        report(t, "std::chrono::" + t.text + "::now()");
+      }
+    }
+  }
+}
+
+constexpr std::array<std::string_view, 4> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+void check_unordered(std::string_view path, const std::vector<Token>& toks,
+                     std::vector<Finding>* out) {
+  // Pass 1: names declared (in this file) with an unordered type. This is
+  // flow-insensitive and file-local — the AST engine resolves aliases and
+  // members declared elsewhere.
+  std::set<std::string> unordered_vars;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    bool is_unordered = false;
+    for (std::string_view u : kUnorderedTypes) is_unordered |= t.text == u;
+    if (t.kind != Token::Kind::kIdent || !is_unordered) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && is_punct(toks[j], "<")) j = match_angle(toks, j);
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+            is_ident(toks[j], "const")))
+      ++j;
+    if (j < toks.size() && toks[j].kind == Token::Kind::kIdent)
+      unordered_vars.insert(toks[j].text);
+  }
+  auto report = [&](const Token& at, const std::string& what) {
+    Finding f;
+    f.code = LintCode::kL004UnorderedIteration;
+    f.severity = LintSeverity::kError;
+    f.path = std::string(path);
+    f.line = at.line;
+    f.column = at.column;
+    f.message = what +
+                " iterates an unordered container in transcript-feeding "
+                "code; iteration order is unspecified and breaks "
+                "byte-stable replays — use a sorted copy or an ordered "
+                "container";
+    out->push_back(std::move(f));
+  };
+  if (unordered_vars.empty()) return;
+  // Pass 2: range-for and std::accumulate over those names.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (is_ident(toks[i], "for") && is_punct(toks[i + 1], "(")) {
+      const std::size_t close = match_paren(toks, i + 1);
+      int depth = 0;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (is_punct(toks[j], "(")) ++depth;
+        if (is_punct(toks[j], ")")) --depth;
+        if (depth == 1 && is_punct(toks[j], ":")) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == 0) continue;
+      for (std::size_t j = colon + 1; j + 1 < close; ++j) {
+        if (toks[j].kind == Token::Kind::kIdent &&
+            unordered_vars.count(toks[j].text) != 0) {
+          report(toks[i], "range-for over '" + toks[j].text + "'");
+          break;
+        }
+      }
+    }
+    if (is_ident(toks[i], "accumulate") && is_punct(toks[i + 1], "(")) {
+      const std::size_t close = match_paren(toks, i + 1);
+      for (std::size_t j = i + 2; j + 2 < close; ++j) {
+        if (toks[j].kind == Token::Kind::kIdent &&
+            unordered_vars.count(toks[j].text) != 0 &&
+            (is_punct(toks[j + 1], ".") || is_punct(toks[j + 1], "->")) &&
+            (is_ident(toks[j + 2], "begin") || is_ident(toks[j + 2], "cbegin"))) {
+          report(toks[i], "std::accumulate over '" + toks[j].text + "'");
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  if (needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < needle.size(); ++j) {
+      const char a = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(haystack[i + j])));
+      if (a != needle[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+void check_raw_obs(std::string_view path, const std::vector<Token>& toks,
+                   std::vector<Finding>* out) {
+  auto report = [&](const Token& at, const std::string& what,
+                    const std::string& use_instead) {
+    Finding f;
+    f.code = LintCode::kL005RawObsCall;
+    f.severity = LintSeverity::kError;
+    f.path = std::string(path);
+    f.line = at.line;
+    f.column = at.column;
+    f.message = what + " bypasses the QUORA_OBS gate — use " + use_instead +
+                " so the call vanishes in QUORA_OBS=OFF builds";
+    out->push_back(std::move(f));
+  };
+  for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent || !is_punct(toks[i + 1], "(")) continue;
+    if (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->")) continue;
+    if (toks[i - 2].kind != Token::Kind::kIdent) continue;
+    const std::string& obj = toks[i - 2].text;
+    // trace_->record(...) / recorder.record_at(...): raw TraceRecorder
+    // call (the repo convention names recorder pointers "*trace*").
+    if ((t.text == "record" || t.text == "record_at") &&
+        contains_ci(obj, "trace")) {
+      report(t, "raw TraceRecorder::" + t.text + " call on '" + obj + "'",
+             "QUORA_TRACE(...)");
+      continue;
+    }
+    // obs_grants_.add(1) / obs_latency_.record(v) / obs_depth_.set(v):
+    // raw metric-handle call (handles are named obs_* by convention).
+    if ((t.text == "add" || t.text == "record" || t.text == "set") &&
+        starts_with(obj, "obs_")) {
+      const char* macro = t.text == "add"
+                              ? "QUORA_METRIC_ADD(...)"
+                              : (t.text == "record" ? "QUORA_METRIC_RECORD(...)"
+                                                    : "QUORA_METRIC_SET(...)");
+      report(t, "raw metric-handle ." + t.text + " call on '" + obj + "'",
+             macro);
+    }
+  }
+}
+
+} // namespace
+
+void run_token_checks(std::string_view path, std::string_view text,
+                      const CheckScope& scope, std::vector<Finding>* out) {
+  const std::vector<Token> toks = lex(text);
+  if (scope.macro_args) check_macro_args(path, toks, out);
+  if (scope.entropy) check_entropy(path, toks, out);
+  if (scope.unordered) check_unordered(path, toks, out);
+  if (scope.raw_obs) check_raw_obs(path, toks, out);
+}
+
+} // namespace quora::lint

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint_types.hpp"
+
+namespace quora::lint {
+
+/// Which checks apply to one file. The driver computes this from the
+/// repo-relative path (see `scope_for_path` in the driver); tests can
+/// force everything on with --all-scopes.
+struct CheckScope {
+  bool macro_args = true;   // L001 + L002 — everywhere
+  bool entropy = false;     // L003 — deterministic layers only
+  bool unordered = false;   // L004 — transcript-feeding modules only
+  bool raw_obs = false;     // L005 — src/ minus src/obs
+};
+
+/// Runs the lexical implementations of L001–L005 over one file's text and
+/// appends findings (suppression/baseline matching is the driver's job).
+///
+/// What the token engine can and cannot see is documented per check in
+/// docs/STATIC_ANALYSIS.md; the short version: it is macro-expansion- and
+/// type-blind, so L004/L005 use declaration tracking and the repo's
+/// naming conventions (`obs_*` handles, `*trace*` recorder pointers),
+/// while the AST engine (QUORA_LINT=ON) resolves real types.
+void run_token_checks(std::string_view path, std::string_view text,
+                      const CheckScope& scope, std::vector<Finding>* out);
+
+} // namespace quora::lint

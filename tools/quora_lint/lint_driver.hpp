@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checks_token.hpp"
+#include "lint_types.hpp"
+
+namespace quora::lint {
+
+struct DriverOptions {
+  /// Files or directories to sweep (directories are walked recursively
+  /// for .cpp/.cc/.hpp/.h). Empty means the default sweep: src, tools,
+  /// bench under `root`.
+  std::vector<std::string> paths;
+  /// Repo root; findings report paths relative to it. Default: cwd.
+  std::string root = ".";
+  /// Directory holding compile_commands.json (AST engine only).
+  std::string compdb_dir;
+  /// Baseline file of accepted findings ("" = none).
+  std::string baseline_path;
+  /// Treat every file as in scope for every check (fixture tests).
+  bool all_scopes = false;
+};
+
+/// Maps a repo-relative path (forward slashes) to the checks that apply:
+///   L001/L002  everywhere;
+///   L003       src/{sim,msg,core,conn,fault,dyn} — the layers the golden
+///              transcripts replay;
+///   L004       src/{fault,obs,report} — the modules that format
+///              transcripts and reports;
+///   L005       src/ minus src/obs (the layer's own internals are exempt).
+CheckScope scope_for_path(std::string_view rel_path, bool all_scopes);
+
+/// Expands `opts.paths` (or the default sweep set) into a sorted list of
+/// repo-relative source files. Nonexistent inputs land in `problems`.
+std::vector<std::string> collect_files(const DriverOptions& opts,
+                                       std::vector<std::string>* problems);
+
+struct RunResult {
+  std::vector<Finding> findings;        // sorted; includes suppressed/baselined
+  std::vector<std::string> problems;    // malformed suppressions, I/O errors —
+                                        // hard failures, never ignorable
+};
+
+/// Runs the token engine over the file set: lexes each file, applies the
+/// in-scope checks, then marks inline suppressions and baseline hits.
+RunResult run_token_engine(const DriverOptions& opts);
+
+/// Marks suppressions/baseline on externally produced findings (the AST
+/// engine emits raw findings; this gives them the same treatment).
+void apply_suppressions(const DriverOptions& opts, std::vector<Finding>* findings,
+                        std::vector<std::string>* problems);
+
+/// Sorts and removes duplicate (code, path, line) findings — the token and
+/// AST engines overlap by design; one report line per defect.
+void dedupe_findings(std::vector<Finding>* findings);
+
+/// Reads a whole file; returns false (and fills `error`) on I/O failure.
+bool read_file(const std::string& path, std::string* text, std::string* error);
+
+} // namespace quora::lint

@@ -1,0 +1,185 @@
+// quora_lint — semantic linter for the repo's determinism and
+// macro-discipline invariants (docs/STATIC_ANALYSIS.md).
+//
+//   quora_lint [options] [PATH...]
+//
+// PATHs are files or directories (walked recursively for C++ sources);
+// the default sweep is src/, tools/, and bench/ under --root. Two
+// engines implement the checks: the always-available token engine
+// (lexical, macro- and type-blind) and, when built with -DQUORA_LINT=ON,
+// a Clang LibTooling engine that re-runs L003–L005 with real type
+// information over compile_commands.json. Findings:
+//
+//   L001  side effect in a QUORA_TRACE / QUORA_METRIC_* argument
+//   L002  side effect in a QUORA_ASSERT / INVARIANT / PRECONDITION
+//   L003  forbidden entropy source in a deterministic layer
+//   L004  unordered-container iteration in transcript-feeding code
+//   L005  raw obs call bypassing the QUORA_OBS gating macros
+//
+// Exit status mirrors quora_check: 0 clean, 1 unsuppressed findings,
+// 2 usage/I-O problems or malformed suppression comments.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ast_engine.hpp"
+#include "lint_driver.hpp"
+#include "lint_types.hpp"
+#include "source_scan.hpp"
+
+namespace {
+
+using namespace quora::lint;
+
+[[noreturn]] void usage(int status) {
+  (status == 0 ? std::cout : std::cerr)
+      << "usage: quora_lint [options] [PATH...]\n"
+         "  --engine=token|ast   force an engine (default: ast when built "
+         "in, else token)\n"
+         "  --json[=FILE]        machine-readable findings (default stdout)\n"
+         "  --baseline FILE      accepted-findings file; matches don't fail "
+         "the run\n"
+         "  --write-baseline FILE  write current unsuppressed findings and "
+         "exit 0\n"
+         "  --compdb DIR         directory with compile_commands.json (ast "
+         "engine)\n"
+         "  --root DIR           repo root for relative paths (default .)\n"
+         "  --all-scopes         apply every check to every file (fixtures)\n"
+         "  --show-suppressed    include suppressed/baselined findings in "
+         "output\n"
+         "  --list-checks        print the check table and exit\n"
+         "  --quiet              no summary line on stderr\n";
+  std::exit(status);
+}
+
+void list_checks() {
+  const LintCode all[] = {
+      LintCode::kL001SideEffectObsArg, LintCode::kL002SideEffectContractArg,
+      LintCode::kL003ForbiddenEntropy, LintCode::kL004UnorderedIteration,
+      LintCode::kL005RawObsCall};
+  for (const LintCode c : all) {
+    std::cout << lint_code_tag(c) << "  " << lint_code_name(c) << "\n      "
+              << lint_code_summary(c) << '\n';
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  DriverOptions opts;
+  bool json = false;
+  std::string json_path;
+  std::string write_baseline_path;
+  std::string engine = ast_engine_available() ? "ast" : "token";
+  bool show_suppressed = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (++i >= argc) {
+        std::cerr << "quora_lint: " << flag << " needs a value\n";
+        usage(2);
+      }
+      return argv[i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (arg == "--list-checks") {
+      list_checks();
+      return 0;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      engine = arg.substr(9);
+      if (engine != "token" && engine != "ast") {
+        std::cerr << "quora_lint: unknown engine '" << engine << "'\n";
+        usage(2);
+      }
+    } else if (arg == "--baseline") {
+      opts.baseline_path = value("--baseline");
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = value("--write-baseline");
+    } else if (arg == "--compdb") {
+      opts.compdb_dir = value("--compdb");
+    } else if (arg == "--root") {
+      opts.root = value("--root");
+    } else if (arg == "--all-scopes") {
+      opts.all_scopes = true;
+    } else if (arg == "--show-suppressed") {
+      show_suppressed = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "quora_lint: unknown option " << arg << '\n';
+      usage(2);
+    } else {
+      opts.paths.push_back(arg);
+    }
+  }
+
+  // The token engine always runs: L001/L002 are lexical by nature (the
+  // whole point is what the preprocessor removes), and its L003–L005
+  // approximations catch most defects without any build. The AST engine
+  // layers type-resolved findings on top; dedupe keeps one line each.
+  RunResult result = run_token_engine(opts);
+  if (engine == "ast") {
+    std::vector<std::string> dummy;
+    const std::vector<std::string> files = collect_files(opts, &dummy);
+    std::string error;
+    std::vector<Finding> ast_findings;
+    if (!run_ast_engine(opts, files, &ast_findings, &error)) {
+      std::cerr << "quora_lint: ast engine: " << error << '\n';
+      return 2;
+    }
+    apply_suppressions(opts, &ast_findings, &result.problems);
+    result.findings.insert(result.findings.end(), ast_findings.begin(),
+                           ast_findings.end());
+    dedupe_findings(&result.findings);
+  }
+
+  for (const std::string& p : result.problems) {
+    std::cerr << "quora_lint: " << p << '\n';
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::cerr << "quora_lint: cannot write " << write_baseline_path << '\n';
+      return 2;
+    }
+    out << Baseline::render(result.findings);
+    std::cerr << "quora_lint: wrote baseline (" << unsuppressed_count(result.findings)
+              << " entries) to " << write_baseline_path << '\n';
+    return result.problems.empty() ? 0 : 2;
+  }
+
+  if (json) {
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "quora_lint: cannot write " << json_path << '\n';
+        return 2;
+      }
+      write_findings_json(out, result.findings, show_suppressed);
+    } else {
+      write_findings_json(std::cout, result.findings, show_suppressed);
+    }
+  } else {
+    write_findings_text(std::cout, result.findings, show_suppressed);
+  }
+
+  const std::size_t open = unsuppressed_count(result.findings);
+  if (!quiet) {
+    std::cerr << "quora_lint: " << engine << " engine, "
+              << result.findings.size() << " finding(s), " << open
+              << " unsuppressed\n";
+  }
+  if (!result.problems.empty()) return 2;
+  return open == 0 ? 0 : 1;
+}

@@ -1,0 +1,348 @@
+#include "source_scan.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <sstream>
+
+namespace quora::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character operators, longest first so greedy matching works.
+constexpr std::array<std::string_view, 25> kMultiPunct = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "++", "--",
+    "<<",  ">>",  "<=",  ">=",  "==",  "!=", "&&", "||", "+=",
+    "-=",  "*=",  "/=",  "%=",  "&=",  "|=", "^=",
+};
+
+struct Cursor {
+  std::string_view text;
+  std::size_t i = 0;
+  unsigned line = 1;
+  unsigned column = 1;
+
+  bool done() const { return i >= text.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return i + ahead < text.size() ? text[i + ahead] : '\0';
+  }
+  void advance() {
+    if (done()) return;
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++i;
+  }
+  void advance_n(std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) advance();
+  }
+};
+
+/// Consumes a quoted literal starting at the opening quote. Handles
+/// escapes; raw strings are handled by the caller before reaching here.
+void skip_quoted(Cursor& c, char quote) {
+  c.advance();  // opening quote
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\\') {
+      c.advance_n(2);
+      continue;
+    }
+    c.advance();
+    if (ch == quote || ch == '\n') break;  // unterminated: resync at EOL
+  }
+}
+
+/// Consumes R"delim( ... )delim" starting at the '"'.
+void skip_raw_string(Cursor& c) {
+  c.advance();  // the '"'
+  std::string delim;
+  while (!c.done() && c.peek() != '(' && delim.size() < 16) {
+    delim.push_back(c.peek());
+    c.advance();
+  }
+  const std::string close = ")" + delim + "\"";
+  while (!c.done()) {
+    if (c.text.compare(c.i, close.size(), close) == 0) {
+      c.advance_n(close.size());
+      return;
+    }
+    c.advance();
+  }
+}
+
+/// Consumes a preprocessor directive including `\` line continuations.
+void skip_preprocessor_line(Cursor& c) {
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\\' && c.peek(1) == '\n') {
+      c.advance_n(2);
+      continue;
+    }
+    // Comments inside directives still nest line continuations correctly
+    // enough for our purposes; just consume to end of (logical) line.
+    c.advance();
+    if (ch == '\n') return;
+  }
+}
+
+} // namespace
+
+std::vector<Token> lex(std::string_view text) {
+  std::vector<Token> out;
+  Cursor c{text};
+  bool at_line_start = true;  // only whitespace seen on this line so far
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\n') {
+      at_line_start = true;
+      c.advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.advance();
+      continue;
+    }
+    if (ch == '#' && at_line_start) {
+      skip_preprocessor_line(c);
+      at_line_start = true;
+      continue;
+    }
+    at_line_start = false;
+    if (ch == '/' && c.peek(1) == '/') {
+      while (!c.done() && c.peek() != '\n') c.advance();
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.advance_n(2);
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) c.advance();
+      c.advance_n(2);
+      continue;
+    }
+    const unsigned line = c.line;
+    const unsigned column = c.column;
+    if (ch == '"') {
+      skip_quoted(c, '"');
+      out.push_back({Token::Kind::kString, "\"\"", line, column});
+      continue;
+    }
+    if (ch == '\'') {
+      skip_quoted(c, '\'');
+      out.push_back({Token::Kind::kString, "''", line, column});
+      continue;
+    }
+    if (is_ident_start(ch)) {
+      std::string ident;
+      while (!c.done() && is_ident_char(c.peek())) {
+        ident.push_back(c.peek());
+        c.advance();
+      }
+      // Raw / prefixed string literal: R"(...)", u8"...", L'x', ...
+      if (!c.done() && c.peek() == '"' &&
+          (ident == "R" || ident == "u8R" || ident == "uR" || ident == "LR")) {
+        skip_raw_string(c);
+        out.push_back({Token::Kind::kString, "\"\"", line, column});
+        continue;
+      }
+      if (!c.done() && (c.peek() == '"' || c.peek() == '\'') &&
+          (ident == "u8" || ident == "u" || ident == "U" || ident == "L")) {
+        skip_quoted(c, c.peek());
+        out.push_back({Token::Kind::kString, "\"\"", line, column});
+        continue;
+      }
+      out.push_back({Token::Kind::kIdent, std::move(ident), line, column});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      std::string num;
+      while (!c.done()) {
+        const char d = c.peek();
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          num.push_back(d);
+          c.advance();
+          continue;
+        }
+        // Exponent sign: 1e-5, 0x1p+3
+        if ((d == '+' || d == '-') && !num.empty()) {
+          const char prev = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(num.back())));
+          if (prev == 'e' || prev == 'p') {
+            num.push_back(d);
+            c.advance();
+            continue;
+          }
+        }
+        break;
+      }
+      out.push_back({Token::Kind::kNumber, std::move(num), line, column});
+      continue;
+    }
+    // Punctuation: longest multi-char match first.
+    std::string_view matched;
+    for (std::string_view op : kMultiPunct) {
+      if (c.text.compare(c.i, op.size(), op) == 0) {
+        matched = op;
+        break;
+      }
+    }
+    if (!matched.empty()) {
+      out.push_back({Token::Kind::kPunct, std::string(matched), line, column});
+      c.advance_n(matched.size());
+      continue;
+    }
+    out.push_back({Token::Kind::kPunct, std::string(1, ch), line, column});
+    c.advance();
+  }
+  return out;
+}
+
+bool Suppressions::allows(LintCode code, unsigned line) const {
+  for (const unsigned l : {line, line > 0 ? line - 1 : 0u}) {
+    const auto it = allowed.find(l);
+    if (it != allowed.end() && it->second.count(code) != 0) return true;
+  }
+  return false;
+}
+
+Suppressions scan_suppressions(std::string_view text) {
+  Suppressions out;
+  // Assembled at runtime so the scanner never trips over its own source.
+  const std::string kMarker = std::string("quora-lint") + ":";
+  std::size_t pos = 0;
+  unsigned line = 1;
+  std::size_t line_start = 0;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    const std::string_view l = text.substr(line_start, line_end - line_start);
+    pos = l.find(kMarker);
+    if (pos != std::string_view::npos) {
+      std::string_view rest = l.substr(pos + kMarker.size());
+      // Expect: allow(L001[, L002...]) reason...
+      const std::size_t a = rest.find_first_not_of(" \t");
+      bool ok = false;
+      if (a != std::string_view::npos &&
+          rest.substr(a).rfind("allow(", 0) == 0) {
+        std::string_view tags = rest.substr(a + 6);
+        const std::size_t close = tags.find(')');
+        if (close != std::string_view::npos) {
+          std::string_view reason = tags.substr(close + 1);
+          tags = tags.substr(0, close);
+          std::set<LintCode> codes;
+          ok = !tags.empty();
+          std::size_t start = 0;
+          while (ok && start <= tags.size()) {
+            std::size_t comma = tags.find(',', start);
+            if (comma == std::string_view::npos) comma = tags.size();
+            std::string_view tag = tags.substr(start, comma - start);
+            while (!tag.empty() && (tag.front() == ' ' || tag.front() == '\t'))
+              tag.remove_prefix(1);
+            while (!tag.empty() && (tag.back() == ' ' || tag.back() == '\t'))
+              tag.remove_suffix(1);
+            LintCode code;
+            if (!parse_lint_code_tag(tag, &code)) {
+              out.problems.emplace_back(
+                  line, "unknown lint code '" + std::string(tag) + "'");
+              ok = false;
+              break;
+            }
+            codes.insert(code);
+            if (comma == tags.size()) break;
+            start = comma + 1;
+          }
+          if (ok && reason.find_first_not_of(" \t\r") == std::string_view::npos) {
+            out.problems.emplace_back(
+                line, "missing reason after allow(...) — say why");
+            ok = false;
+          }
+          if (ok) out.allowed[line].insert(codes.begin(), codes.end());
+        } else {
+          out.problems.emplace_back(line, "unterminated allow(");
+        }
+      } else {
+        out.problems.emplace_back(
+            line,
+            "expected 'allow(L00x[,...]) reason' after the quora-lint marker");
+      }
+    }
+    line_start = line_end + 1;
+    ++line;
+  }
+  return out;
+}
+
+Baseline Baseline::parse(std::string_view text,
+                         std::vector<std::string>* problems) {
+  Baseline b;
+  std::size_t line_start = 0;
+  unsigned line_no = 1;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string_view l = text.substr(line_start, line_end - line_start);
+    if (!l.empty() && l.back() == '\r') l.remove_suffix(1);
+    line_start = line_end + 1;
+    const unsigned this_line = line_no++;
+    if (l.empty() || l[0] == '#') continue;
+    const std::size_t t1 = l.find('\t');
+    const std::size_t t2 = t1 == std::string_view::npos
+                               ? std::string_view::npos
+                               : l.find('\t', t1 + 1);
+    LintCode code;
+    bool ok = t2 != std::string_view::npos &&
+              parse_lint_code_tag(l.substr(0, t1), &code);
+    if (ok) {
+      const std::string_view num = l.substr(t2 + 1);
+      ok = !num.empty() && num.find_first_not_of("0123456789") ==
+                               std::string_view::npos;
+    }
+    if (!ok) {
+      if (problems != nullptr) {
+        problems->push_back("baseline line " + std::to_string(this_line) +
+                            ": expected 'L00x<TAB>path<TAB>line', got '" +
+                            std::string(l) + "'");
+      }
+      continue;
+    }
+    b.entries_.insert(std::string(l));
+  }
+  return b;
+}
+
+bool Baseline::contains(const Finding& f) const {
+  std::string key = std::string(lint_code_tag(f.code)) + "\t" + f.path + "\t" +
+                    std::to_string(f.line);
+  return entries_.count(key) != 0;
+}
+
+std::string Baseline::render(const std::vector<Finding>& findings) {
+  std::vector<Finding> sorted = findings;
+  std::sort(sorted.begin(), sorted.end(), finding_less);
+  std::ostringstream out;
+  out << "# quora_lint baseline — one accepted finding per line.\n"
+         "# Format: TAG<TAB>path<TAB>line. Regenerate with\n"
+         "#   quora_lint --write-baseline <this file> <paths...>\n"
+         "# Prefer an inline allow-comment with a reason for anything\n"
+         "# that should stay exempt; the baseline is a burn-down list.\n";
+  std::set<std::string> seen;
+  for (const Finding& f : sorted) {
+    if (f.suppressed) continue;
+    std::string key = std::string(lint_code_tag(f.code)) + "\t" + f.path +
+                      "\t" + std::to_string(f.line);
+    if (seen.insert(key).second) out << key << '\n';
+  }
+  return out.str();
+}
+
+} // namespace quora::lint

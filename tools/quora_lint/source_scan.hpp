@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint_types.hpp"
+
+namespace quora::lint {
+
+/// One lexical token of a C++ source file. The lexer is deliberately
+/// simple — it understands comments, string/char literals (including raw
+/// strings), preprocessor lines, identifiers, numbers, and multi-character
+/// operators — which is exactly enough for the token-level checks. It does
+/// NOT expand macros or resolve types; that is the AST engine's job.
+struct Token {
+  enum class Kind : std::uint8_t { kIdent, kNumber, kString, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  unsigned line = 1;
+  unsigned column = 1;
+};
+
+/// Lexes `text` into tokens. Comments and whole preprocessor directives
+/// (with `\` continuations) produce no tokens — so macro *definitions*
+/// never trigger the checks, only macro *uses* do. Malformed input never
+/// throws; the lexer resynchronizes at the next character.
+std::vector<Token> lex(std::string_view text);
+
+/// Inline suppressions:
+///
+///   sum += w;  // quora-lint: allow(L001) merge counter is obs-only state
+///   // quora-lint: allow(L003,L004) wall-clock is reporting-only here
+///   code_on_next_line();
+///
+/// An allow-comment suppresses matching findings on its own line and on
+/// the line directly below it (so both trailing and comment-above styles
+/// work). A reason after the closing parenthesis is required by
+/// convention and checked: a bare `allow(...)` is reported as malformed.
+struct Suppressions {
+  /// line -> codes allowed on that line.
+  std::map<unsigned, std::set<LintCode>> allowed;
+  /// Malformed directives (a quora-lint marker that did not parse):
+  /// (line, what-was-wrong). The driver reports these as hard errors so
+  /// a typo can never silently un-suppress a finding.
+  std::vector<std::pair<unsigned, std::string>> problems;
+
+  bool allows(LintCode code, unsigned line) const;
+};
+
+/// Scans raw source text (not tokens — the directives live in comments)
+/// for quora-lint suppression comments.
+Suppressions scan_suppressions(std::string_view text);
+
+/// Checked-in baseline of accepted findings, one per line:
+///
+///   # comment
+///   L003<TAB>src/sim/simulator.cpp<TAB>42
+///
+/// Keys are (tag, path, line); paths are repo-relative with forward
+/// slashes. Line numbers drift with edits by design: a baseline is a
+/// burn-down list, not a permanent suppression (see
+/// docs/STATIC_ANALYSIS.md — permanent exemptions belong in an inline
+/// allow-comment with a reason).
+class Baseline {
+public:
+  /// Parses baseline text. Malformed lines land in `problems`.
+  static Baseline parse(std::string_view text,
+                        std::vector<std::string>* problems);
+
+  bool contains(const Finding& f) const;
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Serializes `findings` (unsuppressed only) as baseline text, sorted.
+  static std::string render(const std::vector<Finding>& findings);
+
+private:
+  std::set<std::string> entries_;  // "tag\tpath\tline"
+};
+
+} // namespace quora::lint
