@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Fast pre-push lint: run quora_lint's token engine over only the C++
+# files that changed relative to the merge base, instead of sweeping the
+# whole tree.
+#
+#   scripts/lint_changed.sh [BASE_REF] [-- QUORA_LINT_ARGS...]
+#
+# BASE_REF defaults to origin/main when that ref exists, else main, else
+# HEAD~1. The changed set is `git diff --merge-base` against it plus any
+# staged/unstaged edits, filtered to tracked C++ sources under the sweep
+# roots (src/, tools/, bench/). Zero changed files is a clean exit — the
+# script is safe in hooks and CI on docs-only branches.
+#
+# The token engine needs no compile_commands.json and runs in
+# milliseconds, so this is the loop you run on every commit; the full
+# dual-engine sweep (AST engine over the whole tree, SARIF upload) stays
+# in the CI lint-semantic job. See docs/STATIC_ANALYSIS.md.
+#
+# Exit status is quora_lint's: 0 clean, 1 findings, 2 usage/tooling
+# problems (including a missing binary).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base_ref=""
+lint_args=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --help|-h)
+      sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    --)
+      shift
+      lint_args=("$@")
+      break
+      ;;
+    *)
+      if [[ -n "$base_ref" ]]; then
+        echo "lint_changed.sh: unexpected argument '$1'" >&2
+        exit 2
+      fi
+      base_ref="$1"
+      shift
+      ;;
+  esac
+done
+
+if [[ -z "$base_ref" ]]; then
+  if git rev-parse --verify --quiet origin/main >/dev/null; then
+    base_ref=origin/main
+  elif git rev-parse --verify --quiet main >/dev/null; then
+    base_ref=main
+  else
+    base_ref=HEAD~1
+  fi
+fi
+
+# Prefer the freshest build of the linter; any configured tree works
+# because the token engine is always compiled in.
+lint_bin=""
+for candidate in build/tools/quora_lint/quora_lint \
+                 build/lint/tools/quora_lint/quora_lint \
+                 build/release/tools/quora_lint/quora_lint; do
+  if [[ -x "$candidate" ]]; then
+    lint_bin="$candidate"
+    break
+  fi
+done
+if [[ -z "$lint_bin" ]]; then
+  echo "lint_changed.sh: no quora_lint binary found; build one first:" >&2
+  echo "  cmake --preset release && cmake --build --preset release --target quora_lint" >&2
+  exit 2
+fi
+
+# Changed-vs-merge-base plus working-tree edits, deduplicated. --diff-filter
+# drops deletions (nothing to lint) and -z/null-delimited handles any path.
+mapfile -d '' -t changed < <(
+  {
+    git diff --merge-base "$base_ref" --name-only --diff-filter=d -z
+    git diff --name-only --diff-filter=d -z
+    git diff --cached --name-only --diff-filter=d -z
+  } | sort -zu
+)
+
+files=()
+for f in "${changed[@]}"; do
+  case "$f" in
+    src/*|tools/*|bench/*) ;;
+    *) continue ;;
+  esac
+  case "$f" in
+    *.cpp|*.hpp|*.cc|*.hh|*.cxx|*.h) ;;
+    *) continue ;;
+  esac
+  [[ -f "$f" ]] && files+=("$f")
+done
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "lint_changed.sh: no changed C++ sources vs $base_ref — nothing to lint"
+  exit 0
+fi
+
+echo "lint_changed.sh: ${#files[@]} changed file(s) vs $base_ref"
+exec "$lint_bin" --engine=token --root . ${lint_args[@]+"${lint_args[@]}"} "${files[@]}"

@@ -1,0 +1,64 @@
+#pragma once
+
+// Source-annotation vocabulary consumed by tools/quora_lint's
+// whole-program checks (L006–L008, see docs/STATIC_ANALYSIS.md).
+//
+// The annotations are analysis-only: under Clang they expand to
+// [[clang::annotate("quora::...")]] attributes the AST engine reads
+// straight off the declarations; everywhere else they expand to nothing.
+// Either way they contribute zero code, so Release codegen, determinism
+// goldens, and BENCH_* numbers are unaffected. The token engine never
+// sees the expansion at all — it recognizes the macro spellings
+// lexically, which is why the vocabulary is macros rather than bare
+// attributes.
+//
+// Vocabulary:
+//
+//   QUORA_HOT_PATH
+//     On a function: every call chain rooted here must be free of heap
+//     allocation (operator new/delete, container growth, string
+//     construction). Checked by L006; backed at runtime by
+//     `quora_bench --alloc-check`.
+//
+//   QUORA_SHARD_ENTRY(domain)
+//     On a function: the entry point a future shard of `domain` (e.g.
+//     sim, msg) will drive in parallel. Roots the reachability used by
+//     L007 (cross-shard state) and L008 (unshared globals).
+//
+//   QUORA_SHARD_LOCAL(domain)
+//     On a data member: state owned by one shard of `domain`. L007
+//     rejects reaching it from another domain's entry points, rejects
+//     placing it on static-storage symbols, and rejects combining it
+//     with QUORA_SHARD_SHARED.
+//
+//   QUORA_SHARD_SHARED
+//     On a variable/member: mutable state deliberately shared across
+//     shards (synchronization is the owner's problem, and documented at
+//     the declaration). Exempts the symbol from L008.
+//
+//   QUORA_ANALYSIS_BOUNDARY
+//     On a function: stop call-graph traversal here. For dynamic
+//     dispatch fan-out the analyzer cannot meaningfully follow (e.g.
+//     observer notification); the callee side carries its own
+//     guarantees.
+//
+//   QUORA_ALLOC_OK
+//     On a function: its *direct* allocations are amortized to zero in
+//     steady state (pre-reserved capacity, setup-only growth), so L006
+//     skips the body's own allocation facts while still analyzing its
+//     callees. The claim is not taken on faith: `quora_bench
+//     --alloc-check` asserts the counter stays flat across the
+//     annotated hot paths.
+
+#if defined(__clang__)
+#define QUORA_ANNOTATION(text) [[clang::annotate(text)]]
+#else
+#define QUORA_ANNOTATION(text)
+#endif
+
+#define QUORA_HOT_PATH QUORA_ANNOTATION("quora::hot_path")
+#define QUORA_SHARD_ENTRY(domain) QUORA_ANNOTATION("quora::shard_entry:" #domain)
+#define QUORA_SHARD_LOCAL(domain) QUORA_ANNOTATION("quora::shard_local:" #domain)
+#define QUORA_SHARD_SHARED QUORA_ANNOTATION("quora::shard_shared")
+#define QUORA_ANALYSIS_BOUNDARY QUORA_ANNOTATION("quora::analysis_boundary")
+#define QUORA_ALLOC_OK QUORA_ANNOTATION("quora::alloc_ok")

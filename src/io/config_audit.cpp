@@ -383,4 +383,111 @@ void write_report_json(std::ostream& out, const AuditReport& report,
   out << (report.findings.empty() ? "]\n" : "\n]\n");
 }
 
+void write_sarif(std::ostream& out, std::string_view tool_name,
+                 std::string_view tool_version,
+                 const std::vector<SarifRule>& rules,
+                 const std::vector<SarifResult>& results) {
+  out << "{\n"
+         "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": ";
+  write_json_string(out, std::string(tool_name));
+  if (!tool_version.empty()) {
+    out << ",\n          \"version\": ";
+    write_json_string(out, std::string(tool_version));
+  }
+  out << ",\n          \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "            {\"id\": ";
+    write_json_string(out, rules[i].id);
+    out << ", \"name\": ";
+    write_json_string(out, rules[i].name);
+    out << ", \"shortDescription\": {\"text\": ";
+    write_json_string(out, rules[i].short_description);
+    out << "}}";
+  }
+  out << (rules.empty() ? "]\n" : "\n          ]\n");
+  out << "        }\n"
+         "      },\n"
+         "      \"results\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SarifResult& r = results[i];
+    out << (i == 0 ? "\n" : ",\n") << "        {\"ruleId\": ";
+    write_json_string(out, r.rule_id);
+    for (std::size_t j = 0; j < rules.size(); ++j) {
+      if (rules[j].id == r.rule_id) {
+        out << ", \"ruleIndex\": " << j;
+        break;
+      }
+    }
+    out << ", \"level\": ";
+    write_json_string(out, r.level);
+    out << ", \"message\": {\"text\": ";
+    write_json_string(out, r.message);
+    out << "}";
+    if (!r.path.empty()) {
+      out << ", \"locations\": [{\"physicalLocation\": "
+             "{\"artifactLocation\": {\"uri\": ";
+      write_json_string(out, r.path);
+      out << "}";
+      if (r.line > 0) {
+        out << ", \"region\": {\"startLine\": " << r.line;
+        if (r.column > 0) out << ", \"startColumn\": " << r.column;
+        out << "}";
+      }
+      out << "}}]";
+    }
+    out << "}";
+  }
+  out << (results.empty() ? "]\n" : "\n      ]\n");
+  out << "    }\n"
+         "  ]\n"
+         "}\n";
+}
+
+std::vector<SarifRule> audit_sarif_rules() {
+  static constexpr AuditCode kAll[] = {
+      AuditCode::kParseError,
+      AuditCode::kQuorumRange,
+      AuditCode::kQuorumIntersection,
+      AuditCode::kWriteWriteIntersection,
+      AuditCode::kDominatedAssignment,
+      AuditCode::kVoteSumMismatch,
+      AuditCode::kStaleQrVersion,
+      AuditCode::kUnreachableQuorum,
+      AuditCode::kUnreachableVotes,
+      AuditCode::kZeroVoteSite,
+      AuditCode::kEvenVoteTotal,
+      AuditCode::kCoterieIntersection,
+      AuditCode::kCoterieMinimality,
+      AuditCode::kChaosBadSchedule,
+      AuditCode::kChaosUnknownTarget,
+  };
+  std::vector<SarifRule> rules;
+  for (const AuditCode code : kAll) {
+    SarifRule rule;
+    rule.id = audit_code_name(code);
+    rule.name = audit_code_name(code);
+    rule.short_description =
+        "configuration audit: " + std::string(audit_code_name(code));
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+SarifResult audit_sarif_result(const AuditFinding& finding,
+                               std::string_view path) {
+  SarifResult r;
+  r.rule_id = audit_code_name(finding.code);
+  r.level = finding.severity == AuditSeverity::kError ? "error" : "warning";
+  r.message = finding.message;
+  r.path = std::string(path);
+  return r;
+}
+
 } // namespace quora::io

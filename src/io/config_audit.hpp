@@ -91,4 +91,45 @@ void write_report_json(std::ostream& out, const AuditReport& report,
 void write_finding_json(std::ostream& out, const AuditFinding& finding,
                         std::string_view path);
 
+// ---------------------------------------------------------------------------
+// SARIF 2.1.0 — the shared static-analysis interchange writer behind
+// `quora_lint --sarif` and `quora_check --sarif`, consumed by GitHub
+// code scanning. Tool-agnostic: callers map their finding type onto
+// SarifResult rows and their check taxonomy onto SarifRule entries.
+
+/// One reportingDescriptor in the driver's rule table.
+struct SarifRule {
+  std::string id;                 // stable rule id: "L006", "quorum-range"
+  std::string name;               // kebab-case short name
+  std::string short_description;  // one-line summary
+};
+
+/// One result. `level` must be a SARIF level: "error", "warning",
+/// "note", or "none". An empty `path` omits the physical location
+/// (stream-based audits have no file); line/column 0 omit the region.
+struct SarifResult {
+  std::string rule_id;
+  std::string level;
+  std::string message;
+  std::string path;    // repo-relative artifact URI
+  unsigned line = 0;   // 1-based
+  unsigned column = 0; // 1-based
+};
+
+/// Writes a complete single-run SARIF 2.1.0 log: `$schema` + `version`,
+/// one run whose tool.driver carries `tool_name`/`tool_version` and the
+/// rule table, and one result per row (with ruleIndex resolved against
+/// the table when the id is present there).
+void write_sarif(std::ostream& out, std::string_view tool_name,
+                 std::string_view tool_version,
+                 const std::vector<SarifRule>& rules,
+                 const std::vector<SarifResult>& results);
+
+/// The audit-check taxonomy as SARIF rules (every AuditCode).
+std::vector<SarifRule> audit_sarif_rules();
+
+/// Maps one audit finding onto a SARIF result row.
+SarifResult audit_sarif_result(const AuditFinding& finding,
+                               std::string_view path);
+
 } // namespace quora::io

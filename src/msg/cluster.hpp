@@ -9,6 +9,7 @@
 
 #include "conn/component_tracker.hpp"
 #include "conn/live_network.hpp"
+#include "core/analysis_annotations.hpp"
 #include "core/reassign.hpp"
 #include "fault/event_log.hpp"
 #include "fault/injector.hpp"
@@ -129,11 +130,17 @@ public:
 
   /// Run until `count` further accesses have been *decided* (granted,
   /// denied, or aborted by coordinator failure).
-  void run_decided_accesses(std::uint64_t count);
+  ///
+  /// Entry points of the (future) msg shard: L007/L008 prove that nothing
+  /// reachable from here touches another shard's QUORA_SHARD_LOCAL state
+  /// or an undeclared mutable global. (No QUORA_HOT_PATH here — the
+  /// message protocol's per-access maps and flood state allocate by
+  /// design.)
+  QUORA_SHARD_ENTRY(msg) void run_decided_accesses(std::uint64_t count);
 
   /// Run until the simulated clock reaches `t_end` (the soak-harness
   /// driver: fault plans are scheduled in absolute time).
-  void run_until(double t_end);
+  QUORA_SHARD_ENTRY(msg) void run_until(double t_end);
 
   const std::vector<AccessOutcome>& outcomes() const noexcept { return outcomes_; }
 
@@ -290,23 +297,24 @@ private:
 
   const net::Topology* topo_;
   Params params_;
-  conn::LiveNetwork live_;
-  conn::ComponentTracker tracker_;
-  core::QuorumReassignment qr_;
-  rng::Xoshiro256ss gen_;
+  // Mutable protocol state owned by the (future) msg shard (L007).
+  QUORA_SHARD_LOCAL(msg) conn::LiveNetwork live_;
+  QUORA_SHARD_LOCAL(msg) conn::ComponentTracker tracker_;
+  QUORA_SHARD_LOCAL(msg) core::QuorumReassignment qr_;
+  QUORA_SHARD_LOCAL(msg) rng::Xoshiro256ss gen_;
   fault::FaultInjector* injector_ = nullptr;
   fault::EventLog* log_ = nullptr;
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::uint64_t next_seq_ = 0;
-  double now_ = 0.0;
+  QUORA_SHARD_LOCAL(msg) std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  QUORA_SHARD_LOCAL(msg) std::uint64_t next_seq_ = 0;
+  QUORA_SHARD_LOCAL(msg) double now_ = 0.0;
 
-  std::vector<Copy> copies_;
-  std::vector<Lease> leases_;
-  std::vector<OracleEntry> oracle_cache_;                     // per site
-  std::vector<std::map<std::uint64_t, Pending>> pending_;     // per site
-  std::vector<std::map<std::uint64_t, FloodState>> floods_;   // per site
-  std::vector<double> fifo_clock_;                            // per directed link
+  QUORA_SHARD_LOCAL(msg) std::vector<Copy> copies_;
+  QUORA_SHARD_LOCAL(msg) std::vector<Lease> leases_;
+  QUORA_SHARD_LOCAL(msg) std::vector<OracleEntry> oracle_cache_;                   // per site
+  QUORA_SHARD_LOCAL(msg) std::vector<std::map<std::uint64_t, Pending>> pending_;   // per site
+  QUORA_SHARD_LOCAL(msg) std::vector<std::map<std::uint64_t, FloodState>> floods_; // per site
+  QUORA_SHARD_LOCAL(msg) std::vector<double> fifo_clock_;  // per directed link
   std::uint64_t next_request_ = 1;
   std::uint64_t decided_ = 0;
 

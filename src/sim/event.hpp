@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/analysis_annotations.hpp"
+
 namespace quora::sim {
 
 /// The five event kinds of the paper's model (§5.2): component failures and
@@ -35,7 +37,8 @@ struct Event {
 /// binary heap's, independent of arity.
 class EventQueue {
 public:
-  void push(double time, EventKind kind, std::uint32_t index) {
+  QUORA_HOT_PATH void push(double time, EventKind kind, std::uint32_t index) {
+    // quora-lint: allow(L006) amortized growth: every pop hands back a slot, so steady state never reallocates; quora_bench --alloc-check enforces it
     heap_.push_back(Event{time, next_seq_++, kind, index});
     sift_up(heap_.size() - 1);
   }
@@ -47,7 +50,7 @@ public:
   /// genuinely released memory.
   std::size_t capacity() const noexcept { return heap_.capacity(); }
 
-  Event pop() {
+  QUORA_HOT_PATH Event pop() {
     Event e = heap_.front();
     const Event last = heap_.back();
     heap_.pop_back();

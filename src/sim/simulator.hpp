@@ -7,6 +7,7 @@
 
 #include "conn/component_tracker.hpp"
 #include "conn/live_network.hpp"
+#include "core/analysis_annotations.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -61,7 +62,10 @@ public:
             FailureProfile profile, std::uint64_t seed, std::uint64_t stream = 0);
 
   /// Process events until `count` further access events have occurred.
-  void run_accesses(std::uint64_t count);
+  /// Hot path and (future) sim-shard entry point: everything reachable
+  /// from here must stay allocation-free in steady state (L006) and may
+  /// only touch sim-shard state (L007/L008).
+  QUORA_HOT_PATH QUORA_SHARD_ENTRY(sim) void run_accesses(std::uint64_t count);
 
   /// Restore the initial all-up state, clear the clock, reschedule, and
   /// rewind the RNG — a subsequent run replays this simulator's history
@@ -118,20 +122,24 @@ public:
 
 private:
   void schedule_initial_events();
-  void handle(const Event& e);
+  QUORA_HOT_PATH void handle(const Event& e);
 
   // The measurement loop almost always runs exactly one observer of each
   // kind; dispatching through a cached pointer skips the vector iteration
   // (load, bounds, increment) that would otherwise precede every virtual
   // call on the hot path.
-  void notify_network(EventKind kind, std::uint32_t index) {
+  // Analysis boundaries: dynamic dispatch into registered observers is
+  // fan-out the call graph cannot follow; each observer carries its own
+  // determinism/allocation guarantees (the golden suite replays with them
+  // attached).
+  QUORA_ANALYSIS_BOUNDARY void notify_network(EventKind kind, std::uint32_t index) {
     if (solo_network_obs_ != nullptr) {
       solo_network_obs_->on_network_change(*this, kind, index);
       return;
     }
     for (NetworkObserver* obs : network_obs_) obs->on_network_change(*this, kind, index);
   }
-  void notify_access(const AccessEvent& ev) {
+  QUORA_ANALYSIS_BOUNDARY void notify_access(const AccessEvent& ev) {
     if (solo_access_obs_ != nullptr) {
       solo_access_obs_->on_access(*this, ev);
       return;
@@ -151,18 +159,20 @@ private:
   std::uint64_t seed_;
   std::uint64_t stream_;
 
-  conn::LiveNetwork live_;
-  conn::ComponentTracker tracker_;
-  rng::Xoshiro256ss gen_;
-  EventQueue queue_;
-  double now_ = 0.0;
+  // Mutable per-run state, owned by the (future) sim shard: nothing
+  // outside a sim-shard entry point may reach it (L007).
+  QUORA_SHARD_LOCAL(sim) conn::LiveNetwork live_;
+  QUORA_SHARD_LOCAL(sim) conn::ComponentTracker tracker_;
+  QUORA_SHARD_LOCAL(sim) rng::Xoshiro256ss gen_;
+  QUORA_SHARD_LOCAL(sim) EventQueue queue_;
+  QUORA_SHARD_LOCAL(sim) double now_ = 0.0;
   double access_interarrival_ = 0.0;  // mu_access / n: merged process mean
 
   // Site choice per access: uniform unless weights were given.
   std::optional<rng::AliasTable> read_sites_;
   std::optional<rng::AliasTable> write_sites_;
 
-  Counters counters_;
+  QUORA_SHARD_LOCAL(sim) Counters counters_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::Counter obs_accesses_;
   obs::Counter obs_site_failures_;

@@ -60,3 +60,19 @@ bool bernoulli(Stream& s, double p);
 #define QUORA_ASSERT(expr, msg) ((void)(expr))
 #define QUORA_INVARIANT(expr, msg) ((void)(expr))
 #define QUORA_PRECONDITION(expr, msg) ((void)(expr))
+
+// Analysis annotations — mirror of src/core/analysis_annotations.hpp so
+// the whole-program fixtures compile standalone. The token engine keys
+// on the macro *names*; the AST engine reads the [[clang::annotate]]
+// payloads.
+#if defined(__clang__)
+#define QUORA_FIXTURE_ANNOTATE(text) [[clang::annotate(text)]]
+#else
+#define QUORA_FIXTURE_ANNOTATE(text)
+#endif
+#define QUORA_HOT_PATH QUORA_FIXTURE_ANNOTATE("quora::hot_path")
+#define QUORA_ANALYSIS_BOUNDARY QUORA_FIXTURE_ANNOTATE("quora::analysis_boundary")
+#define QUORA_ALLOC_OK QUORA_FIXTURE_ANNOTATE("quora::alloc_ok")
+#define QUORA_SHARD_ENTRY(domain) QUORA_FIXTURE_ANNOTATE("quora::shard_entry:" #domain)
+#define QUORA_SHARD_LOCAL(domain) QUORA_FIXTURE_ANNOTATE("quora::shard_local:" #domain)
+#define QUORA_SHARD_SHARED QUORA_FIXTURE_ANNOTATE("quora::shard_shared")

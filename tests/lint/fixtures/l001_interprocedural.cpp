@@ -1,0 +1,41 @@
+// L001 (interprocedural): a call written inside a QUORA_OBS-gated macro
+// argument that *looks* pure but reaches a side effect through helpers.
+// The per-file check cannot see this — the whole-program pass resolves
+// the call graph and reports the macro-argument call site. Calls to
+// genuinely pure helpers stay clean.
+#include "fixture_support.hpp"
+
+namespace {
+
+quora::obs::TraceRecorder* trace_ = nullptr;
+quora::obs::Gauge obs_depth_;
+unsigned long long g_polls = 0;
+
+unsigned long long bump_polls() {
+  g_polls += 1;
+  return g_polls;
+}
+
+// Two hops from the macro argument to the mutation.
+unsigned long long sampled_depth() { return bump_polls() % 16; }
+
+// Pure read of the same state: sanctioned inside the macros.
+long long peek_depth() { return static_cast<long long>(g_polls % 16); }
+
+void bad_cases() {
+  QUORA_TRACE(trace_, 1, 2, sampled_depth());                          // expect: L001
+  QUORA_METRIC_SET(obs_depth_, static_cast<long long>(sampled_depth())); // expect: L001
+}
+
+void good_cases() {
+  QUORA_TRACE(trace_, 1, 2, g_polls);
+  QUORA_METRIC_SET(obs_depth_, peek_depth());
+}
+
+} // namespace
+
+int main() {
+  bad_cases();
+  good_cases();
+  return static_cast<int>(g_polls == 0);
+}

@@ -1,0 +1,29 @@
+// L003 (interprocedural): entropy laundered through helper functions.
+// Only `wall_seconds` touches the forbidden source directly (the
+// per-file check catches that line); the whole-program pass follows the
+// call graph and reports every call site whose callee transitively
+// reaches the entropy, with a witness chain in the message.
+#include "fixture_support.hpp"
+
+#include <ctime>
+
+namespace {
+
+double wall_seconds() {
+  return static_cast<double>(std::time(nullptr));  // expect: L003
+}
+
+// One hop from the source.
+double jitter() { return wall_seconds() * 0.5; }  // expect: L003
+
+// Two hops from the source.
+double settle() { return jitter() + 1.0; }  // expect: L003
+
+double pure_helper() { return 2.0; }
+double good_cases() { return pure_helper() * 3.0; }
+
+} // namespace
+
+int main() {
+  return static_cast<int>(settle() + good_cases()) == 0;  // expect: L003
+}

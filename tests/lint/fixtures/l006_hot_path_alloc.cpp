@@ -1,0 +1,46 @@
+// L006: heap allocation reachable from a QUORA_HOT_PATH root. `step` is
+// the annotated hot path; its helpers allocate one layer down (container
+// growth, operator new/delete, std::to_string). `warm_up` is
+// QUORA_ALLOC_OK: its own pre-reserve allocation is sanctioned — and it
+// is not reachable from the hot path anyway.
+#include "fixture_support.hpp"
+
+#include <string>
+#include <vector>
+
+namespace {
+
+class Engine {
+public:
+  QUORA_HOT_PATH void step() {
+    advance();
+    record_label();
+  }
+
+  QUORA_ALLOC_OK void warm_up() {
+    slots_.reserve(64);  // sanctioned: owner is QUORA_ALLOC_OK
+  }
+
+private:
+  void advance() {
+    slots_.push_back(1);        // expect: L006
+    int* scratch = new int[4];  // expect: L006
+    delete[] scratch;           // expect: L006
+  }
+
+  void record_label() {
+    label_ = std::to_string(42);  // expect: L006
+  }
+
+  std::vector<int> slots_;
+  std::string label_;
+};
+
+} // namespace
+
+int main() {
+  Engine e;
+  e.warm_up();
+  e.step();
+  return 0;
+}

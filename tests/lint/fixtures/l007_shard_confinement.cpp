@@ -1,0 +1,50 @@
+// L007: shard-confinement violations. A `sim`-domain entry point reaches
+// `msg`-domain QUORA_SHARD_LOCAL state through a helper; a member mixes
+// LOCAL with SHARED; shard-local lands on a static-storage symbol. The
+// `msg` entry point draining its own state and the QUORA_SHARD_SHARED
+// global are the sanctioned shapes and must stay clean.
+#include "fixture_support.hpp"
+
+#include <vector>
+
+namespace {
+
+QUORA_SHARD_SHARED long g_total_drained = 0;
+
+QUORA_SHARD_LOCAL(sim) long s_cursor = 0;  // expect: L007
+
+struct MsgState {
+  QUORA_SHARD_LOCAL(msg) std::vector<int> queue_depths_;
+
+  long drain() {
+    long sum = 0;
+    for (int d : queue_depths_) sum += d;  // expect: L007
+    return sum;
+  }
+};
+
+struct Confused {
+  QUORA_SHARD_LOCAL(sim) QUORA_SHARD_SHARED long hits_ = 0;  // expect: L007
+};
+
+class SimShard {
+public:
+  QUORA_SHARD_ENTRY(sim) long run() {
+    g_total_drained += 1;  // declared shared: sanctioned
+    return peer_->drain();
+  }
+
+  MsgState* peer_ = nullptr;
+};
+
+// Same-domain access is the sanctioned shape: no finding.
+QUORA_SHARD_ENTRY(msg) long pump(MsgState& st) { return st.drain(); }
+
+} // namespace
+
+int main() {
+  MsgState st;
+  SimShard shard;
+  shard.peer_ = &st;
+  return static_cast<int>(shard.run() + pump(st) + s_cursor + Confused{}.hits_);
+}

@@ -1,0 +1,34 @@
+// L008: mutable globals/statics touched from annotated paths must be
+// const or explicitly QUORA_SHARD_SHARED. `bump` is reached from the
+// QUORA_HOT_PATH root and touches an undeclared mutable global; the
+// const table and the declared-shared epoch are the sanctioned shapes.
+// References outside the annotated reachability (main) are not flagged.
+#include "fixture_support.hpp"
+
+namespace {
+
+long g_tick_count = 0;  // mutable, undeclared — flagged when reached
+
+const double g_rate_limit = 8.0;  // const: sanctioned
+
+QUORA_SHARD_SHARED long g_epoch = 0;  // declared shared: sanctioned
+
+class Pump {
+public:
+  QUORA_HOT_PATH void spin() { bump(); }
+
+private:
+  void bump() {
+    g_tick_count += 1;  // expect: L008
+    if (g_rate_limit > 0.0) g_epoch += 1;
+  }
+};
+
+} // namespace
+
+int main() {
+  Pump p;
+  p.spin();
+  g_tick_count += 1;  // outside the annotated reachability: clean
+  return static_cast<int>(g_tick_count == 0);
+}

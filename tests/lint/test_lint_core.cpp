@@ -91,7 +91,10 @@ TEST(LintCodes, TagsRoundTripAndUnknownTagsAreRejected) {
   const LintCode all[] = {
       LintCode::kL001SideEffectObsArg, LintCode::kL002SideEffectContractArg,
       LintCode::kL003ForbiddenEntropy, LintCode::kL004UnorderedIteration,
-      LintCode::kL005RawObsCall};
+      LintCode::kL005RawObsCall,       LintCode::kL006HotPathAllocation,
+      LintCode::kL007CrossShardState,  LintCode::kL008UnsharedGlobalState};
+  static_assert(sizeof(all) / sizeof(all[0]) == kLintCodeCount,
+                "new codes must join the round-trip test");
   for (const LintCode c : all) {
     LintCode parsed;
     ASSERT_TRUE(parse_lint_code_tag(lint_code_tag(c), &parsed));

@@ -176,13 +176,27 @@ TEST_P(LintFixture, AstEngineAddsTypeResolvedFindings) {
 
 INSTANTIATE_TEST_SUITE_P(AllChecks, LintFixture,
                          ::testing::Values("l001_obs_macro_args.cpp",
+                                           "l001_interprocedural.cpp",
                                            "l002_contract_args.cpp",
                                            "l003_entropy_sources.cpp",
+                                           "l003_laundered_entropy.cpp",
                                            "l004_unordered_iteration.cpp",
-                                           "l005_raw_obs_calls.cpp"),
+                                           "l005_raw_obs_calls.cpp",
+                                           "l006_hot_path_alloc.cpp",
+                                           "l007_shard_confinement.cpp",
+                                           "l008_global_state.cpp"),
                          [](const auto& param_info) {
-                           std::string name = param_info.param;
-                           return name.substr(0, name.find('_'));
+                           // Full fixture name, gtest-sanitized: two
+                           // fixtures may share an L-code prefix.
+                           std::string name;
+                           for (const char c : std::string(param_info.param)) {
+                             if ((c >= 'a' && c <= 'z') ||
+                                 (c >= 'A' && c <= 'Z') ||
+                                 (c >= '0' && c <= '9')) {
+                               name += c;
+                             }
+                           }
+                           return name.substr(0, name.size() - 3);  // "cpp"
                          });
 
 TEST(LintSuppression, AllowCommentsSilenceFindingsAndExitZero) {
@@ -257,7 +271,8 @@ TEST(LintBaseline, WriteBaselineRoundTrips) {
 TEST(LintCli, ListChecksNamesTheWholeTaxonomy) {
   const LintRun run = run_lint("--list-checks");
   EXPECT_EQ(run.exit_code, 0);
-  for (const char* tag : {"L001", "L002", "L003", "L004", "L005"}) {
+  for (const char* tag : {"L001", "L002", "L003", "L004", "L005", "L006",
+                          "L007", "L008"}) {
     EXPECT_NE(run.output.find(tag), std::string::npos) << run.output;
   }
 }

@@ -1,6 +1,7 @@
 // quora-bench — the pinned performance harness behind BENCH_*.json.
 //
 //   quora_bench [--quick] [--json PATH] [--rev NAME] [--seed N]
+//   quora_bench --alloc-check [--quick] [--seed N]
 //
 // Runs a fixed-seed subset of the perf surface that the ROADMAP cares
 // about — event-queue churn, component-tracker refresh under link flips,
@@ -17,7 +18,17 @@
 // shrinks every case ~10-20x for CI smoke use; quick and full numbers
 // are not comparable to each other (the JSON records the mode).
 //
-// Exit status: 0 on success, 2 on usage or I/O errors.
+// `--alloc-check` replaces the timing runs with a steady-state allocation
+// audit of the QUORA_HOT_PATH / QUORA_ALLOC_OK call chains the linter's
+// L006 reasons about (src/core/analysis_annotations.hpp): each case warms
+// up outside the measured region, then asserts the global counting hook
+// stays flat across the steady-state loop. This is the runtime half of
+// the static claim — the lint check proves nothing *new* allocates on an
+// annotated chain, the alloc check proves the amortized-growth exemptions
+// (QUORA_ALLOC_OK, the EventQueue allow) really amortize to zero.
+//
+// Exit status: 0 on success, 1 when --alloc-check observes an allocation,
+// 2 on usage or I/O errors.
 
 #include <atomic>
 #include <chrono>
@@ -68,15 +79,19 @@ using Clock = std::chrono::steady_clock;
 
 [[noreturn]] void usage(int code) {
   std::cerr << "usage: quora_bench [--quick] [--json PATH] [--rev NAME] [--seed N]\n"
-               "  --quick      ~10-20x smaller pinned workloads (CI smoke)\n"
-               "  --json PATH  write the machine-readable report to PATH\n"
-               "  --rev NAME   revision label recorded in the report\n"
-               "  --seed N     root seed (default 42; changes the workload!)\n";
+               "       quora_bench --alloc-check [--quick] [--seed N]\n"
+               "  --quick        ~10-20x smaller pinned workloads (CI smoke)\n"
+               "  --json PATH    write the machine-readable report to PATH\n"
+               "  --rev NAME     revision label recorded in the report\n"
+               "  --seed N       root seed (default 42; changes the workload!)\n"
+               "  --alloc-check  assert the annotated hot paths allocate zero\n"
+               "                 bytes in steady state (exit 1 on any alloc)\n";
   std::exit(code);
 }
 
 struct Options {
   bool quick = false;
+  bool alloc_check = false;
   std::string json_path;
   std::string revision = "unknown";
   std::uint64_t seed = 42;
@@ -192,6 +207,105 @@ CaseResult bench_sim_e2e(const Options& opt, const std::string& name,
   });
 }
 
+// ---------------------------------------------------------------------------
+// --alloc-check: the runtime verification behind the L006 annotations.
+
+/// Allocation-counter delta across `body` (the caller does all setup and
+/// warm-up first, so the delta is the steady-state figure).
+template <typename Body>
+std::uint64_t allocs_during(Body&& body) {
+  const std::uint64_t a0 = g_alloc_count.load(std::memory_order_relaxed);
+  body();
+  return g_alloc_count.load(std::memory_order_relaxed) - a0;
+}
+
+int run_alloc_check(const Options& opt) {
+  struct Check {
+    std::string name;
+    std::uint64_t allocations;
+  };
+  std::vector<Check> checks;
+
+  {
+    // sim::EventQueue push/pop (QUORA_HOT_PATH) at constant queue depth:
+    // the pop hands a slot back before the next push, so the inline
+    // allow(L006) on heap_.push_back must never reach the allocator.
+    sim::EventQueue queue;
+    rng::Xoshiro256ss gen(opt.seed);
+    for (int i = 0; i < 4096; ++i) {
+      queue.push(gen.next_double(), sim::EventKind::kAccess, 0);
+    }
+    const std::uint64_t iters = opt.quick ? 100'000 : 2'000'000;
+    double sink = 0.0;
+    const std::uint64_t n = allocs_during([&] {
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        const sim::Event e = queue.pop();
+        sink += e.time;
+        queue.push(e.time + rng::exponential(gen, 1.0), sim::EventKind::kAccess,
+                   static_cast<std::uint32_t>(i & 0xff));
+      }
+    });
+    if (sink < 0.0) std::abort();
+    checks.push_back({"event_queue_steady_state", n});
+  }
+
+  {
+    // conn::ComponentTracker refresh + hot-path queries under link churn:
+    // the QUORA_ALLOC_OK rebuild/compact/apply paths must stay inside the
+    // capacity the constructor reserved. votes_by_label() forces the
+    // compaction path too, not just the scalar queries.
+    const auto topo = net::make_ring(101);
+    conn::LiveNetwork live(topo);
+    conn::ComponentTracker tracker(live);
+    rng::Xoshiro256ss gen(opt.seed ^ 7);
+    net::Vote sink = 0;
+    const auto churn = [&](std::uint64_t iters) {
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        const auto link =
+            static_cast<net::LinkId>(rng::uniform_index(gen, topo.link_count()));
+        live.set_link_up(link, !live.is_link_up(link));
+        sink += tracker.component_votes(0);
+        sink += tracker.max_component_votes();
+        sink += static_cast<net::Vote>(tracker.votes_by_label().size());
+      }
+    };
+    churn(1024);  // warm-up: touch every lazily-sized buffer once
+    const std::uint64_t n =
+        allocs_during([&] { churn(opt.quick ? 50'000 : 500'000); });
+    if (sink == 0xffffffff) std::abort();
+    checks.push_back({"tracker_refresh_steady_state", n});
+  }
+
+  {
+    // sim::Simulator::run_accesses (QUORA_HOT_PATH + sim shard entry),
+    // end to end with the measurement observer attached — the exact chain
+    // the linter walks from the annotated root.
+    const auto topo = net::make_ring_with_chords(101, 256);
+    sim::SimConfig config;
+    sim::AccessSpec spec;
+    sim::Simulator sim(topo, config, spec, opt.seed);
+    VotesProbe probe;
+    sim.add_access_observer(&probe);
+    sim.run_accesses(opt.quick ? 2'000 : 20'000);  // warm-up
+    const std::uint64_t n = allocs_during(
+        [&] { sim.run_accesses(opt.quick ? 20'000 : 200'000); });
+    if (probe.votes_seen == 0xffffffff) std::abort();
+    checks.push_back({"simulator_access_loop", n});
+  }
+
+  bool clean = true;
+  for (const Check& c : checks) {
+    const bool ok = c.allocations == 0;
+    clean = clean && ok;
+    std::cout << "  " << (ok ? "PASS" : "FAIL") << ' ' << c.name << ": "
+              << c.allocations << " steady-state allocation(s)\n";
+  }
+  std::cout << (clean ? "alloc-check: all hot paths allocation-free\n"
+                      : "alloc-check: FAILED — an annotated hot path reached "
+                        "the allocator\n");
+  return clean ? 0 : 1;
+}
+
 void finish_rates(CaseResult& r) {
   if (r.rebuilds >= 0.0 && r.wall_s > 0.0) {
     r.rebuilds_per_sec = r.rebuilds / r.wall_s;
@@ -241,6 +355,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--quick") {
       opt.quick = true;
+    } else if (arg == "--alloc-check") {
+      opt.alloc_check = true;
     } else if (arg == "--json") {
       opt.json_path = need_value();
     } else if (arg == "--rev") {
@@ -258,6 +374,12 @@ int main(int argc, char** argv) {
       std::cerr << "quora_bench: unknown option " << arg << '\n';
       usage(2);
     }
+  }
+
+  if (opt.alloc_check) {
+    std::cout << "quora_bench --alloc-check (" << (opt.quick ? "quick" : "full")
+              << " mode, seed " << opt.seed << ")\n";
+    return run_alloc_check(opt);
   }
 
   std::cout << "quora_bench (" << (opt.quick ? "quick" : "full")

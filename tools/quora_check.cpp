@@ -35,11 +35,14 @@ bool is_chaos_file(const std::string& path) {
 }
 
 [[noreturn]] void usage() {
-  std::cerr << "usage: quora_check [--json] [--strict] [--quiet] FILE...\n"
-               "  --json    one JSON array of {code, severity, path, message}\n"
-               "            findings across all FILEs\n"
-               "  --strict  treat warnings as failures\n"
-               "  --quiet   suppress per-file PASS lines\n";
+  std::cerr << "usage: quora_check [--json] [--sarif FILE] [--strict] "
+               "[--quiet] FILE...\n"
+               "  --json        one JSON array of {code, severity, path, "
+               "message}\n"
+               "                findings across all FILEs\n"
+               "  --sarif FILE  also write the findings as SARIF 2.1.0\n"
+               "  --strict      treat warnings as failures\n"
+               "  --quiet       suppress per-file PASS lines\n";
   std::exit(2);
 }
 
@@ -49,11 +52,18 @@ int main(int argc, char** argv) {
   bool json = false;
   bool strict = false;
   bool quiet = false;
+  std::string sarif_path;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      if (++i >= argc) {
+        std::cerr << "quora_check: --sarif needs a value\n";
+        usage();
+      }
+      sarif_path = argv[i];
     } else if (arg == "--strict") {
       strict = true;
     } else if (arg == "--quiet") {
@@ -71,6 +81,7 @@ int main(int argc, char** argv) {
 
   bool any_failed = false;
   bool first_json_finding = true;
+  std::vector<quora::io::SarifResult> sarif_results;
   if (json) std::cout << "[";
   for (const std::string& file : files) {
     quora::io::AuditReport report;
@@ -85,6 +96,11 @@ int main(int argc, char** argv) {
     }
     const bool failed = !report.ok() || (strict && report.warning_count() > 0);
     any_failed = any_failed || failed;
+    if (!sarif_path.empty()) {
+      for (const quora::io::AuditFinding& f : report.findings) {
+        sarif_results.push_back(quora::io::audit_sarif_result(f, file));
+      }
+    }
     if (json) {
       for (const quora::io::AuditFinding& f : report.findings) {
         std::cout << (first_json_finding ? "\n  " : ",\n  ");
@@ -102,5 +118,14 @@ int main(int argc, char** argv) {
     }
   }
   if (json) std::cout << (first_json_finding ? "]\n" : "\n]\n");
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::cerr << "quora_check: cannot write " << sarif_path << '\n';
+      return 2;
+    }
+    quora::io::write_sarif(out, "quora_check", "", quora::io::audit_sarif_rules(),
+                           sarif_results);
+  }
   return any_failed ? 1 : 0;
 }

@@ -9,12 +9,18 @@
 
 #include "ast_engine.hpp"
 
+#include <array>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
 
+#include "checks_program.hpp"
+#include "program_model.hpp"
+
 #include "clang/AST/ASTConsumer.h"
 #include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
 #include "clang/AST/ExprCXX.h"
 #include "clang/AST/RecursiveASTVisitor.h"
 #include "clang/AST/StmtCXX.h"
@@ -29,10 +35,6 @@ namespace quora::lint {
 namespace {
 
 namespace fs = std::filesystem;
-
-bool contains(llvm::StringRef haystack, llvm::StringRef needle) {
-  return haystack.find(needle) != llvm::StringRef::npos;
-}
 
 class LintVisitor : public clang::RecursiveASTVisitor<LintVisitor> {
 public:
@@ -199,45 +201,415 @@ private:
   std::vector<Finding>* out_;
 };
 
+// ---------------------------------------------------------------------
+// Whole-program model builder (program_model.hpp). One ProgramModel
+// accumulates across every TU in the compilation database — ClangTool
+// runs them sequentially — and the shared interprocedural pass
+// (checks_program.cpp) runs once at the end, exactly like the token
+// engine's model pass, so both engines land findings on identical
+// (code, path, line) keys.
+// ---------------------------------------------------------------------
+
+/// Resolves a location to a repo-relative path; returns false for system
+/// headers and files outside the repo root. (Free-function twin of
+/// LintVisitor::locate for use by the model builder.)
+struct ModelLocation {
+  std::string path;
+  unsigned line = 0;
+  unsigned column = 0;
+};
+
+bool locate_in_root(const clang::SourceManager& sm, const std::string& root,
+                    clang::SourceLocation loc, ModelLocation* out) {
+  const clang::SourceLocation exp = sm.getExpansionLoc(loc);
+  if (exp.isInvalid() || sm.isInSystemHeader(exp)) return false;
+  const clang::PresumedLoc p = sm.getPresumedLoc(exp);
+  if (p.isInvalid()) return false;
+  std::error_code ec;
+  const fs::path abs = fs::weakly_canonical(fs::path(p.getFilename()), ec);
+  const fs::path root_path = fs::weakly_canonical(fs::path(root), ec);
+  fs::path rel = abs.lexically_relative(root_path);
+  if (rel.empty() || *rel.begin() == "..") return false;
+  out->path = rel.generic_string();
+  out->line = p.getLine();
+  out->column = p.getColumn();
+  return true;
+}
+
+/// True when `loc` expands from one of the repo's QUORA_* macros. The
+/// perf baseline is the QUORA_OBS=OFF build, and contracts compile out
+/// of Release: code that exists only inside those macros must not feed
+/// the hot-path/shard analysis (the L001/L002 token checks own what
+/// happens inside compiled-out arguments).
+bool in_quora_macro(const clang::SourceManager& sm,
+                    const clang::LangOptions& lang_opts,
+                    clang::SourceLocation loc) {
+  while (loc.isMacroID()) {
+    const llvm::StringRef macro =
+        clang::Lexer::getImmediateMacroName(loc, sm, lang_opts);
+    if (macro.startswith("QUORA_")) return true;
+    loc = sm.getImmediateMacroCallerLoc(loc);
+  }
+  return false;
+}
+
+// Mirrors token_model.cpp: bare `push`/`pop` deliberately absent (the
+// 4-ary heap API shares those names and is non-allocating).
+constexpr std::array<llvm::StringLiteral, 12> kGrowthMembers = {
+    llvm::StringLiteral("push_back"),     llvm::StringLiteral("emplace_back"),
+    llvm::StringLiteral("push_front"),    llvm::StringLiteral("emplace_front"),
+    llvm::StringLiteral("insert"),        llvm::StringLiteral("emplace"),
+    llvm::StringLiteral("emplace_hint"),  llvm::StringLiteral("resize"),
+    llvm::StringLiteral("reserve"),       llvm::StringLiteral("shrink_to_fit"),
+    llvm::StringLiteral("append"),        llvm::StringLiteral("assign")};
+
+/// Applies one "quora::..." annotation string to a function node.
+void apply_func_annotation(llvm::StringRef ann, FuncNode* node) {
+  if (ann == "quora::hot_path") node->hot_path = true;
+  if (ann == "quora::analysis_boundary") node->boundary = true;
+  if (ann == "quora::alloc_ok") node->alloc_ok = true;
+  if (ann.startswith("quora::shard_entry:") && node->entry_domain.empty()) {
+    node->entry_domain = ann.substr(strlen("quora::shard_entry:")).str();
+  }
+}
+
+void apply_var_annotation(llvm::StringRef ann, VarNode* node) {
+  if (ann == "quora::shard_shared") node->shard_shared = true;
+  if (ann.startswith("quora::shard_local:")) {
+    node->shard_local = true;
+    node->local_domain = ann.substr(strlen("quora::shard_local:")).str();
+  }
+}
+
+class ModelVisitor : public clang::RecursiveASTVisitor<ModelVisitor> {
+public:
+  ModelVisitor(clang::ASTContext& ctx, const DriverOptions& opts,
+               ProgramModel* model)
+      : ctx_(ctx), opts_(opts), model_(model) {}
+
+  bool VisitFunctionDecl(clang::FunctionDecl* d) {
+    // While a body is being traversed manually (current_ set), skip nested
+    // definitions (local classes): interning one could reallocate
+    // model_->funcs under current_. The automatic child traversal revisits
+    // the same declaration afterwards with current_ == nullptr and interns
+    // it then.
+    if (current_ != nullptr) return true;
+    if (!d->isThisDeclarationADefinition() || d->isImplicit()) return true;
+    if (const auto* m = llvm::dyn_cast<clang::CXXMethodDecl>(d)) {
+      // Lambda bodies are scanned as part of their enclosing function,
+      // matching the token engine's attribution.
+      if (m->getParent()->isLambda()) return true;
+    }
+    ModelLocation where;
+    if (!locate_in_root(ctx_.getSourceManager(), opts_.root, d->getLocation(),
+                        &where)) {
+      return true;
+    }
+    FuncNode* node = intern_func(d->getQualifiedNameAsString());
+    node->name = d->getNameAsString();
+    if (const auto* m = llvm::dyn_cast<clang::CXXMethodDecl>(d)) {
+      node->class_name = m->getParent()->getQualifiedNameAsString();
+      node->is_const = node->is_const || m->isConst();
+    }
+    for (const clang::FunctionDecl* rd : d->redecls()) {
+      for (const auto* attr : rd->specific_attrs<clang::AnnotateAttr>()) {
+        apply_func_annotation(attr->getAnnotation(), node);
+      }
+    }
+    if (node->has_body) return true;  // inline body already seen in another TU
+    node->has_body = true;
+    node->path = where.path;
+    node->line = where.line;
+    node->column = where.column;
+    current_ = node;
+    if (const auto* ctor = llvm::dyn_cast<clang::CXXConstructorDecl>(d)) {
+      for (const clang::CXXCtorInitializer* init : ctor->inits()) {
+        if (init->getInit() != nullptr) TraverseStmt(init->getInit());
+      }
+    }
+    TraverseStmt(d->getBody());
+    current_ = nullptr;
+    return true;
+  }
+
+  bool VisitFieldDecl(clang::FieldDecl* d) {
+    bool annotated = false;
+    for (const auto* attr : d->specific_attrs<clang::AnnotateAttr>()) {
+      annotated |= llvm::StringRef(attr->getAnnotation()).startswith("quora::");
+    }
+    if (annotated) intern_field(d);
+    return true;
+  }
+
+  bool VisitVarDecl(clang::VarDecl* d) {
+    if (!d->hasGlobalStorage()) return true;
+    ModelLocation where;
+    if (!locate_in_root(ctx_.getSourceManager(), opts_.root, d->getLocation(),
+                        &where)) {
+      return true;
+    }
+    intern_global(d);
+    return true;
+  }
+
+  // --- body facts / calls / refs (only fire while current_ is set) ---
+
+  bool VisitCXXNewExpr(clang::CXXNewExpr* e) {
+    add_alloc_fact(e->getBeginLoc(), "'new' expression");
+    return true;
+  }
+  bool VisitCXXDeleteExpr(clang::CXXDeleteExpr* e) {
+    add_alloc_fact(e->getBeginLoc(), "'delete' expression");
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* e) {
+    if (current_ == nullptr) return true;
+    const clang::CXXMethodDecl* m = e->getMethodDecl();
+    if (m == nullptr) return true;
+    const std::string name = m->getNameAsString();
+    for (llvm::StringRef growth : kGrowthMembers) {
+      if (name == growth) {
+        add_alloc_fact(e->getExprLoc(), "container growth call '" + name + "'");
+        return true;  // no call edge, mirroring the token engine
+      }
+    }
+    return true;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* e) {
+    if (current_ == nullptr) return true;
+    const clang::FunctionDecl* callee = e->getDirectCallee();
+    if (callee == nullptr) return true;
+    const std::string qualified = callee->getQualifiedNameAsString();
+    const clang::SourceLocation loc = e->getExprLoc();
+    if (in_quora_macro(ctx_.getSourceManager(), ctx_.getLangOpts(), loc))
+      return true;
+    ModelLocation where;
+    if (!locate_in_root(ctx_.getSourceManager(), opts_.root, loc, &where))
+      return true;
+    if (qualified == "std::to_string") {
+      add_alloc_fact(loc, "std::to_string call");
+      return true;
+    }
+    if (const auto* m = llvm::dyn_cast<clang::CXXMethodDecl>(callee)) {
+      const std::string name = m->getNameAsString();
+      for (llvm::StringRef growth : kGrowthMembers) {
+        if (name == growth) return true;  // handled as an allocation fact
+      }
+    }
+    // Entropy facts (the direct L003 checks also report these; the model
+    // needs them as chain leaves for call sites in *other* functions).
+    const bool clock_now = qualified.rfind("std::chrono", 0) == 0 &&
+                           qualified.find("clock::now") != std::string::npos;
+    const bool c_entropy = qualified == "rand" || qualified == "srand" ||
+                           qualified == "std::rand" ||
+                           qualified == "std::srand" || qualified == "time" ||
+                           qualified == "std::time" || qualified == "clock" ||
+                           qualified == "std::clock";
+    if (clock_now || c_entropy) {
+      Fact f;
+      f.kind = FactKind::kEntropy;
+      f.line = where.line;
+      f.column = where.column;
+      f.detail = "'" + qualified + "' call";
+      current_->facts.push_back(std::move(f));
+      return true;
+    }
+    CallSite call;
+    call.resolved = qualified;
+    call.name = callee->getNameAsString();
+    call.line = where.line;
+    call.column = where.column;
+    current_->calls.push_back(std::move(call));
+    return true;
+  }
+
+  bool VisitDeclRefExpr(clang::DeclRefExpr* e) {
+    if (current_ == nullptr) return true;
+    const auto* vd = llvm::dyn_cast<clang::VarDecl>(e->getDecl());
+    if (vd == nullptr || !vd->hasGlobalStorage()) return true;
+    const clang::SourceLocation loc = e->getLocation();
+    if (in_quora_macro(ctx_.getSourceManager(), ctx_.getLangOpts(), loc))
+      return true;
+    const VarNode* node = intern_global(vd);
+    if (node == nullptr) return true;
+    ModelLocation where;
+    if (!locate_in_root(ctx_.getSourceManager(), opts_.root, loc, &where))
+      return true;
+    VarRef ref;
+    ref.resolved = node->qualified;
+    ref.name = vd->getNameAsString();
+    ref.line = where.line;
+    ref.column = where.column;
+    current_->var_refs.push_back(std::move(ref));
+    return true;
+  }
+
+  bool VisitMemberExpr(clang::MemberExpr* e) {
+    if (current_ == nullptr) return true;
+    const auto* fd = llvm::dyn_cast<clang::FieldDecl>(e->getMemberDecl());
+    if (fd == nullptr) return true;
+    bool annotated = false;
+    for (const auto* attr : fd->specific_attrs<clang::AnnotateAttr>()) {
+      annotated |= llvm::StringRef(attr->getAnnotation()).startswith("quora::");
+    }
+    if (!annotated) return true;
+    const clang::SourceLocation loc = e->getMemberLoc();
+    if (in_quora_macro(ctx_.getSourceManager(), ctx_.getLangOpts(), loc))
+      return true;
+    const VarNode* node = intern_field(fd);
+    if (node == nullptr) return true;
+    ModelLocation where;
+    if (!locate_in_root(ctx_.getSourceManager(), opts_.root, loc, &where))
+      return true;
+    VarRef ref;
+    ref.resolved = node->qualified;
+    ref.name = fd->getNameAsString();
+    ref.line = where.line;
+    ref.column = where.column;
+    current_->var_refs.push_back(std::move(ref));
+    return true;
+  }
+
+private:
+  FuncNode* intern_func(const std::string& qualified) {
+    for (FuncNode& f : model_->funcs) {
+      if (f.qualified == qualified) return &f;
+    }
+    FuncNode node;
+    node.qualified = qualified;
+    model_->funcs.push_back(std::move(node));
+    return &model_->funcs.back();
+  }
+
+  VarNode* intern_var_key(const std::string& key) {
+    for (VarNode& v : model_->vars) {
+      if (v.qualified == key) return &v;
+    }
+    VarNode node;
+    node.qualified = key;
+    model_->vars.push_back(std::move(node));
+    return &model_->vars.back();
+  }
+
+  /// Key that stays unique for same-named static locals in different
+  /// functions yet stable across TUs (the canonical declaration's
+  /// location is the same wherever the header is included).
+  VarNode* intern_global(const clang::VarDecl* d) {
+    const clang::VarDecl* canon = d->getCanonicalDecl();
+    ModelLocation where;
+    if (!locate_in_root(ctx_.getSourceManager(), opts_.root,
+                        canon->getLocation(), &where)) {
+      return nullptr;
+    }
+    std::string key = canon->getQualifiedNameAsString();
+    if (canon->isStaticLocal()) {
+      key += "@" + where.path + ":" + std::to_string(where.line);
+    }
+    VarNode* node = intern_var_key(key);
+    node->name = canon->getNameAsString();
+    node->path = where.path;
+    node->line = where.line;
+    node->column = where.column;
+    node->static_storage = true;
+    node->is_const = canon->getType().isConstQualified() ||
+                     canon->isConstexpr();
+    for (const clang::VarDecl* rd : canon->redecls()) {
+      for (const auto* attr : rd->specific_attrs<clang::AnnotateAttr>()) {
+        apply_var_annotation(attr->getAnnotation(), node);
+      }
+    }
+    return node;
+  }
+
+  VarNode* intern_field(const clang::FieldDecl* d) {
+    ModelLocation where;
+    if (!locate_in_root(ctx_.getSourceManager(), opts_.root, d->getLocation(),
+                        &where)) {
+      return nullptr;
+    }
+    VarNode* node = intern_var_key(d->getQualifiedNameAsString());
+    node->name = d->getNameAsString();
+    node->class_name = d->getParent()->getQualifiedNameAsString();
+    node->path = where.path;
+    node->line = where.line;
+    node->column = where.column;
+    node->is_const = d->getType().isConstQualified();
+    for (const auto* attr : d->specific_attrs<clang::AnnotateAttr>()) {
+      apply_var_annotation(attr->getAnnotation(), node);
+    }
+    return node;
+  }
+
+  void add_alloc_fact(clang::SourceLocation loc, std::string detail) {
+    if (current_ == nullptr) return;
+    if (in_quora_macro(ctx_.getSourceManager(), ctx_.getLangOpts(), loc))
+      return;
+    ModelLocation where;
+    if (!locate_in_root(ctx_.getSourceManager(), opts_.root, loc, &where))
+      return;
+    Fact f;
+    f.kind = FactKind::kAllocation;
+    f.line = where.line;
+    f.column = where.column;
+    f.detail = std::move(detail);
+    current_->facts.push_back(std::move(f));
+  }
+
+  clang::ASTContext& ctx_;
+  const DriverOptions& opts_;
+  ProgramModel* model_;
+  FuncNode* current_ = nullptr;
+};
+
 class LintConsumer : public clang::ASTConsumer {
 public:
-  LintConsumer(const DriverOptions& opts, std::vector<Finding>* out)
-      : opts_(opts), out_(out) {}
+  LintConsumer(const DriverOptions& opts, std::vector<Finding>* out,
+               ProgramModel* model)
+      : opts_(opts), out_(out), model_(model) {}
   void HandleTranslationUnit(clang::ASTContext& ctx) override {
     LintVisitor visitor(ctx, opts_, out_);
     visitor.TraverseDecl(ctx.getTranslationUnitDecl());
+    ModelVisitor model_visitor(ctx, opts_, model_);
+    model_visitor.TraverseDecl(ctx.getTranslationUnitDecl());
   }
 
 private:
   const DriverOptions& opts_;
   std::vector<Finding>* out_;
+  ProgramModel* model_;
 };
 
 class LintAction : public clang::ASTFrontendAction {
 public:
-  LintAction(const DriverOptions& opts, std::vector<Finding>* out)
-      : opts_(opts), out_(out) {}
+  LintAction(const DriverOptions& opts, std::vector<Finding>* out,
+             ProgramModel* model)
+      : opts_(opts), out_(out), model_(model) {}
   std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
       clang::CompilerInstance&, llvm::StringRef) override {
-    return std::make_unique<LintConsumer>(opts_, out_);
+    return std::make_unique<LintConsumer>(opts_, out_, model_);
   }
 
 private:
   const DriverOptions& opts_;
   std::vector<Finding>* out_;
+  ProgramModel* model_;
 };
 
 class LintActionFactory : public clang::tooling::FrontendActionFactory {
 public:
-  LintActionFactory(const DriverOptions& opts, std::vector<Finding>* out)
-      : opts_(opts), out_(out) {}
+  LintActionFactory(const DriverOptions& opts, std::vector<Finding>* out,
+                    ProgramModel* model)
+      : opts_(opts), out_(out), model_(model) {}
   std::unique_ptr<clang::FrontendAction> create() override {
-    return std::make_unique<LintAction>(opts_, out_);
+    return std::make_unique<LintAction>(opts_, out_, model_);
   }
 
 private:
   const DriverOptions& opts_;
   std::vector<Finding>* out_;
+  ProgramModel* model_;
 };
 
 } // namespace
@@ -284,7 +656,8 @@ bool run_ast_engine(const DriverOptions& opts,
     return false;
   }
   clang::tooling::ClangTool tool(*db, sources);
-  LintActionFactory factory(opts, out);
+  ProgramModel model;
+  LintActionFactory factory(opts, out, &model);
   const int rc = tool.run(&factory);
   if (rc != 0) {
     if (error != nullptr) {
@@ -293,6 +666,9 @@ bool run_ast_engine(const DriverOptions& opts,
     }
     return false;
   }
+  // The per-TU visitors populated one shared model; the interprocedural
+  // checks run over the merged call graph exactly once.
+  run_program_checks(model, opts.all_scopes, out);
   return true;
 }
 

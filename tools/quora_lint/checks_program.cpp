@@ -1,0 +1,459 @@
+// Interprocedural checks over the shared program model — the engine-
+// agnostic half of the whole-program analyzer. See checks_program.hpp
+// for the check inventory and docs/STATIC_ANALYSIS.md for the
+// annotation vocabulary and the call-graph caveats.
+
+#include "checks_program.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "lint_driver.hpp"
+
+namespace quora::lint {
+
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// `qualified` matches `key` when equal or when `qualified` ends in
+/// "::key" — the token engine records partially qualified types
+/// ("conn::LiveNetwork") that must find fully qualified nodes
+/// ("quora::conn::LiveNetwork").
+bool qualified_matches(std::string_view qualified, std::string_view key) {
+  if (qualified == key) return true;
+  if (qualified.size() > key.size() + 2 && ends_with(qualified, key) &&
+      qualified.substr(qualified.size() - key.size() - 2, 2) == "::") {
+    return true;
+  }
+  return false;
+}
+
+class Analysis {
+public:
+  Analysis(const ProgramModel& model, bool all_scopes,
+           std::vector<Finding>* out)
+      : model_(model), all_scopes_(all_scopes), out_(out) {
+    for (std::size_t i = 0; i < model_.funcs.size(); ++i) {
+      by_name_[model_.funcs[i].name].push_back(static_cast<int>(i));
+    }
+  }
+
+  void run() {
+    resolve_edges();
+    compute_summaries();
+    check_macro_arg_calls();   // L001 / L002
+    check_entropy_calls();     // L003
+    check_hot_paths();         // L006
+    check_shard_annotations(); // L007 (annotation misuse)
+    check_shard_reach();       // L007 (cross-domain reach)
+    check_global_state();      // L008
+  }
+
+private:
+  int find_func(std::string_view key) const {
+    int found = -1;
+    for (std::size_t i = 0; i < model_.funcs.size(); ++i) {
+      if (qualified_matches(model_.funcs[i].qualified, key)) {
+        if (found >= 0) return -1;  // ambiguous
+        found = static_cast<int>(i);
+      }
+    }
+    return found;
+  }
+
+  int find_var(std::string_view key) const {
+    int found = -1;
+    for (std::size_t i = 0; i < model_.vars.size(); ++i) {
+      if (qualified_matches(model_.vars[i].qualified, key)) {
+        if (found >= 0) return -1;
+        found = static_cast<int>(i);
+      }
+    }
+    return found;
+  }
+
+  /// Member-type lookup with suffix matching on the class part.
+  std::string member_type(std::string_view class_and_member) const {
+    auto it = model_.member_types.find(std::string(class_and_member));
+    if (it != model_.member_types.end()) return it->second;
+    for (const auto& [key, ty] : model_.member_types) {
+      if (qualified_matches(key, class_and_member)) return ty;
+    }
+    return {};
+  }
+
+  /// Resolves one call site to a model function index, or -1.
+  /// `caller_class` is the qualified enclosing record of the caller
+  /// ("" for free functions).
+  int resolve_call(const CallSite& call, const std::string& caller_class) const {
+    if (!call.resolved.empty()) {
+      return find_func(call.resolved);
+    }
+    if (starts_with(call.qualifier, "@member:")) {
+      // Receiver is a member whose declared type was not yet known at
+      // scan time; retry against the completed member-type table.
+      const std::string ty = member_type(call.qualifier.substr(8));
+      if (ty.empty()) return -1;
+      return find_func(ty + "::" + call.name);
+    }
+    if (!call.object_type.empty()) {
+      return find_func(call.object_type + "::" + call.name);
+    }
+    if (call.implicit_this && !caller_class.empty()) {
+      const int same_class = find_func(caller_class + "::" + call.name);
+      if (same_class >= 0) return same_class;
+    }
+    if (!call.qualifier.empty()) {
+      return find_func(call.qualifier + "::" + call.name);
+    }
+    // Last resort: a unique free function with this bare name. Unique-
+    // match-only keeps the fallback from fabricating edges between
+    // same-named methods of unrelated classes.
+    auto it = by_name_.find(call.name);
+    if (it == by_name_.end()) return -1;
+    int found = -1;
+    for (int idx : it->second) {
+      if (!model_.funcs[static_cast<std::size_t>(idx)].class_name.empty() &&
+          !call.implicit_this) {
+        continue;  // method of some class; an unqualified non-member call
+                   // cannot reach it
+      }
+      if (found >= 0) return -1;
+      found = idx;
+    }
+    return found;
+  }
+
+  /// Resolves one variable reference from function `f`, or -1.
+  int resolve_ref(const FuncNode& f, const VarRef& ref) const {
+    if (!ref.resolved.empty()) return find_var(ref.resolved);
+    if (ref.member_hint) {
+      if (f.class_name.empty()) return -1;
+      return find_var(f.class_name + "::" + ref.name);
+    }
+    // Global by bare name (token convention: g_* / s_*), unique match.
+    int found = -1;
+    for (std::size_t i = 0; i < model_.vars.size(); ++i) {
+      const VarNode& v = model_.vars[i];
+      if (v.name != ref.name || !v.class_name.empty()) continue;
+      if (found >= 0) return -1;
+      found = static_cast<int>(i);
+    }
+    return found;
+  }
+
+  void resolve_edges() {
+    edges_.assign(model_.funcs.size(), {});
+    for (std::size_t i = 0; i < model_.funcs.size(); ++i) {
+      const FuncNode& f = model_.funcs[i];
+      for (const CallSite& call : f.calls) {
+        const int target = resolve_call(call, f.class_name);
+        if (target >= 0 && target != static_cast<int>(i)) {
+          edges_[i].push_back(target);
+        }
+      }
+    }
+  }
+
+  /// Fixed-point transitive summaries. Traversal stops at
+  /// QUORA_ANALYSIS_BOUNDARY callees for both; const member functions
+  /// additionally stop the side-effect (impurity) summary.
+  void compute_summaries() {
+    impure_.assign(model_.funcs.size(), false);
+    entropic_.assign(model_.funcs.size(), false);
+    for (std::size_t i = 0; i < model_.funcs.size(); ++i) {
+      for (const Fact& fact : model_.funcs[i].facts) {
+        if (fact.kind == FactKind::kMutation) impure_[i] = true;
+        if (fact.kind == FactKind::kEntropy) entropic_[i] = true;
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < model_.funcs.size(); ++i) {
+        for (const int t : edges_[i]) {
+          const FuncNode& callee = model_.funcs[static_cast<std::size_t>(t)];
+          if (callee.boundary) continue;
+          if (!impure_[i] && impure_[static_cast<std::size_t>(t)] &&
+              !callee.is_const) {
+            impure_[i] = true;
+            changed = true;
+          }
+          if (!entropic_[i] && entropic_[static_cast<std::size_t>(t)]) {
+            entropic_[i] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  /// A short witness chain from `from` to the nearest fact of `kind`,
+  /// e.g. "helper -> bump (increment of 'g_hits')".
+  std::string witness(int from, FactKind kind) const {
+    const std::vector<bool>& summary =
+        kind == FactKind::kEntropy ? entropic_ : impure_;
+    std::vector<int> parent(model_.funcs.size(), -2);
+    std::deque<int> queue;
+    queue.push_back(from);
+    parent[static_cast<std::size_t>(from)] = -1;
+    int hit = -1;
+    const Fact* hit_fact = nullptr;
+    while (!queue.empty() && hit < 0) {
+      const int cur = queue.front();
+      queue.pop_front();
+      for (const Fact& fact : model_.funcs[static_cast<std::size_t>(cur)].facts) {
+        if (fact.kind == kind) {
+          hit = cur;
+          hit_fact = &fact;
+          break;
+        }
+      }
+      if (hit >= 0) break;
+      for (const int t : edges_[static_cast<std::size_t>(cur)]) {
+        const FuncNode& callee = model_.funcs[static_cast<std::size_t>(t)];
+        if (callee.boundary) continue;
+        if (kind == FactKind::kMutation && callee.is_const) continue;
+        if (parent[static_cast<std::size_t>(t)] != -2) continue;
+        if (!summary[static_cast<std::size_t>(t)]) continue;
+        parent[static_cast<std::size_t>(t)] = cur;
+        queue.push_back(t);
+      }
+    }
+    if (hit < 0) return model_.funcs[static_cast<std::size_t>(from)].qualified;
+    std::vector<int> path;
+    for (int cur = hit; cur != -1; cur = parent[static_cast<std::size_t>(cur)])
+      path.push_back(cur);
+    std::string s;
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      if (!s.empty()) s += " -> ";
+      s += model_.funcs[static_cast<std::size_t>(*it)].qualified;
+    }
+    if (hit_fact != nullptr) s += " (" + hit_fact->detail + ")";
+    return s;
+  }
+
+  void report(LintCode code, const std::string& path, unsigned line,
+              unsigned column, std::string message) {
+    Finding f;
+    f.code = code;
+    f.severity = LintSeverity::kError;
+    f.path = path;
+    f.line = line;
+    f.column = column;
+    f.message = std::move(message);
+    out_->push_back(std::move(f));
+  }
+
+  // ---- L001 / L002: calls inside compiled-out macro arguments ----
+  void check_macro_arg_calls() {
+    for (const MacroArgCall& mac : model_.macro_arg_calls) {
+      const int target = resolve_call(mac.call, mac.caller_class);
+      if (target < 0) continue;
+      const FuncNode& callee = model_.funcs[static_cast<std::size_t>(target)];
+      if (callee.is_const || callee.boundary) continue;
+      if (!impure_[static_cast<std::size_t>(target)]) continue;
+      report(mac.code, mac.path, mac.call.line, mac.call.column,
+             "call to '" + callee.qualified + "' inside " + mac.macro +
+                 " argument reaches a side effect [" +
+                 witness(target, FactKind::kMutation) + "]; " +
+                 (mac.code == LintCode::kL001SideEffectObsArg
+                      ? "the expression is removed when QUORA_OBS=OFF — "
+                        "hoist the call out of the macro"
+                      : "contracts compile out in Release — hoist the call "
+                        "out of the macro"));
+    }
+  }
+
+  // ---- L003: calls that launder entropy through a helper ----
+  void check_entropy_calls() {
+    for (std::size_t i = 0; i < model_.funcs.size(); ++i) {
+      const FuncNode& f = model_.funcs[i];
+      if (!f.has_body) continue;
+      if (!scope_for_path(f.path, all_scopes_).entropy) continue;
+      for (const CallSite& call : f.calls) {
+        const int target = resolve_call(call, f.class_name);
+        if (target < 0 || target == static_cast<int>(i)) continue;
+        const FuncNode& callee = model_.funcs[static_cast<std::size_t>(target)];
+        if (callee.boundary) continue;
+        if (!entropic_[static_cast<std::size_t>(target)]) continue;
+        report(LintCode::kL003ForbiddenEntropy, f.path, call.line, call.column,
+               "call to '" + callee.qualified +
+                   "' reaches a forbidden entropy source [" +
+                   witness(target, FactKind::kEntropy) +
+                   "] in a deterministic layer; all randomness must come "
+                   "from the seeded rng:: xoshiro streams (src/rng)");
+      }
+    }
+  }
+
+  /// Multi-source BFS over call edges from `roots`, honoring
+  /// QUORA_ANALYSIS_BOUNDARY. Returns parents for chain reconstruction
+  /// (-1 for roots, -2 for unreached).
+  std::vector<int> reach(const std::vector<int>& roots) const {
+    std::vector<int> parent(model_.funcs.size(), -2);
+    std::deque<int> queue;
+    for (const int r : roots) {
+      if (parent[static_cast<std::size_t>(r)] != -2) continue;
+      parent[static_cast<std::size_t>(r)] = -1;
+      queue.push_back(r);
+    }
+    while (!queue.empty()) {
+      const int cur = queue.front();
+      queue.pop_front();
+      for (const int t : edges_[static_cast<std::size_t>(cur)]) {
+        if (parent[static_cast<std::size_t>(t)] != -2) continue;
+        if (model_.funcs[static_cast<std::size_t>(t)].boundary) continue;
+        parent[static_cast<std::size_t>(t)] = cur;
+        queue.push_back(t);
+      }
+    }
+    return parent;
+  }
+
+  std::string chain(const std::vector<int>& parent, int node) const {
+    std::vector<int> path;
+    for (int cur = node; cur != -1; cur = parent[static_cast<std::size_t>(cur)])
+      path.push_back(cur);
+    std::string s;
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      if (!s.empty()) s += " -> ";
+      s += model_.funcs[static_cast<std::size_t>(*it)].qualified;
+    }
+    return s;
+  }
+
+  // ---- L006: allocations reachable from QUORA_HOT_PATH ----
+  void check_hot_paths() {
+    std::vector<int> roots;
+    for (std::size_t i = 0; i < model_.funcs.size(); ++i) {
+      if (model_.funcs[i].hot_path) roots.push_back(static_cast<int>(i));
+    }
+    if (roots.empty()) return;
+    const std::vector<int> parent = reach(roots);
+    for (std::size_t i = 0; i < model_.funcs.size(); ++i) {
+      if (parent[i] == -2) continue;
+      const FuncNode& f = model_.funcs[i];
+      if (f.alloc_ok) continue;
+      for (const Fact& fact : f.facts) {
+        if (fact.kind != FactKind::kAllocation) continue;
+        report(LintCode::kL006HotPathAllocation, f.path, fact.line,
+               fact.column,
+               "heap allocation (" + fact.detail +
+                   ") on a QUORA_HOT_PATH call chain [" +
+                   chain(parent, static_cast<int>(i)) +
+                   "]; hot paths must be transitively allocation-free — "
+                   "pre-reserve and mark the owner QUORA_ALLOC_OK (backed "
+                   "by quora_bench --alloc-check) or restructure");
+      }
+    }
+  }
+
+  // ---- L007 (annotation misuse on symbols) ----
+  void check_shard_annotations() {
+    for (const VarNode& v : model_.vars) {
+      if (v.shard_local && v.shard_shared) {
+        report(LintCode::kL007CrossShardState, v.path, v.line, v.column,
+               "'" + v.qualified +
+                   "' is annotated both QUORA_SHARD_LOCAL and "
+                   "QUORA_SHARD_SHARED; a symbol is one or the other");
+      }
+      if (v.shard_local && v.static_storage) {
+        report(LintCode::kL007CrossShardState, v.path, v.line, v.column,
+               "QUORA_SHARD_LOCAL on static-storage symbol '" + v.qualified +
+                   "'; shard-local state must live in per-shard instances, "
+                   "not globals/statics");
+      }
+    }
+  }
+
+  // ---- L007 (cross-domain reach) ----
+  void check_shard_reach() {
+    std::set<std::string> reported;  // path:line:domain
+    for (std::size_t e = 0; e < model_.funcs.size(); ++e) {
+      const FuncNode& entry = model_.funcs[e];
+      if (entry.entry_domain.empty()) continue;
+      const std::vector<int> parent = reach({static_cast<int>(e)});
+      for (std::size_t i = 0; i < model_.funcs.size(); ++i) {
+        if (parent[i] == -2) continue;
+        const FuncNode& f = model_.funcs[i];
+        for (const VarRef& ref : f.var_refs) {
+          const int vi = resolve_ref(f, ref);
+          if (vi < 0) continue;
+          const VarNode& v = model_.vars[static_cast<std::size_t>(vi)];
+          if (!v.shard_local || v.local_domain == entry.entry_domain) continue;
+          const std::string key = f.path + ":" + std::to_string(ref.line) +
+                                  ":" + entry.entry_domain;
+          if (!reported.insert(key).second) continue;
+          report(LintCode::kL007CrossShardState, f.path, ref.line, ref.column,
+                 "QUORA_SHARD_ENTRY(" + entry.entry_domain + ") '" +
+                     entry.qualified + "' reaches QUORA_SHARD_LOCAL(" +
+                     v.local_domain + ") state '" + v.qualified + "' [" +
+                     chain(parent, static_cast<int>(i)) +
+                     "]; shards may only touch their own domain's state");
+        }
+      }
+    }
+  }
+
+  // ---- L008: unshared mutable globals on annotated paths ----
+  void check_global_state() {
+    std::vector<int> roots;
+    for (std::size_t i = 0; i < model_.funcs.size(); ++i) {
+      if (model_.funcs[i].hot_path || !model_.funcs[i].entry_domain.empty())
+        roots.push_back(static_cast<int>(i));
+    }
+    if (roots.empty()) return;
+    const std::vector<int> parent = reach(roots);
+    std::set<std::string> reported;  // path:line
+    for (std::size_t i = 0; i < model_.funcs.size(); ++i) {
+      if (parent[i] == -2) continue;
+      const FuncNode& f = model_.funcs[i];
+      for (const VarRef& ref : f.var_refs) {
+        const int vi = resolve_ref(f, ref);
+        if (vi < 0) continue;
+        const VarNode& v = model_.vars[static_cast<std::size_t>(vi)];
+        if (!v.static_storage || v.is_const || v.shard_shared || v.shard_local)
+          continue;
+        const std::string key = f.path + ":" + std::to_string(ref.line);
+        if (!reported.insert(key).second) continue;
+        report(LintCode::kL008UnsharedGlobalState, f.path, ref.line,
+               ref.column,
+               "mutable global/static '" + v.qualified +
+                   "' referenced on an annotated hot path [" +
+                   chain(parent, static_cast<int>(i)) +
+                   "]; make it const or declare the sharing explicitly "
+                   "with QUORA_SHARD_SHARED");
+      }
+    }
+  }
+
+  const ProgramModel& model_;
+  const bool all_scopes_;
+  std::vector<Finding>* out_;
+  std::map<std::string, std::vector<int>> by_name_;
+  std::vector<std::vector<int>> edges_;
+  std::vector<bool> impure_;
+  std::vector<bool> entropic_;
+};
+
+} // namespace
+
+void run_program_checks(const ProgramModel& model, bool all_scopes,
+                        std::vector<Finding>* out) {
+  Analysis analysis(model, all_scopes, out);
+  analysis.run();
+}
+
+} // namespace quora::lint

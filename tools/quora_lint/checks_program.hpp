@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "lint_types.hpp"
+#include "program_model.hpp"
+
+namespace quora::lint {
+
+/// Runs the interprocedural checks over a populated program model.
+/// Engine-agnostic: both the token and AST builders feed the same model
+/// shape, so findings land at identical (code, path, line) keys and the
+/// driver's dedupe merges the two engines' results.
+///
+///   L001/L002 (interprocedural): a call written inside a compiled-out
+///             macro argument resolves to a function that transitively
+///             mutates state (const member functions and
+///             QUORA_ANALYSIS_BOUNDARY stop the traversal).
+///   L003 (interprocedural): a call in an entropy-scoped file resolves
+///             to a function that transitively reaches a forbidden
+///             entropy source.
+///   L006: an allocation fact in any function reachable from a
+///             QUORA_HOT_PATH root (QUORA_ALLOC_OK bodies are exempt,
+///             their callees are not).
+///   L007: conflicting/misplaced shard annotations, and an entry point
+///             of one domain reaching another domain's
+///             QUORA_SHARD_LOCAL state.
+///   L008: a mutable global/static that is neither const nor
+///             QUORA_SHARD_SHARED, referenced from code reachable from
+///             an annotated hot path or shard entry.
+///
+/// `all_scopes` mirrors DriverOptions::all_scopes (fixtures): it widens
+/// the L003 caller-file scoping exactly like the per-file checks.
+void run_program_checks(const ProgramModel& model, bool all_scopes,
+                        std::vector<Finding>* out);
+
+} // namespace quora::lint

@@ -5,7 +5,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "checks_program.hpp"
 #include "source_scan.hpp"
+#include "token_model.hpp"
 
 namespace fs = std::filesystem;
 
@@ -150,6 +152,7 @@ void dedupe_findings(std::vector<Finding>* findings) {
 RunResult run_token_engine(const DriverOptions& opts) {
   RunResult result;
   const std::vector<std::string> files = collect_files(opts, &result.problems);
+  ProgramModel model;
   for (const std::string& rel : files) {
     fs::path abs = fs::path(rel);
     if (abs.is_relative()) abs = fs::path(opts.root) / abs;
@@ -161,6 +164,10 @@ RunResult run_token_engine(const DriverOptions& opts) {
     }
     const CheckScope scope = scope_for_path(rel, opts.all_scopes);
     run_token_checks(rel, text, scope, &result.findings);
+    // The whole-program model accumulates across the sweep; the
+    // interprocedural pass runs once afterwards, when every function
+    // definition and member type has been seen.
+    build_token_model(rel, text, &model);
     // Malformed suppression comments are reported even in files with no
     // findings — a typo must never silently disable a future suppression.
     for (const auto& [line, what] : scan_suppressions(text).problems) {
@@ -168,6 +175,7 @@ RunResult run_token_engine(const DriverOptions& opts) {
                                 ": malformed suppression: " + what);
     }
   }
+  run_program_checks(model, opts.all_scopes, &result.findings);
   std::sort(result.problems.begin(), result.problems.end());
   result.problems.erase(
       std::unique(result.problems.begin(), result.problems.end()),

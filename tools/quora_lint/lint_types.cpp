@@ -34,6 +34,18 @@ constexpr CodeRow kCodes[kLintCodeCount] = {
     {LintCode::kL005RawObsCall, "L005", "raw-obs-call",
      "raw TraceRecorder / metric-handle call bypasses the QUORA_TRACE / "
      "QUORA_METRIC_* gating macros, so it survives QUORA_OBS=OFF builds"},
+    {LintCode::kL006HotPathAllocation, "L006", "hot-path-allocation",
+     "function reachable from a QUORA_HOT_PATH entry performs a heap "
+     "allocation (new/delete, container growth, string construction); "
+     "hot paths must be transitively allocation-free"},
+    {LintCode::kL007CrossShardState, "L007", "cross-shard-state",
+     "shard confinement violation: an annotated entry point reaches "
+     "QUORA_SHARD_LOCAL state of a different domain, or the shard "
+     "annotations on one symbol conflict"},
+    {LintCode::kL008UnsharedGlobalState, "L008", "unshared-global-state",
+     "mutable global/static state reachable from an annotated hot path "
+     "is neither const nor QUORA_SHARD_SHARED; shared state must be "
+     "declared before the parallel simulator can rely on it"},
 };
 
 const CodeRow& row(LintCode code) {

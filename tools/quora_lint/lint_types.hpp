@@ -24,9 +24,17 @@ enum class LintCode : std::uint8_t {
                                // transcript-feeding code
   kL005RawObsCall,             // raw TraceRecorder / metric-handle call that
                                // bypasses the QUORA_OBS gating macros
+  kL006HotPathAllocation,      // QUORA_HOT_PATH function transitively reaches
+                               // a heap allocation (new/delete, container
+                               // growth, string construction)
+  kL007CrossShardState,        // shard confinement: entry point of one domain
+                               // reaches another domain's QUORA_SHARD_LOCAL
+                               // state, or the annotations themselves conflict
+  kL008UnsharedGlobalState,    // mutable global/static reachable from an
+                               // annotated hot path without QUORA_SHARD_SHARED
 };
 
-inline constexpr std::size_t kLintCodeCount = 5;
+inline constexpr std::size_t kLintCodeCount = 8;
 
 /// Stable "L001".."L005" tag (what suppressions and baselines name).
 const char* lint_code_tag(LintCode code);

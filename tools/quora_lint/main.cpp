@@ -8,13 +8,19 @@
 // engines implement the checks: the always-available token engine
 // (lexical, macro- and type-blind) and, when built with -DQUORA_LINT=ON,
 // a Clang LibTooling engine that re-runs L003–L005 with real type
-// information over compile_commands.json. Findings:
+// information over compile_commands.json. Both engines additionally
+// feed a whole-program model (call graph + annotation vocabulary of
+// src/core/analysis_annotations.hpp) whose interprocedural pass makes
+// L001–L003 transitive and implements L006–L008. Findings:
 //
 //   L001  side effect in a QUORA_TRACE / QUORA_METRIC_* argument
 //   L002  side effect in a QUORA_ASSERT / INVARIANT / PRECONDITION
 //   L003  forbidden entropy source in a deterministic layer
 //   L004  unordered-container iteration in transcript-feeding code
 //   L005  raw obs call bypassing the QUORA_OBS gating macros
+//   L006  heap allocation reachable from a QUORA_HOT_PATH root
+//   L007  cross-shard state reach / shard-annotation misuse
+//   L008  undeclared mutable global on an annotated hot path
 //
 // Exit status mirrors quora_check: 0 clean, 1 unsuppressed findings,
 // 2 usage/I-O problems or malformed suppression comments.
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "ast_engine.hpp"
+#include "io/config_audit.hpp"
 #include "lint_driver.hpp"
 #include "lint_types.hpp"
 #include "source_scan.hpp"
@@ -34,12 +41,22 @@ namespace {
 
 using namespace quora::lint;
 
+constexpr LintCode kAllCodes[] = {
+    LintCode::kL001SideEffectObsArg, LintCode::kL002SideEffectContractArg,
+    LintCode::kL003ForbiddenEntropy, LintCode::kL004UnorderedIteration,
+    LintCode::kL005RawObsCall,       LintCode::kL006HotPathAllocation,
+    LintCode::kL007CrossShardState,  LintCode::kL008UnsharedGlobalState};
+static_assert(sizeof(kAllCodes) / sizeof(kAllCodes[0]) == kLintCodeCount,
+              "keep kAllCodes in sync with the LintCode taxonomy");
+
 [[noreturn]] void usage(int status) {
   (status == 0 ? std::cout : std::cerr)
       << "usage: quora_lint [options] [PATH...]\n"
          "  --engine=token|ast   force an engine (default: ast when built "
          "in, else token)\n"
          "  --json[=FILE]        machine-readable findings (default stdout)\n"
+         "  --sarif FILE         also write findings as SARIF 2.1.0 (code "
+         "scanning)\n"
          "  --baseline FILE      accepted-findings file; matches don't fail "
          "the run\n"
          "  --write-baseline FILE  write current unsuppressed findings and "
@@ -56,14 +73,40 @@ using namespace quora::lint;
 }
 
 void list_checks() {
-  const LintCode all[] = {
-      LintCode::kL001SideEffectObsArg, LintCode::kL002SideEffectContractArg,
-      LintCode::kL003ForbiddenEntropy, LintCode::kL004UnorderedIteration,
-      LintCode::kL005RawObsCall};
-  for (const LintCode c : all) {
+  for (const LintCode c : kAllCodes) {
     std::cout << lint_code_tag(c) << "  " << lint_code_name(c) << "\n      "
               << lint_code_summary(c) << '\n';
   }
+}
+
+/// Findings as SARIF 2.1.0 through the shared io writer; suppressed and
+/// baselined findings never reach the code-scanning feed.
+bool write_sarif_file(const std::string& path,
+                      const std::vector<Finding>& findings) {
+  std::vector<quora::io::SarifRule> rules;
+  for (const LintCode c : kAllCodes) {
+    quora::io::SarifRule rule;
+    rule.id = lint_code_tag(c);
+    rule.name = lint_code_name(c);
+    rule.short_description = lint_code_summary(c);
+    rules.push_back(std::move(rule));
+  }
+  std::vector<quora::io::SarifResult> results;
+  for (const Finding& f : findings) {
+    if (f.suppressed || f.baselined) continue;
+    quora::io::SarifResult r;
+    r.rule_id = lint_code_tag(f.code);
+    r.level = f.severity == LintSeverity::kError ? "error" : "warning";
+    r.message = f.message;
+    r.path = f.path;
+    r.line = f.line;
+    r.column = f.column;
+    results.push_back(std::move(r));
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  quora::io::write_sarif(out, "quora_lint", "", rules, results);
+  return true;
 }
 
 } // namespace
@@ -72,6 +115,7 @@ int main(int argc, char** argv) {
   DriverOptions opts;
   bool json = false;
   std::string json_path;
+  std::string sarif_path;
   std::string write_baseline_path;
   std::string engine = ast_engine_available() ? "ast" : "token";
   bool show_suppressed = false;
@@ -95,6 +139,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       json = true;
       json_path = arg.substr(7);
+    } else if (arg == "--sarif") {
+      sarif_path = value("--sarif");
     } else if (arg.rfind("--engine=", 0) == 0) {
       engine = arg.substr(9);
       if (engine != "token" && engine != "ast") {
@@ -157,6 +203,11 @@ int main(int argc, char** argv) {
     std::cerr << "quora_lint: wrote baseline (" << unsuppressed_count(result.findings)
               << " entries) to " << write_baseline_path << '\n';
     return result.problems.empty() ? 0 : 2;
+  }
+
+  if (!sarif_path.empty() && !write_sarif_file(sarif_path, result.findings)) {
+    std::cerr << "quora_lint: cannot write " << sarif_path << '\n';
+    return 2;
   }
 
   if (json) {

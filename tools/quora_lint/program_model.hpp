@@ -1,0 +1,122 @@
+#pragma once
+
+// Whole-program model shared by the two lint engines.
+//
+// Both engines populate the same structures — the AST engine from Clang
+// declarations across every TU in compile_commands.json, the token
+// engine from a conservative function-definition/call-site scan of the
+// swept files — and one shared pass (checks_program.cpp) runs the
+// interprocedural checks over the result. Keeping the model and the
+// checks engine-agnostic is what lets the fixtures demand identical
+// (code, path, line) findings from both engines: only the *builders*
+// differ in fidelity, documented in docs/STATIC_ANALYSIS.md.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint_types.hpp"
+
+namespace quora::lint {
+
+enum class FactKind : std::uint8_t {
+  kAllocation,  // new/delete, container growth member call, std::to_string
+  kMutation,    // state write that survives macro removal (L001/L002 chains)
+  kEntropy,     // forbidden entropy source (L003 chains)
+};
+
+/// One thing a function body does, at a source position.
+struct Fact {
+  FactKind kind = FactKind::kMutation;
+  unsigned line = 0;
+  unsigned column = 0;
+  std::string detail;  // human fragment, e.g. "container growth 'push_back'"
+};
+
+/// One call site inside a function body. `resolved` carries the fully
+/// qualified callee when the builder could resolve it (always, for the
+/// AST engine); the remaining fields are the token engine's resolution
+/// hints, consumed by the shared resolver in checks_program.cpp.
+struct CallSite {
+  std::string resolved;     // qualified callee name ("" = unresolved)
+  std::string name;         // bare callee name, always set
+  std::string qualifier;    // explicit qualifier as written ("std", "rng", ...)
+  std::string object_type;  // type of `x` in `x.f()` / `x->f()`, when known
+  bool implicit_this = false;  // unqualified call inside a member function
+  unsigned line = 0;
+  unsigned column = 0;
+};
+
+/// One reference to a variable the checks may care about (globals,
+/// statics, annotated members).
+struct VarRef {
+  std::string resolved;  // qualified variable name ("" = unresolved)
+  std::string name;      // bare name, always set
+  bool member_hint = false;  // token engine: looks like an enclosing-class
+                             // member (trailing-underscore convention)
+  unsigned line = 0;
+  unsigned column = 0;
+};
+
+/// One function definition.
+struct FuncNode {
+  std::string qualified;   // e.g. "quora::sim::EventQueue::push"
+  std::string name;        // bare name, e.g. "push"
+  std::string class_name;  // enclosing record ("" for free functions)
+  std::string path;        // repo-relative definition file
+  unsigned line = 0;
+  unsigned column = 0;
+  bool is_const = false;   // const member function — purity barrier for
+                           // the L001/L002 side-effect summaries
+  bool has_body = false;   // definition seen (declaration-only nodes carry
+                           // annotations for the merge, nothing else)
+  // Annotations (src/core/analysis_annotations.hpp):
+  bool hot_path = false;       // QUORA_HOT_PATH
+  bool boundary = false;       // QUORA_ANALYSIS_BOUNDARY
+  bool alloc_ok = false;       // QUORA_ALLOC_OK
+  std::string entry_domain;    // QUORA_SHARD_ENTRY(domain), "" if absent
+
+  std::vector<Fact> facts;
+  std::vector<CallSite> calls;
+  std::vector<VarRef> var_refs;
+};
+
+/// One variable with static storage or a shard annotation.
+struct VarNode {
+  std::string qualified;   // e.g. "quora::msg::Cluster::queue_"
+  std::string name;        // bare name
+  std::string class_name;  // enclosing record ("" for globals/statics)
+  std::string path;
+  unsigned line = 0;
+  unsigned column = 0;
+  bool is_const = false;        // const/constexpr — always allowed
+  bool static_storage = false;  // global, static local, or static member
+  bool shard_shared = false;    // QUORA_SHARD_SHARED
+  bool shard_local = false;     // QUORA_SHARD_LOCAL(domain)
+  std::string local_domain;     // the domain argument, "" unless shard_local
+};
+
+/// A call written inside a compiled-out macro argument (QUORA_TRACE /
+/// QUORA_METRIC_* → L001, contracts → L002). Token engine only: the AST
+/// engine cannot see arguments the preprocessor removed, which is why
+/// the token model always runs underneath the AST engine.
+struct MacroArgCall {
+  LintCode code = LintCode::kL001SideEffectObsArg;
+  std::string macro;         // macro name for the message
+  std::string path;          // caller file (the finding's location)
+  std::string caller_class;  // enclosing record for implicit-this resolution
+  CallSite call;
+};
+
+struct ProgramModel {
+  std::vector<FuncNode> funcs;
+  std::vector<VarNode> vars;
+  std::vector<MacroArgCall> macro_arg_calls;
+  /// Token engine only: (class-qualified member name -> declared type),
+  /// e.g. "quora::sim::Simulator::live_" -> "conn::LiveNetwork", for
+  /// resolving `x.f()` receivers after every file has been scanned.
+  std::map<std::string, std::string> member_types;
+};
+
+} // namespace quora::lint

@@ -1,0 +1,1024 @@
+// Token-engine builder for the whole-program model (program_model.hpp).
+//
+// A single lexical pass per file reconstructs just enough structure for
+// the interprocedural checks: namespace/class nesting, function
+// definitions (with qualified names, so out-of-line members in a .cpp
+// merge with their annotated declaration in the .hpp), member/global
+// variable declarations, and per-body facts + call sites. It is
+// deliberately conservative — the AST engine rebuilds the same model
+// with real semantics — but the fixture suite pins the cases this
+// approximation must not miss.
+
+#include "token_model.hpp"
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "source_scan.hpp"
+
+namespace quora::lint {
+
+namespace {
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kPunct && t.text == s;
+}
+bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::kIdent && t.text == s;
+}
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "(")) ++depth;
+    if (is_punct(toks[i], ")") && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+std::size_t match_brace(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "{")) ++depth;
+    if (is_punct(toks[i], "}") && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+std::size_t match_angle(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (is_punct(toks[j], "<")) ++depth;
+    if (is_punct(toks[j], ">") && --depth == 0) return j + 1;
+    if (is_punct(toks[j], ">>")) {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    }
+    if (is_punct(toks[j], ";") || is_punct(toks[j], "{")) return i;
+  }
+  return i;
+}
+
+// Container members whose call implies (possibly amortized) heap growth.
+// Bare `push`/`pop` are deliberately absent: they name both the repo's
+// non-allocating 4-ary heap API and std::priority_queue, and linking the
+// two by name would fabricate allocations (the AST engine resolves the
+// real receiver type instead).
+constexpr std::array<std::string_view, 12> kGrowthMembers = {
+    "push_back",   "emplace_back", "push_front", "emplace_front",
+    "insert",      "emplace",      "emplace_hint", "resize",
+    "reserve",     "shrink_to_fit", "append",     "assign"};
+
+constexpr std::array<std::string_view, 11> kAssignOps = {
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+
+// Mutating member calls that make a function impure when invoked on
+// member ("x_") or global ("g_x") state; mirrors checks_token.cpp.
+constexpr std::array<std::string_view, 17> kMutatingMembers = {
+    "push_back", "pop_back",      "push",       "pop",   "insert",
+    "erase",     "clear",         "emplace",    "emplace_back",
+    "emplace_front", "push_front", "pop_front", "reset", "release",
+    "swap",      "next_u64",      "next_double"};
+
+constexpr std::array<std::string_view, 3> kForbiddenClocks = {
+    "system_clock", "steady_clock", "high_resolution_clock"};
+constexpr std::array<std::string_view, 5> kForbiddenEngines = {
+    "mt19937", "mt19937_64", "default_random_engine", "minstd_rand",
+    "minstd_rand0"};
+
+// Macros whose arguments compile out; calls inside them feed the
+// interprocedural L001/L002 pass. QUORA_OBS_ONLY is exempt by design:
+// the whole statement is declared obs-only, so reaching obs state
+// through a helper is sanctioned there (see docs/STATIC_ANALYSIS.md).
+struct MacroArgRule {
+  std::string_view name;
+  LintCode code;
+};
+constexpr std::array<MacroArgRule, 7> kMacroArgRules = {{
+    {"QUORA_TRACE", LintCode::kL001SideEffectObsArg},
+    {"QUORA_METRIC_ADD", LintCode::kL001SideEffectObsArg},
+    {"QUORA_METRIC_RECORD", LintCode::kL001SideEffectObsArg},
+    {"QUORA_METRIC_SET", LintCode::kL001SideEffectObsArg},
+    {"QUORA_ASSERT", LintCode::kL002SideEffectContractArg},
+    {"QUORA_INVARIANT", LintCode::kL002SideEffectContractArg},
+    {"QUORA_PRECONDITION", LintCode::kL002SideEffectContractArg},
+}};
+
+bool is_keyword(std::string_view s) {
+  static constexpr std::array<std::string_view, 32> kKeywords = {
+      "if",       "else",    "for",      "while",   "do",      "switch",
+      "case",     "default", "return",   "break",   "continue", "goto",
+      "sizeof",   "alignof", "decltype", "typeid",  "new",     "delete",
+      "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+      "throw",    "try",     "catch",    "co_await", "co_return", "co_yield",
+      "this",     "operator", "static_assert", "noexcept"};
+  for (std::string_view k : kKeywords) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+bool is_decl_keyword(std::string_view s) {
+  static constexpr std::array<std::string_view, 14> kDeclKeywords = {
+      "static", "const",    "constexpr", "mutable", "inline",  "virtual",
+      "explicit", "volatile", "typename", "register", "thread_local",
+      "extern", "consteval", "constinit"};
+  for (std::string_view k : kDeclKeywords) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+/// Builtin type words that may appear in multi-token runs ("unsigned
+/// long long"); the type-chain scanner consumes whole runs so the
+/// declarator name that follows is not mistaken for the type.
+bool is_builtin_type_word(std::string_view s) {
+  static constexpr std::array<std::string_view, 10> kBuiltins = {
+      "unsigned", "signed", "long", "short", "int",
+      "char",     "double", "float", "bool",  "void"};
+  for (std::string_view k : kBuiltins) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+/// Annotation macros (src/core/analysis_annotations.hpp) recognized
+/// lexically; `takes_domain` macros carry one identifier argument.
+struct PendingAnnotations {
+  bool hot_path = false;
+  bool boundary = false;
+  bool alloc_ok = false;
+  bool shard_shared = false;
+  bool shard_local = false;
+  std::string entry_domain;
+  std::string local_domain;
+
+  bool any() const {
+    return hot_path || boundary || alloc_ok || shard_shared || shard_local ||
+           !entry_domain.empty();
+  }
+  void clear() { *this = PendingAnnotations(); }
+};
+
+/// Consumes an annotation macro at `i` if present; returns the index one
+/// past it (or `i` unchanged).
+std::size_t take_annotation(const std::vector<Token>& toks, std::size_t i,
+                            PendingAnnotations* pending) {
+  if (toks[i].kind != Token::Kind::kIdent) return i;
+  const std::string& s = toks[i].text;
+  if (s == "QUORA_HOT_PATH") {
+    pending->hot_path = true;
+    return i + 1;
+  }
+  if (s == "QUORA_ANALYSIS_BOUNDARY") {
+    pending->boundary = true;
+    return i + 1;
+  }
+  if (s == "QUORA_ALLOC_OK") {
+    pending->alloc_ok = true;
+    return i + 1;
+  }
+  if (s == "QUORA_SHARD_SHARED") {
+    pending->shard_shared = true;
+    return i + 1;
+  }
+  if ((s == "QUORA_SHARD_ENTRY" || s == "QUORA_SHARD_LOCAL") &&
+      i + 3 < toks.size() && is_punct(toks[i + 1], "(") &&
+      toks[i + 2].kind == Token::Kind::kIdent && is_punct(toks[i + 3], ")")) {
+    if (s == "QUORA_SHARD_ENTRY") {
+      pending->entry_domain = toks[i + 2].text;
+    } else {
+      pending->shard_local = true;
+      pending->local_domain = toks[i + 2].text;
+    }
+    return i + 4;
+  }
+  return i;
+}
+
+std::string join_scope(const std::vector<std::string>& scopes,
+                       const std::string& leaf) {
+  std::string out;
+  for (const std::string& s : scopes) {
+    if (s.empty()) continue;
+    if (!out.empty()) out += "::";
+    out += s;
+  }
+  if (!leaf.empty()) {
+    if (!out.empty()) out += "::";
+    out += leaf;
+  }
+  return out;
+}
+
+class Builder {
+public:
+  Builder(std::string_view path, ProgramModel* model)
+      : path_(path), model_(model) {}
+
+  void run(const std::vector<Token>& toks) {
+    scan_declarative(toks, 0, toks.size(), /*class_name=*/"");
+  }
+
+private:
+  FuncNode* intern_func(const std::string& qualified) {
+    for (FuncNode& f : model_->funcs) {
+      if (f.qualified == qualified) return &f;
+    }
+    FuncNode node;
+    node.qualified = qualified;
+    model_->funcs.push_back(std::move(node));
+    return &model_->funcs.back();
+  }
+
+  VarNode* intern_var(const std::string& qualified) {
+    for (VarNode& v : model_->vars) {
+      if (v.qualified == qualified) return &v;
+    }
+    VarNode node;
+    node.qualified = qualified;
+    model_->vars.push_back(std::move(node));
+    return &model_->vars.back();
+  }
+
+  /// Declarative (namespace or class body) scope: [begin, end).
+  /// `class_name` is the qualified enclosing record, "" at namespace scope.
+  void scan_declarative(const std::vector<Token>& toks, std::size_t begin,
+                        std::size_t end, const std::string& class_name) {
+    PendingAnnotations pending;
+    std::size_t i = begin;
+    while (i < end) {
+      const Token& t = toks[i];
+      // Attribute blocks [[...]] — skip.
+      if (is_punct(t, "[") && i + 1 < end && is_punct(toks[i + 1], "[")) {
+        int depth = 0;
+        while (i < end) {
+          if (is_punct(toks[i], "[")) ++depth;
+          if (is_punct(toks[i], "]") && --depth == 0) break;
+          ++i;
+        }
+        ++i;
+        continue;
+      }
+      if (t.kind == Token::Kind::kPunct) {
+        if (t.text == ";") pending.clear();
+        ++i;
+        continue;
+      }
+      if (t.kind != Token::Kind::kIdent) {
+        ++i;
+        continue;
+      }
+      const std::size_t after_ann = take_annotation(toks, i, &pending);
+      if (after_ann != i) {
+        i = after_ann;
+        continue;
+      }
+      if (t.text == "namespace") {
+        // namespace a::b { ... }   |   namespace { ... }
+        std::vector<std::string> parts;
+        std::size_t j = i + 1;
+        while (j < end && toks[j].kind == Token::Kind::kIdent) {
+          parts.push_back(toks[j].text);
+          ++j;
+          if (j < end && is_punct(toks[j], "::")) ++j;
+        }
+        if (j < end && is_punct(toks[j], "{")) {
+          const std::size_t close = match_brace(toks, j);
+          for (const std::string& p : parts) namespaces_.push_back(p);
+          scan_declarative(toks, j + 1, close - 1, class_name);
+          for (std::size_t k = 0; k < parts.size(); ++k) namespaces_.pop_back();
+          i = close;
+        } else {
+          i = j + 1;  // namespace alias / using-directive tail
+        }
+        pending.clear();
+        continue;
+      }
+      if (t.text == "class" || t.text == "struct") {
+        // Find the record name, then the body (skipping base clauses).
+        std::size_t j = i + 1;
+        // Skip attributes and alignas between keyword and name.
+        std::string name;
+        while (j < end) {
+          if (toks[j].kind == Token::Kind::kIdent &&
+              !is_decl_keyword(toks[j].text) && toks[j].text != "final") {
+            name = toks[j].text;
+            ++j;
+            if (j < end && is_punct(toks[j], "<")) j = match_angle(toks, j);
+            break;
+          }
+          ++j;
+        }
+        // Walk to `{` (definition) or `;` (forward decl).
+        while (j < end && !is_punct(toks[j], "{") && !is_punct(toks[j], ";")) {
+          if (is_punct(toks[j], "<")) {
+            const std::size_t adv = match_angle(toks, j);
+            j = adv == j ? j + 1 : adv;
+            continue;
+          }
+          ++j;
+        }
+        if (j < end && is_punct(toks[j], "{") && !name.empty()) {
+          const std::size_t close = match_brace(toks, j);
+          const std::string qualified =
+              class_name.empty() ? join_scope(namespaces_, name)
+                                 : class_name + "::" + name;
+          scan_declarative(toks, j + 1, close - 1, qualified);
+          i = close;
+        } else {
+          i = j + 1;
+        }
+        pending.clear();
+        continue;
+      }
+      if (t.text == "enum" || t.text == "using" || t.text == "typedef" ||
+          t.text == "friend" || t.text == "static_assert" ||
+          t.text == "template") {
+        // Skip the whole construct: templates are re-entered at the
+        // declaration they introduce; the rest carries nothing we model.
+        if (t.text == "template" && i + 1 < end && is_punct(toks[i + 1], "<")) {
+          const std::size_t adv = match_angle(toks, i + 1);
+          i = adv == i + 1 ? i + 2 : adv;
+          continue;  // keep pending annotations for the templated decl
+        }
+        while (i < end && !is_punct(toks[i], ";") && !is_punct(toks[i], "{"))
+          ++i;
+        if (i < end && is_punct(toks[i], "{")) i = match_brace(toks, i);
+        while (i < end && !is_punct(toks[i], ";")) ++i;
+        ++i;
+        pending.clear();
+        continue;
+      }
+      // Access labels (class scope): `public:` etc.
+      if ((t.text == "public" || t.text == "private" || t.text == "protected") &&
+          i + 1 < end && is_punct(toks[i + 1], ":")) {
+        i += 2;
+        continue;
+      }
+      // General declaration: parse one statement.
+      i = scan_statement(toks, i, end, class_name, &pending);
+    }
+  }
+
+  /// One declaration statement at declarative scope starting at `i`.
+  /// Returns the index one past it.
+  std::size_t scan_statement(const std::vector<Token>& toks, std::size_t i,
+                             std::size_t end, const std::string& class_name,
+                             PendingAnnotations* pending) {
+    auto skip_rest = [&](std::size_t j) {
+      while (j < end && !is_punct(toks[j], ";")) {
+        if (is_punct(toks[j], "{")) {
+          j = match_brace(toks, j);
+          continue;
+        }
+        ++j;
+      }
+      pending->clear();
+      return j < end ? j + 1 : end;
+    };
+
+    bool is_static = false;
+    bool is_const = false;
+    std::size_t j = i;
+    // Leading specifiers, annotations, attributes.
+    while (j < end) {
+      const std::size_t after_ann = take_annotation(toks, j, pending);
+      if (after_ann != j) {
+        j = after_ann;
+        continue;
+      }
+      if (toks[j].kind == Token::Kind::kIdent && is_decl_keyword(toks[j].text)) {
+        if (toks[j].text == "static") is_static = true;
+        if (toks[j].text == "const" || toks[j].text == "constexpr")
+          is_const = true;
+        ++j;
+        continue;
+      }
+      if (is_punct(toks[j], "[") && j + 1 < end && is_punct(toks[j + 1], "[")) {
+        int depth = 0;
+        while (j < end) {
+          if (is_punct(toks[j], "[")) ++depth;
+          if (is_punct(toks[j], "]") && --depth == 0) break;
+          ++j;
+        }
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (j >= end || toks[j].kind != Token::Kind::kIdent) return skip_rest(j);
+    if (is_keyword(toks[j].text)) {
+      if (toks[j].text == "operator" || toks[j].text == "this")
+        return skip_rest(j);
+      return skip_rest(j);
+    }
+
+    // Type (or constructor-name) chain: a::b::c<...>, with */& suffixes.
+    std::vector<std::string> chain;
+    while (j < end && toks[j].kind == Token::Kind::kIdent &&
+           !is_decl_keyword(toks[j].text)) {
+      chain.push_back(toks[j].text);
+      ++j;
+      if (j < end && is_punct(toks[j], "<")) {
+        const std::size_t adv = match_angle(toks, j);
+        if (adv != j) j = adv;
+      }
+      if (j < end && is_punct(toks[j], "::")) {
+        ++j;
+        continue;
+      }
+      // "unsigned long long x" — keep consuming the builtin run.
+      if (is_builtin_type_word(chain.back()) && j < end &&
+          toks[j].kind == Token::Kind::kIdent &&
+          is_builtin_type_word(toks[j].text)) {
+        continue;
+      }
+      break;
+    }
+    if (chain.empty()) return skip_rest(j);
+    while (j < end && (is_punct(toks[j], "*") || is_punct(toks[j], "&") ||
+                       is_punct(toks[j], "&&") ||
+                       (toks[j].kind == Token::Kind::kIdent &&
+                        is_decl_keyword(toks[j].text)))) {
+      if (toks[j].kind == Token::Kind::kIdent &&
+          (toks[j].text == "const" || toks[j].text == "constexpr"))
+        is_const = true;
+      ++j;
+    }
+
+    // Constructor / conversion-style: chain directly followed by `(`.
+    if (j < end && is_punct(toks[j], "(")) {
+      return scan_function(toks, j, end, class_name, chain, pending);
+    }
+    if (j >= end || toks[j].kind != Token::Kind::kIdent) return skip_rest(j);
+
+    // Declarator name chain (handles out-of-line `Type Class::name`).
+    std::vector<std::string> name_chain;
+    const Token& name_tok = toks[j];
+    while (j < end && toks[j].kind == Token::Kind::kIdent) {
+      name_chain.push_back(toks[j].text);
+      ++j;
+      if (j < end && is_punct(toks[j], "<")) {
+        const std::size_t adv = match_angle(toks, j);
+        if (adv != j) j = adv;
+      }
+      if (j < end && is_punct(toks[j], "::")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (name_chain.empty()) return skip_rest(j);
+
+    if (j < end && is_punct(toks[j], "(")) {
+      return scan_function(toks, j, end, class_name, name_chain, pending,
+                           &chain, is_const);
+    }
+    if (j < end && (is_punct(toks[j], ";") || is_punct(toks[j], "=") ||
+                    is_punct(toks[j], "{") || is_punct(toks[j], "["))) {
+      // Variable / data-member declaration.
+      const std::string& var_name = name_chain.back();
+      std::string owner = class_name;
+      if (name_chain.size() > 1) {
+        // Out-of-line static member definition `int Class::member = ...`.
+        owner = join_scope(namespaces_, "");
+        for (std::size_t k = 0; k + 1 < name_chain.size(); ++k) {
+          owner += owner.empty() ? name_chain[k] : "::" + name_chain[k];
+        }
+        is_static = true;
+      }
+      std::string type;
+      for (const std::string& part : chain) {
+        type += type.empty() ? part : "::" + part;
+      }
+      const std::string qualified =
+          owner.empty() ? join_scope(namespaces_, var_name)
+                        : owner + "::" + var_name;
+      if (!class_name.empty()) {
+        model_->member_types[qualified] = type;
+      }
+      const bool record = pending->any() || class_name.empty() ||
+                          is_static;
+      if (record && type != "auto") {
+        VarNode* v = intern_var(qualified);
+        v->name = var_name;
+        v->class_name = owner.empty() ? class_name : owner;
+        if (v->path.empty()) {
+          v->path = path_;
+          v->line = name_tok.line;
+          v->column = name_tok.column;
+        }
+        v->is_const = v->is_const || is_const;
+        v->static_storage = v->static_storage || is_static || class_name.empty();
+        v->shard_shared = v->shard_shared || pending->shard_shared;
+        if (pending->shard_local) {
+          v->shard_local = true;
+          v->local_domain = pending->local_domain;
+        }
+      }
+      return skip_rest(j);
+    }
+    return skip_rest(j);
+  }
+
+  /// `open` points at the parameter-list `(` of a function declarator
+  /// whose name chain is `name_chain`. Creates/merges the FuncNode and
+  /// scans the body when this is a definition.
+  std::size_t scan_function(const std::vector<Token>& toks, std::size_t open,
+                            std::size_t end, const std::string& class_name,
+                            const std::vector<std::string>& name_chain,
+                            PendingAnnotations* pending,
+                            const std::vector<std::string>* type_chain = nullptr,
+                            bool /*type_const*/ = false) {
+    (void)type_chain;
+    const std::size_t params_end = match_paren(toks, open);
+    // Trailer: const/noexcept/override/final/-> type ... then `{`, `;`,
+    // `= default;`, `= delete;`, `= 0;`, or a ctor-initializer list.
+    bool is_const_member = false;
+    std::size_t j = params_end;
+    std::size_t body = 0;
+    while (j < end) {
+      if (toks[j].kind == Token::Kind::kIdent) {
+        if (toks[j].text == "const") is_const_member = true;
+        if (toks[j].text == "noexcept" && j + 1 < end &&
+            is_punct(toks[j + 1], "(")) {
+          j = match_paren(toks, j + 1);
+          continue;
+        }
+        ++j;
+        continue;
+      }
+      if (is_punct(toks[j], "->")) {
+        ++j;
+        continue;
+      }
+      if (is_punct(toks[j], "<")) {
+        const std::size_t adv = match_angle(toks, j);
+        j = adv == j ? j + 1 : adv;
+        continue;
+      }
+      if (is_punct(toks[j], "::")) {
+        ++j;
+        continue;
+      }
+      if (is_punct(toks[j], ":")) {
+        // Constructor initializer list: ident group [, ident group]... `{`
+        ++j;
+        while (j < end && !is_punct(toks[j], "{")) {
+          if (is_punct(toks[j], "(")) {
+            j = match_paren(toks, j);
+            continue;
+          }
+          if (is_punct(toks[j], "<")) {
+            const std::size_t adv = match_angle(toks, j);
+            j = adv == j ? j + 1 : adv;
+            continue;
+          }
+          // Brace-init member `m_{...}` — but `{` also starts the body;
+          // a member brace-init is always directly preceded by an ident
+          // or a closing angle. Disambiguate: treat `{` after ident as
+          // member init, anything else as body.
+          if (j + 1 < end && toks[j].kind == Token::Kind::kIdent &&
+              is_punct(toks[j + 1], "{")) {
+            j = match_brace(toks, j + 1);
+            continue;
+          }
+          ++j;
+        }
+        continue;
+      }
+      if (is_punct(toks[j], "{")) {
+        body = j;
+        break;
+      }
+      if (is_punct(toks[j], ";")) break;
+      if (is_punct(toks[j], "=")) {
+        // = default / = delete / = 0   (pure virtual)
+        j += 2;
+        continue;
+      }
+      ++j;
+    }
+
+    const std::string& fn_name = name_chain.back();
+    std::string owner = class_name;
+    if (name_chain.size() > 1) {
+      // Out-of-line definition `Class::name` — qualify against the
+      // enclosing namespaces.
+      std::vector<std::string> quals(name_chain.begin(), name_chain.end() - 1);
+      owner = join_scope(namespaces_, "");
+      for (const std::string& q : quals) {
+        owner += owner.empty() ? q : "::" + q;
+      }
+    }
+    const std::string qualified =
+        owner.empty() ? join_scope(namespaces_, fn_name)
+                      : owner + "::" + fn_name;
+
+    FuncNode* node = intern_func(qualified);
+    node->name = fn_name;
+    if (node->class_name.empty()) node->class_name = owner;
+    node->is_const = node->is_const || is_const_member;
+    node->hot_path = node->hot_path || pending->hot_path;
+    node->boundary = node->boundary || pending->boundary;
+    node->alloc_ok = node->alloc_ok || pending->alloc_ok;
+    if (node->entry_domain.empty()) node->entry_domain = pending->entry_domain;
+    pending->clear();
+
+    if (body == 0) {
+      if (node->path.empty()) {
+        node->path = path_;
+        node->line = toks[open].line;
+        node->column = toks[open].column;
+      }
+      return j < end ? j + 1 : end;
+    }
+    const std::size_t close = match_brace(toks, body);
+    if (!node->has_body) {
+      node->has_body = true;
+      node->path = path_;
+      node->line = toks[open].line;
+      node->column = toks[open].column;
+      scan_body(toks, body + 1, close - 1, node, qualified, owner);
+    }
+    return close;
+  }
+
+  /// Function body [begin, end): facts, call sites, variable references,
+  /// macro-argument calls, and local declared types for receiver
+  /// resolution.
+  void scan_body(const std::vector<Token>& toks, std::size_t begin,
+                 std::size_t end, FuncNode* node, const std::string& qualified,
+                 const std::string& class_name) {
+    std::vector<std::pair<std::string, std::string>> local_types;
+    auto local_type_of = [&](const std::string& name) -> std::string {
+      for (const auto& [n, ty] : local_types) {
+        if (n == name) return ty;
+      }
+      return {};
+    };
+    auto add_fact = [&](FactKind kind, const Token& at, std::string detail) {
+      Fact f;
+      f.kind = kind;
+      f.line = at.line;
+      f.column = at.column;
+      f.detail = std::move(detail);
+      node->facts.push_back(std::move(f));
+    };
+    auto is_state_name = [](std::string_view s) {
+      return ends_with(s, "_") || starts_with(s, "g_") || starts_with(s, "s_");
+    };
+
+    for (std::size_t i = begin; i < end; ++i) {
+      const Token& t = toks[i];
+      if (t.kind == Token::Kind::kPunct) {
+        // ++x_ / x_++ / --g_n ... on member/global state → mutation.
+        if (t.text == "++" || t.text == "--") {
+          std::string_view target;
+          if (i > begin && toks[i - 1].kind == Token::Kind::kIdent)
+            target = toks[i - 1].text;
+          else if (i + 1 < end && toks[i + 1].kind == Token::Kind::kIdent)
+            target = toks[i + 1].text;
+          if (is_state_name(target)) {
+            add_fact(FactKind::kMutation, t,
+                     (t.text == "++" ? "increment of '" : "decrement of '") +
+                         std::string(target) + "'");
+          }
+          continue;
+        }
+        bool is_assign = false;
+        for (std::string_view op : kAssignOps) is_assign |= t.text == op;
+        if (is_assign) {
+          if (t.text == "=") {
+            if (i > begin && is_punct(toks[i - 1], "[")) continue;
+            if (i + 1 < end && is_punct(toks[i + 1], "]")) continue;
+          }
+          if (i > begin && toks[i - 1].kind == Token::Kind::kIdent &&
+              is_state_name(toks[i - 1].text)) {
+            add_fact(FactKind::kMutation, t,
+                     "assignment ('" + t.text + "') to '" + toks[i - 1].text +
+                         "'");
+          }
+          continue;
+        }
+        continue;
+      }
+      if (t.kind != Token::Kind::kIdent) continue;
+
+      // --- entropy facts (mirrors check_entropy) ---
+      const bool next_is_call = i + 1 < end && is_punct(toks[i + 1], "(");
+      const bool prev_member =
+          i > begin && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+      const bool prev_scope = i > begin && is_punct(toks[i - 1], "::");
+      if (t.text == "random_device") {
+        add_fact(FactKind::kEntropy, t, "std::random_device");
+        continue;
+      }
+      {
+        bool engine = false;
+        for (std::string_view e : kForbiddenEngines) engine |= t.text == e;
+        if (engine) {
+          add_fact(FactKind::kEntropy, t, "std::" + t.text);
+          continue;
+        }
+      }
+      if ((t.text == "rand" || t.text == "srand") && next_is_call &&
+          !prev_member) {
+        add_fact(FactKind::kEntropy, t, "'" + t.text + "()'");
+        // fall through: also a (dead) call edge — skip it.
+        i = match_paren(toks, i + 1) - 1;
+        continue;
+      }
+      if ((t.text == "time" || t.text == "clock") && next_is_call && prev_scope) {
+        add_fact(FactKind::kEntropy, t, "'" + t.text + "()' wall-clock call");
+        i = match_paren(toks, i + 1) - 1;
+        continue;
+      }
+      {
+        bool clock_now = false;
+        for (std::string_view c : kForbiddenClocks) {
+          if (t.text == c && i + 2 < end && is_punct(toks[i + 1], "::") &&
+              is_ident(toks[i + 2], "now")) {
+            clock_now = true;
+          }
+        }
+        if (clock_now) {
+          add_fact(FactKind::kEntropy, t, "std::chrono::" + t.text + "::now()");
+          continue;
+        }
+      }
+
+      // --- allocations ---
+      if (t.text == "new") {
+        add_fact(FactKind::kAllocation, t, "'new' expression");
+        continue;
+      }
+      if (t.text == "delete" && !(i + 1 < end && is_punct(toks[i + 1], ";")) ) {
+        // plain `delete p;` and `delete[] p;` — but not `= delete`.
+        if (!(i > begin && is_punct(toks[i - 1], "="))) {
+          add_fact(FactKind::kAllocation, t, "'delete' expression");
+        }
+        continue;
+      }
+
+      // --- macro-argument calls (interprocedural L001/L002) ---
+      if (next_is_call) {
+        const MacroArgRule* rule = nullptr;
+        for (const MacroArgRule& r : kMacroArgRules) {
+          if (t.text == r.name) rule = &r;
+        }
+        if (rule != nullptr) {
+          const std::size_t close = match_paren(toks, i + 1);
+          collect_macro_arg_calls(toks, i + 2, close - 1, *rule, class_name,
+                                  local_types);
+          i = close - 1;
+          continue;
+        }
+        if (t.text == "QUORA_OBS_ONLY") {
+          // Sanctioned obs-only statement: skip the argument entirely so
+          // its obs-state mutations don't poison the enclosing summary.
+          i = match_paren(toks, i + 1) - 1;
+          continue;
+        }
+      }
+
+      // --- member/global state references ---
+      if (ends_with(t.text, "_") && !next_is_call) {
+        VarRef ref;
+        ref.name = t.text;
+        ref.member_hint = true;
+        ref.line = t.line;
+        ref.column = t.column;
+        node->var_refs.push_back(std::move(ref));
+      } else if ((starts_with(t.text, "g_") || starts_with(t.text, "s_")) &&
+                 !next_is_call && !prev_member) {
+        VarRef ref;
+        ref.name = t.text;
+        ref.line = t.line;
+        ref.column = t.column;
+        node->var_refs.push_back(std::move(ref));
+      }
+
+      // --- calls ---
+      if (next_is_call && !is_keyword(t.text) && !is_decl_keyword(t.text)) {
+        // `new Foo(...)` is an allocation, not a call edge.
+        if (i > begin && is_ident(toks[i - 1], "new")) continue;
+        bool growth = false;
+        for (std::string_view g : kGrowthMembers) growth |= t.text == g;
+        if (growth && prev_member) {
+          add_fact(FactKind::kAllocation, t,
+                   "container growth call '" + t.text + "'");
+          // No call edge: receiver is (almost always) a std container;
+          // name-linking `insert`/`assign` across classes fabricates
+          // paths the AST engine would never produce.
+          std::string obj = i >= begin + 2 &&
+                                    toks[i - 2].kind == Token::Kind::kIdent
+                                ? toks[i - 2].text
+                                : std::string();
+          if (is_state_name(obj)) {
+            add_fact(FactKind::kMutation, t,
+                     "call to mutating member '" + t.text + "' on '" + obj +
+                         "'");
+          }
+          continue;
+        }
+        if (t.text == "to_string" && prev_scope) {
+          add_fact(FactKind::kAllocation, t, "std::to_string call");
+          continue;
+        }
+        CallSite call;
+        call.name = t.text;
+        call.line = t.line;
+        call.column = t.column;
+        if (prev_member) {
+          std::string obj;
+          if (i >= begin + 2 && toks[i - 2].kind == Token::Kind::kIdent)
+            obj = toks[i - 2].text;
+          if (obj == "this") {
+            call.implicit_this = true;
+          } else if (!obj.empty()) {
+            std::string ty = local_type_of(obj);
+            if (ty.empty() && !class_name.empty()) {
+              auto it = model_->member_types.find(class_name + "::" + obj);
+              if (it != model_->member_types.end()) ty = it->second;
+            }
+            if (!ty.empty()) {
+              call.object_type = ty;
+            } else {
+              // Defer: checks_program retries member_types with the full
+              // model via "<class>::<obj>" spelled in the qualifier slot.
+              call.qualifier = "";
+              call.object_type = "";
+              call.name = t.text;
+              // Encode the receiver so late resolution can try again.
+              call.resolved = "";
+              call.object_type = "";
+              call.qualifier = "@member:" + class_name + "::" + obj;
+            }
+          }
+          // Mutating member call on state → mutation fact.
+          bool mutating = false;
+          for (std::string_view m : kMutatingMembers) mutating |= t.text == m;
+          if (mutating && is_state_name(obj)) {
+            add_fact(FactKind::kMutation, t,
+                     "call to mutating member '" + t.text + "' on '" + obj +
+                         "'");
+          }
+        } else if (prev_scope) {
+          // Explicit qualifier chain: walk backwards a::b::name.
+          std::vector<std::string> quals;
+          std::size_t k = i - 1;
+          while (k > begin && is_punct(toks[k], "::") &&
+                 toks[k - 1].kind == Token::Kind::kIdent) {
+            quals.push_back(toks[k - 1].text);
+            if (k < 2) break;
+            k -= 2;
+          }
+          std::string q;
+          for (auto it = quals.rbegin(); it != quals.rend(); ++it) {
+            q += q.empty() ? *it : "::" + *it;
+          }
+          call.qualifier = q;
+          if (q == "rng") {
+            add_fact(FactKind::kMutation, t,
+                     "rng:: draw ('rng::" + t.text + "') advances a stream");
+          }
+        } else {
+          call.implicit_this = !class_name.empty();
+        }
+        node->calls.push_back(std::move(call));
+        continue;
+      }
+
+      // --- local declared types (for receiver resolution) ---
+      // Pattern: IdentChain ident (; = { () — `Helper h;` → h: Helper.
+      if (!is_keyword(t.text) && !is_decl_keyword(t.text) && i + 1 < end) {
+        std::size_t j = i;
+        std::vector<std::string> chain;
+        while (j < end && toks[j].kind == Token::Kind::kIdent &&
+               !is_keyword(toks[j].text) && !is_decl_keyword(toks[j].text)) {
+          chain.push_back(toks[j].text);
+          ++j;
+          if (j < end && is_punct(toks[j], "<")) {
+            const std::size_t adv = match_angle(toks, j);
+            if (adv != j) j = adv;
+          }
+          if (j < end && is_punct(toks[j], "::")) {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        while (j < end &&
+               (is_punct(toks[j], "*") || is_punct(toks[j], "&"))) {
+          ++j;
+        }
+        if (chain.size() >= 1 && j < end &&
+            toks[j].kind == Token::Kind::kIdent &&
+            !is_keyword(toks[j].text) && j + 1 < end &&
+            (is_punct(toks[j + 1], ";") || is_punct(toks[j + 1], "=") ||
+             is_punct(toks[j + 1], "{") || is_punct(toks[j + 1], "("))) {
+          std::string ty;
+          for (const std::string& part : chain) {
+            ty += ty.empty() ? part : "::" + part;
+          }
+          if (ty != "auto" && ty != "return") {
+            local_types.emplace_back(toks[j].text, ty);
+          }
+        }
+      }
+    }
+    (void)qualified;
+  }
+
+  /// Calls inside one compiled-out macro argument range [begin, end).
+  void collect_macro_arg_calls(
+      const std::vector<Token>& toks, std::size_t begin, std::size_t end,
+      const MacroArgRule& rule, const std::string& class_name,
+      const std::vector<std::pair<std::string, std::string>>& local_types) {
+    auto local_type_of = [&](const std::string& name) -> std::string {
+      for (const auto& [n, ty] : local_types) {
+        if (n == name) return ty;
+      }
+      return {};
+    };
+    for (std::size_t i = begin; i < end; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kIdent) continue;
+      if (!(i + 1 < end && is_punct(toks[i + 1], "("))) continue;
+      if (is_keyword(t.text) || is_decl_keyword(t.text)) continue;
+      bool growth = false;
+      for (std::string_view g : kGrowthMembers) growth |= t.text == g;
+      if (growth) continue;  // direct-side-effect check already owns these
+      MacroArgCall mac;
+      mac.code = rule.code;
+      mac.macro = std::string(rule.name);
+      mac.path = path_;
+      mac.caller_class = class_name;
+      mac.call.name = t.text;
+      mac.call.line = t.line;
+      mac.call.column = t.column;
+      const bool prev_member =
+          i > begin &&
+          (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+      const bool prev_scope = i > begin && is_punct(toks[i - 1], "::");
+      if (prev_member) {
+        std::string obj;
+        if (i >= begin + 2 && toks[i - 2].kind == Token::Kind::kIdent)
+          obj = toks[i - 2].text;
+        if (obj == "this") {
+          mac.call.implicit_this = true;
+        } else if (!obj.empty()) {
+          const std::string ty = local_type_of(obj);
+          if (!ty.empty()) {
+            mac.call.object_type = ty;
+          } else {
+            mac.call.qualifier = "@member:" + class_name + "::" + obj;
+          }
+        }
+      } else if (prev_scope) {
+        std::vector<std::string> quals;
+        std::size_t k = i - 1;
+        while (k > begin && is_punct(toks[k], "::") &&
+               toks[k - 1].kind == Token::Kind::kIdent) {
+          quals.push_back(toks[k - 1].text);
+          if (k < 2) break;
+          k -= 2;
+        }
+        std::string q;
+        for (auto it = quals.rbegin(); it != quals.rend(); ++it) {
+          q += q.empty() ? *it : "::" + *it;
+        }
+        mac.call.qualifier = q;
+      } else {
+        mac.call.implicit_this = !class_name.empty();
+      }
+      model_->macro_arg_calls.push_back(std::move(mac));
+    }
+  }
+
+  std::string path_;
+  ProgramModel* model_;
+  std::vector<std::string> namespaces_;
+};
+
+} // namespace
+
+void build_token_model(std::string_view path, std::string_view text,
+                       ProgramModel* model) {
+  const std::vector<Token> toks = lex(text);
+  Builder builder(path, model);
+  builder.run(toks);
+}
+
+} // namespace quora::lint

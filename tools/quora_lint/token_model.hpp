@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string_view>
+
+#include "program_model.hpp"
+
+namespace quora::lint {
+
+/// Scans one file's tokens into the whole-program model: function
+/// definitions/declarations (merged by qualified name across files),
+/// annotated members and namespace-scope variables, body facts
+/// (allocations, mutations, entropy), call sites with resolution hints,
+/// and calls written inside compiled-out macro arguments.
+///
+/// The scan is lexical and therefore approximate; its known blind spots
+/// (templates instantiated elsewhere, overload sets, mutation through
+/// references) are documented in docs/STATIC_ANALYSIS.md. The fixture
+/// suite pins the cases it must not miss.
+void build_token_model(std::string_view path, std::string_view text,
+                       ProgramModel* model);
+
+} // namespace quora::lint
