@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Drive `quora_chaos --sweep` over the geo scenario matrix and assert
+the failure-domain acceptance property.
+
+Usage:
+    chaos_sweep.py --chaos-bin PATH [--examples DIR] [--seeds N]
+                   [--report FILE.json] [--margin M]
+
+Runs the shipped geo plans under N consecutive seeds each and checks:
+
+  1. every plan reports safe (no protocol-safety violation under chaos);
+  2. the scripted full-region outage (rg0 down) degrades availability
+     for the region-majority vote assignment but *not* for the
+     domain-spread one: each surviving region (rg1, rg2) of
+     geo-region-outage must beat the same region of
+     geo-region-outage-weighted by at least --margin.
+
+The JSON artifact (schema key "quora-chaos-sweep") is written by the
+harness itself; this script only relocates nothing and parses it.
+
+Exit status: 0 all checks hold, 1 a check failed, 2 usage/schema errors.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+SCHEMA_KEY = "quora-chaos-sweep"
+
+PLANS = [
+    "geo_region_outage.chaos",
+    "geo_region_outage_weighted.chaos",
+    "geo_rack_cascade.chaos",
+    "geo_gray_interregion.chaos",
+    "geo_asymmetric_reassign.chaos",
+]
+
+SPREAD = "geo-region-outage"
+WEIGHTED = "geo-region-outage-weighted"
+SURVIVING_REGIONS = ["rg1", "rg2"]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--chaos-bin", required=True,
+                    help="path to the quora_chaos binary")
+    ap.add_argument("--examples", default="examples/chaos",
+                    help="directory holding the shipped .chaos plans")
+    ap.add_argument("--seeds", type=int, default=2,
+                    help="seeds per plan (reduced matrix for CI)")
+    ap.add_argument("--report", default="chaos-sweep.json",
+                    help="JSON artifact path")
+    ap.add_argument("--margin", type=float, default=0.1,
+                    help="required availability gap per surviving region")
+    args = ap.parse_args()
+
+    plan_paths = [os.path.join(args.examples, p) for p in PLANS]
+    for p in plan_paths:
+        if not os.path.exists(p):
+            print(f"chaos_sweep: missing plan {p}", file=sys.stderr)
+            return 2
+
+    cmd = [args.chaos_bin, "--sweep", "--seeds", str(args.seeds),
+           "--report", args.report] + plan_paths
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        print(f"chaos_sweep: harness exited {proc.returncode}",
+              file=sys.stderr)
+        return 1
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"chaos_sweep: cannot read {args.report}: {e}", file=sys.stderr)
+        return 2
+    if report.get(SCHEMA_KEY) != 1:
+        print(f"chaos_sweep: {args.report} lacks the {SCHEMA_KEY} schema key",
+              file=sys.stderr)
+        return 2
+
+    by_name = {p["name"]: p for p in report.get("plans", [])}
+    failed = False
+
+    for name in (p["name"] for p in report.get("plans", [])):
+        if not by_name[name].get("safe", False):
+            print(f"FAIL: plan {name} reported unsafe")
+            failed = True
+
+    def region_avail(plan_name, region):
+        plan = by_name.get(plan_name)
+        if plan is None:
+            print(f"FAIL: plan {plan_name} missing from the report")
+            return None
+        for r in plan.get("regions", []):
+            if r.get("region") == region:
+                return r.get("availability")
+        print(f"FAIL: plan {plan_name} has no region {region}")
+        return None
+
+    # The acceptance property: a full rg0 outage must hurt the
+    # region-majority assignment everywhere, while the domain-spread
+    # assignment keeps its surviving regions serving.
+    for region in SURVIVING_REGIONS:
+        spread = region_avail(SPREAD, region)
+        weighted = region_avail(WEIGHTED, region)
+        if spread is None or weighted is None:
+            failed = True
+            continue
+        gap = spread - weighted
+        verdict = "ok" if gap >= args.margin else "FAIL"
+        print(f"{verdict}: {region} availability spread={spread:.4f} "
+              f"weighted={weighted:.4f} gap={gap:+.4f} "
+              f"(need >= {args.margin})")
+        if gap < args.margin:
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,9 @@ public:
 
     for (const Action& a : spec->plan.actions()) audit_action(a, topo, *spec);
     for (const MessageRule& r : spec->plan.rules()) audit_rule(r, topo, *spec);
+    for (const CorrelationRule& c : spec->plan.correlations()) {
+      audit_correlation(c, topo);
+    }
     return std::move(report_);
   }
 
@@ -140,22 +143,83 @@ private:
         if (a.site != kAnySite) {
           check_site("crash-on-commit", a.time, a.site, topo);
         }
-        if (!(a.duration > 0.0)) {
+        // duration == 0 is the defined immediate-restart crash.
+        if (!(a.duration >= 0.0)) {
           error(AuditCode::kChaosBadSchedule,
                 "crash-on-commit at t=" + std::to_string(a.time) +
-                    " needs a positive down-time");
+                    " needs a down-time >= 0");
+        }
+        break;
+      case Action::Kind::kDomainDown:
+      case Action::Kind::kDomainUp:
+        check_domain("domain action", a.time, a.domain, topo);
+        break;
+      case Action::Kind::kOneWayDown:
+      case Action::Kind::kOneWayUp:
+        check_site("oneway", a.time, a.site, topo);
+        check_site("oneway", a.time, a.site_b, topo);
+        if (a.site < topo.site_count() && a.site_b < topo.site_count() &&
+            !topo.has_link(a.site, a.site_b)) {
+          error(AuditCode::kChaosUnknownTarget,
+                "oneway at t=" + std::to_string(a.time) + " names link {" +
+                    std::to_string(a.site) + ", " + std::to_string(a.site_b) +
+                    "} but no such link exists");
         }
         break;
     }
   }
 
+  void check_domain(const char* what, double t, const std::string& prefix,
+                    const net::Topology& topo) {
+    if (!topo.has_domains()) {
+      error(AuditCode::kDomainConfig,
+            std::string(what) + " at t=" + std::to_string(t) +
+                " targets domain '" + prefix +
+                "' but the topology declares no domains");
+      return;
+    }
+    if (topo.sites_in_domain(prefix).empty()) {
+      error(AuditCode::kDomainConfig,
+            std::string(what) + " at t=" + std::to_string(t) +
+                " targets domain '" + prefix + "' but no site belongs to it");
+    }
+  }
+
+  void audit_correlation(const CorrelationRule& c, const net::Topology& topo) {
+    if (c.level < 1 || c.level > 3) {
+      error(AuditCode::kChaosBadSchedule,
+            "correlate level " + std::to_string(c.level) +
+                " outside 1 (region) .. 3 (rack)");
+    }
+    if (!(c.probability >= 0.0 && c.probability <= 1.0)) {
+      error(AuditCode::kChaosBadSchedule,
+            "correlate probability " + std::to_string(c.probability) +
+                " outside [0, 1]");
+    }
+    if (!(c.down_for > 0.0)) {
+      error(AuditCode::kChaosBadSchedule,
+            "correlate needs a positive down-time");
+    }
+    if (!topo.has_domains()) {
+      error(AuditCode::kDomainConfig,
+            "correlate rule needs domain annotations but the topology "
+            "declares none");
+    }
+  }
+
   void audit_rule(const MessageRule& r, const net::Topology& topo,
                   const ChaosSpec& spec) {
-    if (!(r.until > r.from) || !(r.from >= 0.0)) {
+    // Windows are half-open [from, until): inverted windows are rejected,
+    // but the empty from == until window is merely inert (warning).
+    if (r.until < r.from || !(r.from >= 0.0)) {
       error(AuditCode::kChaosBadSchedule,
             "window [" + std::to_string(r.from) + ", " +
-                std::to_string(r.until) + ") is inverted, empty, or starts "
+                std::to_string(r.until) + ") is inverted or starts "
                 "before t=0");
+    } else if (r.until == r.from) {
+      warn(AuditCode::kChaosBadSchedule,
+           "window [" + std::to_string(r.from) + ", " +
+               std::to_string(r.until) + ") is empty and can never match");
     }
     if (!(r.probability >= 0.0 && r.probability <= 1.0)) {
       error(AuditCode::kChaosBadSchedule,
@@ -167,6 +231,33 @@ private:
             "delay window needs a positive mean extra latency");
     }
     if (r.link != kAllLinks) check_link("window", r.from, r.link, topo);
+    if (!r.domain_a.empty()) {
+      check_domain("window", r.from, r.domain_a, topo);
+      if (r.domain_b != "*") check_domain("window", r.from, r.domain_b, topo);
+      if (topo.has_domains()) {
+        // The rule should actually select at least one link.
+        bool any = false;
+        for (net::LinkId l = 0; l < topo.link_count() && !any; ++l) {
+          const net::Link& link = topo.link(l);
+          const std::string& da = topo.domain(link.a);
+          const std::string& db = topo.domain(link.b);
+          const auto crosses = [&](const std::string& x,
+                                   const std::string& y) {
+            if (!net::Topology::domain_contains(r.domain_a, x)) return false;
+            if (r.domain_b == "*") {
+              return !net::Topology::domain_contains(r.domain_a, y);
+            }
+            return net::Topology::domain_contains(r.domain_b, y);
+          };
+          any = crosses(da, db) || crosses(db, da);
+        }
+        if (!any) {
+          warn(AuditCode::kDomainConfig,
+               "window between '" + r.domain_a + "' and '" + r.domain_b +
+                   "' matches no link");
+        }
+      }
+    }
     if (spec.horizon > 0.0 && r.from > spec.horizon) {
       warn(AuditCode::kChaosBadSchedule,
            "window starting at t=" + std::to_string(r.from) +

@@ -137,10 +137,49 @@ void parse_at(FaultPlan& plan, std::istringstream& cells, std::size_t line) {
     }
     plan.arm_crash_on_commit(t, filter, down_for);
     return;
+  } else if (what == "domain") {
+    std::string path;
+    std::string state;
+    if (!(cells >> path >> state) || (state != "down" && state != "up")) {
+      fail(line, "expected 'domain PATH down|up'");
+    }
+    state == "down" ? plan.domain_down(t, std::move(path))
+                    : plan.domain_up(t, std::move(path));
+  } else if (what == "oneway") {
+    const net::SiteId a = need_u32(cells, line, "a from-site after 'oneway'");
+    const net::SiteId b2 = need_u32(cells, line, "a to-site after 'oneway'");
+    std::string state;
+    if (!(cells >> state) || (state != "down" && state != "up")) {
+      fail(line, "expected 'down' or 'up'");
+    }
+    state == "down" ? plan.oneway_down(t, a, b2) : plan.oneway_up(t, a, b2);
   } else {
     fail(line, "unknown action '" + what + "'");
   }
   reject_trailing(cells, line);
+}
+
+/// `correlate region|dc|rack P for D`
+void parse_correlate(FaultPlan& plan, std::istringstream& cells,
+                     std::size_t line) {
+  std::string level_word;
+  if (!(cells >> level_word)) fail(line, "expected region, dc or rack");
+  int level = 0;
+  if (level_word == "region") {
+    level = 1;
+  } else if (level_word == "dc") {
+    level = 2;
+  } else if (level_word == "rack") {
+    level = 3;
+  } else {
+    fail(line, "correlate level must be region, dc or rack, got '" +
+                   level_word + "'");
+  }
+  const double p = need_double(cells, line, "a probability");
+  need_keyword(cells, line, "for");
+  const double down_for = need_double(cells, line, "a down-time after 'for'");
+  reject_trailing(cells, line);
+  plan.correlate(level, p, down_for);
 }
 
 void parse_window(FaultPlan& plan, std::istringstream& cells,
@@ -157,13 +196,33 @@ void parse_window(FaultPlan& plan, std::istringstream& cells,
     fail(line, "unknown window kind '" + kind + "'");
   }
   net::LinkId link = kAllLinks;
+  std::string dom_a;
+  std::string dom_b;
   std::string keyword;
   if (cells >> keyword) {
-    if (keyword != "link") fail(line, "expected 'link' or end of line");
-    link = need_u32(cells, line, "a link id after 'link'");
+    if (keyword == "link") {
+      link = need_u32(cells, line, "a link id after 'link'");
+    } else if (keyword == "between") {
+      if (!(cells >> dom_a >> dom_b)) {
+        fail(line, "'between' needs two domain prefixes (or '*')");
+      }
+      if (dom_a == "*") fail(line, "the first 'between' domain cannot be '*'");
+    } else {
+      fail(line, "expected 'link', 'between' or end of line");
+    }
     reject_trailing(cells, line);
   }
-  if (kind == "drop") {
+  if (!dom_a.empty()) {
+    if (kind == "drop") {
+      plan.drop_between(from, until, p, std::move(dom_a), std::move(dom_b));
+    } else if (kind == "delay") {
+      plan.delay_between(from, until, p, mean_extra, std::move(dom_a),
+                         std::move(dom_b));
+    } else {
+      plan.duplicate_between(from, until, p, std::move(dom_a),
+                             std::move(dom_b));
+    }
+  } else if (kind == "drop") {
     plan.drop(from, until, p, link);
   } else if (kind == "delay") {
     plan.delay(from, until, p, mean_extra, link);
@@ -290,6 +349,50 @@ FaultPlan& FaultPlan::arm_crash_on_commit(double t, net::SiteId site,
   return *this;
 }
 
+FaultPlan& FaultPlan::domain_down(double t, std::string domain) {
+  Action a;
+  a.time = t;
+  a.kind = Action::Kind::kDomainDown;
+  a.domain = std::move(domain);
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::domain_up(double t, std::string domain) {
+  Action a;
+  a.time = t;
+  a.kind = Action::Kind::kDomainUp;
+  a.domain = std::move(domain);
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::oneway_down(double t, net::SiteId a_site, net::SiteId b) {
+  Action a;
+  a.time = t;
+  a.kind = Action::Kind::kOneWayDown;
+  a.site = a_site;
+  a.site_b = b;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::oneway_up(double t, net::SiteId a_site, net::SiteId b) {
+  Action a;
+  a.time = t;
+  a.kind = Action::Kind::kOneWayUp;
+  a.site = a_site;
+  a.site_b = b;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::correlate(int level, double probability,
+                                double down_for) {
+  correlations_.push_back(CorrelationRule{level, probability, down_for});
+  return *this;
+}
+
 FaultPlan& FaultPlan::drop(double from, double until, double p,
                            net::LinkId link) {
   rules_.push_back(MessageRule{MessageRule::Kind::kDrop, from, until, p, 0.0,
@@ -308,6 +411,33 @@ FaultPlan& FaultPlan::duplicate(double from, double until, double p,
                                 net::LinkId link) {
   rules_.push_back(MessageRule{MessageRule::Kind::kDuplicate, from, until, p,
                                0.0, link});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_between(double from, double until, double p,
+                                   std::string domain_a,
+                                   std::string domain_b) {
+  rules_.push_back(MessageRule{MessageRule::Kind::kDrop, from, until, p, 0.0,
+                               kAllLinks, std::move(domain_a),
+                               std::move(domain_b)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_between(double from, double until, double p,
+                                    double mean_extra, std::string domain_a,
+                                    std::string domain_b) {
+  rules_.push_back(MessageRule{MessageRule::Kind::kDelay, from, until, p,
+                               mean_extra, kAllLinks, std::move(domain_a),
+                               std::move(domain_b)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate_between(double from, double until, double p,
+                                        std::string domain_a,
+                                        std::string domain_b) {
+  rules_.push_back(MessageRule{MessageRule::Kind::kDuplicate, from, until, p,
+                               0.0, kAllLinks, std::move(domain_a),
+                               std::move(domain_b)});
   return *this;
 }
 
@@ -349,6 +479,8 @@ ChaosSpec load_chaos(std::istream& in) {
       parse_window(spec.plan, cells, line_no);
     } else if (directive == "flap") {
       parse_flap(spec.plan, cells, line_no);
+    } else if (directive == "correlate") {
+      parse_correlate(spec.plan, cells, line_no);
     } else {
       system_text << raw << '\n';  // a topology/system directive
     }

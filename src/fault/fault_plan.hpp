@@ -30,22 +30,41 @@ struct Action {
     kHealLinks,        // bring every link back up, leave site states alone
     kReassign,         // attempt a QR install (§2.2) from `site`
     kArmCrashOnCommit, // crash the next matching coordinator entering phase 2
+    kDomainDown,       // crash every site inside failure domain `domain`
+    kDomainUp,         // recover every site inside failure domain `domain`
+    kOneWayDown,       // cut direction site -> site_b of link {site, site_b}
+    kOneWayUp,         // restore that direction
   };
   double time = 0.0;
   Kind kind = Kind::kSiteDown;
-  net::SiteId site = 0;        // kSite*, kReassign origin, kArmCrashOnCommit filter
+  net::SiteId site = 0;        // kSite*, kReassign origin, kArmCrashOnCommit
+                               // filter, kOneWay* from-endpoint
+  net::SiteId site_b = 0;      // kOneWay* to-endpoint
   net::LinkId link = 0;        // kLink*
   quorum::QuorumSpec next{};   // kReassign: the assignment to install
   double duration = 0.0;       // kArmCrashOnCommit: down-time after the crash
+                               // (0 = crash with immediate restart)
   std::vector<std::vector<net::SiteId>> groups;  // kPartition
+  std::string domain;          // kDomain*: a domain path prefix, e.g. "rg0"
 };
 
 /// A stochastic message-fault window. While the simulated clock is inside
-/// [from, until), every message departing on a matching link runs the
-/// rule: drop with probability p, add exponential extra latency, or
-/// deliver a duplicate. All randomness comes from the injector's own RNG
-/// stream, so the cluster's draw sequence is untouched and every run with
-/// the same seed replays bit-identically.
+/// the half-open interval [from, until) — a departure at exactly `from`
+/// matches, one at exactly `until` does not, and `from == until` is an
+/// inert window that matches nothing — every message departing on a
+/// matching link runs the rule: drop with probability p, add exponential
+/// extra latency, or deliver a duplicate. All randomness comes from the
+/// injector's own RNG stream, so the cluster's draw sequence is untouched
+/// and every run with the same seed replays bit-identically.
+///
+/// Link matching: `link` selects one link (or kAllLinks). Alternatively a
+/// rule may be *domain-scoped* (gray failure confined to a domain
+/// boundary): with `domain_a` set, the rule matches links with one
+/// endpoint inside domain_a and the other inside domain_b — or, when
+/// domain_b is "*", anywhere outside domain_a. Domain-scoped rules need
+/// the injector to know the topology (`FaultInjector::set_topology`,
+/// called automatically by `Cluster::attach_injector`); without it they
+/// match nothing.
 struct MessageRule {
   enum class Kind : std::uint8_t { kDrop, kDelay, kDuplicate };
   Kind kind = Kind::kDrop;
@@ -54,6 +73,23 @@ struct MessageRule {
   double probability = 0.0;
   double mean_extra = 0.0;     // kDelay: mean of the exponential extra latency
   net::LinkId link = kAllLinks;
+  std::string domain_a;        // empty = link-scoped rule
+  std::string domain_b;        // second boundary, or "*" = outside domain_a
+};
+
+/// Correlated-failure model: whenever a site goes down (scripted action,
+/// background failure, or crash-on-commit trigger), each *other* currently
+/// up site sharing its failure domain at `level` also fails with
+/// probability `probability`, staying down for `down_for`. Cascade victims
+/// do not trigger further cascades (one level of contagion), and every
+/// Bernoulli draw comes from the injector's RNG stream, keeping the
+/// cluster's transcript byte-stable for a given seed.
+struct CorrelationRule {
+  /// Domain-path depth that must be shared: 1 = region, 2 = datacenter,
+  /// 3 = rack in the canonical "rg/dc/rk" scheme.
+  int level = 3;
+  double probability = 0.0;
+  double down_for = 10.0;
 };
 
 /// A composable fault scenario: a timeline of scheduled actions plus
@@ -76,9 +112,20 @@ public:
   FaultPlan& reassign(double t, net::SiteId origin, quorum::QuorumSpec next);
   /// Arm a one-shot trigger: the next coordinator matching `site` (or any,
   /// with kAnySite) that floods a commit crashes immediately afterwards —
-  /// the canonical partial-write scenario — and stays down for `down_for`.
+  /// the canonical partial-write scenario — and stays down for `down_for`
+  /// (`0.0` = crash with immediate restart: volatile coordinator state is
+  /// lost but the site is back up at the same instant).
   FaultPlan& arm_crash_on_commit(double t, net::SiteId site = kAnySite,
                                  double down_for = 10.0);
+  /// Crash / recover every site inside domain path prefix `domain`.
+  FaultPlan& domain_down(double t, std::string domain);
+  FaultPlan& domain_up(double t, std::string domain);
+  /// Cut / restore only the a -> b direction of link {a, b} (asymmetric
+  /// partial partition; the reverse direction keeps delivering).
+  FaultPlan& oneway_down(double t, net::SiteId a, net::SiteId b);
+  FaultPlan& oneway_up(double t, net::SiteId a, net::SiteId b);
+  /// Add a correlated-failure rule (see CorrelationRule).
+  FaultPlan& correlate(int level, double probability, double down_for);
 
   FaultPlan& drop(double from, double until, double p,
                   net::LinkId link = kAllLinks);
@@ -86,14 +133,29 @@ public:
                    net::LinkId link = kAllLinks);
   FaultPlan& duplicate(double from, double until, double p,
                        net::LinkId link = kAllLinks);
+  /// Domain-scoped variants: the rule matches links crossing from
+  /// `domain_a` to `domain_b` ("*" = anywhere outside domain_a).
+  FaultPlan& drop_between(double from, double until, double p,
+                          std::string domain_a, std::string domain_b);
+  FaultPlan& delay_between(double from, double until, double p,
+                           double mean_extra, std::string domain_a,
+                           std::string domain_b);
+  FaultPlan& duplicate_between(double from, double until, double p,
+                               std::string domain_a, std::string domain_b);
 
   const std::vector<Action>& actions() const noexcept { return actions_; }
   const std::vector<MessageRule>& rules() const noexcept { return rules_; }
-  bool empty() const noexcept { return actions_.empty() && rules_.empty(); }
+  const std::vector<CorrelationRule>& correlations() const noexcept {
+    return correlations_;
+  }
+  bool empty() const noexcept {
+    return actions_.empty() && rules_.empty() && correlations_.empty();
+  }
 
 private:
   std::vector<Action> actions_;
   std::vector<MessageRule> rules_;
+  std::vector<CorrelationRule> correlations_;
 };
 
 /// A fully parsed `.chaos` scenario: plan + the system it runs against.
@@ -121,6 +183,16 @@ private:
 /// window 40 160 drop 0.15
 /// window 40 160 delay 0.3 0.05
 /// window 40 160 duplicate 0.1 link 3
+///
+/// # failure-domain directives (need `domain` / `geo` annotations):
+/// at 60 domain rg0 down            # crash every site under rg0
+/// at 120 domain rg0 up
+/// at 80 oneway 3 7 down            # cut only the 3 -> 7 direction
+/// at 100 oneway 3 7 up
+/// correlate rack 0.8 for 30        # rack-mates of any failed site also
+///                                  # fail with p=0.8 (region|dc|rack)
+/// window 40 160 drop 0.3 between rg0 rg1   # gray inter-region link
+/// window 40 160 delay 0.5 0.08 between rg0 *
 /// ```
 struct ChaosSpec {
   std::string name = "unnamed";

@@ -30,9 +30,17 @@ struct MessageFault {
 class FaultInjector {
 public:
   /// Validates and compiles the plan; throws std::invalid_argument on
-  /// negative times, probabilities outside [0,1], or inverted windows.
+  /// negative times, probabilities outside [0,1], or inverted windows
+  /// (`until < from`; an empty `from == until` window is legal and inert).
   /// (Range checks against a concrete topology are `audit_chaos`'s job.)
   FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  /// Gives the injector the topology that domain-scoped rules and
+  /// correlation rules resolve against. `Cluster::attach_injector` calls
+  /// this automatically; `topo` must outlive the injector (pass nullptr to
+  /// detach). Without a topology, domain-scoped rules match nothing and
+  /// correlated failures never fire.
+  void set_topology(const net::Topology* topo);
 
   /// Scheduled actions, stably sorted by time.
   const std::vector<Action>& timeline() const noexcept { return timeline_; }
@@ -53,6 +61,21 @@ public:
   bool has_rules() const noexcept { return !rules_.empty(); }
   std::size_t armed_crash_count() const noexcept { return armed_.size(); }
 
+  /// True when the plan carries correlated-failure rules — lets the
+  /// cluster skip the cascade hook entirely on legacy plans (no draws, so
+  /// their transcripts stay byte-identical).
+  bool has_correlations() const noexcept { return !correlations_.empty(); }
+
+  /// A co-domain failure cascade for site `failed` going down: one
+  /// Bernoulli draw per (rule, co-domain site) pair in deterministic
+  /// (rule order, ascending site id) order, on the injector's own stream.
+  /// Returns the fired (site, down_for) pairs, deduplicated keeping the
+  /// first rule's down-time; `failed` itself is never returned. The caller
+  /// decides what "down" means (and skips already-down sites) — the draw
+  /// sequence happens regardless, keeping replays byte-stable.
+  std::vector<std::pair<net::SiteId, double>> correlated_failures(
+      net::SiteId failed);
+
   /// Observability: count what the stochastic rules actually did to the
   /// message stream (`fault.msg_drops` / `fault.msg_duplicates` /
   /// `fault.msg_delays`). Pure recording — the draw sequence is untouched.
@@ -60,8 +83,15 @@ public:
   void set_metrics(obs::Registry* registry);
 
 private:
+  bool rule_matches_link(std::size_t rule_index, net::LinkId link) const;
+
   std::vector<Action> timeline_;
   std::vector<MessageRule> rules_;
+  std::vector<CorrelationRule> correlations_;
+  const net::Topology* topo_ = nullptr;
+  // Per-rule link mask for domain-scoped rules (empty for link-scoped
+  // ones), rebuilt by set_topology.
+  std::vector<std::vector<char>> rule_link_mask_;
   rng::Xoshiro256ss gen_;
   struct Armed {
     net::SiteId filter = kAnySite;

@@ -98,6 +98,7 @@ public:
     audit_static_components(topo, d);
     audit_quorum(topo, d);
     audit_versions(topo, d);
+    audit_domains(topo, d);
     if (d.quorum && d.quorum->valid(total)) audit_coteries(topo, *d.quorum);
     return std::move(report_);
   }
@@ -111,6 +112,53 @@ private:
   }
   void warn(AuditCode code, std::string message) {
     add(code, AuditSeverity::kWarning, std::move(message));
+  }
+
+  // Failure-domain discipline. The parser is deliberately lax (duplicate
+  // `domain` lines are last-wins) so this audit — not a hard parse error —
+  // is where conflicting definitions surface.
+  void audit_domains(const net::Topology& topo, const CheckDirectives& d) {
+    // Duplicate `domain SITE ...` lines in the source text.
+    std::istringstream lines(d.system_text);
+    std::string raw;
+    std::vector<std::string> seen_targets;
+    while (std::getline(lines, raw)) {
+      const auto hash = raw.find('#');
+      std::istringstream cells(hash == std::string::npos ? raw
+                                                         : raw.substr(0, hash));
+      std::string directive;
+      std::string target;
+      if (!(cells >> directive >> target) || directive != "domain") continue;
+      if (std::find(seen_targets.begin(), seen_targets.end(), target) !=
+          seen_targets.end()) {
+        error(AuditCode::kDomainConfig,
+              "site " + target +
+                  " has more than one 'domain' definition (last wins; "
+                  "remove the overlap)");
+      } else {
+        seen_targets.push_back(target);
+      }
+    }
+    if (!topo.has_domains()) return;
+    // A site whose full path is an interior node of another site's path
+    // ("rg0" vs "rg0/dc1") makes domain membership ambiguous to readers.
+    std::vector<std::string> paths;
+    for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+      const std::string& p = topo.domain(s);
+      if (!p.empty() &&
+          std::find(paths.begin(), paths.end(), p) == paths.end()) {
+        paths.push_back(p);
+      }
+    }
+    for (const std::string& a : paths) {
+      for (const std::string& b : paths) {
+        if (a.size() < b.size() && net::Topology::domain_contains(a, b)) {
+          warn(AuditCode::kDomainConfig,
+               "domain '" + a + "' is both a site's full path and an "
+               "ancestor of '" + b + "': overlapping domain definitions");
+        }
+      }
+    }
   }
 
   void audit_votes(const net::Topology& topo, const CheckDirectives& d) {
@@ -323,6 +371,7 @@ const char* audit_code_name(AuditCode code) {
     case AuditCode::kCoterieMinimality: return "coterie-minimality";
     case AuditCode::kChaosBadSchedule: return "chaos-bad-schedule";
     case AuditCode::kChaosUnknownTarget: return "chaos-unknown-target";
+    case AuditCode::kDomainConfig: return "domain-config";
   }
   return "unknown";
 }
@@ -467,6 +516,7 @@ std::vector<SarifRule> audit_sarif_rules() {
       AuditCode::kCoterieMinimality,
       AuditCode::kChaosBadSchedule,
       AuditCode::kChaosUnknownTarget,
+      AuditCode::kDomainConfig,
   };
   std::vector<SarifRule> rules;
   for (const AuditCode code : kAll) {

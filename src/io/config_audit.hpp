@@ -30,6 +30,9 @@ enum class AuditCode {
   kChaosBadSchedule,      // .chaos plan: inverted window, bad probability,
                           // missing horizon, overlapping partition groups
   kChaosUnknownTarget,    // .chaos plan names a site/link the topology lacks
+  kDomainConfig,          // failure-domain problems: duplicate/overlapping
+                          // domain definitions, or a chaos directive naming
+                          // a domain no site belongs to
 };
 
 /// Stable kebab-case slug for a code (what the report prints).

@@ -35,6 +35,23 @@ struct Builder {
     std::size_t line;
   };
   std::vector<LinkRel> link_rels;
+  // Domain / latency annotations, resolved after all links exist.
+  struct DomainDecl {
+    net::SiteId site;
+    std::string path;
+    std::size_t line;
+  };
+  std::vector<DomainDecl> domains;
+  bool any_lat = false;
+  bool has_lat_default = false;
+  net::LinkLatency lat_default;
+  struct LinkLat {
+    net::SiteId a;
+    net::SiteId b;
+    net::LinkLatency lat;
+    std::size_t line;
+  };
+  std::vector<LinkLat> link_lats;
 
   bool add_link(net::SiteId a, net::SiteId b) {
     const auto key = std::minmax(a, b);
@@ -167,6 +184,71 @@ SystemSpec load_system(std::istream& in) {
                                                parse_site(b, sb, line_no), rel,
                                                line_no});
       }
+    } else if (directive == "domain") {
+      std::string target;
+      std::string path;
+      if (!(cells >> target >> path)) {
+        throw ParseError(line_no, "'domain' needs a site and a path");
+      }
+      // Last assignment wins (the static auditor flags duplicates).
+      b.domains.push_back(Builder::DomainDecl{parse_site(b, target, line_no),
+                                              std::move(path), line_no});
+    } else if (directive == "link_lat") {
+      std::string sa;
+      if (!(cells >> sa)) {
+        throw ParseError(line_no, "'link_lat' needs endpoints or 'default'");
+      }
+      b.any_lat = true;
+      net::LinkLatency lat;
+      if (sa == "default") {
+        if (!(cells >> lat.base >> lat.jitter) || lat.base < 0.0 ||
+            lat.jitter < 0.0) {
+          throw ParseError(line_no,
+                           "'link_lat default' needs base and jitter >= 0");
+        }
+        b.has_lat_default = true;
+        b.lat_default = lat;
+      } else {
+        std::string sb;
+        if (!(cells >> sb >> lat.base >> lat.jitter) || lat.base < 0.0 ||
+            lat.jitter < 0.0) {
+          throw ParseError(
+              line_no, "'link_lat' needs two sites, a base and a jitter >= 0");
+        }
+        b.link_lats.push_back(Builder::LinkLat{parse_site(b, sa, line_no),
+                                               parse_site(b, sb, line_no), lat,
+                                               line_no});
+      }
+    } else if (directive == "geo") {
+      net::GeoSpec geo;
+      if (!(cells >> geo.regions >> geo.dcs_per_region >> geo.racks_per_dc >>
+            geo.sites_per_rack)) {
+        throw ParseError(line_no,
+                         "'geo' needs four tier counts: regions dcs racks "
+                         "sites-per-rack");
+      }
+      if (!b.links.empty()) {
+        throw ParseError(line_no, "'geo' must precede any link directive");
+      }
+      const std::uint64_t product = std::uint64_t{geo.regions} *
+                                    geo.dcs_per_region * geo.racks_per_dc *
+                                    geo.sites_per_rack;
+      if (product == 0 || product != b.sites) {
+        throw ParseError(line_no, "'geo' tier product " +
+                                      std::to_string(product) +
+                                      " != sites " + std::to_string(b.sites));
+      }
+      const net::Topology geo_topo = net::make_geo(geo);
+      b.any_lat = true;
+      for (net::LinkId l = 0; l < geo_topo.link_count(); ++l) {
+        const net::Link& gl = geo_topo.link(l);
+        b.add_link(gl.a, gl.b);
+        b.link_lats.push_back(
+            Builder::LinkLat{gl.a, gl.b, geo_topo.link_latency(l), line_no});
+      }
+      for (net::SiteId s = 0; s < geo_topo.site_count(); ++s) {
+        b.domains.push_back(Builder::DomainDecl{s, geo_topo.domain(s), line_no});
+      }
     } else {
       throw ParseError(line_no, "unknown directive '" + directive + "'");
     }
@@ -203,6 +285,27 @@ SystemSpec load_system(std::istream& in) {
       }
     }
   }
+  for (Builder::DomainDecl& d : b.domains) {
+    try {
+      spec.topology.set_domain(d.site, std::move(d.path));
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(d.line, e.what());
+    }
+  }
+  if (b.any_lat) {
+    if (b.has_lat_default) {
+      for (net::LinkId l = 0; l < spec.topology.link_count(); ++l) {
+        spec.topology.set_link_latency(l, b.lat_default);
+      }
+    }
+    for (const Builder::LinkLat& ll : b.link_lats) {
+      const net::LinkId l = spec.topology.find_link(ll.a, ll.b);
+      if (l == spec.topology.link_count()) {
+        throw ParseError(ll.line, "'link_lat' names a link that does not exist");
+      }
+      spec.topology.set_link_latency(l, ll.lat);
+    }
+  }
   return spec;
 }
 
@@ -227,6 +330,21 @@ void save_topology(std::ostream& out, const net::Topology& topo) {
   }
   for (const net::Link& l : topo.links()) {
     out << "link " << l.a << ' ' << l.b << '\n';
+  }
+  if (topo.has_domains()) {
+    for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+      if (!topo.domain(s).empty()) {
+        out << "domain " << s << ' ' << topo.domain(s) << '\n';
+      }
+    }
+  }
+  if (topo.has_link_latencies()) {
+    out << std::setprecision(17);
+    for (net::LinkId l = 0; l < topo.link_count(); ++l) {
+      const net::LinkLatency lat = topo.link_latency(l);
+      out << "link_lat " << topo.link(l).a << ' ' << topo.link(l).b << ' '
+          << lat.base << ' ' << lat.jitter << '\n';
+    }
   }
 }
 

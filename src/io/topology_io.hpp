@@ -50,6 +50,11 @@ struct SystemSpec {
 /// site_rel default 0.9
 /// link_rel 3 77 0.85   # per-link reliability; the link must exist by EOF
 /// link_rel default 0.99
+/// domain 5 rg0/dc1/rk0 # failure-domain path (last assignment wins)
+/// link_lat 3 77 0.03 0.01   # latency class: base + Exp(jitter) seconds
+/// link_lat default 0.002 0.001
+/// geo 3 2 1 4          # geo builder: regions/dcs/racks/sites-per-rack;
+///                      # must match `sites`, precede any link directive
 /// ```
 ///
 /// Builder directives (`ring`, `chords`, `complete`) skip links that

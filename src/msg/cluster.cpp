@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/contracts.hpp"
 #include "rng/distributions.hpp"
 
 namespace quora::msg {
@@ -52,10 +53,26 @@ Cluster::Cluster(const net::Topology& topo, Params params, std::uint64_t seed)
     throw std::invalid_argument("Cluster: alpha outside [0,1]");
   }
   if (params_.commit_timeout < 0.0 || params_.backoff_base < 0.0 ||
-      params_.access_budget < 0.0 ||
+      params_.access_budget < 0.0 || params_.lease_timeout < 0.0 ||
       !(params_.backoff_jitter >= 0.0 && params_.backoff_jitter <= 1.0)) {
     throw std::invalid_argument("Cluster: negative retry/timeout parameter");
   }
+  if (params_.max_retries > Params::kMaxRetryBudget) {
+    throw std::invalid_argument(
+        "Cluster: max_retries exceeds kMaxRetryBudget (64): doubling "
+        "backoff overflows any plausible schedule first");
+  }
+  // The throws above use `!(x > 0)` style comparisons that a NaN slips
+  // through; contracts catch what validation cannot express.
+  QUORA_PRECONDITION(std::isfinite(params_.mean_hop_latency) &&
+                         std::isfinite(params_.phase_timeout) &&
+                         std::isfinite(params_.commit_timeout) &&
+                         std::isfinite(params_.lease_timeout) &&
+                         std::isfinite(params_.backoff_base) &&
+                         std::isfinite(params_.backoff_jitter) &&
+                         std::isfinite(params_.access_budget) &&
+                         std::isfinite(params_.alpha),
+                     "Cluster::Params: every timing parameter must be finite");
 
   if (params_.lease_timeout <= 0.0) {
     // One attempt's worst-case window: phase 1 plus the commit deadline,
@@ -69,6 +86,33 @@ Cluster::Cluster(const net::Topology& topo, Params params, std::uint64_t seed)
   pending_.resize(topo.site_count());
   floods_.resize(topo.site_count());
   fifo_clock_.assign(2 * static_cast<std::size_t>(topo.link_count()), 0.0);
+  dir_blocked_.assign(2 * static_cast<std::size_t>(topo.link_count()), 0);
+
+  hop_latency_.assign(topo.link_count(), net::LinkLatency{});
+  for (net::LinkId l = 0; l < topo.link_count(); ++l) {
+    const net::LinkLatency lat = topo.link_latency(l);
+    // Unannotated links ({0,0}) resolve to pure exponential jitter with
+    // the uniform mean: base 0 + Exp(mean_hop_latency) is the exact
+    // legacy draw, so unannotated runs replay byte-identically.
+    hop_latency_[l] = (lat.base > 0.0 || lat.jitter > 0.0)
+                          ? lat
+                          : net::LinkLatency{0.0, params_.mean_hop_latency};
+  }
+
+  if (topo.has_domains()) {
+    region_names_ = topo.regions();
+    site_region_.assign(topo.site_count(), kNoRegion);
+    for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+      const std::string rg = topo.domain_prefix(s, 1);
+      if (rg.empty()) continue;
+      for (std::size_t i = 0; i < region_names_.size(); ++i) {
+        if (region_names_[i] == rg) {
+          site_region_[s] = static_cast<std::uint32_t>(i);
+          break;
+        }
+      }
+    }
+  }
 
   const double mu_f = params_.config.mu_fail();
   for (net::SiteId s = 0; s < topo.site_count(); ++s) {
@@ -94,6 +138,9 @@ void Cluster::set_trace(obs::TraceRecorder* trace) {
 
 void Cluster::set_metrics(obs::Registry* registry) {
   registry_ = registry;
+  obs_region_grants_.assign(region_names_.size(), obs::Counter{});
+  obs_region_denies_.assign(region_names_.size(), obs::Counter{});
+  obs_region_latency_.assign(region_names_.size(), obs::Histogram{});
   if (registry == nullptr) {
     obs_accesses_ = obs::Counter{};
     obs_grants_ = obs::Counter{};
@@ -121,6 +168,15 @@ void Cluster::set_metrics(obs::Registry* registry) {
         registry->histogram("cluster.phase1_seconds", latency_buckets);
     obs_commit_latency_ =
         registry->histogram("cluster.commit_seconds", latency_buckets);
+    // Per-domain breakdown: one grant/deny counter pair and one latency
+    // histogram per region (level-1 domain) of an annotated topology.
+    for (std::size_t r = 0; r < region_names_.size(); ++r) {
+      const std::string prefix = "cluster.domain." + region_names_[r];
+      obs_region_grants_[r] = registry->counter(prefix + ".grants");
+      obs_region_denies_[r] = registry->counter(prefix + ".denies");
+      obs_region_latency_[r] = registry->histogram(
+          prefix + ".access_latency_seconds", latency_buckets);
+    }
   }
   qr_.set_metrics(registry);
   tracker_.set_metrics(registry);
@@ -129,6 +185,7 @@ void Cluster::set_metrics(obs::Registry* registry) {
 
 void Cluster::attach_injector(fault::FaultInjector* injector) {
   injector_ = injector;
+  injector->set_topology(topo_);
   if (registry_ != nullptr) injector->set_metrics(registry_);
   const auto& timeline = injector->timeline();
   for (std::size_t i = 0; i < timeline.size(); ++i) {
@@ -167,15 +224,17 @@ void Cluster::send(net::SiteId from, net::LinkId link, const Message& m) {
   const std::size_t dir =
       2 * static_cast<std::size_t>(link) + (edge.a == from ? 0 : 1);
 
+  const net::LinkLatency& hop = hop_latency_[link];
   fault::MessageFault fate;
   if (injector_ != nullptr && injector_->has_rules()) {
-    fate = injector_->on_send(link, now_, params_.mean_hop_latency);
+    // The duplicate-copy latency draw is parameterized by this link's
+    // mean hop latency (= mean_hop_latency on unannotated topologies).
+    fate = injector_->on_send(link, now_, hop.base + hop.jitter);
   }
 
-  const double arrival =
-      std::max(fifo_clock_[dir], now_ +
-                                     rng::exponential(gen_, params_.mean_hop_latency) +
-                                     fate.extra_delay);
+  double hop_latency = hop.base + fate.extra_delay;
+  if (hop.jitter > 0.0) hop_latency += rng::exponential(gen_, hop.jitter);
+  const double arrival = std::max(fifo_clock_[dir], now_ + hop_latency);
   fifo_clock_[dir] = arrival;  // FIFO per direction
   ++messages_sent_;
 
@@ -260,6 +319,7 @@ void Cluster::handle_access(net::SiteId origin) {
     QUORA_METRIC_ADD(
         obs_denies_[static_cast<std::size_t>(DenyReason::kOriginDown)], 1);
     QUORA_METRIC_RECORD(obs_access_latency_, 0.0);
+    record_region(origin, false, 0.0);
     QUORA_TRACE(trace_, obs::EventKind::kAccessDeny, origin, request, 0,
                 static_cast<std::uint8_t>(DenyReason::kOriginDown));
     char buf[160];
@@ -427,6 +487,7 @@ void Cluster::decide(net::SiteId coordinator, std::uint64_t request,
                 out.version, static_cast<std::uint8_t>(out.deny_reason));
   }
   QUORA_METRIC_RECORD(obs_access_latency_, now_ - p.submit_time);
+  record_region(coordinator, granted, now_ - p.submit_time);
   QUORA_OBS_ONLY(if (p.phase == 2) {
     QUORA_METRIC_RECORD(obs_commit_latency_, now_ - p.obs_phase2_start);
   } else {
@@ -466,6 +527,14 @@ void Cluster::abort_flood(net::SiteId coordinator, std::uint64_t request) {
 void Cluster::handle_delivery(const Event& e) {
   // In-flight messages die with the link or the destination.
   if (!live_.is_link_up(e.index) || !live_.is_site_up(e.target)) return;
+  // One-way cuts discard at delivery time too — but invisibly to
+  // LiveNetwork, so the oracle still believes the link works (gray).
+  const std::size_t dir = 2 * static_cast<std::size_t>(e.index) +
+                          (topo_->link(e.index).b == e.target ? 0 : 1);
+  if (dir_blocked_[dir] != 0) {
+    ++oneway_losses_;
+    return;
+  }
   const Message& m = e.message;
   const net::SiteId here = e.target;
 
@@ -682,7 +751,19 @@ bool Cluster::maybe_crash_on_commit(net::SiteId coordinator,
               obs::kFaultSite);
   live_.set_site_up(coordinator, false);
   on_site_failed(coordinator);
-  push(Event{now_ + *down_for, 0, Kind::kSiteRecover, coordinator, {}, 0, 0, 0});
+  maybe_cascade(coordinator);
+  if (*down_for > 0.0) {
+    push(Event{now_ + *down_for, 0, Kind::kSiteRecover, coordinator, {}, 0, 0,
+               0});
+  } else {
+    // duration == 0: crash with immediate restart. Volatile coordination
+    // state is gone (the pending request just resolved coordinator-crash)
+    // but the site never observably leaves the up set — no recovery event,
+    // no extra Poisson rescheduling, no RNG draw.
+    live_.set_site_up(coordinator, true);
+    QUORA_TRACE(trace_, obs::EventKind::kFaultHeal, coordinator, request, 0,
+                obs::kFaultSite);
+  }
   return true;
 }
 
@@ -694,6 +775,36 @@ void Cluster::on_site_failed(net::SiteId s) {
   }
   floods_[s].clear();
   leases_[s] = Lease{};  // volatile
+}
+
+void Cluster::maybe_cascade(net::SiteId failed) {
+  // Legacy plans carry no correlation rules: no draws, so their
+  // transcripts stay byte-identical.
+  if (injector_ == nullptr || !injector_->has_correlations()) return;
+  char buf[160];
+  for (const auto& [victim, down_for] : injector_->correlated_failures(failed)) {
+    if (!live_.set_site_up(victim, false)) continue;  // already down
+    on_site_failed(victim);
+    logf(log_, now_, buf, "fault correlated site=%u with=%u down_for=%.6f",
+         victim, failed, down_for);
+    QUORA_TRACE(trace_, obs::EventKind::kFaultInject, victim, 0, failed,
+                obs::kFaultSite);
+    // One level of contagion only: victims recover via kFaultRecover and
+    // never cascade themselves, so a rack rule cannot melt the fleet.
+    push(Event{now_ + down_for, 0, Kind::kFaultRecover, victim, {}, 0, 0, 0});
+  }
+}
+
+void Cluster::record_region(net::SiteId origin, bool granted, double latency) {
+  if (site_region_.empty()) return;
+  const std::uint32_t r = site_region_[origin];
+  if (r == kNoRegion || r >= obs_region_grants_.size()) return;
+  if (granted) {
+    QUORA_METRIC_ADD(obs_region_grants_[r], 1);
+  } else {
+    QUORA_METRIC_ADD(obs_region_denies_[r], 1);
+  }
+  QUORA_METRIC_RECORD(obs_region_latency_[r], latency);
 }
 
 void Cluster::sync_component_copies(net::SiteId origin) {
@@ -711,12 +822,15 @@ void Cluster::apply_fault(const fault::Action& action) {
   using K = fault::Action::Kind;
   char buf[160];
   switch (action.kind) {
-    case K::kSiteDown:
-      if (live_.set_site_up(action.site, false)) on_site_failed(action.site);
+    case K::kSiteDown: {
+      const bool changed = live_.set_site_up(action.site, false);
+      if (changed) on_site_failed(action.site);
       logf(log_, now_, buf, "fault site-down %u", action.site);
       QUORA_TRACE(trace_, obs::EventKind::kFaultInject, action.site, 0, 0,
                   obs::kFaultSite);
+      if (changed) maybe_cascade(action.site);
       break;
+    }
     case K::kSiteUp:
       live_.set_site_up(action.site, true);
       logf(log_, now_, buf, "fault site-up %u", action.site);
@@ -796,6 +910,53 @@ void Cluster::apply_fault(const fault::Action& action) {
       logf(log_, now_, buf, "fault arm-crash-on-commit site=%u",
            action.site);
       break;
+    case K::kDomainDown: {
+      // Scripted whole-domain outages do not cascade: the blast radius is
+      // exactly the named domain, so scenarios stay composable.
+      std::uint32_t downed = 0;
+      for (const net::SiteId s : topo_->sites_in_domain(action.domain)) {
+        if (live_.set_site_up(s, false)) {
+          on_site_failed(s);
+          ++downed;
+        }
+      }
+      logf(log_, now_, buf, "fault domain-down %s sites=%u",
+           action.domain.c_str(), downed);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultInject, 0, 0, downed,
+                  obs::kFaultSite);
+      break;
+    }
+    case K::kDomainUp: {
+      std::uint32_t upped = 0;
+      for (const net::SiteId s : topo_->sites_in_domain(action.domain)) {
+        if (live_.set_site_up(s, true)) ++upped;
+      }
+      logf(log_, now_, buf, "fault domain-up %s sites=%u",
+           action.domain.c_str(), upped);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultHeal, 0, 0, upped,
+                  obs::kFaultSite);
+      break;
+    }
+    case K::kOneWayDown:
+    case K::kOneWayUp: {
+      const bool down = action.kind == K::kOneWayDown;
+      const net::LinkId l = topo_->find_link(action.site, action.site_b);
+      if (l == topo_->link_count()) {
+        // audit_chaos flags this statically; at runtime it is a no-op.
+        logf(log_, now_, buf, "fault oneway-%s %u->%u no-link",
+             down ? "down" : "up", action.site, action.site_b);
+        break;
+      }
+      const std::size_t dir = 2 * static_cast<std::size_t>(l) +
+                              (topo_->link(l).b == action.site_b ? 0 : 1);
+      dir_blocked_[dir] = down ? 1 : 0;
+      logf(log_, now_, buf, "fault oneway-%s %u->%u link=%u",
+           down ? "down" : "up", action.site, action.site_b, l);
+      QUORA_TRACE(trace_,
+                  down ? obs::EventKind::kFaultInject : obs::EventKind::kFaultHeal,
+                  l, 0, 0, obs::kFaultLink);
+      break;
+    }
   }
 }
 
@@ -810,6 +971,7 @@ void Cluster::step(const Event& e) {
                   obs::kFaultSite);
       push(Event{now_ + rng::exponential(gen_, mu_r), 0, Kind::kSiteRecover,
                  e.index, {}, 0, 0, 0});
+      maybe_cascade(e.index);
       break;
     case Kind::kSiteRecover:
       live_.set_site_up(e.index, true);
@@ -860,6 +1022,13 @@ void Cluster::step(const Event& e) {
       start_coordination(e.target, e.request);
       break;
     }
+    case Kind::kFaultRecover:
+      // A correlated-failure victim comes back. No Poisson rescheduling
+      // and no draw: the site's own fail/repair process runs on.
+      live_.set_site_up(e.index, true);
+      QUORA_TRACE(trace_, obs::EventKind::kFaultHeal, e.index, 0, 0,
+                  obs::kFaultSite);
+      break;
   }
 }
 

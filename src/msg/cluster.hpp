@@ -5,6 +5,7 @@
 #include <map>
 #include <queue>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "conn/component_tracker.hpp"
@@ -116,6 +117,11 @@ public:
     double access_budget = 0.0;
     double alpha = 0.5;
     sim::SimConfig config;            // mu_access, rho, reliability
+
+    /// Hard cap on `max_retries`: backoff doubles per attempt, so budgets
+    /// beyond this overflow any plausible schedule long before they run.
+    /// Construction throws on larger values.
+    static constexpr std::uint32_t kMaxRetryBudget = 64;
   };
 
   Cluster(const net::Topology& topo, Params params, std::uint64_t seed);
@@ -169,6 +175,8 @@ public:
   std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
   std::uint64_t messages_duplicated() const noexcept { return messages_duplicated_; }
+  /// Messages discarded at delivery time by a one-way link cut.
+  std::uint64_t oneway_losses() const noexcept { return oneway_losses_; }
   std::uint64_t retries() const noexcept { return retries_; }
   std::uint64_t stale_rejections() const noexcept { return stale_rejections_; }
   double now() const noexcept { return now_; }
@@ -248,6 +256,11 @@ private:
     kTimer,
     kFault,   // a fault-plan timeline action (index into the timeline)
     kRetry,   // backoff expired: restart phase 1 for a pending request
+    /// A correlated-failure victim recovers. Unlike kSiteRecover this
+    /// draws nothing and reschedules nothing — the site's own Poisson
+    /// fail/repair process continues independently, so legacy plans
+    /// replay byte-identically whether or not correlations exist.
+    kFaultRecover,
   };
   struct Event {
     double time = 0.0;
@@ -281,6 +294,13 @@ private:
               DenyReason reason = DenyReason::kNone);
   void abort_flood(net::SiteId coordinator, std::uint64_t request);
   void on_site_failed(net::SiteId s);
+  /// Consult the injector's correlation rules after `failed` went down and
+  /// crash the co-domain victims that fire (skipping already-down sites;
+  /// the draw sequence happens regardless — see FaultInjector).
+  void maybe_cascade(net::SiteId failed);
+  /// Per-domain (region-level) grant/deny/latency breakdown; no-op on
+  /// unannotated topologies or sites outside every region.
+  void record_region(net::SiteId origin, bool granted, double latency);
   void apply_fault(const fault::Action& action);
   void sync_component_copies(net::SiteId origin);
   /// True if a crash-on-commit trigger fired and crashed `coordinator`.
@@ -297,6 +317,15 @@ private:
 
   const net::Topology* topo_;
   Params params_;
+  /// Per-link hop latency, resolved once at construction: an annotated
+  /// link keeps its topology class; an unannotated one becomes
+  /// {0, mean_hop_latency}, i.e. pure exponential jitter — the exact
+  /// legacy draw, so unannotated runs stay byte-identical.
+  std::vector<net::LinkLatency> hop_latency_;
+  /// site -> index into region_names_ (kNoRegion when unannotated).
+  std::vector<std::uint32_t> site_region_;
+  std::vector<std::string> region_names_;
+  static constexpr std::uint32_t kNoRegion = 0xFFFFFFFFu;
   // Mutable protocol state owned by the (future) msg shard (L007).
   QUORA_SHARD_LOCAL(msg) conn::LiveNetwork live_;
   QUORA_SHARD_LOCAL(msg) conn::ComponentTracker tracker_;
@@ -315,6 +344,11 @@ private:
   QUORA_SHARD_LOCAL(msg) std::vector<std::map<std::uint64_t, Pending>> pending_;   // per site
   QUORA_SHARD_LOCAL(msg) std::vector<std::map<std::uint64_t, FloodState>> floods_; // per site
   QUORA_SHARD_LOCAL(msg) std::vector<double> fifo_clock_;  // per directed link
+  /// One-way cuts, indexed like fifo_clock_ (2*link + dir). A blocked
+  /// direction silently discards at delivery time, mirroring how in-flight
+  /// messages die with a downed link — but LiveNetwork (and thus the
+  /// oracle's component view) still sees the link as up: a gray failure.
+  QUORA_SHARD_LOCAL(msg) std::vector<char> dir_blocked_;
   std::uint64_t next_request_ = 1;
   std::uint64_t decided_ = 0;
 
@@ -326,6 +360,7 @@ private:
   std::uint64_t messages_duplicated_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t stale_rejections_ = 0;
+  std::uint64_t oneway_losses_ = 0;
 
   obs::TraceRecorder* trace_ = nullptr;
   obs::Registry* registry_ = nullptr;  // kept to forward to a late injector
@@ -336,6 +371,10 @@ private:
   obs::Histogram obs_access_latency_;
   obs::Histogram obs_phase1_latency_;
   obs::Histogram obs_commit_latency_;
+  // Per-region (level-1 domain) breakdowns, indexed like region_names_.
+  std::vector<obs::Counter> obs_region_grants_;
+  std::vector<obs::Counter> obs_region_denies_;
+  std::vector<obs::Histogram> obs_region_latency_;
 };
 
 } // namespace quora::msg

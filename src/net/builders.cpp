@@ -116,6 +116,78 @@ Topology make_binary_tree(std::uint32_t n) {
   return Topology("tree-" + std::to_string(n), n, std::move(links));
 }
 
+Topology make_geo(const GeoSpec& spec) {
+  if (spec.regions == 0 || spec.dcs_per_region == 0 || spec.racks_per_dc == 0 ||
+      spec.sites_per_rack == 0) {
+    throw std::invalid_argument("make_geo: every tier needs at least 1 member");
+  }
+  const std::uint32_t sites_per_dc = spec.racks_per_dc * spec.sites_per_rack;
+  const std::uint32_t sites_per_region = spec.dcs_per_region * sites_per_dc;
+  const std::uint32_t n = spec.regions * sites_per_region;
+  const auto site = [&](std::uint32_t r, std::uint32_t d, std::uint32_t k,
+                        std::uint32_t i) -> SiteId {
+    return ((r * spec.dcs_per_region + d) * spec.racks_per_dc + k) *
+               spec.sites_per_rack +
+           i;
+  };
+
+  std::vector<Link> links;
+  std::vector<LinkLatency> latencies;
+  const auto add = [&](SiteId a, SiteId b, LinkLatency lat) {
+    links.push_back(Link{a, b});
+    latencies.push_back(lat);
+  };
+
+  for (std::uint32_t r = 0; r < spec.regions; ++r) {
+    for (std::uint32_t d = 0; d < spec.dcs_per_region; ++d) {
+      for (std::uint32_t k = 0; k < spec.racks_per_dc; ++k) {
+        // Complete graph within the rack.
+        for (std::uint32_t i = 0; i < spec.sites_per_rack; ++i) {
+          for (std::uint32_t j = i + 1; j < spec.sites_per_rack; ++j) {
+            add(site(r, d, k, i), site(r, d, k, j), spec.intra_rack);
+          }
+        }
+        // Rack leaders complete within the DC.
+        for (std::uint32_t k2 = k + 1; k2 < spec.racks_per_dc; ++k2) {
+          add(site(r, d, k, 0), site(r, d, k2, 0), spec.intra_dc);
+        }
+      }
+      // DC leaders complete within the region.
+      for (std::uint32_t d2 = d + 1; d2 < spec.dcs_per_region; ++d2) {
+        add(site(r, d, 0, 0), site(r, d2, 0, 0), spec.inter_dc);
+      }
+    }
+    // One inter-region link per DC index, so losing a single DC leader
+    // cannot sever a region pair when dcs_per_region >= 2.
+    for (std::uint32_t r2 = r + 1; r2 < spec.regions; ++r2) {
+      for (std::uint32_t d = 0; d < spec.dcs_per_region; ++d) {
+        add(site(r, d, 0, 0), site(r2, d, 0, 0), spec.inter_region);
+      }
+    }
+  }
+
+  Topology topo("geo-" + std::to_string(spec.regions) + "x" +
+                    std::to_string(spec.dcs_per_region) + "x" +
+                    std::to_string(spec.racks_per_dc) + "x" +
+                    std::to_string(spec.sites_per_rack),
+                n, std::move(links));
+  for (LinkId l = 0; l < latencies.size(); ++l) {
+    topo.set_link_latency(l, latencies[l]);
+  }
+  for (std::uint32_t r = 0; r < spec.regions; ++r) {
+    for (std::uint32_t d = 0; d < spec.dcs_per_region; ++d) {
+      for (std::uint32_t k = 0; k < spec.racks_per_dc; ++k) {
+        const std::string path = "rg" + std::to_string(r) + "/dc" +
+                                 std::to_string(d) + "/rk" + std::to_string(k);
+        for (std::uint32_t i = 0; i < spec.sites_per_rack; ++i) {
+          topo.set_domain(site(r, d, k, i), path);
+        }
+      }
+    }
+  }
+  return topo;
+}
+
 Topology make_erdos_renyi(std::uint32_t n, double p, std::uint64_t seed) {
   if (n == 0) throw std::invalid_argument("make_erdos_renyi: no sites");
   if (p < 0.0 || p > 1.0) throw std::invalid_argument("make_erdos_renyi: bad p");

@@ -42,6 +42,36 @@ Topology make_binary_tree(std::uint32_t n);
 /// are allowed; callers wanting connectivity should test for it.
 Topology make_erdos_renyi(std::uint32_t n, double p, std::uint64_t seed);
 
+/// Geometry of a geo-distributed deployment: `regions` regions, each with
+/// `dcs_per_region` datacenters, each datacenter `racks_per_dc` racks of
+/// `sites_per_rack` sites. Sites are numbered region-major, so region r
+/// spans a contiguous id range; every site gets the domain path
+/// "rg<r>/dc<d>/rk<k>".
+///
+/// Link structure (deterministic, redundancy chosen so no single site
+/// failure partitions the graph when every tier has >= 2 members):
+///   - complete graph within each rack              (intra_rack latency)
+///   - complete graph over rack leaders within a DC (intra_dc latency)
+///   - complete graph over DC leaders in a region   (inter_dc latency)
+///   - for each region pair, one link per DC index
+///     between the two regions' DC leaders          (inter_region latency)
+/// A tier with a single member contributes no links at that tier.
+struct GeoSpec {
+  std::uint32_t regions = 3;
+  std::uint32_t dcs_per_region = 2;
+  std::uint32_t racks_per_dc = 1;
+  std::uint32_t sites_per_rack = 4;
+  LinkLatency intra_rack{0.0002, 0.0001};
+  LinkLatency intra_dc{0.0005, 0.0005};
+  LinkLatency inter_dc{0.002, 0.001};
+  LinkLatency inter_region{0.03, 0.01};
+};
+
+/// Geo-distributed variant of the Table-1 topologies: builds the GeoSpec
+/// deployment with uniform one-vote sites, domain paths on every site, and
+/// a latency class on every link. Name: "geo-<R>x<D>x<K>x<S>".
+Topology make_geo(const GeoSpec& spec);
+
 /// The deterministic chord enumeration used by `make_ring_with_chords`,
 /// exposed for tests and for documenting the exact placement: returns the
 /// full candidate order (all n(n-1)/2 - n chords for odd n).

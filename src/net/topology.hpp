@@ -59,6 +59,62 @@ public:
   /// True if an undirected link {a, b} exists.
   bool has_link(SiteId a, SiteId b) const;
 
+  /// Returns the link id of {a, b}, or link_count() when absent.
+  LinkId find_link(SiteId a, SiteId b) const;
+
+  // --- Failure-domain annotations (chaos engine v2) ---------------------
+  //
+  // Every site may carry an optional slash-separated domain path, e.g.
+  // "rg0/dc1/rk2" for region rg0, datacenter dc1, rack rk2. Paths are
+  // free-form (any depth >= 1); a *domain* is any path prefix, so "rg0"
+  // names the whole region and "rg0/dc1" one datacenter inside it. Sites
+  // without a path ("" — the default) belong to no domain. Annotations are
+  // strictly opt-in: an unannotated topology behaves exactly as before.
+
+  /// Assigns `path` to site `s`. Components must be non-empty and contain
+  /// only [A-Za-z0-9_.-]; throws std::invalid_argument otherwise. An empty
+  /// path clears the annotation. Re-assignment overwrites (last wins) so
+  /// the static auditor — not the parser — can flag duplicates.
+  void set_domain(SiteId s, std::string path);
+
+  /// The site's domain path, or "" when unannotated.
+  const std::string& domain(SiteId s) const;
+
+  /// True when at least one site carries a domain path.
+  bool has_domains() const noexcept { return !domains_.empty(); }
+
+  /// True when `site_domain` lies inside domain `prefix`: equal, or
+  /// `prefix` followed by '/' is a proper prefix ("rg0" contains
+  /// "rg0/dc1" but not "rg01"). An empty prefix contains every
+  /// *annotated* site; an empty site_domain is contained by nothing.
+  static bool domain_contains(const std::string& prefix,
+                              const std::string& site_domain);
+
+  /// Sites whose domain path lies inside `prefix`, ascending by id.
+  std::vector<SiteId> sites_in_domain(const std::string& prefix) const;
+
+  /// First `levels` components of the site's domain path ("" when the site
+  /// is unannotated). levels=1 yields the region, 2 the datacenter, 3 the
+  /// rack in the canonical three-level scheme.
+  std::string domain_prefix(SiteId s, int levels) const;
+
+  /// Distinct top-level domain components (regions), sorted. Empty when
+  /// the topology has no domain annotations.
+  std::vector<std::string> regions() const;
+
+  // --- Per-link latency classes -----------------------------------------
+
+  /// Annotates link `l` with a latency class (throws std::invalid_argument
+  /// on negative base/jitter or unknown link).
+  void set_link_latency(LinkId l, LinkLatency latency);
+
+  /// The link's latency class; default-constructed ({0, 0}) when the link
+  /// is unannotated.
+  LinkLatency link_latency(LinkId l) const;
+
+  /// True when at least one link carries a latency class.
+  bool has_link_latencies() const noexcept { return !link_latencies_.empty(); }
+
 private:
   std::string name_;
   std::uint32_t site_count_;
@@ -67,6 +123,10 @@ private:
   Vote total_votes_ = 0;
   std::vector<std::size_t> offsets_;  // CSR row offsets, size site_count+1
   std::vector<Edge> adjacency_;       // CSR payload, size 2*link_count
+  // Lazily sized: empty until the first annotation (the common legacy case
+  // pays nothing), then site_count_/link_count() entries.
+  std::vector<std::string> domains_;
+  std::vector<LinkLatency> link_latencies_;
 };
 
 } // namespace quora::net

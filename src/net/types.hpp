@@ -23,4 +23,18 @@ struct Link {
   friend bool operator==(const Link&, const Link&) = default;
 };
 
+/// Latency class of a link: a deterministic propagation floor plus the mean
+/// of an exponential jitter term. A message traversing the link takes
+/// `base + Exp(jitter)` seconds (just `base` when `jitter == 0`).
+///
+/// The default-constructed class is the sentinel "unannotated": the cluster
+/// then falls back to the uniform `Params::mean_hop_latency` draw, which is
+/// what keeps legacy topologies byte-identical with pre-domain transcripts.
+struct LinkLatency {
+  double base = 0.0;    // deterministic floor, seconds (>= 0)
+  double jitter = 0.0;  // mean of the exponential jitter term, seconds (>= 0)
+
+  friend bool operator==(const LinkLatency&, const LinkLatency&) = default;
+};
+
 } // namespace quora::net

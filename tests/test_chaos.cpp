@@ -7,12 +7,14 @@
 
 #include <algorithm>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "fault/event_log.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "io/topology_io.hpp"
 #include "msg/cluster.hpp"
 #include "msg/invariants.hpp"
 #include "net/builders.hpp"
@@ -279,6 +281,225 @@ TEST(Chaos, InjectorDoesNotPerturbTheBaselineRun) {
     EXPECT_EQ(bare.outcomes()[i].granted, injected.outcomes()[i].granted);
   }
   EXPECT_EQ(bare.messages_sent(), injected.messages_sent());
+}
+
+/// Availability of accesses submitted outside domain "rg0" inside the
+/// window [from, until).
+double availability_outside_rg0(const ChaosRun& run, const net::Topology& topo,
+                                double from, double until) {
+  std::uint64_t n = 0, granted = 0;
+  for (const AccessOutcome& o : run.outcomes) {
+    if (o.submit_time < from || o.submit_time >= until) continue;
+    if (topo.domain_prefix(o.origin, 1) == "rg0") continue;
+    ++n;
+    granted += o.granted;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(granted) / static_cast<double>(n);
+}
+
+TEST(Chaos, RegionOutageSparesDomainSpreadAssignments) {
+  // The acceptance scenario of the sweep harness, as a test: a full rg0
+  // outage kills a vote assignment concentrated in rg0 but leaves the
+  // uniform domain-spread majority serving from the surviving regions.
+  fault::FaultPlan plan;
+  plan.domain_down(60.0, "rg0").domain_up(160.0, "rg0");
+
+  const net::Topology spread_topo = net::make_geo(net::GeoSpec{});
+  const ChaosRun spread =
+      run_chaos(spread_topo, chaos_params(13, 13), plan, 404, 240.0);
+
+  // Weighted: rg0's 8 sites hold 3 votes each (24 of T=40), quorum 21 —
+  // no quorum can assemble without rg0.
+  std::istringstream weighted_in(
+      "sites 24\n"
+      "geo 3 2 1 4\n"
+      "vote 0 3\nvote 1 3\nvote 2 3\nvote 3 3\n"
+      "vote 4 3\nvote 5 3\nvote 6 3\nvote 7 3\n");
+  const net::Topology weighted_topo = io::load_system(weighted_in).topology;
+  const ChaosRun weighted =
+      run_chaos(weighted_topo, chaos_params(21, 21), plan, 404, 240.0);
+
+  EXPECT_TRUE(spread.log.contains("fault domain-down rg0 sites=8"));
+  EXPECT_TRUE(spread.safety.ok()) << spread.safety.violations.front();
+  EXPECT_TRUE(weighted.safety.ok()) << weighted.safety.violations.front();
+
+  const double spread_avail =
+      availability_outside_rg0(spread, spread_topo, 70.0, 150.0);
+  const double weighted_avail =
+      availability_outside_rg0(weighted, weighted_topo, 70.0, 150.0);
+  EXPECT_GT(spread_avail, 0.5);
+  EXPECT_GE(spread_avail, weighted_avail + 0.1)
+      << "spread=" << spread_avail << " weighted=" << weighted_avail;
+
+  // After the domain heals, the weighted assignment serves again.
+  std::uint64_t granted_after = 0;
+  for (const AccessOutcome& o : weighted.outcomes) {
+    granted_after += o.granted && o.submit_time > 170.0;
+  }
+  EXPECT_GT(granted_after, 0u);
+}
+
+TEST(Chaos, RackCascadeIsDeterministicAndScoped) {
+  const net::Topology topo = net::make_geo(net::GeoSpec{});
+  fault::FaultPlan plan;
+  plan.correlate(3, 1.0, 30.0).crash(50.0, 2, 60.0);
+  const Cluster::Params params = chaos_params(13, 13);
+
+  const ChaosRun a = run_chaos(topo, params, plan, 505, 150.0);
+  const ChaosRun b = run_chaos(topo, params, plan, 505, 150.0);
+  EXPECT_EQ(a.log.lines(), b.log.lines());
+  EXPECT_EQ(a.log.hash(), b.log.hash());
+
+  // p = 1 rack contagion: the scripted crash of site 2 takes its three
+  // rack-mates (rg0/dc0/rk0 = sites 0..3) down with it — and nothing else,
+  // because cascade victims never trigger further cascades.
+  for (const char* needle : {"fault correlated site=0 with=2",
+                             "fault correlated site=1 with=2",
+                             "fault correlated site=3 with=2"}) {
+    EXPECT_TRUE(a.log.contains(needle)) << needle;
+  }
+  const auto correlated = std::count_if(
+      a.log.lines().begin(), a.log.lines().end(), [](const std::string& l) {
+        return l.find("fault correlated") != std::string::npos;
+      });
+  EXPECT_EQ(correlated, 3);
+  EXPECT_TRUE(a.safety.ok()) << a.safety.violations.front();
+  expect_versions_name_unique_values(a);
+}
+
+TEST(Chaos, OneWayCutIsGrayButLossy) {
+  const net::Topology topo = net::make_ring_with_chords(10, 2);
+  fault::FaultPlan plan;
+  plan.oneway_down(20.0, 0, 1).oneway_up(90.0, 0, 1);
+
+  Cluster cluster(topo, chaos_params(4, 7), 31);
+  fault::FaultInjector injector(plan, 31);
+  fault::EventLog log;
+  cluster.attach_injector(&injector);
+  cluster.attach_log(&log);
+  cluster.run_until(120.0);
+
+  EXPECT_TRUE(log.contains("fault oneway-down 0->1"));
+  EXPECT_TRUE(log.contains("fault oneway-up 0->1"));
+  // Messages crossing the dead direction die in flight; the reverse
+  // direction keeps delivering.
+  EXPECT_GT(cluster.oneway_losses(), 0u);
+
+  // The cut is a *gray* failure: the component tracker (and so the
+  // paper's instantaneous oracle) sees a fully connected network the
+  // whole time, while the message layer routes around the loss.
+  std::uint64_t n = 0, granted = 0, oracle = 0;
+  for (const AccessOutcome& o : cluster.outcomes()) {
+    ++n;
+    granted += o.granted;
+    oracle += o.oracle_granted;
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(oracle, n);
+  EXPECT_GT(granted, 0u);
+  EXPECT_TRUE(check_safety(cluster).ok());
+}
+
+TEST(Chaos, CrashOnCommitImmediateRestartNeverLeavesTheUpSet) {
+  const net::Topology topo = net::make_ring_with_chords(10, 2);
+  fault::FaultPlan plan;
+  plan.arm_crash_on_commit(10.0, fault::kAnySite, 0.0);
+  const ChaosRun run = run_chaos(topo, chaos_params(4, 7), plan, 23, 120.0);
+
+  // The trigger fires and the pending access dies coordinator-crash...
+  EXPECT_EQ(count_reason(run, DenyReason::kCoordinatorCrash), 1u);
+  EXPECT_TRUE(run.log.contains("down_for=0.000000"));
+  // ...but the site restarts at the same instant: it never observably
+  // leaves the up set, so no later access is denied for a down origin.
+  EXPECT_EQ(count_reason(run, DenyReason::kOriginDown), 0u);
+  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front();
+  expect_versions_name_unique_values(run);
+
+  // Contrast: the same trigger with a real down-time strands accesses
+  // submitted at the dead coordinator.
+  fault::FaultPlan slow;
+  slow.arm_crash_on_commit(10.0, fault::kAnySite, 40.0);
+  const ChaosRun down = run_chaos(topo, chaos_params(4, 7), slow, 23, 120.0);
+  EXPECT_GT(count_reason(down, DenyReason::kOriginDown), 0u);
+}
+
+TEST(Chaos, RetryExhaustionAbandonsWithinTheAccessBudget) {
+  const net::Topology topo = net::make_ring(5);
+  fault::FaultPlan plan;
+  plan.drop(0.0, 200.0, 1.0);  // the network eats every message
+
+  Cluster::Params params = chaos_params(3, 3);
+  params.phase_timeout = 0.5;
+  params.max_retries = 3;
+  params.backoff_base = 0.1;
+  params.backoff_jitter = 0.0;
+  params.access_budget = 10.0;
+  const ChaosRun run = run_chaos(topo, params, plan, 11, 60.0);
+
+  ASSERT_FALSE(run.outcomes.empty());
+  std::uint64_t attempts = 0;
+  for (const AccessOutcome& o : run.outcomes) {
+    EXPECT_FALSE(o.granted);
+    EXPECT_LE(o.attempts, params.max_retries);
+    // Abandonment is strictly the end of a retry schedule; an access can
+    // also die earlier on a provable lease conflict (kNoQuorum), even on
+    // its final attempt.
+    if (o.deny_reason == DenyReason::kAbandoned) {
+      EXPECT_GT(o.attempts, 0u);
+    }
+    attempts += o.attempts;
+  }
+  EXPECT_GT(count_reason(run, DenyReason::kAbandoned), 0u);
+  // Accesses still pending at the horizon hold the remaining retries.
+  EXPECT_GE(run.retries, attempts);
+
+  // A tight wall-clock budget cuts the retry schedule short: same chaos,
+  // same seed, fewer retries, and every decision lands inside the budget
+  // plus one trailing phase window.
+  params.access_budget = 1.0;
+  const ChaosRun tight = run_chaos(topo, params, plan, 11, 60.0);
+  ASSERT_FALSE(tight.outcomes.empty());
+  EXPECT_LT(tight.retries, run.retries);
+  const double slack =
+      params.access_budget + std::max(params.phase_timeout, params.commit_timeout);
+  for (const AccessOutcome& o : tight.outcomes) {
+    EXPECT_FALSE(o.granted);
+    EXPECT_LE(o.decide_time - o.submit_time, slack + 1e-9)
+        << "submitted " << o.submit_time;
+  }
+}
+
+TEST(Chaos, LinkLatencyClassesStretchDecidedLatency) {
+  const net::Topology fast = net::make_ring_with_chords(10, 2);
+  net::Topology slow = net::make_ring_with_chords(10, 2);
+  for (net::LinkId l = 0; l < slow.link_count(); ++l) {
+    slow.set_link_latency(l, net::LinkLatency{0.05, 0.001});
+  }
+
+  const Cluster::Params params = chaos_params(4, 7);
+  const fault::FaultPlan empty;
+  const ChaosRun f = run_chaos(fast, params, empty, 3, 60.0);
+  const ChaosRun s = run_chaos(slow, params, empty, 3, 60.0);
+
+  const auto mean_latency = [](const ChaosRun& run) {
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const AccessOutcome& o : run.outcomes) {
+      if (!o.granted) continue;
+      sum += o.decide_time - o.submit_time;
+      ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  };
+  const double fast_mean = mean_latency(f);
+  const double slow_mean = mean_latency(s);
+  ASSERT_GT(fast_mean, 0.0);
+  // Every hop now pays a 50 ms floor instead of a 5 ms mean draw; two
+  // round-trip phases push the decided latency well past the fast run.
+  EXPECT_GT(slow_mean, fast_mean + 0.04)
+      << "fast=" << fast_mean << " slow=" << slow_mean;
+  EXPECT_TRUE(f.safety.ok());
+  EXPECT_TRUE(s.safety.ok());
 }
 
 } // namespace

@@ -201,20 +201,26 @@ TEST(GoldenDeterminism, SimulatorComplete101Observed) {
   }
 }
 
-/// Replays the shipped chaos plan exactly the way tools/quora_chaos
-/// does and returns its byte-stable event log (plus end-state tail).
+/// Replays a shipped chaos plan exactly the way tools/quora_chaos does
+/// and returns its byte-stable event log (plus end-state tail).
 /// Optional observability sinks attach the full stack to the run.
-std::string record_chaos_run(obs::Registry* registry = nullptr,
+std::string record_chaos_run(const std::string& plan_name,
+                             obs::Registry* registry = nullptr,
                              obs::TraceRecorder* trace = nullptr) {
   const std::string plan_path =
-      std::string(QUORA_EXAMPLES_DIR) + "/chaos/reassign_mid_partition.chaos";
+      std::string(QUORA_EXAMPLES_DIR) + "/chaos/" + plan_name;
   const fault::ChaosSpec spec = fault::load_chaos_file(plan_path);
   EXPECT_TRUE(spec.system.has_value());
   const net::Topology& topo = spec.system->topology;
 
   msg::Cluster::Params params;
-  EXPECT_TRUE(spec.has_quorum);
-  params.spec = spec.quorum;
+  if (spec.has_quorum) {
+    params.spec = spec.quorum;
+  } else {
+    const net::Vote majority =
+        static_cast<net::Vote>(topo.total_votes() / 2 + 1);
+    params.spec = quorum::QuorumSpec{majority, majority};
+  }
   params.max_retries = 2;
   params.config.reliability = 0.999999;
   params.config.rho = 1e-9;
@@ -244,7 +250,8 @@ std::string record_chaos_run(obs::Registry* registry = nullptr,
 // pins its byte-stable event log — the message-level cluster (tracker
 // queries, QR gossip, retry RNG) rides the same overhauled core.
 TEST(GoldenDeterminism, ChaosReassignMidPartition) {
-  expect_matches_golden("chaos_reassign_mid_partition.log", record_chaos_run());
+  expect_matches_golden("chaos_reassign_mid_partition.log",
+                        record_chaos_run("reassign_mid_partition.chaos"));
 }
 
 // The chaos half of the inertness proof: the message-level cluster with
@@ -255,7 +262,8 @@ TEST(GoldenDeterminism, ChaosReassignMidPartitionObserved) {
   obs::Registry registry;
   obs::TraceRecorder trace(1 << 20);
   expect_matches_golden("chaos_reassign_mid_partition.log",
-                        record_chaos_run(&registry, &trace));
+                        record_chaos_run("reassign_mid_partition.chaos",
+                                         &registry, &trace));
   if (obs::kEnabled) {
     EXPECT_GT(trace.recorded(), 0u);
     EXPECT_EQ(trace.dropped(), 0u);
@@ -272,6 +280,103 @@ TEST(GoldenDeterminism, ChaosReassignMidPartitionObserved) {
     EXPECT_GT(grants, 0u);
     // Undecided accesses at the horizon keep this <= rather than ==.
     EXPECT_LE(grants + denies, accesses);
+  }
+}
+
+// The chaos engine v2 surface in one golden: a geo-heterogeneous
+// topology (per-link latency classes, domain annotations) under a
+// scripted full-region outage. Pins the per-link latency draws, the
+// domain-down/up fan-out, and the region breakdown machinery to a
+// byte-stable transcript.
+TEST(GoldenDeterminism, ChaosGeoRegionOutage) {
+  expect_matches_golden("chaos_geo_region_outage.log",
+                        record_chaos_run("geo_region_outage.chaos"));
+}
+
+// Inertness of the new per-domain metrics: attaching the full stack —
+// including the per-region grant/deny counters — must not move a byte,
+// and the rg0 outage must actually show up in the domain breakdown.
+TEST(GoldenDeterminism, ChaosGeoRegionOutageObserved) {
+  if (regen_requested()) GTEST_SKIP() << "fixtures regenerate unobserved";
+  obs::Registry registry;
+  obs::TraceRecorder trace(1 << 20);
+  expect_matches_golden("chaos_geo_region_outage.log",
+                        record_chaos_run("geo_region_outage.chaos", &registry,
+                                         &trace));
+  if (obs::kEnabled) {
+    EXPECT_GT(trace.recorded(), 0u);
+    const obs::Registry::Snapshot snap = registry.snapshot();
+    std::uint64_t rg0_denies = 0, rg1_grants = 0;
+    for (const auto& [name, value] : snap.counters) {
+      if (name == "cluster.domain.rg0.denies") rg0_denies = value;
+      if (name == "cluster.domain.rg1.grants") rg1_grants = value;
+    }
+    // The outage denies accesses in rg0 while rg1 keeps granting.
+    EXPECT_GT(rg0_denies, 0u);
+    EXPECT_GT(rg1_grants, 0u);
+  }
+}
+
+/// Retry-exhaustion fixture: a drop-everything window forces every
+/// phase-1 flood to evaporate, so each access burns its full retry
+/// budget under pure doubling backoff (jitter 0) and resolves
+/// abandoned. The transcript pins the deterministic backoff schedule:
+/// each `retry` line's timestamp advances by timeout + base * 2^k.
+std::string record_backoff_run(obs::Registry* registry = nullptr,
+                               obs::TraceRecorder* trace = nullptr) {
+  const net::Topology topo = net::make_ring(5);
+  msg::Cluster::Params params;
+  params.spec = quorum::QuorumSpec{3, 3};
+  params.phase_timeout = 0.2;
+  params.max_retries = 3;
+  params.backoff_base = 0.1;
+  params.backoff_jitter = 0.0;   // pure doubling: 0.1, 0.2, 0.4
+  params.access_budget = 2.0;    // generous: the budget is the retry count
+  params.config.reliability = 0.999999;
+  params.config.rho = 1e-9;
+
+  fault::FaultPlan plan;
+  plan.drop(0.0, 120.0, 1.0);  // nothing survives the wire
+
+  msg::Cluster cluster(topo, params, 11);
+  fault::FaultInjector injector(plan, 11);
+  fault::EventLog log;
+  cluster.attach_injector(&injector);
+  cluster.attach_log(&log);
+  if (registry != nullptr) cluster.set_metrics(registry);
+  if (trace != nullptr) cluster.set_trace(trace);
+  cluster.run_until(100.0);
+
+  std::ostringstream out;
+  log.write(out);
+  char tail[120];
+  std::snprintf(tail, sizeof(tail),
+                "end decided=%zu retries=%llu dropped=%llu\n",
+                cluster.outcomes().size(),
+                static_cast<unsigned long long>(cluster.retries()),
+                static_cast<unsigned long long>(cluster.messages_dropped()));
+  return out.str() + tail;
+}
+
+TEST(GoldenDeterminism, ChaosBackoffExhaustion) {
+  expect_matches_golden("chaos_backoff_exhaustion.log", record_backoff_run());
+}
+
+TEST(GoldenDeterminism, ChaosBackoffExhaustionObserved) {
+  if (regen_requested()) GTEST_SKIP() << "fixtures regenerate unobserved";
+  obs::Registry registry;
+  obs::TraceRecorder trace(1 << 20);
+  expect_matches_golden("chaos_backoff_exhaustion.log",
+                        record_backoff_run(&registry, &trace));
+  if (obs::kEnabled) {
+    const obs::Registry::Snapshot snap = registry.snapshot();
+    std::uint64_t retries = 0, abandoned = 0;
+    for (const auto& [name, value] : snap.counters) {
+      if (name == "cluster.retries") retries = value;
+      if (name == "cluster.denies.abandoned") abandoned = value;
+    }
+    EXPECT_GT(retries, 0u);
+    EXPECT_GT(abandoned, 0u);
   }
 }
 

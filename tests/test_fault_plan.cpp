@@ -12,6 +12,7 @@
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "io/config_audit.hpp"
+#include "net/builders.hpp"
 
 namespace quora::fault {
 namespace {
@@ -162,8 +163,15 @@ TEST(FaultInjector, ValidatesThePlan) {
     EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
   }
   {
+    // duration == 0 is the defined crash-with-immediate-restart; only
+    // negative or non-finite down-times are rejected.
     FaultPlan p;
     p.arm_crash_on_commit(5.0, kAnySite, 0.0);
+    EXPECT_NO_THROW(FaultInjector(p, 1));
+  }
+  {
+    FaultPlan p;
+    p.arm_crash_on_commit(5.0, kAnySite, -1.0);
     EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
   }
 }
@@ -323,6 +331,280 @@ TEST(ChaosAudit, ParseFailureIsAFinding) {
   const io::AuditReport report = audit_chaos(in);
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(report.has(io::AuditCode::kParseError));
+}
+
+TEST(ChaosParser, ParsesDomainOnewayCorrelateAndBetween) {
+  std::istringstream in(
+      "name geo\nseed 1\nhorizon 200\n"
+      "sites 24\ngeo 3 2 1 4\n"
+      "at 60 domain rg0 down\n"
+      "at 120 domain rg0 up\n"
+      "at 50 oneway 0 8 down\n"
+      "at 90 oneway 0 8 up\n"
+      "correlate rack 0.8 for 30\n"
+      "correlate region 0.1 for 5\n"
+      "window 40 160 drop 0.3 between rg0 rg1\n"
+      "window 40 160 delay 0.5 0.08 between rg0 *\n");
+  const ChaosSpec spec = load_chaos(in);
+
+  std::size_t domain_down = 0, domain_up = 0, oneway_down = 0, oneway_up = 0;
+  for (const Action& a : spec.plan.actions()) {
+    switch (a.kind) {
+      case Action::Kind::kDomainDown:
+        ++domain_down;
+        EXPECT_EQ(a.domain, "rg0");
+        break;
+      case Action::Kind::kDomainUp: ++domain_up; break;
+      case Action::Kind::kOneWayDown:
+        ++oneway_down;
+        EXPECT_EQ(a.site, 0u);
+        EXPECT_EQ(a.site_b, 8u);
+        break;
+      case Action::Kind::kOneWayUp: ++oneway_up; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(domain_down, 1u);
+  EXPECT_EQ(domain_up, 1u);
+  EXPECT_EQ(oneway_down, 1u);
+  EXPECT_EQ(oneway_up, 1u);
+
+  ASSERT_EQ(spec.plan.correlations().size(), 2u);
+  EXPECT_EQ(spec.plan.correlations()[0].level, 3);  // rack
+  EXPECT_DOUBLE_EQ(spec.plan.correlations()[0].probability, 0.8);
+  EXPECT_DOUBLE_EQ(spec.plan.correlations()[0].down_for, 30.0);
+  EXPECT_EQ(spec.plan.correlations()[1].level, 1);  // region
+
+  ASSERT_EQ(spec.plan.rules().size(), 2u);
+  EXPECT_EQ(spec.plan.rules()[0].domain_a, "rg0");
+  EXPECT_EQ(spec.plan.rules()[0].domain_b, "rg1");
+  EXPECT_EQ(spec.plan.rules()[1].domain_b, "*");
+}
+
+TEST(ChaosParser, RejectsMalformedDomainDirectives) {
+  const char* bad[] = {
+      "at 5 domain down\n",                    // missing path
+      "at 5 domain rg0 sideways\n",            // bad state
+      "at 5 oneway 0 down\n",                  // missing to-site
+      "correlate building 0.5 for 10\n",       // unknown level
+      "correlate rack 0.5\n",                  // missing 'for D'
+      "window 5 10 drop 0.5 between * rg1\n",  // wildcard first
+      "window 5 10 drop 0.5 between rg0\n",    // one domain only
+  };
+  for (const char* text : bad) {
+    std::istringstream in(std::string("sites 24\ngeo 3 2 1 4\n") + text);
+    EXPECT_THROW(load_chaos(in), io::ParseError) << text;
+  }
+}
+
+TEST(FaultPlanBuilder, DomainFluentMethodsMatchParsed) {
+  FaultPlan built;
+  built.domain_down(60.0, "rg0")
+      .domain_up(120.0, "rg0")
+      .oneway_down(50.0, 0, 8)
+      .oneway_up(90.0, 0, 8)
+      .correlate(3, 0.8, 30.0)
+      .drop_between(40.0, 160.0, 0.3, "rg0", "rg1");
+  std::istringstream in(
+      "sites 24\ngeo 3 2 1 4\n"
+      "at 60 domain rg0 down\nat 120 domain rg0 up\n"
+      "at 50 oneway 0 8 down\nat 90 oneway 0 8 up\n"
+      "correlate rack 0.8 for 30\n"
+      "window 40 160 drop 0.3 between rg0 rg1\n");
+  const ChaosSpec parsed = load_chaos(in);
+  ASSERT_EQ(built.actions().size(), parsed.plan.actions().size());
+  for (std::size_t i = 0; i < built.actions().size(); ++i) {
+    EXPECT_EQ(built.actions()[i].kind, parsed.plan.actions()[i].kind) << i;
+  }
+  ASSERT_EQ(parsed.plan.correlations().size(), 1u);
+  ASSERT_EQ(parsed.plan.rules().size(), 1u);
+  EXPECT_EQ(parsed.plan.rules()[0].domain_a, built.rules()[0].domain_a);
+}
+
+TEST(FaultInjector, ValidatesDomainActionsAndCorrelations) {
+  {
+    FaultPlan p;
+    p.domain_down(5.0, "");  // empty path is meaningless
+    EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.oneway_down(5.0, 3, 3);  // degenerate self-cut
+    EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.correlate(0, 0.5, 10.0);  // level below region
+    EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.correlate(2, 1.5, 10.0);  // probability outside [0, 1]
+    EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.correlate(2, 0.5, 0.0);  // cascade victims need a positive down-time
+    EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.drop_between(5.0, 10.0, 0.5, "*", "rg1");  // wildcard first domain
+    EXPECT_THROW(FaultInjector(p, 1), std::invalid_argument);
+  }
+  {
+    FaultPlan p;  // a legal geo plan passes
+    p.domain_down(5.0, "rg0").correlate(1, 0.2, 10.0);
+    p.drop_between(5.0, 10.0, 0.5, "rg0", "*");
+    EXPECT_NO_THROW(FaultInjector(p, 1));
+  }
+  {
+    FaultPlan p;  // from == until is the legal inert window, also between
+    p.drop_between(5.0, 5.0, 1.0, "rg0", "rg1");
+    EXPECT_NO_THROW(FaultInjector(p, 1));
+  }
+}
+
+TEST(FaultInjector, InertWindowNeverMatchesNorDraws) {
+  FaultPlan inert_then_live;
+  inert_then_live.drop(5.0, 5.0, 1.0);  // would drop everything if live
+  inert_then_live.drop(0.0, 100.0, 0.5);
+  FaultPlan live_only;
+  live_only.drop(0.0, 100.0, 0.5);
+
+  FaultInjector a(inert_then_live, 7);
+  FaultInjector b(live_only, 7);
+  // The inert window matches nothing (not even departures at exactly
+  // t=5.0) and consumes no randomness: both injectors replay the same
+  // fate sequence draw for draw.
+  for (int i = 0; i < 200; ++i) {
+    const double t = 0.05 * i;  // crosses t=5.0 exactly at i=100
+    const MessageFault fa = a.on_send(0, t, 0.01);
+    const MessageFault fb = b.on_send(0, t, 0.01);
+    EXPECT_EQ(fa.drop, fb.drop) << "t=" << t;
+  }
+}
+
+TEST(FaultInjector, DomainScopedRulesMatchOnlyCrossDomainLinks) {
+  const net::Topology topo = net::make_geo(net::GeoSpec{});
+  FaultPlan p;
+  p.drop_between(0.0, 100.0, 1.0, "rg0", "rg1");
+  FaultInjector injector(p, 3);
+  // Without a topology a domain-scoped rule matches nothing.
+  const net::LinkId trunk01 = topo.find_link(0, 8);   // rg0 <-> rg1
+  const net::LinkId trunk02 = topo.find_link(0, 16);  // rg0 <-> rg2
+  const net::LinkId local = topo.find_link(0, 1);     // inside rg0
+  ASSERT_LT(trunk01, topo.link_count());
+  EXPECT_FALSE(injector.on_send(trunk01, 1.0, 0.005).drop);
+
+  injector.set_topology(&topo);
+  EXPECT_TRUE(injector.on_send(trunk01, 1.0, 0.005).drop);
+  EXPECT_FALSE(injector.on_send(trunk02, 1.0, 0.005).drop);
+  EXPECT_FALSE(injector.on_send(local, 1.0, 0.005).drop);
+  EXPECT_FALSE(injector.on_send(trunk01, 100.0, 0.005).drop);  // window end
+
+  // The "*" form matches every link leaving the domain, either boundary.
+  FaultPlan q;
+  q.drop_between(0.0, 100.0, 1.0, "rg1", "*");
+  FaultInjector wild(q, 3);
+  wild.set_topology(&topo);
+  EXPECT_TRUE(wild.on_send(trunk01, 1.0, 0.005).drop);
+  EXPECT_TRUE(wild.on_send(topo.find_link(8, 16), 1.0, 0.005).drop);
+  EXPECT_FALSE(wild.on_send(trunk02, 1.0, 0.005).drop);
+  EXPECT_FALSE(wild.on_send(topo.find_link(8, 9), 1.0, 0.005).drop);
+}
+
+TEST(FaultInjector, CorrelatedFailuresAreDeterministicAndScoped) {
+  const net::Topology topo = net::make_geo(net::GeoSpec{});
+  FaultPlan p;
+  p.correlate(3, 1.0, 30.0);  // every rack-mate fails, always
+
+  FaultInjector injector(p, 42);
+  EXPECT_TRUE(injector.has_correlations());
+  // Without a topology the cascade never fires.
+  EXPECT_TRUE(injector.correlated_failures(0).empty());
+
+  injector.set_topology(&topo);
+  const auto fired = injector.correlated_failures(0);
+  // Site 0's rack is rg0/dc0/rk0 = sites 0..3; the failed site itself is
+  // never returned.
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0].first, 1u);
+  EXPECT_EQ(fired[1].first, 2u);
+  EXPECT_EQ(fired[2].first, 3u);
+  for (const auto& [site, down_for] : fired) {
+    EXPECT_DOUBLE_EQ(down_for, 30.0) << "site " << site;
+  }
+
+  // Same seed, same query sequence => identical cascades.
+  FaultInjector replay(p, 42);
+  replay.set_topology(&topo);
+  EXPECT_EQ(replay.correlated_failures(0), fired);
+
+  // p = 0 consumes draws but fires nothing.
+  FaultPlan quiet;
+  quiet.correlate(3, 0.0, 30.0);
+  FaultInjector never(quiet, 42);
+  never.set_topology(&topo);
+  EXPECT_TRUE(never.correlated_failures(0).empty());
+}
+
+TEST(FaultInjector, CorrelatedFailuresDedupAcrossRules) {
+  const net::Topology topo = net::make_geo(net::GeoSpec{});
+  FaultPlan p;
+  p.correlate(3, 1.0, 30.0);  // rack rule first: its down-time wins
+  p.correlate(1, 1.0, 5.0);   // region rule also matches the rack-mates
+  FaultInjector injector(p, 9);
+  injector.set_topology(&topo);
+  const auto fired = injector.correlated_failures(0);
+  // Site 0's region is rg0 = sites 0..7; rack-mates 1..3 keep the first
+  // rule's 30s, the remaining region-mates 4..7 get the second rule's 5s.
+  ASSERT_EQ(fired.size(), 7u);
+  for (const auto& [site, down_for] : fired) {
+    EXPECT_DOUBLE_EQ(down_for, site <= 3 ? 30.0 : 5.0) << "site " << site;
+  }
+}
+
+TEST(ChaosAudit, FlagsDomainProblems) {
+  {
+    // Outage targets a domain no site belongs to.
+    std::istringstream in(
+        "horizon 100\nsites 24\ngeo 3 2 1 4\nat 10 domain rg9 down\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(io::AuditCode::kDomainConfig));
+  }
+  {
+    // Domain actions on a topology with no annotations at all.
+    std::istringstream in(
+        "horizon 100\nsites 5\nring\nquorum 3 3\nat 10 domain rg0 down\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_TRUE(report.has(io::AuditCode::kDomainConfig));
+  }
+  {
+    // Correlation rules without any domain annotations can never fire.
+    std::istringstream in(
+        "horizon 100\nsites 5\nring\nquorum 3 3\ncorrelate rack 0.5 for 10\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_TRUE(report.has(io::AuditCode::kDomainConfig));
+  }
+  {
+    // A one-way cut on a pair with no link.
+    std::istringstream in(
+        "horizon 100\nsites 5\nring\nquorum 3 3\nat 10 oneway 0 2 down\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_TRUE(report.has(io::AuditCode::kChaosUnknownTarget));
+  }
+  {
+    // The healthy geo shape passes clean.
+    std::istringstream in(
+        "horizon 100\nsites 24\ngeo 3 2 1 4\n"
+        "at 10 domain rg0 down\nat 50 domain rg0 up\n"
+        "at 20 oneway 0 8 down\ncorrelate rack 0.5 for 10\n"
+        "window 5 50 drop 0.3 between rg0 rg1\n");
+    const io::AuditReport report = audit_chaos(in);
+    EXPECT_TRUE(report.ok()) << "unexpected findings";
+  }
 }
 
 } // namespace

@@ -219,5 +219,97 @@ TEST(SystemSpecIo, SaveSystemRoundTrips) {
   EXPECT_EQ(reloaded.topology.votes(1), 3u);
 }
 
+TEST(TopologyIo, DomainDirectiveLastWins) {
+  const net::Topology topo = parse(
+      "sites 4\n"
+      "ring\n"
+      "domain 0 rg0/dc0\n"
+      "domain 1 rg0/dc1\n"
+      "domain 1 rg1/dc0\n");  // last wins; quora_check flags the overlap
+  EXPECT_TRUE(topo.has_domains());
+  EXPECT_EQ(topo.domain(0), "rg0/dc0");
+  EXPECT_EQ(topo.domain(1), "rg1/dc0");
+  EXPECT_EQ(topo.domain(2), "");
+}
+
+TEST(TopologyIo, LinkLatDirectivesWithDefault) {
+  const net::Topology topo = parse(
+      "sites 4\n"
+      "ring\n"
+      "link_lat default 0.002 0.001\n"
+      "link_lat 0 1 0.03 0.01\n");
+  EXPECT_TRUE(topo.has_link_latencies());
+  const net::LinkId fast = topo.find_link(1, 2);
+  const net::LinkId slow = topo.find_link(0, 1);
+  ASSERT_LT(fast, topo.link_count());
+  ASSERT_LT(slow, topo.link_count());
+  EXPECT_DOUBLE_EQ(topo.link_latency(fast).base, 0.002);
+  EXPECT_DOUBLE_EQ(topo.link_latency(fast).jitter, 0.001);
+  EXPECT_DOUBLE_EQ(topo.link_latency(slow).base, 0.03);
+  EXPECT_DOUBLE_EQ(topo.link_latency(slow).jitter, 0.01);
+}
+
+TEST(TopologyIo, GeoDirectiveMatchesBuilder) {
+  const net::Topology parsed = parse(
+      "sites 24\n"
+      "geo 3 2 1 4\n");
+  const net::Topology built = net::make_geo(net::GeoSpec{});
+  ASSERT_EQ(parsed.site_count(), built.site_count());
+  ASSERT_EQ(parsed.link_count(), built.link_count());
+  for (net::SiteId s = 0; s < built.site_count(); ++s) {
+    EXPECT_EQ(parsed.domain(s), built.domain(s)) << "site " << s;
+  }
+  for (net::LinkId l = 0; l < built.link_count(); ++l) {
+    const net::Link& bl = built.link(l);
+    const net::LinkId pl = parsed.find_link(bl.a, bl.b);
+    ASSERT_LT(pl, parsed.link_count());
+    EXPECT_DOUBLE_EQ(parsed.link_latency(pl).base, built.link_latency(l).base);
+  }
+}
+
+TEST(TopologyIo, DomainAndGeoErrorsCarryLineNumbers) {
+  const auto expect_error_at = [](const std::string& text, std::size_t line) {
+    try {
+      parse(text);
+      FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+    }
+  };
+  expect_error_at("sites 3\ndomain 0\n", 2);              // missing path
+  expect_error_at("sites 3\ndomain 9 rg0\n", 2);          // unknown site
+  expect_error_at("sites 3\ndomain 0 rg0//dc\n", 2);      // malformed path
+  expect_error_at("sites 3\nlink 0 1\nlink_lat 0 1 -1 0\n", 3);
+  expect_error_at("sites 3\nlink_lat default 0.1\n", 2);  // missing jitter
+  expect_error_at("sites 24\ngeo 3 2 1\n", 2);            // missing tier
+  expect_error_at("sites 23\ngeo 3 2 1 4\n", 2);          // product mismatch
+  expect_error_at("sites 24\nlink 0 1\ngeo 3 2 1 4\n", 3);  // geo after link
+}
+
+TEST(TopologyIo, SaveLoadRoundTripsDomainsAndLatencies) {
+  net::Topology original = net::make_geo(net::GeoSpec{});
+  original.set_domain(5, "rg0/dc1/special");
+  std::ostringstream out;
+  save_topology(out, original);
+  std::istringstream in(out.str());
+  const net::Topology reloaded = load_topology(in);
+
+  ASSERT_EQ(reloaded.site_count(), original.site_count());
+  ASSERT_EQ(reloaded.link_count(), original.link_count());
+  for (net::SiteId s = 0; s < original.site_count(); ++s) {
+    EXPECT_EQ(reloaded.domain(s), original.domain(s)) << "site " << s;
+  }
+  for (net::LinkId l = 0; l < original.link_count(); ++l) {
+    const net::Link& ol = original.link(l);
+    const net::LinkId rl = reloaded.find_link(ol.a, ol.b);
+    ASSERT_LT(rl, reloaded.link_count());
+    EXPECT_DOUBLE_EQ(reloaded.link_latency(rl).base,
+                     original.link_latency(l).base);
+    EXPECT_DOUBLE_EQ(reloaded.link_latency(rl).jitter,
+                     original.link_latency(l).jitter);
+  }
+  EXPECT_EQ(reloaded.regions(), original.regions());
+}
+
 } // namespace
 } // namespace quora::io

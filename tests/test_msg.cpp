@@ -35,6 +35,18 @@ TEST(Cluster, ValidatesParams) {
   p = reliable_params(5, 2);
   p.alpha = 2.0;
   EXPECT_THROW(Cluster(topo, p, 1), std::invalid_argument);
+  p = reliable_params(5, 2);
+  p.lease_timeout = -1.0;
+  EXPECT_THROW(Cluster(topo, p, 1), std::invalid_argument);
+  p = reliable_params(5, 2);
+  p.phase_timeout = -0.5;
+  EXPECT_THROW(Cluster(topo, p, 1), std::invalid_argument);
+  p = reliable_params(5, 2);
+  p.max_retries = Cluster::Params::kMaxRetryBudget + 1;
+  EXPECT_THROW(Cluster(topo, p, 1), std::invalid_argument);
+  p = reliable_params(5, 2);
+  p.max_retries = Cluster::Params::kMaxRetryBudget;  // the boundary is legal
+  EXPECT_NO_THROW(Cluster(topo, p, 1));
 }
 
 TEST(Cluster, FailureFreeNetworkGrantsEverything) {

@@ -216,5 +216,137 @@ TEST(Builders, ErdosRenyiExtremes) {
   EXPECT_THROW(make_erdos_renyi(10, 1.5, 1), std::invalid_argument);
 }
 
+TEST(Topology, FindLinkReturnsLinkCountWhenAbsent) {
+  const Topology t = make_ring(5);
+  EXPECT_EQ(t.find_link(0, 1), t.find_link(1, 0));
+  EXPECT_LT(t.find_link(0, 1), t.link_count());
+  EXPECT_EQ(t.find_link(0, 2), t.link_count());
+  EXPECT_EQ(t.find_link(0, 0), t.link_count());
+}
+
+TEST(Topology, DomainPathsAreOptInAndValidated) {
+  Topology t = make_ring(4);
+  EXPECT_FALSE(t.has_domains());
+  EXPECT_EQ(t.domain(0), "");
+
+  t.set_domain(0, "rg0/dc1/rk2");
+  EXPECT_TRUE(t.has_domains());
+  EXPECT_EQ(t.domain(0), "rg0/dc1/rk2");
+
+  // Last wins by design; the auditor flags the overlap, not the setter.
+  t.set_domain(0, "rg1/dc0");
+  EXPECT_EQ(t.domain(0), "rg1/dc0");
+
+  // Empty path clears the annotation.
+  t.set_domain(0, "");
+  EXPECT_EQ(t.domain(0), "");
+
+  EXPECT_THROW(t.set_domain(0, "/rg0"), std::invalid_argument);
+  EXPECT_THROW(t.set_domain(0, "rg0//dc1"), std::invalid_argument);
+  EXPECT_THROW(t.set_domain(0, "rg0/"), std::invalid_argument);
+  EXPECT_THROW(t.set_domain(0, "rg 0"), std::invalid_argument);
+  EXPECT_THROW(t.set_domain(99, "rg0"), std::invalid_argument);
+}
+
+TEST(Topology, DomainContainsUsesComponentBoundaries) {
+  EXPECT_TRUE(Topology::domain_contains("rg0", "rg0"));
+  EXPECT_TRUE(Topology::domain_contains("rg0", "rg0/dc1"));
+  EXPECT_TRUE(Topology::domain_contains("rg0/dc1", "rg0/dc1/rk0"));
+  EXPECT_FALSE(Topology::domain_contains("rg0", "rg01"));
+  EXPECT_FALSE(Topology::domain_contains("rg0/dc1", "rg0"));
+  // Empty prefix contains every annotated site; an unannotated site is
+  // contained by nothing.
+  EXPECT_TRUE(Topology::domain_contains("", "rg0"));
+  EXPECT_FALSE(Topology::domain_contains("", ""));
+  EXPECT_FALSE(Topology::domain_contains("rg0", ""));
+}
+
+TEST(Topology, SitesInDomainAndPrefixes) {
+  Topology t = make_ring(6);
+  t.set_domain(0, "rg0/dc0");
+  t.set_domain(1, "rg0/dc1");
+  t.set_domain(3, "rg1/dc0");
+  t.set_domain(5, "rg0/dc0");
+
+  const std::vector<SiteId> rg0 = t.sites_in_domain("rg0");
+  EXPECT_EQ(rg0, (std::vector<SiteId>{0, 1, 5}));
+  EXPECT_EQ(t.sites_in_domain("rg0/dc0"), (std::vector<SiteId>{0, 5}));
+  EXPECT_EQ(t.sites_in_domain("rg9"), std::vector<SiteId>{});
+
+  EXPECT_EQ(t.domain_prefix(1, 1), "rg0");
+  EXPECT_EQ(t.domain_prefix(1, 2), "rg0/dc1");
+  EXPECT_EQ(t.domain_prefix(1, 5), "rg0/dc1");  // deeper than the path
+  EXPECT_EQ(t.domain_prefix(2, 1), "");         // unannotated
+
+  const std::vector<std::string> regions = t.regions();
+  EXPECT_EQ(regions, (std::vector<std::string>{"rg0", "rg1"}));
+}
+
+TEST(Topology, LinkLatencyClassesAreOptInAndValidated) {
+  Topology t = make_ring(4);
+  EXPECT_FALSE(t.has_link_latencies());
+  EXPECT_EQ(t.link_latency(0).base, 0.0);
+  EXPECT_EQ(t.link_latency(0).jitter, 0.0);
+
+  t.set_link_latency(1, LinkLatency{0.03, 0.01});
+  EXPECT_TRUE(t.has_link_latencies());
+  EXPECT_DOUBLE_EQ(t.link_latency(1).base, 0.03);
+  EXPECT_DOUBLE_EQ(t.link_latency(1).jitter, 0.01);
+  EXPECT_EQ(t.link_latency(0).base, 0.0);  // untouched links stay default
+
+  EXPECT_THROW(t.set_link_latency(0, LinkLatency{-1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(t.set_link_latency(0, LinkLatency{0.0, -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(t.set_link_latency(99, LinkLatency{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Builders, GeoLayoutStructure) {
+  const Topology t = make_geo(GeoSpec{});  // 3 regions x 2 DCs x 1 rack x 4
+  EXPECT_EQ(t.site_count(), 24u);
+  EXPECT_EQ(t.name(), "geo-3x2x1x4");
+  // Per region: 2 racks-as-DCs of C(4,2)=6 intra links + 1 inter-DC link;
+  // across regions: C(3,2)=3 pairs x 2 DC indices = 6 trunks.
+  EXPECT_EQ(t.link_count(), 3u * (2u * 6u + 1u) + 6u);
+
+  // Every site is annotated with a full three-level path.
+  EXPECT_TRUE(t.has_domains());
+  for (SiteId s = 0; s < t.site_count(); ++s) {
+    EXPECT_NE(t.domain(s), "") << "site " << s;
+  }
+  EXPECT_EQ(t.domain(0), "rg0/dc0/rk0");
+  EXPECT_EQ(t.domain(23), "rg2/dc1/rk0");
+  EXPECT_EQ(t.regions(), (std::vector<std::string>{"rg0", "rg1", "rg2"}));
+  EXPECT_EQ(t.sites_in_domain("rg0").size(), 8u);
+  EXPECT_EQ(t.sites_in_domain("rg1/dc1").size(), 4u);
+
+  // Inter-region trunks ride the DC leaders, one per DC index.
+  EXPECT_TRUE(t.has_link(0, 8));
+  EXPECT_TRUE(t.has_link(0, 16));
+  EXPECT_TRUE(t.has_link(8, 16));
+  EXPECT_TRUE(t.has_link(4, 12));
+  EXPECT_FALSE(t.has_link(1, 9));  // non-leaders have no trunk
+
+  // Every link carries a latency class, and trunks are the slow tier.
+  EXPECT_TRUE(t.has_link_latencies());
+  const GeoSpec spec;
+  const LinkId trunk = t.find_link(0, 8);
+  ASSERT_LT(trunk, t.link_count());
+  EXPECT_DOUBLE_EQ(t.link_latency(trunk).base, spec.inter_region.base);
+  const LinkId rack = t.find_link(0, 1);
+  ASSERT_LT(rack, t.link_count());
+  EXPECT_DOUBLE_EQ(t.link_latency(rack).base, spec.intra_rack.base);
+}
+
+TEST(Builders, GeoRejectsEmptyTiers) {
+  GeoSpec spec;
+  spec.regions = 0;
+  EXPECT_THROW(make_geo(spec), std::invalid_argument);
+  spec.regions = 2;
+  spec.sites_per_rack = 0;
+  EXPECT_THROW(make_geo(spec), std::invalid_argument);
+}
+
 } // namespace
 } // namespace quora::net

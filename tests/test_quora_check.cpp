@@ -208,11 +208,51 @@ TEST(QuoraCheck, AuditCodeNamesAreUniqueSlugs) {
       AuditCode::kUnreachableVotes,     AuditCode::kZeroVoteSite,
       AuditCode::kEvenVoteTotal,        AuditCode::kCoterieIntersection,
       AuditCode::kCoterieMinimality,    AuditCode::kChaosBadSchedule,
-      AuditCode::kChaosUnknownTarget,
+      AuditCode::kChaosUnknownTarget,   AuditCode::kDomainConfig,
   };
   std::set<std::string> names;
   for (const AuditCode code : all) names.insert(audit_code_name(code));
   EXPECT_EQ(names.size(), std::size(all));
+  EXPECT_STREQ(audit_code_name(AuditCode::kDomainConfig), "domain-config");
+}
+
+TEST(QuoraCheck, DuplicateDomainDefinitionRejected) {
+  const AuditReport report = audit(
+      "sites 5\n"
+      "ring\n"
+      "domain 0 rg0/dc0\n"
+      "domain 2 rg0/dc1\n"
+      "domain 2 rg1/dc0\n"
+      "quorum 3 3\n");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(AuditCode::kDomainConfig));
+}
+
+TEST(QuoraCheck, OverlappingDomainPathsWarn) {
+  // Site 0's full path "rg0" is an ancestor of site 1's "rg0/dc1":
+  // membership of "domain rg0" becomes ambiguous to a reader.
+  const AuditReport report = audit(
+      "sites 5\n"
+      "ring\n"
+      "domain 0 rg0\n"
+      "domain 1 rg0/dc1\n"
+      "quorum 3 3\n");
+  EXPECT_TRUE(report.ok());  // a warning, not an error
+  EXPECT_TRUE(report.has(AuditCode::kDomainConfig));
+  EXPECT_GT(report.warning_count(), 0u);
+}
+
+TEST(QuoraCheck, CleanDomainAnnotationsPass) {
+  const AuditReport report = audit(
+      "sites 4\n"
+      "ring\n"
+      "domain 0 rg0/dc0\n"
+      "domain 1 rg0/dc1\n"
+      "domain 2 rg1/dc0\n"
+      "domain 3 rg1/dc1\n"
+      "quorum 3 3\n");
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.has(AuditCode::kDomainConfig));
 }
 
 } // namespace

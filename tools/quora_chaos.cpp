@@ -4,6 +4,7 @@
 //   quora_chaos [--seed N] [--horizon T] [--max-retries K] [--log FILE]
 //               [--trace FILE] [--metrics FILE]
 //               [--verify-determinism] [--quiet] PLAN.chaos...
+//   quora_chaos --sweep [--seeds N] [--report FILE.json] PLAN.chaos...
 //
 // Each plan file (grammar: docs/FAULT_INJECTION.md) carries its own
 // topology, initial quorum assignment, seed, and horizon; the flags
@@ -21,11 +22,20 @@
 // violation. With --verify-determinism every plan is replayed twice and
 // the two event logs compared byte for byte.
 //
+// --sweep runs the scenario matrix instead: every plan under --seeds
+// consecutive seeds (starting at the plan's own seed, or --seed), and
+// reports a Table-1-style per-failure-domain breakdown — availability
+// and mean decided-access latency per region (level-1 domain) of an
+// annotated topology, "-" for unannotated sites. --report additionally
+// writes the aggregate as a JSON artifact for CI trending.
+//
 // Exit status: 0 all plans safe (and deterministic, if requested);
 // 1 a safety-invariant violation or determinism mismatch; 2 usage,
 // I/O, or plan-audit errors.
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -57,7 +67,12 @@ using namespace quora;
          "                        primary run (.json => Chrome trace_event)\n"
          "  --metrics FILE        dump the metrics registry (all plans pooled)\n"
          "  --verify-determinism  run each plan twice, diff the event logs\n"
-         "  --quiet               only print per-plan verdict lines\n";
+         "  --quiet               only print per-plan verdict lines\n"
+         "  --sweep               scenario-sweep mode: run every plan under\n"
+         "                        --seeds consecutive seeds and report a\n"
+         "                        per-region availability/latency table\n"
+         "  --seeds N             seeds per plan in --sweep mode (default 3)\n"
+         "  --report FILE         write the sweep aggregate as JSON\n";
   std::exit(2);
 }
 
@@ -70,8 +85,29 @@ struct Options {
   std::string metrics_path;
   bool verify_determinism = false;
   bool quiet = false;
+  bool sweep = false;
+  std::uint32_t sweep_seeds = 3;
+  std::string report_path;
   std::vector<std::string> plans;
 };
+
+/// Per-failure-domain (region) slice of one run or sweep: decided
+/// accesses whose *origin* lies in that region.
+struct RegionStats {
+  std::string region;  // level-1 domain prefix; "-" for unannotated sites
+  std::uint64_t accesses = 0;
+  std::uint64_t granted = 0;
+  double latency_sum = 0.0;  // decide - submit, over decided accesses
+};
+
+RegionStats& region_slot(std::vector<RegionStats>& regions,
+                         const std::string& name) {
+  for (RegionStats& r : regions) {
+    if (r.region == name) return r;
+  }
+  regions.push_back(RegionStats{name, 0, 0, 0.0});
+  return regions.back();
+}
 
 struct RunResult {
   fault::EventLog log;
@@ -85,6 +121,7 @@ struct RunResult {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_duplicated = 0;
+  std::vector<RegionStats> regions;  // sorted by first appearance
 };
 
 RunResult run_plan(const fault::ChaosSpec& spec, std::uint64_t seed,
@@ -124,6 +161,13 @@ RunResult run_plan(const fault::ChaosSpec& spec, std::uint64_t seed,
     } else {
       ++result.denied_by[static_cast<std::size_t>(o.deny_reason)];
     }
+    std::string region =
+        topo.has_domains() ? topo.domain_prefix(o.origin, 1) : std::string();
+    if (region.empty()) region = "-";
+    RegionStats& slot = region_slot(result.regions, region);
+    ++slot.accesses;
+    if (o.granted) ++slot.granted;
+    slot.latency_sum += o.decide_time - o.submit_time;
   }
   result.retries = cluster.retries();
   result.stale_rejections = cluster.stale_rejections();
@@ -132,6 +176,171 @@ RunResult run_plan(const fault::ChaosSpec& spec, std::uint64_t seed,
   result.messages_dropped = cluster.messages_dropped();
   result.messages_duplicated = cluster.messages_duplicated();
   return result;
+}
+
+void json_escape(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out << buf;
+    } else {
+      out << c;
+    }
+  }
+}
+
+/// One plan's sweep aggregate: per-region stats pooled across seeds.
+struct PlanSweep {
+  std::string name;
+  std::string path;
+  std::uint64_t first_seed = 0;
+  std::uint32_t seeds = 0;
+  bool safe = true;
+  std::uint64_t decided = 0;
+  std::uint64_t granted = 0;
+  std::vector<RegionStats> regions;
+};
+
+void write_sweep_row(std::ostream& out, const RegionStats& r) {
+  const double avail =
+      r.accesses == 0 ? 0.0
+                      : static_cast<double>(r.granted) /
+                            static_cast<double>(r.accesses);
+  const double mean_latency =
+      r.accesses == 0 ? 0.0 : r.latency_sum / static_cast<double>(r.accesses);
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "  %-14s %9llu %9llu   %7.4f   %9.4f\n",
+                r.region.c_str(),
+                static_cast<unsigned long long>(r.accesses),
+                static_cast<unsigned long long>(r.granted), avail,
+                mean_latency);
+  out << buf;
+}
+
+void write_sweep_report(std::ostream& out,
+                        const std::vector<PlanSweep>& sweeps) {
+  out << "{\"quora-chaos-sweep\": 1, \"plans\": [";
+  for (std::size_t p = 0; p < sweeps.size(); ++p) {
+    const PlanSweep& s = sweeps[p];
+    if (p != 0) out << ", ";
+    out << "{\"name\": \"";
+    json_escape(out, s.name);
+    out << "\", \"path\": \"";
+    json_escape(out, s.path);
+    out << "\", \"first_seed\": " << s.first_seed
+        << ", \"seeds\": " << s.seeds
+        << ", \"safe\": " << (s.safe ? "true" : "false")
+        << ", \"accesses\": " << s.decided << ", \"granted\": " << s.granted
+        << ", \"regions\": [";
+    for (std::size_t i = 0; i < s.regions.size(); ++i) {
+      const RegionStats& r = s.regions[i];
+      const double avail =
+          r.accesses == 0 ? 0.0
+                          : static_cast<double>(r.granted) /
+                                static_cast<double>(r.accesses);
+      const double mean_latency =
+          r.accesses == 0 ? 0.0
+                          : r.latency_sum / static_cast<double>(r.accesses);
+      if (i != 0) out << ", ";
+      out << "{\"region\": \"";
+      json_escape(out, r.region);
+      out << "\", \"accesses\": " << r.accesses
+          << ", \"granted\": " << r.granted << ", \"availability\": " << avail
+          << ", \"mean_latency\": " << mean_latency << "}";
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+}
+
+/// --sweep: plan matrix x consecutive seeds, Table-1-style per-domain
+/// availability/latency report, optional JSON artifact.
+int run_sweep(const Options& opt) {
+  std::vector<PlanSweep> sweeps;
+  bool any_unsafe = false;
+  for (const std::string& path : opt.plans) {
+    io::AuditReport audit;
+    fault::ChaosSpec spec;
+    try {
+      audit = fault::audit_chaos_file(path);
+      if (audit.ok()) spec = fault::load_chaos_file(path);
+    } catch (const std::exception& e) {
+      std::cerr << "quora_chaos: " << path << ": " << e.what() << '\n';
+      return 2;
+    }
+    if (!audit.ok()) {
+      std::cerr << "quora_chaos: " << path << " fails static audit:\n";
+      io::write_report(std::cerr, audit);
+      return 2;
+    }
+    const double horizon = opt.horizon.value_or(spec.horizon);
+    if (!(horizon > 0.0)) {
+      std::cerr << "quora_chaos: " << path
+                << ": no horizon in the plan and none on the command line\n";
+      return 2;
+    }
+
+    PlanSweep sweep;
+    sweep.name = spec.name;
+    sweep.path = path;
+    sweep.first_seed = opt.seed.value_or(spec.seed);
+    sweep.seeds = opt.sweep_seeds;
+    for (std::uint32_t k = 0; k < opt.sweep_seeds; ++k) {
+      const RunResult run =
+          run_plan(spec, sweep.first_seed + k, horizon, opt.max_retries);
+      sweep.safe = sweep.safe && run.safety.ok();
+      sweep.decided += run.decided;
+      sweep.granted += run.granted;
+      for (const RegionStats& r : run.regions) {
+        RegionStats& slot = region_slot(sweep.regions, r.region);
+        slot.accesses += r.accesses;
+        slot.granted += r.granted;
+        slot.latency_sum += r.latency_sum;
+      }
+      if (!run.safety.ok()) {
+        std::cout << "  SAFETY VIOLATIONS (seed "
+                  << sweep.first_seed + k << "):\n";
+        for (const std::string& v : run.safety.violations) {
+          std::cout << "    " << v << '\n';
+        }
+      }
+    }
+    std::sort(sweep.regions.begin(), sweep.regions.end(),
+              [](const RegionStats& a, const RegionStats& b) {
+                return a.region < b.region;
+              });
+
+    std::cout << "sweep " << sweep.name << " (" << path << ")\n"
+              << "  seeds=" << sweep.first_seed << ".."
+              << sweep.first_seed + opt.sweep_seeds - 1
+              << " horizon=" << horizon << '\n'
+              << "  region          accesses   granted     avail    "
+                 "mean-lat\n";
+    for (const RegionStats& r : sweep.regions) {
+      write_sweep_row(std::cout, r);
+    }
+    RegionStats total{"(all)", sweep.decided, sweep.granted, 0.0};
+    for (const RegionStats& r : sweep.regions) {
+      total.latency_sum += r.latency_sum;
+    }
+    write_sweep_row(std::cout, total);
+    std::cout << (sweep.safe ? "SAFE " : "UNSAFE ") << sweep.name << '\n';
+    any_unsafe = any_unsafe || !sweep.safe;
+    sweeps.push_back(std::move(sweep));
+  }
+
+  if (!opt.report_path.empty()) {
+    std::ofstream out(opt.report_path);
+    if (!out) {
+      std::cerr << "quora_chaos: cannot open " << opt.report_path << '\n';
+      return 2;
+    }
+    write_sweep_report(out, sweeps);
+  }
+  return any_unsafe ? 1 : 0;
 }
 
 } // namespace
@@ -164,6 +373,16 @@ int main(int argc, char** argv) {
         opt.verify_determinism = true;
       } else if (arg == "--quiet") {
         opt.quiet = true;
+      } else if (arg == "--sweep") {
+        opt.sweep = true;
+      } else if (arg == "--seeds") {
+        opt.sweep_seeds = static_cast<std::uint32_t>(std::stoul(value()));
+        if (opt.sweep_seeds == 0) {
+          std::cerr << "quora_chaos: --seeds needs at least 1\n";
+          usage();
+        }
+      } else if (arg == "--report") {
+        opt.report_path = value();
       } else if (arg == "--help" || arg == "-h") {
         usage();
       } else if (!arg.empty() && arg[0] == '-') {
@@ -178,6 +397,7 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.plans.empty()) usage();
+  if (opt.sweep) return run_sweep(opt);
 
   std::ofstream log_out;
   if (!opt.log_path.empty()) {
