@@ -92,13 +92,60 @@ class BenchCompareTest(unittest.TestCase):
         self.assertIn("REGRESSED", out)
         self.assertIn("--warn-only", out)
 
-    def test_missing_case_is_reported_not_fatal(self):
+    def test_one_sided_cases_reported_as_added_and_removed(self):
         base = self.write("base.json", report([("heap", 100.0), ("old", 10.0)]))
         cur = self.write("cur.json", report([("heap", 100.0), ("new", 10.0)]))
         code, out, _ = self.run_compare(base, cur)
         self.assertEqual(code, 0)
-        self.assertIn("MISSING in current", out)
-        self.assertIn("MISSING in baseline", out)
+        self.assertIn("added (current only)", out)
+        self.assertIn("removed (baseline only)", out)
+        self.assertIn("added cases (no baseline): new", out)
+        self.assertIn("removed cases (baseline only): old", out)
+
+    def test_added_and_removed_never_regress(self):
+        # One-sided cases must not affect the exit status even when the
+        # shared cases regress under --warn-only's advisory reporting.
+        base = self.write("base.json", report([("old", 10.0)]))
+        cur = self.write("cur.json", report([("new", 99999.0)]))
+        code, out, _ = self.run_compare(base, cur)
+        self.assertEqual(code, 0)
+        self.assertIn("no case regressed", out)
+
+    def test_fail_on_regression_gates_past_warn_only(self):
+        base = self.write("base.json", report([("heap", 100.0)]))
+        cur = self.write("cur.json", report([("heap", 1000.0)]))
+        code, out, _ = self.run_compare(
+            base, cur, "--warn-only", "--fail-on-regression", "100"
+        )
+        self.assertEqual(code, 1)
+        self.assertIn("hard gate", out)
+        self.assertIn("heap", out)
+
+    def test_fail_on_regression_within_limit_passes(self):
+        # 40% growth: beyond the default 25% soft threshold (masked by
+        # --warn-only) but inside the 100% hard gate.
+        base = self.write("base.json", report([("heap", 100.0)]))
+        cur = self.write("cur.json", report([("heap", 140.0)]))
+        code, out, _ = self.run_compare(
+            base, cur, "--warn-only", "--fail-on-regression", "100"
+        )
+        self.assertEqual(code, 0)
+        self.assertIn("REGRESSED", out)
+        self.assertNotIn("hard gate", out)
+
+    def test_fail_on_regression_without_warn_only(self):
+        base = self.write("base.json", report([("heap", 100.0)]))
+        cur = self.write("cur.json", report([("heap", 300.0)]))
+        code, out, _ = self.run_compare(base, cur, "--fail-on-regression", "50")
+        self.assertEqual(code, 1)
+        self.assertIn("hard gate", out)
+
+    def test_negative_fail_on_regression_rejected(self):
+        base = self.write("base.json", report([("heap", 100.0)]))
+        cur = self.write("cur.json", report([("heap", 100.0)]))
+        code, _, err = self.run_compare(base, cur, "--fail-on-regression", "-1")
+        self.assertEqual(code, 2)
+        self.assertIn("non-negative", err)
 
     def test_malformed_json_exits_2(self):
         base = self.write("base.json", report([("heap", 100.0)]))

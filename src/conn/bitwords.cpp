@@ -1,0 +1,114 @@
+#include "conn/bitwords.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace quora::conn::bits {
+
+namespace detail {
+
+void or_and_scalar(Word* dst, const Word* a, const Word* b,
+                   std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= a[i] & b[i];
+}
+
+std::uint64_t popcount_and_scalar(const Word* a, const Word* b,
+                                  std::size_t n) noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
+  return total;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("avx2,popcnt"))) void or_and_avx2(Word* dst, const Word* a,
+                                                 const Word* b,
+                                                 std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    __m256i vd = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    vd = _mm256_or_si256(vd, _mm256_and_si256(va, vb));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), vd);
+  }
+  for (; i < n; ++i) dst[i] |= a[i] & b[i];
+}
+
+__attribute__((target("avx2,popcnt"))) std::uint64_t popcount_and_avx2(
+    const Word* a, const Word* b, std::size_t n) noexcept {
+  // AND four words at a time, then popcount each lane with the scalar
+  // instruction — hardware POPCNT keeps both variants exact, and the
+  // per-lane sums are associative over uint64, so the total is identical
+  // to the scalar loop's.
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  alignas(32) Word masked[4];
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(masked),
+                       _mm256_and_si256(va, vb));
+    total += static_cast<std::uint64_t>(std::popcount(masked[0])) +
+             static_cast<std::uint64_t>(std::popcount(masked[1])) +
+             static_cast<std::uint64_t>(std::popcount(masked[2])) +
+             static_cast<std::uint64_t>(std::popcount(masked[3]));
+  }
+  for (; i < n; ++i)
+    total += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
+  return total;
+}
+
+#endif  // x86
+
+bool avx2_selected() noexcept {
+  // Resolved once; the env override is read before any kernel runs so the
+  // selection cannot change mid-simulation. Immutable after init (L008:
+  // this is configuration, not mutable shared state).
+  static const bool selected = [] {
+#if defined(__x86_64__) || defined(__i386__)
+    const char* mode = std::getenv("QUORA_SIMD");
+    if (mode != nullptr && std::strcmp(mode, "scalar") == 0) return false;
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+  }();
+  return selected;
+}
+
+}  // namespace detail
+
+void or_and(Word* dst, const Word* a, const Word* b, std::size_t n) noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  if (detail::avx2_selected()) {
+    detail::or_and_avx2(dst, a, b, n);
+    return;
+  }
+#endif
+  detail::or_and_scalar(dst, a, b, n);
+}
+
+std::uint64_t popcount_and(const Word* a, const Word* b,
+                           std::size_t n) noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  if (detail::avx2_selected()) return detail::popcount_and_avx2(a, b, n);
+#endif
+  return detail::popcount_and_scalar(a, b, n);
+}
+
+const char* active_kernel() noexcept {
+  return detail::avx2_selected() ? "avx2" : "scalar";
+}
+
+}  // namespace quora::conn::bits

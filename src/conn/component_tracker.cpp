@@ -1,6 +1,7 @@
 #include "conn/component_tracker.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/contracts.hpp"
 
@@ -10,8 +11,9 @@ ComponentTracker::ComponentTracker(const LiveNetwork& live) : live_(&live) {
   const auto n = live.topology().site_count();
   // Reserve once so steady-state refreshes never touch the allocator.
   // Incremental site recoveries append fresh labels, at most one per
-  // journal slot between rebuilds, hence the extra headroom.
-  const std::size_t max_labels = n + LiveNetwork::kJournalCapacity;
+  // journal slot between rebuilds, hence the extra headroom (sized by the
+  // network's configured journal, not the default).
+  const std::size_t max_labels = n + live.journal_capacity();
   label_.reserve(n);
   parent_.reserve(max_labels);
   comp_votes_.reserve(max_labels);
@@ -19,10 +21,13 @@ ComponentTracker::ComponentTracker(const LiveNetwork& live) : live_(&live) {
   member_storage_.reserve(n);
   member_offsets_.reserve(n + 1);
   bfs_stack_.reserve(n);
+  unassigned_words_.reserve(bits::word_count(n));
+  frontier_words_.reserve(bits::word_count(n));
+  member_words_scratch_.reserve(bits::word_count(n));
   remap_.reserve(max_labels);
   votes_scratch_.reserve(n);
   size_scratch_.reserve(n);
-  cursor_scratch_.reserve(n);
+  cursor_scratch_.reserve(n + 1);
   rebuild();
 }
 
@@ -101,7 +106,7 @@ void ComponentTracker::set_metrics(obs::Registry* registry) {
 
 void ComponentTracker::sync_slow() const {
   const std::uint64_t target = live_->version();
-  if (target - cached_version_ > LiveNetwork::kJournalCapacity) {
+  if (target - cached_version_ > live_->journal_capacity()) {
     // Fell behind the ring journal; the missed deltas are gone.
     rebuild();
     return;
@@ -129,21 +134,76 @@ void ComponentTracker::sync_slow() const {
               /*full=*/0);
 }
 
-void ComponentTracker::rebuild() const {
-  ++stats_.full_rebuilds;
+void ComponentTracker::rebuild_dense() const {
+  // Word-parallel frontier scan over the network's masked adjacency rows.
+  // `unassigned` starts as the up-site bitset; each frontier site ORs its
+  // row (link-exists AND link-up) masked by `unassigned` into the next
+  // frontier, so one AND tests 64 neighbors at once. Roots are taken in
+  // ascending site order (lowest set bit of the lowest non-zero word), so
+  // labels come out numbered by lowest member site — the same canonical
+  // numbering compact() produces.
+  const net::Topology& topo = live_->topology();
+  const std::size_t words = live_->adjacency_row_words();
+  const std::span<const bits::Word> site_up = live_->site_up_words();
 
+  unassigned_words_.assign(site_up.begin(), site_up.end());
+  frontier_words_.assign(words, 0);
+
+  const bool uniform = topo.has_uniform_votes();
+  const net::Vote uniform_vote = uniform ? topo.uniform_vote() : 0;
+
+  for (std::size_t w = 0; w < words; ++w) {
+    while (unassigned_words_[w] != 0) {
+      const auto root = static_cast<net::SiteId>(
+          w * bits::kWordBits +
+          static_cast<std::uint32_t>(std::countr_zero(unassigned_words_[w])));
+      const auto comp = static_cast<std::int32_t>(comp_votes_.size());
+      net::Vote votes = uniform ? 0 : topo.votes(root);
+      std::uint32_t size = 1;
+
+      label_[root] = comp;
+      unassigned_words_[w] &= unassigned_words_[w] - 1;
+      bfs_stack_.clear();
+      bfs_stack_.push_back(root);
+      while (!bfs_stack_.empty()) {
+        std::fill(frontier_words_.begin(), frontier_words_.end(),
+                  bits::Word{0});
+        for (const net::SiteId s : bfs_stack_)
+          bits::or_and(frontier_words_.data(), live_->adjacency_row(s),
+                       unassigned_words_.data(), words);
+        bfs_stack_.clear();
+        for (std::size_t i = 0; i < words; ++i) {
+          bits::Word m = frontier_words_[i];
+          if (m == 0) continue;
+          unassigned_words_[i] &= ~m;
+          size += static_cast<std::uint32_t>(std::popcount(m));
+          while (m != 0) {
+            const auto s = static_cast<net::SiteId>(
+                i * bits::kWordBits +
+                static_cast<std::uint32_t>(std::countr_zero(m)));
+            m &= m - 1;
+            label_[s] = comp;
+            if (!uniform) votes += topo.votes(s);
+            bfs_stack_.push_back(s);
+          }
+        }
+      }
+      if (uniform) votes = uniform_vote * size;
+      comp_votes_.push_back(votes);
+      comp_size_.push_back(size);
+      max_votes_ = std::max(max_votes_, votes);
+    }
+  }
+}
+
+void ComponentTracker::rebuild_sparse() const {
+  // O(V+E) BFS over the topology's CSR adjacency — the fallback for
+  // topologies too large for quadratic adjacency rows. Liveness still
+  // reads the byte shim: per-element probes gain nothing from packing.
   const net::Topology& topo = live_->topology();
   const std::uint32_t n = topo.site_count();
   const std::uint8_t* site_up = live_->site_up_flags().data();
   const std::uint8_t* link_up = live_->link_up_flags().data();
-
-  label_.assign(n, kNoComponent);
-  parent_.clear();
-  comp_votes_.clear();
-  comp_size_.clear();
-  member_storage_.clear();
-  member_offsets_.assign(1, 0);
-  max_votes_ = 0;
 
   for (net::SiteId root = 0; root < n; ++root) {
     if (!site_up[root] || label_[root] != kNoComponent) continue;
@@ -159,7 +219,6 @@ void ComponentTracker::rebuild() const {
       bfs_stack_.pop_back();
       votes += topo.votes(s);
       ++size;
-      member_storage_.push_back(s);
       for (const net::Topology::Edge& e : topo.neighbors(s)) {
         if (!link_up[e.link]) continue;
         if (!site_up[e.neighbor]) continue;
@@ -168,13 +227,63 @@ void ComponentTracker::rebuild() const {
         bfs_stack_.push_back(e.neighbor);
       }
     }
-    parent_.push_back(comp);
     comp_votes_.push_back(votes);
     comp_size_.push_back(size);
-    member_offsets_.push_back(member_storage_.size());
     max_votes_ = std::max(max_votes_, votes);
   }
+}
+
+void ComponentTracker::build_member_csr() const {
+  // Member CSR via counting sort over the (dense) labels; members come
+  // out ascending by site id for every component, regardless of which
+  // rebuild flavor — or an earlier compaction — produced the labels.
+  const std::uint32_t n = live_->topology().site_count();
+  const std::size_t comp_count = comp_votes_.size();
+  member_offsets_.assign(comp_count + 1, 0);
+  for (net::SiteId s = 0; s < n; ++s) {
+    const std::int32_t l = label_[s];
+    if (l != kNoComponent) ++member_offsets_[static_cast<std::size_t>(l) + 1];
+  }
+  for (std::size_t i = 1; i <= comp_count; ++i)
+    member_offsets_[i] += member_offsets_[i - 1];
+  member_storage_.resize(member_offsets_[comp_count]);
+  cursor_scratch_.assign(member_offsets_.begin(), member_offsets_.end() - 1);
+  for (net::SiteId s = 0; s < n; ++s) {
+    const std::int32_t l = label_[s];
+    if (l == kNoComponent) continue;
+    member_storage_[cursor_scratch_[static_cast<std::size_t>(l)]++] = s;
+  }
+}
+
+void ComponentTracker::rebuild() const {
+  ++stats_.full_rebuilds;
+
+  const net::Topology& topo = live_->topology();
+
+  label_.assign(topo.site_count(), kNoComponent);
+  parent_.clear();
+  comp_votes_.clear();
+  comp_size_.clear();
+  max_votes_ = 0;
+
+  // Flavor by cost model, not just row availability: the dense pass reads
+  // ~n^2/64 words (every live site ORs its full row once, plus a frontier
+  // scan per BFS level), the CSR pass ~n + 2m edge probes. Dense wins on
+  // dense graphs (complete-101: one row AND tests 64 neighbors) and loses
+  // badly on deep narrow ones (ring-101: ~n/2 levels of whole-bitset
+  // work for 2 real neighbors each), so require m >= n^2/64.
+  const std::uint64_t n_sites = live_->topology().site_count();
+  const bool dense_pays =
+      64ull * live_->topology().link_count() >= n_sites * n_sites;
+  if (live_->has_dense_adjacency() && dense_pays)
+    rebuild_dense();
+  else
+    rebuild_sparse();
+
+  for (std::size_t i = 0; i < comp_votes_.size(); ++i)
+    parent_.push_back(static_cast<std::int32_t>(i));
   root_count_ = static_cast<std::uint32_t>(comp_votes_.size());
+  build_member_csr();
   compact_ = true;
   // Vote and membership conservation under partitioning: components are
   // disjoint, cover exactly the up sites, and their vote totals never
@@ -229,21 +338,7 @@ void ComponentTracker::compact() const {
   for (std::size_t i = 0; i < comp_count; ++i)
     parent_[i] = static_cast<std::int32_t>(i);
 
-  // Member CSR via counting sort; members come out in ascending site id.
-  member_offsets_.assign(comp_count + 1, 0);
-  for (net::SiteId s = 0; s < n; ++s) {
-    const std::int32_t l = label_[s];
-    if (l != kNoComponent) ++member_offsets_[static_cast<std::size_t>(l) + 1];
-  }
-  for (std::size_t i = 1; i <= comp_count; ++i)
-    member_offsets_[i] += member_offsets_[i - 1];
-  member_storage_.resize(member_offsets_[comp_count]);
-  cursor_scratch_.assign(member_offsets_.begin(), member_offsets_.end() - 1);
-  for (net::SiteId s = 0; s < n; ++s) {
-    const std::int32_t l = label_[s];
-    if (l == kNoComponent) continue;
-    member_storage_[cursor_scratch_[static_cast<std::size_t>(l)]++] = s;
-  }
+  build_member_csr();
   compact_ = true;
 
   if constexpr (contracts::kActive) {
@@ -288,6 +383,18 @@ std::span<const net::SiteId> ComponentTracker::members(std::int32_t label) const
   const auto i = static_cast<std::size_t>(label);
   return {member_storage_.data() + member_offsets_.at(i),
           member_storage_.data() + member_offsets_.at(i + 1)};
+}
+
+std::span<const bits::Word> ComponentTracker::member_words(
+    std::int32_t label) const {
+  sync();
+  compact();
+  member_words_scratch_.assign(bits::word_count(live_->topology().site_count()),
+                               bits::Word{0});
+  for (const net::SiteId s : members(label))
+    member_words_scratch_[s / bits::kWordBits] |= bits::Word{1}
+                                                  << (s % bits::kWordBits);
+  return member_words_scratch_;
 }
 
 bool ComponentTracker::connected(net::SiteId a, net::SiteId b) const {

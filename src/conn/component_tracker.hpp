@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "conn/bitwords.hpp"
 #include "conn/live_network.hpp"
 #include "core/analysis_annotations.hpp"
 #include "obs/metrics.hpp"
@@ -26,13 +27,32 @@ inline constexpr std::int32_t kNoComponent = -1;
 ///    are absorbed in place by a union-find over the component labels —
 ///    no graph traversal, no allocation;
 ///  - the first **failure** (or bulk) delta aborts the replay and triggers
-///    one full O(V+E) BFS sweep over the topology's CSR adjacency, into
-///    scratch buffers that are reused across rebuilds.
+///    one full rebuild into scratch buffers reused across rebuilds.
 ///
 /// Under the paper's symmetric fail/repair model half of all network
 /// events are recoveries, so this halves the rebuild count of the
 /// version-dirty scheme it replaces, and steady-state refreshes perform
 /// zero heap allocations.
+///
+/// The rebuild itself comes in two flavors, selected by the network:
+///
+///  - **dense** (site count within `LiveNetwork::kDenseAdjacencyMaxSites`):
+///    a word-parallel frontier scan over the network's masked adjacency
+///    rows. Each frontier site contributes one `next |= row & unassigned`
+///    pass over packed 64-bit words — 64 neighbor-liveness tests per AND —
+///    and component sizes are tallied by popcount over the harvested
+///    words (votes collapse to popcount * v under a uniform assignment).
+///    The word kernels are runtime-dispatched (AVX2 when available,
+///    overridable via QUORA_SIMD=scalar) and bit-identical across
+///    variants, so labels never depend on the dispatch decision.
+///  - **sparse** (larger topologies): the original O(V+E) BFS over the
+///    topology's CSR adjacency.
+///
+/// Both flavors produce identical labelings: components numbered by
+/// lowest member site in ascending order, member lists ascending by site
+/// id — the same canonical form `compact()` emits after incremental
+/// merges, so member order no longer depends on which path produced the
+/// partition.
 ///
 /// Labels are compacted (dense, 0..component_count-1, numbered by lowest
 /// member site) on demand: the cheap scalar queries (`component_votes`,
@@ -40,10 +60,8 @@ inline constexpr std::int32_t kNoComponent = -1;
 /// `component_count`) never force a compaction, while the structural ones
 /// (`component_of`, `members`, `votes_by_label`) do, so a label returned
 /// by `component_of` always indexes `members`/`votes_by_label`
-/// consistently. Member lists are in deterministic order: BFS discovery
-/// order after a full rebuild, ascending site id after an incremental
-/// merge. Spans returned by `members`/`votes_by_label` are invalidated by
-/// the next refresh, as before.
+/// consistently. Spans returned by `members`/`votes_by_label`/
+/// `member_words` are invalidated by the next refresh, as before.
 class ComponentTracker {
 public:
   explicit ComponentTracker(const LiveNetwork& live);
@@ -72,6 +90,14 @@ public:
 
   /// Sites of the component labeled `label` (see class docs for order).
   QUORA_HOT_PATH std::span<const net::SiteId> members(std::int32_t label) const;
+
+  /// The same membership as packed site-indexed bitset words (bit s set
+  /// iff site s belongs to `label`) — consumers holding their own
+  /// site-bitsets can AND/popcount against this instead of looping the
+  /// member list. Built into a scratch buffer on demand; invalidated by
+  /// the next refresh or the next member_words call.
+  QUORA_HOT_PATH QUORA_ALLOC_OK std::span<const bits::Word> member_words(
+      std::int32_t label) const;
 
   /// True if both sites are up and currently connected.
   QUORA_HOT_PATH bool connected(net::SiteId a, net::SiteId b) const;
@@ -108,6 +134,9 @@ private:
   // --alloc-check` verifies at runtime.
   void sync_slow() const;
   QUORA_ALLOC_OK void rebuild() const;
+  QUORA_ALLOC_OK void rebuild_dense() const;
+  QUORA_ALLOC_OK void rebuild_sparse() const;
+  QUORA_ALLOC_OK void build_member_csr() const;
   QUORA_ALLOC_OK void compact() const;
   QUORA_ALLOC_OK void apply_site_up(net::SiteId s) const;
   void apply_link_up(net::LinkId l) const;
@@ -127,6 +156,9 @@ private:
   mutable std::vector<net::SiteId> member_storage_;  // grouped by component
   mutable std::vector<std::size_t> member_offsets_;  // CSR over member_storage_
   mutable std::vector<net::SiteId> bfs_stack_;
+  mutable std::vector<bits::Word> unassigned_words_;   // dense-rebuild scratch
+  mutable std::vector<bits::Word> frontier_words_;     // dense-rebuild scratch
+  mutable std::vector<bits::Word> member_words_scratch_;
   mutable std::vector<std::int32_t> remap_;          // compaction scratch
   mutable std::vector<net::Vote> votes_scratch_;
   mutable std::vector<std::uint32_t> size_scratch_;

@@ -1,18 +1,52 @@
 #include "conn/live_network.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
 namespace quora::conn {
 
-LiveNetwork::LiveNetwork(const net::Topology& topo)
+LiveNetwork::LiveNetwork(const net::Topology& topo,
+                         std::uint64_t journal_capacity)
     : topo_(&topo),
       site_up_(topo.site_count(), 1),
       link_up_(topo.link_count(), 1),
+      site_words_(bits::word_count(topo.site_count()), 0),
+      link_words_(bits::word_count(topo.link_count()), 0),
       up_sites_(topo.site_count()),
-      up_links_(topo.link_count()) {}
+      up_links_(topo.link_count()) {
+  if (journal_capacity < 2 || !std::has_single_bit(journal_capacity))
+    throw std::invalid_argument(
+        "LiveNetwork: journal capacity must be a power of two >= 2");
+  journal_mask_ = journal_capacity - 1;
+  journal_.assign(journal_capacity, Delta{});
+
+  // All-up initial state: set bits [0, count) and leave tail bits zero —
+  // consumers popcount whole words and must never see ghost elements.
+  for (std::uint32_t s = 0; s < topo.site_count(); ++s)
+    set_word_bit(site_words_, s, true);
+  for (std::uint32_t l = 0; l < topo.link_count(); ++l)
+    set_word_bit(link_words_, l, true);
+
+  if (topo.site_count() > 0 && topo.site_count() <= kDenseAdjacencyMaxSites) {
+    row_words_ = bits::word_count(topo.site_count());
+    const std::size_t total = row_words_ * topo.site_count();
+    topo_rows_.assign(total, 0);
+    for (const net::Link& e : topo.links()) {
+      topo_rows_[e.a * row_words_ + e.b / bits::kWordBits] |=
+          bits::Word{1} << (e.b % bits::kWordBits);
+      topo_rows_[e.b * row_words_ + e.a / bits::kWordBits] |=
+          bits::Word{1} << (e.a % bits::kWordBits);
+    }
+    adj_rows_ = topo_rows_;  // every link starts up
+  }
+}
 
 bool LiveNetwork::set_site_up(net::SiteId s, bool up) {
   std::uint8_t& flag = site_up_.at(s);
   if ((flag != 0) == up) return false;
   flag = up ? 1 : 0;
+  set_word_bit(site_words_, s, up);
   up_sites_ += up ? 1u : -1u;
   journal(up ? DeltaKind::kSiteUp : DeltaKind::kSiteDown, s);
   return true;
@@ -22,6 +56,23 @@ bool LiveNetwork::set_link_up(net::LinkId l, bool up) {
   std::uint8_t& flag = link_up_.at(l);
   if ((flag != 0) == up) return false;
   flag = up ? 1 : 0;
+  set_word_bit(link_words_, l, up);
+  if (row_words_ != 0) {
+    // A link flip touches exactly two row bits; the rows stay an exact
+    // mirror of "link exists AND link up" with no rebuild.
+    const net::Link& e = topo_->link(l);
+    const bits::Word ma = bits::Word{1} << (e.a % bits::kWordBits);
+    const bits::Word mb = bits::Word{1} << (e.b % bits::kWordBits);
+    bits::Word& row_ab = adj_rows_[e.a * row_words_ + e.b / bits::kWordBits];
+    bits::Word& row_ba = adj_rows_[e.b * row_words_ + e.a / bits::kWordBits];
+    if (up) {
+      row_ab |= mb;
+      row_ba |= ma;
+    } else {
+      row_ab &= ~mb;
+      row_ba &= ~ma;
+    }
+  }
   up_links_ += up ? 1u : -1u;
   journal(up ? DeltaKind::kLinkUp : DeltaKind::kLinkDown, l);
   return true;
@@ -40,6 +91,18 @@ void LiveNetwork::reset_all_up() {
       f = 1;
       changed = true;
     }
+  }
+  if (changed) {
+    // Re-derive the packed state wholesale; cheaper than itemizing and the
+    // bulk path is off the per-event hot path anyway.
+    std::fill(site_words_.begin(), site_words_.end(), bits::Word{0});
+    std::fill(link_words_.begin(), link_words_.end(), bits::Word{0});
+    for (std::uint32_t s = 0; s < topo_->site_count(); ++s)
+      set_word_bit(site_words_, s, true);
+    for (std::uint32_t l = 0; l < topo_->link_count(); ++l)
+      set_word_bit(link_words_, l, true);
+    if (row_words_ != 0)
+      std::copy(topo_rows_.begin(), topo_rows_.end(), adj_rows_.begin());
   }
   up_sites_ = topo_->site_count();
   up_links_ = topo_->link_count();

@@ -1,10 +1,10 @@
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "conn/bitwords.hpp"
 #include "net/topology.hpp"
 
 namespace quora::conn {
@@ -18,8 +18,24 @@ namespace quora::conn {
 /// actually changes state bumps `version()`, which downstream caches
 /// (`ComponentTracker`) key on.
 ///
-/// Alongside the version counter, a small ring journal records *what* each
-/// version bump changed. Consumers that fell at most `kJournalCapacity`
+/// Up/down state is stored structure-of-arrays as packed 64-bit bitset
+/// words (`site_up_words`/`link_up_words`) so consumers can test 64
+/// elements per AND and tally memberships by popcount. The original
+/// one-byte-per-element flag arrays are maintained in lockstep and remain
+/// available through `site_up_flags`/`link_up_flags` — a migration shim
+/// for consumers that still index per element.
+///
+/// For topologies up to `kDenseAdjacencyMaxSites` sites the network also
+/// maintains *masked adjacency rows*: row `a` is a site-indexed bitset
+/// whose bit `b` is set iff link {a, b} exists AND that link is up (site
+/// liveness is deliberately not baked in; consumers AND rows against
+/// `site_up_words` themselves). A link flip updates exactly two bits, and
+/// the component tracker's rebuild becomes a word-parallel frontier scan
+/// over these rows. Larger topologies skip the rows (quadratic bits) and
+/// fall back to the CSR adjacency walk.
+///
+/// Alongside the version counter, a ring journal records *what* each
+/// version bump changed. Consumers that fell at most `journal_capacity()`
 /// versions behind can replay the deltas instead of re-deriving state from
 /// scratch — this is what lets the component tracker absorb recovery
 /// events incrementally and rebuild only on failures.
@@ -39,13 +55,23 @@ public:
     DeltaKind kind = DeltaKind::kBulk;
     std::uint32_t index = 0;  // site or link id; unused for kBulk
   };
-  /// Ring capacity of the delta journal (power of two). Must comfortably
-  /// exceed the number of network events a consumer can fall behind by
-  /// between queries; the simulator queries at access frequency, which the
-  /// paper's rho = 1/128 keeps within a handful of events.
+  /// Default ring capacity of the delta journal. Must comfortably exceed
+  /// the number of network events a consumer can fall behind by between
+  /// queries; the simulator queries at access frequency, which the paper's
+  /// rho = 1/128 keeps within a handful of events. Large chaos sweeps that
+  /// batch more mutations between queries can raise the capacity at
+  /// construction instead of eating a full rebuild per batch.
   static constexpr std::uint64_t kJournalCapacity = 256;
 
-  explicit LiveNetwork(const net::Topology& topo);
+  /// Site-count ceiling for the dense masked adjacency rows. At this size
+  /// the rows cost 2 * 4096^2 bits = 4 MiB; beyond it the quadratic layout
+  /// loses to the CSR walk in both memory and rebuild time.
+  static constexpr std::uint32_t kDenseAdjacencyMaxSites = 4096;
+
+  /// `journal_capacity` must be a power of two >= 2 (ring-mask indexing);
+  /// throws std::invalid_argument otherwise.
+  explicit LiveNetwork(const net::Topology& topo,
+                       std::uint64_t journal_capacity = kJournalCapacity);
 
   const net::Topology& topology() const noexcept { return *topo_; }
 
@@ -56,6 +82,29 @@ public:
   /// topology and cannot afford per-element bounds checks.
   std::span<const std::uint8_t> site_up_flags() const noexcept { return site_up_; }
   std::span<const std::uint8_t> link_up_flags() const noexcept { return link_up_; }
+
+  /// Packed liveness bitsets (bit i of word i/64 = element i up). Bits at
+  /// and above site_count()/link_count() are always zero.
+  std::span<const bits::Word> site_up_words() const noexcept {
+    return site_words_;
+  }
+  std::span<const bits::Word> link_up_words() const noexcept {
+    return link_words_;
+  }
+
+  /// True when the dense masked adjacency rows are maintained (site count
+  /// within kDenseAdjacencyMaxSites).
+  bool has_dense_adjacency() const noexcept { return row_words_ != 0; }
+
+  /// Words per adjacency row (= word_count(site_count())); 0 when dense
+  /// rows are disabled.
+  std::size_t adjacency_row_words() const noexcept { return row_words_; }
+
+  /// Masked adjacency row of site `a`: bit b set iff link {a, b} exists
+  /// and is up. Only valid when has_dense_adjacency().
+  const bits::Word* adjacency_row(net::SiteId a) const noexcept {
+    return adj_rows_.data() + static_cast<std::size_t>(a) * row_words_;
+  }
 
   /// A link transmits only when it and both endpoints are up.
   bool link_operational(net::LinkId l) const {
@@ -77,26 +126,43 @@ public:
   /// Monotone counter, bumped by every effective state change.
   std::uint64_t version() const noexcept { return version_; }
 
+  /// Ring capacity of the delta journal (fixed at construction).
+  std::uint64_t journal_capacity() const noexcept { return journal_mask_ + 1; }
+
   /// The delta that moved `version - 1` to `version`. Only meaningful for
-  /// versions in (version() - kJournalCapacity, version()]; older slots
+  /// versions in (version() - journal_capacity(), version()]; older slots
   /// have been overwritten.
   Delta delta(std::uint64_t version) const noexcept {
-    return journal_[version & (kJournalCapacity - 1)];
+    return journal_[version & journal_mask_];
   }
 
 private:
   void journal(DeltaKind kind, std::uint32_t index) noexcept {
     ++version_;
-    journal_[version_ & (kJournalCapacity - 1)] = Delta{kind, index};
+    journal_[version_ & journal_mask_] = Delta{kind, index};
+  }
+  void set_word_bit(std::vector<bits::Word>& words, std::uint32_t i,
+                    bool on) noexcept {
+    const bits::Word mask = bits::Word{1} << (i % bits::kWordBits);
+    if (on)
+      words[i / bits::kWordBits] |= mask;
+    else
+      words[i / bits::kWordBits] &= ~mask;
   }
 
   const net::Topology* topo_;
-  std::vector<std::uint8_t> site_up_;
+  std::vector<std::uint8_t> site_up_;  // byte shim, kept in lockstep
   std::vector<std::uint8_t> link_up_;
+  std::vector<bits::Word> site_words_;
+  std::vector<bits::Word> link_words_;
+  std::size_t row_words_ = 0;          // 0 = dense rows disabled
+  std::vector<bits::Word> adj_rows_;   // masked by link liveness
+  std::vector<bits::Word> topo_rows_;  // static topology rows, for resets
   std::uint32_t up_sites_ = 0;
   std::uint32_t up_links_ = 0;
   std::uint64_t version_ = 0;
-  std::array<Delta, kJournalCapacity> journal_{};
+  std::uint64_t journal_mask_;
+  std::vector<Delta> journal_;
 };
 
 } // namespace quora::conn

@@ -32,6 +32,9 @@ Topology::Topology(std::string name, std::uint32_t site_count, std::vector<Link>
   }
 
   total_votes_ = std::accumulate(votes_.begin(), votes_.end(), Vote{0});
+  uniform_votes_ =
+      std::all_of(votes_.begin(), votes_.end(),
+                  [this](const Vote v) { return v == votes_.front(); });
 
   // CSR construction: count degrees, prefix-sum, fill.
   offsets_.assign(site_count_ + 1, 0);

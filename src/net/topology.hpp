@@ -42,6 +42,14 @@ public:
   /// Total votes T in the system.
   Vote total_votes() const noexcept { return total_votes_; }
 
+  /// True when every site carries the same vote weight (the paper's
+  /// uniform assignment). Lets component tallies collapse to
+  /// popcount * uniform_vote() instead of a per-site gather.
+  bool has_uniform_votes() const noexcept { return uniform_votes_; }
+
+  /// The common per-site weight; only meaningful under has_uniform_votes().
+  Vote uniform_vote() const noexcept { return votes_.front(); }
+
   /// Neighbors of `s` as (neighbor site, connecting link) pairs.
   struct Edge {
     SiteId neighbor;
@@ -121,6 +129,7 @@ private:
   std::vector<Link> links_;
   std::vector<Vote> votes_;
   Vote total_votes_ = 0;
+  bool uniform_votes_ = false;
   std::vector<std::size_t> offsets_;  // CSR row offsets, size site_count+1
   std::vector<Edge> adjacency_;       // CSR payload, size 2*link_count
   // Lazily sized: empty until the first annotation (the common legacy case

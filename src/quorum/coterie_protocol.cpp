@@ -21,8 +21,9 @@ SiteSet CoterieProtocol::component_set(const conn::ComponentTracker& tracker,
                                        net::SiteId origin) const {
   const std::int32_t comp = tracker.component_of(origin);
   if (comp == conn::kNoComponent) return 0;
-  SiteSet set = 0;
-  for (const net::SiteId s : tracker.members(comp)) set |= SiteSet{1} << s;
+  // The coterie universe is capped at 64 sites (ctor), so the tracker's
+  // packed membership words are exactly one SiteSet — no per-member loop.
+  const SiteSet set = tracker.member_words(comp).front();
   QUORA_INVARIANT(static_cast<std::uint32_t>(popcount(set)) ==
                       tracker.component_size(origin),
                   "component bitmask must contain exactly the tracked members");

@@ -1,0 +1,26 @@
+#include "sim/shard_set.hpp"
+
+#include "sim/batch.hpp"
+
+namespace quora::sim {
+
+void ShardSet::run_accesses(std::uint64_t per_shard, unsigned threads) {
+  for_each_batch(shard_count(), threads, [this, per_shard](std::uint32_t i) {
+    shards_[i]->run_accesses(per_shard);
+  });
+}
+
+Simulator::Counters ShardSet::aggregate_counters() const {
+  Simulator::Counters total;
+  for (const std::unique_ptr<Simulator>& s : shards_) {
+    const Simulator::Counters& c = s->counters();
+    total.accesses += c.accesses;
+    total.site_failures += c.site_failures;
+    total.site_recoveries += c.site_recoveries;
+    total.link_failures += c.link_failures;
+    total.link_recoveries += c.link_recoveries;
+  }
+  return total;
+}
+
+} // namespace quora::sim

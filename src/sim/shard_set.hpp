@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/config.hpp"
+#include "sim/simulator.hpp"
+
+namespace quora::sim {
+
+/// A set of independent simulation shards of one scenario, stepped in
+/// parallel inside a batch.
+///
+/// Each shard is a full `Simulator` over the same topology/config/spec,
+/// seeded with the same seed but a distinct RNG stream (`stream0 + i`), so
+/// shards are statistically independent replications with zero shared
+/// mutable state — exactly the property `for_each_batch`'s fan-out idiom
+/// requires. `run_accesses` advances every shard by the same access count
+/// using that idiom; because shards share nothing, the parallel run is
+/// bit-identical to stepping them serially in shard order, which the
+/// determinism suite asserts.
+///
+/// This is the intra-batch counterpart to the experiment layer's
+/// batch-level fan-out: a batch that needs more samples than one stream
+/// provides splits into shards instead of longer runs, keeping wall-clock
+/// bounded as topologies grow.
+class ShardSet {
+public:
+  ShardSet(const net::Topology& topo, SimConfig config, AccessSpec spec,
+           std::uint64_t seed, std::uint32_t shard_count,
+           std::uint64_t stream0 = 0) {
+    shards_.reserve(shard_count);
+    for (std::uint32_t i = 0; i < shard_count; ++i)
+      shards_.push_back(std::make_unique<Simulator>(topo, config, spec, seed,
+                                                    stream0 + i));
+  }
+
+  std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  Simulator& shard(std::uint32_t i) { return *shards_.at(i); }
+  const Simulator& shard(std::uint32_t i) const { return *shards_.at(i); }
+
+  /// Advances every shard by `per_shard` access events, fanning out over
+  /// at most `threads` workers (1 = serial reference order).
+  void run_accesses(std::uint64_t per_shard, unsigned threads);
+
+  /// Element-wise sum of every shard's counters.
+  Simulator::Counters aggregate_counters() const;
+
+private:
+  std::vector<std::unique_ptr<Simulator>> shards_;
+};
+
+} // namespace quora::sim

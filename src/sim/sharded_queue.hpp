@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/analysis_annotations.hpp"
+#include "sim/event.hpp"
+
+namespace quora::sim {
+
+/// An event with its shard of origin; what ShardedEventQueue::pop returns.
+struct ShardEvent {
+  double time = 0.0;
+  std::uint32_t shard = 0;
+  std::uint64_t seq = 0;  // per-shard insertion order
+  EventKind kind = EventKind::kAccess;
+  std::uint32_t index = 0;
+};
+
+/// `EventQueue` partitioned into per-shard 4-ary heaps with a deterministic
+/// global merge (ROADMAP item 4).
+///
+/// Each shard owns an independent implicit 4-ary min-heap (the same layout
+/// and sift idiom as `EventQueue`) and its own sequence counter, so
+/// producers bound to distinct shards never contend and a shard's heap can
+/// be filled/drained by its own thread during parallel stepping. The
+/// global pop order is the total order
+///
+///     (time, shard, seq)
+///
+/// — earliest time first, ties across shards broken by shard id, ties
+/// within a shard by insertion order. When every event time is unique
+/// (the simulator's exponential draws in practice), this order is
+/// identical to a single `EventQueue`'s `(time, seq)` order, which the
+/// determinism suite asserts on interleaved workloads; only exact
+/// cross-shard time ties order by shard rather than by global insertion.
+///
+/// The merge scans the shard tops linearly. With the shard counts this
+/// code targets (≤ 64: one per worker, not one per site) the scan is a
+/// handful of comparisons against contiguous cached keys and beats a
+/// dedicated merge heap's pointer chasing; revisit if shard counts grow.
+class ShardedEventQueue {
+public:
+  explicit ShardedEventQueue(std::uint32_t shard_count)
+      : heaps_(shard_count), next_seq_(shard_count, 0) {}
+
+  std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(heaps_.size());
+  }
+
+  QUORA_HOT_PATH void push(std::uint32_t shard, double time, EventKind kind,
+                           std::uint32_t index) {
+    std::vector<Entry>& h = heaps_.at(shard);
+    // quora-lint: allow(L006) amortized growth: every pop hands back a slot, so steady state never reallocates; quora_bench --alloc-check enforces it
+    h.push_back(Entry{time, next_seq_[shard]++, kind, index});
+    sift_up(h, h.size() - 1);
+  }
+
+  bool empty() const noexcept {
+    for (const std::vector<Entry>& h : heaps_)
+      if (!h.empty()) return false;
+    return true;
+  }
+
+  std::size_t size() const noexcept {
+    std::size_t total = 0;
+    for (const std::vector<Entry>& h : heaps_) total += h.size();
+    return total;
+  }
+
+  /// Size of one shard's heap (for tests and load balance probes).
+  std::size_t shard_size(std::uint32_t shard) const {
+    return heaps_.at(shard).size();
+  }
+
+  /// Pops the globally next event under (time, shard, seq). Precondition:
+  /// !empty().
+  QUORA_HOT_PATH ShardEvent pop() {
+    // Linear tournament over shard tops: lowest (time, shard) wins; the
+    // per-shard heap already surfaced the lowest (time, seq) of its shard.
+    const std::uint32_t shards = shard_count();
+    std::uint32_t best = shards;  // first non-empty shard
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      if (heaps_[s].empty()) continue;
+      if (best == shards || entry_earlier(heaps_[s].front(), heaps_[best].front()))
+        best = s;
+    }
+    std::vector<Entry>& h = heaps_[best];
+    const Entry e = h.front();
+    const Entry last = h.back();
+    h.pop_back();
+    if (!h.empty()) sift_hole_down(h, last);
+    return ShardEvent{e.time, best, e.seq, e.kind, e.index};
+  }
+
+  /// Reset to a freshly-constructed state: every shard's capacity is
+  /// released and its sequence counter restarts, mirroring
+  /// EventQueue::clear()'s replay-determinism contract.
+  void clear() {
+    for (std::vector<Entry>& h : heaps_) std::vector<Entry>().swap(h);
+    for (std::uint64_t& s : next_seq_) s = 0;
+  }
+
+private:
+  struct Entry {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    EventKind kind = EventKind::kAccess;
+    std::uint32_t index = 0;
+  };
+
+  static bool entry_earlier(const Entry& a, const Entry& b) noexcept {
+    // Shard ids differ by construction of the scan order (lower shard is
+    // seen first and wins ties), so (time) alone decides here; strict <
+    // keeps the earlier shard on equal times.
+    return a.time < b.time;
+  }
+
+  static bool earlier(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  static bool earlier_nb(const Entry& a, const Entry& b) noexcept {
+    return static_cast<int>(a.time < b.time) |
+           (static_cast<int>(a.time == b.time) &
+            static_cast<int>(a.seq < b.seq));
+  }
+
+  static void sift_up(std::vector<Entry>& heap, std::size_t i) {
+    Entry* const h = heap.data();
+    const Entry e = h[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!earlier(e, h[parent])) break;
+      h[i] = h[parent];
+      i = parent;
+    }
+    h[i] = e;
+  }
+
+  static void sift_hole_down(std::vector<Entry>& heap, const Entry e) {
+    Entry* const h = heap.data();
+    const std::size_t n = heap.size();
+    std::size_t i = 0;
+    std::size_t first;
+    while ((first = (i << 2) + 1) + 4 <= n) {
+      const std::size_t lo = first + earlier_nb(h[first + 1], h[first]);
+      const std::size_t hi = first + 2 + earlier_nb(h[first + 3], h[first + 2]);
+      const std::size_t best = earlier_nb(h[hi], h[lo]) ? hi : lo;
+      h[i] = h[best];
+      i = best;
+    }
+    if (first < n) {
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < n; ++c) {
+        if (earlier(h[c], h[best])) best = c;
+      }
+      h[i] = h[best];
+      i = best;
+    }
+    h[i] = e;
+    sift_up(heap, i);
+  }
+
+  std::vector<std::vector<Entry>> heaps_;
+  std::vector<std::uint64_t> next_seq_;
+};
+
+} // namespace quora::sim

@@ -3,9 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
+#include "conn/bitwords.hpp"
 #include "conn/component_tracker.hpp"
 #include "conn/live_network.hpp"
 #include "net/builders.hpp"
@@ -324,6 +328,319 @@ TEST(ComponentTracker, RandomizedAgreesWithReference) {
       EXPECT_EQ(tracker.component_votes(s), ref_size);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-word liveness state (SoA bitsets) and the word-parallel rebuild.
+
+TEST(LiveNetwork, WordFlagsMirrorByteFlags) {
+  const net::Topology topo = net::make_erdos_renyi(100, 0.1, 7);
+  LiveNetwork live(topo);
+  rng::Xoshiro256ss gen(123);
+
+  const auto check_mirror = [&] {
+    const auto site_words = live.site_up_words();
+    const auto link_words = live.link_up_words();
+    ASSERT_EQ(site_words.size(), bits::word_count(topo.site_count()));
+    ASSERT_EQ(link_words.size(), bits::word_count(topo.link_count()));
+    for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+      const bool bit =
+          (site_words[s / 64] >> (s % 64) & 1) != 0;
+      EXPECT_EQ(bit, live.is_site_up(s)) << "site " << s;
+    }
+    for (net::LinkId l = 0; l < topo.link_count(); ++l) {
+      const bool bit =
+          (link_words[l / 64] >> (l % 64) & 1) != 0;
+      EXPECT_EQ(bit, live.is_link_up(l)) << "link " << l;
+    }
+    // Tail bits above the element count must stay zero: consumers
+    // popcount whole words and must never see ghost elements.
+    const std::uint32_t site_tail = topo.site_count() % 64;
+    if (site_tail != 0) {
+      EXPECT_EQ(site_words.back() >> site_tail, 0u);
+    }
+    const std::uint32_t link_tail = topo.link_count() % 64;
+    if (link_tail != 0) {
+      EXPECT_EQ(link_words.back() >> link_tail, 0u);
+    }
+  };
+
+  check_mirror();
+  for (int step = 0; step < 500; ++step) {
+    if (rng::bernoulli(gen, 0.5)) {
+      const auto s =
+          static_cast<net::SiteId>(rng::uniform_index(gen, topo.site_count()));
+      live.set_site_up(s, !live.is_site_up(s));
+    } else {
+      const auto l =
+          static_cast<net::LinkId>(rng::uniform_index(gen, topo.link_count()));
+      live.set_link_up(l, !live.is_link_up(l));
+    }
+  }
+  check_mirror();
+  live.reset_all_up();
+  check_mirror();
+}
+
+TEST(LiveNetwork, DenseAdjacencyRowsMirrorLinkState) {
+  const net::Topology topo = net::make_ring(10);
+  LiveNetwork live(topo);
+  ASSERT_TRUE(live.has_dense_adjacency());
+  ASSERT_EQ(live.adjacency_row_words(), 1u);
+
+  const auto row_bit = [&](net::SiteId a, net::SiteId b) {
+    return (live.adjacency_row(a)[b / 64] >> (b % 64) & 1) != 0;
+  };
+  EXPECT_TRUE(row_bit(0, 1));
+  EXPECT_TRUE(row_bit(1, 0));
+  EXPECT_FALSE(row_bit(0, 2));  // no such link
+
+  const net::LinkId l01 = topo.find_link(0, 1);
+  live.set_link_up(l01, false);
+  EXPECT_FALSE(row_bit(0, 1));
+  EXPECT_FALSE(row_bit(1, 0));
+  EXPECT_TRUE(row_bit(0, 9));  // untouched
+
+  // Site liveness is deliberately NOT baked into the rows.
+  live.set_site_up(9, false);
+  EXPECT_TRUE(row_bit(0, 9));
+
+  live.reset_all_up();
+  EXPECT_TRUE(row_bit(0, 1));
+  EXPECT_TRUE(row_bit(1, 0));
+}
+
+TEST(LiveNetwork, LargeTopologySkipsDenseRows) {
+  // One past the dense ceiling: the quadratic rows must be disabled and
+  // the tracker must fall back to the CSR path (and still be correct —
+  // covered by SparseRandomizedAgreesWithReference below).
+  const net::Topology big = net::make_grid(65, 64);  // 4160 > 4096
+  const LiveNetwork live_big(big);
+  EXPECT_FALSE(live_big.has_dense_adjacency());
+
+  const net::Topology at = net::make_grid(64, 64);  // exactly 4096
+  const LiveNetwork live_at(at);
+  EXPECT_TRUE(live_at.has_dense_adjacency());
+}
+
+TEST(LiveNetwork, JournalCapacityConfigurable) {
+  const net::Topology topo = net::make_ring(5);
+  const LiveNetwork dflt(topo);
+  EXPECT_EQ(dflt.journal_capacity(), LiveNetwork::kJournalCapacity);
+
+  const LiveNetwork wide(topo, 1024);
+  EXPECT_EQ(wide.journal_capacity(), 1024u);
+
+  EXPECT_THROW(LiveNetwork(topo, 0), std::invalid_argument);
+  EXPECT_THROW(LiveNetwork(topo, 1), std::invalid_argument);
+  EXPECT_THROW(LiveNetwork(topo, 24), std::invalid_argument);
+}
+
+TEST(ComponentTracker, JournalOverflowFallsBackToRebuild) {
+  // With a 4-slot journal, replaying 6 recoveries is impossible (the
+  // oldest deltas were overwritten) and the tracker must detect the
+  // overflow and rebuild; with an 8-slot journal the same batch is
+  // absorbed incrementally. Same event sequence, different capacity.
+  const net::Topology topo = net::make_ring(12);
+  for (const std::uint64_t capacity : {4ull, 8ull}) {
+    LiveNetwork live(topo, capacity);
+    ComponentTracker tracker(live);
+    for (net::SiteId s = 0; s < 6; ++s) live.set_site_up(s, false);
+    ASSERT_EQ(tracker.component_count(), 1u);  // sites 6..11 still chained
+    const std::uint64_t rebuilds0 = tracker.stats().full_rebuilds;
+
+    for (net::SiteId s = 0; s < 6; ++s) live.set_site_up(s, true);
+    EXPECT_EQ(tracker.component_count(), 1u);
+    EXPECT_EQ(tracker.component_size(0), 12u);
+    const std::uint64_t rebuilds = tracker.stats().full_rebuilds - rebuilds0;
+    if (capacity == 4) {
+      EXPECT_EQ(rebuilds, 1u) << "overflow must force exactly one rebuild";
+    } else {
+      EXPECT_EQ(rebuilds, 0u) << "a sufficient journal absorbs recoveries";
+    }
+  }
+}
+
+TEST(ComponentTracker, MemberWordsMatchMembers) {
+  const net::Topology topo = net::make_ring(70);  // spans >1 word
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  // Split the ring into two arcs.
+  live.set_link_up(topo.find_link(0, 1), false);
+  live.set_link_up(topo.find_link(40, 41), false);
+  ASSERT_EQ(tracker.component_count(), 2u);
+
+  for (const net::SiteId probe : {net::SiteId{1}, net::SiteId{41}}) {
+    const std::int32_t comp = tracker.component_of(probe);
+    const auto words = tracker.member_words(comp);
+    ASSERT_EQ(words.size(), bits::word_count(topo.site_count()));
+    std::uint64_t popcount_total = 0;
+    for (const bits::Word w : words)
+      popcount_total += static_cast<std::uint64_t>(std::popcount(w));
+    EXPECT_EQ(popcount_total, tracker.component_size(probe));
+    for (const net::SiteId s : tracker.members(comp)) {
+      EXPECT_NE(words[s / 64] & (bits::Word{1} << (s % 64)), 0u)
+          << "member " << s << " missing from member_words";
+    }
+  }
+}
+
+TEST(Bitwords, KernelVariantsBitIdentical) {
+  // The runtime-dispatch determinism contract: scalar and AVX2 variants
+  // must agree bit for bit on every input, including non-multiple-of-4
+  // word counts (the SIMD tail path).
+  rng::Xoshiro256ss gen(99);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                              std::size_t{7}, std::size_t{64},
+                              std::size_t{129}}) {
+    std::vector<bits::Word> a(n), b(n), dst_scalar(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = gen();
+      b[i] = gen();
+      dst_scalar[i] = gen();
+    }
+    std::vector<bits::Word> dst_dispatch = dst_scalar;
+    bits::detail::or_and_scalar(dst_scalar.data(), a.data(), b.data(), n);
+    bits::or_and(dst_dispatch.data(), a.data(), b.data(), n);
+    EXPECT_EQ(dst_scalar, dst_dispatch) << "n=" << n;
+    EXPECT_EQ(bits::detail::popcount_and_scalar(a.data(), b.data(), n),
+              bits::popcount_and(a.data(), b.data(), n))
+        << "n=" << n;
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx2")) {
+      // Direct variant-vs-variant check, independent of the dispatcher
+      // (which may have been forced scalar via QUORA_SIMD).
+      std::vector<bits::Word> dst_avx2 = dst_scalar;
+      for (std::size_t i = 0; i < n; ++i) dst_avx2[i] = a[i] ^ b[i];
+      std::vector<bits::Word> dst_ref = dst_avx2;
+      bits::detail::or_and_scalar(dst_ref.data(), a.data(), b.data(), n);
+      bits::detail::or_and_avx2(dst_avx2.data(), a.data(), b.data(), n);
+      EXPECT_EQ(dst_ref, dst_avx2) << "n=" << n;
+      EXPECT_EQ(bits::detail::popcount_and_scalar(a.data(), b.data(), n),
+                bits::detail::popcount_and_avx2(a.data(), b.data(), n))
+          << "n=" << n;
+    }
+#endif
+  }
+}
+
+/// CSR-based reference labeling (cheap enough for >4096-site graphs,
+/// where reference_labels' all-links scan is quadratic).
+std::vector<int> csr_reference_labels(const LiveNetwork& live) {
+  const net::Topology& topo = live.topology();
+  std::vector<int> label(topo.site_count(), -1);
+  int next = 0;
+  for (net::SiteId root = 0; root < topo.site_count(); ++root) {
+    if (!live.is_site_up(root) || label[root] != -1) continue;
+    std::vector<net::SiteId> stack{root};
+    label[root] = next;
+    while (!stack.empty()) {
+      const net::SiteId s = stack.back();
+      stack.pop_back();
+      for (const net::Topology::Edge& e : topo.neighbors(s)) {
+        if (!live.is_link_up(e.link) || !live.is_site_up(e.neighbor)) continue;
+        if (label[e.neighbor] != -1) continue;
+        label[e.neighbor] = next;
+        stack.push_back(e.neighbor);
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+TEST(ComponentTracker, SparseRandomizedAgreesWithReference) {
+  // Above the dense ceiling, so this drives rebuild_sparse — the path the
+  // 50k/250k/1M scale points rely on.
+  const net::Topology topo = net::make_grid(80, 60);  // 4800 sites
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  ASSERT_FALSE(live.has_dense_adjacency());
+  rng::Xoshiro256ss gen(31337);
+
+  for (int step = 0; step < 60; ++step) {
+    for (int burst = 0; burst < 5; ++burst) {
+      if (rng::bernoulli(gen, 0.3)) {
+        const auto s = static_cast<net::SiteId>(
+            rng::uniform_index(gen, topo.site_count()));
+        live.set_site_up(s, !live.is_site_up(s));
+      } else {
+        const auto l = static_cast<net::LinkId>(
+            rng::uniform_index(gen, topo.link_count()));
+        live.set_link_up(l, !live.is_link_up(l));
+      }
+    }
+    const std::vector<int> ref = csr_reference_labels(live);
+    std::map<int, std::int32_t> forward;
+    std::map<std::int32_t, int> backward;
+    for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+      const std::int32_t mine = tracker.component_of(s);
+      ASSERT_EQ(ref[s] == -1, mine == kNoComponent) << "site " << s;
+      if (ref[s] == -1) continue;
+      auto [fit, finserted] = forward.try_emplace(ref[s], mine);
+      ASSERT_EQ(fit->second, mine) << "site " << s;
+      auto [bit, binserted] = backward.try_emplace(mine, ref[s]);
+      ASSERT_EQ(bit->second, ref[s]) << "site " << s;
+    }
+  }
+}
+
+TEST(ComponentTracker, DenseRandomizedAgreesWithReference) {
+  // 80 sites (rows span two words) with m >> n^2/64, so this drives the
+  // word-parallel rebuild_dense path under churn.
+  const net::Topology topo = net::make_erdos_renyi(80, 0.3, 11);
+  ASSERT_GE(64ull * topo.link_count(),
+            static_cast<std::uint64_t>(topo.site_count()) * topo.site_count());
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+  rng::Xoshiro256ss gen(555);
+
+  for (int step = 0; step < 300; ++step) {
+    for (int burst = 0; burst < 3; ++burst) {
+      if (rng::bernoulli(gen, 0.4)) {
+        const auto s = static_cast<net::SiteId>(
+            rng::uniform_index(gen, topo.site_count()));
+        live.set_site_up(s, !live.is_site_up(s));
+      } else {
+        const auto l = static_cast<net::LinkId>(
+            rng::uniform_index(gen, topo.link_count()));
+        live.set_link_up(l, !live.is_link_up(l));
+      }
+    }
+    const std::vector<int> ref = csr_reference_labels(live);
+    std::map<int, std::int32_t> forward;
+    std::map<std::int32_t, int> backward;
+    for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+      const std::int32_t mine = tracker.component_of(s);
+      ASSERT_EQ(ref[s] == -1, mine == kNoComponent) << "site " << s;
+      if (ref[s] == -1) continue;
+      auto [fit, finserted] = forward.try_emplace(ref[s], mine);
+      ASSERT_EQ(fit->second, mine) << "site " << s;
+      auto [bit, binserted] = backward.try_emplace(mine, ref[s]);
+      ASSERT_EQ(bit->second, ref[s]) << "site " << s;
+    }
+  }
+}
+
+TEST(ComponentTracker, MembersAscendAfterRebuildAndMerge) {
+  // Canonical member order: ascending site id from both the rebuild
+  // paths and the incremental-merge compaction.
+  const net::Topology topo = net::make_fully_connected(9);
+  LiveNetwork live(topo);
+  const ComponentTracker tracker(live);
+
+  live.set_site_up(4, false);  // failure -> full rebuild
+  auto check_ascending = [&] {
+    for (std::uint32_t c = 0; c < tracker.component_count(); ++c) {
+      const auto m = tracker.members(static_cast<std::int32_t>(c));
+      for (std::size_t i = 1; i < m.size(); ++i) {
+        EXPECT_LT(m[i - 1], m[i]);
+      }
+    }
+  };
+  check_ascending();
+  live.set_site_up(4, true);  // recovery -> incremental merge + compaction
+  check_ascending();
 }
 
 } // namespace
