@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Drive `quora_chaos --race` on the adaptive-drift scenario and assert
+the closed-loop acceptance property.
+
+Usage:
+    adapt_race.py --chaos-bin PATH [--examples DIR] [--seeds N]
+                  [--report FILE.json] [--margin M] [--plan NAME]...
+
+Runs each plan frozen and adaptive under N consecutive seeds and checks:
+
+  1. both sides of every race report safe (no protocol-safety violation
+     while the controller installs new assignments mid-chaos);
+  2. the adaptive side actually closed the loop (epochs ticked and at
+     least one install landed — a race the controller sat out proves
+     nothing);
+  3. the tail-window availability margin (adaptive - frozen over the
+     post-drift half of the horizon) is at least --margin.
+
+The JSON artifact (schema key "quora-adapt-race") is written by the
+harness itself; this script only parses and judges it.
+
+Exit status: 0 all checks hold, 1 a check failed, 2 usage/schema errors.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+SCHEMA_KEY = "quora-adapt-race"
+
+DEFAULT_PLANS = ["adaptive_drift_race.chaos"]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--chaos-bin", required=True,
+                    help="path to the quora_chaos binary")
+    ap.add_argument("--examples", default="examples/chaos",
+                    help="directory holding the shipped .chaos plans")
+    ap.add_argument("--seeds", type=int, default=2,
+                    help="seeds per plan (reduced matrix for CI)")
+    ap.add_argument("--report", default="adapt-race.json",
+                    help="JSON artifact path")
+    ap.add_argument("--margin", type=float, default=0.02,
+                    help="required tail-availability margin adaptive-frozen")
+    ap.add_argument("--plan", action="append", default=None,
+                    help="plan file name (repeatable; default: the shipped "
+                         "adaptive-drift race)")
+    args = ap.parse_args()
+
+    plans = args.plan if args.plan else DEFAULT_PLANS
+    plan_paths = [os.path.join(args.examples, p) for p in plans]
+    for p in plan_paths:
+        if not os.path.exists(p):
+            print(f"adapt_race: missing plan {p}", file=sys.stderr)
+            return 2
+
+    cmd = [args.chaos_bin, "--race", "--adapt", "--seeds", str(args.seeds),
+           "--report", args.report] + plan_paths
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd)
+    # Exit 1 from the harness means an UNSAFE race; the margin judgement
+    # below still wants the report, so only usage errors stop us here.
+    if proc.returncode >= 2:
+        print(f"adapt_race: harness exited {proc.returncode}", file=sys.stderr)
+        return 2
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"adapt_race: cannot read {args.report}: {e}", file=sys.stderr)
+        return 2
+    if report.get(SCHEMA_KEY) != 1:
+        print(f"adapt_race: {args.report} lacks the {SCHEMA_KEY} schema key",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for plan in report.get("plans", []):
+        name = plan.get("name", "?")
+        frozen = plan.get("frozen", {})
+        adaptive = plan.get("adaptive", {})
+
+        for side_name, side in (("frozen", frozen), ("adaptive", adaptive)):
+            if not side.get("safe", False):
+                print(f"FAIL: {name} {side_name} side reported unsafe")
+                failed = True
+
+        if adaptive.get("epochs", 0) <= 0 or adaptive.get("installs", 0) <= 0:
+            print(f"FAIL: {name} adaptive side never closed the loop "
+                  f"(epochs={adaptive.get('epochs', 0)} "
+                  f"installs={adaptive.get('installs', 0)})")
+            failed = True
+
+        margin = plan.get("tail_margin")
+        if margin is None:
+            print(f"FAIL: {name} report carries no tail_margin")
+            failed = True
+            continue
+        verdict = "ok" if margin >= args.margin else "FAIL"
+        print(f"{verdict}: {name} tail availability "
+              f"frozen={frozen.get('tail_availability', 0):.4f} "
+              f"adaptive={adaptive.get('tail_availability', 0):.4f} "
+              f"margin={margin:+.4f} (need >= {args.margin})")
+        if margin < args.margin:
+            failed = True
+
+    if not report.get("plans"):
+        print("FAIL: report contains no plans")
+        failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+#include "adapt/controller.hpp"
+
+#include <stdexcept>
+
+#include "core/availability.hpp"
+#include "core/optimize.hpp"
+
+namespace quora::adapt {
+
+void AdaptiveController::Options::validate() const {
+  if (!(epoch_length > 0.0)) {
+    throw std::invalid_argument("adapt: epoch_length must be positive");
+  }
+  if (!(threshold >= 0.0 && threshold <= 1.0)) {
+    throw std::invalid_argument("adapt: threshold outside [0, 1]");
+  }
+  if (dwell < 1) {
+    throw std::invalid_argument("adapt: dwell must be at least 1 epoch");
+  }
+  if (!(min_write_availability >= 0.0 && min_write_availability <= 1.0)) {
+    throw std::invalid_argument("adapt: write floor outside [0, 1]");
+  }
+  if (!(omega > 0.0)) {
+    throw std::invalid_argument("adapt: omega must be positive");
+  }
+  if (!(site_reliability > 0.0 && site_reliability <= 1.0)) {
+    throw std::invalid_argument("adapt: site reliability outside (0, 1]");
+  }
+  if (!(min_samples >= 0.0)) {
+    throw std::invalid_argument("adapt: min_samples must be non-negative");
+  }
+  if (!(forget > 0.0 && forget <= 1.0)) {
+    throw std::invalid_argument("adapt: forget factor outside (0, 1]");
+  }
+}
+
+AdaptiveController::AdaptiveController(std::uint32_t site_count,
+                                       net::Vote total_votes, Options opts)
+    : opts_(opts), hist_(site_count, total_votes) {
+  opts_.validate();
+}
+
+AdaptiveController::Decision AdaptiveController::epoch(
+    double alpha, quorum::QuorumSpec current) {
+  ++epochs_;
+  Decision d;
+  d.spec = current;
+  if (hist_.total_samples() < opts_.min_samples) {
+    streak_ = 0;
+    hist_.decay(opts_.forget);
+    return d;
+  }
+
+  const core::VotePdf mixture = hist_.pooled_pdf(opts_.site_reliability);
+  const core::AvailabilityCurve curve(mixture);
+  d.evaluated = true;
+  // The effective assignment need not come from the canonical family
+  // (e.g. strict majority), so evaluate it through the general form.
+  d.current_value =
+      opts_.objective == Objective::kWeighted
+          ? alpha * curve.read_tail(current.q_r) +
+                opts_.omega * (1.0 - alpha) * curve.write_tail(current.q_w)
+          : curve.value(alpha, current.q_r, current.q_w);
+
+  core::OptResult opt;
+  switch (opts_.objective) {
+    case Objective::kAvailability:
+      opt = core::optimize_exhaustive(curve, alpha);
+      break;
+    case Objective::kWriteConstrained: {
+      const auto constrained = core::optimize_write_constrained(
+          curve, alpha, opts_.min_write_availability);
+      if (!constrained) {
+        // No q_r meets the floor under the current empirical mixture:
+        // report infeasible and hold the present assignment.
+        d.feasible = false;
+        d.candidate_value = d.current_value;
+        streak_ = 0;
+        hist_.decay(opts_.forget);
+        return d;
+      }
+      opt = *constrained;
+      break;
+    }
+    case Objective::kWeighted:
+      opt = core::optimize_weighted(curve, alpha, opts_.omega);
+      break;
+  }
+
+  d.spec = opt.spec;
+  d.candidate_value = opt.value;
+  d.predicted_gain = d.candidate_value - d.current_value;
+
+  if (opt.spec != current && d.predicted_gain > opts_.threshold) {
+    if (opt.spec == streak_spec_) {
+      ++streak_;
+    } else {
+      streak_spec_ = opt.spec;
+      streak_ = 1;
+    }
+  } else {
+    streak_ = 0;
+  }
+  d.streak = streak_;
+  if (streak_ >= opts_.dwell) {
+    d.install = true;
+    ++installs_;
+    streak_ = 0;
+  }
+  hist_.decay(opts_.forget);
+  return d;
+}
+
+const char* objective_name(AdaptiveController::Objective objective) {
+  switch (objective) {
+    case AdaptiveController::Objective::kAvailability: return "availability";
+    case AdaptiveController::Objective::kWriteConstrained:
+      return "write-constrained";
+    case AdaptiveController::Objective::kWeighted: return "weighted";
+  }
+  return "unknown";
+}
+
+} // namespace quora::adapt

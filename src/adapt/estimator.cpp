@@ -1,0 +1,117 @@
+#include "adapt/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/contracts.hpp"
+
+namespace quora::adapt {
+
+EmpiricalVoteHistogram::EmpiricalVoteHistogram(std::uint32_t site_count,
+                                               net::Vote total_votes)
+    : sites_(site_count), total_(total_votes) {
+  if (site_count == 0 || total_votes == 0) {
+    throw std::invalid_argument(
+        "EmpiricalVoteHistogram: need at least one site and one vote");
+  }
+  counts_.assign(static_cast<std::size_t>(sites_) * (total_ + 1), 0.0);
+  site_samples_.assign(sites_, 0.0);
+}
+
+void EmpiricalVoteHistogram::record(net::SiteId site, net::Vote votes) {
+  QUORA_PRECONDITION(site < sites_ && votes <= total_,
+                     "EmpiricalVoteHistogram::record: sample out of range");
+  counts_[static_cast<std::size_t>(site) * (total_ + 1) + votes] += 1.0;
+  site_samples_[site] += 1.0;
+  total_samples_ += 1.0;
+}
+
+double EmpiricalVoteHistogram::samples(net::SiteId site) const {
+  return site_samples_.at(site);
+}
+
+double EmpiricalVoteHistogram::count(net::SiteId site, net::Vote v) const {
+  if (site >= sites_ || v > total_) {
+    throw std::out_of_range("EmpiricalVoteHistogram::count: out of range");
+  }
+  return counts_[static_cast<std::size_t>(site) * (total_ + 1) + v];
+}
+
+namespace {
+
+core::VotePdf condition_on_up(const double* counts, double n, net::Vote total,
+                              double p) {
+  core::VotePdf pdf(total + 1, 0.0);
+  if (!(n > 0.0)) {
+    // No evidence yet: the optimistic prior (all votes reachable while
+    // up). Callers gate on a minimum sample count before optimizing, so
+    // this only shapes the degenerate early-epoch read-outs.
+    pdf[0] = 1.0 - p;
+    pdf[total] = p;
+    return pdf;
+  }
+  // Footnote 4: observed mass is conditional on the site being up; scale
+  // by p and park the complementary mass at v = 0 (down site = zero-vote
+  // component).
+  pdf[0] = 1.0 - p + p * counts[0] / n;
+  for (net::Vote v = 1; v <= total; ++v) pdf[v] = p * counts[v] / n;
+  return pdf;
+}
+
+} // namespace
+
+core::VotePdf EmpiricalVoteHistogram::site_pdf(net::SiteId site,
+                                               double p) const {
+  if (site >= sites_) {
+    throw std::out_of_range("EmpiricalVoteHistogram::site_pdf: bad site");
+  }
+  if (!(p > 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(
+        "EmpiricalVoteHistogram::site_pdf: reliability outside (0, 1]");
+  }
+  return condition_on_up(
+      counts_.data() + static_cast<std::size_t>(site) * (total_ + 1),
+      site_samples_[site], total_, p);
+}
+
+core::VotePdf EmpiricalVoteHistogram::pooled_pdf(double p) const {
+  if (!(p > 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(
+        "EmpiricalVoteHistogram::pooled_pdf: reliability outside (0, 1]");
+  }
+  std::vector<double> pooled(total_ + 1, 0.0);
+  for (std::uint32_t s = 0; s < sites_; ++s) {
+    const double* row = counts_.data() + static_cast<std::size_t>(s) * (total_ + 1);
+    for (net::Vote v = 0; v <= total_; ++v) pooled[v] += row[v];
+  }
+  return condition_on_up(pooled.data(), total_samples_, total_, p);
+}
+
+void EmpiricalVoteHistogram::decay(double factor) {
+  if (!(factor >= 0.0 && factor <= 1.0)) {
+    throw std::invalid_argument(
+        "EmpiricalVoteHistogram::decay: factor outside [0, 1]");
+  }
+  if (factor == 1.0) return;
+  for (double& c : counts_) c *= factor;
+  for (double& n : site_samples_) n *= factor;
+  total_samples_ *= factor;
+}
+
+void EmpiricalVoteHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  std::fill(site_samples_.begin(), site_samples_.end(), 0.0);
+  total_samples_ = 0.0;
+}
+
+double l1_distance(const core::VotePdf& a, const core::VotePdf& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("l1_distance: mismatched vote domains");
+  }
+  double d = 0.0;
+  for (std::size_t v = 0; v < a.size(); ++v) d += std::fabs(a[v] - b[v]);
+  return d;
+}
+
+} // namespace quora::adapt

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/component_dist.hpp"
+#include "net/types.hpp"
+
+namespace quora::adapt {
+
+/// Per-site on-line histogram of component vote totals — the paper's
+/// empirical f_i(v) estimator taken live (§2.2 "each site determines the
+/// relative frequency f_i(v)"). Site i samples, at communication instants
+/// while it is operational, how many votes its partition component holds;
+/// the counts estimate the *conditional* density f_i(v | site i up).
+///
+/// Footnote 4 supplies the unconditioning at read-out: a site only ever
+/// observes while operational, and p * A' = A relates the conditional
+/// availability A' to the absolute one, so the absolute density is
+///
+///   f_i(0) = (1 - p) + p * c_i(0) / n_i,    f_i(v) = p * c_i(v) / n_i
+///
+/// with p the site's steady-state reliability, c_i(v) the observed count
+/// and n_i the sample total. (c_i(0) is nonzero only for zero-vote sites,
+/// which can sit alone in a zero-vote component while up.)
+///
+/// Counts are doubles so `decay` can apply exponential forgetting — the
+/// knob that lets the adaptive loop track drifting failure regimes
+/// instead of averaging them away. No RNG, no clock: callers feed samples
+/// and epochs deterministically.
+class EmpiricalVoteHistogram {
+public:
+  EmpiricalVoteHistogram(std::uint32_t site_count, net::Vote total_votes);
+
+  /// One observation at `site`: its component currently holds `votes`
+  /// votes. Callers must only record while the site is operational — the
+  /// conditioning in `site_pdf` assumes it.
+  void record(net::SiteId site, net::Vote votes);
+
+  std::uint32_t site_count() const noexcept { return sites_; }
+  net::Vote total_votes() const noexcept { return total_; }
+  double samples(net::SiteId site) const;
+  double total_samples() const noexcept { return total_samples_; }
+  double count(net::SiteId site, net::Vote v) const;
+
+  /// Footnote-4 conditioned read-out for one site (see the class docs).
+  /// With no samples yet the density degenerates to the prior
+  /// "everything reachable": mass p at v = T, 1 - p at 0.
+  core::VotePdf site_pdf(net::SiteId site, double p) const;
+
+  /// Pooled read-out across every site: counts summed before
+  /// normalization, so each site weighs in proportionally to its observed
+  /// traffic — the empirical analogue of the Figure-1 mixture
+  /// r(v) = sum_i r_i f_i(v) when sampling happens at access instants.
+  core::VotePdf pooled_pdf(double p) const;
+
+  /// Exponential forgetting: every count (and sample total) is scaled by
+  /// `factor` in [0, 1]. 1 keeps the full history; smaller values bias
+  /// the estimate toward recent epochs.
+  void decay(double factor);
+  void reset();
+
+private:
+  std::uint32_t sites_;
+  net::Vote total_;
+  std::vector<double> counts_;        // sites_ rows of (total_ + 1), row-major
+  std::vector<double> site_samples_;  // per-site sample totals
+  double total_samples_ = 0.0;
+};
+
+/// L1 distance between two densities over the same vote domain — the
+/// convergence metric of the estimator oracle tests.
+double l1_distance(const core::VotePdf& a, const core::VotePdf& b);
+
+} // namespace quora::adapt

@@ -166,6 +166,29 @@ private:
                     "} but no such link exists");
         }
         break;
+      case Action::Kind::kSetAlpha:
+        if (!(a.value >= 0.0 && a.value <= 1.0)) {
+          error(AuditCode::kChaosBadSchedule,
+                "alpha shift at t=" + std::to_string(a.time) + " sets " +
+                    std::to_string(a.value) + " outside [0, 1]");
+        }
+        break;
+      case Action::Kind::kSetReliability:
+        if (!(a.value > 0.0 && a.value < 1.0)) {
+          error(AuditCode::kChaosBadSchedule,
+                "reliability shift at t=" + std::to_string(a.time) + " sets " +
+                    std::to_string(a.value) +
+                    " outside (0, 1): the repair-time model needs a proper "
+                    "fraction");
+        }
+        break;
+      case Action::Kind::kSetRho:
+        if (!(a.value > 0.0)) {
+          error(AuditCode::kChaosBadSchedule,
+                "rho shift at t=" + std::to_string(a.time) +
+                    " needs a positive access/failure ratio");
+        }
+        break;
     }
   }
 

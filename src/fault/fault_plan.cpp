@@ -153,6 +153,13 @@ void parse_at(FaultPlan& plan, std::istringstream& cells, std::size_t line) {
       fail(line, "expected 'down' or 'up'");
     }
     state == "down" ? plan.oneway_down(t, a, b2) : plan.oneway_up(t, a, b2);
+  } else if (what == "alpha") {
+    plan.set_alpha(t, need_double(cells, line, "a value after 'alpha'"));
+  } else if (what == "reliability") {
+    plan.set_reliability(t,
+                         need_double(cells, line, "a value after 'reliability'"));
+  } else if (what == "rho") {
+    plan.set_rho(t, need_double(cells, line, "a value after 'rho'"));
   } else {
     fail(line, "unknown action '" + what + "'");
   }
@@ -390,6 +397,33 @@ FaultPlan& FaultPlan::oneway_up(double t, net::SiteId a_site, net::SiteId b) {
 FaultPlan& FaultPlan::correlate(int level, double probability,
                                 double down_for) {
   correlations_.push_back(CorrelationRule{level, probability, down_for});
+  return *this;
+}
+
+FaultPlan& FaultPlan::set_alpha(double t, double alpha) {
+  Action a;
+  a.time = t;
+  a.kind = Action::Kind::kSetAlpha;
+  a.value = alpha;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::set_reliability(double t, double reliability) {
+  Action a;
+  a.time = t;
+  a.kind = Action::Kind::kSetReliability;
+  a.value = reliability;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FaultPlan& FaultPlan::set_rho(double t, double rho) {
+  Action a;
+  a.time = t;
+  a.kind = Action::Kind::kSetRho;
+  a.value = rho;
+  actions_.push_back(std::move(a));
   return *this;
 }
 

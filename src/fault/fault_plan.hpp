@@ -34,6 +34,9 @@ struct Action {
     kDomainUp,         // recover every site inside failure domain `domain`
     kOneWayDown,       // cut direction site -> site_b of link {site, site_b}
     kOneWayUp,         // restore that direction
+    kSetAlpha,         // regime shift: read fraction becomes `value`
+    kSetReliability,   // regime shift: component reliability becomes `value`
+    kSetRho,           // regime shift: access/failure time-scale ratio
   };
   double time = 0.0;
   Kind kind = Kind::kSiteDown;
@@ -46,6 +49,7 @@ struct Action {
                                // (0 = crash with immediate restart)
   std::vector<std::vector<net::SiteId>> groups;  // kPartition
   std::string domain;          // kDomain*: a domain path prefix, e.g. "rg0"
+  double value = 0.0;          // kSet*: the new parameter value
 };
 
 /// A stochastic message-fault window. While the simulated clock is inside
@@ -126,6 +130,14 @@ public:
   FaultPlan& oneway_up(double t, net::SiteId a, net::SiteId b);
   /// Add a correlated-failure rule (see CorrelationRule).
   FaultPlan& correlate(int level, double probability, double down_for);
+  /// Regime shifts: change the workload read fraction, the component
+  /// reliability, or the access/failure ratio rho at `t`. Only draws
+  /// *after* `t` use the new value, so runs stay deterministic; these are
+  /// the drifting-alpha / failure-ramp scenarios the adaptive loop
+  /// (src/adapt) is raced against.
+  FaultPlan& set_alpha(double t, double alpha);
+  FaultPlan& set_reliability(double t, double reliability);
+  FaultPlan& set_rho(double t, double rho);
 
   FaultPlan& drop(double from, double until, double p,
                   net::LinkId link = kAllLinks);
@@ -193,6 +205,11 @@ private:
 ///                                  # fail with p=0.8 (region|dc|rack)
 /// window 40 160 drop 0.3 between rg0 rg1   # gray inter-region link
 /// window 40 160 delay 0.5 0.08 between rg0 *
+///
+/// # regime shifts (drifting workload / failure rates — see src/adapt):
+/// at 200 alpha 0.2                 # read fraction drops to 20%
+/// at 200 reliability 0.85          # components degrade to 85% reliable
+/// at 200 rho 0.03125               # failures speed up relative to accesses
 /// ```
 struct ChaosSpec {
   std::string name = "unnamed";

@@ -19,6 +19,15 @@ struct CheckDirectives {
   std::optional<net::Vote> declared_total;
   std::optional<std::uint64_t> version_default;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> versions;  // site, v
+  // Adaptive-loop block (src/adapt); audited under kAdaptConfig.
+  bool adapt_declared = false;  // any adapt* / gossip directive appeared
+  std::optional<bool> adapt_enabled;
+  std::optional<double> adapt_epoch;
+  std::optional<double> adapt_threshold;
+  std::optional<std::int64_t> adapt_dwell;
+  std::optional<double> adapt_min_write;
+  std::optional<double> adapt_p;
+  std::optional<bool> gossip_enabled;
   std::string system_text;  // remainder, for load_system
 };
 
@@ -67,6 +76,31 @@ CheckDirectives split_directives(std::istream& in) {
         }
         d.versions.emplace_back(site, v);
       }
+    } else if (directive == "adapt" || directive == "gossip") {
+      std::string state;
+      if (!(cells >> state) || (state != "on" && state != "off")) {
+        parse_fail(line_no, "'" + directive + "' needs 'on' or 'off'");
+      }
+      d.adapt_declared = true;
+      if (directive == "adapt") {
+        d.adapt_enabled = (state == "on");
+      } else {
+        d.gossip_enabled = (state == "on");
+      }
+    } else if (directive == "adapt_epoch" || directive == "adapt_threshold" ||
+               directive == "adapt_min_write" || directive == "adapt_p") {
+      double v = 0.0;
+      if (!(cells >> v)) parse_fail(line_no, "'" + directive + "' needs a value");
+      d.adapt_declared = true;
+      if (directive == "adapt_epoch") d.adapt_epoch = v;
+      else if (directive == "adapt_threshold") d.adapt_threshold = v;
+      else if (directive == "adapt_min_write") d.adapt_min_write = v;
+      else d.adapt_p = v;
+    } else if (directive == "adapt_dwell") {
+      std::int64_t n = 0;
+      if (!(cells >> n)) parse_fail(line_no, "'adapt_dwell' needs an epoch count");
+      d.adapt_declared = true;
+      d.adapt_dwell = n;
     } else {
       rest << raw << '\n';
       continue;
@@ -99,6 +133,7 @@ public:
     audit_quorum(topo, d);
     audit_versions(topo, d);
     audit_domains(topo, d);
+    audit_adapt(topo, d);
     if (d.quorum && d.quorum->valid(total)) audit_coteries(topo, *d.quorum);
     return std::move(report_);
   }
@@ -300,6 +335,88 @@ private:
     }
   }
 
+  /// Static sanity for the adaptive-loop block (src/adapt). The controller
+  /// itself revalidates at attach time; this audit catches the same
+  /// mistakes before a long soak run is launched.
+  void audit_adapt(const net::Topology& topo, const CheckDirectives& d) {
+    if (!d.adapt_declared) return;
+    const bool enabled = d.adapt_enabled.value_or(false);
+    if (d.adapt_threshold &&
+        !(*d.adapt_threshold >= 0.0 && *d.adapt_threshold <= 1.0)) {
+      error(AuditCode::kAdaptConfig,
+            "adapt_threshold " + std::to_string(*d.adapt_threshold) +
+                " outside [0, 1]: the hysteresis gate compares predicted "
+                "availability gains, which are probabilities");
+    }
+    if (d.adapt_dwell && *d.adapt_dwell < 1) {
+      error(AuditCode::kAdaptConfig,
+            "adapt_dwell " + std::to_string(*d.adapt_dwell) +
+                " < 1 epoch: the installer would fire on a single noisy "
+                "estimate, defeating the hysteresis");
+    }
+    if (d.adapt_epoch && !(*d.adapt_epoch > 0.0)) {
+      error(AuditCode::kAdaptConfig,
+            "adapt_epoch " + std::to_string(*d.adapt_epoch) +
+                " must be positive simulated seconds");
+    }
+    if (d.adapt_p && !(*d.adapt_p > 0.0 && *d.adapt_p <= 1.0)) {
+      error(AuditCode::kAdaptConfig,
+            "adapt_p " + std::to_string(*d.adapt_p) +
+                " outside (0, 1]: footnote-4 conditioning divides by the "
+                "operational probability");
+    }
+    if (enabled && d.gossip_enabled && !*d.gossip_enabled) {
+      error(AuditCode::kAdaptConfig,
+            "adapt on with gossip off: an installed reassignment could "
+            "never propagate (§2.2 carries assignments on messages), so "
+            "the loop would fork the system's view of the quorum");
+    }
+    if (d.adapt_min_write) {
+      const double floor = *d.adapt_min_write;
+      if (!(floor >= 0.0 && floor <= 1.0)) {
+        error(AuditCode::kAdaptConfig,
+              "adapt_min_write " + std::to_string(floor) + " outside [0, 1]");
+        return;
+      }
+      // Best achievable write availability under *independent* site
+      // failures with reliability p: the most write-favorable canonical
+      // assignment has q_w = T - floor(T/2) + 1 (q_r at its §3 ceiling).
+      // If even P[V >= q_w] under the full vote distribution misses the
+      // floor, no assignment the optimizer can ever pick satisfies §5.4 —
+      // the constrained stage would report infeasible every epoch.
+      const net::Vote total = topo.total_votes();
+      if (total == 0) return;
+      const double p = d.adapt_p.value_or(0.96);
+      std::vector<double> dist(static_cast<std::size_t>(total) + 1, 0.0);
+      dist[0] = 1.0;
+      for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+        const net::Vote v = topo.votes(s);
+        if (v == 0) continue;
+        for (std::size_t k = dist.size(); k-- > v;) {
+          dist[k] = dist[k] * (1.0 - p) + dist[k - v] * p;
+        }
+        dist[0] *= 1.0 - p;
+        for (std::size_t k = 1; k < static_cast<std::size_t>(v); ++k) {
+          dist[k] *= 1.0 - p;
+        }
+      }
+      const net::Vote best_q_w = total - total / 2 + 1 > total
+                                     ? total
+                                     : total - total / 2 + 1;
+      double best_w = 0.0;
+      for (std::size_t k = best_q_w; k < dist.size(); ++k) best_w += dist[k];
+      if (best_w + 1e-9 < floor) {
+        error(AuditCode::kAdaptConfig,
+              "adapt_min_write " + std::to_string(floor) +
+                  " is infeasible for this topology: even the most "
+                  "write-favorable assignment (q_w = " +
+                  std::to_string(best_q_w) + ") reaches only W = " +
+                  std::to_string(best_w) + " at site reliability p = " +
+                  std::to_string(p));
+      }
+    }
+  }
+
   /// Set-system cross-check for small systems: enumerate the minimal vote
   /// groups and verify the Garcia-Molina & Barbara properties directly.
   void audit_coteries(const net::Topology& topo, const quorum::QuorumSpec& spec) {
@@ -372,6 +489,7 @@ const char* audit_code_name(AuditCode code) {
     case AuditCode::kChaosBadSchedule: return "chaos-bad-schedule";
     case AuditCode::kChaosUnknownTarget: return "chaos-unknown-target";
     case AuditCode::kDomainConfig: return "domain-config";
+    case AuditCode::kAdaptConfig: return "adapt-config";
   }
   return "unknown";
 }
@@ -517,6 +635,7 @@ std::vector<SarifRule> audit_sarif_rules() {
       AuditCode::kChaosBadSchedule,
       AuditCode::kChaosUnknownTarget,
       AuditCode::kDomainConfig,
+      AuditCode::kAdaptConfig,
   };
   std::vector<SarifRule> rules;
   for (const AuditCode code : kAll) {

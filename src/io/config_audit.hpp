@@ -33,6 +33,11 @@ enum class AuditCode {
   kDomainConfig,          // failure-domain problems: duplicate/overlapping
                           // domain definitions, or a chaos directive naming
                           // a domain no site belongs to
+  kAdaptConfig,           // adaptive-loop block problems: hysteresis
+                          // threshold outside [0,1], dwell < 1 epoch,
+                          // non-positive epoch length, write floor no vote
+                          // assignment can meet, or adaptation enabled with
+                          // QR gossip disabled (installs could never spread)
 };
 
 /// Stable kebab-case slug for a code (what the report prints).
@@ -66,6 +71,15 @@ struct AuditReport {
 /// total_votes 7         # declared vote total, cross-checked against sum
 /// qr_version 2 4        # site 2 believes QR version 4
 /// qr_version default 5
+///
+/// # adaptive-loop block (src/adapt), audited under kAdaptConfig:
+/// adapt on              # closed-loop reoptimization enabled
+/// adapt_epoch 50        # epoch length in simulated seconds (> 0)
+/// adapt_threshold 0.02  # hysteresis gain threshold, in [0, 1]
+/// adapt_dwell 2         # epochs the gain must persist (>= 1)
+/// adapt_min_write 0.5   # §5.4 write floor A(0, q_r) >= A_w, in [0, 1]
+/// adapt_p 0.96          # assumed site reliability for the floor check
+/// gossip on             # §2.2 QR propagation (off + adapt on = error)
 /// ```
 ///
 /// Without a `quorum` directive the canonical family q_w = T - q_r + 1 is

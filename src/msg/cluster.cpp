@@ -149,6 +149,11 @@ void Cluster::set_metrics(obs::Registry* registry) {
     obs_access_latency_ = obs::Histogram{};
     obs_phase1_latency_ = obs::Histogram{};
     obs_commit_latency_ = obs::Histogram{};
+    obs_adapt_epochs_ = obs::Counter{};
+    obs_adapt_installs_ = obs::Counter{};
+    obs_adapt_refused_ = obs::Counter{};
+    obs_adapt_predicted_gain_ = obs::Histogram{};
+    obs_adapt_realized_gain_ = obs::Histogram{};
   } else {
     obs_accesses_ = registry->counter("cluster.accesses");
     obs_grants_ = registry->counter("cluster.grants");
@@ -168,6 +173,16 @@ void Cluster::set_metrics(obs::Registry* registry) {
         registry->histogram("cluster.phase1_seconds", latency_buckets);
     obs_commit_latency_ =
         registry->histogram("cluster.commit_seconds", latency_buckets);
+    obs_adapt_epochs_ = registry->counter("adapt.epochs");
+    obs_adapt_installs_ = registry->counter("adapt.installs");
+    obs_adapt_refused_ = registry->counter("adapt.installs_refused");
+    // Gains can be negative (a mispredicted install); bucket both tails.
+    const std::vector<double> gain_buckets{-0.5, -0.2, -0.1, -0.05, -0.02,
+                                           0.0,  0.02, 0.05, 0.1,   0.2, 0.5};
+    obs_adapt_predicted_gain_ =
+        registry->histogram("adapt.predicted_gain", gain_buckets);
+    obs_adapt_realized_gain_ =
+        registry->histogram("adapt.realized_gain", gain_buckets);
     // Per-domain breakdown: one grant/deny counter pair and one latency
     // histogram per region (level-1 domain) of an annotated topology.
     for (std::size_t r = 0; r < region_names_.size(); ++r) {
@@ -198,6 +213,19 @@ void Cluster::attach_injector(fault::FaultInjector* injector) {
 }
 
 void Cluster::attach_log(fault::EventLog* log) { log_ = log; }
+
+void Cluster::attach_adaptive(adapt::AdaptiveController* controller) {
+  adaptive_ = controller;
+  if (controller == nullptr) return;
+  if (controller->histogram().site_count() != topo_->site_count() ||
+      controller->histogram().total_votes() != topo_->total_votes()) {
+    throw std::invalid_argument(
+        "Cluster::attach_adaptive: controller sized for a different system");
+  }
+  adapt_window_start_ = outcomes_.size();
+  push(Event{now_ + controller->options().epoch_length, 0, Kind::kAdaptEpoch,
+             0, {}, 0, 0, 0});
+}
 
 void Cluster::push(Event e) {
   e.seq = next_seq_++;
@@ -328,6 +356,13 @@ void Cluster::handle_access(net::SiteId origin) {
          is_read ? "read" : "write", deny_reason_name(out.deny_reason));
     return;
   }
+
+  // Adaptive estimator tap: accesses are Poisson arrivals, so sampling the
+  // component vote total at submit instants yields unbiased time averages
+  // (PASTA). The down-origin path above never records, which is exactly the
+  // footnote-4 "sites observe only while operational" censoring the
+  // estimator's read-out conditioning undoes.
+  if (adaptive_ != nullptr) adaptive_->histogram().record(origin, oracle_votes);
 
   Pending p;
   p.is_read = is_read;
@@ -541,6 +576,13 @@ void Cluster::handle_delivery(const Event& e) {
   // §2.2 gossip: every message carries its author's assignment; any
   // receiver behind it adopts before acting.
   maybe_adopt(here, m);
+
+  // Optional estimator tap at delivery instants. Off by default: deliveries
+  // cluster in well-connected periods, so this sample is size-biased toward
+  // large components (unlike the PASTA-clean access tap).
+  if (adaptive_ != nullptr && adaptive_->options().sample_deliveries) {
+    adaptive_->histogram().record(here, tracker_.component_votes(here));
+  }
 
   switch (m.kind) {
     case Message::Kind::kVoteRequest: {
@@ -885,20 +927,10 @@ void Cluster::apply_fault(const fault::Action& action) {
                   obs::kFaultHealAll);
       break;
     case K::kReassign: {
-      const bool installed = live_.is_site_up(action.site) &&
-                             qr_.try_install(tracker_, action.site, action.next);
-      if (installed) {
-        // §2.2 one-copy serializability: the installing component holds a
-        // write quorum under the old assignment, so it contains the newest
-        // copy — spread it alongside the assignment, or a read quorum
-        // under the new assignment could miss it (see core/reassign.hpp).
-        sync_component_copies(action.site);
-        const std::uint64_t version = qr_.stored(action.site).version;
-        installs_.push_back(
-            InstallRecord{version, now_, action.site, action.next});
+      if (install_assignment(action.site, action.next)) {
         logf(log_, now_, buf, "fault reassign origin=%u qr=(%u,%u) v=%llu installed",
              action.site, action.next.q_r, action.next.q_w,
-             static_cast<unsigned long long>(version));
+             static_cast<unsigned long long>(qr_.stored(action.site).version));
       } else {
         logf(log_, now_, buf, "fault reassign origin=%u qr=(%u,%u) refused",
              action.site, action.next.q_r, action.next.q_w);
@@ -937,6 +969,20 @@ void Cluster::apply_fault(const fault::Action& action) {
                   obs::kFaultSite);
       break;
     }
+    case K::kSetAlpha:
+      // Regime shifts mutate the parameter in place; only draws made after
+      // this instant see the new value, so the run stays deterministic.
+      params_.alpha = action.value;
+      logf(log_, now_, buf, "fault set-alpha %.6f", action.value);
+      break;
+    case K::kSetReliability:
+      params_.config.reliability = action.value;
+      logf(log_, now_, buf, "fault set-reliability %.6f", action.value);
+      break;
+    case K::kSetRho:
+      params_.config.rho = action.value;
+      logf(log_, now_, buf, "fault set-rho %.9f", action.value);
+      break;
     case K::kOneWayDown:
     case K::kOneWayUp: {
       const bool down = action.kind == K::kOneWayDown;
@@ -1029,7 +1075,99 @@ void Cluster::step(const Event& e) {
       QUORA_TRACE(trace_, obs::EventKind::kFaultHeal, e.index, 0, 0,
                   obs::kFaultSite);
       break;
+    case Kind::kAdaptEpoch:
+      handle_adapt_epoch();
+      break;
   }
+}
+
+bool Cluster::install_assignment(net::SiteId origin, quorum::QuorumSpec next) {
+  if (!live_.is_site_up(origin) ||
+      !qr_.try_install(tracker_, origin, next)) {
+    return false;
+  }
+  // §2.2 one-copy serializability: the installing component holds a write
+  // quorum under the old assignment, so it contains the newest copy —
+  // spread it alongside the assignment, or a read quorum under the new
+  // assignment could miss it (see core/reassign.hpp).
+  sync_component_copies(origin);
+  installs_.push_back(
+      InstallRecord{qr_.stored(origin).version, now_, origin, next});
+  return true;
+}
+
+void Cluster::handle_adapt_epoch() {
+  char buf[200];
+  // Epoch-window availability over the accesses decided since the previous
+  // epoch boundary; this is the realized side of the predicted/realized
+  // gain ledger.
+  const std::size_t end = outcomes_.size();
+  std::uint64_t granted = 0;
+  for (std::size_t i = adapt_window_start_; i < end; ++i) {
+    granted += outcomes_[i].granted ? 1 : 0;
+  }
+  const std::size_t window = end - adapt_window_start_;
+  const double window_avail =
+      window > 0 ? static_cast<double>(granted) / static_cast<double>(window)
+                 : 0.0;
+  adapt_window_start_ = end;
+
+  QUORA_METRIC_ADD(obs_adapt_epochs_, 1);
+  if (adapt_realized_pending_ && window > 0) {
+    QUORA_METRIC_RECORD(obs_adapt_realized_gain_,
+                        window_avail - adapt_pre_install_avail_);
+    logf(log_, now_, buf, "adapt realized avail=%.6f delta=%+.6f",
+         window_avail, window_avail - adapt_pre_install_avail_);
+    adapt_realized_pending_ = false;
+  }
+
+  // The loop's view of "current" is the assignment in effect at the
+  // lowest-numbered operational site — the same site that would originate
+  // an install, so prediction and installation agree on the baseline.
+  net::SiteId origin = 0;
+  bool any_up = false;
+  for (net::SiteId s = 0; s < topo_->site_count(); ++s) {
+    if (live_.is_site_up(s)) {
+      origin = s;
+      any_up = true;
+      break;
+    }
+  }
+  if (any_up) {
+    const quorum::QuorumSpec current = qr_.effective(tracker_, origin).spec;
+    const adapt::AdaptiveController::Decision d =
+        adaptive_->epoch(params_.alpha, current);
+    if (d.evaluated) {
+      QUORA_METRIC_RECORD(obs_adapt_predicted_gain_, d.predicted_gain);
+      logf(log_, now_, buf,
+           "adapt epoch avail=%.6f cur=(%u,%u) cand=(%u,%u) gain=%+.6f "
+           "streak=%u%s",
+           window_avail, current.q_r, current.q_w, d.spec.q_r, d.spec.q_w,
+           d.predicted_gain, d.streak, d.feasible ? "" : " infeasible");
+    } else {
+      logf(log_, now_, buf, "adapt epoch avail=%.6f warming", window_avail);
+    }
+    if (d.install) {
+      if (install_assignment(origin, d.spec)) {
+        QUORA_METRIC_ADD(obs_adapt_installs_, 1);
+        adapt_pre_install_avail_ = window_avail;
+        adapt_realized_pending_ = true;
+        logf(log_, now_, buf,
+             "adapt install origin=%u qr=(%u,%u) v=%llu predicted=%+.6f",
+             origin, d.spec.q_r, d.spec.q_w,
+             static_cast<unsigned long long>(qr_.stored(origin).version),
+             d.predicted_gain);
+      } else {
+        QUORA_METRIC_ADD(obs_adapt_refused_, 1);
+        logf(log_, now_, buf, "adapt install origin=%u qr=(%u,%u) refused",
+             origin, d.spec.q_r, d.spec.q_w);
+      }
+    }
+  } else {
+    logf(log_, now_, buf, "adapt epoch skipped: no operational site");
+  }
+  push(Event{now_ + adaptive_->options().epoch_length, 0, Kind::kAdaptEpoch, 0,
+             {}, 0, 0, 0});
 }
 
 void Cluster::run_decided_accesses(std::uint64_t count) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/controller.hpp"
 #include "conn/component_tracker.hpp"
 #include "conn/live_network.hpp"
 #include "core/analysis_annotations.hpp"
@@ -133,6 +134,19 @@ public:
   /// Attach an event log (non-owning) capturing decisions, fault actions,
   /// installs, and stale rejections.
   void attach_log(fault::EventLog* log);
+
+  /// Attach the adaptive quorum-optimization loop (non-owning; must
+  /// outlive the run). Schedules the controller's estimation epochs as
+  /// simulator events (one every `epoch_length` simulated seconds, the
+  /// first one epoch from now) and starts feeding the per-site vote
+  /// histogram: every access submitted at an operational site records its
+  /// component's vote total (and, with `sample_deliveries`, so does every
+  /// delivered message at its receiving site). When an epoch's decision
+  /// clears the hysteresis gate, the §2.2 QR install machinery runs from
+  /// the lowest-numbered operational site, exactly like a scripted
+  /// reassign action. Detached (the default), nothing here executes and
+  /// transcripts are byte-identical to pre-adaptive builds.
+  void attach_adaptive(adapt::AdaptiveController* controller);
 
   /// Run until `count` further accesses have been *decided* (granted,
   /// denied, or aborted by coordinator failure).
@@ -261,6 +275,9 @@ private:
     /// fail/repair process continues independently, so legacy plans
     /// replay byte-identically whether or not correlations exist.
     kFaultRecover,
+    /// An adaptive estimation epoch (only scheduled when a controller is
+    /// attached; draws nothing — the control loop is RNG-free).
+    kAdaptEpoch,
   };
   struct Event {
     double time = 0.0;
@@ -302,6 +319,12 @@ private:
   /// unannotated topologies or sites outside every region.
   void record_region(net::SiteId origin, bool granted, double latency);
   void apply_fault(const fault::Action& action);
+  void handle_adapt_epoch();
+  /// Shared §2.2 install sequence (scripted reassigns and adaptive
+  /// installs): try_install + component data sync + InstallRecord.
+  /// Returns false when the component lacked a write quorum (or the
+  /// assignment was invalid / a no-op).
+  bool install_assignment(net::SiteId origin, quorum::QuorumSpec next);
   void sync_component_copies(net::SiteId origin);
   /// True if a crash-on-commit trigger fired and crashed `coordinator`.
   bool maybe_crash_on_commit(net::SiteId coordinator, std::uint64_t request);
@@ -333,6 +356,14 @@ private:
   QUORA_SHARD_LOCAL(msg) rng::Xoshiro256ss gen_;
   fault::FaultInjector* injector_ = nullptr;
   fault::EventLog* log_ = nullptr;
+  adapt::AdaptiveController* adaptive_ = nullptr;
+  /// First outcome index of the current estimation epoch — the window the
+  /// realized-gain metric is computed over.
+  std::size_t adapt_window_start_ = 0;
+  /// Availability of the epoch window that preceded the last adaptive
+  /// install; the next epoch reports realized gain against it.
+  double adapt_pre_install_avail_ = 0.0;
+  bool adapt_realized_pending_ = false;
 
   QUORA_SHARD_LOCAL(msg) std::priority_queue<Event, std::vector<Event>, Later> queue_;
   QUORA_SHARD_LOCAL(msg) std::uint64_t next_seq_ = 0;
@@ -375,6 +406,12 @@ private:
   std::vector<obs::Counter> obs_region_grants_;
   std::vector<obs::Counter> obs_region_denies_;
   std::vector<obs::Histogram> obs_region_latency_;
+  // Adaptive-loop instrumentation (attach_adaptive).
+  obs::Counter obs_adapt_epochs_;
+  obs::Counter obs_adapt_installs_;
+  obs::Counter obs_adapt_refused_;
+  obs::Histogram obs_adapt_predicted_gain_;
+  obs::Histogram obs_adapt_realized_gain_;
 };
 
 } // namespace quora::msg

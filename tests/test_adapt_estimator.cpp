@@ -1,0 +1,329 @@
+// Convergence oracle for the on-line f_i(v) estimator (src/adapt): long
+// fixed-seed simulations of the three §4.2 topologies with closed forms —
+// ring, fully connected, single bus — must drive the empirical,
+// footnote-4-conditioned vote density to within a small L1 distance of
+// the analytic density. This closes the loop between the paper's step 1
+// (estimate f_i(v) from observations) and its §4.2 derivations.
+//
+// Sampling discipline: the tap records the submitting site's component
+// vote total at Poisson access instants, and only while the site is
+// operational. PASTA makes the access-instant sample an unbiased estimate
+// of the time-average conditional density f(v | site up); the estimator's
+// read-out multiplies back the operational probability (footnote 4:
+// p * A' = A), which is what the unconditional closed forms describe.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "adapt/estimator.hpp"
+#include "core/component_dist.hpp"
+#include "net/builders.hpp"
+#include "sim/config.hpp"
+#include "sim/simulator.hpp"
+
+namespace quora::adapt {
+namespace {
+
+/// Records the component vote total of the submitting site at every
+/// access instant, skipping instants where the site is down (a down site
+/// observes nothing — the censoring the read-out undoes).
+class HistogramTap : public sim::AccessObserver {
+public:
+  explicit HistogramTap(EmpiricalVoteHistogram* hist) : hist_(hist) {}
+  void on_access(const sim::Simulator& sim,
+                 const sim::AccessEvent& ev) override {
+    if (sim.network().is_site_up(ev.site)) {
+      hist_->record(ev.site, sim.tracker().component_votes(ev.site));
+    }
+  }
+
+private:
+  EmpiricalVoteHistogram* hist_;
+};
+
+/// Footnote-4 read-out over a caller-chosen subset of sites (the bus test
+/// pools leaves but not the zero-vote hub, whose conditional density is
+/// different).
+core::VotePdf pooled_subset_pdf(const EmpiricalVoteHistogram& hist,
+                                const std::vector<net::SiteId>& sites,
+                                double p) {
+  core::VotePdf pdf(hist.total_votes() + 1, 0.0);
+  double n = 0.0;
+  for (const net::SiteId s : sites) n += hist.samples(s);
+  if (n == 0.0) {
+    pdf[0] = 1.0 - p;
+    pdf[hist.total_votes()] += p;
+    return pdf;
+  }
+  for (net::Vote v = 0; v <= hist.total_votes(); ++v) {
+    double c = 0.0;
+    for (const net::SiteId s : sites) c += hist.count(s, v);
+    pdf[v] = p * c / n;
+  }
+  pdf[0] += 1.0 - p;
+  return pdf;
+}
+
+TEST(AdaptEstimator, RingConvergesToClosedForm) {
+  constexpr std::uint32_t kSites = 101;
+  constexpr double kRel = 0.96;
+  const net::Topology topo = net::make_ring(kSites);
+
+  sim::SimConfig config;  // paper defaults: rel .96, rho 1/128
+  sim::Simulator sim(topo, config, sim::AccessSpec{}, /*seed=*/4242);
+  sim.run_accesses(200'000);  // mix the failure processes to stationarity
+
+  EmpiricalVoteHistogram hist(kSites, topo.total_votes());
+  HistogramTap tap(&hist);
+  sim.add_access_observer(&tap);
+  sim.run_accesses(8'000'000);
+
+  const core::VotePdf expected = core::ring_site_pdf(kSites, kRel, kRel);
+  const core::VotePdf empirical = hist.pooled_pdf(kRel);
+  ASSERT_TRUE(core::is_valid_pdf(empirical, 1e-9));
+  // Measured at seed 4242: L1 ~ 0.01. The bound leaves slack for the
+  // temporal correlation of the network state without letting a broken
+  // conditioning (p*A' = A) slip through — dropping footnote 4 shifts
+  // mass 1-p ~ 0.04 at v=0 alone.
+  EXPECT_LT(l1_distance(empirical, expected), 0.03);
+}
+
+TEST(AdaptEstimator, FullyConnectedConvergesToClosedForm) {
+  constexpr std::uint32_t kSites = 101;
+  constexpr double kRel = 0.96;
+  const net::Topology topo = net::make_fully_connected(kSites);
+
+  sim::SimConfig config;
+  sim::Simulator sim(topo, config, sim::AccessSpec{}, /*seed=*/777);
+  sim.run_accesses(100'000);
+
+  EmpiricalVoteHistogram hist(kSites, topo.total_votes());
+  HistogramTap tap(&hist);
+  sim.add_access_observer(&tap);
+  sim.run_accesses(1'000'000);
+
+  const core::VotePdf expected =
+      core::fully_connected_site_pdf(kSites, kRel, kRel);
+  const core::VotePdf empirical = hist.pooled_pdf(kRel);
+  ASSERT_TRUE(core::is_valid_pdf(empirical, 1e-9));
+  EXPECT_LT(l1_distance(empirical, expected), 0.03);
+}
+
+TEST(AdaptEstimator, SingleBusConvergesToClosedForm) {
+  // §4.2 bus, sites-survive-bus architecture, simulated as a star whose
+  // hub is the bus: the hub holds no votes, its links never fail, and bus
+  // failure is hub failure. Leaves at p=.96, bus at r=.9 (less reliable
+  // than the taps, so the bus-down mass at v=1 is clearly visible).
+  constexpr std::uint32_t kLeaves = 32;
+  constexpr double kLeafRel = 0.96;
+  constexpr double kBusRel = 0.9;
+  const net::Topology topo = net::make_star(kLeaves + 1, /*hub_votes=*/0);
+
+  sim::SimConfig config;
+  std::vector<double> site_rel(kLeaves + 1, kLeafRel);
+  site_rel[0] = kBusRel;  // the hub is the bus
+  const std::vector<double> link_rel(topo.link_count(), 1.0);
+  const sim::FailureProfile profile =
+      sim::FailureProfile::from_reliabilities(config, site_rel, link_rel);
+
+  sim::Simulator sim(topo, config, sim::AccessSpec{}, profile, /*seed=*/31337);
+  sim.run_accesses(100'000);
+
+  EmpiricalVoteHistogram hist(kLeaves + 1, topo.total_votes());
+  HistogramTap tap(&hist);
+  sim.add_access_observer(&tap);
+  sim.run_accesses(1'500'000);
+
+  std::vector<net::SiteId> leaves;
+  for (net::SiteId s = 1; s <= kLeaves; ++s) leaves.push_back(s);
+  const core::VotePdf expected = core::bus_site_pdf(
+      kLeaves, kLeafRel, kBusRel, core::BusArchitecture::kSitesSurviveBus);
+  const core::VotePdf empirical = pooled_subset_pdf(hist, leaves, kLeafRel);
+  ASSERT_TRUE(core::is_valid_pdf(empirical, 1e-9));
+  EXPECT_LT(l1_distance(empirical, expected), 0.03);
+}
+
+// --- Unit coverage of the estimator itself (no simulation) ---
+
+TEST(AdaptEstimator, Footnote4ConditioningSplitsMassExactly) {
+  EmpiricalVoteHistogram hist(2, 3);
+  // Site 0 observed components of 3, 3, 1 votes while up.
+  hist.record(0, 3);
+  hist.record(0, 3);
+  hist.record(0, 1);
+  const double p = 0.5;
+  const core::VotePdf pdf = hist.site_pdf(0, p);
+  // pdf[0] = (1-p) + p * c(0)/n = 0.5; pdf[1] = p/3; pdf[3] = 2p/3.
+  EXPECT_NEAR(pdf[0], 0.5, 1e-12);
+  EXPECT_NEAR(pdf[1], 0.5 / 3.0, 1e-12);
+  EXPECT_NEAR(pdf[2], 0.0, 1e-12);
+  EXPECT_NEAR(pdf[3], 1.0 / 3.0, 1e-12);
+  EXPECT_TRUE(core::is_valid_pdf(pdf, 1e-12));
+}
+
+TEST(AdaptEstimator, EmptySiteFallsBackToPrior) {
+  EmpiricalVoteHistogram hist(2, 5);
+  const core::VotePdf pdf = hist.site_pdf(1, 0.96);
+  EXPECT_NEAR(pdf[0], 0.04, 1e-12);
+  EXPECT_NEAR(pdf[5], 0.96, 1e-12);
+  EXPECT_TRUE(core::is_valid_pdf(pdf, 1e-12));
+}
+
+TEST(AdaptEstimator, PooledPdfIsTrafficWeighted) {
+  EmpiricalVoteHistogram hist(2, 2);
+  // Site 0 contributes three samples at v=2, site 1 one sample at v=1:
+  // the pooled (uniform-traffic empirical mixture) density weights by
+  // observation counts, the paper's r(v) = sum_i r_i f_i(v).
+  hist.record(0, 2);
+  hist.record(0, 2);
+  hist.record(0, 2);
+  hist.record(1, 1);
+  const core::VotePdf pdf = hist.pooled_pdf(1.0);
+  EXPECT_NEAR(pdf[1], 0.25, 1e-12);
+  EXPECT_NEAR(pdf[2], 0.75, 1e-12);
+}
+
+TEST(AdaptEstimator, DecayForgetsOldRegime) {
+  EmpiricalVoteHistogram hist(1, 1);
+  for (int i = 0; i < 1000; ++i) hist.record(0, 1);
+  hist.decay(0.01);  // near-total forgetting
+  for (int i = 0; i < 90; ++i) hist.record(0, 0);
+  const core::VotePdf pdf = hist.site_pdf(0, 1.0);
+  EXPECT_GT(pdf[0], 0.85);  // new regime dominates despite 10x history
+}
+
+TEST(AdaptEstimator, RejectsOutOfDomainInput) {
+  EXPECT_THROW(EmpiricalVoteHistogram(0, 3), std::invalid_argument);
+  EXPECT_THROW(EmpiricalVoteHistogram(3, 0), std::invalid_argument);
+  EmpiricalVoteHistogram hist(2, 3);
+  EXPECT_THROW(hist.site_pdf(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(hist.site_pdf(0, 1.5), std::invalid_argument);
+  EXPECT_THROW(hist.site_pdf(2, 0.5), std::out_of_range);
+  EXPECT_THROW(hist.decay(-0.1), std::invalid_argument);
+  EXPECT_THROW(hist.decay(1.5), std::invalid_argument);
+}
+
+// --- Controller hysteresis (deterministic, synthetic histograms) ---
+
+/// Feeds the histogram so the empirical mixture is exactly `pdf`
+/// (scaled counts; the conditioning with p=1 reproduces pdf verbatim).
+void load_pdf(EmpiricalVoteHistogram& hist, const core::VotePdf& pdf,
+              double scale = 1'000'000.0) {
+  hist.reset();
+  for (net::Vote v = 0; v < pdf.size(); ++v) {
+    const double n = pdf[v] * scale;
+    for (int i = 0; i < static_cast<int>(n + 0.5); ++i) hist.record(0, v);
+  }
+}
+
+TEST(AdaptController, InstallsOnlyAfterDwellEpochsOverThreshold) {
+  AdaptiveController::Options opts;
+  opts.threshold = 0.01;
+  opts.dwell = 3;
+  opts.site_reliability = 1.0;
+  opts.min_samples = 4.0;
+  AdaptiveController ctl(1, 5, opts);
+
+  // A density concentrated at 4-of-5 votes: at alpha = 0.1 (write-heavy)
+  // the optimizer prefers a smaller q_w than read-one-write-all.
+  core::VotePdf pdf(6, 0.0);
+  pdf[4] = 0.9;
+  pdf[5] = 0.1;
+  load_pdf(ctl.histogram(), pdf, 100.0);
+
+  const quorum::QuorumSpec frozen{1, 5};  // read-one-write-all
+  AdaptiveController::Decision d1 = ctl.epoch(0.1, frozen);
+  ASSERT_TRUE(d1.evaluated);
+  EXPECT_GT(d1.predicted_gain, opts.threshold);
+  EXPECT_FALSE(d1.install);
+  EXPECT_EQ(d1.streak, 1u);
+
+  load_pdf(ctl.histogram(), pdf, 100.0);  // epoch() decays; refill
+  AdaptiveController::Decision d2 = ctl.epoch(0.1, frozen);
+  EXPECT_FALSE(d2.install);
+  EXPECT_EQ(d2.streak, 2u);
+
+  load_pdf(ctl.histogram(), pdf, 100.0);
+  AdaptiveController::Decision d3 = ctl.epoch(0.1, frozen);
+  EXPECT_TRUE(d3.install);
+  EXPECT_EQ(ctl.installs_recommended(), 1u);
+}
+
+TEST(AdaptController, SubThresholdEpochResetsStreak) {
+  AdaptiveController::Options opts;
+  opts.threshold = 0.01;
+  opts.dwell = 2;
+  opts.site_reliability = 1.0;
+  opts.min_samples = 4.0;
+  AdaptiveController ctl(1, 5, opts);
+
+  core::VotePdf drifted(6, 0.0);
+  drifted[4] = 0.9;
+  drifted[5] = 0.1;
+  core::VotePdf calm(6, 0.0);
+  calm[5] = 1.0;  // everything up: every valid assignment is equivalent
+
+  const quorum::QuorumSpec frozen{1, 5};
+  load_pdf(ctl.histogram(), drifted, 100.0);
+  EXPECT_EQ(ctl.epoch(0.1, frozen).streak, 1u);
+  load_pdf(ctl.histogram(), calm, 100.0);
+  EXPECT_EQ(ctl.epoch(0.1, frozen).streak, 0u);  // gain gone: reset
+  load_pdf(ctl.histogram(), drifted, 100.0);
+  EXPECT_EQ(ctl.epoch(0.1, frozen).streak, 1u);  // must re-earn the dwell
+  EXPECT_EQ(ctl.installs_recommended(), 0u);
+}
+
+TEST(AdaptController, WarmupEpochsDoNotEvaluate) {
+  AdaptiveController::Options opts;
+  opts.min_samples = 64.0;
+  AdaptiveController ctl(1, 3, opts);
+  ctl.histogram().record(0, 3);  // far below min_samples
+  const AdaptiveController::Decision d = ctl.epoch(0.5, quorum::QuorumSpec{2, 2});
+  EXPECT_FALSE(d.evaluated);
+  EXPECT_FALSE(d.install);
+}
+
+TEST(AdaptController, WriteConstrainedInfeasibleReportsAndHolds) {
+  AdaptiveController::Options opts;
+  opts.objective = AdaptiveController::Objective::kWriteConstrained;
+  opts.min_write_availability = 0.99;  // unreachable under this mixture
+  opts.site_reliability = 1.0;
+  opts.min_samples = 4.0;
+  AdaptiveController ctl(1, 5, opts);
+  core::VotePdf pdf(6, 0.0);
+  pdf[3] = 0.5;
+  pdf[5] = 0.5;
+  load_pdf(ctl.histogram(), pdf, 100.0);
+  const AdaptiveController::Decision d = ctl.epoch(0.5, quorum::QuorumSpec{3, 3});
+  ASSERT_TRUE(d.evaluated);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_FALSE(d.install);
+  EXPECT_EQ(d.streak, 0u);
+}
+
+TEST(AdaptController, OptionsValidateRejectsBadKnobs) {
+  AdaptiveController::Options opts;
+  opts.threshold = 1.5;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = {};
+  opts.dwell = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = {};
+  opts.epoch_length = 0.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = {};
+  opts.site_reliability = 0.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = {};
+  opts.forget = 0.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = {};
+  EXPECT_NO_THROW(opts.validate());
+}
+
+} // namespace
+} // namespace quora::adapt

@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "adapt/controller.hpp"
 #include "fault/event_log.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
@@ -377,6 +378,82 @@ TEST(GoldenDeterminism, ChaosBackoffExhaustionObserved) {
     }
     EXPECT_GT(retries, 0u);
     EXPECT_GT(abandoned, 0u);
+  }
+}
+
+/// Closed-loop adaptive fixture: a small ring starts on a read-optimized
+/// assignment, then a scripted mid-run alpha drift flips the workload to
+/// write-heavy. The attached controller re-estimates f(v) every epoch and
+/// — after the hysteresis dwell — installs a better assignment through
+/// the §2.2 QR protocol. The transcript pins the whole loop: epoch
+/// timing, empirical availability read-outs, gain/streak bookkeeping,
+/// and the install decision, all RNG-free and driven off the sim clock.
+std::string record_adapt_drift_run(obs::Registry* registry = nullptr,
+                                   obs::TraceRecorder* trace = nullptr) {
+  const net::Topology topo = net::make_ring(9);
+  msg::Cluster::Params params;
+  params.spec = quorum::QuorumSpec{2, 8};  // read-optimized start
+  params.alpha = 0.9;
+  params.config.reliability = 0.96;
+  params.config.rho = 1.0 / 128.0;
+
+  fault::FaultPlan plan;
+  plan.set_alpha(150.0, 0.05);  // drift: reads collapse mid-run
+
+  adapt::AdaptiveController::Options opts;
+  opts.epoch_length = 25.0;
+  opts.threshold = 0.01;
+  opts.dwell = 2;
+  opts.min_samples = 64;
+  opts.site_reliability = 0.96;
+  adapt::AdaptiveController controller(topo.site_count(), topo.total_votes(),
+                                       opts);
+
+  msg::Cluster cluster(topo, params, 23);
+  fault::FaultInjector injector(plan, 23);
+  fault::EventLog log;
+  cluster.attach_injector(&injector);
+  cluster.attach_log(&log);
+  cluster.attach_adaptive(&controller);
+  if (registry != nullptr) cluster.set_metrics(registry);
+  if (trace != nullptr) cluster.set_trace(trace);
+  cluster.run_until(400.0);
+
+  std::ostringstream out;
+  log.write(out);
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "end decided=%zu epochs=%llu installs=%llu qr-installs=%zu\n",
+                cluster.outcomes().size(),
+                static_cast<unsigned long long>(controller.epochs()),
+                static_cast<unsigned long long>(controller.installs_recommended()),
+                cluster.installs().size());
+  return out.str() + tail;
+}
+
+TEST(GoldenDeterminism, AdaptDriftRing9) {
+  expect_matches_golden("adapt_drift_ring9.log", record_adapt_drift_run());
+}
+
+// Inertness of the adaptive loop's observability: the adapt.* counters
+// and gain histograms must record without moving a byte, and the drift
+// run must actually have adapted (epochs ticked, an install landed).
+TEST(GoldenDeterminism, AdaptDriftRing9Observed) {
+  if (regen_requested()) GTEST_SKIP() << "fixtures regenerate unobserved";
+  obs::Registry registry;
+  obs::TraceRecorder trace(1 << 20);
+  expect_matches_golden("adapt_drift_ring9.log",
+                        record_adapt_drift_run(&registry, &trace));
+  if (obs::kEnabled) {
+    EXPECT_GT(trace.recorded(), 0u);
+    const obs::Registry::Snapshot snap = registry.snapshot();
+    std::uint64_t epochs = 0, installs = 0;
+    for (const auto& [name, value] : snap.counters) {
+      if (name == "adapt.epochs") epochs = value;
+      if (name == "adapt.installs") installs = value;
+    }
+    EXPECT_GT(epochs, 0u);
+    EXPECT_GT(installs, 0u);
   }
 }
 

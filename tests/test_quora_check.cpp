@@ -242,6 +242,79 @@ TEST(QuoraCheck, OverlappingDomainPathsWarn) {
   EXPECT_GT(report.warning_count(), 0u);
 }
 
+TEST(QuoraCheck, ValidAdaptBlockPasses) {
+  const AuditReport report = audit(
+      "sites 5\n"
+      "ring\n"
+      "quorum 3 3\n"
+      "adapt on\n"
+      "adapt_epoch 50\n"
+      "adapt_threshold 0.02\n"
+      "adapt_dwell 2\n"
+      "adapt_p 0.96\n"
+      "adapt_min_write 0.1\n"
+      "gossip on\n");
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.has(AuditCode::kAdaptConfig));
+}
+
+TEST(QuoraCheck, AdaptKnobsOutOfDomainRejected) {
+  // Each bad knob carries the adapt-config code: threshold outside
+  // [0, 1], dwell below 1, non-positive epoch, p outside (0, 1].
+  EXPECT_TRUE(audit("sites 5\nring\nadapt on\nadapt_threshold 1.5\n")
+                  .has(AuditCode::kAdaptConfig));
+  EXPECT_TRUE(audit("sites 5\nring\nadapt on\nadapt_dwell 0\n")
+                  .has(AuditCode::kAdaptConfig));
+  EXPECT_TRUE(audit("sites 5\nring\nadapt on\nadapt_epoch 0\n")
+                  .has(AuditCode::kAdaptConfig));
+  EXPECT_TRUE(audit("sites 5\nring\nadapt on\nadapt_p 1.5\n")
+                  .has(AuditCode::kAdaptConfig));
+}
+
+TEST(QuoraCheck, AdaptWithoutGossipRejected) {
+  // Adaptation installs new assignments through the §2.2 QR protocol;
+  // with gossip disabled every recommendation would be unreachable.
+  const AuditReport report = audit(
+      "sites 5\n"
+      "ring\n"
+      "quorum 3 3\n"
+      "adapt on\n"
+      "gossip off\n");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(AuditCode::kAdaptConfig));
+}
+
+TEST(QuoraCheck, AdaptInfeasibleWriteFloorRejected) {
+  // 5 single-vote sites at p = 0.5: the loosest write quorum is
+  // q_w = 5 - 2 + 1 = 4, so the best write availability is
+  // P[V >= 4] = 6/32 = 0.1875; a 0.9 floor can never be met, and the
+  // static audit proves it before any run.
+  const AuditReport infeasible = audit(
+      "sites 5\n"
+      "ring\n"
+      "adapt on\n"
+      "adapt_p 0.5\n"
+      "adapt_min_write 0.9\n");
+  EXPECT_FALSE(infeasible.ok());
+  EXPECT_TRUE(infeasible.has(AuditCode::kAdaptConfig));
+  // The same floor is fine when the sites are reliable enough.
+  const AuditReport feasible = audit(
+      "sites 5\n"
+      "ring\n"
+      "adapt on\n"
+      "adapt_p 0.99\n"
+      "adapt_min_write 0.9\n");
+  EXPECT_FALSE(feasible.has(AuditCode::kAdaptConfig));
+}
+
+TEST(QuoraCheck, AdaptDirectiveParseErrorsAreReported) {
+  EXPECT_TRUE(audit("sites 5\nring\nadapt maybe\n").has(AuditCode::kParseError));
+  EXPECT_TRUE(
+      audit("sites 5\nring\nadapt_threshold x\n").has(AuditCode::kParseError));
+  EXPECT_TRUE(
+      audit("sites 5\nring\nadapt_dwell 2.5\n").has(AuditCode::kParseError));
+}
+
 TEST(QuoraCheck, CleanDomainAnnotationsPass) {
   const AuditReport report = audit(
       "sites 4\n"

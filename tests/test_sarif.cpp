@@ -287,4 +287,32 @@ TEST(SarifWriter, AuditFindingsMapOntoTheSharedWriter) {
   EXPECT_FALSE(physical.has("region"));
 }
 
+TEST(SarifWriter, AdaptConfigCodeRoundTrips) {
+  // The adaptive-control audit code must appear in the shared rule table
+  // and survive the writer round trip like every other code.
+  const std::vector<SarifRule> rules = quora::io::audit_sarif_rules();
+  std::size_t adapt_row = rules.size();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].id == "adapt-config") adapt_row = i;
+  }
+  ASSERT_LT(adapt_row, rules.size()) << "adapt-config missing from rule table";
+
+  quora::io::AuditFinding finding;
+  finding.code = quora::io::AuditCode::kAdaptConfig;
+  finding.severity = quora::io::AuditSeverity::kError;
+  finding.message = "adapt_threshold 1.5 outside [0, 1]";
+  const SarifResult mapped =
+      quora::io::audit_sarif_result(finding, "examples/configs/broken/adapt.quora");
+  EXPECT_EQ(mapped.rule_id, "adapt-config");
+  EXPECT_EQ(mapped.level, "error");
+
+  const Json log = write_and_parse(rules, {mapped}, "quora_check");
+  const Json& result = log.at("runs").array[0].at("results").array[0];
+  EXPECT_EQ(result.at("ruleId").str, "adapt-config");
+  ASSERT_TRUE(result.has("ruleIndex"));
+  EXPECT_EQ(static_cast<std::size_t>(result.at("ruleIndex").number), adapt_row);
+  EXPECT_EQ(result.at("message").at("text").str,
+            "adapt_threshold 1.5 outside [0, 1]");
+}
+
 } // namespace

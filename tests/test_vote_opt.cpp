@@ -3,14 +3,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
 
 #include "core/availability.hpp"
+#include "core/component_dist.hpp"
 #include "core/optimize.hpp"
 #include "core/vote_opt.hpp"
+#include "metrics/experiment.hpp"
+#include "net/builders.hpp"
+#include "sim/config.hpp"
 
 namespace quora::core {
 namespace {
@@ -150,6 +155,135 @@ TEST(VoteOpt, EndpointTheoremHoldsInTheModel) {
       EXPECT_NEAR(best.value, at_ends, 1e-12) << "p=" << p << " alpha=" << alpha;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// §5.4 write-constrained search on the analytic curves: the feasibility
+// predicate is exactly A(0, q_r) >= A_w, and the feasible set is the
+// up-set [min_feasible_q_r, floor(T/2)] because W is monotone in q_r.
+
+TEST(WriteConstrainedEdges, FeasibilityPredicateIsPureWriteAvailability) {
+  const AvailabilityCurve curve(ring_site_pdf(31, 0.96, 0.96));
+  for (net::Vote q = 1; q <= curve.max_read_quorum(); ++q) {
+    EXPECT_NEAR(curve.write_availability(q), curve.availability(0.0, q), 1e-15)
+        << "q=" << q;
+  }
+}
+
+TEST(WriteConstrainedEdges, FloorExactlyAtBestWriteAvailabilityIsFeasible) {
+  // A_w set to the best attainable A(0, q_r) (at the majority endpoint)
+  // leaves exactly one feasible point; >= must treat the boundary as in.
+  const AvailabilityCurve curve(ring_site_pdf(31, 0.96, 0.96));
+  const net::Vote max_q = curve.max_read_quorum();
+  const double best_w = curve.write_availability(max_q);
+  const auto best = optimize_write_constrained(curve, 0.75, best_w);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->q_r(), max_q);
+  EXPECT_NEAR(best->value, curve.availability(0.75, max_q), 1e-15);
+}
+
+TEST(WriteConstrainedEdges, OneUlpAboveBestWriteAvailabilityIsInfeasible) {
+  const AvailabilityCurve curve(ring_site_pdf(31, 0.96, 0.96));
+  const double best_w = curve.write_availability(curve.max_read_quorum());
+  const double just_above = std::nextafter(best_w, 1.0);
+  EXPECT_FALSE(optimize_write_constrained(curve, 0.75, just_above).has_value());
+  EXPECT_FALSE(min_feasible_q_r(curve, just_above).has_value());
+}
+
+TEST(WriteConstrainedEdges, InteriorBoundaryFloorIsInclusive) {
+  // A_w equal to A(0, q) for an interior q makes q the minimum feasible
+  // read quorum — the boundary point itself satisfies the constraint.
+  const AvailabilityCurve curve(fully_connected_site_pdf(31, 0.96, 0.96));
+  const net::Vote q = 9;
+  const auto min_q = min_feasible_q_r(curve, curve.write_availability(q));
+  ASSERT_TRUE(min_q.has_value());
+  EXPECT_EQ(*min_q, q);
+}
+
+TEST(WriteConstrainedEdges, FeasibleSetIsAnUpSet) {
+  // W(T - q_r + 1) is nondecreasing in q_r, so once a floor is met it
+  // stays met all the way to the majority endpoint.
+  const AvailabilityCurve curve(ring_site_pdf(31, 0.96, 0.96));
+  const auto min_q = min_feasible_q_r(curve, 0.1);
+  ASSERT_TRUE(min_q.has_value());
+  for (net::Vote q = 1; q <= curve.max_read_quorum(); ++q) {
+    EXPECT_EQ(curve.write_availability(q) >= 0.1, q >= *min_q) << "q=" << q;
+  }
+}
+
+TEST(WriteConstrainedEdges, ConstrainedOptimumSitsAtAFeasibleEndpoint) {
+  // Within the feasible up-set, the §5 endpoint structure survives: on
+  // the analytic curves the constrained argmax is either the minimum
+  // feasible q_r or the majority endpoint.
+  for (const double p : {0.8, 0.96}) {
+    const AvailabilityCurve curve(ring_site_pdf(31, p, p));
+    const double floor = 0.5 * curve.write_availability(curve.max_read_quorum());
+    const auto min_q = min_feasible_q_r(curve, floor);
+    ASSERT_TRUE(min_q.has_value());
+    for (const double alpha : {0.0, 0.25, 0.75, 1.0}) {
+      const auto best = optimize_write_constrained(curve, alpha, floor);
+      ASSERT_TRUE(best.has_value()) << "p=" << p << " alpha=" << alpha;
+      const double at_ends =
+          std::max(curve.availability(alpha, *min_q),
+                   curve.availability(alpha, curve.max_read_quorum()));
+      EXPECT_NEAR(best->value, at_ends, 1e-12) << "p=" << p << " alpha=" << alpha;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §5.3 endpoint structure on the closed-form paper curves, plus the one
+// exception the paper reports.
+
+TEST(EndpointStructure, ClosedFormCurvesPeakAtAnEndpoint) {
+  // Ring and fully connected (paper topologies 0 and "complete"): every
+  // alpha-curve attains its maximum at q_r = 1 or q_r = floor(T/2).
+  for (const auto& pdf : {ring_site_pdf(101, 0.96, 0.96),
+                          fully_connected_site_pdf(101, 0.96, 0.96),
+                          ring_site_pdf(31, 0.8, 0.8)}) {
+    const AvailabilityCurve curve(pdf);
+    for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const auto best = optimize_exhaustive(curve, alpha);
+      const double at_ends =
+          std::max(curve.availability(alpha, 1),
+                   curve.availability(alpha, curve.max_read_quorum()));
+      EXPECT_NEAR(best.value, at_ends, 1e-12) << "alpha=" << alpha;
+    }
+  }
+}
+
+TEST(EndpointStructure, Topology16Alpha075InteriorMaximumRegression) {
+  // The named exception of §5.3: topology 16 (ring-101 + 16 spread
+  // chords) at alpha = .75 is the only configuration in the paper whose
+  // availability curve strictly beats BOTH endpoints in the interior
+  // (EXPERIMENTS.md measures the advantage at ~.039 near q_r = 15).
+  // Guard it as a regression: a fixed-seed measured curve must keep
+  // showing a strict interior maximum beyond the batch-means CI.
+  const net::Topology topo = net::make_ring_with_chords(101, 16);
+  sim::SimConfig config;
+  config.warmup_accesses = 20'000;
+  config.accesses_per_batch = 150'000;
+  metrics::MeasurePolicy policy;
+  policy.alphas = {0.75};
+  policy.seed = 0xF160u;
+  policy.threads = 1;
+  policy.batch.min_batches = 5;
+  policy.batch.max_batches = 5;
+  const auto curves = metrics::measure_curves(topo, config, policy);
+  const AvailabilityCurve curve = curves.pooled_curve();
+
+  const auto best = optimize_exhaustive(curve, 0.75);
+  const double endpoint_best =
+      std::max(curve.availability(0.75, 1),
+               curve.availability(0.75, curve.max_read_quorum()));
+
+  EXPECT_GT(best.q_r(), 1u);
+  EXPECT_LT(best.q_r(), curve.max_read_quorum());
+  // Strictly interior: beats the better endpoint by more than the CI.
+  EXPECT_GT(best.value - endpoint_best, curves.max_half_width);
+  // And the optimum lives in the low-q_r region the paper plots (~15).
+  EXPECT_GE(best.q_r(), 5u);
+  EXPECT_LE(best.q_r(), 30u);
 }
 
 } // namespace

@@ -2,9 +2,10 @@
 // protocol.
 //
 //   quora_chaos [--seed N] [--horizon T] [--max-retries K] [--log FILE]
-//               [--trace FILE] [--metrics FILE]
+//               [--trace FILE] [--metrics FILE] [--adapt ...]
 //               [--verify-determinism] [--quiet] PLAN.chaos...
 //   quora_chaos --sweep [--seeds N] [--report FILE.json] PLAN.chaos...
+//   quora_chaos --race [--seeds N] [--report FILE.json] PLAN.chaos...
 //
 // Each plan file (grammar: docs/FAULT_INJECTION.md) carries its own
 // topology, initial quorum assignment, seed, and horizon; the flags
@@ -29,6 +30,22 @@
 // annotated topology, "-" for unannotated sites. --report additionally
 // writes the aggregate as a JSON artifact for CI trending.
 //
+// --adapt attaches the closed-loop controller (src/adapt) to every run:
+// the cluster estimates f_i(v) on-line, re-runs the Figure-1 optimizer
+// each --adapt-epoch seconds, and installs via §2.2 when the predicted
+// gain clears --adapt-threshold for --adapt-dwell consecutive epochs.
+// --adapt-min-write switches the optimizer to the §5.4 write-constrained
+// objective; --adapt-omega to the weighted objective.
+//
+// --race is the acceptance experiment: each plan runs twice per seed with
+// identical seeds — once frozen (the plan's initial assignment, loop
+// detached) and once adaptive — and the report compares availability over
+// the tail half of the horizon, where a drifting workload or failure ramp
+// has settled into the new regime. Plans containing `alpha`/`reliability`
+// /`rho` regime shifts run with the live background failure process
+// (reliability 0.96, rho 1/128) instead of the usual scripted-faults-only
+// suppression, so `at T rho X` ramps actually bite.
+//
 // Exit status: 0 all plans safe (and deterministic, if requested);
 // 1 a safety-invariant violation or determinism mismatch; 2 usage,
 // I/O, or plan-audit errors.
@@ -42,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/controller.hpp"
 #include "fault/chaos_audit.hpp"
 #include "fault/event_log.hpp"
 #include "fault/fault_plan.hpp"
@@ -71,8 +89,19 @@ using namespace quora;
          "  --sweep               scenario-sweep mode: run every plan under\n"
          "                        --seeds consecutive seeds and report a\n"
          "                        per-region availability/latency table\n"
-         "  --seeds N             seeds per plan in --sweep mode (default 3)\n"
-         "  --report FILE         write the sweep aggregate as JSON\n";
+         "  --seeds N             seeds per plan in --sweep/--race (default 3)\n"
+         "  --report FILE         write the sweep/race aggregate as JSON\n"
+         "  --adapt               attach the closed-loop quorum optimizer\n"
+         "  --adapt-epoch T       controller epoch length (default 50)\n"
+         "  --adapt-threshold X   hysteresis gain threshold (default 0.02)\n"
+         "  --adapt-dwell N       epochs the gain must persist (default 2)\n"
+         "  --adapt-min-write X   switch to the write-constrained objective\n"
+         "                        with floor A(0, q_r) >= X\n"
+         "  --adapt-omega W       switch to the weighted objective with\n"
+         "                        write weight W\n"
+         "  --race                adaptive-vs-frozen race: each plan runs\n"
+         "                        both ways per seed; report compares\n"
+         "                        tail-half availability\n";
   std::exit(2);
 }
 
@@ -88,6 +117,9 @@ struct Options {
   bool sweep = false;
   std::uint32_t sweep_seeds = 3;
   std::string report_path;
+  bool adapt = false;
+  bool race = false;
+  adapt::AdaptiveController::Options adapt_opts;
   std::vector<std::string> plans;
 };
 
@@ -121,13 +153,29 @@ struct RunResult {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_duplicated = 0;
+  std::uint64_t tail_decided = 0;   // accesses submitted in [horizon/2, horizon)
+  std::uint64_t tail_granted = 0;
+  std::uint64_t adapt_epochs = 0;
+  std::uint64_t adapt_installs = 0;
   std::vector<RegionStats> regions;  // sorted by first appearance
 };
+
+bool plan_shifts_failure_rates(const fault::FaultPlan& plan) {
+  for (const fault::Action& a : plan.actions()) {
+    if (a.kind == fault::Action::Kind::kSetReliability ||
+        a.kind == fault::Action::Kind::kSetRho) {
+      return true;
+    }
+  }
+  return false;
+}
 
 RunResult run_plan(const fault::ChaosSpec& spec, std::uint64_t seed,
                    double horizon, std::uint32_t max_retries,
                    obs::Registry* registry = nullptr,
-                   obs::TraceRecorder* trace = nullptr) {
+                   obs::TraceRecorder* trace = nullptr,
+                   const adapt::AdaptiveController::Options* adapt_opts =
+                       nullptr) {
   const net::Topology& topo = spec.system->topology;
 
   msg::Cluster::Params params;
@@ -139,18 +187,31 @@ RunResult run_plan(const fault::ChaosSpec& spec, std::uint64_t seed,
     params.spec = quorum::QuorumSpec{majority, majority};
   }
   params.max_retries = max_retries;
-  // The plan is the failure source: background Poisson failures are pushed
-  // out past the horizon so every fault in the log is a scripted one.
-  params.config.reliability = 0.999999;
-  params.config.rho = 1e-9;
+  if (plan_shifts_failure_rates(spec.plan)) {
+    // The plan ramps the background failure process itself, so that
+    // process must be live: the simulator defaults (sites up 96% of the
+    // time, failures 128x slower than accesses) are the pre-ramp regime.
+    params.config.reliability = 0.96;
+    params.config.rho = 1.0 / 128.0;
+  } else {
+    // The plan is the failure source: background Poisson failures are
+    // pushed out past the horizon so every fault in the log is scripted.
+    params.config.reliability = 0.999999;
+    params.config.rho = 1e-9;
+  }
 
   msg::Cluster cluster(topo, params, seed);
   fault::FaultInjector injector(spec.plan, seed);
+  std::optional<adapt::AdaptiveController> controller;
   RunResult result;
   cluster.attach_injector(&injector);
   cluster.attach_log(&result.log);
   if (registry != nullptr) cluster.set_metrics(registry);
   if (trace != nullptr) cluster.set_trace(trace);
+  if (adapt_opts != nullptr) {
+    controller.emplace(topo.site_count(), topo.total_votes(), *adapt_opts);
+    cluster.attach_adaptive(&*controller);
+  }
   cluster.run_until(horizon);
 
   result.safety = msg::check_safety(cluster);
@@ -161,6 +222,10 @@ RunResult run_plan(const fault::ChaosSpec& spec, std::uint64_t seed,
     } else {
       ++result.denied_by[static_cast<std::size_t>(o.deny_reason)];
     }
+    if (o.submit_time >= horizon * 0.5) {
+      ++result.tail_decided;
+      if (o.granted) ++result.tail_granted;
+    }
     std::string region =
         topo.has_domains() ? topo.domain_prefix(o.origin, 1) : std::string();
     if (region.empty()) region = "-";
@@ -168,6 +233,10 @@ RunResult run_plan(const fault::ChaosSpec& spec, std::uint64_t seed,
     ++slot.accesses;
     if (o.granted) ++slot.granted;
     slot.latency_sum += o.decide_time - o.submit_time;
+  }
+  if (controller) {
+    result.adapt_epochs = controller->epochs();
+    result.adapt_installs = controller->installs_recommended();
   }
   result.retries = cluster.retries();
   result.stale_rejections = cluster.stale_rejections();
@@ -343,6 +412,159 @@ int run_sweep(const Options& opt) {
   return any_unsafe ? 1 : 0;
 }
 
+/// One side of an adaptive-vs-frozen race, pooled across seeds.
+struct RaceSide {
+  std::uint64_t decided = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t tail_decided = 0;
+  std::uint64_t tail_granted = 0;
+  std::uint64_t installs = 0;
+  std::uint64_t epochs = 0;
+  bool safe = true;
+
+  void absorb(const RunResult& run) {
+    decided += run.decided;
+    granted += run.granted;
+    tail_decided += run.tail_decided;
+    tail_granted += run.tail_granted;
+    installs += run.adapt_installs;
+    epochs += run.adapt_epochs;
+    safe = safe && run.safety.ok();
+  }
+  double availability() const {
+    return decided == 0 ? 0.0
+                        : static_cast<double>(granted) /
+                              static_cast<double>(decided);
+  }
+  double tail_availability() const {
+    return tail_decided == 0 ? 0.0
+                             : static_cast<double>(tail_granted) /
+                                   static_cast<double>(tail_decided);
+  }
+};
+
+struct PlanRace {
+  std::string name;
+  std::string path;
+  std::uint64_t first_seed = 0;
+  std::uint32_t seeds = 0;
+  double horizon = 0.0;
+  RaceSide frozen;
+  RaceSide adaptive;
+
+  double margin() const {
+    return adaptive.tail_availability() - frozen.tail_availability();
+  }
+};
+
+void write_race_side(std::ostream& out, const RaceSide& s) {
+  out << "{\"accesses\": " << s.decided << ", \"granted\": " << s.granted
+      << ", \"availability\": " << s.availability()
+      << ", \"tail_accesses\": " << s.tail_decided
+      << ", \"tail_availability\": " << s.tail_availability()
+      << ", \"installs\": " << s.installs << ", \"epochs\": " << s.epochs
+      << ", \"safe\": " << (s.safe ? "true" : "false") << "}";
+}
+
+void write_race_report(std::ostream& out, const std::vector<PlanRace>& races) {
+  out << "{\"quora-adapt-race\": 1, \"plans\": [";
+  for (std::size_t p = 0; p < races.size(); ++p) {
+    const PlanRace& r = races[p];
+    if (p != 0) out << ", ";
+    out << "{\"name\": \"";
+    json_escape(out, r.name);
+    out << "\", \"path\": \"";
+    json_escape(out, r.path);
+    out << "\", \"first_seed\": " << r.first_seed << ", \"seeds\": " << r.seeds
+        << ", \"horizon\": " << r.horizon << ", \"frozen\": ";
+    write_race_side(out, r.frozen);
+    out << ", \"adaptive\": ";
+    write_race_side(out, r.adaptive);
+    out << ", \"tail_margin\": " << r.margin() << "}";
+  }
+  out << "]}\n";
+}
+
+/// --race: the acceptance experiment. Each plan runs frozen and adaptive
+/// under the same seeds; the tail half of the horizon — after the plan's
+/// regime shift has settled — is where the loop must win.
+int run_race(const Options& opt) {
+  std::vector<PlanRace> races;
+  bool any_unsafe = false;
+  for (const std::string& path : opt.plans) {
+    io::AuditReport audit;
+    fault::ChaosSpec spec;
+    try {
+      audit = fault::audit_chaos_file(path);
+      if (audit.ok()) spec = fault::load_chaos_file(path);
+    } catch (const std::exception& e) {
+      std::cerr << "quora_chaos: " << path << ": " << e.what() << '\n';
+      return 2;
+    }
+    if (!audit.ok()) {
+      std::cerr << "quora_chaos: " << path << " fails static audit:\n";
+      io::write_report(std::cerr, audit);
+      return 2;
+    }
+    const double horizon = opt.horizon.value_or(spec.horizon);
+    if (!(horizon > 0.0)) {
+      std::cerr << "quora_chaos: " << path
+                << ": no horizon in the plan and none on the command line\n";
+      return 2;
+    }
+
+    PlanRace race;
+    race.name = spec.name;
+    race.path = path;
+    race.first_seed = opt.seed.value_or(spec.seed);
+    race.seeds = opt.sweep_seeds;
+    race.horizon = horizon;
+    for (std::uint32_t k = 0; k < opt.sweep_seeds; ++k) {
+      const std::uint64_t seed = race.first_seed + k;
+      race.frozen.absorb(
+          run_plan(spec, seed, horizon, opt.max_retries));
+      race.adaptive.absorb(run_plan(spec, seed, horizon, opt.max_retries,
+                                    nullptr, nullptr, &opt.adapt_opts));
+    }
+
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "race %s seeds=%llu..%llu horizon=%g\n"
+                  "  frozen    avail=%.4f tail=%.4f (n=%llu)\n"
+                  "  adaptive  avail=%.4f tail=%.4f (n=%llu) installs=%llu "
+                  "epochs=%llu\n"
+                  "  tail margin %+.4f\n",
+                  race.name.c_str(),
+                  static_cast<unsigned long long>(race.first_seed),
+                  static_cast<unsigned long long>(race.first_seed +
+                                                  race.seeds - 1),
+                  horizon, race.frozen.availability(),
+                  race.frozen.tail_availability(),
+                  static_cast<unsigned long long>(race.frozen.tail_decided),
+                  race.adaptive.availability(),
+                  race.adaptive.tail_availability(),
+                  static_cast<unsigned long long>(race.adaptive.tail_decided),
+                  static_cast<unsigned long long>(race.adaptive.installs),
+                  static_cast<unsigned long long>(race.adaptive.epochs),
+                  race.margin());
+    std::cout << buf;
+    const bool safe = race.frozen.safe && race.adaptive.safe;
+    std::cout << (safe ? "SAFE " : "UNSAFE ") << race.name << '\n';
+    any_unsafe = any_unsafe || !safe;
+    races.push_back(std::move(race));
+  }
+
+  if (!opt.report_path.empty()) {
+    std::ofstream out(opt.report_path);
+    if (!out) {
+      std::cerr << "quora_chaos: cannot open " << opt.report_path << '\n';
+      return 2;
+    }
+    write_race_report(out, races);
+  }
+  return any_unsafe ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -383,6 +605,29 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--report") {
         opt.report_path = value();
+      } else if (arg == "--adapt") {
+        opt.adapt = true;
+      } else if (arg == "--adapt-epoch") {
+        opt.adapt = true;
+        opt.adapt_opts.epoch_length = std::stod(value());
+      } else if (arg == "--adapt-threshold") {
+        opt.adapt = true;
+        opt.adapt_opts.threshold = std::stod(value());
+      } else if (arg == "--adapt-dwell") {
+        opt.adapt = true;
+        opt.adapt_opts.dwell = static_cast<std::uint32_t>(std::stoul(value()));
+      } else if (arg == "--adapt-min-write") {
+        opt.adapt = true;
+        opt.adapt_opts.objective =
+            adapt::AdaptiveController::Objective::kWriteConstrained;
+        opt.adapt_opts.min_write_availability = std::stod(value());
+      } else if (arg == "--adapt-omega") {
+        opt.adapt = true;
+        opt.adapt_opts.objective =
+            adapt::AdaptiveController::Objective::kWeighted;
+        opt.adapt_opts.omega = std::stod(value());
+      } else if (arg == "--race") {
+        opt.race = true;
       } else if (arg == "--help" || arg == "-h") {
         usage();
       } else if (!arg.empty() && arg[0] == '-') {
@@ -397,6 +642,13 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.plans.empty()) usage();
+  try {
+    opt.adapt_opts.validate();
+  } catch (const std::exception& e) {
+    std::cerr << "quora_chaos: " << e.what() << '\n';
+    return 2;
+  }
+  if (opt.race) return run_race(opt);
   if (opt.sweep) return run_sweep(opt);
 
   std::ofstream log_out;
@@ -453,10 +705,13 @@ int main(int argc, char** argv) {
     RunResult run =
         run_plan(spec, seed, horizon, opt.max_retries,
                  obs_registry ? &*obs_registry : nullptr,
-                 obs_trace ? &*obs_trace : nullptr);
+                 obs_trace ? &*obs_trace : nullptr,
+                 opt.adapt ? &opt.adapt_opts : nullptr);
     bool deterministic = true;
     if (opt.verify_determinism) {
-      const RunResult replay = run_plan(spec, seed, horizon, opt.max_retries);
+      const RunResult replay =
+          run_plan(spec, seed, horizon, opt.max_retries, nullptr, nullptr,
+                   opt.adapt ? &opt.adapt_opts : nullptr);
       deterministic = replay.log.lines() == run.log.lines();
     }
 
@@ -486,8 +741,12 @@ int main(int argc, char** argv) {
                 << " qr-installs=" << run.installs << '\n'
                 << "  messages sent=" << run.messages_sent
                 << " dropped=" << run.messages_dropped
-                << " duplicated=" << run.messages_duplicated << '\n'
-                << "  denials:";
+                << " duplicated=" << run.messages_duplicated << '\n';
+      if (opt.adapt) {
+        std::cout << "  adapt epochs=" << run.adapt_epochs
+                  << " installs=" << run.adapt_installs << '\n';
+      }
+      std::cout << "  denials:";
       for (std::size_t r = 1; r < msg::kDenyReasonCount; ++r) {
         if (run.denied_by[r] == 0) continue;
         std::cout << ' '

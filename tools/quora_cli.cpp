@@ -49,7 +49,7 @@ using quora::report::TextTable;
       "            [--seed N] [--stride N] [--csv PATH] [--svg PATH]\n"
       "            [--trace PATH] [--metrics PATH]\n"
       "  quora_cli optimize <topology-file> --alpha A [--write-floor X]\n"
-      "            [--surv] [--batch N] [--warmup N] [--seed N]\n"
+      "            [--omega W] [--surv] [--batch N] [--warmup N] [--seed N]\n"
       "            [--trace PATH] [--metrics PATH]\n";
   std::exit(2);
 }
@@ -63,6 +63,7 @@ struct Options {
   std::uint64_t seed = 0xC0FFEE;
   unsigned stride = 7;
   double write_floor = -1.0;
+  double omega = -1.0;
   bool surv = false;
   std::string csv;
   std::string svg;
@@ -94,6 +95,8 @@ Options parse_options(int argc, char** argv, int first) {
       opt.stride = static_cast<unsigned>(std::stoul(value()));
     } else if (arg == "--write-floor") {
       opt.write_floor = std::stod(value());
+    } else if (arg == "--omega") {
+      opt.omega = std::stod(value());
     } else if (arg == "--surv") {
       opt.surv = true;
     } else if (arg == "--csv") {
@@ -242,6 +245,19 @@ int cmd_optimize(int argc, char** argv) {
       table.add_row({"A_w >= " + TextTable::pct(opt.write_floor, 0), "-", "-",
                      "infeasible", "-"});
     }
+  }
+  if (opt.omega >= 0.0) {
+    // §5 weighted objective A(omega, alpha, q): write successes count
+    // omega times a read success. The table's "availability" column shows
+    // the weighted value, which is why it can exceed 1 for omega > 1.
+    const auto weighted =
+        quora::core::optimize_weighted(curve, alpha, opt.omega);
+    table.add_row({"omega = " + TextTable::fmt(opt.omega, 2),
+                   std::to_string(weighted.q_r()),
+                   std::to_string(weighted.q_w()),
+                   TextTable::fmt(weighted.value, 4),
+                   TextTable::fmt(
+                       curve.write_availability(weighted.q_r()), 4)});
   }
   table.print(std::cout);
   return 0;
