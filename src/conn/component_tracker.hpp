@@ -123,6 +123,13 @@ public:
   void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
   void set_metrics(obs::Registry* registry);
 
+  /// Re-point the tracker at a different (identically shaped) network.
+  /// Needed after the owning simulation is copied by value — e.g. for
+  /// model-checker snapshots — where the copied tracker must observe the
+  /// copy's network, not the source's. All cached labels carry over; the
+  /// next query revalidates against the new network's version counter.
+  void rebind(const LiveNetwork& live) noexcept { live_ = &live; }
+
 private:
   /// Hot-path refresh gate: no-op unless the network version moved.
   void sync() const {

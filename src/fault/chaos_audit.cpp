@@ -41,6 +41,17 @@ public:
     for (const CorrelationRule& c : spec->plan.correlations()) {
       audit_correlation(c, topo);
     }
+    for (const std::string& m : spec->mutations) {
+      if (m != "accept-stale-qr" && m != "skip-crash-cleanup") {
+        error(AuditCode::kChaosBadSchedule,
+              "unknown mutation '" + m +
+                  "' (known: accept-stale-qr, skip-crash-cleanup)");
+      } else {
+        warn(AuditCode::kChaosBadSchedule,
+             "plan enables seeded protocol mutation '" + m +
+                 "' — checker-validation fixtures only, never production");
+      }
+    }
     return std::move(report_);
   }
 
@@ -188,6 +199,9 @@ private:
                 "rho shift at t=" + std::to_string(a.time) +
                     " needs a positive access/failure ratio");
         }
+        break;
+      case Action::Kind::kAccess:
+        check_site("access", a.time, a.site, topo);
         break;
     }
   }

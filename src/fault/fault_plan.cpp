@@ -153,6 +153,13 @@ void parse_at(FaultPlan& plan, std::istringstream& cells, std::size_t line) {
       fail(line, "expected 'down' or 'up'");
     }
     state == "down" ? plan.oneway_down(t, a, b2) : plan.oneway_up(t, a, b2);
+  } else if (what == "access") {
+    const net::SiteId origin = need_u32(cells, line, "a site id after 'access'");
+    std::string rw;
+    if (!(cells >> rw) || (rw != "read" && rw != "write")) {
+      fail(line, "expected 'read' or 'write' after the access origin");
+    }
+    plan.access(t, origin, rw == "read");
   } else if (what == "alpha") {
     plan.set_alpha(t, need_double(cells, line, "a value after 'alpha'"));
   } else if (what == "reliability") {
@@ -427,6 +434,16 @@ FaultPlan& FaultPlan::set_rho(double t, double rho) {
   return *this;
 }
 
+FaultPlan& FaultPlan::access(double t, net::SiteId origin, bool is_read) {
+  Action a;
+  a.time = t;
+  a.kind = Action::Kind::kAccess;
+  a.site = origin;
+  a.is_read = is_read;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
 FaultPlan& FaultPlan::drop(double from, double until, double p,
                            net::LinkId link) {
   rules_.push_back(MessageRule{MessageRule::Kind::kDrop, from, until, p, 0.0,
@@ -515,6 +532,11 @@ ChaosSpec load_chaos(std::istream& in) {
       parse_flap(spec.plan, cells, line_no);
     } else if (directive == "correlate") {
       parse_correlate(spec.plan, cells, line_no);
+    } else if (directive == "mutate") {
+      std::string which;
+      if (!(cells >> which)) fail(line_no, "'mutate' needs a mutation name");
+      reject_trailing(cells, line_no);
+      spec.mutations.push_back(std::move(which));
     } else {
       system_text << raw << '\n';  // a topology/system directive
     }

@@ -37,11 +37,15 @@ struct Action {
     kSetAlpha,         // regime shift: read fraction becomes `value`
     kSetReliability,   // regime shift: component reliability becomes `value`
     kSetRho,           // regime shift: access/failure time-scale ratio
+    kAccess,           // submit a scripted access (read/write) at `site` —
+                       // deterministic, no RNG; counterexample replays and
+                       // conformance scripts use this instead of Poisson
+                       // arrivals
   };
   double time = 0.0;
   Kind kind = Kind::kSiteDown;
   net::SiteId site = 0;        // kSite*, kReassign origin, kArmCrashOnCommit
-                               // filter, kOneWay* from-endpoint
+                               // filter, kOneWay* from-endpoint, kAccess origin
   net::SiteId site_b = 0;      // kOneWay* to-endpoint
   net::LinkId link = 0;        // kLink*
   quorum::QuorumSpec next{};   // kReassign: the assignment to install
@@ -50,6 +54,7 @@ struct Action {
   std::vector<std::vector<net::SiteId>> groups;  // kPartition
   std::string domain;          // kDomain*: a domain path prefix, e.g. "rg0"
   double value = 0.0;          // kSet*: the new parameter value
+  bool is_read = false;        // kAccess: read (true) or write (false)
 };
 
 /// A stochastic message-fault window. While the simulated clock is inside
@@ -138,6 +143,11 @@ public:
   FaultPlan& set_alpha(double t, double alpha);
   FaultPlan& set_reliability(double t, double reliability);
   FaultPlan& set_rho(double t, double rho);
+  /// Submit a scripted access at `origin` — deterministic (no Poisson
+  /// draw, no read/write coin flip). This is how model-checker
+  /// counterexamples replay their exact access sequence under
+  /// `quora_chaos`.
+  FaultPlan& access(double t, net::SiteId origin, bool is_read);
 
   FaultPlan& drop(double from, double until, double p,
                   net::LinkId link = kAllLinks);
@@ -210,6 +220,14 @@ private:
 /// at 200 alpha 0.2                 # read fraction drops to 20%
 /// at 200 reliability 0.85          # components degrade to 85% reliable
 /// at 200 rho 0.03125               # failures speed up relative to accesses
+///
+/// # scripted accesses (model-checker counterexample replays):
+/// at 50 access 3 write             # submit one write at site 3, no RNG
+/// at 55 access 0 read
+///
+/// # seeded protocol mutations (testing the checkers, never production):
+/// mutate accept-stale-qr
+/// mutate skip-crash-cleanup
 /// ```
 struct ChaosSpec {
   std::string name = "unnamed";
@@ -218,6 +236,11 @@ struct ChaosSpec {
   double horizon = 0.0;         // 0 = not declared; the runner must supply one
   quorum::QuorumSpec quorum{};  // initial assignment
   bool has_quorum = false;
+  /// Seeded known-bad protocol behaviours the run must enable
+  /// (`msg::Cluster::Params::TestingMutations` slugs). Emitted into
+  /// counterexample replays so a mutation-found bug reproduces under
+  /// `quora_chaos`; `audit_chaos` warns on their presence.
+  std::vector<std::string> mutations;
   std::optional<io::SystemSpec> system;  // always set on successful parse
   FaultPlan plan;
 };

@@ -490,6 +490,7 @@ const char* audit_code_name(AuditCode code) {
     case AuditCode::kChaosUnknownTarget: return "chaos-unknown-target";
     case AuditCode::kDomainConfig: return "domain-config";
     case AuditCode::kAdaptConfig: return "adapt-config";
+    case AuditCode::kModelScopeConfig: return "model-scope-config";
   }
   return "unknown";
 }
@@ -636,6 +637,7 @@ std::vector<SarifRule> audit_sarif_rules() {
       AuditCode::kChaosUnknownTarget,
       AuditCode::kDomainConfig,
       AuditCode::kAdaptConfig,
+      AuditCode::kModelScopeConfig,
   };
   std::vector<SarifRule> rules;
   for (const AuditCode code : kAll) {

@@ -38,6 +38,12 @@ enum class AuditCode {
                           // non-positive epoch length, write floor no vote
                           // assignment can meet, or adaptation enabled with
                           // QR gossip disabled (installs could never spread)
+  kModelScopeConfig,      // .model scope problems: site count beyond the
+                          // explorable bound, no/too many scripted accesses,
+                          // a fault the model-mode cluster cannot express
+                          // (stochastic windows, crash-on-commit triggers,
+                          // regime shifts), or depth/state budgets outside
+                          // the tractable range
 };
 
 /// Stable kebab-case slug for a code (what the report prints).

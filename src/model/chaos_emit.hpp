@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/explorer.hpp"
+#include "model/scope.hpp"
+
+namespace quora::model {
+
+struct EmitOptions {
+  /// Time of the first scheduled action in the emitted plan.
+  double base_time = 1.0;
+  /// Candidate inter-action spacings. Small steps are needed when the
+  /// counterexample depends on a fault landing inside a message round
+  /// trip (mean hop latency is 0.005 under the chaos defaults); large
+  /// ones when each step must settle first. Tried in order.
+  std::vector<double> step_grid = {0.002, 0.005, 0.02, 0.1, 1.0};
+  /// Seeds 1..max_seed are tried per spacing.
+  std::uint64_t max_seed = 48;
+};
+
+/// A `.chaos` rendering of a model counterexample.
+struct EmittedChaos {
+  std::string text;        // complete .chaos file content
+  bool validated = false;  // an in-process replay reproduced the violation
+  std::uint64_t seed = 1;  // the reproducing seed (when validated)
+  double step = 1.0;       // the reproducing spacing (when validated)
+};
+
+/// Renders the submit/fault skeleton of a counterexample trace as a
+/// timed `.chaos` plan that `quora_chaos` replays to the same
+/// `check_safety` violation. The model's delivery orderings cannot be
+/// scripted — the timed simulator owns message timing — so the emitter
+/// searches a (spacing x seed) grid, running each candidate in-process
+/// with `quora_chaos`'s exact run parameters, until one reproduces every
+/// safety code of the violation; that seed is embedded in the plan.
+/// Adjacent `site down` / `site up` pairs on one site collapse into
+/// `crash S for 0`, whose in-flight messages survive (matching the
+/// model's consecutive down/up transitions).
+///
+/// A violation carrying only model-level property codes (no
+/// `check_safety` finding) is emitted unvalidated with `seed 1`.
+EmittedChaos emit_chaos(const Scope& scope, const Violation& violation,
+                        const EmitOptions& opt = {});
+
+} // namespace quora::model

@@ -1,0 +1,565 @@
+#include "model/explorer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/contracts.hpp"
+#include "quorum/quorum_spec.hpp"
+
+namespace quora::model {
+namespace {
+
+using msg::Cluster;
+
+const char* message_kind_name(msg::Message::Kind k) {
+  switch (k) {
+    case msg::Message::Kind::kVoteRequest: return "vote-request";
+    case msg::Message::Kind::kVoteReply: return "vote-reply";
+    case msg::Message::Kind::kVoteDeny: return "vote-deny";
+    case msg::Message::Kind::kCommitRequest: return "commit-request";
+    case msg::Message::Kind::kCommitAck: return "commit-ack";
+    case msg::Message::Kind::kAbort: return "abort";
+  }
+  return "?";
+}
+
+const char* event_kind_name(Cluster::ModelEventKind k) {
+  switch (k) {
+    case Cluster::ModelEventKind::kDelivery: return "deliver";
+    case Cluster::ModelEventKind::kTimer: return "timer";
+    case Cluster::ModelEventKind::kRetry: return "retry";
+    case Cluster::ModelEventKind::kOther: return "event";
+  }
+  return "?";
+}
+
+/// Renders a scope fault action for counterexample listings.
+std::string action_brief(const fault::Action& a) {
+  using Kind = fault::Action::Kind;
+  switch (a.kind) {
+    case Kind::kSiteDown: return "site " + std::to_string(a.site) + " down";
+    case Kind::kSiteUp: return "site " + std::to_string(a.site) + " up";
+    case Kind::kLinkDown: return "link " + std::to_string(a.link) + " down";
+    case Kind::kLinkUp: return "link " + std::to_string(a.link) + " up";
+    case Kind::kPartition: return "partition";
+    case Kind::kHeal: return "heal";
+    case Kind::kHealLinks: return "heal-links";
+    case Kind::kReassign:
+      return "reassign " + std::to_string(a.next.q_r) + " " +
+             std::to_string(a.next.q_w) + " from " + std::to_string(a.site);
+    case Kind::kDomainDown: return "domain " + a.domain + " down";
+    case Kind::kDomainUp: return "domain " + a.domain + " up";
+    case Kind::kOneWayDown:
+      return "oneway " + std::to_string(a.site) + " " +
+             std::to_string(a.site_b) + " down";
+    case Kind::kOneWayUp:
+      return "oneway " + std::to_string(a.site) + " " +
+             std::to_string(a.site_b) + " up";
+    default: return "action";
+  }
+}
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t w) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (int b = 0; b < 8; ++b) {
+    h ^= (w >> (8 * b)) & 0xFFull;
+    h *= kPrime;
+  }
+  return h;
+}
+
+/// True when the recorded descriptor names this enabled event.
+bool same_descriptor(const Choice& c, const Cluster::ModelEvent& e) {
+  if (c.event_kind != e.kind || c.target != e.target || c.link != e.index ||
+      c.request != e.request || c.phase != e.phase) {
+    return false;
+  }
+  if (e.kind != Cluster::ModelEventKind::kDelivery) return true;
+  const msg::Message& a = c.message;
+  const msg::Message& b = e.message;
+  return a.kind == b.kind && a.is_write == b.is_write &&
+         a.request == b.request && a.coordinator == b.coordinator &&
+         a.sender == b.sender && a.replier == b.replier &&
+         a.votes == b.votes && a.version == b.version && a.value == b.value &&
+         a.qr_version == b.qr_version && a.qr_r == b.qr_r && a.qr_w == b.qr_w;
+}
+
+std::uint64_t descriptor_key(const Choice& c) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = mix64(h, static_cast<std::uint64_t>(c.kind));
+  h = mix64(h, c.index);
+  h = mix64(h, static_cast<std::uint64_t>(c.event_kind));
+  h = mix64(h, c.target);
+  h = mix64(h, c.link);
+  h = mix64(h, c.request);
+  h = mix64(h, static_cast<std::uint64_t>(c.phase));
+  h = mix64(h, c.occurrence);
+  if (c.event_kind == Cluster::ModelEventKind::kDelivery) {
+    const msg::Message& m = c.message;
+    h = mix64(h, static_cast<std::uint64_t>(m.kind));
+    h = mix64(h, m.is_write ? 1 : 0);
+    h = mix64(h, m.request);
+    h = mix64(h, m.sender);
+    h = mix64(h, m.replier);
+    h = mix64(h, m.version);
+    h = mix64(h, m.qr_version);
+  }
+  return h;
+}
+
+} // namespace
+
+std::string Choice::describe(const Scope& scope) const {
+  switch (kind) {
+    case Kind::kSubmit: {
+      const fault::Action& a = scope.accesses[index];
+      return std::string("submit ") + (a.is_read ? "read" : "write") +
+             " at site " + std::to_string(a.site);
+    }
+    case Kind::kFault: {
+      std::string out = "fault:";
+      for (const fault::Action& a : scope.faults[index]) {
+        out += " " + action_brief(a) + ";";
+      }
+      out.pop_back();
+      return out;
+    }
+    case Kind::kEvent:
+      break;
+  }
+  std::string out = event_kind_name(event_kind);
+  if (event_kind == Cluster::ModelEventKind::kDelivery) {
+    out += std::string(" ") + message_kind_name(message.kind) + " req " +
+           std::to_string(message.request) + " -> site " +
+           std::to_string(target) + " (link " + std::to_string(link) + ")";
+  } else {
+    out += " site " + std::to_string(target) + " req " +
+           std::to_string(request) + " phase " + std::to_string(phase);
+  }
+  if (occurrence != 0) out += " #" + std::to_string(occurrence);
+  return out;
+}
+
+std::vector<std::string> Violation::codes() const {
+  std::vector<std::string> out;
+  for (const msg::SafetyViolation& v : safety.violations) {
+    out.push_back(msg::invariant_slug(v.code));
+  }
+  for (const PropertyViolation& p : properties) out.push_back(p.code);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+struct Explorer::Transition {
+  Choice choice;
+  std::uint64_t seq = 0;    // kEvent: live handle in the current state
+  std::uint64_t key = 0;    // sleep-set / covering identity (content hash)
+  net::SiteId site = 0;     // dependence site for kEvent
+  bool global = false;      // kSubmit / kFault: dependent with everything
+};
+
+struct Explorer::SleepEntry {
+  std::uint64_t key = 0;
+  net::SiteId site = 0;
+  bool global = false;
+};
+
+Explorer::Explorer(const Scope& scope, Options opt)
+    : scope_(&scope), opt_(opt) {
+  QUORA_PRECONDITION(scope.chaos.system.has_value(),
+                     "scope must carry a parsed system");
+}
+
+msg::Cluster Explorer::make_cluster() const {
+  const net::Topology& topo = scope_->chaos.system->topology;
+  Cluster::Params params;
+  params.model_mode = true;
+  params.spec = scope_->chaos.has_quorum
+                    ? scope_->chaos.quorum
+                    : quorum::majority(topo.total_votes());
+  for (const std::string& m : scope_->chaos.mutations) {
+    if (m == "accept-stale-qr") params.mutations.accept_stale_qr = true;
+    if (m == "skip-crash-cleanup") params.mutations.skip_crash_cleanup = true;
+  }
+  return Cluster(topo, params, /*seed=*/1);
+}
+
+std::vector<Explorer::Transition> Explorer::enabled_transitions(
+    const msg::Cluster& c, std::uint32_t submitted,
+    std::uint32_t faulted) const {
+  // Submits and faults lead the list: DFS then tries the schedules that
+  // interleave them early in the protocol first, which is where seeded
+  // mutations bite — pure delivery permutations come after. Exhaustive
+  // coverage does not depend on this order, only time-to-counterexample.
+  std::vector<Transition> out;
+  for (std::uint32_t i = 0; i < scope_->accesses.size(); ++i) {
+    if ((submitted >> i) & 1u) continue;
+    Transition t;
+    t.choice.kind = Choice::Kind::kSubmit;
+    t.choice.index = i;
+    t.global = true;
+    t.key = 0xACCE55ull << 32 | i;
+    out.push_back(std::move(t));
+  }
+  for (std::uint32_t i = 0; i < scope_->faults.size(); ++i) {
+    if ((faulted >> i) & 1u) continue;
+    Transition t;
+    t.choice.kind = Choice::Kind::kFault;
+    t.choice.index = i;
+    t.global = true;
+    t.key = 0xFA17ull << 32 | i;
+    out.push_back(std::move(t));
+  }
+  const std::vector<Cluster::ModelEvent> events = c.model_enabled_events();
+  for (const Cluster::ModelEvent& e : events) {
+    Transition t;
+    t.choice.kind = Choice::Kind::kEvent;
+    t.choice.event_kind = e.kind;
+    t.choice.target = e.target;
+    t.choice.link = e.index;
+    t.choice.request = e.request;
+    t.choice.phase = e.phase;
+    t.choice.message = e.message;
+    for (const Transition& prev : out) {
+      if (prev.choice.kind == Choice::Kind::kEvent &&
+          same_descriptor(prev.choice, e)) {
+        ++t.choice.occurrence;
+      }
+    }
+    t.seq = e.seq;
+    t.site = e.target;
+    t.key = descriptor_key(t.choice);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void Explorer::apply(msg::Cluster& c, const Transition& t,
+                     std::uint32_t& submitted, std::uint32_t& faulted) const {
+  switch (t.choice.kind) {
+    case Choice::Kind::kEvent: {
+      const bool fired = c.model_step_event(t.seq);
+      QUORA_PRECONDITION(fired, "enabled event vanished before firing");
+      break;
+    }
+    case Choice::Kind::kSubmit: {
+      const fault::Action& a = scope_->accesses[t.choice.index];
+      c.model_submit_access(a.site, a.is_read);
+      submitted |= 1u << t.choice.index;
+      break;
+    }
+    case Choice::Kind::kFault:
+      // A fault step is atomic: every action in the group fires before
+      // the next transition is chosen (e.g. `crash S for 0` = down+up).
+      for (const fault::Action& a : scope_->faults[t.choice.index]) {
+        c.model_apply_fault(a);
+      }
+      faulted |= 1u << t.choice.index;
+      break;
+  }
+}
+
+std::vector<std::uint64_t> Explorer::stored_qr_versions(
+    const msg::Cluster& c) const {
+  const net::Topology& topo = scope_->chaos.system->topology;
+  std::vector<std::uint64_t> out(topo.site_count());
+  for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+    out[s] = c.reassignment().stored(s).version;
+  }
+  return out;
+}
+
+std::optional<Violation> Explorer::check_state(
+    const msg::Cluster& c, const std::vector<std::uint64_t>& prev_qr) const {
+  Violation v;
+  v.safety = msg::check_safety(c);
+
+  // qr-monotonicity: §2.2 requires stored assignment versions to only
+  // ever move forward; a decrease would resurrect a superseded quorum.
+  const std::vector<std::uint64_t> cur_qr = stored_qr_versions(c);
+  for (std::size_t s = 0; s < cur_qr.size(); ++s) {
+    if (cur_qr[s] < prev_qr[s]) {
+      v.properties.push_back(PropertyViolation{
+          "qr-monotonicity",
+          "site " + std::to_string(s) + " stored QR version went backwards: " +
+              std::to_string(prev_qr[s]) + " -> " +
+              std::to_string(cur_qr[s])});
+    }
+  }
+
+  // quorum-intersection: every installed assignment must satisfy
+  // Gifford's two conditions against the vote total.
+  const net::Vote total = scope_->chaos.system->topology.total_votes();
+  for (const Cluster::InstallRecord& r : c.installs()) {
+    if (!r.spec.valid(total)) {
+      v.properties.push_back(PropertyViolation{
+          "quorum-intersection",
+          "installed assignment v" + std::to_string(r.version) + " (" +
+              std::to_string(r.spec.q_r) + ", " + std::to_string(r.spec.q_w) +
+              ") violates the intersection conditions for T=" +
+              std::to_string(total)});
+    }
+  }
+
+  // grant-without-quorum: a granted access must be backed by at least a
+  // quorum of votes under the assignment version it ran under.
+  const auto spec_of = [&](std::uint64_t qr_version,
+                           quorum::QuorumSpec& spec) {
+    if (qr_version <= 1) {
+      spec = scope_->chaos.has_quorum
+                 ? scope_->chaos.quorum
+                 : quorum::majority(total);
+      return true;
+    }
+    for (const Cluster::InstallRecord& r : c.installs()) {
+      if (r.version == qr_version) {
+        spec = r.spec;
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const msg::AccessOutcome& o : c.outcomes()) {
+    if (!o.granted) continue;
+    quorum::QuorumSpec spec;
+    if (!spec_of(o.qr_version, spec)) {
+      v.properties.push_back(PropertyViolation{
+          "grant-without-quorum",
+          "granted access at site " + std::to_string(o.origin) +
+              " ran under QR version " + std::to_string(o.qr_version) +
+              " which was never installed"});
+      continue;
+    }
+    const bool ok = o.is_read ? spec.allows_read(o.votes_collected)
+                              : spec.allows_write(o.votes_collected);
+    if (!ok) {
+      v.properties.push_back(PropertyViolation{
+          "grant-without-quorum",
+          std::string("granted ") + (o.is_read ? "read" : "write") +
+              " at site " + std::to_string(o.origin) + " collected " +
+              std::to_string(o.votes_collected) + " votes < quorum (" +
+              std::to_string(o.is_read ? spec.q_r : spec.q_w) + ") under v" +
+              std::to_string(o.qr_version)});
+    }
+  }
+
+  if (v.safety.ok() && v.properties.empty()) return std::nullopt;
+  return v;
+}
+
+bool Explorer::dfs(const msg::Cluster& cur, std::uint32_t submitted,
+                   std::uint32_t faulted, std::vector<SleepEntry> sleep,
+                   std::uint64_t depth, std::vector<std::uint64_t> prev_qr,
+                   std::vector<Choice>& path) {
+  ++stats_.explored;
+  stats_.max_depth_seen = std::max(stats_.max_depth_seen, depth);
+
+  if (std::optional<Violation> v = check_state(cur, prev_qr)) {
+    v->trace = path;
+    found_ = std::move(v);
+    return true;
+  }
+
+  // Visited set with the DPOR covering rule: a fingerprint revisited
+  // under sleep set S is pruned only if it was already explored under
+  // some S' ⊆ S — then everything S would allow was already tried.
+  std::vector<std::uint64_t> sleep_keys;
+  sleep_keys.reserve(sleep.size());
+  for (const SleepEntry& z : sleep) sleep_keys.push_back(z.key);
+  std::sort(sleep_keys.begin(), sleep_keys.end());
+  {
+    std::vector<std::uint64_t> words;
+    words.reserve(512);
+    cur.model_serialize(words);
+    words.push_back(submitted);
+    words.push_back(faulted);
+    std::uint64_t h1 = 1469598103934665603ull;
+    std::uint64_t h2 = 0x9E3779B97F4A7C15ull;
+    for (const std::uint64_t w : words) {
+      h1 = mix64(h1, w);
+      h2 = (h2 * 0x100000001B3ull) ^ (w + (h2 >> 7));
+    }
+    auto [it, fresh] = visited_.try_emplace(std::make_pair(h1, h2));
+    if (fresh) {
+      ++stats_.unique_states;
+      if (stats_.unique_states > scope_->max_states) {
+        stats_.state_capped = true;
+        visited_.erase(it);
+        return false;
+      }
+    } else {
+      for (const std::vector<std::uint64_t>& cached : it->second) {
+        if (std::includes(sleep_keys.begin(), sleep_keys.end(),
+                          cached.begin(), cached.end())) {
+          ++stats_.visited_hits;
+          return false;
+        }
+      }
+    }
+    it->second.push_back(sleep_keys);
+  }
+
+  std::vector<Transition> all = enabled_transitions(cur, submitted, faulted);
+  if (all.empty()) return false;  // quiescent: everything resolved
+
+  std::vector<Transition> todo;
+  todo.reserve(all.size());
+  for (Transition& t : all) {
+    const bool asleep =
+        std::find(sleep_keys.begin(), sleep_keys.end(), t.key) !=
+        sleep_keys.end();
+    if (asleep) {
+      ++stats_.sleep_pruned;
+    } else {
+      todo.push_back(std::move(t));
+    }
+  }
+  if (todo.empty()) return false;
+
+  if (depth >= scope_->max_depth) {
+    stats_.depth_capped = true;
+    return false;
+  }
+
+  const std::vector<std::uint64_t> cur_qr = stored_qr_versions(cur);
+  std::vector<SleepEntry> sleep_work = std::move(sleep);
+  for (const Transition& t : todo) {
+    msg::Cluster child = cur;
+    child.model_rebind();
+    std::uint32_t child_submitted = submitted;
+    std::uint32_t child_faulted = faulted;
+    apply(child, t, child_submitted, child_faulted);
+    ++stats_.transitions;
+
+    // Sleep entries independent of t stay asleep in the child; a
+    // dependent one is woken (its orderings relative to t now matter).
+    std::vector<SleepEntry> child_sleep;
+    for (const SleepEntry& z : sleep_work) {
+      const bool dependent = z.global || t.global || z.site == t.site;
+      if (!dependent) child_sleep.push_back(z);
+    }
+
+    path.push_back(t.choice);
+    if (dfs(child, child_submitted, child_faulted, std::move(child_sleep),
+            depth + 1, cur_qr, path)) {
+      return true;
+    }
+    path.pop_back();
+    if (stats_.state_capped) return false;
+
+    if (opt_.dpor) {
+      sleep_work.push_back(SleepEntry{t.key, t.site, t.global});
+    }
+  }
+  return false;
+}
+
+std::optional<Violation> Explorer::run() {
+  stats_ = Stats{};
+  visited_.clear();
+  found_.reset();
+
+  msg::Cluster root = make_cluster();
+  std::vector<Choice> path;
+  dfs(root, 0, 0, {}, 0, stored_qr_versions(root), path);
+  return std::move(found_);
+}
+
+std::optional<Violation> Explorer::replay(
+    const std::vector<Choice>& trace) const {
+  msg::Cluster c = make_cluster();
+  std::uint32_t submitted = 0;
+  std::uint32_t faulted = 0;
+  std::vector<std::uint64_t> prev_qr = stored_qr_versions(c);
+  std::vector<Choice> done;
+
+  if (std::optional<Violation> v = check_state(c, prev_qr)) {
+    v->trace = done;
+    return v;
+  }
+  for (const Choice& choice : trace) {
+    switch (choice.kind) {
+      case Choice::Kind::kSubmit: {
+        if (choice.index >= scope_->accesses.size() ||
+            ((submitted >> choice.index) & 1u)) {
+          return std::nullopt;
+        }
+        const fault::Action& a = scope_->accesses[choice.index];
+        c.model_submit_access(a.site, a.is_read);
+        submitted |= 1u << choice.index;
+        break;
+      }
+      case Choice::Kind::kFault:
+        if (choice.index >= scope_->faults.size() ||
+            ((faulted >> choice.index) & 1u)) {
+          return std::nullopt;
+        }
+        for (const fault::Action& a : scope_->faults[choice.index]) {
+          c.model_apply_fault(a);
+        }
+        faulted |= 1u << choice.index;
+        break;
+      case Choice::Kind::kEvent: {
+        std::uint64_t seq = 0;
+        std::uint32_t seen = 0;
+        bool matched = false;
+        for (const msg::Cluster::ModelEvent& e : c.model_enabled_events()) {
+          if (!same_descriptor(choice, e)) continue;
+          if (seen++ == choice.occurrence) {
+            seq = e.seq;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched || !c.model_step_event(seq)) return std::nullopt;
+        break;
+      }
+    }
+    done.push_back(choice);
+    std::vector<std::uint64_t> cur_qr = stored_qr_versions(c);
+    if (std::optional<Violation> v = check_state(c, prev_qr)) {
+      v->trace = done;
+      return v;
+    }
+    prev_qr = std::move(cur_qr);
+  }
+  return std::nullopt;
+}
+
+std::vector<Choice> Explorer::minimize(const Violation& seed) const {
+  const std::vector<std::string> target = seed.codes();
+  const auto covers = [&target](const Violation& v) {
+    const std::vector<std::string> got = v.codes();
+    return std::includes(got.begin(), got.end(), target.begin(),
+                         target.end());
+  };
+
+  // The seed trace is already truncated at its first violating state;
+  // re-replay to normalize in case the caller assembled it by hand.
+  std::vector<Choice> best = seed.trace;
+  if (std::optional<Violation> v = replay(best); v && covers(*v)) {
+    best = v->trace;
+  }
+
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      std::vector<Choice> candidate;
+      candidate.reserve(best.size() - 1);
+      for (std::size_t j = 0; j < best.size(); ++j) {
+        if (j != i) candidate.push_back(best[j]);
+      }
+      std::optional<Violation> v = replay(candidate);
+      if (v && covers(*v)) {
+        best = std::move(v->trace);  // also truncates
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+} // namespace quora::model

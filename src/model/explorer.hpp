@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/scope.hpp"
+#include "msg/cluster.hpp"
+#include "msg/invariants.hpp"
+#include "net/types.hpp"
+
+namespace quora::model {
+
+/// One transition along an explored path. Identified by *content*
+/// (descriptor fields + occurrence rank), never by queue sequence
+/// number: a recorded trace must replay against a freshly built cluster,
+/// and keep replaying as minimization drops earlier steps — both of
+/// which renumber every event.
+struct Choice {
+  enum class Kind : std::uint8_t { kEvent = 0, kSubmit = 1, kFault = 2 };
+  Kind kind = Kind::kEvent;
+  /// kSubmit / kFault: position in the scope's access / fault alphabet.
+  std::uint32_t index = 0;
+  // kEvent descriptor: the enabled pending event to fire.
+  msg::Cluster::ModelEventKind event_kind =
+      msg::Cluster::ModelEventKind::kOther;
+  net::SiteId target = 0;
+  std::uint32_t link = 0;
+  std::uint64_t request = 0;
+  int phase = 0;
+  msg::Message message{};  // deliveries only
+  /// Rank among enabled events with an identical descriptor (enumeration
+  /// order), disambiguating true duplicates.
+  std::uint32_t occurrence = 0;
+
+  /// One-line human rendering for counterexample listings.
+  std::string describe(const Scope& scope) const;
+};
+
+/// A model-level property violation (beyond `msg::check_safety`):
+/// `qr-monotonicity` (a site's stored assignment version decreased),
+/// `quorum-intersection` (an installed assignment fails Gifford's
+/// conditions), or `grant-without-quorum` (a granted access backed by
+/// fewer votes than its assignment requires).
+struct PropertyViolation {
+  std::string code;
+  std::string message;
+};
+
+/// A counterexample: what went wrong, and the schedule that gets there.
+struct Violation {
+  msg::SafetyReport safety;                   // check_safety findings
+  std::vector<PropertyViolation> properties;  // model-level findings
+  std::vector<Choice> trace;                  // schedule from the initial state
+  /// Sorted, deduplicated violation identity ("which bug"): safety slugs
+  /// plus property codes. Minimization preserves this set.
+  std::vector<std::string> codes() const;
+};
+
+struct Stats {
+  std::uint64_t explored = 0;      // states expanded (DFS entries)
+  std::uint64_t transitions = 0;   // transitions fired
+  std::uint64_t unique_states = 0; // distinct fingerprints seen
+  std::uint64_t visited_hits = 0;  // revisits pruned by the visited set
+  std::uint64_t sleep_pruned = 0;  // transitions pruned by DPOR sleep sets
+  std::uint64_t max_depth_seen = 0;
+  bool depth_capped = false;       // some path hit the depth bound
+  bool state_capped = false;       // the state budget ran out
+};
+
+struct Options {
+  /// Sleep-set partial-order reduction. Off = every interleaving (the
+  /// cross-validation mode behind `quora_model --no-dpor`).
+  bool dpor = true;
+};
+
+/// Bounded explicit-state exploration of a `.model` scope against the
+/// real `msg::Cluster` protocol code. Depth-first over every admissible
+/// schedule (per-direction FIFO is the only delivery-order constraint),
+/// snapshotting the cluster by value at each branch point; at every state
+/// it runs `msg::check_safety` plus the model-level properties and stops
+/// at the first violation.
+///
+/// Reduction: sleep sets over a conservative independence relation —
+/// deliveries/timers at distinct sites commute; submissions and faults
+/// are dependent with everything. The visited set stores 128-bit
+/// fingerprints (collision caveat: see docs/MODEL_CHECKING.md) and, with
+/// DPOR on, applies the covering rule — a revisit is pruned only when a
+/// cached exploration already covered at least the transitions the
+/// current one would try.
+///
+/// The scope must outlive the explorer (the cluster borrows its
+/// topology).
+class Explorer {
+public:
+  explicit Explorer(const Scope& scope, Options opt = {});
+
+  /// Explores until the first violation, exhaustion, or a budget cap.
+  std::optional<Violation> run();
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Replays `trace` on a fresh cluster, checking after every step.
+  /// Returns the violation at the first violating state (with `trace`
+  /// truncated there), or nullopt if the schedule no longer applies or
+  /// never violates.
+  std::optional<Violation> replay(const std::vector<Choice>& trace) const;
+
+  /// Greedy counterexample minimization: repeatedly drop any single step
+  /// whose removal still replays to a violation covering the original
+  /// code set, then truncate at the first violating state.
+  std::vector<Choice> minimize(const Violation& seed) const;
+
+private:
+  struct Transition;
+  struct SleepEntry;
+
+  msg::Cluster make_cluster() const;
+  std::vector<Transition> enabled_transitions(const msg::Cluster& c,
+                                              std::uint32_t submitted,
+                                              std::uint32_t faulted) const;
+  void apply(msg::Cluster& c, const Transition& t, std::uint32_t& submitted,
+             std::uint32_t& faulted) const;
+  std::optional<Violation> check_state(
+      const msg::Cluster& c, const std::vector<std::uint64_t>& prev_qr) const;
+  std::vector<std::uint64_t> stored_qr_versions(const msg::Cluster& c) const;
+
+  bool dfs(const msg::Cluster& cur, std::uint32_t submitted,
+           std::uint32_t faulted, std::vector<SleepEntry> sleep,
+           std::uint64_t depth, std::vector<std::uint64_t> prev_qr,
+           std::vector<Choice>& path);
+
+  const Scope* scope_;
+  Options opt_;
+  Stats stats_;
+  std::optional<Violation> found_;
+  /// fingerprint -> sleep-key sets it was explored under (each sorted).
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::vector<std::vector<std::uint64_t>>>
+      visited_;
+};
+
+} // namespace quora::model

@@ -74,7 +74,17 @@ Cluster::Cluster(const net::Topology& topo, Params params, std::uint64_t seed)
                          std::isfinite(params_.alpha),
                      "Cluster::Params: every timing parameter must be finite");
 
-  if (params_.lease_timeout <= 0.0) {
+  if (params_.model_mode) {
+    // Untimed-asynchrony abstraction: the explorer fires events in any
+    // order and the logical clock ticks once per transition, so a finite
+    // lease would let reordering fabricate lease-expiry races that no
+    // timed schedule exhibits. Leases release only via commit, abort, or
+    // crash. Retries are disabled for the same reason (their backoff
+    // draws jitter; the model relation must be RNG-free).
+    params_.lease_timeout = 1e12;
+    params_.max_retries = 0;
+    params_.backoff_jitter = 0.0;
+  } else if (params_.lease_timeout <= 0.0) {
     // One attempt's worst-case window: phase 1 plus the commit deadline,
     // with slack. Retries abort the old request id first, so the lease
     // only ever has to cover a single attempt.
@@ -98,6 +108,11 @@ Cluster::Cluster(const net::Topology& topo, Params params, std::uint64_t seed)
                           ? lat
                           : net::LinkLatency{0.0, params_.mean_hop_latency};
   }
+  if (params_.model_mode) {
+    // Unit base, zero jitter: send() draws no randomness, and arrival
+    // times only matter for per-direction FIFO ordering.
+    hop_latency_.assign(topo.link_count(), net::LinkLatency{1.0, 0.0});
+  }
 
   if (topo.has_domains()) {
     region_names_ = topo.regions();
@@ -113,6 +128,8 @@ Cluster::Cluster(const net::Topology& topo, Params params, std::uint64_t seed)
       }
     }
   }
+
+  if (params_.model_mode) return;  // no Poisson background events
 
   const double mu_f = params_.config.mu_fail();
   for (net::SiteId s = 0; s < topo.site_count(); ++s) {
@@ -229,6 +246,10 @@ void Cluster::attach_adaptive(adapt::AdaptiveController* controller) {
 
 void Cluster::push(Event e) {
   e.seq = next_seq_++;
+  if (params_.model_mode) {
+    model_queue_.push_back(e);
+    return;
+  }
   queue_.push(e);
 }
 
@@ -311,8 +332,12 @@ void Cluster::relay_toward_coordinator(net::SiteId at, const Message& m) {
 }
 
 void Cluster::handle_access(net::SiteId origin) {
-  const std::uint64_t request = next_request_++;
   const bool is_read = rng::bernoulli(gen_, params_.alpha);
+  submit_access(origin, is_read);
+}
+
+void Cluster::submit_access(net::SiteId origin, bool is_read) {
+  const std::uint64_t request = next_request_++;
   QUORA_METRIC_ADD(obs_accesses_, 1);
   QUORA_TRACE(trace_, obs::EventKind::kAccessSubmit, origin, request, 0,
               is_read ? std::uint8_t{1} : std::uint8_t{0});
@@ -500,6 +525,7 @@ void Cluster::decide(net::SiteId coordinator, std::uint64_t request,
       granted ? DenyReason::kNone
               : (reason == DenyReason::kNone ? DenyReason::kTimeout : reason);
   out.attempts = p.attempt;
+  out.votes_collected = granted ? (p.is_read ? p.votes : p.acked) : 0;
   out.qr_version = p.qr_version;
   out.oracle_granted = p.oracle_granted;
   out.version = p.best_version;
@@ -591,7 +617,7 @@ void Cluster::handle_delivery(const Event& e) {
       floods_[here][fk] = FloodState{e.index, true};
 
       const std::uint64_t my_version = qr_.stored(here).version;
-      if (m.qr_version < my_version) {
+      if (m.qr_version < my_version && !params_.mutations.accept_stale_qr) {
         // Stale-version rejection (§2.2): the coordinator is running a
         // superseded assignment. Refuse the vote and carry the newer
         // assignment back so it can adopt.
@@ -811,9 +837,14 @@ bool Cluster::maybe_crash_on_commit(net::SiteId coordinator,
 
 void Cluster::on_site_failed(net::SiteId s) {
   // Fail-stop: volatile coordination state is lost; every in-progress
-  // coordination this site led resolves as denied right now.
-  while (!pending_[s].empty()) {
-    decide(s, pending_[s].begin()->first, false, DenyReason::kCoordinatorCrash);
+  // coordination this site led resolves as denied right now. (The seeded
+  // mutation keeps the coordinations alive across the crash — the bug the
+  // model checker must rediscover as a duplicate commit version.)
+  if (!params_.mutations.skip_crash_cleanup) {
+    while (!pending_[s].empty()) {
+      decide(s, pending_[s].begin()->first, false,
+             DenyReason::kCoordinatorCrash);
+    }
   }
   floods_[s].clear();
   leases_[s] = Lease{};  // volatile
@@ -982,6 +1013,14 @@ void Cluster::apply_fault(const fault::Action& action) {
     case K::kSetRho:
       params_.config.rho = action.value;
       logf(log_, now_, buf, "fault set-rho %.9f", action.value);
+      break;
+    case K::kAccess:
+      // Scripted access: deterministic — no Poisson draw, no read/write
+      // coin flip — so counterexample replays pin the exact sequence the
+      // model checker explored.
+      logf(log_, now_, buf, "fault access origin=%u %s", action.site,
+           action.is_read ? "read" : "write");
+      submit_access(action.site, action.is_read);
       break;
     case K::kOneWayDown:
     case K::kOneWayUp: {

@@ -54,6 +54,10 @@ struct AccessOutcome {
   std::uint32_t attempts = 0;         // retries consumed (0 = first try decided)
   std::uint64_t version = 0;  // read: version returned; write: version written
   std::uint64_t value = 0;    // read result
+  /// Votes backing the grant: phase-1 votes for reads, phase-2 acks for
+  /// writes (0 on denials). The model checker asserts every grant is
+  /// backed by a quorum under the assignment it ran under.
+  net::Vote votes_collected = 0;
   /// QR assignment version the coordination ran under.
   std::uint64_t qr_version = 1;
   /// What the paper's instantaneous oracle (component votes at submit
@@ -118,6 +122,33 @@ public:
     double access_budget = 0.0;
     double alpha = 0.5;
     sim::SimConfig config;            // mu_access, rho, reliability
+
+    /// Seeded known-bad behaviours, used to validate that the model
+    /// checker and the chaos harness actually catch protocol bugs. All
+    /// false in production; nothing on any code path branches on them
+    /// when off, so transcripts stay byte-identical.
+    struct TestingMutations {
+      /// Drop the §2.2 stale-version rejection: a voter grants requests
+      /// stamped with a superseded QR assignment version.
+      bool accept_stale_qr = false;
+      /// Skip the crash-during-commit cleanup: a failed coordinator keeps
+      /// its in-progress coordinations instead of resolving them, so a
+      /// restarted site can assemble a quorum from pre-crash replies.
+      bool skip_crash_cleanup = false;
+      bool any() const noexcept { return accept_stale_qr || skip_crash_cleanup; }
+    };
+    TestingMutations mutations;
+
+    /// Model-checker mode (`tools/quora_model`): the explorer drives the
+    /// cluster one transition at a time under an untimed-asynchrony
+    /// abstraction. Construction then schedules no Poisson background
+    /// events, forces unit deterministic hop latencies (send() draws no
+    /// randomness), disables retries, and makes write-vote leases
+    /// effectively infinite (released only by commit/abort/crash) — a
+    /// finite lease would let arbitrary event reordering fabricate
+    /// lease-expiry races no timed schedule exhibits. See the model_*
+    /// methods and docs/MODEL_CHECKING.md.
+    bool model_mode = false;
 
     /// Hard cap on `max_retries`: backoff doubles per attempt, so budgets
     /// beyond this overflow any plausible schedule long before they run.
@@ -206,6 +237,58 @@ public:
   /// detach.
   void set_trace(obs::TraceRecorder* trace);
   void set_metrics(obs::Registry* registry);
+
+  // ---- Model-checker interface (Params::model_mode only) --------------
+  // The explorer owns the schedule: it enumerates the enabled transitions
+  // of a state, fires one, and snapshots/restores the cluster by value
+  // (call model_rebind() on every copy). The logical clock advances by
+  // exactly 1 per transition, so decision/submission timestamps order by
+  // firing sequence — which is what `check_safety`'s real-time
+  // comparisons then audit. See docs/MODEL_CHECKING.md.
+
+  enum class ModelEventKind : std::uint8_t {
+    kDelivery = 0,
+    kTimer = 1,
+    kRetry = 2,
+    kOther = 3,
+  };
+  /// One enabled transition. `seq` is the stable handle for
+  /// model_step_event and stays valid until the event fires.
+  struct ModelEvent {
+    std::uint64_t seq = 0;
+    ModelEventKind kind = ModelEventKind::kOther;
+    net::SiteId target = 0;     // delivery destination / timer owner
+    std::uint32_t index = 0;    // link id (deliveries)
+    std::uint64_t request = 0;  // timer/retry coordination id
+    int phase = 0;              // timer phase
+    Message message{};          // deliveries only
+  };
+
+  /// The currently enabled transitions. Links are FIFO per direction, so
+  /// only the earliest pending delivery of each directed link is enabled —
+  /// later ones cannot overtake it under any timing. Timers and retries
+  /// are always enabled ("the replies were slow").
+  std::vector<ModelEvent> model_enabled_events() const;
+  /// Fire the pending event with sequence number `seq` (must be enabled).
+  /// Returns false if no such event is pending.
+  bool model_step_event(std::uint64_t seq);
+  /// Submit one access deterministically (no Poisson arrival, no RNG).
+  void model_submit_access(net::SiteId origin, bool is_read);
+  /// Apply one fault-plan action immediately as its own transition.
+  void model_apply_fault(const fault::Action& action);
+  /// Serialize every behaviour-relevant piece of state (liveness, copies,
+  /// leases, coordinations, stored assignments, pending-event multiset,
+  /// safety-history digest) into `out` — the canonical form two states
+  /// compare equal under. Absolute times are excluded by design.
+  void model_serialize(std::vector<std::uint64_t>& out) const;
+  /// 128-bit FNV-style hash of model_serialize (collision caveat: the
+  /// visited set stores hashes, not states — see docs/MODEL_CHECKING.md).
+  std::array<std::uint64_t, 2> model_fingerprint() const;
+  /// Fix internal cross-references after a by-value copy: the component
+  /// tracker must observe this cluster's network, not the source's. Must
+  /// be called on every snapshot/restore copy before use. (Copying a
+  /// cluster with a trace recorder attached is not supported.)
+  void model_rebind() noexcept { tracker_.rebind(live_); }
 
 private:
   struct Pending {  // coordinator-side state
@@ -304,7 +387,16 @@ private:
   void relay_toward_coordinator(net::SiteId at, const Message& m);
   void handle_delivery(const Event& e);
   void handle_timer(const Event& e);
+  /// Model mode only: drop timers/retries whose request has been decided
+  /// or whose phase was superseded — handle_timer would ignore them, so
+  /// firing one is a pure no-op transition that only multiplies states.
+  void model_purge_dead_timers();
   void handle_access(net::SiteId origin);
+  /// The RNG-free tail of handle_access: allocate a request id, record
+  /// the oracle verdict, and start coordinating. The Poisson driver draws
+  /// read/write first; the model checker and scripted `access` fault
+  /// actions pass `is_read` explicitly.
+  void submit_access(net::SiteId origin, bool is_read);
   void start_coordination(net::SiteId origin, std::uint64_t request);
   void retry(net::SiteId coordinator, std::uint64_t old_request);
   void decide(net::SiteId coordinator, std::uint64_t request, bool granted,
@@ -366,6 +458,10 @@ private:
   bool adapt_realized_pending_ = false;
 
   QUORA_SHARD_LOCAL(msg) std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Model mode only: pending events live here (flat, scannable, erasable
+  /// by seq) instead of in the priority queue — the explorer, not time,
+  /// decides what fires next.
+  QUORA_SHARD_LOCAL(msg) std::vector<Event> model_queue_;
   QUORA_SHARD_LOCAL(msg) std::uint64_t next_seq_ = 0;
   QUORA_SHARD_LOCAL(msg) double now_ = 0.0;
 

@@ -101,6 +101,13 @@ void Simulator::reset() {
   schedule_initial_events();
 }
 
+Event Simulator::step_one() {
+  const Event e = queue_.pop();
+  now_ = e.time;
+  handle(e);
+  return e;
+}
+
 void Simulator::run_accesses(std::uint64_t count) {
   std::uint64_t remaining = count;
   while (remaining > 0) {

@@ -67,11 +67,28 @@ public:
   /// only touch sim-shard state (L007/L008).
   QUORA_HOT_PATH QUORA_SHARD_ENTRY(sim) void run_accesses(std::uint64_t count);
 
+  /// Process exactly one queued event — the same dispatch `run_accesses`
+  /// performs per iteration — and return it. Single-stepping is the
+  /// checkpoint-restore entry point: together with `rebind()` it lets a
+  /// driver (debugger, model harness) snapshot the simulator by value and
+  /// advance the copy and the original independently. The queue never
+  /// drains: the Poisson failure/repair/access processes reschedule
+  /// themselves, so `step_one` always has an event to pop.
+  Event step_one();
+
   /// Restore the initial all-up state, clear the clock, reschedule, and
   /// rewind the RNG — a subsequent run replays this simulator's history
   /// exactly. Observers stay attached. (The paper resets before each
   /// batch; independent batches come from distinct streams, not reset.)
   void reset();
+
+  /// Fix internal cross-references after a by-value copy: the component
+  /// tracker must observe this simulator's live network, not the
+  /// source's. Call on every snapshot/restore copy before use. Observers
+  /// and recorders are borrowed pointers and stay shared — copying a
+  /// simulator with a trace recorder attached is not supported (two
+  /// clocks, one recorder).
+  void rebind() noexcept { tracker_.rebind(live_); }
 
   /// Observers are notified in registration order; they are borrowed, not
   /// owned, and must outlive the simulator or be removed first.

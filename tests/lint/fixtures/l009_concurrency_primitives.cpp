@@ -1,0 +1,44 @@
+// L009: raw concurrency primitives in the protocol layers. The simulator
+// and the model checker single-step src/msg, src/quorum, src/fault, and
+// src/model deterministically; a raw mutex, atomic, or thread_local slot
+// introduces scheduling neither engine can see or explore. State that
+// really is shared across shards must say so with QUORA_SHARD_SHARED —
+// the declared shapes below are the sanctioned ones. Uses of an already
+// declared handle are not re-flagged: one finding per primitive mention.
+#include "fixture_support.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace {
+
+std::mutex g_table_lock;              // expect: L009
+std::atomic<int> g_inflight{0};       // expect: L009
+std::condition_variable g_wakeup;     // expect: L009
+thread_local unsigned g_scratch = 0;  // expect: L009
+
+QUORA_SHARD_SHARED std::atomic<long> g_epoch{0};  // declared shared: clean
+
+class Coordinator {
+public:
+  int grant() {
+    std::atomic_int hits{0};  // expect: L009
+    hits.fetch_add(1);
+    g_scratch += 1;          // touching the slot: flagged at the decl only
+    g_wakeup.notify_one();   // ditto for the condition variable
+    g_inflight.fetch_sub(1);
+    return hits.load() + static_cast<int>(g_epoch.load());
+  }
+
+private:
+  QUORA_SHARD_SHARED std::atomic<unsigned> version_{1};  // member: clean
+};
+
+} // namespace
+
+int main() {
+  Coordinator c;
+  std::lock_guard<std::mutex> hold(g_table_lock);  // expect: L009
+  return c.grant() == 0 ? 1 : 0;
+}

@@ -26,7 +26,7 @@ std::string marker() { return std::string("quora-lint") + ":"; }
 
 CheckScope all_scopes() {
   CheckScope s;
-  s.macro_args = s.entropy = s.unordered = s.raw_obs = true;
+  s.macro_args = s.entropy = s.unordered = s.raw_obs = s.concurrency = true;
   return s;
 }
 
@@ -92,7 +92,8 @@ TEST(LintCodes, TagsRoundTripAndUnknownTagsAreRejected) {
       LintCode::kL001SideEffectObsArg, LintCode::kL002SideEffectContractArg,
       LintCode::kL003ForbiddenEntropy, LintCode::kL004UnorderedIteration,
       LintCode::kL005RawObsCall,       LintCode::kL006HotPathAllocation,
-      LintCode::kL007CrossShardState,  LintCode::kL008UnsharedGlobalState};
+      LintCode::kL007CrossShardState,  LintCode::kL008UnsharedGlobalState,
+      LintCode::kL009RawConcurrencyPrimitive};
   static_assert(sizeof(all) / sizeof(all[0]) == kLintCodeCount,
                 "new codes must join the round-trip test");
   for (const LintCode c : all) {
@@ -275,6 +276,33 @@ TEST(LintChecksL005, FlagsRawCallsByNamingConvention) {
                                      LintCode::kL005RawObsCall}));
 }
 
+TEST(LintChecksL009, FlagsRawPrimitivesOutsideShardSharedDeclarations) {
+  const auto findings = check(
+      "std::mutex table_lock;\n"
+      "std::atomic<int> inflight{0};\n"
+      "thread_local int scratch = 0;\n"
+      "QUORA_SHARD_SHARED std::atomic<long> epoch{0};\n"
+      "void f() {\n"
+      "  std::atomic_int hits{0};\n"
+      "  inflight += 1;\n"        // use of a declared name: decl-site only
+      "  int mutex = 0;\n"        // bare identifier, not std::-qualified
+      "  (void)mutex; (void)hits;\n"
+      "}\n");
+  EXPECT_EQ(codes(findings).count(LintCode::kL009RawConcurrencyPrimitive), 4u);
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[1].line, 2u);
+  EXPECT_EQ(findings[2].line, 3u);  // line 4 is QUORA_SHARD_SHARED: clean
+  EXPECT_EQ(findings[3].line, 6u);
+}
+
+TEST(LintChecksL009, ShardSharedAnnotationCoversOneDeclarationOnly) {
+  const auto findings = check(
+      "QUORA_SHARD_SHARED std::atomic<long> epoch{0};\n"
+      "std::atomic<long> next_epoch{0};\n");  // the annotation does not leak
+  ASSERT_EQ(codes(findings).count(LintCode::kL009RawConcurrencyPrimitive), 1u);
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
 // ------------------------------------------------------------ scope map
 
 TEST(LintScope, MapsRepoLayersToChecks) {
@@ -283,11 +311,23 @@ TEST(LintScope, MapsRepoLayersToChecks) {
   EXPECT_TRUE(sim.entropy);
   EXPECT_FALSE(sim.unordered);
   EXPECT_TRUE(sim.raw_obs);
+  EXPECT_FALSE(sim.concurrency);  // the parallel simulator may synchronize
 
   const CheckScope fault = scope_for_path("src/fault/plan.cpp", false);
   EXPECT_TRUE(fault.entropy);
   EXPECT_TRUE(fault.unordered);
   EXPECT_TRUE(fault.raw_obs);
+  EXPECT_TRUE(fault.concurrency);
+
+  // Protocol layers the model checker single-steps get L009 (and the
+  // model scope is a deterministic layer, so L003 rides along).
+  const CheckScope msg = scope_for_path("src/msg/cluster.cpp", false);
+  EXPECT_TRUE(msg.concurrency);
+  const CheckScope model = scope_for_path("src/model/explorer.cpp", false);
+  EXPECT_TRUE(model.concurrency);
+  EXPECT_TRUE(model.entropy);
+  const CheckScope quorum = scope_for_path("src/quorum/assign.cpp", false);
+  EXPECT_TRUE(quorum.concurrency);
 
   // The obs layer's own internals are exactly where raw calls must live.
   const CheckScope obs = scope_for_path("src/obs/trace.cpp", false);
@@ -305,6 +345,7 @@ TEST(LintScope, MapsRepoLayersToChecks) {
   EXPECT_TRUE(forced.entropy);
   EXPECT_TRUE(forced.unordered);
   EXPECT_TRUE(forced.raw_obs);
+  EXPECT_TRUE(forced.concurrency);
 }
 
 // ---------------------------------------------------------- JSON output

@@ -184,7 +184,8 @@ INSTANTIATE_TEST_SUITE_P(AllChecks, LintFixture,
                                            "l005_raw_obs_calls.cpp",
                                            "l006_hot_path_alloc.cpp",
                                            "l007_shard_confinement.cpp",
-                                           "l008_global_state.cpp"),
+                                           "l008_global_state.cpp",
+                                           "l009_concurrency_primitives.cpp"),
                          [](const auto& param_info) {
                            // Full fixture name, gtest-sanitized: two
                            // fixtures may share an L-code prefix.
@@ -272,7 +273,7 @@ TEST(LintCli, ListChecksNamesTheWholeTaxonomy) {
   const LintRun run = run_lint("--list-checks");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* tag : {"L001", "L002", "L003", "L004", "L005", "L006",
-                          "L007", "L008"}) {
+                          "L007", "L008", "L009"}) {
     EXPECT_NE(run.output.find(tag), std::string::npos) << run.output;
   }
 }

@@ -91,7 +91,7 @@ TEST(Chaos, CleanPartitionDegradesAvailabilityNotSafety) {
   const ChaosRun run =
       run_chaos(topo, chaos_params(4, 7), plan, 17, 120.0);
 
-  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front();
+  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front().message;
   expect_versions_name_unique_values(run);
   // The 4-site side can never reach q_r=4... it holds exactly 4 votes, so
   // reads survive there; writes (q_w=7) die on both metrics during the
@@ -126,7 +126,7 @@ TEST(Chaos, CrashDuringCommitLeavesConsistentVersions) {
   // semantics must absorb it: later writes pick strictly newer versions
   // (no duplicate commit), later reads never go backwards, and any site
   // that applied the orphaned commit agrees on its value.
-  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front();
+  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front().message;
   expect_versions_name_unique_values(run);
 
   // The system keeps committing after both crashes.
@@ -175,7 +175,7 @@ TEST(Chaos, RetriesRecoverTimeoutsOnALossyNetwork) {
       EXPECT_EQ(o.attempts, 0u);
     }
   }
-  EXPECT_TRUE(retried.safety.ok()) << retried.safety.violations.front();
+  EXPECT_TRUE(retried.safety.ok()) << retried.safety.violations.front().message;
   expect_versions_name_unique_values(retried);
 }
 
@@ -201,7 +201,7 @@ TEST(Chaos, ReassignmentMidPartitionRejectsStaleCoordinators) {
   EXPECT_GT(count_reason(run, DenyReason::kStaleAssignment), 0u);
   // §2.2 safety: nothing was ever *granted* under the superseded
   // assignment after the install decided, and reads stayed consistent.
-  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front();
+  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front().message;
   expect_versions_name_unique_values(run);
   // After the full heal everyone converges on version 2.
   std::uint64_t granted_v2_after_heal = 0;
@@ -228,7 +228,7 @@ TEST(Chaos, OriginDownAccessesGetTheirOwnReason) {
       EXPECT_LT(o.submit_time, 70.0);
     }
   }
-  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front();
+  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front().message;
 }
 
 TEST(Chaos, SameSeedRunsReplayByteIdenticalLogs) {
@@ -320,8 +320,8 @@ TEST(Chaos, RegionOutageSparesDomainSpreadAssignments) {
       run_chaos(weighted_topo, chaos_params(21, 21), plan, 404, 240.0);
 
   EXPECT_TRUE(spread.log.contains("fault domain-down rg0 sites=8"));
-  EXPECT_TRUE(spread.safety.ok()) << spread.safety.violations.front();
-  EXPECT_TRUE(weighted.safety.ok()) << weighted.safety.violations.front();
+  EXPECT_TRUE(spread.safety.ok()) << spread.safety.violations.front().message;
+  EXPECT_TRUE(weighted.safety.ok()) << weighted.safety.violations.front().message;
 
   const double spread_avail =
       availability_outside_rg0(spread, spread_topo, 70.0, 150.0);
@@ -363,7 +363,7 @@ TEST(Chaos, RackCascadeIsDeterministicAndScoped) {
         return l.find("fault correlated") != std::string::npos;
       });
   EXPECT_EQ(correlated, 3);
-  EXPECT_TRUE(a.safety.ok()) << a.safety.violations.front();
+  EXPECT_TRUE(a.safety.ok()) << a.safety.violations.front().message;
   expect_versions_name_unique_values(a);
 }
 
@@ -412,7 +412,7 @@ TEST(Chaos, CrashOnCommitImmediateRestartNeverLeavesTheUpSet) {
   // ...but the site restarts at the same instant: it never observably
   // leaves the up set, so no later access is denied for a down origin.
   EXPECT_EQ(count_reason(run, DenyReason::kOriginDown), 0u);
-  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front();
+  EXPECT_TRUE(run.safety.ok()) << run.safety.violations.front().message;
   expect_versions_name_unique_values(run);
 
   // Contrast: the same trigger with a real down-time strands accesses

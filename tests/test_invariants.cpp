@@ -1,0 +1,159 @@
+// Direct unit coverage of msg::check_safety on hand-crafted violating
+// histories — one test per Invariant code (src/msg/invariants.hpp). The
+// simulation suites only reach these paths when a fault plan actually
+// breaks the protocol; here each detector is pinned down in isolation
+// through the borrowed SafetyView, with no Cluster in sight.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "msg/invariants.hpp"
+
+namespace {
+
+using quora::msg::AccessOutcome;
+using quora::msg::Cluster;
+using quora::msg::Invariant;
+using quora::msg::SafetyReport;
+using quora::msg::SafetyView;
+using quora::msg::check_safety;
+
+AccessOutcome granted(double submit, double decide, bool is_read,
+                      std::uint64_t version, std::uint64_t qr_version = 1) {
+  AccessOutcome o;
+  o.submit_time = submit;
+  o.decide_time = decide;
+  o.is_read = is_read;
+  o.granted = true;
+  o.version = version;
+  o.qr_version = qr_version;
+  return o;
+}
+
+TEST(Invariants, CleanHistoriesReportSafe) {
+  const std::vector<AccessOutcome> outcomes = {
+      granted(1.0, 2.0, /*is_read=*/false, 1),
+      granted(3.0, 4.0, /*is_read=*/true, 1),
+  };
+  const std::vector<Cluster::CommitRecord> commits = {{1, 2.0}};
+  const SafetyReport report = check_safety(SafetyView{&outcomes, &commits,
+                                                      nullptr});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.reads_checked, 1u);
+  EXPECT_EQ(report.writes_checked, 1u);
+}
+
+TEST(Invariants, StaleReadIsCaught) {
+  // v2's commit decided at t=2; a read submitted at t=3 returning v1
+  // missed a write that finished strictly before it started.
+  const std::vector<AccessOutcome> outcomes = {
+      granted(3.0, 4.0, /*is_read=*/true, 1),
+  };
+  const std::vector<Cluster::CommitRecord> commits = {{1, 1.0}, {2, 2.0}};
+  const SafetyReport report = check_safety(SafetyView{&outcomes, &commits,
+                                                      nullptr});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Invariant::kReadConsistency));
+  EXPECT_NE(report.violations[0].message.find("[stale-read]"),
+            std::string::npos);
+}
+
+TEST(Invariants, ReadConcurrentWithWriteMayMissIt) {
+  // The write decides AFTER the read submits — missing it is allowed
+  // (real-time consistency only orders non-overlapping operations).
+  const std::vector<AccessOutcome> outcomes = {
+      granted(1.5, 3.0, /*is_read=*/true, 1),
+  };
+  const std::vector<Cluster::CommitRecord> commits = {{1, 1.0}, {2, 2.0}};
+  EXPECT_TRUE(check_safety(SafetyView{&outcomes, &commits, nullptr}).ok());
+}
+
+TEST(Invariants, DuplicateVersionIsCaught) {
+  // Two writes both committed v5 — the write-lease/quorum-intersection
+  // guarantee is broken. No outcomes needed: the commit log says it all.
+  const std::vector<Cluster::CommitRecord> commits = {{4, 1.0}, {5, 2.0},
+                                                      {5, 3.0}};
+  const SafetyReport report = check_safety(SafetyView{nullptr, &commits,
+                                                      nullptr});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Invariant::kUniqueVersions));
+  EXPECT_NE(report.violations[0].message.find("[duplicate-version]"),
+            std::string::npos);
+}
+
+TEST(Invariants, StaleAssignmentGrantIsCaught) {
+  // QR v2 was installed (decided) at t=2; an access submitted at t=3
+  // still ran under v1 — §2.2 requires the voter to reject it.
+  const std::vector<AccessOutcome> outcomes = {
+      granted(3.0, 4.0, /*is_read=*/true, 1, /*qr_version=*/1),
+  };
+  const std::vector<Cluster::InstallRecord> installs = {
+      {2, 2.0, 0, quora::quorum::QuorumSpec{1, 3}},
+  };
+  const SafetyReport report = check_safety(SafetyView{&outcomes, nullptr,
+                                                      &installs});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Invariant::kFreshAssignment));
+  EXPECT_NE(report.violations[0].message.find("[stale-assignment]"),
+            std::string::npos);
+}
+
+TEST(Invariants, AccessUnderFreshAssignmentIsSafe) {
+  // Same history, but the access ran under the installed version.
+  const std::vector<AccessOutcome> outcomes = {
+      granted(3.0, 4.0, /*is_read=*/true, 1, /*qr_version=*/2),
+  };
+  const std::vector<Cluster::InstallRecord> installs = {
+      {2, 2.0, 0, quora::quorum::QuorumSpec{1, 3}},
+  };
+  EXPECT_TRUE(check_safety(SafetyView{&outcomes, nullptr, &installs}).ok());
+}
+
+TEST(Invariants, AcausalDecisionIsCaught) {
+  // Decided before it was submitted. Denials are checked too — causality
+  // is about the records, not the verdict.
+  std::vector<AccessOutcome> outcomes = {granted(5.0, 4.0, true, 1)};
+  outcomes[0].granted = false;
+  const SafetyReport report = check_safety(SafetyView{&outcomes, nullptr,
+                                                      nullptr});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Invariant::kCausalTimes));
+  EXPECT_NE(report.violations[0].message.find("[acausal-decision]"),
+            std::string::npos);
+}
+
+TEST(Invariants, NonFiniteDecisionTimeIsAcausal) {
+  const std::vector<AccessOutcome> outcomes = {
+      granted(1.0, std::numeric_limits<double>::infinity(), true, 1),
+  };
+  EXPECT_TRUE(check_safety(SafetyView{&outcomes, nullptr, nullptr})
+                  .has(Invariant::kCausalTimes));
+}
+
+TEST(Invariants, CommitLogOutOfOrderIsCaught) {
+  // The later entry decided earlier — the append-order precondition the
+  // binary-searched invariants rely on is broken.
+  const std::vector<Cluster::CommitRecord> commits = {{1, 5.0}, {2, 3.0}};
+  const SafetyReport report = check_safety(SafetyView{nullptr, &commits,
+                                                      nullptr});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Invariant::kCommitOrder));
+  EXPECT_NE(report.violations[0].message.find("[commit-order]"),
+            std::string::npos);
+}
+
+TEST(Invariants, SlugsAreStableAndUnique) {
+  EXPECT_STREQ(quora::msg::invariant_slug(Invariant::kReadConsistency),
+               "stale-read");
+  EXPECT_STREQ(quora::msg::invariant_slug(Invariant::kUniqueVersions),
+               "duplicate-version");
+  EXPECT_STREQ(quora::msg::invariant_slug(Invariant::kFreshAssignment),
+               "stale-assignment");
+  EXPECT_STREQ(quora::msg::invariant_slug(Invariant::kCausalTimes),
+               "acausal-decision");
+  EXPECT_STREQ(quora::msg::invariant_slug(Invariant::kCommitOrder),
+               "commit-order");
+}
+
+} // namespace

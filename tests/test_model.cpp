@@ -1,0 +1,201 @@
+// Unit coverage of src/model: the `.model` scope parser/auditor and the
+// bounded explorer on scopes small enough to exhaust in milliseconds.
+// The end-to-end seeded-mutation checks live in test_model_mutations.cpp
+// (sanitizer-slow suite) and the ctest harness targets.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "io/config_audit.hpp"
+#include "io/topology_io.hpp"
+#include "model/explorer.hpp"
+#include "model/scope.hpp"
+
+namespace {
+
+using quora::io::AuditCode;
+using quora::io::AuditReport;
+using quora::io::AuditSeverity;
+using quora::model::Explorer;
+using quora::model::Options;
+using quora::model::Scope;
+using quora::model::Violation;
+
+Scope parse(const std::string& text) {
+  std::istringstream in(text);
+  return quora::model::load_model(in);
+}
+
+AuditReport audit(const std::string& text) {
+  std::istringstream in(text);
+  return quora::model::audit_model(in);
+}
+
+std::size_t errors_with(const AuditReport& report, AuditCode code) {
+  std::size_t n = 0;
+  for (const auto& f : report.findings) {
+    if (f.code == code && f.severity == AuditSeverity::kError) ++n;
+  }
+  return n;
+}
+
+constexpr const char* kTinyScope =
+    "name unit-tiny\n"
+    "quorum 1 2\n"
+    "sites 2\n"
+    "link 0 1\n"
+    "at 1 access 0 write\n"
+    "depth 24\n"
+    "states 100000\n";
+
+TEST(ModelScope, ParsesDirectivesAndSplitsActions) {
+  const Scope scope = parse(
+      "name split\n"
+      "quorum 2 2\n"
+      "sites 3\n"
+      "ring\n"
+      "at 1 access 0 write\n"
+      "at 2 access 2 read\n"
+      "at 3 link 0 down\n"
+      "at 4 link 0 up\n"
+      "depth 32\n"
+      "states 5000\n");
+  EXPECT_EQ(scope.name(), "split");
+  EXPECT_EQ(scope.max_depth, 32u);
+  EXPECT_EQ(scope.max_states, 5000u);
+  ASSERT_EQ(scope.accesses.size(), 2u);
+  EXPECT_FALSE(scope.accesses[0].is_read);
+  EXPECT_TRUE(scope.accesses[1].is_read);
+  ASSERT_EQ(scope.faults.size(), 2u);  // distinct labels: two atomic steps
+  EXPECT_EQ(scope.faults[0].size(), 1u);
+  EXPECT_EQ(scope.faults[1].size(), 1u);
+}
+
+TEST(ModelScope, CrashFormsOneAtomicFaultGroup) {
+  // `crash S for 0` expands to a down/up pair sharing one label — the
+  // explorer must fire it as a single instantaneous transition.
+  const Scope scope = parse(
+      "quorum 2 2\nsites 3\nring\n"
+      "at 1 access 0 write\n"
+      "at 2 crash 1 for 0\n");
+  ASSERT_EQ(scope.faults.size(), 1u);
+  ASSERT_EQ(scope.faults[0].size(), 2u);
+  EXPECT_EQ(scope.faults[0][0].kind, quora::fault::Action::Kind::kSiteDown);
+  EXPECT_EQ(scope.faults[0][1].kind, quora::fault::Action::Kind::kSiteUp);
+}
+
+TEST(ModelScope, DistinctLabelsStaySeparateSteps) {
+  const Scope scope = parse(
+      "quorum 2 2\nsites 3\nring\n"
+      "at 1 access 0 write\n"
+      "at 2 site 1 down\n"
+      "at 3 site 1 up\n");
+  ASSERT_EQ(scope.faults.size(), 2u);
+}
+
+TEST(ModelScope, DepthDirectiveValidates) {
+  EXPECT_THROW(parse("depth 0\n"), quora::io::ParseError);
+  EXPECT_THROW(parse("depth\n"), quora::io::ParseError);
+  EXPECT_THROW(parse("states 10 trailing\n"), quora::io::ParseError);
+}
+
+TEST(ModelScope, ParseErrorKeepsOriginalLineNumbers) {
+  // depth/states lines are stripped before the chaos parser runs; blank
+  // substitution must keep downstream line numbers aligned.
+  try {
+    parse("depth 10\nstates 20\nbogus-directive 1\n");
+    FAIL() << "expected ParseError";
+  } catch (const quora::io::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelAudit, AcceptsAWellFormedScope) {
+  EXPECT_TRUE(audit(kTinyScope).ok());
+}
+
+TEST(ModelAudit, FlagsScopeBeyondTheExplorableBounds) {
+  const AuditReport report = audit(
+      "quorum 4 4\nsites 6\nring\n"
+      "at 1 link 0 down\n"
+      "depth 100000\nstates 200000000\n");
+  // 6 sites, no access, depth and states over their caps: four errors.
+  EXPECT_EQ(errors_with(report, AuditCode::kModelScopeConfig), 4u);
+}
+
+TEST(ModelAudit, FlagsAlphabetTheModelCannotExpress) {
+  const AuditReport report = audit(
+      "quorum 2 2\nsites 3\nring\n"
+      "at 1 access 0 write\n"
+      "at 2 crash-on-commit any for 10\n"
+      "at 3 reliability 0.5\n"
+      "window 1 5 drop 0.5\n");
+  EXPECT_EQ(errors_with(report, AuditCode::kModelScopeConfig), 3u);
+}
+
+TEST(ModelAudit, WarnsOnIgnoredTimedDirectives) {
+  const AuditReport report = audit(
+      "quorum 1 2\nsites 2\nlink 0 1\n"
+      "seed 7\nhorizon 50\n"
+      "at 1 access 0 write\n");
+  EXPECT_TRUE(report.ok());  // warnings only
+  std::size_t warnings = 0;
+  for (const auto& f : report.findings) {
+    if (f.code == AuditCode::kModelScopeConfig &&
+        f.severity == AuditSeverity::kWarning) {
+      ++warnings;
+    }
+  }
+  EXPECT_EQ(warnings, 2u);
+}
+
+TEST(ModelExplorer, ExhaustsATinyScopeSafely) {
+  const Scope scope = parse(kTinyScope);
+  Explorer explorer(scope);
+  EXPECT_FALSE(explorer.run().has_value());
+  const quora::model::Stats& stats = explorer.stats();
+  EXPECT_GT(stats.unique_states, 1u);
+  EXPECT_FALSE(stats.state_capped);
+  EXPECT_FALSE(stats.depth_capped);
+  EXPECT_EQ(stats.explored, stats.transitions + 1);  // a DFS tree
+}
+
+TEST(ModelExplorer, DporAgreesWithFullExploration) {
+  const Scope scope = parse(
+      "quorum 2 2\nsites 3\nlink 0 1\nlink 1 2\n"
+      "at 1 access 0 write\n"
+      "at 2 access 2 read\n"
+      "depth 32\nstates 100000\n");
+  Explorer with_dpor(scope, Options{/*dpor=*/true});
+  Explorer without(scope, Options{/*dpor=*/false});
+  EXPECT_FALSE(with_dpor.run().has_value());
+  EXPECT_FALSE(without.run().has_value());
+  // Both complete the scope, agree on the reachable unique states, and
+  // DPOR does strictly less work.
+  EXPECT_EQ(with_dpor.stats().unique_states, without.stats().unique_states);
+  EXPECT_GT(with_dpor.stats().sleep_pruned, 0u);
+  EXPECT_EQ(without.stats().sleep_pruned, 0u);
+  EXPECT_LE(with_dpor.stats().transitions, without.stats().transitions);
+}
+
+TEST(ModelExplorer, StateBudgetCapsAreReported) {
+  Scope scope = parse(
+      "quorum 2 2\nsites 3\nring\n"
+      "at 1 access 0 write\n"
+      "at 2 access 2 write\n");
+  scope.max_states = 50;
+  Explorer explorer(scope);
+  EXPECT_FALSE(explorer.run().has_value());
+  EXPECT_TRUE(explorer.stats().state_capped);
+}
+
+TEST(ModelExplorer, ReplayOfAnEmptyTraceIsSafe) {
+  const Scope scope = parse(kTinyScope);
+  const Explorer explorer(scope);
+  EXPECT_FALSE(explorer.replay({}).has_value());
+}
+
+} // namespace

@@ -209,11 +209,14 @@ TEST(QuoraCheck, AuditCodeNamesAreUniqueSlugs) {
       AuditCode::kEvenVoteTotal,        AuditCode::kCoterieIntersection,
       AuditCode::kCoterieMinimality,    AuditCode::kChaosBadSchedule,
       AuditCode::kChaosUnknownTarget,   AuditCode::kDomainConfig,
+      AuditCode::kAdaptConfig,          AuditCode::kModelScopeConfig,
   };
   std::set<std::string> names;
   for (const AuditCode code : all) names.insert(audit_code_name(code));
   EXPECT_EQ(names.size(), std::size(all));
   EXPECT_STREQ(audit_code_name(AuditCode::kDomainConfig), "domain-config");
+  EXPECT_STREQ(audit_code_name(AuditCode::kModelScopeConfig),
+               "model-scope-config");
 }
 
 TEST(QuoraCheck, DuplicateDomainDefinitionRejected) {

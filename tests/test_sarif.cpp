@@ -315,4 +315,35 @@ TEST(SarifWriter, AdaptConfigCodeRoundTrips) {
             "adapt_threshold 1.5 outside [0, 1]");
 }
 
+TEST(SarifWriter, ModelScopeConfigCodeRoundTrips) {
+  // The `.model` scope audit code (quora_check on model-checker scopes)
+  // must appear in the shared rule table and survive the writer round
+  // trip like every other code.
+  const std::vector<SarifRule> rules = quora::io::audit_sarif_rules();
+  std::size_t row = rules.size();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].id == "model-scope-config") row = i;
+  }
+  ASSERT_LT(row, rules.size()) << "model-scope-config missing from rule table";
+
+  quora::io::AuditFinding finding;
+  finding.code = quora::io::AuditCode::kModelScopeConfig;
+  finding.severity = quora::io::AuditSeverity::kError;
+  finding.message = "scope has 6 sites; bounded exploration handles at most 4";
+  const SarifResult mapped = quora::io::audit_sarif_result(
+      finding, "examples/model/broken/too_large.model");
+  EXPECT_EQ(mapped.rule_id, "model-scope-config");
+  EXPECT_EQ(mapped.level, "error");
+
+  const Json log = write_and_parse(rules, {mapped}, "quora_check");
+  const Json& result = log.at("runs").array[0].at("results").array[0];
+  EXPECT_EQ(result.at("ruleId").str, "model-scope-config");
+  ASSERT_TRUE(result.has("ruleIndex"));
+  EXPECT_EQ(static_cast<std::size_t>(result.at("ruleIndex").number), row);
+  const Json& physical =
+      result.at("locations").array[0].at("physicalLocation");
+  EXPECT_EQ(physical.at("artifactLocation").at("uri").str,
+            "examples/model/broken/too_large.model");
+}
+
 } // namespace

@@ -311,5 +311,59 @@ TEST(ForEachBatch, ZeroBatchesIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(SimulatorStepOne, MatchesTheBatchRunEventForEvent) {
+  // step_one is the same dispatch run_accesses performs per iteration, so
+  // stepping N accesses by hand must land on the identical trajectory.
+  const net::Topology topo = net::make_ring(5);
+  Simulator batch(topo, SimConfig{}, AccessSpec{}, /*seed=*/42);
+  Simulator stepped(topo, SimConfig{}, AccessSpec{}, /*seed=*/42);
+
+  batch.run_accesses(500);
+  std::uint64_t accesses = 0;
+  while (accesses < 500) {
+    if (stepped.step_one().kind == EventKind::kAccess) ++accesses;
+  }
+
+  EXPECT_DOUBLE_EQ(stepped.now(), batch.now());
+  EXPECT_EQ(stepped.counters().accesses, batch.counters().accesses);
+  EXPECT_EQ(stepped.counters().site_failures, batch.counters().site_failures);
+  EXPECT_EQ(stepped.counters().link_failures, batch.counters().link_failures);
+  for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+    EXPECT_EQ(stepped.network().is_site_up(s), batch.network().is_site_up(s));
+  }
+}
+
+TEST(SimulatorStepOne, CheckpointRestoreForksTheRun) {
+  // Snapshot by value + rebind: the copy continues the run identically,
+  // and advancing it leaves the original untouched.
+  const net::Topology topo = net::make_ring(5);
+  Simulator sim(topo, SimConfig{}, AccessSpec{}, /*seed=*/7);
+  sim.run_accesses(200);
+
+  Simulator fork = sim;
+  fork.rebind();
+  const double paused_at = sim.now();
+
+  Simulator reference(topo, SimConfig{}, AccessSpec{}, /*seed=*/7);
+  reference.run_accesses(200);
+  fork.run_accesses(300);
+  reference.run_accesses(300);
+
+  EXPECT_DOUBLE_EQ(sim.now(), paused_at);  // original undisturbed
+  EXPECT_DOUBLE_EQ(fork.now(), reference.now());
+  EXPECT_EQ(fork.counters().accesses, reference.counters().accesses);
+  EXPECT_EQ(fork.counters().site_failures,
+            reference.counters().site_failures);
+  EXPECT_EQ(fork.counters().link_recoveries,
+            reference.counters().link_recoveries);
+
+  // The tracker of the fork must be watching the fork's own network:
+  // component queries agree with the reference at the same instant.
+  for (net::SiteId s = 0; s < topo.site_count(); ++s) {
+    EXPECT_EQ(fork.tracker().component_votes(s),
+              reference.tracker().component_votes(s));
+  }
+}
+
 } // namespace
 } // namespace quora::sim

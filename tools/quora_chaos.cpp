@@ -187,6 +187,13 @@ RunResult run_plan(const fault::ChaosSpec& spec, std::uint64_t seed,
     params.spec = quorum::QuorumSpec{majority, majority};
   }
   params.max_retries = max_retries;
+  // Seeded protocol mutations (checker-validation fixtures): the plan
+  // opts into a known-bad behaviour so the counterexample it carries
+  // reproduces the violation. audit_chaos warns on these.
+  for (const std::string& m : spec.mutations) {
+    if (m == "accept-stale-qr") params.mutations.accept_stale_qr = true;
+    if (m == "skip-crash-cleanup") params.mutations.skip_crash_cleanup = true;
+  }
   if (plan_shifts_failure_rates(spec.plan)) {
     // The plan ramps the background failure process itself, so that
     // process must be live: the simulator defaults (sites up 96% of the
@@ -372,8 +379,8 @@ int run_sweep(const Options& opt) {
       if (!run.safety.ok()) {
         std::cout << "  SAFETY VIOLATIONS (seed "
                   << sweep.first_seed + k << "):\n";
-        for (const std::string& v : run.safety.violations) {
-          std::cout << "    " << v << '\n';
+        for (const quora::msg::SafetyViolation& v : run.safety.violations) {
+          std::cout << "    " << v.message << '\n';
         }
       }
     }
@@ -762,8 +769,8 @@ int main(int argc, char** argv) {
     if (!run.safety.ok()) {
       std::cout << "  SAFETY VIOLATIONS (" << run.safety.violations.size()
                 << "):\n";
-      for (const std::string& v : run.safety.violations) {
-        std::cout << "    " << v << '\n';
+      for (const quora::msg::SafetyViolation& v : run.safety.violations) {
+        std::cout << "    " << v.message << '\n';
       }
     }
     if (!deterministic) {

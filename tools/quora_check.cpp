@@ -1,5 +1,5 @@
-// quora-check — static audit of topology/vote/quorum configurations and
-// .chaos fault-plan scenarios.
+// quora-check — static audit of topology/vote/quorum configurations,
+// .chaos fault-plan scenarios, and .model explorer scopes.
 //
 //   quora_check [--json] [--strict] [--quiet] FILE...
 //
@@ -25,13 +25,21 @@
 
 #include "fault/chaos_audit.hpp"
 #include "io/config_audit.hpp"
+#include "model/scope.hpp"
 
 namespace {
 
-bool is_chaos_file(const std::string& path) {
-  const std::string suffix = ".chaos";
+bool has_suffix(const std::string& path, const std::string& suffix) {
   return path.size() >= suffix.size() &&
          path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_chaos_file(const std::string& path) {
+  return has_suffix(path, ".chaos");
+}
+
+bool is_model_file(const std::string& path) {
+  return has_suffix(path, ".model");
 }
 
 [[noreturn]] void usage() {
@@ -87,9 +95,11 @@ int main(int argc, char** argv) {
     quora::io::AuditReport report;
     try {
       // .chaos scenarios get the fault-plan audit (schedule sanity plus
-      // topology range checks); everything else is a plain configuration.
-      report = is_chaos_file(file) ? quora::fault::audit_chaos_file(file)
-                                   : quora::io::audit_config_file(file);
+      // topology range checks), .model scopes the explorer-scope audit
+      // (model-scope-config); everything else is a plain configuration.
+      report = is_chaos_file(file)   ? quora::fault::audit_chaos_file(file)
+               : is_model_file(file) ? quora::model::audit_model_file(file)
+                                     : quora::io::audit_config_file(file);
     } catch (const std::exception& e) {
       std::cerr << "quora_check: " << e.what() << '\n';
       return 2;

@@ -385,6 +385,62 @@ void check_raw_obs(std::string_view path, const std::vector<Token>& toks,
   }
 }
 
+// The std:: vocabulary L009 forbids in protocol layers. `atomic_*`
+// (atomic_int, atomic_flag, atomic_load, ...) is matched by prefix below.
+constexpr std::array<std::string_view, 9> kSyncPrimitives = {
+    "mutex",          "recursive_mutex",    "shared_mutex",
+    "timed_mutex",    "recursive_timed_mutex", "shared_timed_mutex",
+    "atomic",         "condition_variable", "condition_variable_any"};
+
+/// True when a QUORA_SHARD_SHARED annotation opens the declaration the
+/// token at `i` belongs to: scan back to the previous statement boundary.
+/// Initializer braces come after the type name, so they never mask the
+/// annotation; a boundary before finding it means the declaration (or a
+/// mid-function use) is unannotated.
+bool declared_shard_shared(const std::vector<Token>& toks, std::size_t i) {
+  while (i-- > 0) {
+    const Token& t = toks[i];
+    if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}")) return false;
+    if (is_ident(t, "QUORA_SHARD_SHARED")) return true;
+  }
+  return false;
+}
+
+void check_concurrency(std::string_view path, const std::vector<Token>& toks,
+                       std::vector<Finding>* out) {
+  auto report = [&](const Token& at, const std::string& what) {
+    Finding f;
+    f.code = LintCode::kL009RawConcurrencyPrimitive;
+    f.severity = LintSeverity::kError;
+    f.path = std::string(path);
+    f.line = at.line;
+    f.column = at.column;
+    f.message = what +
+                " in a protocol layer; the simulator and the model checker "
+                "single-step these modules, so raw synchronization hides "
+                "interleavings from them — declare deliberately shared "
+                "state QUORA_SHARD_SHARED or hoist the primitive out";
+    out->push_back(std::move(f));
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    // `thread_local` is a keyword: no std:: qualification to anchor on.
+    if (t.text == "thread_local") {
+      if (!declared_shard_shared(toks, i)) report(t, "'thread_local' storage");
+      continue;
+    }
+    // Everything else must be spelled std::-qualified to count — bare
+    // `mutex`/`atomic` identifiers are common false-positive territory
+    // (member names, template parameters); the AST engine resolves those.
+    if (i < 2 || !is_punct(toks[i - 1], "::") || !is_ident(toks[i - 2], "std"))
+      continue;
+    bool sync = starts_with(t.text, "atomic_");
+    for (std::string_view s : kSyncPrimitives) sync = sync || t.text == s;
+    if (sync && !declared_shard_shared(toks, i)) report(t, "std::" + t.text);
+  }
+}
+
 } // namespace
 
 void run_token_checks(std::string_view path, std::string_view text,
@@ -394,6 +450,7 @@ void run_token_checks(std::string_view path, std::string_view text,
   if (scope.entropy) check_entropy(path, toks, out);
   if (scope.unordered) check_unordered(path, toks, out);
   if (scope.raw_obs) check_raw_obs(path, toks, out);
+  if (scope.concurrency) check_concurrency(path, toks, out);
 }
 
 } // namespace quora::lint

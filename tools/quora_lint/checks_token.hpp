@@ -12,14 +12,18 @@ namespace quora::lint {
 /// repo-relative path (see `scope_for_path` in the driver); tests can
 /// force everything on with --all-scopes.
 struct CheckScope {
-  bool macro_args = true;   // L001 + L002 — everywhere
-  bool entropy = false;     // L003 — deterministic layers only
-  bool unordered = false;   // L004 — transcript-feeding modules only
-  bool raw_obs = false;     // L005 — src/ minus src/obs
+  bool macro_args = true;    // L001 + L002 — everywhere
+  bool entropy = false;      // L003 — deterministic layers only
+  bool unordered = false;    // L004 — transcript-feeding modules only
+  bool raw_obs = false;      // L005 — src/ minus src/obs
+  bool concurrency = false;  // L009 — protocol layers the model checker
+                             // schedules (src/msg, src/quorum, src/fault,
+                             // src/model)
 };
 
-/// Runs the lexical implementations of L001–L005 over one file's text and
-/// appends findings (suppression/baseline matching is the driver's job).
+/// Runs the lexical implementations of L001–L005 and L009 over one file's
+/// text and appends findings (suppression/baseline matching is the
+/// driver's job).
 ///
 /// What the token engine can and cannot see is documented per check in
 /// docs/STATIC_ANALYSIS.md; the short version: it is macro-expansion- and

@@ -38,12 +38,14 @@ std::string to_repo_relative(const fs::path& p, const fs::path& root) {
 CheckScope scope_for_path(std::string_view rel_path, bool all_scopes) {
   CheckScope scope;
   if (all_scopes) {
-    scope.macro_args = scope.entropy = scope.unordered = scope.raw_obs = true;
+    scope.macro_args = scope.entropy = scope.unordered = scope.raw_obs =
+        scope.concurrency = true;
     return scope;
   }
   scope.macro_args = true;
   for (std::string_view dir : {"src/sim/", "src/msg/", "src/core/",
-                               "src/conn/", "src/fault/", "src/dyn/"}) {
+                               "src/conn/", "src/fault/", "src/dyn/",
+                               "src/model/"}) {
     if (starts_with(rel_path, dir)) scope.entropy = true;
   }
   for (std::string_view dir : {"src/fault/", "src/obs/", "src/report/"}) {
@@ -51,6 +53,12 @@ CheckScope scope_for_path(std::string_view rel_path, bool all_scopes) {
   }
   scope.raw_obs =
       starts_with(rel_path, "src/") && !starts_with(rel_path, "src/obs/");
+  // L009 guards the layers the explorer single-steps deterministically:
+  // a raw primitive there would introduce scheduling the model cannot see.
+  for (std::string_view dir :
+       {"src/msg/", "src/quorum/", "src/fault/", "src/model/"}) {
+    if (starts_with(rel_path, dir)) scope.concurrency = true;
+  }
   return scope;
 }
 

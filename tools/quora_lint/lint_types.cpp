@@ -46,6 +46,12 @@ constexpr CodeRow kCodes[kLintCodeCount] = {
      "mutable global/static state reachable from an annotated hot path "
      "is neither const nor QUORA_SHARD_SHARED; shared state must be "
      "declared before the parallel simulator can rely on it"},
+    {LintCode::kL009RawConcurrencyPrimitive, "L009",
+     "raw-concurrency-primitive",
+     "raw std::mutex / std::atomic / thread_local in a protocol layer; "
+     "the simulator and model checker own all scheduling, so ad-hoc "
+     "synchronization hides interleavings from them — declare the state "
+     "QUORA_SHARD_SHARED or keep it out of the protocol layers"},
 };
 
 const CodeRow& row(LintCode code) {

@@ -32,9 +32,12 @@ enum class LintCode : std::uint8_t {
                                // state, or the annotations themselves conflict
   kL008UnsharedGlobalState,    // mutable global/static reachable from an
                                // annotated hot path without QUORA_SHARD_SHARED
+  kL009RawConcurrencyPrimitive,  // std::mutex / std::atomic / thread_local in
+                                 // a protocol layer outside QUORA_SHARD_SHARED
+                                 // state — the simulator owns all scheduling
 };
 
-inline constexpr std::size_t kLintCodeCount = 8;
+inline constexpr std::size_t kLintCodeCount = 9;
 
 /// Stable "L001".."L005" tag (what suppressions and baselines name).
 const char* lint_code_tag(LintCode code);

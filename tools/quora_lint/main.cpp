@@ -21,6 +21,7 @@
 //   L006  heap allocation reachable from a QUORA_HOT_PATH root
 //   L007  cross-shard state reach / shard-annotation misuse
 //   L008  undeclared mutable global on an annotated hot path
+//   L009  raw concurrency primitive in a protocol layer
 //
 // Exit status mirrors quora_check: 0 clean, 1 unsuppressed findings,
 // 2 usage/I-O problems or malformed suppression comments.
@@ -45,7 +46,8 @@ constexpr LintCode kAllCodes[] = {
     LintCode::kL001SideEffectObsArg, LintCode::kL002SideEffectContractArg,
     LintCode::kL003ForbiddenEntropy, LintCode::kL004UnorderedIteration,
     LintCode::kL005RawObsCall,       LintCode::kL006HotPathAllocation,
-    LintCode::kL007CrossShardState,  LintCode::kL008UnsharedGlobalState};
+    LintCode::kL007CrossShardState,  LintCode::kL008UnsharedGlobalState,
+    LintCode::kL009RawConcurrencyPrimitive};
 static_assert(sizeof(kAllCodes) / sizeof(kAllCodes[0]) == kLintCodeCount,
               "keep kAllCodes in sync with the LintCode taxonomy");
 
